@@ -1,0 +1,70 @@
+//! The first-child/next-sibling binary encoding (Figure 1 of the paper).
+//!
+//! An unranked tree becomes a binary tree over the same node set:
+//! `left(u) = firstchild(u)`, `right(u) = nextsibling(u)`. Bottom-up
+//! automaton runs need each node's children states *before* the node
+//! itself; since both `firstchild(u)` and `nextsibling(u)` come strictly
+//! after `u` in document order, **reverse document order** is a valid
+//! bottom-up schedule — no recursion, no explicit binary tree.
+
+use lixto_tree::{Document, NodeId};
+
+/// Left child in the binary encoding.
+#[inline]
+pub fn left(doc: &Document, n: NodeId) -> Option<NodeId> {
+    doc.first_child(n)
+}
+
+/// Right child in the binary encoding.
+#[inline]
+pub fn right(doc: &Document, n: NodeId) -> Option<NodeId> {
+    doc.next_sibling(n)
+}
+
+/// The root of the binary tree (same as the document root).
+#[inline]
+pub fn root(doc: &Document) -> NodeId {
+    doc.root()
+}
+
+/// Nodes in a valid bottom-up order for the binary encoding (reverse
+/// document order).
+pub fn bottom_up_order(doc: &Document) -> impl Iterator<Item = NodeId> + '_ {
+    doc.order().preorder().iter().rev().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lixto_tree::build::from_sexp;
+
+    #[test]
+    fn figure_1_encoding() {
+        // Paper Figure 1: n1 with children n2, n3, n6; n3 with n4, n5.
+        let doc = from_sexp("(n1 (n2) (n3 (n4) (n5)) (n6))").unwrap();
+        let ids: Vec<_> = doc.order().preorder().to_vec();
+        let (n1, n2, n3, n4, n5, n6) = (ids[0], ids[1], ids[2], ids[3], ids[4], ids[5]);
+        assert_eq!(left(&doc, n1), Some(n2));
+        assert_eq!(right(&doc, n2), Some(n3));
+        assert_eq!(left(&doc, n3), Some(n4));
+        assert_eq!(right(&doc, n4), Some(n5));
+        assert_eq!(right(&doc, n3), Some(n6));
+        assert_eq!(right(&doc, n1), None);
+        assert_eq!(left(&doc, n2), None);
+    }
+
+    #[test]
+    fn bottom_up_order_sees_children_first() {
+        let doc = from_sexp("(a (b (c) (d)) (e))").unwrap();
+        let order: Vec<_> = bottom_up_order(&doc).collect();
+        let pos = |n: NodeId| order.iter().position(|&x| x == n).unwrap();
+        for n in doc.node_ids() {
+            if let Some(l) = left(&doc, n) {
+                assert!(pos(l) < pos(n));
+            }
+            if let Some(r) = right(&doc, n) {
+                assert!(pos(r) < pos(n));
+            }
+        }
+    }
+}

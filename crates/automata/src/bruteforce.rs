@@ -1,0 +1,116 @@
+//! Direct MSO model checking by exhaustive quantifier expansion.
+//!
+//! Exponential in the number of set quantifiers (2^|dom| assignments each),
+//! so strictly a test oracle for small documents — which is exactly its
+//! job: cross-validating the automaton pipeline in [`mso`](crate::mso).
+
+use std::collections::HashMap;
+
+use lixto_tree::{Document, NodeId};
+
+use crate::mso::Mso;
+
+/// Variable assignment: first-order variables map to a node, second-order
+/// to a set of nodes (represented as a bitmask over node indices).
+#[derive(Debug, Clone, Default)]
+pub struct Env {
+    fo: HashMap<String, NodeId>,
+    so: HashMap<String, u128>,
+}
+
+/// Evaluate a closed-except-`free_var` unary formula brute-force.
+///
+/// # Panics
+/// Panics if the document has more than 128 nodes (set quantification uses
+/// a u128 bitmask) — intentional, this is a small-input oracle.
+pub fn eval_unary(doc: &Document, free_var: &str, phi: &Mso) -> Vec<NodeId> {
+    assert!(
+        doc.len() <= 128,
+        "brute-force MSO oracle is for tiny documents"
+    );
+    doc.order()
+        .preorder()
+        .iter()
+        .copied()
+        .filter(|&n| {
+            let mut env = Env::default();
+            env.fo.insert(free_var.to_string(), n);
+            holds(doc, phi, &mut env)
+        })
+        .collect()
+}
+
+/// Does `phi` hold under `env`?
+pub fn holds(doc: &Document, phi: &Mso, env: &mut Env) -> bool {
+    match phi {
+        Mso::Label(x, a) => doc.has_label(env.fo[x], a),
+        Mso::FirstChild(x, y) => doc.first_child(env.fo[x]) == Some(env.fo[y]),
+        Mso::NextSibling(x, y) => doc.next_sibling(env.fo[x]) == Some(env.fo[y]),
+        Mso::Root(x) => doc.is_root(env.fo[x]),
+        Mso::Leaf(x) => doc.is_leaf(env.fo[x]),
+        Mso::LastSibling(x) => doc.is_last_sibling(env.fo[x]),
+        Mso::In(x, set) => env.so[set] & (1u128 << env.fo[x].index()) != 0,
+        Mso::And(a, b) => holds(doc, a, env) && holds(doc, b, env),
+        Mso::Or(a, b) => holds(doc, a, env) || holds(doc, b, env),
+        Mso::Not(a) => !holds(doc, a, env),
+        Mso::ExistsFo(v, a) => {
+            for n in doc.node_ids() {
+                env.fo.insert(v.clone(), n);
+                let ok = holds(doc, a, env);
+                env.fo.remove(v);
+                if ok {
+                    return true;
+                }
+            }
+            false
+        }
+        Mso::ExistsSo(v, a) => {
+            let limit = 1u128 << doc.len();
+            let mut set = 0u128;
+            loop {
+                env.so.insert(v.clone(), set);
+                let ok = holds(doc, a, env);
+                env.so.remove(v);
+                if ok {
+                    return true;
+                }
+                set += 1;
+                if set == limit {
+                    return false;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mso::{and, exists_fo, exists_so, label, member, not};
+
+    #[test]
+    fn label_query() {
+        let doc = lixto_html::parse("<ul><li>a</li><li>b</li></ul>");
+        let sel = eval_unary(&doc, "x", &label("x", "li"));
+        assert_eq!(sel.len(), 2);
+    }
+
+    #[test]
+    fn existential_set() {
+        // ∃X (x ∈ X) is trivially true for every node.
+        let doc = lixto_html::parse("<p>a</p>");
+        let phi = exists_so("X", member("x", "X"));
+        assert_eq!(eval_unary(&doc, "x", &phi).len(), doc.len());
+        // ∃X (x ∈ X ∧ ¬(x ∈ X)) is unsatisfiable.
+        let phi2 = exists_so("X", and(member("x", "X"), not(member("x", "X"))));
+        assert!(eval_unary(&doc, "x", &phi2).is_empty());
+    }
+
+    #[test]
+    fn existential_fo_scoping() {
+        let doc = lixto_html::parse("<p><i>a</i></p>");
+        // x such that some node is labeled i — true everywhere.
+        let phi = exists_fo("y", label("y", "i"));
+        assert_eq!(eval_unary(&doc, "x", &phi).len(), doc.len());
+    }
+}

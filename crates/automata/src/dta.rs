@@ -1,0 +1,296 @@
+//! Deterministic bottom-up tree automata and determinization.
+
+use std::collections::HashMap;
+
+use lixto_tree::{Document, NodeId};
+
+use crate::binenc;
+use crate::nta::{Nta, SymbolClass};
+
+/// A deterministic, *complete* bottom-up tree automaton over the binary
+/// encoding. For every (left, right, symbol class, bits) exactly one
+/// successor state exists (missing table entries go to the implicit dead
+/// state `n_states - 1` by construction in [`determinize`]; hand-built
+/// automata must be total).
+#[derive(Debug, Clone)]
+pub struct Dta {
+    /// Number of states.
+    pub n_states: u32,
+    /// Distinguished labels (everything else is `Other`).
+    pub labels: Vec<String>,
+    /// Number of variable bits.
+    pub n_bits: u32,
+    /// Total transition function.
+    pub delta: HashMap<(u32, u32, SymbolClass, u32), u32>,
+    /// State of missing children.
+    pub bot: u32,
+    /// Accepting states.
+    pub accepting: Vec<bool>,
+}
+
+impl Dta {
+    fn classify(&self, label: &str) -> SymbolClass {
+        match self.labels.iter().position(|l| l == label) {
+            Some(i) => SymbolClass::Known(i as u16),
+            None => SymbolClass::Other,
+        }
+    }
+
+    /// All symbol classes of this automaton (each known label + Other).
+    pub fn symbol_classes(&self) -> Vec<SymbolClass> {
+        (0..self.labels.len() as u16)
+            .map(SymbolClass::Known)
+            .chain(std::iter::once(SymbolClass::Other))
+            .collect()
+    }
+
+    /// The unique run: state per node, bottom-up.
+    pub fn run(&self, doc: &Document, bits_of: &dyn Fn(NodeId) -> u32) -> Vec<u32> {
+        let mut state = vec![0u32; doc.len()];
+        for n in binenc::bottom_up_order(doc) {
+            let l = binenc::left(doc, n).map_or(self.bot, |c| state[c.index()]);
+            let r = binenc::right(doc, n).map_or(self.bot, |c| state[c.index()]);
+            let sym = self.classify(doc.label_str(n));
+            let bits = bits_of(n);
+            state[n.index()] = *self
+                .delta
+                .get(&(l, r, sym, bits))
+                .expect("DTA must be total over its alphabet");
+        }
+        state
+    }
+
+    /// Boolean acceptance.
+    pub fn accepts(&self, doc: &Document) -> bool {
+        let run = self.run(doc, &|_| 0);
+        self.accepting[run[doc.root().index()] as usize]
+    }
+
+    /// Complement (flip acceptance — sound because the automaton is
+    /// complete and deterministic).
+    pub fn complement(&self) -> Dta {
+        let mut c = self.clone();
+        for a in &mut c.accepting {
+            *a = !*a;
+        }
+        c
+    }
+}
+
+/// Subset-construction determinization. The subset containing only
+/// unreachable combinations is never materialized: we explore from the
+/// `{bot}` set through all symbols, so the result has one state per
+/// *reachable* subset plus nothing else.
+pub fn determinize(nta: &Nta) -> Dta {
+    let classes: Vec<SymbolClass> = (0..nta.labels.len() as u16)
+        .map(SymbolClass::Known)
+        .chain(std::iter::once(SymbolClass::Other))
+        .collect();
+    let all_bits: Vec<u32> = (0..(1u32 << nta.n_bits)).collect();
+
+    // Subsets are sorted Vec<u32>, interned.
+    let mut subset_id: HashMap<Vec<u32>, u32> = HashMap::new();
+    let mut subsets: Vec<Vec<u32>> = Vec::new();
+    let intern = |s: Vec<u32>, subsets: &mut Vec<Vec<u32>>,
+                      subset_id: &mut HashMap<Vec<u32>, u32>|
+     -> (u32, bool) {
+        if let Some(&i) = subset_id.get(&s) {
+            return (i, false);
+        }
+        let i = subsets.len() as u32;
+        subset_id.insert(s.clone(), i);
+        subsets.push(s);
+        (i, true)
+    };
+
+    let (bot_id, _) = intern(vec![nta.bot], &mut subsets, &mut subset_id);
+    let mut delta: HashMap<(u32, u32, SymbolClass, u32), u32> = HashMap::new();
+    // Work through pairs of known subsets until closure. Simple worklist
+    // over the cross product of current subsets.
+    let mut frontier = true;
+    while frontier {
+        frontier = false;
+        let current = subsets.clone();
+        for (li, lset) in current.iter().enumerate() {
+            for (ri, rset) in current.iter().enumerate() {
+                for &sym in &classes {
+                    for &bits in &all_bits {
+                        let key = (li as u32, ri as u32, sym, bits);
+                        if delta.contains_key(&key) {
+                            continue;
+                        }
+                        let mut out: Vec<u32> = Vec::new();
+                        for &lq in lset {
+                            for &rq in rset {
+                                if let Some(ts) = nta.transitions.get(&(lq, rq, sym, bits)) {
+                                    out.extend(ts.iter().copied());
+                                }
+                            }
+                        }
+                        out.sort_unstable();
+                        out.dedup();
+                        let (oid, fresh) = intern(out, &mut subsets, &mut subset_id);
+                        delta.insert(key, oid);
+                        if fresh {
+                            frontier = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let accepting: Vec<bool> = subsets
+        .iter()
+        .map(|s| s.iter().any(|q| nta.accepting.contains(q)))
+        .collect();
+    Dta {
+        n_states: subsets.len() as u32,
+        labels: nta.labels.clone(),
+        n_bits: nta.n_bits,
+        delta,
+        bot: bot_id,
+        accepting,
+    }
+}
+
+/// Shrink a DTA: drop unreachable states, then merge observationally
+/// equivalent ones (partition refinement — the Myhill–Nerode construction
+/// for tree automata).
+///
+/// Keeping intermediate automata minimal is what makes the MSO compilation
+/// pipeline feasible: products multiply state counts, but almost all pairs
+/// collapse into a handful of behaviours.
+pub fn reduce(d: &Dta) -> Dta {
+    // --- 1. Reachability from {bot} through all transitions.
+    let mut reach = vec![false; d.n_states as usize];
+    reach[d.bot as usize] = true;
+    let mut grew = true;
+    while grew {
+        grew = false;
+        for ((l, r, _, _), &q) in &d.delta {
+            if reach[*l as usize] && reach[*r as usize] && !reach[q as usize] {
+                reach[q as usize] = true;
+                grew = true;
+            }
+        }
+    }
+    let kept: Vec<u32> = (0..d.n_states).filter(|&q| reach[q as usize]).collect();
+    let renum: HashMap<u32, u32> = kept
+        .iter()
+        .enumerate()
+        .map(|(i, &q)| (q, i as u32))
+        .collect();
+    let n = kept.len() as u32;
+    let mut delta: HashMap<(u32, u32, SymbolClass, u32), u32> = HashMap::new();
+    for ((l, r, sym, bits), &q) in &d.delta {
+        if let (Some(&l2), Some(&r2), Some(&q2)) = (renum.get(l), renum.get(r), renum.get(&q)) {
+            delta.insert((l2, r2, *sym, *bits), q2);
+        }
+    }
+    let accepting: Vec<bool> = kept.iter().map(|&q| d.accepting[q as usize]).collect();
+    let bot = renum[&d.bot];
+
+    // --- 2. Partition refinement.
+    let classes: Vec<SymbolClass> = (0..d.labels.len() as u16)
+        .map(SymbolClass::Known)
+        .chain(std::iter::once(SymbolClass::Other))
+        .collect();
+    let mut block: Vec<u32> = accepting.iter().map(|&a| u32::from(a)).collect();
+    loop {
+        // Signature of each state under the current partition.
+        let mut sig_of: HashMap<Vec<u32>, u32> = HashMap::new();
+        let mut next: Vec<u32> = vec![0; n as usize];
+        for p in 0..n {
+            let mut sig = vec![block[p as usize]];
+            for s in 0..n {
+                for &sym in &classes {
+                    for bits in 0..(1u32 << d.n_bits) {
+                        sig.push(block[delta[&(p, s, sym, bits)] as usize]);
+                        sig.push(block[delta[&(s, p, sym, bits)] as usize]);
+                    }
+                }
+            }
+            let next_id = sig_of.len() as u32;
+            let id = *sig_of.entry(sig).or_insert(next_id);
+            next[p as usize] = id;
+        }
+        if next == block {
+            break;
+        }
+        block = next;
+    }
+    let n_blocks = block.iter().copied().max().unwrap_or(0) + 1;
+    let mut bdelta: HashMap<(u32, u32, SymbolClass, u32), u32> = HashMap::new();
+    for ((l, r, sym, bits), &q) in &delta {
+        bdelta.insert(
+            (block[*l as usize], block[*r as usize], *sym, *bits),
+            block[q as usize],
+        );
+    }
+    let mut bacc = vec![false; n_blocks as usize];
+    for q in 0..n {
+        if accepting[q as usize] {
+            bacc[block[q as usize] as usize] = true;
+        }
+    }
+    Dta {
+        n_states: n_blocks,
+        labels: d.labels.clone(),
+        n_bits: d.n_bits,
+        delta: bdelta,
+        bot: block[bot as usize],
+        accepting: bacc,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nta::contains_label;
+
+    #[test]
+    fn determinized_agrees_with_nta() {
+        let nta = contains_label("i");
+        let dta = determinize(&nta);
+        for html in [
+            "<p><i>x</i></p>",
+            "<p><b>x</b></p>",
+            "<i/>",
+            "<div><div><span><i>deep</i></span></div></div>",
+        ] {
+            let doc = lixto_html::parse(html);
+            assert_eq!(nta.accepts(&doc), dta.accepts(&doc), "{html}");
+        }
+    }
+
+    #[test]
+    fn complement_flips_acceptance() {
+        let dta = determinize(&contains_label("i"));
+        let not = dta.complement();
+        let with_i = lixto_html::parse("<p><i>x</i></p>");
+        let without = lixto_html::parse("<p><b>x</b></p>");
+        assert!(dta.accepts(&with_i) && !not.accepts(&with_i));
+        assert!(!dta.accepts(&without) && not.accepts(&without));
+    }
+
+    #[test]
+    fn reduce_preserves_language_and_shrinks() {
+        let dta = determinize(&contains_label("i"));
+        // Blow the automaton up with a self-product, then reduce.
+        let blown = crate::ops::product(&dta, &dta, |x, y| x && y);
+        let small = reduce(&blown);
+        assert!(small.n_states <= dta.n_states);
+        for html in ["<p><i>x</i></p>", "<p><b>x</b></p>", "<i/>", "<div/>"] {
+            let doc = lixto_html::parse(html);
+            assert_eq!(blown.accepts(&doc), small.accepts(&doc), "{html}");
+        }
+    }
+
+    #[test]
+    fn run_assigns_states_bottom_up() {
+        let dta = determinize(&contains_label("i"));
+        let doc = lixto_html::parse("<p><i>x</i></p>");
+        let run = dta.run(&doc, &|_| 0);
+        assert!(dta.accepting[run[doc.root().index()] as usize]);
+    }
+}

@@ -1,0 +1,637 @@
+//! MSO over trees: formula AST, Thatcher–Wright compilation to automata,
+//! and unary query evaluation.
+//!
+//! Variables (first-order `x, y, …` and second-order `X, Y, …` — the
+//! distinction is by binder, not by spelling) become bits in the automaton
+//! alphabet Σ × {0,1}^K. Conjunction and disjunction are DTA products,
+//! negation is complement, and ∃ is projection followed by
+//! re-determinization; first-order quantifiers additionally intersect with
+//! a singleton automaton. This is the standard decidability construction
+//! for MSO on trees (reference \[37\] in the paper's bibliography), implemented over
+//! the binary encoding of Figure 1.
+
+use std::collections::HashMap;
+
+use lixto_tree::{Document, NodeId};
+
+use crate::dta::{determinize, reduce, Dta};
+use crate::nta::SymbolClass;
+use crate::ops::{build_dta, product, project_bit};
+
+/// An MSO formula over τ_ur. Construct with the helper functions
+/// ([`label`], [`first_child`], [`and`], [`exists_fo`], …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Mso {
+    /// `label_a(x)`.
+    Label(String, String),
+    /// `firstchild(x, y)`.
+    FirstChild(String, String),
+    /// `nextsibling(x, y)`.
+    NextSibling(String, String),
+    /// `root(x)`.
+    Root(String),
+    /// `leaf(x)` — no children.
+    Leaf(String),
+    /// `lastsibling(x)`.
+    LastSibling(String),
+    /// `x ∈ X`.
+    In(String, String),
+    /// Conjunction.
+    And(Box<Mso>, Box<Mso>),
+    /// Disjunction.
+    Or(Box<Mso>, Box<Mso>),
+    /// Negation.
+    Not(Box<Mso>),
+    /// First-order existential.
+    ExistsFo(String, Box<Mso>),
+    /// Second-order (set) existential.
+    ExistsSo(String, Box<Mso>),
+}
+
+/// `label_a(x)`.
+pub fn label(x: &str, a: &str) -> Mso {
+    Mso::Label(x.into(), a.into())
+}
+/// `firstchild(x, y)`.
+pub fn first_child(x: &str, y: &str) -> Mso {
+    Mso::FirstChild(x.into(), y.into())
+}
+/// `nextsibling(x, y)`.
+pub fn next_sibling(x: &str, y: &str) -> Mso {
+    Mso::NextSibling(x.into(), y.into())
+}
+/// `root(x)`.
+pub fn root(x: &str) -> Mso {
+    Mso::Root(x.into())
+}
+/// `leaf(x)`.
+pub fn leaf(x: &str) -> Mso {
+    Mso::Leaf(x.into())
+}
+/// `lastsibling(x)`.
+pub fn last_sibling(x: &str) -> Mso {
+    Mso::LastSibling(x.into())
+}
+/// `x ∈ X`.
+pub fn member(x: &str, set: &str) -> Mso {
+    Mso::In(x.into(), set.into())
+}
+/// Conjunction.
+pub fn and(a: Mso, b: Mso) -> Mso {
+    Mso::And(Box::new(a), Box::new(b))
+}
+/// Disjunction.
+pub fn or(a: Mso, b: Mso) -> Mso {
+    Mso::Or(Box::new(a), Box::new(b))
+}
+/// Negation.
+pub fn not(a: Mso) -> Mso {
+    Mso::Not(Box::new(a))
+}
+/// Implication (sugar).
+pub fn implies(a: Mso, b: Mso) -> Mso {
+    or(not(a), b)
+}
+/// `∃x.φ` (first-order).
+pub fn exists_fo(x: &str, f: Mso) -> Mso {
+    Mso::ExistsFo(x.into(), Box::new(f))
+}
+/// `∀x.φ` (first-order, sugar).
+pub fn forall_fo(x: &str, f: Mso) -> Mso {
+    not(exists_fo(x, not(f)))
+}
+/// `∃X.φ` (second-order).
+pub fn exists_so(x: &str, f: Mso) -> Mso {
+    Mso::ExistsSo(x.into(), Box::new(f))
+}
+/// `∀X.φ` (second-order, sugar).
+pub fn forall_so(x: &str, f: Mso) -> Mso {
+    not(exists_so(x, not(f)))
+}
+
+/// Compilation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MsoError {
+    /// A bound variable name is reused (rename apart before compiling).
+    ShadowedVariable(String),
+    /// A variable occurs free that is neither bound nor the query variable.
+    UnboundVariable(String),
+    /// More variables than supported bits (the alphabet is Σ × {0,1}^K
+    /// with K ≤ 16 here).
+    TooManyVariables,
+}
+
+impl std::fmt::Display for MsoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MsoError::ShadowedVariable(v) => write!(f, "variable '{v}' is bound twice"),
+            MsoError::UnboundVariable(v) => write!(f, "variable '{v}' is not bound"),
+            MsoError::TooManyVariables => write!(f, "too many variables (max 16)"),
+        }
+    }
+}
+
+impl std::error::Error for MsoError {}
+
+impl Mso {
+    /// Maximum quantifier nesting depth (each nested binder needs its own
+    /// alphabet bit; parallel binders share bits).
+    fn binder_depth(&self) -> u32 {
+        match self {
+            Mso::ExistsFo(_, f) | Mso::ExistsSo(_, f) => 1 + f.binder_depth(),
+            Mso::And(a, b) | Mso::Or(a, b) => a.binder_depth().max(b.binder_depth()),
+            Mso::Not(a) => a.binder_depth(),
+            _ => 0,
+        }
+    }
+
+    fn collect_labels(&self, out: &mut Vec<String>) {
+        match self {
+            Mso::Label(_, a) => {
+                if !out.contains(a) {
+                    out.push(a.clone());
+                }
+            }
+            Mso::And(a, b) | Mso::Or(a, b) => {
+                a.collect_labels(out);
+                b.collect_labels(out);
+            }
+            Mso::Not(a) | Mso::ExistsFo(_, a) | Mso::ExistsSo(_, a) => a.collect_labels(out),
+            _ => {}
+        }
+    }
+
+    /// Scope check: every used variable is in scope, and no binder
+    /// shadows a variable already in scope (parallel reuse is fine).
+    fn check_vars(&self, scope: &mut Vec<String>) -> Result<(), MsoError> {
+        let chk = |v: &String, scope: &[String]| -> Result<(), MsoError> {
+            if scope.contains(v) {
+                Ok(())
+            } else {
+                Err(MsoError::UnboundVariable(v.clone()))
+            }
+        };
+        match self {
+            Mso::Label(x, _) | Mso::Root(x) | Mso::Leaf(x) | Mso::LastSibling(x) => {
+                chk(x, scope)
+            }
+            Mso::FirstChild(x, y) | Mso::NextSibling(x, y) | Mso::In(x, y) => {
+                chk(x, scope)?;
+                chk(y, scope)
+            }
+            Mso::And(a, b) | Mso::Or(a, b) => {
+                a.check_vars(scope)?;
+                b.check_vars(scope)
+            }
+            Mso::Not(a) => a.check_vars(scope),
+            Mso::ExistsFo(v, a) | Mso::ExistsSo(v, a) => {
+                if scope.contains(v) {
+                    return Err(MsoError::ShadowedVariable(v.clone()));
+                }
+                scope.push(v.clone());
+                let r = a.check_vars(scope);
+                scope.pop();
+                r
+            }
+        }
+    }
+}
+
+/// A compiled unary MSO query: a formula with one free first-order
+/// variable, answering "which nodes satisfy φ(x)?".
+pub struct MsoQuery {
+    dta: Dta,
+    query_bit: u32,
+}
+
+impl MsoQuery {
+    /// Compile `phi` with free first-order variable `free_var`.
+    pub fn new(free_var: &str, phi: Mso) -> Result<MsoQuery, MsoError> {
+        let mut scope = vec![free_var.to_string()];
+        phi.check_vars(&mut scope)?;
+        let n_bits = 1 + phi.binder_depth();
+        if n_bits > 16 {
+            return Err(MsoError::TooManyVariables);
+        }
+        let mut labels = Vec::new();
+        phi.collect_labels(&mut labels);
+        let mut env: HashMap<String, u32> = HashMap::new();
+        env.insert(free_var.to_string(), 0);
+        let dta = compile(&phi, &labels, n_bits, &env, 1);
+        Ok(MsoQuery { dta, query_bit: 0 })
+    }
+
+    /// Evaluate on a document: every node `n` with `doc ⊨ φ(n)`, in
+    /// document order.
+    pub fn eval(&self, doc: &Document) -> Vec<NodeId> {
+        let mask = 1u32 << self.query_bit;
+        doc.order()
+            .preorder()
+            .iter()
+            .copied()
+            .filter(|&cand| {
+                let run = self.dta.run(doc, &|n| if n == cand { mask } else { 0 });
+                self.dta.accepting[run[doc.root().index()] as usize]
+            })
+            .collect()
+    }
+
+    /// The compiled automaton (for inspection / statistics).
+    pub fn automaton(&self) -> &Dta {
+        &self.dta
+    }
+}
+
+/// Compile a formula to a DTA over Σ(labels) × {0,1}^n_bits. `env` maps
+/// in-scope variables to bits; `next_bit` is the first free bit (bits are
+/// reused across disjoint scopes — projection kills them on the way out).
+fn compile(
+    phi: &Mso,
+    labels: &[String],
+    n_bits: u32,
+    bit_of: &HashMap<String, u32>,
+    next_bit: u32,
+) -> Dta {
+    match phi {
+        Mso::Label(x, a) => {
+            let bx = 1u32 << bit_of[x];
+            let target = labels.iter().position(|l| l == a).unwrap() as u16;
+            atomic(labels, n_bits, move |l, r, sym, bits, st| {
+                st.step_marked(l, r, bits & bx != 0, sym == SymbolClass::Known(target))
+            })
+        }
+        Mso::In(x, set) => {
+            let bx = 1u32 << bit_of[x];
+            let bs = 1u32 << bit_of[set];
+            atomic(labels, n_bits, move |l, r, _sym, bits, st| {
+                st.step_marked(l, r, bits & bx != 0, bits & bs != 0)
+            })
+        }
+        Mso::Leaf(x) => {
+            let bx = 1u32 << bit_of[x];
+            atomic(labels, n_bits, move |l, r, _sym, bits, st| {
+                st.step_local(l, r, bits & bx != 0, l == st.bot)
+            })
+        }
+        Mso::Root(x) => {
+            // accept iff the ROOT carries the bit: states B,0(none),
+            // H(here at subtree root),S(inside),D; accept {H}.
+            let bx = 1u32 << bit_of[x];
+            build_dta(
+                5,
+                labels.to_vec(),
+                n_bits,
+                0,
+                vec![false, false, true, false, false],
+                move |l, r, _sym, bits| {
+                    let marked = bits & bx != 0;
+                    root_like_step(l, r, marked)
+                },
+            )
+        }
+        Mso::LastSibling(x) => {
+            let bx = 1u32 << bit_of[x];
+            // x has no right child and is not the global root: states
+            // B=0, N=1 (none), H=2 (x at subtree root, had no right child),
+            // S=3 (x inside, ok), D=4; accept {S} — if x is the global
+            // root its final state stays H, which is rejecting.
+            build_dta(
+                5,
+                labels.to_vec(),
+                n_bits,
+                0,
+                vec![false, false, false, true, false],
+                move |l, r, _sym, bits| {
+                    let marked = bits & bx != 0;
+                    // H (2) and S (3) both carry the mark upward.
+                    let rank = |q: u32| u32::from(q == 2 || q == 3);
+                    if l == 4 || r == 4 {
+                        return 4;
+                    }
+                    if marked {
+                        if r == 0 && rank(l) == 0 {
+                            2
+                        } else {
+                            4
+                        }
+                    } else {
+                        match (rank(l), rank(r)) {
+                            (0, 0) => 1,
+                            (1, 0) | (0, 1) => 3,
+                            _ => 4,
+                        }
+                    }
+                },
+            )
+        }
+        Mso::FirstChild(x, y) => pair_atom(labels, n_bits, bit_of, x, y, true),
+        Mso::NextSibling(x, y) => pair_atom(labels, n_bits, bit_of, x, y, false),
+        Mso::And(a, b) => {
+            let da = compile(a, labels, n_bits, bit_of, next_bit);
+            let db = compile(b, labels, n_bits, bit_of, next_bit);
+            reduce(&product(&da, &db, |x, y| x && y))
+        }
+        Mso::Or(a, b) => {
+            let da = compile(a, labels, n_bits, bit_of, next_bit);
+            let db = compile(b, labels, n_bits, bit_of, next_bit);
+            reduce(&product(&da, &db, |x, y| x || y))
+        }
+        Mso::Not(a) => compile(a, labels, n_bits, bit_of, next_bit).complement(),
+        Mso::ExistsSo(v, a) => {
+            let mut env = bit_of.clone();
+            env.insert(v.clone(), next_bit);
+            let da = compile(a, labels, n_bits, &env, next_bit + 1);
+            reduce(&determinize(&project_bit(&da, next_bit)))
+        }
+        Mso::ExistsFo(v, a) => {
+            let mut env = bit_of.clone();
+            env.insert(v.clone(), next_bit);
+            let da = compile(a, labels, n_bits, &env, next_bit + 1);
+            let sing = singleton(labels, n_bits, 1u32 << next_bit);
+            let conj = reduce(&product(&da, &sing, |x, y| x && y));
+            reduce(&determinize(&project_bit(&conj, next_bit)))
+        }
+    }
+}
+
+/// Shared scaffolding for "the unique marked node must satisfy a local
+/// property" automata. States: 0=B(bot), 1=N(nothing seen), 2=S(seen,
+/// property held), 3=D(dead). Accept {S}.
+struct MarkedAtom {
+    bot: u32,
+}
+
+impl MarkedAtom {
+    /// Marked node must satisfy `ok` (a property of its symbol/bits).
+    fn step_marked(&self, l: u32, r: u32, marked: bool, ok: bool) -> u32 {
+        let lm = mark_rank(l);
+        let rm = mark_rank(r);
+        if l == 3 || r == 3 || lm + rm > 1 {
+            return 3;
+        }
+        if marked {
+            if ok && lm + rm == 0 {
+                2
+            } else {
+                3
+            }
+        } else if lm + rm == 1 {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// Like `step_marked` but the property can inspect child states (e.g.
+    /// leaf = left child is bot).
+    fn step_local(&self, l: u32, r: u32, marked: bool, ok: bool) -> u32 {
+        self.step_marked(l, r, marked, ok)
+    }
+}
+
+/// How many "seen" marks a child state carries (states 2 = one).
+fn mark_rank(q: u32) -> u32 {
+    u32::from(q == 2)
+}
+
+fn atomic(
+    labels: &[String],
+    n_bits: u32,
+    f: impl Fn(u32, u32, SymbolClass, u32, &MarkedAtom) -> u32,
+) -> Dta {
+    let st = MarkedAtom { bot: 0 };
+    build_dta(
+        4,
+        labels.to_vec(),
+        n_bits,
+        0,
+        vec![false, false, true, false],
+        move |l, r, sym, bits| f(l, r, sym, bits, &st),
+    )
+}
+
+/// root(x)-style stepping: states B=0,N=1,H=2(marked node is this subtree's
+/// root),S=3(marked strictly inside),D=4.
+fn root_like_step(l: u32, r: u32, marked: bool) -> u32 {
+    let seen = |q: u32| q == 2 || q == 3;
+    if l == 4 || r == 4 {
+        return 4;
+    }
+    let inside = u32::from(seen(l)) + u32::from(seen(r));
+    if marked {
+        if inside == 0 {
+            2
+        } else {
+            4
+        }
+    } else {
+        match inside {
+            0 => 1,
+            1 => 3,
+            _ => 4,
+        }
+    }
+}
+
+/// firstchild(x,y) / nextsibling(x,y): y must be the left (resp. right)
+/// binary child of x. States: B=0, N=1, J=2 (y is this subtree's root),
+/// S=3 (pair matched), D=4. Accept {S}.
+fn pair_atom(
+    labels: &[String],
+    n_bits: u32,
+    bit_of: &HashMap<String, u32>,
+    x: &str,
+    y: &str,
+    left_edge: bool,
+) -> Dta {
+    let bx = 1u32 << bit_of[x];
+    let by = 1u32 << bit_of[y];
+    build_dta(
+        5,
+        labels.to_vec(),
+        n_bits,
+        0,
+        vec![false, false, false, true, false],
+        move |l, r, _sym, bits| {
+            if l == 4 || r == 4 {
+                return 4;
+            }
+            let x_here = bits & bx != 0;
+            let y_here = bits & by != 0;
+            let clean = |q: u32| q == 0 || q == 1;
+            match (x_here, y_here) {
+                (true, true) => 4, // same node cannot be both
+                (false, true) => {
+                    if clean(l) && clean(r) {
+                        2
+                    } else {
+                        4
+                    }
+                }
+                (true, false) => {
+                    let (child, other) = if left_edge { (l, r) } else { (r, l) };
+                    if child == 2 && clean(other) {
+                        3
+                    } else {
+                        4
+                    }
+                }
+                (false, false) => {
+                    // J must be consumed immediately by its binary parent.
+                    if l == 2 || r == 2 {
+                        return 4;
+                    }
+                    match (l == 3, r == 3) {
+                        (true, true) => 4,
+                        (true, false) | (false, true) => 3,
+                        (false, false) => 1,
+                    }
+                }
+            }
+        },
+    )
+}
+
+/// Exactly one node carries `mask`: states B=0 / zero=1 fused, one=2,
+/// dead=3. Accept {one}.
+fn singleton(labels: &[String], n_bits: u32, mask: u32) -> Dta {
+    build_dta(
+        4,
+        labels.to_vec(),
+        n_bits,
+        0,
+        vec![false, false, true, false],
+        move |l, r, _sym, bits| {
+            if l == 3 || r == 3 {
+                return 3;
+            }
+            let count = u32::from(l == 2) + u32::from(r == 2) + u32::from(bits & mask != 0);
+            match count {
+                0 => 1,
+                1 => 2,
+                _ => 3,
+            }
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bruteforce;
+
+    fn check_against_bruteforce(free: &str, phi: &Mso, htmls: &[&str]) {
+        let q = MsoQuery::new(free, phi.clone()).unwrap();
+        for html in htmls {
+            let doc = lixto_html::parse(html);
+            let via_automaton = q.eval(&doc);
+            let via_bruteforce = bruteforce::eval_unary(&doc, free, phi);
+            assert_eq!(via_automaton, via_bruteforce, "html={html}");
+        }
+    }
+
+    const DOCS: &[&str] = &[
+        "<p><i>a</i><b>c</b></p>",
+        "<ul><li>1</li><li>2</li><li>3</li></ul>",
+        "<table><tr><td>x</td></tr><tr><td>y</td></tr></table>",
+        "<div/>",
+    ];
+
+    #[test]
+    fn atomic_label() {
+        check_against_bruteforce("x", &label("x", "li"), DOCS);
+    }
+
+    #[test]
+    fn atomic_root_leaf_lastsibling() {
+        check_against_bruteforce("x", &root("x"), DOCS);
+        check_against_bruteforce("x", &leaf("x"), DOCS);
+        check_against_bruteforce("x", &last_sibling("x"), DOCS);
+    }
+
+    #[test]
+    fn exists_first_child() {
+        // x is a first child of a ul
+        let phi = exists_fo("y", and(first_child("y", "x"), label("y", "ul")));
+        check_against_bruteforce("x", &phi, DOCS);
+    }
+
+    #[test]
+    fn next_sibling_queries() {
+        // x has a next sibling
+        let phi = exists_fo("y", next_sibling("x", "y"));
+        check_against_bruteforce("x", &phi, DOCS);
+        // x IS a next sibling (has a left neighbour)
+        let phi2 = exists_fo("y", next_sibling("y", "x"));
+        check_against_bruteforce("x", &phi2, DOCS);
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let phi = and(label("x", "li"), not(last_sibling("x")));
+        check_against_bruteforce("x", &phi, DOCS);
+        let phi2 = or(root("x"), leaf("x"));
+        check_against_bruteforce("x", &phi2, DOCS);
+    }
+
+    #[test]
+    fn second_order_reachability_of_example_2_1() {
+        // Italic(x) via MSO (Proposition 2.2 direction): x is in every set
+        // X that contains all i-labeled nodes and is closed under
+        // firstchild and nextsibling:
+        //   φ(x) = ∀X [ seed ∧ closed → x ∈ X ]
+        let seed = forall_fo("z", implies(label("z", "i"), member("z", "X")));
+        let closed_fc = forall_fo(
+            "u",
+            forall_fo(
+                "v",
+                implies(
+                    and(member("u", "X"), first_child("u", "v")),
+                    member("v", "X"),
+                ),
+            ),
+        );
+        // parallel scopes may reuse variable names (and therefore bits)
+        let closed_ns = forall_fo(
+            "u",
+            forall_fo(
+                "v",
+                implies(
+                    and(member("u", "X"), next_sibling("u", "v")),
+                    member("v", "X"),
+                ),
+            ),
+        );
+        let phi = forall_so(
+            "X",
+            implies(and(seed, and(closed_fc, closed_ns)), member("x", "X")),
+        );
+        // Compare against the datalog program on a small doc (bruteforce
+        // over sets is exponential — keep the doc tiny).
+        let doc = lixto_html::parse("<p><i>a</i>d</p>");
+        let q = MsoQuery::new("x", phi).unwrap();
+        let mso_sel = q.eval(&doc);
+        let program = lixto_datalog::parse_program(
+            r#"italic(X) :- label(X, "i").
+               italic(X) :- italic(X0), firstchild(X0, X).
+               italic(X) :- italic(X0), nextsibling(X0, X)."#,
+        )
+        .unwrap();
+        let dl_sel = lixto_datalog::MonadicEvaluator::new(&doc)
+            .eval_predicate(&program, "italic")
+            .unwrap();
+        assert_eq!(mso_sel, dl_sel, "Theorem 2.5: MSO = monadic datalog");
+    }
+
+    #[test]
+    fn variable_hygiene_errors() {
+        assert!(matches!(
+            MsoQuery::new("x", exists_fo("x", label("x", "a"))),
+            Err(MsoError::ShadowedVariable(_))
+        ));
+        assert!(matches!(
+            MsoQuery::new("x", label("y", "a")),
+            Err(MsoError::UnboundVariable(_))
+        ));
+    }
+}

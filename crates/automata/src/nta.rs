@@ -1,0 +1,224 @@
+//! Nondeterministic bottom-up tree automata over the binary encoding.
+//!
+//! Symbols are pairs (label class, variable-bit vector). Label classes are
+//! the labels the automaton explicitly mentions plus a catch-all `Other`,
+//! so automata stay finite while documents use open label sets. Missing
+//! children (the binary encoding is partial) are modeled by the designated
+//! `bot` pseudo-state.
+
+use std::collections::{HashMap, HashSet};
+
+use lixto_tree::{Document, NodeId};
+
+use crate::binenc;
+
+/// A label class: one of the automaton's known labels, or anything else.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SymbolClass {
+    /// Index into [`Nta::labels`].
+    Known(u16),
+    /// Any label the automaton does not mention.
+    Other,
+}
+
+/// Key of the transition table: (left state, right state, label class,
+/// variable bits).
+pub type TransKey = (u32, u32, SymbolClass, u32);
+
+/// A nondeterministic bottom-up tree automaton.
+///
+/// States are `0..n_states`. `bot` is the state assigned to missing
+/// children. A tree is accepted iff some run assigns an accepting state to
+/// the (binary) root.
+#[derive(Debug, Clone)]
+pub struct Nta {
+    /// Number of states.
+    pub n_states: u32,
+    /// Labels this automaton distinguishes; everything else is
+    /// [`SymbolClass::Other`].
+    pub labels: Vec<String>,
+    /// Number of variable bits in the alphabet (0 for Boolean automata).
+    pub n_bits: u32,
+    /// Transition relation.
+    pub transitions: HashMap<TransKey, Vec<u32>>,
+    /// Pseudo-state for missing children.
+    pub bot: u32,
+    /// Accepting states (at the binary root).
+    pub accepting: HashSet<u32>,
+}
+
+impl Nta {
+    /// Resolve a document label to this automaton's symbol class.
+    pub fn classify(&self, label: &str) -> SymbolClass {
+        match self.labels.iter().position(|l| l == label) {
+            Some(i) => SymbolClass::Known(i as u16),
+            None => SymbolClass::Other,
+        }
+    }
+
+    /// Add a transition (builder-style helper).
+    pub fn add_transition(&mut self, l: u32, r: u32, sym: SymbolClass, bits: u32, to: u32) {
+        self.transitions.entry((l, r, sym, bits)).or_default().push(to);
+    }
+
+    /// Run the automaton on `doc` with per-node variable bits supplied by
+    /// `bits_of`. Returns, for every node, the set of reachable states
+    /// (bitset as `Vec<u64>` words).
+    pub fn run_sets(&self, doc: &Document, bits_of: &dyn Fn(NodeId) -> u32) -> StateSets {
+        let words = (self.n_states as usize).div_ceil(64);
+        let mut sets = vec![0u64; words * doc.len()];
+        let set_bit = |sets: &mut Vec<u64>, node: usize, q: u32| {
+            sets[node * words + (q as usize) / 64] |= 1 << (q % 64);
+        };
+        // Iterate in reverse document order (valid bottom-up schedule).
+        for n in binenc::bottom_up_order(doc) {
+            let sym = self.classify(doc.label_str(n));
+            let bits = bits_of(n);
+            let lset: Vec<u32> = match binenc::left(doc, n) {
+                None => vec![self.bot],
+                Some(l) => collect_states(&sets, l.index(), words),
+            };
+            let rset: Vec<u32> = match binenc::right(doc, n) {
+                None => vec![self.bot],
+                Some(r) => collect_states(&sets, r.index(), words),
+            };
+            for &lq in &lset {
+                for &rq in &rset {
+                    if let Some(ts) = self.transitions.get(&(lq, rq, sym, bits)) {
+                        for &t in ts {
+                            set_bit(&mut sets, n.index(), t);
+                        }
+                    }
+                }
+            }
+        }
+        StateSets { words, sets }
+    }
+
+    /// Boolean acceptance (no variable bits).
+    pub fn accepts(&self, doc: &Document) -> bool {
+        assert_eq!(self.n_bits, 0, "use run_sets with a bit assignment");
+        let sets = self.run_sets(doc, &|_| 0);
+        self.accepting
+            .iter()
+            .any(|&q| sets.contains(doc.root().index(), q))
+    }
+
+    /// Is the recognized language empty? Standard least-fixpoint
+    /// reachability over (state) sets, considering every symbol class and
+    /// bit vector that appears in the transition table.
+    pub fn is_empty(&self) -> bool {
+        let mut reachable: HashSet<u32> = HashSet::new();
+        reachable.insert(self.bot);
+        loop {
+            let mut grew = false;
+            for ((l, r, _, _), ts) in &self.transitions {
+                if reachable.contains(l) && reachable.contains(r) {
+                    for &t in ts {
+                        if reachable.insert(t) {
+                            grew = true;
+                        }
+                    }
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        !self.accepting.iter().any(|q| {
+            // bot alone is not a tree; but any accepting state reachable
+            // via at least one transition corresponds to some tree. The
+            // bot state itself never accepts in automata we build.
+            reachable.contains(q) && *q != self.bot
+        })
+    }
+}
+
+/// Dense per-node reachable-state sets produced by [`Nta::run_sets`].
+pub struct StateSets {
+    words: usize,
+    sets: Vec<u64>,
+}
+
+impl StateSets {
+    /// Is state `q` reachable at node index `node`?
+    pub fn contains(&self, node: usize, q: u32) -> bool {
+        self.sets[node * self.words + (q as usize) / 64] & (1 << (q % 64)) != 0
+    }
+}
+
+fn collect_states(sets: &[u64], node: usize, words: usize) -> Vec<u32> {
+    let mut out = Vec::new();
+    for w in 0..words {
+        let mut bits = sets[node * words + w];
+        while bits != 0 {
+            let b = bits.trailing_zeros();
+            out.push((w as u32) * 64 + b);
+            bits &= bits - 1;
+        }
+    }
+    out
+}
+
+/// Build the Boolean NTA accepting documents that contain at least one
+/// node with the given label — a small, well-understood automaton used in
+/// tests and docs.
+pub fn contains_label(label: &str) -> Nta {
+    // states: 0 = bot/nothing seen, 1 = seen.
+    let mut a = Nta {
+        n_states: 2,
+        labels: vec![label.to_string()],
+        n_bits: 0,
+        transitions: HashMap::new(),
+        bot: 0,
+        accepting: [1].into_iter().collect(),
+    };
+    let known = SymbolClass::Known(0);
+    let other = SymbolClass::Other;
+    for l in 0..2 {
+        for r in 0..2 {
+            // The labeled node always produces "seen".
+            a.add_transition(l, r, known, 0, 1);
+            // Other labels propagate "seen" from either side.
+            let out = if l == 1 || r == 1 { 1 } else { 0 };
+            a.add_transition(l, r, other, 0, out);
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_label_automaton() {
+        let a = contains_label("i");
+        assert!(a.accepts(&lixto_html::parse("<p><i>x</i></p>")));
+        assert!(!a.accepts(&lixto_html::parse("<p><b>x</b></p>")));
+        assert!(a.accepts(&lixto_html::parse("<i/>")));
+    }
+
+    #[test]
+    fn emptiness() {
+        let a = contains_label("i");
+        assert!(!a.is_empty());
+        let mut dead = contains_label("i");
+        dead.accepting.clear();
+        assert!(dead.is_empty());
+    }
+
+    #[test]
+    fn run_sets_expose_per_node_states() {
+        let a = contains_label("i");
+        let doc = lixto_html::parse("<p><i>x</i><b>y</b></p>");
+        let sets = a.run_sets(&doc, &|_| 0);
+        let i_node = doc.node_ids().find(|&n| doc.label_str(n) == "i").unwrap();
+        let b_node = doc.node_ids().find(|&n| doc.label_str(n) == "b").unwrap();
+        assert!(sets.contains(i_node.index(), 1));
+        // b's subtree (b and text) contains no i; b's *binary* subtree does
+        // not include the i element (i is to its left), so state 1 is not
+        // reachable at b.
+        assert!(!sets.contains(b_node.index(), 1));
+    }
+}

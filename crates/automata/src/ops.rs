@@ -1,0 +1,233 @@
+//! Automata operations: products, projection, and a closure-driven builder
+//! for small hand-specified automata.
+
+use std::collections::HashMap;
+
+use crate::dta::Dta;
+use crate::nta::{Nta, SymbolClass};
+
+/// Build a total DTA by enumerating every transition key and asking `f`
+/// for the successor. `f` receives (left state, right state, symbol class,
+/// bits).
+pub fn build_dta(
+    n_states: u32,
+    labels: Vec<String>,
+    n_bits: u32,
+    bot: u32,
+    accepting: Vec<bool>,
+    f: impl Fn(u32, u32, SymbolClass, u32) -> u32,
+) -> Dta {
+    assert_eq!(accepting.len(), n_states as usize);
+    let classes: Vec<SymbolClass> = (0..labels.len() as u16)
+        .map(SymbolClass::Known)
+        .chain(std::iter::once(SymbolClass::Other))
+        .collect();
+    let mut delta = HashMap::new();
+    for l in 0..n_states {
+        for r in 0..n_states {
+            for &sym in &classes {
+                for bits in 0..(1u32 << n_bits) {
+                    let q = f(l, r, sym, bits);
+                    debug_assert!(q < n_states);
+                    delta.insert((l, r, sym, bits), q);
+                }
+            }
+        }
+    }
+    Dta {
+        n_states,
+        labels,
+        n_bits,
+        delta,
+        bot,
+        accepting,
+    }
+}
+
+/// Product of two total DTAs over the **same** labels and bit count;
+/// acceptance decided by `accept` on the component acceptances.
+pub fn product(a: &Dta, b: &Dta, accept: impl Fn(bool, bool) -> bool) -> Dta {
+    assert_eq!(a.labels, b.labels, "align labels before taking products");
+    assert_eq!(a.n_bits, b.n_bits);
+    let n = a.n_states * b.n_states;
+    let pair = |x: u32, y: u32| x * b.n_states + y;
+    let mut delta = HashMap::new();
+    for ((la, ra, sym, bits), &qa) in &a.delta {
+        for xb in 0..b.n_states {
+            for yb in 0..b.n_states {
+                let qb = b.delta[&(xb, yb, *sym, *bits)];
+                delta.insert((pair(*la, xb), pair(*ra, yb), *sym, *bits), pair(qa, qb));
+            }
+        }
+    }
+    let mut accepting = vec![false; n as usize];
+    for x in 0..a.n_states {
+        for y in 0..b.n_states {
+            accepting[pair(x, y) as usize] =
+                accept(a.accepting[x as usize], b.accepting[y as usize]);
+        }
+    }
+    Dta {
+        n_states: n,
+        labels: a.labels.clone(),
+        n_bits: a.n_bits,
+        delta,
+        bot: pair(a.bot, b.bot),
+        accepting,
+    }
+}
+
+/// Rewrite a DTA so its label vocabulary becomes `labels` (a superset of
+/// the current one): transitions for newly distinguished labels copy the
+/// `Other` behaviour.
+pub fn widen_labels(a: &Dta, labels: &[String]) -> Dta {
+    for l in &a.labels {
+        assert!(labels.contains(l), "widen_labels only adds labels");
+    }
+    let remap = |sym: SymbolClass| -> SymbolClass {
+        match sym {
+            SymbolClass::Known(i) => {
+                let name = &a.labels[i as usize];
+                let j = labels.iter().position(|l| l == name).unwrap();
+                SymbolClass::Known(j as u16)
+            }
+            SymbolClass::Other => SymbolClass::Other,
+        }
+    };
+    let mut delta = HashMap::new();
+    for ((l, r, sym, bits), &q) in &a.delta {
+        match sym {
+            SymbolClass::Known(_) => {
+                delta.insert((*l, *r, remap(*sym), *bits), q);
+            }
+            SymbolClass::Other => {
+                // Other keeps its entry and additionally covers every label
+                // in the widened vocabulary that `a` did not know.
+                delta.insert((*l, *r, SymbolClass::Other, *bits), q);
+                for (j, name) in labels.iter().enumerate() {
+                    if !a.labels.contains(name) {
+                        delta.insert((*l, *r, SymbolClass::Known(j as u16), *bits), q);
+                    }
+                }
+            }
+        }
+    }
+    Dta {
+        n_states: a.n_states,
+        labels: labels.to_vec(),
+        n_bits: a.n_bits,
+        delta,
+        bot: a.bot,
+        accepting: a.accepting.clone(),
+    }
+}
+
+/// Existential projection of bit `k`: the resulting NTA ignores input bit
+/// `k` (callers feed 0) and may behave as if it were either value.
+pub fn project_bit(a: &Dta, k: u32) -> Nta {
+    assert!(k < a.n_bits);
+    let mask = 1u32 << k;
+    let mut nta = Nta {
+        n_states: a.n_states,
+        labels: a.labels.clone(),
+        n_bits: a.n_bits,
+        transitions: HashMap::new(),
+        bot: a.bot,
+        accepting: a
+            .accepting
+            .iter()
+            .enumerate()
+            .filter(|(_, &acc)| acc)
+            .map(|(i, _)| i as u32)
+            .collect(),
+    };
+    for ((l, r, sym, bits), &q) in &a.delta {
+        let key_bits = bits & !mask;
+        nta.add_transition(*l, *r, *sym, key_bits, q);
+    }
+    nta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dta::determinize;
+    use crate::nta::contains_label;
+
+    fn contains_dta(label: &str) -> Dta {
+        determinize(&contains_label(label))
+    }
+
+    #[test]
+    fn product_and_or() {
+        let labels = vec!["i".to_string(), "b".to_string()];
+        let a = widen_labels(&contains_dta("i"), &labels);
+        let b = widen_labels(&contains_dta("b"), &labels);
+        let both = product(&a, &b, |x, y| x && y);
+        let either = product(&a, &b, |x, y| x || y);
+        let cases = [
+            ("<p><i>x</i><b>y</b></p>", true, true),
+            ("<p><i>x</i></p>", false, true),
+            ("<p><b>x</b></p>", false, true),
+            ("<p><u>x</u></p>", false, false),
+        ];
+        for (html, want_both, want_either) in cases {
+            let doc = lixto_html::parse(html);
+            assert_eq!(both.accepts(&doc), want_both, "{html}");
+            assert_eq!(either.accepts(&doc), want_either, "{html}");
+        }
+    }
+
+    #[test]
+    fn widen_preserves_language() {
+        let a = contains_dta("i");
+        let w = widen_labels(&a, &["i".to_string(), "table".to_string()]);
+        for html in ["<p><i>x</i></p>", "<table><td>y</td></table>", "<p/>"] {
+            let doc = lixto_html::parse(html);
+            assert_eq!(a.accepts(&doc), w.accepts(&doc), "{html}");
+        }
+    }
+
+    #[test]
+    fn build_dta_is_total() {
+        // Trivial one-state automaton accepting everything.
+        let d = build_dta(1, vec![], 0, 0, vec![true], |_, _, _, _| 0);
+        assert!(d.accepts(&lixto_html::parse("<p>x</p>")));
+    }
+
+    #[test]
+    fn projection_guesses_bit() {
+        // Automaton over one bit accepting iff some node has the bit AND
+        // label "i" — after projection, equivalent to contains("i").
+        let labels = vec!["i".to_string()];
+        let marked_i = build_dta(
+            3,
+            labels,
+            1,
+            0,
+            vec![false, true, false],
+            |l, r, sym, bits| {
+                let seen = u32::from(l == 1) + u32::from(r == 1);
+                if l == 2 || r == 2 || seen > 1 {
+                    return 2;
+                }
+                if bits & 1 != 0 {
+                    if sym == SymbolClass::Known(0) && seen == 0 {
+                        1
+                    } else {
+                        2
+                    }
+                } else if seen == 1 {
+                    1
+                } else {
+                    0
+                }
+            },
+        );
+        let projected = determinize(&project_bit(&marked_i, 0));
+        let with_i = lixto_html::parse("<p><i>x</i></p>");
+        let without = lixto_html::parse("<p><b>x</b></p>");
+        assert!(projected.accepts(&with_i));
+        assert!(!projected.accepts(&without));
+    }
+}

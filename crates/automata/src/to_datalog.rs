@@ -1,0 +1,239 @@
+//! Deterministic tree automata compiled into datalog — the automaton side
+//! of the Theorem 2.5 construction (MSO-definable unary queries are
+//! monadic-datalog-definable).
+//!
+//! For a Boolean DTA over the binary encoding, the (unique) run is a
+//! bottom-up labeling of nodes with states, and that labeling is exactly a
+//! least fixpoint over the τ_ur relations:
+//!
+//! ```text
+//! st_q(x) ← st_a(l), st_b(r), firstchild(x, l), nextsibling(x, r), label-class(x)
+//!            for every δ(a, b, σ) = q, with leaf(x) standing in for a
+//!            missing left child and "no next sibling" for a missing right
+//!            child.
+//! ```
+//!
+//! A node-selecting query is obtained by designating *selecting states*;
+//! acceptance at the root gates the selection globally. The label-class
+//! `Other` ("none of the automaton's known labels") needs stratified
+//! negation, so the emitted program is evaluated with the general
+//! [`seminaive`](lixto_datalog::seminaive) engine.
+
+use lixto_datalog::ast::{Atom, Literal, Program, Rule, Term};
+use lixto_datalog::{seminaive, structure::tree_db, EvalError};
+use lixto_tree::{Document, NodeId};
+
+use crate::dta::Dta;
+use crate::nta::SymbolClass;
+
+/// Names used by the generated program.
+fn state_pred(q: u32) -> String {
+    format!("st_{q}")
+}
+
+/// Translate `dta` (Boolean: `n_bits == 0`) into a datalog program whose
+/// predicate `st_q(x)` holds iff the unique run assigns state `q` to `x`,
+/// and whose predicate `selected(x)` holds iff `x`'s state is in
+/// `selecting` *and* the automaton accepts the document.
+pub fn dta_to_datalog(dta: &Dta, selecting: &[u32]) -> Program {
+    assert_eq!(dta.n_bits, 0, "only Boolean automata translate to datalog");
+    let var = |n: &str| Term::Var(n.to_string());
+    let mut rules: Vec<Rule> = Vec::new();
+
+    // Label classes. known_i(x) ← label(x, "name"); other(x) ← not any.
+    for (i, name) in dta.labels.iter().enumerate() {
+        rules.push(Rule {
+            head: Atom::new(format!("sym_{i}"), vec![var("X")]),
+            body: vec![Literal::pos(Atom::new(
+                "label",
+                vec![var("X"), Term::Const(name.clone())],
+            ))],
+        });
+    }
+    // known_any(x) ← sym_i(x);  sym_other(x) ← node(x), not known_any(x).
+    // node(x) is label(x, L) with a variable — every node has a label.
+    rules.push(Rule {
+        head: Atom::new("node", vec![var("X")]),
+        body: vec![Literal::pos(Atom::new("label", vec![var("X"), var("L")]))],
+    });
+    if dta.labels.is_empty() {
+        rules.push(Rule {
+            head: Atom::new("sym_other", vec![var("X")]),
+            body: vec![Literal::pos(Atom::new("node", vec![var("X")]))],
+        });
+    } else {
+        for i in 0..dta.labels.len() {
+            rules.push(Rule {
+                head: Atom::new("known_any", vec![var("X")]),
+                body: vec![Literal::pos(Atom::new(format!("sym_{i}"), vec![var("X")]))],
+            });
+        }
+        rules.push(Rule {
+            head: Atom::new("sym_other", vec![var("X")]),
+            body: vec![
+                Literal::pos(Atom::new("node", vec![var("X")])),
+                Literal::neg(Atom::new("known_any", vec![var("X")])),
+            ],
+        });
+    }
+    // norightsib(x): x has no next sibling (lastsibling or root).
+    rules.push(Rule {
+        head: Atom::new("norightsib", vec![var("X")]),
+        body: vec![Literal::pos(Atom::new("lastsibling", vec![var("X")]))],
+    });
+    rules.push(Rule {
+        head: Atom::new("norightsib", vec![var("X")]),
+        body: vec![Literal::pos(Atom::new("root", vec![var("X")]))],
+    });
+
+    let sym_atom = |sym: SymbolClass, v: &str| -> Atom {
+        match sym {
+            SymbolClass::Known(i) => Atom::new(format!("sym_{i}"), vec![var(v)]),
+            SymbolClass::Other => Atom::new("sym_other", vec![var(v)]),
+        }
+    };
+
+    // Transition rules: four presence/absence cases per (δ entry).
+    for ((a, b, sym, _bits), &q) in &dta.delta {
+        let head = Atom::new(state_pred(q), vec![var("X")]);
+        let both_bot = *a == dta.bot && *b == dta.bot;
+        let left_bot = *a == dta.bot;
+        let right_bot = *b == dta.bot;
+        // Case LR: both children present.
+        rules.push(Rule {
+            head: head.clone(),
+            body: vec![
+                Literal::pos(sym_atom(*sym, "X")),
+                Literal::pos(Atom::new("firstchild", vec![var("X"), var("L")])),
+                Literal::pos(Atom::new(state_pred(*a), vec![var("L")])),
+                Literal::pos(Atom::new("nextsibling", vec![var("X"), var("R")])),
+                Literal::pos(Atom::new(state_pred(*b), vec![var("R")])),
+            ],
+        });
+        // Case L-: left present, right missing.
+        if right_bot {
+            rules.push(Rule {
+                head: head.clone(),
+                body: vec![
+                    Literal::pos(sym_atom(*sym, "X")),
+                    Literal::pos(Atom::new("firstchild", vec![var("X"), var("L")])),
+                    Literal::pos(Atom::new(state_pred(*a), vec![var("L")])),
+                    Literal::pos(Atom::new("norightsib", vec![var("X")])),
+                ],
+            });
+        }
+        // Case -R: left missing, right present.
+        if left_bot {
+            rules.push(Rule {
+                head: head.clone(),
+                body: vec![
+                    Literal::pos(sym_atom(*sym, "X")),
+                    Literal::pos(Atom::new("leaf", vec![var("X")])),
+                    Literal::pos(Atom::new("nextsibling", vec![var("X"), var("R")])),
+                    Literal::pos(Atom::new(state_pred(*b), vec![var("R")])),
+                ],
+            });
+        }
+        // Case --: both missing.
+        if both_bot {
+            rules.push(Rule {
+                head: head.clone(),
+                body: vec![
+                    Literal::pos(sym_atom(*sym, "X")),
+                    Literal::pos(Atom::new("leaf", vec![var("X")])),
+                    Literal::pos(Atom::new("norightsib", vec![var("X")])),
+                ],
+            });
+        }
+    }
+
+    // Acceptance and selection.
+    for (q, &acc) in dta.accepting.iter().enumerate() {
+        if acc {
+            rules.push(Rule {
+                head: Atom::new("accepted", vec![var("X")]),
+                body: vec![
+                    Literal::pos(Atom::new(state_pred(q as u32), vec![var("X")])),
+                    Literal::pos(Atom::new("root", vec![var("X")])),
+                ],
+            });
+        }
+    }
+    for &q in selecting {
+        rules.push(Rule {
+            head: Atom::new("selected", vec![var("X")]),
+            body: vec![
+                Literal::pos(Atom::new(state_pred(q), vec![var("X")])),
+                Literal::pos(Atom::new("accepted", vec![var("R")])),
+            ],
+        });
+    }
+    Program::new(rules)
+}
+
+/// Run the generated program on a document and return the selected nodes
+/// in document order (convenience wrapper around the semi-naive engine).
+pub fn eval_selected(program: &Program, doc: &Document) -> Result<Vec<NodeId>, EvalError> {
+    let db = tree_db(doc);
+    let out = seminaive::eval(&db, program)?;
+    let mut nodes: Vec<NodeId> = out
+        .tuples("selected")
+        .map(|t| NodeId::from_index(t[0] as usize))
+        .collect();
+    nodes.sort_by_key(|&n| doc.order().pre(n));
+    Ok(nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dta::determinize;
+    use crate::nta::contains_label;
+
+    #[test]
+    fn datalog_run_matches_automaton_run() {
+        let dta = determinize(&contains_label("i"));
+        let program = dta_to_datalog(&dta, &[]);
+        for html in [
+            "<p><i>x</i><b>y</b></p>",
+            "<div><div><i>deep</i></div></div>",
+            "<p>no italics</p>",
+        ] {
+            let doc = lixto_html::parse(html);
+            let run = dta.run(&doc, &|_| 0);
+            let db = tree_db(&doc);
+            let out = seminaive::eval(&db, &program).unwrap();
+            for n in doc.node_ids() {
+                let q = run[n.index()];
+                assert!(
+                    out.contains(&state_pred(q), &[n.index() as u32]),
+                    "node {n} should be in state {q} ({html})"
+                );
+                // and in no other state (the run is deterministic)
+                for other in 0..dta.n_states {
+                    if other != q {
+                        assert!(
+                            !out.contains(&state_pred(other), &[n.index() as u32]),
+                            "node {n} wrongly also in state {other}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn selection_gated_on_acceptance() {
+        let dta = determinize(&contains_label("i"));
+        // Select nodes in any state, but only when the doc contains an i.
+        let all_states: Vec<u32> = (0..dta.n_states).collect();
+        let program = dta_to_datalog(&dta, &all_states);
+        let with_i = lixto_html::parse("<p><i>x</i></p>");
+        let without = lixto_html::parse("<p><b>x</b></p>");
+        assert_eq!(
+            eval_selected(&program, &with_i).unwrap().len(),
+            with_i.len()
+        );
+        assert!(eval_selected(&program, &without).unwrap().is_empty());
+    }
+}

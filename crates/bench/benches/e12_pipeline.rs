@@ -1,0 +1,52 @@
+//! E12: the Figure 7 books pipeline — end-to-end tick latency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lixto_transform::*;
+use lixto_xml::Element;
+
+fn books_pipe() -> InfoPipe {
+    let mut pipe = InfoPipe::new();
+    let a = pipe.source(
+        Component::Wrapper(WrapperComponent {
+            program: lixto_elog::parse_program(lixto_workloads::books::SHOP_A_WRAPPER).unwrap(),
+            design: lixto_core::XmlDesign::new().root("shopA"),
+        }),
+        Trigger::EveryTick,
+    );
+    let b = pipe.source(
+        Component::Wrapper(WrapperComponent {
+            program: lixto_elog::parse_program(lixto_workloads::books::SHOP_B_WRAPPER).unwrap(),
+            design: lixto_core::XmlDesign::new().root("shopB"),
+        }),
+        Trigger::EveryTick,
+    );
+    let m = pipe.stage(Component::Integrate { root: "books".into() }, vec![a, b]);
+    let f = pipe.stage(
+        Component::Transform(Box::new(|inp: &[Element]| Some(inp[0].clone()))),
+        vec![m],
+    );
+    pipe.stage(
+        Component::Deliver { channel: "portal".into(), only_on_change: false },
+        vec![f],
+    );
+    pipe
+}
+
+fn bench(c: &mut Criterion) {
+    let pipe = books_pipe();
+    let mut g = c.benchmark_group("e12_pipeline_tick");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for per_shop in [8usize, 32, 128] {
+        g.bench_with_input(BenchmarkId::from_parameter(per_shop), &per_shop, |b, &n| {
+            b.iter(|| {
+                run_ticks(&pipe, 1, &|_| Box::new(lixto_workloads::books::site(5, n).0)).len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! E1: monadic datalog over trees — O(|P|·|dom|) scaling (Theorem 2.4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn doc_of(n: usize) -> lixto_tree::Document {
+    let row = "<tr><td><i>x</i></td></tr>";
+    lixto_html::parse(&format!("<table>{}</table>", row.repeat(n / 4)))
+}
+
+fn bench(c: &mut Criterion) {
+    let program = lixto_datalog::parse_program(
+        r#"italic(X) :- label(X, "i").
+           italic(X) :- italic(X0), firstchild(X0, X).
+           italic(X) :- italic(X0), nextsibling(X0, X)."#,
+    )
+    .unwrap();
+    let mut g = c.benchmark_group("e1_monadic_datalog_vs_dom");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [1_000usize, 4_000, 16_000, 64_000] {
+        let doc = doc_of(n);
+        g.throughput(Throughput::Elements(doc.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(doc.len()), &doc, |b, doc| {
+            b.iter(|| {
+                lixto_datalog::MonadicEvaluator::new(doc)
+                    .eval(&program)
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

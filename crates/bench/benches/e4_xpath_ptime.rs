@@ -1,0 +1,25 @@
+//! E4: naive (2002-style, exponential) vs polynomial XPath evaluation
+//! (Theorem 4.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let doc = lixto_html::parse(&format!("<div>{}</div>", "<a>x</a>".repeat(3)));
+    let mut g = c.benchmark_group("e4_xpath");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for depth in [4usize, 6, 8] {
+        let q = lixto_xpath::parse(&lixto_xpath::naive::pathological_query(depth)).unwrap();
+        g.bench_with_input(BenchmarkId::new("naive", depth), &q, |b, q| {
+            b.iter(|| lixto_xpath::naive::eval_naive(&doc, q).len())
+        });
+        g.bench_with_input(BenchmarkId::new("poly", depth), &q, |b, q| {
+            b.iter(|| lixto_xpath::cvt::eval(&doc, q).unwrap().len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

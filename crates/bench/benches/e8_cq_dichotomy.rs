@@ -1,0 +1,34 @@
+//! E8: the CQ-over-trees dichotomy (Figure 6 / [18]).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lixto_cq::{generate, generic, yannakakis, CqAxis};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_cq_dichotomy");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for k in [3usize, 4, 5] {
+        let (doc, cq) = generate::hard_instance(k, 5);
+        g.bench_with_input(BenchmarkId::new("np_hard_gadget", k), &(), |b, _| {
+            b.iter(|| generic::eval_boolean(&doc, &cq))
+        });
+        let mut rng = StdRng::seed_from_u64(k as u64);
+        let doc2 = generate::random_tree(&mut rng, doc.len(), &["s", "d", "t"]);
+        let cq2 = generate::random_acyclic_cq(
+            &mut rng,
+            1 + 2 * k,
+            &[CqAxis::Child, CqAxis::NextSiblingPlus],
+            &["s", "d", "t"],
+        );
+        g.bench_with_input(BenchmarkId::new("tractable_acyclic", k), &(), |b, _| {
+            b.iter(|| yannakakis::eval_boolean(&doc2, &cq2).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

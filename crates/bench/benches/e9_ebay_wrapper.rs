@@ -1,0 +1,22 @@
+//! E9: the Figure 5 eBay wrapper — extraction throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench(c: &mut Criterion) {
+    let program = lixto_elog::parse_program(lixto_elog::EBAY_PROGRAM).unwrap();
+    let mut g = c.benchmark_group("e9_ebay_wrapper");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [10usize, 50, 250] {
+        let (web, _) = lixto_workloads::ebay::site(7, n);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &web, |b, web| {
+            b.iter(|| lixto_elog::Extractor::new(program.clone(), web).run().base.len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! # lixto-bench
+//!
+//! Benchmark harness: regenerates every figure and testable claim of the
+//! paper (see DESIGN.md §4 for the experiment index, EXPERIMENTS.md for
+//! recorded results). Criterion benches live in `benches/`; the
+//! `experiments` binary prints the paper-shaped tables for E1…E14.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+/// Median wall time of `f` over `reps` runs, in microseconds.
+pub fn time_us(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// A right-aligned table printer for the experiment reports.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n### {title}");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (i, c) in r.iter().enumerate() {
+            widths[i] = widths[i].max(c.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::from("|");
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!(" {:>w$} |", c, w = widths[i]));
+        }
+        s
+    };
+    println!(
+        "{}",
+        line(&header.iter().map(|h| h.to_string()).collect::<Vec<_>>())
+    );
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    println!("{}", line(&sep));
+    for r in rows {
+        println!("{}", line(r));
+    }
+}

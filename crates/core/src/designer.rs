@@ -1,0 +1,76 @@
+//! The XML Designer (Figure 2): "the user chooses how to map extracted
+//! information — stored in the pattern instance base — to XML. This
+//! process includes the tasks of declaring some intensional predicates as
+//! auxiliary — tree nodes matching these do not necessarily propagate to
+//! the output XML tree — and of specifying which labels nodes receive
+//! based on the patterns matched."
+
+use std::collections::HashMap;
+
+/// Output mapping for an Elog program's patterns.
+#[derive(Debug, Clone, Default)]
+pub struct XmlDesign {
+    auxiliary: Vec<String>,
+    labels: HashMap<String, String>,
+    /// Name of the XML document element.
+    pub root_label: String,
+}
+
+impl XmlDesign {
+    /// Default design: every pattern is emitted under its own name — "the
+    /// pattern name can act as a default node label".
+    pub fn new() -> XmlDesign {
+        XmlDesign {
+            auxiliary: Vec::new(),
+            labels: HashMap::new(),
+            root_label: "result".to_string(),
+        }
+    }
+
+    /// Declare a pattern auxiliary (its instances are skipped; their
+    /// children attach to the nearest non-auxiliary ancestor instance).
+    pub fn auxiliary(mut self, pattern: &str) -> Self {
+        self.auxiliary.push(pattern.to_string());
+        self
+    }
+
+    /// Give a pattern a custom XML label.
+    pub fn label(mut self, pattern: &str, label: &str) -> Self {
+        self.labels.insert(pattern.to_string(), label.to_string());
+        self
+    }
+
+    /// Set the document element name.
+    pub fn root(mut self, label: &str) -> Self {
+        self.root_label = label.to_string();
+        self
+    }
+
+    /// Is the pattern auxiliary?
+    pub fn is_auxiliary(&self, pattern: &str) -> bool {
+        self.auxiliary.iter().any(|p| p == pattern)
+    }
+
+    /// The output label for a pattern.
+    pub fn label_of<'a>(&'a self, pattern: &'a str) -> &'a str {
+        self.labels.get(pattern).map(String::as_str).unwrap_or(pattern)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_and_overrides() {
+        let d = XmlDesign::new()
+            .auxiliary("tableseq")
+            .label("itemdes", "description")
+            .root("auctions");
+        assert!(d.is_auxiliary("tableseq"));
+        assert!(!d.is_auxiliary("record"));
+        assert_eq!(d.label_of("itemdes"), "description");
+        assert_eq!(d.label_of("record"), "record");
+        assert_eq!(d.root_label, "auctions");
+    }
+}

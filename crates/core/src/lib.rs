@@ -1,0 +1,25 @@
+//! # lixto-core
+//!
+//! The Lixto Visual Wrapper toolkit — the Figure 2 architecture of the
+//! PODS 2004 paper:
+//!
+//! * the **Interactive Pattern Builder** ([`builder`]) — a faithful
+//!   simulation of the visual specification procedure of Section 3.2:
+//!   select a parent pattern, "click" a region of an example document (a
+//!   node), let the system generalize the path, and refine the filter with
+//!   conditions until false positives disappear;
+//! * the **Extractor** — re-exported from `lixto-elog`;
+//! * the **XML Designer** ([`designer`]) — declare patterns auxiliary and
+//!   choose output labels;
+//! * the **XML Transformer** ([`transformer`]) — turn the pattern
+//!   instance base into an XML document along its hierarchical order.
+
+#![forbid(unsafe_code)]
+
+pub mod builder;
+pub mod designer;
+pub mod transformer;
+
+pub use builder::PatternBuilder;
+pub use designer::XmlDesign;
+pub use transformer::to_xml;

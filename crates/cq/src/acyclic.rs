@@ -1,0 +1,97 @@
+//! Acyclicity of conjunctive queries.
+//!
+//! For binary atoms, GYO-reducibility coincides with the query multigraph
+//! being a forest: parallel atoms between the same variable pair and
+//! undirected cycles are exactly the cyclic cases.
+
+use crate::model::Cq;
+
+/// Is the query acyclic (its atom multigraph a forest)?
+///
+/// Self-loop atoms (`axis(x, x)`) count as cycles.
+pub fn is_acyclic(cq: &Cq) -> bool {
+    // Union-find; a cycle appears when an edge joins two already-connected
+    // variables.
+    let mut parent: Vec<usize> = (0..cq.n_vars).collect();
+    fn find(p: &mut Vec<usize>, mut x: usize) -> usize {
+        while p[x] != x {
+            p[x] = p[p[x]];
+            x = p[x];
+        }
+        x
+    }
+    for a in &cq.atoms {
+        if a.x == a.y {
+            return false;
+        }
+        let (rx, ry) = (find(&mut parent, a.x), find(&mut parent, a.y));
+        if rx == ry {
+            return false;
+        }
+        parent[rx] = ry;
+    }
+    true
+}
+
+/// Connected components of the query's variable graph (variables with no
+/// atoms form their own components).
+pub fn components(cq: &Cq) -> Vec<usize> {
+    let mut parent: Vec<usize> = (0..cq.n_vars).collect();
+    fn find(p: &mut Vec<usize>, mut x: usize) -> usize {
+        while p[x] != x {
+            p[x] = p[p[x]];
+            x = p[x];
+        }
+        x
+    }
+    for a in &cq.atoms {
+        let (rx, ry) = (find(&mut parent, a.x), find(&mut parent, a.y));
+        if rx != ry {
+            parent[rx] = ry;
+        }
+    }
+    (0..cq.n_vars).map(|v| find(&mut parent, v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{CqAtom, CqAxis};
+
+    fn atom(x: usize, y: usize) -> CqAtom {
+        CqAtom {
+            axis: CqAxis::Child,
+            x,
+            y,
+        }
+    }
+
+    #[test]
+    fn chains_and_stars_are_acyclic() {
+        let q = Cq::boolean(4, vec![atom(0, 1), atom(1, 2), atom(1, 3)], vec![]);
+        assert!(is_acyclic(&q));
+    }
+
+    #[test]
+    fn cycles_and_multiedges_are_cyclic() {
+        let q = Cq::boolean(3, vec![atom(0, 1), atom(1, 2), atom(2, 0)], vec![]);
+        assert!(!is_acyclic(&q));
+        let q = Cq::boolean(2, vec![atom(0, 1), atom(1, 0)], vec![]);
+        assert!(!is_acyclic(&q));
+        let q = Cq::boolean(2, vec![atom(0, 1), atom(0, 1)], vec![]);
+        assert!(!is_acyclic(&q));
+        let q = Cq::boolean(1, vec![atom(0, 0)], vec![]);
+        assert!(!is_acyclic(&q));
+    }
+
+    #[test]
+    fn component_partition() {
+        let q = Cq::boolean(5, vec![atom(0, 1), atom(2, 3)], vec![]);
+        let c = components(&q);
+        assert_eq!(c[0], c[1]);
+        assert_eq!(c[2], c[3]);
+        assert_ne!(c[0], c[2]);
+        assert_ne!(c[4], c[0]);
+        assert_ne!(c[4], c[2]);
+    }
+}

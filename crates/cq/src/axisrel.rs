@@ -1,0 +1,252 @@
+//! Axis relation membership tests and set images.
+//!
+//! Pair tests are O(1) via the pre/post interval numbering; set images
+//! (needed by the semijoin passes of [`yannakakis`](crate::yannakakis))
+//! are O(|doc|) document sweeps regardless of the input set size.
+
+use lixto_tree::{Document, NodeId};
+
+use crate::model::CqAxis;
+
+/// Does `axis(x, y)` hold?
+#[inline]
+pub fn holds(doc: &Document, axis: CqAxis, x: NodeId, y: NodeId) -> bool {
+    match axis {
+        CqAxis::Child => doc.parent(y) == Some(x),
+        CqAxis::ChildPlus => doc.is_ancestor(x, y),
+        CqAxis::ChildStar => doc.is_ancestor_or_self(x, y),
+        CqAxis::NextSibling => doc.next_sibling(x) == Some(y),
+        CqAxis::NextSiblingPlus => {
+            x != y && doc.parent(x).is_some() && doc.parent(x) == doc.parent(y)
+                && doc.doc_before(x, y)
+        }
+        CqAxis::NextSiblingStar => {
+            x == y
+                || (doc.parent(x).is_some() && doc.parent(x) == doc.parent(y)
+                    && doc.doc_before(x, y))
+        }
+        CqAxis::Following => doc.is_following(x, y),
+    }
+}
+
+/// Forward image `{y : ∃x∈S axis(x, y)}`, O(|doc|).
+pub fn image(doc: &Document, s: &[bool], axis: CqAxis) -> Vec<bool> {
+    let n = doc.len();
+    let mut out = vec![false; n];
+    match axis {
+        CqAxis::Child => {
+            for i in 0..n {
+                let node = NodeId::from_index(i);
+                if let Some(p) = doc.parent(node) {
+                    if s[p.index()] {
+                        out[i] = true;
+                    }
+                }
+            }
+        }
+        CqAxis::ChildPlus | CqAxis::ChildStar => {
+            // Preorder with subtree-interval stack.
+            let mut stack: Vec<usize> = Vec::new(); // subtree ends
+            for &node in doc.order().preorder() {
+                let pre = doc.order().pre(node) as usize;
+                while let Some(&end) = stack.last() {
+                    if pre >= end {
+                        stack.pop();
+                    } else {
+                        break;
+                    }
+                }
+                if !stack.is_empty() || (axis == CqAxis::ChildStar && s[node.index()]) {
+                    out[node.index()] = true;
+                }
+                if s[node.index()] {
+                    stack.push(doc.order().subtree_range(node).1);
+                }
+            }
+        }
+        CqAxis::NextSibling => {
+            for i in 0..n {
+                let node = NodeId::from_index(i);
+                if s[i] {
+                    if let Some(ns) = doc.next_sibling(node) {
+                        out[ns.index()] = true;
+                    }
+                }
+            }
+        }
+        CqAxis::NextSiblingPlus | CqAxis::NextSiblingStar => {
+            for &node in doc.order().preorder() {
+                if let Some(prev) = doc.prev_sibling(node) {
+                    if s[prev.index()] || out[prev.index()] {
+                        out[node.index()] = true;
+                    }
+                }
+            }
+            if axis == CqAxis::NextSiblingStar {
+                for i in 0..n {
+                    out[i] = out[i] || s[i];
+                }
+            }
+        }
+        CqAxis::Following => {
+            let mut min_end = usize::MAX;
+            for i in 0..n {
+                if s[i] {
+                    min_end = min_end.min(doc.order().subtree_range(NodeId::from_index(i)).1);
+                }
+            }
+            for i in 0..n {
+                let node = NodeId::from_index(i);
+                if (doc.order().pre(node) as usize) >= min_end {
+                    out[i] = true;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Inverse image `{x : ∃y∈S axis(x, y)}`, O(|doc|).
+pub fn preimage(doc: &Document, s: &[bool], axis: CqAxis) -> Vec<bool> {
+    let n = doc.len();
+    let mut out = vec![false; n];
+    match axis {
+        CqAxis::Child => {
+            for i in 0..n {
+                let node = NodeId::from_index(i);
+                if s[i] {
+                    if let Some(p) = doc.parent(node) {
+                        out[p.index()] = true;
+                    }
+                }
+            }
+        }
+        CqAxis::ChildPlus | CqAxis::ChildStar => {
+            // x is a (proper) ancestor of some y∈S: propagate subtree flags
+            // upward in reverse preorder.
+            let mut contains = vec![false; n];
+            for &node in doc.order().preorder().iter().rev() {
+                let mut c = s[node.index()];
+                for ch in doc.children(node) {
+                    if contains[ch.index()] {
+                        out[node.index()] = true;
+                        c = true;
+                    }
+                }
+                if axis == CqAxis::ChildStar && s[node.index()] {
+                    out[node.index()] = true;
+                }
+                contains[node.index()] = c;
+            }
+        }
+        CqAxis::NextSibling => {
+            for i in 0..n {
+                let node = NodeId::from_index(i);
+                if s[i] {
+                    if let Some(ps) = doc.prev_sibling(node) {
+                        out[ps.index()] = true;
+                    }
+                }
+            }
+        }
+        CqAxis::NextSiblingPlus | CqAxis::NextSiblingStar => {
+            for &node in doc.order().preorder().iter().rev() {
+                if let Some(next) = doc.next_sibling(node) {
+                    if s[next.index()] || out[next.index()] {
+                        out[node.index()] = true;
+                    }
+                }
+            }
+            if axis == CqAxis::NextSiblingStar {
+                for i in 0..n {
+                    out[i] = out[i] || s[i];
+                }
+            }
+        }
+        CqAxis::Following => {
+            // x with following(x, y), y∈S ⇔ subtree_end(x) <= max pre(S).
+            let mut max_pre = None;
+            for i in 0..n {
+                if s[i] {
+                    let p = doc.order().pre(NodeId::from_index(i)) as usize;
+                    max_pre = Some(max_pre.map_or(p, |m: usize| m.max(p)));
+                }
+            }
+            if let Some(mp) = max_pre {
+                for i in 0..n {
+                    if doc.order().subtree_range(NodeId::from_index(i)).1 <= mp {
+                        out[i] = true;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lixto_tree::build::from_sexp;
+
+    fn all_axes() -> [CqAxis; 7] {
+        [
+            CqAxis::Child,
+            CqAxis::ChildPlus,
+            CqAxis::ChildStar,
+            CqAxis::NextSibling,
+            CqAxis::NextSiblingPlus,
+            CqAxis::NextSiblingStar,
+            CqAxis::Following,
+        ]
+    }
+
+    #[test]
+    fn images_agree_with_pairwise_holds() {
+        let doc = from_sexp("(a (b (c) (d) (e)) (f (g)) (h))").unwrap();
+        let n = doc.len();
+        for axis in all_axes() {
+            for seed in 0..n {
+                let mut s = vec![false; n];
+                s[seed] = true;
+                let img = image(&doc, &s, axis);
+                let pre = preimage(&doc, &s, axis);
+                let x = NodeId::from_index(seed);
+                for j in 0..n {
+                    let y = NodeId::from_index(j);
+                    assert_eq!(
+                        img[j],
+                        holds(&doc, axis, x, y),
+                        "image {} x={seed} y={j}",
+                        axis.name()
+                    );
+                    assert_eq!(
+                        pre[j],
+                        holds(&doc, axis, y, x),
+                        "preimage {} x={j} y={seed}",
+                        axis.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn images_union_over_sets() {
+        // image(S) must equal union of image({x}) for x in S.
+        let doc = from_sexp("(a (b (c)) (d (e) (f)))").unwrap();
+        let n = doc.len();
+        for axis in all_axes() {
+            let mut s = vec![false; n];
+            s[1] = true;
+            s[3] = true;
+            let img = image(&doc, &s, axis);
+            for j in 0..n {
+                let y = NodeId::from_index(j);
+                let expect = holds(&doc, axis, NodeId::from_index(1), y)
+                    || holds(&doc, axis, NodeId::from_index(3), y);
+                assert_eq!(img[j], expect, "{} j={j}", axis.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Random trees, random queries, and the E8 hardness gadgets.
+
+use rand::Rng;
+
+use lixto_tree::{Document, TreeBuilder};
+
+use crate::model::{Cq, CqAtom, CqAxis, LabelAtom};
+
+/// A random tree with `n` nodes and labels drawn uniformly from `labels`.
+/// Shape: each new node attaches to a uniformly random existing node, a
+/// standard random-recursive-tree model that produces realistic mixes of
+/// depth and fanout.
+pub fn random_tree(rng: &mut impl Rng, n: usize, labels: &[&str]) -> Document {
+    assert!(n >= 1);
+    // Choose parents first, then build with a DFS ordering.
+    let mut parents = vec![0usize; n];
+    for (i, p) in parents.iter_mut().enumerate().skip(1) {
+        *p = rng.gen_range(0..i);
+    }
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 1..n {
+        children[parents[i]].push(i);
+    }
+    let mut b = TreeBuilder::new();
+    // Iterative DFS emit.
+    let mut stack: Vec<(usize, bool)> = vec![(0, false)];
+    while let Some((u, done)) = stack.pop() {
+        if done {
+            b.close();
+            continue;
+        }
+        b.open(labels[rng.gen_range(0..labels.len())]);
+        stack.push((u, true));
+        for &c in children[u].iter().rev() {
+            stack.push((c, false));
+        }
+    }
+    b.finish()
+}
+
+/// A random acyclic query: a random tree over `n_vars` variables with
+/// random axes and a sprinkling of label atoms.
+pub fn random_acyclic_cq(
+    rng: &mut impl Rng,
+    n_vars: usize,
+    axes: &[CqAxis],
+    labels: &[&str],
+) -> Cq {
+    let mut atoms = Vec::new();
+    for v in 1..n_vars {
+        let u = rng.gen_range(0..v);
+        let axis = axes[rng.gen_range(0..axes.len())];
+        // Random orientation keeps the generator honest.
+        if rng.gen_bool(0.5) {
+            atoms.push(CqAtom { axis, x: u, y: v });
+        } else {
+            atoms.push(CqAtom { axis, x: v, y: u });
+        }
+    }
+    let mut label_atoms = Vec::new();
+    for v in 0..n_vars {
+        if rng.gen_bool(0.4) {
+            label_atoms.push(LabelAtom {
+                var: v,
+                label: labels[rng.gen_range(0..labels.len())].to_string(),
+            });
+        }
+    }
+    Cq {
+        n_vars,
+        atoms,
+        labels: label_atoms,
+        free: None,
+    }
+}
+
+/// The E8 hard instance family over the NP-complete axis pair
+/// {Child, Child+}.
+///
+/// Tree: a path of `k` "level" nodes, each level carrying `width` decoy
+/// children labeled `d` plus one continuation; only one decoy per level is
+/// special (labeled `t`) — and the query asks for a chain of variables
+/// where each `v_i` is a Child of the previous *and* an ancestor
+/// (`Child+`) constraint ties variables two levels apart, while label
+/// atoms demand the `t` decoys *in the last level only*. Backtracking must
+/// try the decoys at every level before discovering the chain fails or
+/// succeeds, exploring Θ(width^k) assignments; the mixed Child/Child+
+/// cycles block both the acyclic solver and the ancestor-collapse
+/// preprocessing — exactly the NP-hard corner of Figure 6.
+pub fn hard_instance(k: usize, width: usize) -> (Document, Cq) {
+    let mut b = TreeBuilder::new();
+    b.open("root");
+    fn level(b: &mut TreeBuilder, depth: usize, k: usize, width: usize) {
+        if depth == k {
+            return;
+        }
+        // Decoys: subtrees that look viable one level down.
+        for _ in 0..width {
+            b.open("s");
+            b.open("d");
+            b.close();
+            b.close();
+        }
+        // The true continuation.
+        b.open("s");
+        level(b, depth + 1, k, width);
+        if depth == k - 1 {
+            b.open("t");
+            b.close();
+        }
+        b.close();
+    }
+    level(&mut b, 0, k, width);
+    let doc = b.finish();
+
+    // Variables: v0 = root; then per level a pair (s_i, c_i): s_i child of
+    // previous s, c_i child of s_i; cyclic reinforcement: s_{i-1} Child+ c_i.
+    let mut atoms = Vec::new();
+    let mut labels = Vec::new();
+    let n_vars = 1 + 2 * k;
+    let s = |i: usize| 1 + 2 * i;
+    let c = |i: usize| 2 + 2 * i;
+    for i in 0..k {
+        let prev = if i == 0 { 0 } else { s(i - 1) };
+        atoms.push(CqAtom {
+            axis: CqAxis::Child,
+            x: prev,
+            y: s(i),
+        });
+        atoms.push(CqAtom {
+            axis: CqAxis::Child,
+            x: s(i),
+            y: c(i),
+        });
+        // The cycle-maker: prev Child+ c_i (redundant semantically, cyclic
+        // syntactically — knocks out the acyclic solver).
+        atoms.push(CqAtom {
+            axis: CqAxis::ChildPlus,
+            x: prev,
+            y: c(i),
+        });
+        labels.push(LabelAtom {
+            var: s(i),
+            label: "s".to_string(),
+        });
+    }
+    labels.push(LabelAtom {
+        var: 0,
+        label: "root".to_string(),
+    });
+    // Only the deepest chain ends in a "t".
+    labels.push(LabelAtom {
+        var: c(k - 1),
+        label: "t".to_string(),
+    });
+    (doc, Cq::boolean(n_vars, atoms, labels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_tree_has_requested_size() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let doc = random_tree(&mut rng, 57, &["a", "b"]);
+        assert_eq!(doc.len(), 57);
+    }
+
+    #[test]
+    fn random_acyclic_cq_is_acyclic() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let cq = random_acyclic_cq(
+                &mut rng,
+                6,
+                &[CqAxis::Child, CqAxis::Following, CqAxis::NextSiblingStar],
+                &["a"],
+            );
+            assert!(crate::acyclic::is_acyclic(&cq));
+        }
+    }
+
+    #[test]
+    fn hard_instance_is_satisfiable_and_cyclic() {
+        let (doc, cq) = hard_instance(3, 3);
+        assert!(!crate::acyclic::is_acyclic(&cq));
+        assert!(!cq.in_tractable_axis_set());
+        assert!(crate::generic::eval_boolean(&doc, &cq));
+    }
+
+    #[test]
+    fn hard_instance_work_grows_with_k() {
+        let (d2, q2) = hard_instance(2, 4);
+        let (d4, q4) = hard_instance(4, 4);
+        let w2 = crate::generic::count_search_nodes(&d2, &q2);
+        let w4 = crate::generic::count_search_nodes(&d4, &q4);
+        assert!(
+            w4 > w2 * 2,
+            "search work should grow sharply: {w2} vs {w4}"
+        );
+    }
+
+}

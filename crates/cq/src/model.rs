@@ -1,0 +1,166 @@
+//! Conjunctive queries over tree axis relations.
+
+/// The axis relations of Section 4 ("The most natural axis relations are
+/// thus Child, Child*, Child+, Nextsibling, Nextsibling*, Nextsibling+,
+/// and Following").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CqAxis {
+    /// `Child(x, y)`.
+    Child,
+    /// `Child+(x, y)` — proper descendant.
+    ChildPlus,
+    /// `Child*(x, y)` — descendant or self.
+    ChildStar,
+    /// `Nextsibling(x, y)`.
+    NextSibling,
+    /// `Nextsibling+(x, y)`.
+    NextSiblingPlus,
+    /// `Nextsibling*(x, y)`.
+    NextSiblingStar,
+    /// `Following(x, y)`.
+    Following,
+}
+
+impl CqAxis {
+    /// Human-readable name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            CqAxis::Child => "Child",
+            CqAxis::ChildPlus => "Child+",
+            CqAxis::ChildStar => "Child*",
+            CqAxis::NextSibling => "Nextsibling",
+            CqAxis::NextSiblingPlus => "Nextsibling+",
+            CqAxis::NextSiblingStar => "Nextsibling*",
+            CqAxis::Following => "Following",
+        }
+    }
+}
+
+/// A binary atom `axis(x, y)` over variable indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CqAtom {
+    /// The axis relation.
+    pub axis: CqAxis,
+    /// Source variable.
+    pub x: usize,
+    /// Target variable.
+    pub y: usize,
+}
+
+/// A unary atom `label_a(x)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabelAtom {
+    /// The variable.
+    pub var: usize,
+    /// Required label.
+    pub label: String,
+}
+
+/// A conjunctive query over trees: variables `0..n_vars`, binary axis
+/// atoms, unary label atoms, and an optional free variable (None = Boolean
+/// query).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cq {
+    /// Number of variables.
+    pub n_vars: usize,
+    /// Binary atoms.
+    pub atoms: Vec<CqAtom>,
+    /// Unary label atoms.
+    pub labels: Vec<LabelAtom>,
+    /// Free variable for unary queries.
+    pub free: Option<usize>,
+}
+
+impl Cq {
+    /// A Boolean query.
+    pub fn boolean(n_vars: usize, atoms: Vec<CqAtom>, labels: Vec<LabelAtom>) -> Cq {
+        Cq {
+            n_vars,
+            atoms,
+            labels,
+            free: None,
+        }
+    }
+
+    /// The set of axes used.
+    pub fn axes_used(&self) -> Vec<CqAxis> {
+        let mut v: Vec<CqAxis> = Vec::new();
+        for a in &self.atoms {
+            if !v.contains(&a.axis) {
+                v.push(a.axis);
+            }
+        }
+        v
+    }
+
+    /// Query size |Q| = number of atoms.
+    pub fn size(&self) -> usize {
+        self.atoms.len() + self.labels.len()
+    }
+
+    /// Is the query over one of the subset-maximal polynomial axis sets of
+    /// \[18\]: {child+, child*}, {child, nextsibling, nextsibling+,
+    /// nextsibling*}, or {following}?
+    pub fn in_tractable_axis_set(&self) -> bool {
+        let used = self.axes_used();
+        let within = |allowed: &[CqAxis]| used.iter().all(|a| allowed.contains(a));
+        within(&[CqAxis::ChildPlus, CqAxis::ChildStar])
+            || within(&[
+                CqAxis::Child,
+                CqAxis::NextSibling,
+                CqAxis::NextSiblingPlus,
+                CqAxis::NextSiblingStar,
+            ])
+            || within(&[CqAxis::Following])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atom(axis: CqAxis, x: usize, y: usize) -> CqAtom {
+        CqAtom { axis, x, y }
+    }
+
+    #[test]
+    fn tractable_axis_set_classification() {
+        let q = Cq::boolean(
+            3,
+            vec![atom(CqAxis::ChildPlus, 0, 1), atom(CqAxis::ChildStar, 1, 2)],
+            vec![],
+        );
+        assert!(q.in_tractable_axis_set());
+        let q = Cq::boolean(
+            2,
+            vec![atom(CqAxis::Child, 0, 1), atom(CqAxis::ChildPlus, 0, 1)],
+            vec![],
+        );
+        assert!(!q.in_tractable_axis_set(), "Child with Child+ is NP-hard");
+        let q = Cq::boolean(2, vec![atom(CqAxis::Following, 0, 1)], vec![]);
+        assert!(q.in_tractable_axis_set());
+        let q = Cq::boolean(
+            2,
+            vec![
+                atom(CqAxis::Child, 0, 1),
+                atom(CqAxis::NextSiblingStar, 0, 1),
+            ],
+            vec![],
+        );
+        assert!(q.in_tractable_axis_set());
+    }
+
+    #[test]
+    fn size_and_axes() {
+        let q = Cq::boolean(
+            2,
+            vec![atom(CqAxis::Child, 0, 1), atom(CqAxis::Child, 1, 0)],
+            vec![LabelAtom {
+                var: 0,
+                label: "a".into(),
+            }],
+        );
+        assert_eq!(q.size(), 3);
+        assert_eq!(q.axes_used(), vec![CqAxis::Child]);
+    }
+}

@@ -1,0 +1,212 @@
+//! Sound-and-complete simplification for {child+, child*} queries.
+//!
+//! Over the ancestor order of a tree, `child+` is a strict partial order
+//! and `child*` its reflexive closure. Hence, in a query using only these
+//! two axes:
+//!
+//! * a directed cycle containing a `child+` atom is **unsatisfiable**
+//!   (strictness);
+//! * a directed cycle of only `child*` atoms forces all its variables to
+//!   be **equal** — the cycle collapses to a single variable.
+//!
+//! These are the cycle-elimination steps behind the polynomiality of
+//! CQ[child+, child*] in \[18\]; after collapsing, gadget-free queries
+//! typically become acyclic and fall to the Yannakakis solver.
+
+use crate::model::{Cq, CqAtom, CqAxis, LabelAtom};
+
+/// Result of preprocessing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Preprocessed {
+    /// The query is unsatisfiable on every tree.
+    Unsatisfiable,
+    /// A simplified query plus the variable mapping old → new.
+    Simplified(Cq, Vec<usize>),
+}
+
+/// Apply the collapse; `None` if the query uses axes outside
+/// {child+, child*}.
+pub fn collapse_ancestor_cycles(cq: &Cq) -> Option<Preprocessed> {
+    if !cq
+        .axes_used()
+        .iter()
+        .all(|a| matches!(a, CqAxis::ChildPlus | CqAxis::ChildStar))
+    {
+        return None;
+    }
+    // Strongly connected components over the directed atom graph (Tarjan
+    // via iterative Kosaraju for simplicity at query scale).
+    let n = cq.n_vars;
+    let mut fwd: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for a in &cq.atoms {
+        fwd[a.x].push(a.y);
+        rev[a.y].push(a.x);
+    }
+    // Kosaraju pass 1: finish order.
+    let mut visited = vec![false; n];
+    let mut finish: Vec<usize> = Vec::new();
+    for s in 0..n {
+        if visited[s] {
+            continue;
+        }
+        // Iterative DFS with explicit (node, child index) frames.
+        let mut stack = vec![(s, 0usize)];
+        visited[s] = true;
+        while let Some(&mut (u, ref mut ci)) = stack.last_mut() {
+            if *ci < fwd[u].len() {
+                let w = fwd[u][*ci];
+                *ci += 1;
+                if !visited[w] {
+                    visited[w] = true;
+                    stack.push((w, 0));
+                }
+            } else {
+                finish.push(u);
+                stack.pop();
+            }
+        }
+    }
+    // Pass 2: reverse graph in reverse finish order.
+    let mut comp = vec![usize::MAX; n];
+    let mut n_comp = 0;
+    for &s in finish.iter().rev() {
+        if comp[s] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![s];
+        comp[s] = n_comp;
+        while let Some(u) = stack.pop() {
+            for &w in &rev[u] {
+                if comp[w] == usize::MAX {
+                    comp[w] = n_comp;
+                    stack.push(w);
+                }
+            }
+        }
+        n_comp += 1;
+    }
+    // A child+ atom inside one SCC ⇒ unsatisfiable.
+    for a in &cq.atoms {
+        if comp[a.x] == comp[a.y] && a.axis == CqAxis::ChildPlus {
+            return Some(Preprocessed::Unsatisfiable);
+        }
+    }
+    // Rebuild over components; intra-SCC child* atoms vanish (x = y).
+    let mut atoms: Vec<CqAtom> = Vec::new();
+    for a in &cq.atoms {
+        if comp[a.x] != comp[a.y] {
+            let na = CqAtom {
+                axis: a.axis,
+                x: comp[a.x],
+                y: comp[a.y],
+            };
+            if !atoms.contains(&na) {
+                atoms.push(na);
+            }
+        }
+    }
+    let labels: Vec<LabelAtom> = {
+        let mut ls: Vec<LabelAtom> = Vec::new();
+        for l in &cq.labels {
+            let nl = LabelAtom {
+                var: comp[l.var],
+                label: l.label.clone(),
+            };
+            if !ls.contains(&nl) {
+                ls.push(nl);
+            }
+        }
+        ls
+    };
+    let simplified = Cq {
+        n_vars: n_comp,
+        atoms,
+        labels,
+        free: cq.free.map(|f| comp[f]),
+    };
+    Some(Preprocessed::Simplified(simplified, comp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lixto_tree::build::from_sexp;
+
+    fn atom(axis: CqAxis, x: usize, y: usize) -> CqAtom {
+        CqAtom { axis, x, y }
+    }
+
+    #[test]
+    fn strict_cycle_is_unsat() {
+        let cq = Cq::boolean(
+            2,
+            vec![
+                atom(CqAxis::ChildPlus, 0, 1),
+                atom(CqAxis::ChildStar, 1, 0),
+            ],
+            vec![],
+        );
+        assert_eq!(
+            collapse_ancestor_cycles(&cq),
+            Some(Preprocessed::Unsatisfiable)
+        );
+        // And the generic solver agrees on an actual tree.
+        let doc = from_sexp("(a (b (c)))").unwrap();
+        assert!(!crate::generic::eval_boolean(&doc, &cq));
+    }
+
+    #[test]
+    fn star_cycle_collapses_to_equality() {
+        // x child* y ∧ y child* x ⇒ x = y.
+        let cq = Cq::boolean(
+            3,
+            vec![
+                atom(CqAxis::ChildStar, 0, 1),
+                atom(CqAxis::ChildStar, 1, 0),
+                atom(CqAxis::ChildPlus, 1, 2),
+            ],
+            vec![],
+        );
+        match collapse_ancestor_cycles(&cq).unwrap() {
+            Preprocessed::Simplified(s, map) => {
+                assert_eq!(s.n_vars, 2);
+                assert_eq!(map[0], map[1]);
+                assert_ne!(map[0], map[2]);
+                assert_eq!(s.atoms.len(), 1);
+                // Collapsed query is acyclic and equivalent.
+                let doc = from_sexp("(a (b (c)))").unwrap();
+                assert_eq!(
+                    crate::generic::eval_boolean(&doc, &cq),
+                    crate::yannakakis::eval_boolean(&doc, &s).unwrap()
+                );
+            }
+            other => panic!("expected simplification, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixed_axes_not_applicable() {
+        let cq = Cq::boolean(2, vec![atom(CqAxis::Child, 0, 1)], vec![]);
+        assert_eq!(collapse_ancestor_cycles(&cq), None);
+    }
+
+    #[test]
+    fn acyclic_input_passes_through() {
+        let cq = Cq::boolean(
+            3,
+            vec![
+                atom(CqAxis::ChildPlus, 0, 1),
+                atom(CqAxis::ChildStar, 1, 2),
+            ],
+            vec![],
+        );
+        match collapse_ancestor_cycles(&cq).unwrap() {
+            Preprocessed::Simplified(s, _) => {
+                assert_eq!(s.n_vars, 3);
+                assert_eq!(s.atoms.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Linear-time evaluation of acyclic conjunctive queries.
+//!
+//! Yannakakis' algorithm specialized to binary tree atoms: orient each
+//! query-forest component, run a bottom-up semijoin pass (restrict each
+//! variable's candidate set by its children's sets pulled through the
+//! axis), then a top-down pass (restrict by the parent). Each pass step is
+//! one O(|doc|) axis sweep from [`axisrel`](crate::axisrel), giving
+//! O(|Q|·|doc|) total — the acyclic-case upper bound cited in Section 4.
+
+use lixto_tree::{Document, NodeId};
+
+use crate::acyclic::is_acyclic;
+use crate::axisrel::{image, preimage};
+use crate::model::Cq;
+
+/// Error: the query is not acyclic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotAcyclic;
+
+impl std::fmt::Display for NotAcyclic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "query is not acyclic — use the generic solver")
+    }
+}
+
+impl std::error::Error for NotAcyclic {}
+
+/// Fully reduced candidate domains for every variable (the global
+/// consistency property of acyclic queries: after both passes, every
+/// remaining candidate participates in at least one solution).
+pub fn reduce_domains(doc: &Document, cq: &Cq) -> Result<Vec<Vec<bool>>, NotAcyclic> {
+    if !is_acyclic(cq) {
+        return Err(NotAcyclic);
+    }
+    let n = doc.len();
+    // Initial domains from label atoms.
+    let mut dom: Vec<Vec<bool>> = vec![vec![true; n]; cq.n_vars];
+    for la in &cq.labels {
+        for i in 0..n {
+            if dom[la.var][i] && !doc.has_label(NodeId::from_index(i), &la.label) {
+                dom[la.var][i] = false;
+            }
+        }
+    }
+    // Build the forest: adjacency of (atom index, oriented towards child).
+    let mut adj: Vec<Vec<(usize, usize, bool)>> = vec![Vec::new(); cq.n_vars];
+    for (ai, a) in cq.atoms.iter().enumerate() {
+        adj[a.x].push((ai, a.y, true)); // (atom, neighbor, neighbor-is-target)
+        adj[a.y].push((ai, a.x, false));
+    }
+    // Process each connected component from an arbitrary root.
+    let mut visited = vec![false; cq.n_vars];
+    for root in 0..cq.n_vars {
+        if visited[root] {
+            continue;
+        }
+        // BFS order.
+        let mut order = vec![root];
+        visited[root] = true;
+        let mut parent_edge: Vec<Option<(usize, bool)>> = vec![None; cq.n_vars];
+        let mut qi = 0;
+        while qi < order.len() {
+            let u = order[qi];
+            qi += 1;
+            for &(ai, w, w_is_target) in &adj[u] {
+                if !visited[w] {
+                    visited[w] = true;
+                    parent_edge[w] = Some((ai, w_is_target));
+                    order.push(w);
+                }
+            }
+        }
+        // Bottom-up: child restricts parent.
+        for &w in order.iter().rev() {
+            if let Some((ai, w_is_target)) = parent_edge[w] {
+                let a = &cq.atoms[ai];
+                let u = if w_is_target { a.x } else { a.y };
+                // u --axis--> w if w_is_target, else w --axis--> u.
+                let allowed = if w_is_target {
+                    preimage(doc, &dom[w], a.axis) // u with ∃w axis(u, w)
+                } else {
+                    image(doc, &dom[w], a.axis) // u with ∃w axis(w, u)
+                };
+                for i in 0..n {
+                    dom[u][i] = dom[u][i] && allowed[i];
+                }
+            }
+        }
+        // Top-down: parent restricts child.
+        for &w in order.iter() {
+            if let Some((ai, w_is_target)) = parent_edge[w] {
+                let a = &cq.atoms[ai];
+                let u = if w_is_target { a.x } else { a.y };
+                let allowed = if w_is_target {
+                    image(doc, &dom[u], a.axis)
+                } else {
+                    preimage(doc, &dom[u], a.axis)
+                };
+                for i in 0..n {
+                    dom[w][i] = dom[w][i] && allowed[i];
+                }
+            }
+        }
+    }
+    Ok(dom)
+}
+
+/// Boolean evaluation: is the query satisfiable on `doc`?
+pub fn eval_boolean(doc: &Document, cq: &Cq) -> Result<bool, NotAcyclic> {
+    let dom = reduce_domains(doc, cq)?;
+    Ok(dom.iter().all(|d| d.iter().any(|&b| b)))
+}
+
+/// Unary evaluation: the projection onto the free variable, in document
+/// order. For acyclic queries the fully reduced domain of the free
+/// variable *is* the projection (global consistency), provided every
+/// other component is satisfiable.
+pub fn eval_unary(doc: &Document, cq: &Cq) -> Result<Vec<NodeId>, NotAcyclic> {
+    let free = cq.free.expect("eval_unary needs a free variable");
+    let dom = reduce_domains(doc, cq)?;
+    // If any component is empty the whole query is unsatisfiable.
+    if dom.iter().any(|d| d.iter().all(|&b| !b)) {
+        return Ok(Vec::new());
+    }
+    let mut out: Vec<NodeId> = (0..doc.len())
+        .filter(|&i| dom[free][i])
+        .map(NodeId::from_index)
+        .collect();
+    out.sort_by_key(|&x| doc.order().pre(x));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{CqAtom, CqAxis, LabelAtom};
+    use lixto_tree::build::from_sexp;
+
+    fn atom(axis: CqAxis, x: usize, y: usize) -> CqAtom {
+        CqAtom { axis, x, y }
+    }
+
+    fn label(var: usize, l: &str) -> LabelAtom {
+        LabelAtom {
+            var,
+            label: l.to_string(),
+        }
+    }
+
+    #[test]
+    fn path_query() {
+        // table // td with a following sibling td
+        let doc = from_sexp(
+            "(html (table (tr (td (a)) (td)) (tr (td))) (div (td)))",
+        )
+        .unwrap();
+        // v0=table, v1=td (v0 child+ v1), v2 = next sibling of v1
+        let cq = Cq {
+            n_vars: 3,
+            atoms: vec![
+                atom(CqAxis::ChildPlus, 0, 1),
+                atom(CqAxis::NextSibling, 1, 2),
+            ],
+            labels: vec![label(0, "table"), label(1, "td"), label(2, "td")],
+            free: Some(1),
+        };
+        let hits = eval_unary(&doc, &cq).unwrap();
+        assert_eq!(hits.len(), 1, "only the first td of the 2-cell row");
+    }
+
+    #[test]
+    fn unsatisfiable_component_empties_everything() {
+        let doc = from_sexp("(a (b))").unwrap();
+        let cq = Cq {
+            n_vars: 2,
+            atoms: vec![],
+            labels: vec![label(0, "b"), label(1, "zzz")],
+            free: Some(0),
+        };
+        assert!(eval_unary(&doc, &cq).unwrap().is_empty());
+        assert!(!eval_boolean(&doc, &cq).unwrap());
+    }
+
+    #[test]
+    fn cyclic_rejected() {
+        let doc = from_sexp("(a (b))").unwrap();
+        let cq = Cq::boolean(
+            2,
+            vec![atom(CqAxis::Child, 0, 1), atom(CqAxis::ChildPlus, 0, 1)],
+            vec![],
+        );
+        assert_eq!(eval_boolean(&doc, &cq), Err(NotAcyclic));
+    }
+
+    #[test]
+    fn following_query() {
+        let doc = from_sexp("(r (a) (b (c)) (d))").unwrap();
+        // v0 labeled a, v1 following v0 — everything after a's subtree.
+        let cq = Cq {
+            n_vars: 2,
+            atoms: vec![atom(CqAxis::Following, 0, 1)],
+            labels: vec![label(0, "a")],
+            free: Some(1),
+        };
+        let hits = eval_unary(&doc, &cq).unwrap();
+        let names: Vec<_> = hits.iter().map(|&h| doc.label_str(h).to_string()).collect();
+        assert_eq!(names, vec!["b", "c", "d"]);
+    }
+}

@@ -1,0 +1,336 @@
+//! Datalog abstract syntax.
+//!
+//! Plain function-free logic programs: a program is a list of rules, a rule
+//! a head atom and a body of (possibly negated) literals. Terms are
+//! variables or string constants. The tree signature τ_ur ∪ {child} is a
+//! set of distinguished extensional predicate names (see [`EDB_TREE`]).
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+use crate::EvalError;
+
+/// A term: variable or constant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A variable (by convention starts with an uppercase letter).
+    Var(String),
+    /// A string constant.
+    Const(String),
+}
+
+impl Term {
+    /// The variable name, if this is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{c:?}"),
+        }
+    }
+}
+
+/// An atom `pred(t1, …, tk)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    /// Predicate name.
+    pub pred: String,
+    /// Argument terms.
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// Convenience constructor.
+    pub fn new(pred: impl Into<String>, args: Vec<Term>) -> Atom {
+        Atom {
+            pred: pred.into(),
+            args,
+        }
+    }
+
+    /// Variables occurring in this atom, in argument order.
+    pub fn vars(&self) -> impl Iterator<Item = &str> {
+        self.args.iter().filter_map(Term::as_var)
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.pred)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A body literal: an atom or its negation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Literal {
+    /// False for `not atom`.
+    pub positive: bool,
+    /// The atom.
+    pub atom: Atom,
+}
+
+impl Literal {
+    /// A positive literal.
+    pub fn pos(atom: Atom) -> Literal {
+        Literal {
+            positive: true,
+            atom,
+        }
+    }
+
+    /// A negated literal.
+    pub fn neg(atom: Atom) -> Literal {
+        Literal {
+            positive: false,
+            atom,
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.positive {
+            write!(f, "not ")?;
+        }
+        write!(f, "{}", self.atom)
+    }
+}
+
+/// A rule `head :- body.` (empty body = fact).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// Head atom.
+    pub head: Atom,
+    /// Body literals.
+    pub body: Vec<Literal>,
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.head)?;
+        if !self.body.is_empty() {
+            write!(f, " :- ")?;
+            for (i, l) in self.body.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{l}")?;
+            }
+        }
+        write!(f, ".")
+    }
+}
+
+/// A datalog program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// The rules, in source order.
+    pub rules: Vec<Rule>,
+}
+
+/// The tree signature: predicate name → arity. `label` is binary here
+/// (`label(x, "a")` instead of the paper's unary `label_a(x)` family —
+/// equivalent, and kinder to a parser); `child` is the extension of
+/// Theorem 2.7; the `*_inv` names are the inverses TMNF may use, and
+/// `firstsibling` is the derived unary predicate of Section 4.
+pub const EDB_TREE: &[(&str, usize)] = &[
+    ("root", 1),
+    ("leaf", 1),
+    ("lastsibling", 1),
+    ("firstsibling", 1),
+    ("label", 2),
+    ("firstchild", 2),
+    ("nextsibling", 2),
+    ("child", 2),
+    ("firstchild_inv", 2),
+    ("nextsibling_inv", 2),
+    ("child_inv", 2),
+];
+
+/// Is `name` a tree-signature predicate?
+pub fn is_tree_edb(name: &str) -> bool {
+    EDB_TREE.iter().any(|(n, _)| *n == name)
+}
+
+/// Arity of a tree-signature predicate.
+pub fn tree_edb_arity(name: &str) -> Option<usize> {
+    EDB_TREE.iter().find(|(n, _)| *n == name).map(|&(_, a)| a)
+}
+
+impl Program {
+    /// Create a program from rules.
+    pub fn new(rules: Vec<Rule>) -> Program {
+        Program { rules }
+    }
+
+    /// Names of all intensional predicates (those appearing in a head),
+    /// sorted.
+    pub fn idb_predicates(&self) -> Vec<String> {
+        let set: BTreeSet<&str> = self.rules.iter().map(|r| r.head.pred.as_str()).collect();
+        set.into_iter().map(str::to_string).collect()
+    }
+
+    /// Total size: number of atoms over all rules (|P| in the theorems).
+    pub fn size(&self) -> usize {
+        self.rules.iter().map(|r| 1 + r.body.len()).sum()
+    }
+
+    /// Check arity consistency across all uses.
+    pub fn check_arities(&self) -> Result<HashMap<String, usize>, EvalError> {
+        let mut arities: HashMap<String, usize> = HashMap::new();
+        let mut check = |atom: &Atom| -> Result<(), EvalError> {
+            if let Some(a) = tree_edb_arity(&atom.pred) {
+                if atom.args.len() != a {
+                    return Err(EvalError::ArityMismatch(atom.pred.clone()));
+                }
+                return Ok(());
+            }
+            match arities.get(&atom.pred) {
+                Some(&a) if a != atom.args.len() => {
+                    Err(EvalError::ArityMismatch(atom.pred.clone()))
+                }
+                Some(_) => Ok(()),
+                None => {
+                    arities.insert(atom.pred.clone(), atom.args.len());
+                    Ok(())
+                }
+            }
+        };
+        for r in &self.rules {
+            check(&r.head)?;
+            for l in &r.body {
+                check(&l.atom)?;
+            }
+        }
+        Ok(arities)
+    }
+
+    /// Validate this program as a *monadic datalog program over trees*:
+    /// every head predicate unary, every body atom either intensional,
+    /// or from the tree signature; rules safe (head variable appears in a
+    /// positive body atom); no negation (the monadic core of Section 2 is
+    /// positive — Elog's stratified negation lives in `lixto-elog`).
+    pub fn check_tree_program(&self) -> Result<(), EvalError> {
+        self.check_arities()?;
+        let idb: BTreeSet<&str> = self.rules.iter().map(|r| r.head.pred.as_str()).collect();
+        for r in &self.rules {
+            if r.head.args.len() != 1 {
+                return Err(EvalError::NonMonadic(r.head.pred.clone()));
+            }
+            for l in &r.body {
+                if !l.positive {
+                    return Err(EvalError::NotStratified(l.atom.pred.clone()));
+                }
+                let p = l.atom.pred.as_str();
+                if !is_tree_edb(p) && !idb.contains(p) {
+                    return Err(EvalError::UnknownPredicate(p.to_string()));
+                }
+                if idb.contains(p) && l.atom.args.len() != 1 {
+                    return Err(EvalError::NonMonadic(p.to_string()));
+                }
+            }
+            // Safety: the head variable must occur in some positive body
+            // atom (facts with a constant head are fine).
+            if let Some(v) = r.head.args[0].as_var() {
+                let bound = r
+                    .body
+                    .iter()
+                    .any(|l| l.positive && l.atom.vars().any(|bv| bv == v));
+                if !bound {
+                    return Err(EvalError::Unsafe(r.to_string()));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.rules {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+
+    #[test]
+    fn display_roundtrips_through_parser() {
+        let p = parse_program(
+            r#"q(X) :- label(X, "td"), not seen(X).
+               seen(X) :- q(X0), nextsibling(X0, X)."#,
+        )
+        .unwrap();
+        let printed = p.to_string();
+        let p2 = parse_program(&printed).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn size_counts_atoms() {
+        let p = parse_program("a(X) :- b(X), c(X). b(X) :- root(X).").unwrap();
+        assert_eq!(p.size(), 3 + 2);
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let p = parse_program("a(X) :- b(X). c(X) :- b(X, X).").unwrap();
+        assert!(matches!(
+            p.check_arities(),
+            Err(EvalError::ArityMismatch(_))
+        ));
+        let p = parse_program("a(X) :- root(X, X).").unwrap();
+        assert!(matches!(
+            p.check_arities(),
+            Err(EvalError::ArityMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn tree_program_validation() {
+        // non-unary IDB head
+        let p = parse_program("pair(X, Y) :- firstchild(X, Y).").unwrap();
+        assert!(matches!(
+            p.check_tree_program(),
+            Err(EvalError::NonMonadic(_))
+        ));
+        // unsafe rule
+        let p = parse_program("q(X) :- root(Y).").unwrap();
+        assert!(matches!(p.check_tree_program(), Err(EvalError::Unsafe(_))));
+        // negation rejected in the monadic core
+        let p = parse_program("q(X) :- root(X), not q(X).").unwrap();
+        assert!(matches!(
+            p.check_tree_program(),
+            Err(EvalError::NotStratified(_))
+        ));
+        // fine program
+        let p = parse_program("q(X) :- root(X).").unwrap();
+        assert!(p.check_tree_program().is_ok());
+    }
+
+    #[test]
+    fn idb_predicates_sorted_unique() {
+        let p = parse_program("b(X) :- root(X). a(X) :- b(X). b(X) :- leaf(X).").unwrap();
+        assert_eq!(p.idb_predicates(), vec!["a".to_string(), "b".to_string()]);
+    }
+}

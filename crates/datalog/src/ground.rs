@@ -1,0 +1,303 @@
+//! Grounding monadic TMNF programs over a document — the O(|P|·|dom|) step
+//! of Theorem 2.4.
+//!
+//! The tree relations have (bidirectional) functional dependencies:
+//! `firstchild`, `nextsibling` and their inverses are partial functions, so
+//! a form-(2) rule contributes at most one ground clause per node; `child`
+//! contributes one clause per (parent, child) edge — Σ = |dom| − 1 over the
+//! whole tree. The resulting propositional Horn program has size
+//! O(|P|·|dom|) and is handed to [`ltur`](crate::ltur).
+
+use std::collections::HashMap;
+
+use lixto_tree::{Document, NodeId};
+
+use crate::ast::{Program, Rule, Term};
+use crate::ltur::Clause;
+use crate::EvalError;
+
+/// A grounded program plus the bookkeeping to read answers back.
+#[derive(Debug)]
+pub struct GroundProgram {
+    /// Propositional Horn clauses.
+    pub clauses: Vec<Clause>,
+    /// Total number of propositions (`n_preds * n_nodes`).
+    pub n_props: usize,
+    pred_index: HashMap<String, usize>,
+    n_nodes: usize,
+}
+
+impl GroundProgram {
+    /// Proposition id for `pred(node)`.
+    pub fn prop(&self, pred: &str, node: NodeId) -> Option<u32> {
+        self.pred_index
+            .get(pred)
+            .map(|&pi| (pi * self.n_nodes + node.index()) as u32)
+    }
+
+    /// Nodes where `pred` is true, in document order.
+    pub fn true_nodes(&self, truths: &[bool], pred: &str, doc: &Document) -> Vec<NodeId> {
+        let Some(&pi) = self.pred_index.get(pred) else {
+            return Vec::new();
+        };
+        let base = pi * self.n_nodes;
+        let mut nodes: Vec<NodeId> = (0..self.n_nodes)
+            .filter(|&i| truths[base + i])
+            .map(NodeId::from_index)
+            .collect();
+        nodes.sort_by_key(|&n| doc.order().pre(n));
+        nodes
+    }
+}
+
+/// Unary EDB predicate evaluation.
+fn edb_unary_holds(doc: &Document, pred: &str, label_const: Option<&str>, n: NodeId) -> bool {
+    match pred {
+        "root" => doc.is_root(n),
+        "leaf" => doc.is_leaf(n),
+        "lastsibling" => doc.is_last_sibling(n),
+        "firstsibling" => doc.is_first_sibling(n),
+        "label" => doc.has_label(n, label_const.unwrap_or_default()),
+        _ => unreachable!("not a unary EDB predicate: {pred}"),
+    }
+}
+
+fn is_edb_unary(pred: &str) -> bool {
+    matches!(
+        pred,
+        "root" | "leaf" | "lastsibling" | "firstsibling" | "label"
+    )
+}
+
+fn is_edb_binary(pred: &str) -> bool {
+    matches!(
+        pred,
+        "firstchild" | "nextsibling" | "child" | "firstchild_inv" | "nextsibling_inv"
+            | "child_inv"
+    )
+}
+
+/// Partners of `m` under binary relation `pred` (as source). For the
+/// functional relations this yields 0 or 1 node; for `child` it yields all
+/// children.
+fn partners(doc: &Document, pred: &str, m: NodeId) -> Vec<NodeId> {
+    match pred {
+        "firstchild" => doc.first_child(m).into_iter().collect(),
+        "nextsibling" => doc.next_sibling(m).into_iter().collect(),
+        "firstchild_inv" => match doc.parent(m) {
+            Some(p) if doc.first_child(p) == Some(m) => vec![p],
+            _ => vec![],
+        },
+        "nextsibling_inv" => doc.prev_sibling(m).into_iter().collect(),
+        "child" => doc.children(m).collect(),
+        "child_inv" => doc.parent(m).into_iter().collect(),
+        _ => unreachable!("not a binary EDB predicate: {pred}"),
+    }
+}
+
+/// Ground `program` (which must be in generalized TMNF: forms (1)–(3),
+/// allowing `child`/`child_inv` and unary conjunctions of any length) over
+/// `doc`.
+pub fn ground_program(program: &Program, doc: &Document) -> Result<GroundProgram, EvalError> {
+    // Index intensional predicates (head or body occurrences).
+    let mut pred_index: HashMap<String, usize> = HashMap::new();
+    let add_pred = |p: &str, pred_index: &mut HashMap<String, usize>| {
+        if !is_edb_unary(p) && !is_edb_binary(p) {
+            let next = pred_index.len();
+            pred_index.entry(p.to_string()).or_insert(next);
+        }
+    };
+    for r in &program.rules {
+        add_pred(&r.head.pred, &mut pred_index);
+        for l in &r.body {
+            add_pred(&l.atom.pred, &mut pred_index);
+        }
+    }
+    let n_nodes = doc.len();
+    let n_props = pred_index.len() * n_nodes;
+    let prop = |pi: usize, n: NodeId| (pi * n_nodes + n.index()) as u32;
+
+    let mut clauses: Vec<Clause> = Vec::new();
+    for rule in &program.rules {
+        ground_rule(rule, doc, &pred_index, prop, &mut clauses)?;
+    }
+    Ok(GroundProgram {
+        clauses,
+        n_props,
+        pred_index,
+        n_nodes,
+    })
+}
+
+fn ground_rule(
+    rule: &Rule,
+    doc: &Document,
+    pred_index: &HashMap<String, usize>,
+    prop: impl Fn(usize, NodeId) -> u32,
+    clauses: &mut Vec<Clause>,
+) -> Result<(), EvalError> {
+    let head_var = rule.head.args[0]
+        .as_var()
+        .ok_or_else(|| EvalError::NotTreeShaped(rule.to_string()))?;
+    let head_pi = pred_index[&rule.head.pred];
+
+    // Split body into the (at most one) binary atom and unary atoms.
+    let mut binary: Option<(&str, &str, &str)> = None; // (pred, src var, tgt var)
+    let mut unary: Vec<(&str, Option<&str>, &str)> = Vec::new(); // (pred, label const, var)
+    for lit in &rule.body {
+        let a = &lit.atom;
+        if is_edb_binary(&a.pred) {
+            if binary.is_some() {
+                return Err(EvalError::NotTreeShaped(rule.to_string()));
+            }
+            let (Some(s), Some(t)) = (a.args[0].as_var(), a.args[1].as_var()) else {
+                return Err(EvalError::NotTreeShaped(rule.to_string()));
+            };
+            binary = Some((a.pred.as_str(), s, t));
+        } else {
+            let v = a.args[0]
+                .as_var()
+                .ok_or_else(|| EvalError::NotTreeShaped(rule.to_string()))?;
+            let label = if a.pred == "label" {
+                match &a.args[1] {
+                    Term::Const(c) => Some(c.as_str()),
+                    Term::Var(_) => return Err(EvalError::NotTreeShaped(rule.to_string())),
+                }
+            } else {
+                None
+            };
+            unary.push((a.pred.as_str(), label, v));
+        }
+    }
+
+    match binary {
+        None => {
+            // Forms (1)/(3)/longer unary conjunctions: all atoms must be on
+            // the head variable.
+            if unary.iter().any(|&(_, _, v)| v != head_var) {
+                return Err(EvalError::NotTreeShaped(rule.to_string()));
+            }
+            'nodes: for n in doc.node_ids() {
+                let mut body = Vec::new();
+                for &(p, label, _) in &unary {
+                    if is_edb_unary(p) {
+                        if !edb_unary_holds(doc, p, label, n) {
+                            continue 'nodes;
+                        }
+                    } else {
+                        body.push(prop(pred_index[p], n));
+                    }
+                }
+                clauses.push(Clause {
+                    head: prop(head_pi, n),
+                    body,
+                });
+            }
+        }
+        Some((bpred, src, tgt)) => {
+            // Form (2): p(x) ← p0(x0), B(x0, x) — with the grounder being
+            // generous about extra unary atoms on either variable.
+            if tgt != head_var {
+                return Err(EvalError::NotTreeShaped(rule.to_string()));
+            }
+            'nodes2: for m in doc.node_ids() {
+                // Conditions on x0 = m.
+                let mut body_src: Vec<u32> = Vec::new();
+                for &(p, label, v) in &unary {
+                    if v != src {
+                        continue;
+                    }
+                    if is_edb_unary(p) {
+                        if !edb_unary_holds(doc, p, label, m) {
+                            continue 'nodes2;
+                        }
+                    } else {
+                        body_src.push(prop(pred_index[p], m));
+                    }
+                }
+                'partners: for c in partners(doc, bpred, m) {
+                    let mut body = body_src.clone();
+                    for &(p, label, v) in &unary {
+                        if v != tgt {
+                            continue;
+                        }
+                        if is_edb_unary(p) {
+                            if !edb_unary_holds(doc, p, label, c) {
+                                continue 'partners;
+                            }
+                        } else {
+                            body.push(prop(pred_index[p], c));
+                        }
+                    }
+                    clauses.push(Clause {
+                        head: prop(head_pi, c),
+                        body,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ltur::solve;
+    use crate::parse_program;
+
+    #[test]
+    fn ground_size_is_linear_in_nodes() {
+        let program = parse_program(
+            r#"italic(X) :- label(X, "i").
+               italic(X) :- italic(X0), firstchild(X0, X).
+               italic(X) :- italic(X0), nextsibling(X0, X)."#,
+        )
+        .unwrap();
+        let small = lixto_html::parse(&"<i>x</i>".repeat(10));
+        let large = lixto_html::parse(&"<i>x</i>".repeat(100));
+        let gs = ground_program(&program, &small).unwrap();
+        let gl = ground_program(&program, &large).unwrap();
+        // clauses should scale ~10x with the tree (± the constant root).
+        let ratio = gl.clauses.len() as f64 / gs.clauses.len() as f64;
+        assert!((8.0..12.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn ground_and_solve_italics() {
+        let program = parse_program(
+            r#"italic(X) :- label(X, "i").
+               italic(X) :- italic(X0), firstchild(X0, X).
+               italic(X) :- italic(X0), nextsibling(X0, X)."#,
+        )
+        .unwrap();
+        // "d" is a right sibling of <i> and is selected too — the
+        // program as printed in the paper propagates across the seed's
+        // nextsibling (see lib.rs::example_2_1_italics).
+        let doc = lixto_html::parse("<p><i>a<b>c</b></i>d</p>");
+        let g = ground_program(&program, &doc).unwrap();
+        let truths = solve(&g.clauses, g.n_props);
+        let sel = g.true_nodes(&truths, "italic", &doc);
+        assert_eq!(sel.len(), 5);
+    }
+
+    #[test]
+    fn child_edges_ground_per_edge() {
+        let program = parse_program(r#"kid(X) :- top(X0), child(X0, X). top(X) :- root(X)."#)
+            .unwrap();
+        let doc = lixto_html::parse("<a/><b/><c/>");
+        let g = ground_program(&program, &doc).unwrap();
+        let truths = solve(&g.clauses, g.n_props);
+        let sel = g.true_nodes(&truths, "kid", &doc);
+        assert_eq!(sel.len(), 3); // a, b, c under the html root
+    }
+
+    #[test]
+    fn facts_fire_for_edb_only_bodies() {
+        let program = parse_program("r(X) :- root(X).").unwrap();
+        let doc = lixto_html::parse("<p/>");
+        let g = ground_program(&program, &doc).unwrap();
+        let truths = solve(&g.clauses, g.n_props);
+        assert_eq!(g.true_nodes(&truths, "r", &doc), vec![doc.root()]);
+    }
+}

@@ -1,0 +1,129 @@
+//! Linear-Time Unit Resolution for propositional Horn programs.
+//!
+//! Minoux's LTUR algorithm \[29\]: one counter per clause (number of
+//! still-unsatisfied body literals), an occurrence list per proposition,
+//! and a work queue of newly derived propositions. Every clause-body entry
+//! is touched at most once, so the total running time is linear in the
+//! program size — the final step of the Theorem 2.4 evaluation pipeline.
+
+/// A definite Horn clause `head ← body` over propositions (facts have an
+/// empty body).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clause {
+    /// Head proposition.
+    pub head: u32,
+    /// Body propositions (all positive).
+    pub body: Vec<u32>,
+}
+
+/// Compute the least model: `result[p]` is true iff proposition `p` is
+/// derivable.
+pub fn solve(clauses: &[Clause], n_props: usize) -> Vec<bool> {
+    let mut truth = vec![false; n_props];
+    // counter[c] = number of body props of clause c not yet known true.
+    let mut counter: Vec<u32> = clauses.iter().map(|c| c.body.len() as u32).collect();
+    // occurrences: prop -> clause indices where it appears in the body.
+    // Built as CSR-style adjacency to avoid per-prop Vec allocations.
+    let mut occ_count = vec![0u32; n_props];
+    for c in clauses {
+        for &b in &c.body {
+            occ_count[b as usize] += 1;
+        }
+    }
+    let mut occ_start = vec![0usize; n_props + 1];
+    for i in 0..n_props {
+        occ_start[i + 1] = occ_start[i] + occ_count[i] as usize;
+    }
+    let mut occ = vec![0u32; occ_start[n_props]];
+    let mut fill = occ_start.clone();
+    for (ci, c) in clauses.iter().enumerate() {
+        for &b in &c.body {
+            occ[fill[b as usize]] = ci as u32;
+            fill[b as usize] += 1;
+        }
+    }
+
+    let mut queue: Vec<u32> = Vec::new();
+    for (ci, c) in clauses.iter().enumerate() {
+        if counter[ci] == 0 && !truth[c.head as usize] {
+            truth[c.head as usize] = true;
+            queue.push(c.head);
+        }
+    }
+    while let Some(p) = queue.pop() {
+        for &ci in &occ[occ_start[p as usize]..occ_start[p as usize + 1]] {
+            let ci = ci as usize;
+            // A proposition may appear twice in one body; the counter is
+            // decremented once per occurrence, matching the build above.
+            counter[ci] -= 1;
+            if counter[ci] == 0 {
+                let h = clauses[ci].head;
+                if !truth[h as usize] {
+                    truth[h as usize] = true;
+                    queue.push(h);
+                }
+            }
+        }
+    }
+    truth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(head: u32, body: &[u32]) -> Clause {
+        Clause {
+            head,
+            body: body.to_vec(),
+        }
+    }
+
+    #[test]
+    fn facts_propagate_through_chain() {
+        // 0; 1 ← 0; 2 ← 1; 3 ← 2, 0.
+        let clauses = vec![c(0, &[]), c(1, &[0]), c(2, &[1]), c(3, &[2, 0])];
+        let t = solve(&clauses, 5);
+        assert_eq!(t, vec![true, true, true, true, false]);
+    }
+
+    #[test]
+    fn unsupported_heads_stay_false() {
+        let clauses = vec![c(1, &[0])];
+        let t = solve(&clauses, 2);
+        assert_eq!(t, vec![false, false]);
+    }
+
+    #[test]
+    fn cyclic_support_is_not_derivation() {
+        // 0 ← 1; 1 ← 0 — least model is empty.
+        let clauses = vec![c(0, &[1]), c(1, &[0])];
+        assert_eq!(solve(&clauses, 2), vec![false, false]);
+    }
+
+    #[test]
+    fn duplicate_body_props_handled() {
+        // 1 ← 0, 0.
+        let clauses = vec![c(0, &[]), c(1, &[0, 0])];
+        assert_eq!(solve(&clauses, 2), vec![true, true]);
+    }
+
+    #[test]
+    fn diamond_derivation() {
+        // 0; 1 ← 0; 2 ← 0; 3 ← 1, 2.
+        let clauses = vec![c(0, &[]), c(1, &[0]), c(2, &[0]), c(3, &[1, 2])];
+        assert_eq!(solve(&clauses, 4), vec![true; 4]);
+    }
+
+    #[test]
+    fn large_chain_is_fast() {
+        // 200k-long implication chain — linear behaviour sanity check.
+        let n = 200_000u32;
+        let mut clauses = vec![c(0, &[])];
+        for i in 1..n {
+            clauses.push(c(i, &[i - 1]));
+        }
+        let t = solve(&clauses, n as usize);
+        assert!(t[(n - 1) as usize]);
+    }
+}

@@ -1,0 +1,268 @@
+//! Textual datalog parser.
+//!
+//! Syntax:
+//!
+//! ```text
+//! program := (rule)*
+//! rule    := atom (":-" literal ("," literal)*)? "."
+//! literal := ("not" | "!")? atom
+//! atom    := ident "(" term ("," term)* ")"
+//! term    := Variable | "string constant"
+//! ```
+//!
+//! Identifiers starting with an uppercase letter (or `_`) are variables;
+//! everything else is a predicate name. `%` starts a line comment.
+
+use crate::ast::{Atom, Literal, Program, Rule, Term};
+
+/// Parse error with position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset.
+    pub at: usize,
+    /// Message.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "datalog parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a datalog program.
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let mut p = Parser {
+        src: src.as_bytes(),
+        text: src,
+        pos: 0,
+    };
+    let mut rules = Vec::new();
+    loop {
+        p.skip_trivia();
+        if p.pos >= p.src.len() {
+            break;
+        }
+        rules.push(p.rule()?);
+    }
+    Ok(Program::new(rules))
+}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    text: &'a str,
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, m: &str) -> ParseError {
+        ParseError {
+            at: self.pos,
+            message: m.to_string(),
+        }
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+                self.pos += 1;
+            }
+            if self.pos < self.src.len() && self.src[self.pos] == b'%' {
+                while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        self.skip_trivia();
+        if self.text[self.pos..].starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> Result<(), ParseError> {
+        if self.eat(s) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{s}'")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        self.skip_trivia();
+        let start = self.pos;
+        while self.pos < self.src.len() {
+            let b = self.src[self.pos];
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if start == self.pos {
+            return Err(self.err("expected an identifier"));
+        }
+        Ok(self.text[start..self.pos].to_string())
+    }
+
+    fn rule(&mut self) -> Result<Rule, ParseError> {
+        let head = self.atom()?;
+        let mut body = Vec::new();
+        if self.eat(":-") {
+            loop {
+                body.push(self.literal()?);
+                if !self.eat(",") {
+                    break;
+                }
+            }
+        }
+        self.expect(".")?;
+        Ok(Rule { head, body })
+    }
+
+    fn literal(&mut self) -> Result<Literal, ParseError> {
+        self.skip_trivia();
+        let negated = if self.eat("!") {
+            true
+        } else {
+            // "not" only counts when followed by a non-ident char or '('.
+            let save = self.pos;
+            if self.eat("not") {
+                let next = self.src.get(self.pos).copied();
+                match next {
+                    Some(b) if b.is_ascii_alphanumeric() || b == b'_' => {
+                        self.pos = save; // identifier starting with "not…"
+                        false
+                    }
+                    _ => true,
+                }
+            } else {
+                false
+            }
+        };
+        let atom = self.atom()?;
+        Ok(if negated {
+            Literal::neg(atom)
+        } else {
+            Literal::pos(atom)
+        })
+    }
+
+    fn atom(&mut self) -> Result<Atom, ParseError> {
+        let pred = self.ident()?;
+        if pred.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+            return Err(self.err("predicate names must start lowercase"));
+        }
+        self.expect("(")?;
+        let mut args = Vec::new();
+        loop {
+            args.push(self.term()?);
+            if !self.eat(",") {
+                break;
+            }
+        }
+        self.expect(")")?;
+        Ok(Atom { pred, args })
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        self.skip_trivia();
+        match self.src.get(self.pos) {
+            Some(b'"') => {
+                self.pos += 1;
+                let start = self.pos;
+                while self.pos < self.src.len() && self.src[self.pos] != b'"' {
+                    self.pos += 1;
+                }
+                if self.pos >= self.src.len() {
+                    return Err(self.err("unterminated string constant"));
+                }
+                let s = self.text[start..self.pos].to_string();
+                self.pos += 1;
+                Ok(Term::Const(s))
+            }
+            Some(b) if b.is_ascii_alphabetic() || *b == b'_' => {
+                let name = self.ident()?;
+                if name.chars().next().is_some_and(|c| c.is_ascii_uppercase() || c == '_') {
+                    Ok(Term::Var(name))
+                } else {
+                    // lowercase bare word = symbolic constant
+                    Ok(Term::Const(name))
+                }
+            }
+            _ => Err(self.err("expected a term")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facts_and_rules() {
+        let p = parse_program(r#"edge(a, b). path(X, Y) :- edge(X, Y)."#).unwrap();
+        assert_eq!(p.rules.len(), 2);
+        assert!(p.rules[0].body.is_empty());
+        assert_eq!(p.rules[1].body.len(), 1);
+    }
+
+    #[test]
+    fn variables_vs_constants() {
+        let p = parse_program(r#"q(X) :- r(X, foo, "Bar Baz", _Y)."#).unwrap();
+        let atom = &p.rules[0].body[0].atom;
+        assert_eq!(atom.args[0], Term::Var("X".into()));
+        assert_eq!(atom.args[1], Term::Const("foo".into()));
+        assert_eq!(atom.args[2], Term::Const("Bar Baz".into()));
+        assert_eq!(atom.args[3], Term::Var("_Y".into()));
+    }
+
+    #[test]
+    fn negation_forms() {
+        let p = parse_program("q(X) :- r(X), not s(X), !t(X).").unwrap();
+        let b = &p.rules[0].body;
+        assert!(b[0].positive);
+        assert!(!b[1].positive);
+        assert!(!b[2].positive);
+    }
+
+    #[test]
+    fn not_prefixed_identifier_is_not_negation() {
+        let p = parse_program("q(X) :- notable(X).").unwrap();
+        assert!(p.rules[0].body[0].positive);
+        assert_eq!(p.rules[0].body[0].atom.pred, "notable");
+    }
+
+    #[test]
+    fn comments_ignored() {
+        let p = parse_program(
+            "% the italics program\nitalic(X) :- label(X, \"i\"). % seed rule\n",
+        )
+        .unwrap();
+        assert_eq!(p.rules.len(), 1);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_program("q(X)").is_err()); // missing dot
+        assert!(parse_program("q(X) :- .").is_err());
+        assert!(parse_program("Q(X) :- r(X).").is_err()); // uppercase predicate
+        assert!(parse_program(r#"q(X) :- r("unterminated)."#).is_err());
+    }
+
+    #[test]
+    fn whitespace_insensitive() {
+        let a = parse_program("q(X):-r(X),s(X).").unwrap();
+        let b = parse_program("q( X ) :- r( X ) , s( X ) .").unwrap();
+        assert_eq!(a, b);
+    }
+}

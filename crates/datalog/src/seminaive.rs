@@ -1,0 +1,398 @@
+//! Stratified semi-naive evaluation over arbitrary finite structures.
+//!
+//! This is the *general* engine of the complexity story: monadic datalog
+//! over arbitrary structures is NP-complete in combined complexity
+//! (Proposition 2.3) because rule bodies are conjunctive queries; the
+//! nested-loop joins here are exact but can take time exponential in the
+//! rule size — precisely the behaviour experiment E3 contrasts with the
+//! linear tree pipeline.
+//!
+//! Supported: arbitrary arities, constants in any position, stratified
+//! negation, facts in the program text.
+
+use std::collections::HashMap;
+
+use crate::ast::{Atom, Literal, Program, Rule, Term};
+use crate::stratify::stratify;
+use crate::structure::{Database, Relation};
+use crate::EvalError;
+
+/// Evaluate `program` over `db`, returning a database containing **only**
+/// the intensional relations (inputs are not copied).
+pub fn eval(db: &Database, program: &Program) -> Result<Database, EvalError> {
+    program.check_arities()?;
+    let (strata, n_strata) = stratify(program)?;
+    let mut idb = Database::with_constants_of(db);
+    // Program constants may introduce fresh values (facts like
+    // `color(red).`); intern them up front so head emission can resolve
+    // them.
+    for rule in &program.rules {
+        for atom in std::iter::once(&rule.head).chain(rule.body.iter().map(|l| &l.atom)) {
+            for term in &atom.args {
+                if let Term::Const(c) = term {
+                    if db.lookup(c).is_none() {
+                        idb.intern(c);
+                    }
+                }
+            }
+        }
+    }
+
+    for s in 0..n_strata {
+        let rules: Vec<&Rule> = program
+            .rules
+            .iter()
+            .filter(|r| strata[&r.head.pred] == s)
+            .collect();
+        eval_stratum(db, &mut idb, &rules, &strata, s)?;
+    }
+    Ok(idb)
+}
+
+fn eval_stratum(
+    edb: &Database,
+    idb: &mut Database,
+    rules: &[&Rule],
+    strata: &HashMap<String, usize>,
+    stratum: usize,
+) -> Result<(), EvalError> {
+    // Semi-naive loop: track per-predicate deltas of the current stratum.
+    // Rules whose bodies mention no current-stratum predicate fire once.
+    let current: Vec<&str> = rules.iter().map(|r| r.head.pred.as_str()).collect();
+    let is_current = |p: &str| current.contains(&p);
+
+    // Round 0: fire every rule against the full (edb + lower-strata idb).
+    let mut delta: HashMap<String, Vec<Vec<u32>>> = HashMap::new();
+    for rule in rules {
+        let derived = eval_rule(edb, idb, rule, strata, stratum, None)?;
+        for t in derived {
+            if insert_idb(idb, &rule.head, &t) {
+                delta.entry(rule.head.pred.clone()).or_default().push(t);
+            }
+        }
+    }
+    // Iterate: re-fire recursive rules seeded by deltas.
+    while !delta.is_empty() {
+        let mut next_delta: HashMap<String, Vec<Vec<u32>>> = HashMap::new();
+        for rule in rules {
+            // For each body literal over a current-stratum predicate, join
+            // its delta against full relations for the rest.
+            for (i, lit) in rule.body.iter().enumerate() {
+                if !lit.positive || !is_current(&lit.atom.pred) {
+                    continue;
+                }
+                let Some(d) = delta.get(&lit.atom.pred) else {
+                    continue;
+                };
+                let derived = eval_rule(edb, idb, rule, strata, stratum, Some((i, d)))?;
+                for t in derived {
+                    if insert_idb(idb, &rule.head, &t) {
+                        next_delta
+                            .entry(rule.head.pred.clone())
+                            .or_default()
+                            .push(t);
+                    }
+                }
+            }
+        }
+        delta = next_delta;
+    }
+    Ok(())
+}
+
+fn insert_idb(idb: &mut Database, head: &Atom, tuple: &[u32]) -> bool {
+    if idb.contains(&head.pred, tuple) {
+        false
+    } else {
+        idb.add(&head.pred, tuple.to_vec());
+        true
+    }
+}
+
+/// Evaluate one rule body; `delta_at` optionally pins literal `i` to a
+/// delta tuple set instead of the full relation.
+fn eval_rule(
+    edb: &Database,
+    idb: &Database,
+    rule: &Rule,
+    strata: &HashMap<String, usize>,
+    stratum: usize,
+    delta_at: Option<(usize, &Vec<Vec<u32>>)>,
+) -> Result<Vec<Vec<u32>>, EvalError> {
+    // Order literals: positives first (negation needs bound variables).
+    let mut order: Vec<usize> = (0..rule.body.len()).collect();
+    order.sort_by_key(|&i| !rule.body[i].positive);
+
+    let mut results = Vec::new();
+    let mut binding: HashMap<&str, u32> = HashMap::new();
+    join(
+        edb,
+        idb,
+        rule,
+        strata,
+        stratum,
+        &order,
+        0,
+        delta_at,
+        &mut binding,
+        &mut results,
+    )?;
+    Ok(results)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn join<'r>(
+    edb: &Database,
+    idb: &Database,
+    rule: &'r Rule,
+    strata: &HashMap<String, usize>,
+    stratum: usize,
+    order: &[usize],
+    depth: usize,
+    delta_at: Option<(usize, &Vec<Vec<u32>>)>,
+    binding: &mut HashMap<&'r str, u32>,
+    results: &mut Vec<Vec<u32>>,
+) -> Result<(), EvalError> {
+    if depth == order.len() {
+        // Emit head tuple.
+        let mut t = Vec::with_capacity(rule.head.args.len());
+        for arg in &rule.head.args {
+            match arg {
+                Term::Var(v) => match binding.get(v.as_str()) {
+                    Some(&c) => t.push(c),
+                    None => return Err(EvalError::Unsafe(rule.to_string())),
+                },
+                Term::Const(c) => {
+                    // Head constants must already exist in the database; a
+                    // fact can introduce them via the program database.
+                    let id = edb
+                        .lookup(c)
+                        .or_else(|| idb.lookup(c))
+                        .ok_or_else(|| EvalError::UnknownPredicate(format!("constant {c}")))?;
+                    t.push(id);
+                }
+            }
+        }
+        results.push(t);
+        return Ok(());
+    }
+    let li = order[depth];
+    let lit: &'r Literal = &rule.body[li];
+    let pred = lit.atom.pred.as_str();
+
+    if !lit.positive {
+        // All variables must be bound.
+        let mut t = Vec::with_capacity(lit.atom.args.len());
+        for arg in &lit.atom.args {
+            match arg {
+                Term::Var(v) => match binding.get(v.as_str()) {
+                    Some(&c) => t.push(c),
+                    None => return Err(EvalError::Unsafe(rule.to_string())),
+                },
+                Term::Const(c) => match edb.lookup(c).or_else(|| idb.lookup(c)) {
+                    Some(id) => t.push(id),
+                    None => {
+                        // Unknown constant: the positive fact cannot hold,
+                        // so the negation is satisfied.
+                        return join(
+                            edb, idb, rule, strata, stratum, order, depth + 1, delta_at,
+                            binding, results,
+                        );
+                    }
+                },
+            }
+        }
+        let holds = edb.contains(pred, &t) || idb.contains(pred, &t);
+        if !holds {
+            join(
+                edb, idb, rule, strata, stratum, order, depth + 1, delta_at, binding, results,
+            )?;
+        }
+        return Ok(());
+    }
+
+    // Positive literal: choose tuple source.
+    let scan_delta;
+    let scan_full_edb;
+    let scan_full_idb;
+    match delta_at {
+        Some((i, d)) if i == li => {
+            scan_delta = Some(d);
+            scan_full_edb = None;
+            scan_full_idb = None;
+        }
+        _ => {
+            scan_delta = None;
+            scan_full_edb = edb.relation(pred);
+            scan_full_idb = idb.relation(pred);
+        }
+    }
+    let try_tuple = |tuple: &Vec<u32>,
+                         binding: &mut HashMap<&'r str, u32>,
+                         results: &mut Vec<Vec<u32>>|
+     -> Result<(), EvalError> {
+        let mut newly_bound: Vec<&str> = Vec::new();
+        let mut ok = true;
+        if tuple.len() != lit.atom.args.len() {
+            return Err(EvalError::ArityMismatch(pred.to_string()));
+        }
+        for (arg, &c) in lit.atom.args.iter().zip(tuple.iter()) {
+            match arg {
+                Term::Var(v) => match binding.get(v.as_str()) {
+                    Some(&b) if b != c => {
+                        ok = false;
+                        break;
+                    }
+                    Some(_) => {}
+                    None => {
+                        binding.insert(v.as_str(), c);
+                        newly_bound.push(v.as_str());
+                    }
+                },
+                Term::Const(name) => {
+                    let id = edb.lookup(name).or_else(|| idb.lookup(name));
+                    if id != Some(c) {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+        }
+        if ok {
+            join(
+                edb, idb, rule, strata, stratum, order, depth + 1, delta_at, binding, results,
+            )?;
+        }
+        for v in newly_bound {
+            binding.remove(v);
+        }
+        Ok(())
+    };
+
+    if let Some(d) = scan_delta {
+        for tuple in d {
+            try_tuple(tuple, binding, results)?;
+        }
+    } else {
+        let empty = Relation::default();
+        let e = scan_full_edb.unwrap_or(&empty);
+        for tuple in &e.tuples {
+            try_tuple(tuple, binding, results)?;
+        }
+        let i = scan_full_idb.unwrap_or(&empty);
+        for tuple in &i.tuples {
+            try_tuple(tuple, binding, results)?;
+        }
+    }
+    let _ = stratum;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+    use crate::structure::tree_db;
+    use lixto_tree::build::from_sexp;
+
+    #[test]
+    fn transitive_closure() {
+        let mut db = Database::new();
+        db.add_fact("edge", &["a", "b"]);
+        db.add_fact("edge", &["b", "c"]);
+        db.add_fact("edge", &["c", "d"]);
+        let p = parse_program(
+            "path(X, Y) :- edge(X, Y). path(X, Z) :- path(X, Y), edge(Y, Z).",
+        )
+        .unwrap();
+        let out = eval(&db, &p).unwrap();
+        assert_eq!(out.count("path"), 6);
+        let (a, d) = (db.lookup("a").unwrap(), db.lookup("d").unwrap());
+        assert!(out.contains("path", &[a, d]));
+    }
+
+    #[test]
+    fn constants_in_bodies_filter() {
+        let mut db = Database::new();
+        db.add_fact("edge", &["a", "b"]);
+        db.add_fact("edge", &["a", "c"]);
+        let p = parse_program(r#"fromto_c(X) :- edge(X, c)."#).unwrap();
+        let out = eval(&db, &p).unwrap();
+        assert_eq!(out.count("fromto_c"), 1);
+    }
+
+    #[test]
+    fn stratified_negation_complement() {
+        let doc = from_sexp("(a (b) (c (d)))").unwrap();
+        let db = tree_db(&doc);
+        let p = parse_program(
+            r#"haschild(X) :- child(X, _Y).
+               childless(X) :- label(X, "b"), not haschild(X).
+               childless(X) :- label(X, "c"), not haschild(X)."#,
+        )
+        .unwrap();
+        let out = eval(&db, &p).unwrap();
+        // b is childless, c has a child.
+        assert_eq!(out.count("childless"), 1);
+    }
+
+    #[test]
+    fn program_facts_add_constants() {
+        let db = Database::new();
+        let p = parse_program("color(red). color(green). any(X) :- color(X).").unwrap();
+        let out = eval(&db, &p).unwrap();
+        assert_eq!(out.count("any"), 2);
+    }
+
+    #[test]
+    fn three_colorability_as_single_rule() {
+        // K3 colors; query graph = path of 3 vertices (colorable).
+        let mut db = Database::new();
+        for (x, y) in [
+            ("r", "g"), ("g", "r"), ("r", "b"), ("b", "r"), ("g", "b"), ("b", "g"),
+        ] {
+            db.add_fact("ok", &[x, y]);
+        }
+        db.add_fact("vtx", &["r"]);
+        let p = parse_program(
+            "colorable(X1) :- ok(X1, X2), ok(X2, X3), vtx(X1).",
+        )
+        .unwrap();
+        let out = eval(&db, &p).unwrap();
+        assert_eq!(out.count("colorable"), 1);
+        // Triangle with only 2 colors available is not colorable:
+        let mut db2 = Database::new();
+        for (x, y) in [("r", "g"), ("g", "r")] {
+            db2.add_fact("ok", &[x, y]);
+        }
+        db2.add_fact("vtx", &["r"]);
+        let p2 = parse_program(
+            "colorable(X1) :- ok(X1, X2), ok(X2, X3), ok(X3, X1), vtx(X1).",
+        )
+        .unwrap();
+        let out2 = eval(&db2, &p2).unwrap();
+        assert_eq!(out2.count("colorable"), 0);
+    }
+
+    #[test]
+    fn unsafe_negation_rejected() {
+        let db = Database::new();
+        // Y in the negated atom is never bound.
+        let p = parse_program("q(X) :- r(X), not s(X, Y).").unwrap();
+        let mut db2 = db.clone();
+        db2.add_fact("r", &["a"]);
+        assert!(matches!(eval(&db2, &p), Err(EvalError::Unsafe(_))));
+    }
+
+    #[test]
+    fn recursive_on_tree_matches_reachability() {
+        let doc = from_sexp("(a (b (c)) (d))").unwrap();
+        let db = tree_db(&doc);
+        let p = parse_program(
+            "reach(X) :- root(X). reach(X) :- reach(Y), child(Y, X).",
+        )
+        .unwrap();
+        let out = eval(&db, &p).unwrap();
+        assert_eq!(out.count("reach"), doc.len());
+    }
+}

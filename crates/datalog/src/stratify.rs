@@ -1,0 +1,117 @@
+//! Stratification of programs with negation.
+//!
+//! Standard semantics: assign each intensional predicate a stratum such
+//! that positive dependencies stay within or below the consumer's stratum
+//! and negative dependencies are *strictly* below. A program admitting such
+//! an assignment is stratified; evaluation proceeds stratum by stratum,
+//! treating lower strata as extensional.
+
+use std::collections::HashMap;
+
+use crate::ast::Program;
+use crate::EvalError;
+
+/// Compute a stratification: predicate → stratum index (0-based), plus the
+/// total number of strata.
+///
+/// Returns [`EvalError::NotStratified`] if negation occurs in a dependency
+/// cycle.
+pub fn stratify(program: &Program) -> Result<(HashMap<String, usize>, usize), EvalError> {
+    let idb: Vec<String> = program.idb_predicates();
+    let mut stratum: HashMap<String, usize> = idb.iter().map(|p| (p.clone(), 0)).collect();
+    let n = idb.len().max(1);
+
+    // Bellman-Ford style relaxation: at most n rounds; further change
+    // implies an increasing cycle through a negative edge.
+    for round in 0..=n {
+        let mut changed = false;
+        for rule in &program.rules {
+            let head_s = stratum[&rule.head.pred];
+            let mut need = head_s;
+            for lit in &rule.body {
+                if let Some(&body_s) = stratum.get(&lit.atom.pred) {
+                    let req = if lit.positive { body_s } else { body_s + 1 };
+                    need = need.max(req);
+                }
+            }
+            if need > head_s {
+                stratum.insert(rule.head.pred.clone(), need);
+                changed = true;
+            }
+        }
+        if !changed {
+            let max = stratum.values().copied().max().unwrap_or(0);
+            return Ok((stratum, max + 1));
+        }
+        if round == n {
+            break;
+        }
+    }
+    // Find a culprit for the error message: any predicate at stratum > n.
+    let culprit = stratum
+        .iter()
+        .max_by_key(|(_, &s)| s)
+        .map(|(p, _)| p.clone())
+        .unwrap_or_default();
+    Err(EvalError::NotStratified(culprit))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+
+    #[test]
+    fn positive_program_is_one_stratum() {
+        let p = parse_program("a(X) :- b(X). b(X) :- a(X). a(X) :- root(X).").unwrap();
+        let (s, n) = stratify(&p).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(s["a"], 0);
+        assert_eq!(s["b"], 0);
+    }
+
+    #[test]
+    fn negation_pushes_consumer_up() {
+        let p = parse_program(
+            "base(X) :- leaf(X). derived(X) :- root(X), not base(X).",
+        )
+        .unwrap();
+        let (s, n) = stratify(&p).unwrap();
+        assert_eq!(n, 2);
+        assert!(s["derived"] > s["base"]);
+    }
+
+    #[test]
+    fn negation_cycle_rejected() {
+        let p = parse_program(
+            "a(X) :- root(X), not b(X). b(X) :- root(X), not a(X).",
+        )
+        .unwrap();
+        assert!(matches!(stratify(&p), Err(EvalError::NotStratified(_))));
+    }
+
+    #[test]
+    fn positive_cycle_through_negation_free_zone_is_fine() {
+        let p = parse_program(
+            r#"reach(X) :- root(X).
+               reach(X) :- reach(Y), child(Y, X).
+               unreached(X) :- label(X, "p"), not reach(X)."#,
+        )
+        .unwrap();
+        let (s, n) = stratify(&p).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(s["reach"], 0);
+        assert_eq!(s["unreached"], 1);
+    }
+
+    #[test]
+    fn three_strata_chain() {
+        let p = parse_program(
+            "a(X) :- root(X). b(X) :- root(X), not a(X). c(X) :- root(X), not b(X).",
+        )
+        .unwrap();
+        let (s, n) = stratify(&p).unwrap();
+        assert_eq!(n, 3);
+        assert!(s["a"] < s["b"] && s["b"] < s["c"]);
+    }
+}

@@ -1,0 +1,236 @@
+//! Finite relational structures (databases), and the view of a document
+//! tree as one.
+
+use std::collections::{HashMap, HashSet};
+
+use lixto_tree::{Document, NodeId, TEXT_LABEL};
+
+/// A named relation: a set of equal-length tuples of constants.
+#[derive(Debug, Clone, Default)]
+pub struct Relation {
+    /// Arity of every tuple.
+    pub arity: usize,
+    /// The tuples.
+    pub tuples: HashSet<Vec<u32>>,
+}
+
+/// A finite structure: constants (dense `u32`s, optionally named) and
+/// relations over them.
+///
+/// Constants created by [`Database::intern`] carry their string names so
+/// program constants can be resolved; [`Database::reserve_unnamed`] bulk-
+/// allocates anonymous constants (used for tree nodes, where the id *is*
+/// the node id).
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    relations: HashMap<String, Relation>,
+    names: HashMap<String, u32>,
+    next_const: u32,
+}
+
+impl Database {
+    /// Empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Empty database sharing the constant space of `other`: same named
+    /// constants, same next free id. Used by the semi-naive engine so IDB
+    /// tuples can reference EDB constants without id collisions.
+    pub fn with_constants_of(other: &Database) -> Database {
+        Database {
+            relations: HashMap::new(),
+            names: other.names.clone(),
+            next_const: other.next_const,
+        }
+    }
+
+    /// Allocate `n` anonymous constants `0..n`. Must be called before any
+    /// interning; returns the range start (always 0).
+    pub fn reserve_unnamed(&mut self, n: usize) -> u32 {
+        assert_eq!(self.next_const, 0, "reserve_unnamed must come first");
+        self.next_const = n as u32;
+        0
+    }
+
+    /// Intern a named constant.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&c) = self.names.get(name) {
+            return c;
+        }
+        let c = self.next_const;
+        self.next_const += 1;
+        self.names.insert(name.to_string(), c);
+        c
+    }
+
+    /// Resolve a named constant without interning.
+    pub fn lookup(&self, name: &str) -> Option<u32> {
+        self.names.get(name).copied()
+    }
+
+    /// Number of constants.
+    pub fn n_constants(&self) -> usize {
+        self.next_const as usize
+    }
+
+    /// Add a tuple to `rel` (creating the relation on first use).
+    ///
+    /// # Panics
+    /// Panics if the relation exists with a different arity.
+    pub fn add(&mut self, rel: &str, tuple: Vec<u32>) {
+        let r = self
+            .relations
+            .entry(rel.to_string())
+            .or_insert_with(|| Relation {
+                arity: tuple.len(),
+                tuples: HashSet::new(),
+            });
+        assert_eq!(r.arity, tuple.len(), "arity mismatch for relation {rel}");
+        r.tuples.insert(tuple);
+    }
+
+    /// Add a fact with named constants.
+    pub fn add_fact(&mut self, rel: &str, consts: &[&str]) {
+        let tuple: Vec<u32> = consts.iter().map(|c| self.intern(c)).collect();
+        self.add(rel, tuple);
+    }
+
+    /// The relation, if present.
+    pub fn relation(&self, rel: &str) -> Option<&Relation> {
+        self.relations.get(rel)
+    }
+
+    /// Iterate over the tuples of `rel` (empty iterator if absent).
+    pub fn tuples(&self, rel: &str) -> impl Iterator<Item = &Vec<u32>> {
+        self.relations
+            .get(rel)
+            .into_iter()
+            .flat_map(|r| r.tuples.iter())
+    }
+
+    /// Number of tuples in `rel`.
+    pub fn count(&self, rel: &str) -> usize {
+        self.relations.get(rel).map_or(0, |r| r.tuples.len())
+    }
+
+    /// Does `rel` contain `tuple`?
+    pub fn contains(&self, rel: &str, tuple: &[u32]) -> bool {
+        self.relations
+            .get(rel)
+            .is_some_and(|r| r.tuples.contains(tuple))
+    }
+
+    /// Names of all relations, sorted.
+    pub fn relation_names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.relations.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Materialize a document as a [`Database`] over the tree signature
+/// (τ_ur ∪ {child} and the inverse relations). Node ids double as constant
+/// ids; labels are interned as named constants.
+///
+/// Size: O(|dom|) tuples per relation.
+pub fn tree_db(doc: &Document) -> Database {
+    let mut db = Database::new();
+    db.reserve_unnamed(doc.len());
+    for n in doc.node_ids() {
+        let nc = n.index() as u32;
+        if doc.is_root(n) {
+            db.add("root", vec![nc]);
+        }
+        if doc.is_leaf(n) {
+            db.add("leaf", vec![nc]);
+        }
+        if doc.is_last_sibling(n) {
+            db.add("lastsibling", vec![nc]);
+        }
+        if doc.is_first_sibling(n) {
+            db.add("firstsibling", vec![nc]);
+        }
+        let label = doc.label_str(n).to_string();
+        let lc = db.intern(&label);
+        db.add("label", vec![nc, lc]);
+        if let Some(fc) = doc.first_child(n) {
+            db.add("firstchild", vec![nc, fc.index() as u32]);
+            db.add("firstchild_inv", vec![fc.index() as u32, nc]);
+        }
+        if let Some(ns) = doc.next_sibling(n) {
+            db.add("nextsibling", vec![nc, ns.index() as u32]);
+            db.add("nextsibling_inv", vec![ns.index() as u32, nc]);
+        }
+        for c in doc.children(n) {
+            db.add("child", vec![nc, c.index() as u32]);
+            db.add("child_inv", vec![c.index() as u32, nc]);
+        }
+    }
+    db
+}
+
+/// Convert a constant back to a node id (valid only for constants in the
+/// reserved node range of a [`tree_db`]).
+pub fn const_to_node(c: u32) -> NodeId {
+    NodeId::from_index(c as usize)
+}
+
+/// The label constant name used for text nodes.
+pub fn text_label() -> &'static str {
+    TEXT_LABEL
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lixto_tree::build::from_sexp;
+
+    #[test]
+    fn add_and_query() {
+        let mut db = Database::new();
+        db.add_fact("edge", &["a", "b"]);
+        db.add_fact("edge", &["b", "c"]);
+        assert_eq!(db.count("edge"), 2);
+        let a = db.lookup("a").unwrap();
+        let b = db.lookup("b").unwrap();
+        assert!(db.contains("edge", &[a, b]));
+        assert!(!db.contains("edge", &[b, a]));
+        assert_eq!(db.count("missing"), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_enforced() {
+        let mut db = Database::new();
+        db.add_fact("r", &["a"]);
+        db.add_fact("r", &["a", "b"]);
+    }
+
+    #[test]
+    fn tree_db_relations_match_document() {
+        let doc = from_sexp("(a (b (c) (d)) (e))").unwrap();
+        let db = tree_db(&doc);
+        assert_eq!(db.count("root"), 1);
+        assert_eq!(db.count("leaf"), 3); // c, d, e
+        assert_eq!(db.count("firstchild"), 2); // a->b, b->c
+        assert_eq!(db.count("nextsibling"), 2); // b->e, c->d
+        assert_eq!(db.count("child"), 4);
+        assert_eq!(db.count("child_inv"), 4);
+        assert_eq!(db.count("label"), doc.len());
+        // lastsibling: d and e (root is not a last sibling)
+        assert_eq!(db.count("lastsibling"), 2);
+        assert_eq!(db.count("firstsibling"), 2); // b and c
+        // label constant resolvable
+        assert!(db.lookup("c").is_some());
+    }
+
+    #[test]
+    fn node_constants_are_node_ids() {
+        let doc = from_sexp("(x (y))").unwrap();
+        let db = tree_db(&doc);
+        let t = db.tuples("firstchild").next().unwrap().clone();
+        assert_eq!(const_to_node(t[0]), doc.root());
+        assert_eq!(const_to_node(t[1]), doc.first_child(doc.root()).unwrap());
+    }
+}

@@ -1,0 +1,749 @@
+//! Tree-Marking Normal Form (Definition 2.6) and the Theorem 2.7 rewriting.
+//!
+//! Every monadic datalog rule over τ_ur ∪ {child} whose body's binary atoms
+//! form an *acyclic* multigraph on the variables (which includes every rule
+//! the visual specification process of Section 3.2 can generate — they are
+//! path-shaped) is rewritten into rules of the three TMNF forms:
+//!
+//! ```text
+//! (1) p(x) ← p0(x).
+//! (2) p(x) ← p0(x0), B(x0, x).     B = R or R⁻¹, R binary in τ_ur
+//! (3) p(x) ← p0(x), p1(x).
+//! ```
+//!
+//! The rewriting runs in O(|P|) (each body atom contributes O(1) output
+//! rules) and preserves the meaning of every *source* predicate; fresh
+//! auxiliary predicates are prefixed `__`.
+//!
+//! `child` edges are supported in both orientations. With
+//! [`TmnfOptions::eliminate_child`] the output is strict TMNF over τ_ur
+//! (child is compiled into firstchild/nextsibling recursions, the
+//! construction sketched in Section 3.2 of the paper); without it, `child`
+//! atoms are kept for the grounder, which handles them natively at the
+//! same O(|P|·|dom|) total cost.
+//!
+//! Rules whose body graph is cyclic are rejected with
+//! [`EvalError::NotTreeShaped`]; callers fall back to the general engine.
+
+use std::collections::HashMap;
+
+use crate::ast::{Atom, Literal, Program, Rule, Term};
+use crate::EvalError;
+
+/// Options for the rewriting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TmnfOptions {
+    /// Produce strict TMNF over τ_ur (no `child`, no `firstsibling`).
+    pub eliminate_child: bool,
+}
+
+/// Result of the rewriting.
+#[derive(Debug, Clone)]
+pub struct Translation {
+    /// The TMNF program. Source intensional predicates keep their names
+    /// and meanings; `__`-prefixed predicates are auxiliary.
+    pub program: Program,
+}
+
+/// Unary conditions a variable must satisfy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum UnaryCond {
+    /// Intensional (or previously generated auxiliary) predicate.
+    Pred(String),
+    /// τ_ur unary: root, leaf, lastsibling — or the derived firstsibling.
+    Edb(String),
+    /// label(x, "a").
+    Label(String),
+}
+
+/// A binary edge in a rule body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EdgeKind {
+    FirstChild,
+    NextSibling,
+    Child,
+}
+
+/// Rewrite `program` into (generalized) TMNF.
+pub fn to_tmnf(program: &Program, opts: TmnfOptions) -> Result<Translation, EvalError> {
+    program.check_tree_program()?;
+    let mut ctx = Ctx {
+        out: Vec::new(),
+        fresh: 0,
+        true_pred: None,
+        opts,
+    };
+    for rule in &program.rules {
+        ctx.rewrite_rule(rule)?;
+    }
+    Ok(Translation {
+        program: Program::new(ctx.out),
+    })
+}
+
+/// Strict syntactic check for Definition 2.6 (TMNF over τ_ur: `child`,
+/// `child_inv` and `firstsibling` are *not* allowed; `label` with constant
+/// second argument counts as a τ_ur unary predicate).
+pub fn is_tmnf(program: &Program) -> bool {
+    let idb = program.idb_predicates();
+    let is_unary = |a: &Atom| -> bool {
+        match a.pred.as_str() {
+            "root" | "leaf" | "lastsibling" => a.args.len() == 1,
+            "label" => a.args.len() == 2 && matches!(a.args[1], Term::Const(_)),
+            p => idb.iter().any(|q| q == p) && a.args.len() == 1,
+        }
+    };
+    let is_binary = |a: &Atom| -> bool {
+        matches!(
+            a.pred.as_str(),
+            "firstchild" | "nextsibling" | "firstchild_inv" | "nextsibling_inv"
+        ) && a.args.len() == 2
+    };
+    program.rules.iter().all(|r| {
+        if r.head.args.len() != 1 || r.head.args[0].as_var().is_none() {
+            return false;
+        }
+        let x = r.head.args[0].as_var().unwrap();
+        if r.body.iter().any(|l| !l.positive) {
+            return false;
+        }
+        match r.body.as_slice() {
+            // (1) p(x) ← p0(x).
+            [l0] => is_unary(&l0.atom) && l0.atom.args[0].as_var() == Some(x),
+            [l0, l1] => {
+                // (3) p(x) ← p0(x), p1(x).
+                let form3 = is_unary(&l0.atom)
+                    && is_unary(&l1.atom)
+                    && l0.atom.args[0].as_var() == Some(x)
+                    && l1.atom.args[0].as_var() == Some(x);
+                // (2) p(x) ← p0(x0), B(x0, x).
+                let form2 = is_unary(&l0.atom)
+                    && is_binary(&l1.atom)
+                    && l0.atom.args[0].as_var().is_some()
+                    && l1.atom.args[0].as_var() == l0.atom.args[0].as_var()
+                    && l1.atom.args[1].as_var() == Some(x)
+                    && l0.atom.args[0].as_var() != Some(x);
+                form3 || form2
+            }
+            _ => false,
+        }
+    })
+}
+
+struct Ctx {
+    out: Vec<Rule>,
+    fresh: usize,
+    true_pred: Option<String>,
+    opts: TmnfOptions,
+}
+
+impl Ctx {
+    fn fresh_pred(&mut self, hint: &str) -> String {
+        self.fresh += 1;
+        format!("__{hint}{}", self.fresh)
+    }
+
+    fn unary_atom(&self, cond: &UnaryCond, var: &str) -> Atom {
+        match cond {
+            UnaryCond::Pred(p) => Atom::new(p.clone(), vec![Term::Var(var.into())]),
+            UnaryCond::Edb(p) => Atom::new(p.clone(), vec![Term::Var(var.into())]),
+            UnaryCond::Label(l) => Atom::new(
+                "label",
+                vec![Term::Var(var.into()), Term::Const(l.clone())],
+            ),
+        }
+    }
+
+    fn rule(&mut self, head: Atom, body: Vec<Atom>) {
+        self.out.push(Rule {
+            head,
+            body: body.into_iter().map(Literal::pos).collect(),
+        });
+    }
+
+    /// The universal predicate `__true` (TMNF-definable: spread from the
+    /// root along firstchild/nextsibling).
+    fn true_pred(&mut self) -> String {
+        if let Some(p) = &self.true_pred {
+            return p.clone();
+        }
+        let p = "__true".to_string();
+        let x = || Term::Var("X".into());
+        let x0 = || Term::Var("X0".into());
+        self.rule(
+            Atom::new(p.clone(), vec![x()]),
+            vec![Atom::new("root", vec![x()])],
+        );
+        self.rule(
+            Atom::new(p.clone(), vec![x()]),
+            vec![
+                Atom::new(p.clone(), vec![x0()]),
+                Atom::new("firstchild", vec![x0(), x()]),
+            ],
+        );
+        self.rule(
+            Atom::new(p.clone(), vec![x()]),
+            vec![
+                Atom::new(p.clone(), vec![x0()]),
+                Atom::new("nextsibling", vec![x0(), x()]),
+            ],
+        );
+        self.true_pred = Some(p.clone());
+        p
+    }
+
+    /// Reduce a conjunction of unary conditions on `var` to a single
+    /// predicate name (generating chain rules as needed).
+    fn conjunction_pred(&mut self, conds: &[UnaryCond], hint: &str) -> String {
+        match conds {
+            [] => self.true_pred(),
+            [UnaryCond::Pred(p)] => p.clone(),
+            [single] => {
+                // Edb/label conditions are wrapped so callers always get an
+                // intensional name (form 2 needs p0 usable on its own).
+                let p = self.fresh_pred(hint);
+                let head = Atom::new(p.clone(), vec![Term::Var("X".into())]);
+                let body = vec![self.unary_atom(single, "X")];
+                self.rule(head, body);
+                p
+            }
+            [first, rest @ ..] => {
+                // Chain of form-(3) rules.
+                let mut acc = self.conjunction_pred(std::slice::from_ref(first), hint);
+                for c in rest {
+                    let p = self.fresh_pred(hint);
+                    let head = Atom::new(p.clone(), vec![Term::Var("X".into())]);
+                    let body = vec![
+                        Atom::new(acc.clone(), vec![Term::Var("X".into())]),
+                        self.unary_atom(c, "X"),
+                    ];
+                    self.rule(head, body);
+                    acc = p;
+                }
+                acc
+            }
+        }
+    }
+
+    /// Emit the form-(2) style rules for "x satisfies `target` iff some y
+    /// with edge(x, y) (per `kind`/`x_is_source`) satisfies `inner`".
+    /// Returns the predicate holding at x.
+    fn edge_pred(&mut self, inner: &str, kind: EdgeKind, x_is_source: bool) -> String {
+        let p = self.fresh_pred("edge");
+        let x = || Term::Var("X".into());
+        let x0 = || Term::Var("X0".into());
+        let inner_atom = Atom::new(inner, vec![x0()]);
+        match (kind, x_is_source) {
+            // firstchild(x, y): go from y back to x via firstchild⁻¹.
+            (EdgeKind::FirstChild, true) => {
+                self.rule(
+                    Atom::new(p.clone(), vec![x()]),
+                    vec![inner_atom, Atom::new("firstchild_inv", vec![x0(), x()])],
+                );
+            }
+            // firstchild(y, x): from y forward to x.
+            (EdgeKind::FirstChild, false) => {
+                self.rule(
+                    Atom::new(p.clone(), vec![x()]),
+                    vec![inner_atom, Atom::new("firstchild", vec![x0(), x()])],
+                );
+            }
+            (EdgeKind::NextSibling, true) => {
+                self.rule(
+                    Atom::new(p.clone(), vec![x()]),
+                    vec![inner_atom, Atom::new("nextsibling_inv", vec![x0(), x()])],
+                );
+            }
+            (EdgeKind::NextSibling, false) => {
+                self.rule(
+                    Atom::new(p.clone(), vec![x()]),
+                    vec![inner_atom, Atom::new("nextsibling", vec![x0(), x()])],
+                );
+            }
+            (EdgeKind::Child, true) if !self.opts.eliminate_child => {
+                // child(x, y): x has child y satisfying inner.
+                self.rule(
+                    Atom::new(p.clone(), vec![x()]),
+                    vec![inner_atom, Atom::new("child_inv", vec![x0(), x()])],
+                );
+            }
+            (EdgeKind::Child, false) if !self.opts.eliminate_child => {
+                self.rule(
+                    Atom::new(p.clone(), vec![x()]),
+                    vec![inner_atom, Atom::new("child", vec![x0(), x()])],
+                );
+            }
+            (EdgeKind::Child, true) => {
+                // Strict τ_ur: x has a child satisfying inner ⇔ propagate
+                // inner leftward through siblings, then step up via
+                // firstchild⁻¹.
+                let v = self.fresh_pred("lsib");
+                self.rule(
+                    Atom::new(v.clone(), vec![x()]),
+                    vec![Atom::new(inner, vec![x()])],
+                );
+                self.rule(
+                    Atom::new(v.clone(), vec![x()]),
+                    vec![
+                        Atom::new(v.clone(), vec![x0()]),
+                        Atom::new("nextsibling_inv", vec![x0(), x()]),
+                    ],
+                );
+                self.rule(
+                    Atom::new(p.clone(), vec![x()]),
+                    vec![
+                        Atom::new(v, vec![x0()]),
+                        Atom::new("firstchild_inv", vec![x0(), x()]),
+                    ],
+                );
+            }
+            (EdgeKind::Child, false) => {
+                // child(y, x): x's parent satisfies inner ⇔ reach the first
+                // sibling via firstchild, then spread rightward.
+                self.rule(
+                    Atom::new(p.clone(), vec![x()]),
+                    vec![inner_atom, Atom::new("firstchild", vec![x0(), x()])],
+                );
+                self.rule(
+                    Atom::new(p.clone(), vec![x()]),
+                    vec![
+                        Atom::new(p.clone(), vec![x0()]),
+                        Atom::new("nextsibling", vec![x0(), x()]),
+                    ],
+                );
+            }
+        }
+        p
+    }
+
+    /// "Somewhere in the document a node satisfies `inner`" — propagate up
+    /// to the root, then spread everywhere. Returns a predicate true on
+    /// every node iff ∃n. inner(n).
+    fn global_pred(&mut self, inner: &str) -> String {
+        let x = || Term::Var("X".into());
+        let x0 = || Term::Var("X0".into());
+        let up = self.fresh_pred("up");
+        self.rule(
+            Atom::new(up.clone(), vec![x()]),
+            vec![Atom::new(inner, vec![x()])],
+        );
+        for b in ["nextsibling_inv", "firstchild_inv"] {
+            self.rule(
+                Atom::new(up.clone(), vec![x()]),
+                vec![
+                    Atom::new(up.clone(), vec![x0()]),
+                    Atom::new(b, vec![x0(), x()]),
+                ],
+            );
+        }
+        let at_root = self.fresh_pred("atroot");
+        self.rule(
+            Atom::new(at_root.clone(), vec![x()]),
+            vec![
+                Atom::new(up, vec![x()]),
+                Atom::new("root", vec![x()]),
+            ],
+        );
+        let glob = self.fresh_pred("glob");
+        self.rule(
+            Atom::new(glob.clone(), vec![x()]),
+            vec![Atom::new(at_root, vec![x()])],
+        );
+        for b in ["firstchild", "nextsibling"] {
+            self.rule(
+                Atom::new(glob.clone(), vec![x()]),
+                vec![
+                    Atom::new(glob.clone(), vec![x0()]),
+                    Atom::new(b, vec![x0(), x()]),
+                ],
+            );
+        }
+        glob
+    }
+
+    fn rewrite_rule(&mut self, rule: &Rule) -> Result<(), EvalError> {
+        let head_var = match rule.head.args[0].as_var() {
+            Some(v) => v.to_string(),
+            None => return Err(EvalError::NotTreeShaped(rule.to_string())),
+        };
+
+        // Classify body atoms.
+        let mut unary: HashMap<String, Vec<UnaryCond>> = HashMap::new();
+        let mut edges: Vec<(String, String, EdgeKind)> = Vec::new(); // (source, target, kind)
+        let mut vars: Vec<String> = Vec::new();
+        let mut seen_atoms: Vec<&Atom> = Vec::new();
+        let note_var = |v: &str, vars: &mut Vec<String>| {
+            if !vars.iter().any(|x| x == v) {
+                vars.push(v.to_string());
+            }
+        };
+        note_var(&head_var, &mut vars);
+
+        for lit in &rule.body {
+            let atom = &lit.atom;
+            if seen_atoms.contains(&atom) {
+                continue; // duplicate atoms are redundant
+            }
+            seen_atoms.push(atom);
+            match atom.pred.as_str() {
+                "root" | "leaf" | "lastsibling" | "firstsibling" => {
+                    let v = atom.args[0]
+                        .as_var()
+                        .ok_or_else(|| EvalError::NotTreeShaped(rule.to_string()))?;
+                    note_var(v, &mut vars);
+                    let cond = if atom.pred == "firstsibling" && self.opts.eliminate_child {
+                        // Strict τ_ur: firstsibling(x) ⇔ ∃y firstchild(y,x).
+                        let t = self.true_pred();
+                        let p = self.fresh_pred("firstsib");
+                        self.rule(
+                            Atom::new(p.clone(), vec![Term::Var("X".into())]),
+                            vec![
+                                Atom::new(t, vec![Term::Var("X0".into())]),
+                                Atom::new(
+                                    "firstchild",
+                                    vec![Term::Var("X0".into()), Term::Var("X".into())],
+                                ),
+                            ],
+                        );
+                        UnaryCond::Pred(p)
+                    } else {
+                        UnaryCond::Edb(atom.pred.clone())
+                    };
+                    unary.entry(v.to_string()).or_default().push(cond);
+                }
+                "label" => {
+                    let v = atom.args[0]
+                        .as_var()
+                        .ok_or_else(|| EvalError::NotTreeShaped(rule.to_string()))?;
+                    let Term::Const(l) = &atom.args[1] else {
+                        // label with a variable second argument is beyond
+                        // the unary view — let the general engine do it.
+                        return Err(EvalError::NotTreeShaped(rule.to_string()));
+                    };
+                    note_var(v, &mut vars);
+                    unary
+                        .entry(v.to_string())
+                        .or_default()
+                        .push(UnaryCond::Label(l.clone()));
+                }
+                "firstchild" | "nextsibling" | "child" | "firstchild_inv"
+                | "nextsibling_inv" | "child_inv" => {
+                    let (Some(a), Some(b)) = (atom.args[0].as_var(), atom.args[1].as_var())
+                    else {
+                        return Err(EvalError::NotTreeShaped(rule.to_string()));
+                    };
+                    if a == b {
+                        // Self-loops (firstchild(x,x) etc.) are
+                        // unsatisfiable on trees but legal datalog — punt.
+                        return Err(EvalError::NotTreeShaped(rule.to_string()));
+                    }
+                    note_var(a, &mut vars);
+                    note_var(b, &mut vars);
+                    let (src, tgt, kind) = match atom.pred.as_str() {
+                        "firstchild" => (a, b, EdgeKind::FirstChild),
+                        "firstchild_inv" => (b, a, EdgeKind::FirstChild),
+                        "nextsibling" => (a, b, EdgeKind::NextSibling),
+                        "nextsibling_inv" => (b, a, EdgeKind::NextSibling),
+                        "child" => (a, b, EdgeKind::Child),
+                        _ => (b, a, EdgeKind::Child),
+                    };
+                    edges.push((src.to_string(), tgt.to_string(), kind));
+                }
+                _idb => {
+                    let v = atom.args[0]
+                        .as_var()
+                        .ok_or_else(|| EvalError::NotTreeShaped(rule.to_string()))?;
+                    note_var(v, &mut vars);
+                    unary
+                        .entry(v.to_string())
+                        .or_default()
+                        .push(UnaryCond::Pred(atom.pred.clone()));
+                }
+            }
+        }
+
+        // Partition variables into connected components of the edge
+        // multigraph and check acyclicity per component.
+        let comp = components(&vars, &edges);
+        for c in comp.values().collect::<std::collections::BTreeSet<_>>() {
+            let members = vars.iter().filter(|v| comp[*v] == *c).count();
+            let edge_count = edges.iter().filter(|(s, _, _)| comp[s] == *c).count();
+            if edge_count >= members {
+                return Err(EvalError::NotTreeShaped(rule.to_string()));
+            }
+        }
+
+        // Process the head component: orient edges toward head_var and fold
+        // bottom-up.
+        let head_comp = comp[&head_var];
+        let mut head_conjuncts: Vec<UnaryCond> = Vec::new();
+        let head_pred =
+            self.fold_component(&head_var, head_comp, &vars, &edges, &unary, &comp)?;
+        head_conjuncts.push(UnaryCond::Pred(head_pred));
+
+        // Other components contribute global existence conditions.
+        let mut other_roots: Vec<&String> = vars
+            .iter()
+            .filter(|v| comp[*v] != head_comp)
+            .collect();
+        // One root per component (first member encountered).
+        other_roots.dedup_by_key(|v| comp[*v]);
+        let mut handled: Vec<usize> = Vec::new();
+        for root in other_roots {
+            let c = comp[root];
+            if handled.contains(&c) {
+                continue;
+            }
+            handled.push(c);
+            let pred = self.fold_component(root, c, &vars, &edges, &unary, &comp)?;
+            let glob = self.global_pred(&pred);
+            head_conjuncts.push(UnaryCond::Pred(glob));
+        }
+
+        let final_pred = self.conjunction_pred(&head_conjuncts, "head");
+        self.rule(
+            Atom::new(rule.head.pred.clone(), vec![Term::Var("X".into())]),
+            vec![Atom::new(final_pred, vec![Term::Var("X".into())])],
+        );
+        Ok(())
+    }
+
+    /// Fold the tree-shaped component `c`, rooted at `root`, into a single
+    /// unary predicate over the root variable.
+    fn fold_component(
+        &mut self,
+        root: &str,
+        c: usize,
+        vars: &[String],
+        edges: &[(String, String, EdgeKind)],
+        unary: &HashMap<String, Vec<UnaryCond>>,
+        comp: &HashMap<String, usize>,
+    ) -> Result<String, EvalError> {
+        // BFS orientation from root.
+        let members: Vec<&String> = vars.iter().filter(|v| comp[*v] == c).collect();
+        let mut parent: HashMap<&str, (usize, bool)> = HashMap::new(); // var -> (edge idx, var_is_source_of_edge)
+        let mut order: Vec<&str> = vec![root];
+        let mut visited: Vec<&str> = vec![root];
+        let mut qi = 0;
+        while qi < order.len() {
+            let u = order[qi];
+            qi += 1;
+            for (i, (s, t, _)) in edges.iter().enumerate() {
+                if parent.values().any(|&(pe, _)| pe == i) {
+                    continue; // edge already used
+                }
+                let other = if s == u && !visited.contains(&t.as_str()) {
+                    Some((t.as_str(), false))
+                } else if t == u && !visited.contains(&s.as_str()) {
+                    Some((s.as_str(), true))
+                } else {
+                    None
+                };
+                if let Some((w, w_is_source)) = other {
+                    parent.insert(w, (i, w_is_source));
+                    visited.push(w);
+                    order.push(w);
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), members.len(), "component must be connected");
+
+        // Fold bottom-up: process in reverse BFS order.
+        let mut cond_pred: HashMap<&str, String> = HashMap::new();
+        for &v in order.iter().rev() {
+            let mut conjuncts: Vec<UnaryCond> =
+                unary.get(v).cloned().unwrap_or_default();
+            // Children of v = vars whose parent edge connects to v.
+            for &w in &order {
+                if w == v {
+                    continue;
+                }
+                if let Some(&(ei, w_is_source)) = parent.get(w) {
+                    let (s, t, kind) = &edges[ei];
+                    let attaches_to_v = if w_is_source { t == v } else { s == v };
+                    if !attaches_to_v {
+                        continue;
+                    }
+                    let inner = cond_pred[w].clone();
+                    // Edge atom is kind(s, t). From v's perspective:
+                    // v is the source iff !w_is_source.
+                    let p = self.edge_pred(&inner, *kind, !w_is_source);
+                    conjuncts.push(UnaryCond::Pred(p));
+                }
+            }
+            let p = self.conjunction_pred(&conjuncts, "cond");
+            cond_pred.insert(v, p);
+        }
+        Ok(cond_pred[root].clone())
+    }
+}
+
+fn components(
+    vars: &[String],
+    edges: &[(String, String, EdgeKind)],
+) -> HashMap<String, usize> {
+    // Union-find over variable indices.
+    let idx: HashMap<&str, usize> = vars.iter().enumerate().map(|(i, v)| (v.as_str(), i)).collect();
+    let mut uf: Vec<usize> = (0..vars.len()).collect();
+    fn find(uf: &mut Vec<usize>, mut x: usize) -> usize {
+        while uf[x] != x {
+            uf[x] = uf[uf[x]];
+            x = uf[x];
+        }
+        x
+    }
+    for (s, t, _) in edges {
+        let (a, b) = (find(&mut uf, idx[s.as_str()]), find(&mut uf, idx[t.as_str()]));
+        if a != b {
+            uf[a] = b;
+        }
+    }
+    vars.iter()
+        .map(|v| {
+            let r = find(&mut uf, idx[v.as_str()]);
+            (v.clone(), r)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_program, MonadicEvaluator};
+
+    fn assert_equivalent(src: &str, html: &str) {
+        let program = parse_program(src).unwrap();
+        let doc = lixto_html::parse(html);
+        // Reference: general semi-naive engine.
+        let db = crate::structure::tree_db(&doc);
+        let reference = crate::seminaive::eval(&db, &program).unwrap();
+        // TMNF path (strict, with child elimination).
+        let t = to_tmnf(&program, TmnfOptions { eliminate_child: true }).unwrap();
+        assert!(is_tmnf(&t.program), "not strict TMNF:\n{}", t.program);
+        let result = MonadicEvaluator::new(&doc).eval(&program).unwrap();
+        for pred in program.idb_predicates() {
+            let mut want: Vec<u32> = reference.tuples(&pred).map(|t| t[0]).collect();
+            want.sort_unstable();
+            let mut got: Vec<u32> = result[&pred].iter().map(|n| n.index() as u32).collect();
+            got.sort_unstable();
+            assert_eq!(got, want, "predicate {pred} differs");
+        }
+    }
+
+    #[test]
+    fn italics_program_is_already_tmnf() {
+        let p = parse_program(
+            r#"italic(X) :- label(X, "i").
+               italic(X) :- italic(X0), firstchild(X0, X).
+               italic(X) :- italic(X0), nextsibling(X0, X)."#,
+        )
+        .unwrap();
+        // The source is in TMNF except that form (1) with a label atom is
+        // fine, so the checker accepts it directly.
+        assert!(is_tmnf(&p));
+    }
+
+    #[test]
+    fn output_is_strict_tmnf_for_child_rules() {
+        let p = parse_program(r#"q(X) :- child(X, Y), label(Y, "td")."#).unwrap();
+        let t = to_tmnf(&p, TmnfOptions { eliminate_child: true }).unwrap();
+        assert!(is_tmnf(&t.program), "{}", t.program);
+        // and without elimination it is generalized TMNF (child allowed)
+        let t2 = to_tmnf(&p, TmnfOptions { eliminate_child: false }).unwrap();
+        assert!(t2
+            .program
+            .rules
+            .iter()
+            .any(|r| r.body.iter().any(|l| l.atom.pred.contains("child"))));
+    }
+
+    #[test]
+    fn path_rule_equivalence() {
+        assert_equivalent(
+            r##"rec(X) :- label(X, "tr").
+               txt(X) :- rec(R), child(R, C), label(C, "td"), child(C, X), label(X, "#text")."##,
+            "<table><tr><td>a</td><td>b</td></tr><tr><td>c</td></tr></table><div>no</div>",
+        );
+    }
+
+    #[test]
+    fn upward_edges_equivalence() {
+        // q selects td cells whose *parent* is a tr with a lastsibling td.
+        assert_equivalent(
+            r#"q(X) :- label(X, "td"), child(R, X), label(R, "tr")."#,
+            "<table><tr><td>a</td></tr></table><td>stray</td>",
+        );
+    }
+
+    #[test]
+    fn disconnected_component_is_global_condition() {
+        // Select all li iff the document contains an hr somewhere.
+        assert_equivalent(
+            r#"q(X) :- label(X, "li"), label(Y, "hr")."#,
+            "<ul><li>a</li><li>b</li></ul><hr>",
+        );
+        assert_equivalent(
+            r#"q(X) :- label(X, "li"), label(Y, "hr")."#,
+            "<ul><li>a</li><li>b</li></ul>",
+        );
+    }
+
+    #[test]
+    fn firstsibling_and_lastsibling() {
+        assert_equivalent(
+            r#"first(X) :- label(X, "li"), firstsibling(X).
+               last(X) :- label(X, "li"), lastsibling(X)."#,
+            "<ul><li>a</li><li>b</li><li>c</li></ul>",
+        );
+    }
+
+    #[test]
+    fn siblings_chain_equivalence() {
+        assert_equivalent(
+            r#"afterhead(X) :- label(H, "th"), nextsibling(H, X)."#,
+            "<table><tr><th>h</th><td>v1</td><td>v2</td></tr></table>",
+        );
+    }
+
+    #[test]
+    fn deep_conjunction_chain() {
+        assert_equivalent(
+            r#"q(X) :- label(X, "td"), leaf(X), lastsibling(X), cellish(X).
+               cellish(X) :- label(X, "td")."#,
+            "<table><tr><td>a</td><td>b</td></tr></table>",
+        );
+    }
+
+    #[test]
+    fn cyclic_body_rejected() {
+        let p = parse_program("q(X) :- child(X, Y), child(X, Z), nextsibling(Y, Z).").unwrap();
+        assert!(matches!(
+            to_tmnf(&p, TmnfOptions::default()),
+            Err(EvalError::NotTreeShaped(_))
+        ));
+    }
+
+    #[test]
+    fn translation_size_is_linear_in_program_size() {
+        // Growing a chain rule must grow the output linearly (Theorem 2.7's
+        // O(|P|) translation).
+        let mut sizes = Vec::new();
+        for k in [2usize, 4, 8, 16] {
+            let mut body: Vec<String> = vec![r#"label(V0, "a")"#.to_string()];
+            for i in 0..k {
+                body.push(format!("child(V{i}, V{})", i + 1));
+            }
+            let src = format!("q(V{k}) :- {}.", body.join(", "));
+            let p = parse_program(&src).unwrap();
+            let t = to_tmnf(&p, TmnfOptions { eliminate_child: true }).unwrap();
+            sizes.push((p.size(), t.program.size()));
+        }
+        // Output size should grow by a constant factor, not quadratically.
+        let ratio0 = sizes[0].1 as f64 / sizes[0].0 as f64;
+        let ratio3 = sizes[3].1 as f64 / sizes[3].0 as f64;
+        assert!(
+            ratio3 < ratio0 * 2.0 + 2.0,
+            "translation blow-up not linear: {sizes:?}"
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! Wrappers as sets of information extraction functions.
+//!
+//! Section 2.1 of the paper: "a wrapper is a program which implements one
+//! or several such [information extraction] functions, and thereby assigns
+//! unary predicates to document tree nodes"; the output tree is then
+//! computed by the tree-minor operation. [`Wrapper`] bundles a monadic
+//! datalog program with the designation of which intensional predicates
+//! are *extraction* predicates (the rest are auxiliary — the paper's XML
+//! Designer makes exactly this distinction) and with their output labels.
+
+use lixto_tree::minor::{tree_minor_with_values, MinorOptions, Selection};
+use lixto_tree::Document;
+
+use crate::ast::Program;
+use crate::{EvalError, MonadicEvaluator};
+
+/// A monadic-datalog wrapper.
+#[derive(Debug, Clone)]
+pub struct Wrapper {
+    /// The wrapper program.
+    pub program: Program,
+    /// `(predicate, output label)` pairs, in priority order (first match
+    /// labels a node that several predicates select).
+    pub extraction: Vec<(String, String)>,
+    /// Output-tree construction options.
+    pub minor_options: MinorOptions,
+}
+
+impl Wrapper {
+    /// Wrapper extracting *every* intensional predicate, labeled by the
+    /// predicate name (the paper's default).
+    pub fn new(program: Program) -> Wrapper {
+        let extraction = program
+            .idb_predicates()
+            .into_iter()
+            .map(|p| (p.clone(), p))
+            .collect();
+        Wrapper {
+            program,
+            extraction,
+            minor_options: MinorOptions::default(),
+        }
+    }
+
+    /// Wrapper extracting only the given predicates (declaring all others
+    /// auxiliary), each with an explicit output label.
+    pub fn with_extraction(program: Program, extraction: Vec<(String, String)>) -> Wrapper {
+        Wrapper {
+            program,
+            extraction,
+            minor_options: MinorOptions::default(),
+        }
+    }
+
+    /// Run the wrapper: evaluate the program and build the output tree.
+    pub fn wrap(&self, doc: &Document) -> Result<Document, EvalError> {
+        let results = MonadicEvaluator::new(doc).eval(&self.program)?;
+        let mut selections: Vec<Selection> = Vec::new();
+        for (pred, label) in &self.extraction {
+            if let Some(nodes) = results.get(pred) {
+                for &node in nodes {
+                    selections.push(Selection {
+                        node,
+                        new_label: label.clone(),
+                    });
+                }
+            }
+        }
+        // tree_minor resolves multi-matches by first selection; order the
+        // selections by extraction priority, which `extraction` already
+        // encodes. Sort stably by node document order within a predicate is
+        // already given.
+        Ok(tree_minor_with_values(doc, &selections, &self.minor_options))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+    use lixto_tree::render::to_sexp;
+
+    #[test]
+    fn wrapper_end_to_end_table() {
+        let program = parse_program(
+            r#"record(X) :- label(X, "tr").
+               field(X) :- record(R), child(R, X), label(X, "td")."#,
+        )
+        .unwrap();
+        let doc = lixto_html::parse(
+            "<table><tr><td>alpha</td><td>beta</td></tr><tr><td>gamma</td></tr></table>",
+        );
+        let out = Wrapper::new(program).wrap(&doc).unwrap();
+        assert_eq!(
+            to_sexp(&out),
+            r#"(result (record (field "alpha") (field "beta")) (record (field "gamma")))"#
+        );
+    }
+
+    #[test]
+    fn auxiliary_predicates_do_not_reach_output() {
+        let program = parse_program(
+            r#"aux(X) :- label(X, "tr").
+               field(X) :- aux(R), child(R, X), label(X, "td")."#,
+        )
+        .unwrap();
+        let w = Wrapper::with_extraction(program, vec![("field".into(), "cell".into())]);
+        let doc = lixto_html::parse("<table><tr><td>v</td></tr></table>");
+        let out = w.wrap(&doc).unwrap();
+        assert_eq!(to_sexp(&out), r#"(result (cell "v"))"#);
+    }
+
+    #[test]
+    fn extraction_priority_orders_labels() {
+        let program = parse_program(
+            r#"em(X) :- label(X, "i").
+               strong(X) :- label(X, "i")."#,
+        )
+        .unwrap();
+        let w = Wrapper::with_extraction(
+            program,
+            vec![("strong".into(), "s".into()), ("em".into(), "e".into())],
+        );
+        let doc = lixto_html::parse("<i>x</i>");
+        let out = w.wrap(&doc).unwrap();
+        assert_eq!(to_sexp(&out), r#"(result (s "x"))"#);
+    }
+}

@@ -1,0 +1,211 @@
+//! Concept conditions — Section 3.3(c).
+//!
+//! "Concept condition predicates subsume semantic concepts like
+//! isCountry(X) or isCurrency(X) and syntactic ones like isDate(X) […]
+//! Some predicates are built-in to enrich the system, while more can be
+//! interactively added. Syntactic predicates are created as regular
+//! expressions, whereas semantic ones refer to an ontological database."
+
+use std::collections::{HashMap, HashSet};
+
+use lixto_regexlite::Regex;
+
+/// A concept definition.
+#[derive(Debug, Clone)]
+pub enum Concept {
+    /// Syntactic: a regular expression the whole (trimmed) value must
+    /// match somewhere.
+    Syntactic(String),
+    /// Semantic: membership in an ontology table (case-insensitive).
+    Semantic(HashSet<String>),
+}
+
+/// Registry of named concepts.
+#[derive(Debug, Clone)]
+pub struct ConceptRegistry {
+    concepts: HashMap<String, Concept>,
+}
+
+impl Default for ConceptRegistry {
+    fn default() -> Self {
+        Self::builtin()
+    }
+}
+
+impl ConceptRegistry {
+    /// The built-in registry: `isCurrency`, `isDate`, `isNumber`,
+    /// `isPrice`, `isTime`, `isCountry`, `isCity`.
+    pub fn builtin() -> ConceptRegistry {
+        let mut r = ConceptRegistry {
+            concepts: HashMap::new(),
+        };
+        r.add_syntactic("isCurrency", r"^(\$|€|£|¥|EUR|USD|GBP|DM|ATS|CHF|Euro)$");
+        r.add_syntactic(
+            "isDate",
+            r"(\d{1,2}[./-]\d{1,2}[./-]\d{2,4})|(\d{4}-\d{2}-\d{2})",
+        );
+        r.add_syntactic("isTime", r"\d{1,2}:\d{2}");
+        r.add_syntactic("isNumber", r"^-?\d+(\.\d+)?$");
+        r.add_syntactic("isPrice", r"(\$|€|£|EUR|USD|DM)\s*\d+([.,]\d{2})?");
+        r.add_semantic(
+            "isCountry",
+            &[
+                "austria", "germany", "italy", "france", "spain", "switzerland", "usa",
+                "united states", "uk", "united kingdom", "japan", "china",
+            ],
+        );
+        r.add_semantic(
+            "isCity",
+            &[
+                "vienna", "graz", "linz", "salzburg", "berlin", "munich", "paris", "rome",
+                "london", "new york", "tokyo",
+            ],
+        );
+        r
+    }
+
+    /// An empty registry (for tests).
+    pub fn empty() -> ConceptRegistry {
+        ConceptRegistry {
+            concepts: HashMap::new(),
+        }
+    }
+
+    /// Register a syntactic (regex) concept.
+    pub fn add_syntactic(&mut self, name: &str, regex: &str) {
+        self.concepts
+            .insert(name.to_string(), Concept::Syntactic(regex.to_string()));
+    }
+
+    /// Register a semantic (ontology) concept.
+    pub fn add_semantic(&mut self, name: &str, members: &[&str]) {
+        self.concepts.insert(
+            name.to_string(),
+            Concept::Semantic(members.iter().map(|m| m.to_lowercase()).collect()),
+        );
+    }
+
+    /// Is the concept defined?
+    pub fn has(&self, name: &str) -> bool {
+        self.concepts.contains_key(name)
+    }
+
+    /// Test a value against a concept. Unknown concepts never hold.
+    pub fn holds(&self, name: &str, value: &str) -> bool {
+        match self.concepts.get(name) {
+            Some(Concept::Syntactic(re)) => Regex::with_options(re, true)
+                .map(|r| r.is_match(value.trim()))
+                .unwrap_or(false),
+            Some(Concept::Semantic(set)) => set.contains(&value.trim().to_lowercase()),
+            None => false,
+        }
+    }
+}
+
+/// Comparison support: values are compared as dates (`YYYY-MM-DD`,
+/// `D.M.YYYY`, `D/M/YYYY`), else as numbers, else as strings.
+pub fn compare_values(left: &str, op: &str, right: &str) -> bool {
+    use std::cmp::Ordering;
+    let ord = if let (Some(a), Some(b)) = (parse_date(left), parse_date(right)) {
+        a.cmp(&b)
+    } else if let (Ok(a), Ok(b)) = (
+        left.trim().parse::<f64>(),
+        right.trim().parse::<f64>(),
+    ) {
+        a.partial_cmp(&b).unwrap_or(Ordering::Equal)
+    } else {
+        left.trim().cmp(right.trim())
+    };
+    match op {
+        "<" => ord == Ordering::Less,
+        "<=" => ord != Ordering::Greater,
+        ">" => ord == Ordering::Greater,
+        ">=" => ord != Ordering::Less,
+        "=" => ord == Ordering::Equal,
+        "!=" => ord != Ordering::Equal,
+        _ => false,
+    }
+}
+
+/// Parse a date into (year, month, day).
+pub fn parse_date(s: &str) -> Option<(u32, u32, u32)> {
+    let s = s.trim();
+    let iso = Regex::new(r"^(\d{4})-(\d{2})-(\d{2})$").ok()?;
+    if let Some(c) = iso.captures(s) {
+        return Some((
+            c.get(1)?.text.parse().ok()?,
+            c.get(2)?.text.parse().ok()?,
+            c.get(3)?.text.parse().ok()?,
+        ));
+    }
+    let eu = Regex::new(r"^(\d{1,2})[./](\d{1,2})[./](\d{2,4})$").ok()?;
+    if let Some(c) = eu.captures(s) {
+        let (d, m, y): (u32, u32, u32) = (
+            c.get(1)?.text.parse().ok()?,
+            c.get(2)?.text.parse().ok()?,
+            c.get(3)?.text.parse().ok()?,
+        );
+        let y = if y < 100 { y + 2000 } else { y };
+        return Some((y, m, d));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_currency_matches_figure_5_examples() {
+        // "isCurrency — which matches strings like $, DM, Euro, etc."
+        let r = ConceptRegistry::builtin();
+        for v in ["$", "DM", "Euro", "EUR", "€"] {
+            assert!(r.holds("isCurrency", v), "{v}");
+        }
+        assert!(!r.holds("isCurrency", "banana"));
+    }
+
+    #[test]
+    fn dates_and_numbers() {
+        let r = ConceptRegistry::builtin();
+        assert!(r.holds("isDate", "14.06.2004"));
+        assert!(r.holds("isDate", "2004-06-14"));
+        assert!(!r.holds("isDate", "not a date"));
+        assert!(r.holds("isNumber", "42"));
+        assert!(r.holds("isNumber", "-3.5"));
+        assert!(!r.holds("isNumber", "x42"));
+    }
+
+    #[test]
+    fn semantic_membership_case_insensitive() {
+        let r = ConceptRegistry::builtin();
+        assert!(r.holds("isCountry", "Austria"));
+        assert!(r.holds("isCountry", "AUSTRIA"));
+        assert!(!r.holds("isCountry", "Atlantis"));
+        assert!(r.holds("isCity", "Vienna"));
+    }
+
+    #[test]
+    fn unknown_concept_never_holds() {
+        let r = ConceptRegistry::builtin();
+        assert!(!r.holds("isUnicorn", "anything"));
+    }
+
+    #[test]
+    fn user_defined_concepts() {
+        let mut r = ConceptRegistry::empty();
+        r.add_syntactic("isFlightNo", r"^[A-Z]{2}\d{3,4}$");
+        assert!(r.holds("isFlightNo", "OS123"));
+        assert!(!r.holds("isFlightNo", "123OS"));
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(compare_values("3", "<", "10")); // numeric, not lexicographic
+        assert!(compare_values("2.5", "<=", "2.5"));
+        assert!(compare_values("14.06.2004", "<", "2004-06-15"));
+        assert!(compare_values("abc", "<", "abd"));
+        assert!(compare_values("5", "!=", "6"));
+        assert!(!compare_values("5", "bogus-op", "6"));
+    }
+}

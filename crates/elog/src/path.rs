@@ -1,0 +1,308 @@
+//! Element-path evaluation with attribute conditions and regex variables.
+
+use std::collections::HashMap;
+
+use lixto_regexlite::Regex;
+use lixto_tree::{Document, NodeId, NodeKind};
+
+use crate::ast::{AttrCond, AttrMode, ElementPath, PathStep, TagTest};
+
+/// A variable binding produced during matching.
+pub type Bindings = HashMap<String, String>;
+
+/// Match result: target node plus any string-variable bindings from
+/// `regvar` attribute conditions.
+#[derive(Debug, Clone)]
+pub struct PathMatch {
+    /// The matched node.
+    pub node: NodeId,
+    /// String variables bound along the way.
+    pub bindings: Bindings,
+}
+
+/// Evaluate a path against a *forest context*: `roots` are the children of
+/// a virtual context node (for a node target, pass its children; for a
+/// sequence target, pass the members). Matches are returned in document
+/// order.
+pub fn eval_path(doc: &Document, roots: &[NodeId], path: &ElementPath) -> Vec<PathMatch> {
+    let mut current: Vec<NodeId> = roots.to_vec();
+    for (i, step) in path.steps.iter().enumerate() {
+        let mut next = Vec::new();
+        for &c in &current {
+            step_candidates(doc, c, step, i == 0, &mut next);
+        }
+        // The first step matches the roots themselves (they are the
+        // candidates); subsequent steps descend.
+        current = next;
+        if current.is_empty() {
+            return Vec::new();
+        }
+    }
+    // Dedup (descendant steps can reach a node along one path only in a
+    // tree, but root lists may overlap) and order by document position.
+    current.sort_by_key(|&n| doc.order().pre(n));
+    current.dedup();
+    // Attribute conditions on the final node.
+    let mut out = Vec::new();
+    'node: for n in current {
+        let mut bindings = Bindings::new();
+        for cond in &path.attrs {
+            match check_attr(doc, n, cond) {
+                Some(more) => bindings.extend(more),
+                None => continue 'node,
+            }
+        }
+        out.push(PathMatch { node: n, bindings });
+    }
+    out
+}
+
+/// Candidates for one step from context node `c`. For the first step the
+/// context node itself is a candidate root (the step tests `c`); for later
+/// steps we descend into children (`.x`) or all descendants (`?.x`).
+fn step_candidates(doc: &Document, c: NodeId, step: &PathStep, first: bool, out: &mut Vec<NodeId>) {
+    if first {
+        // The roots ARE the candidates for the first step.
+        if step.descend {
+            // `?.x` from the virtual context: any descendant-or-self.
+            for d in doc.descendants_or_self(c) {
+                if tag_matches(doc, d, &step.tag) {
+                    out.push(d);
+                }
+            }
+        } else if tag_matches(doc, c, &step.tag) {
+            out.push(c);
+        }
+    } else if step.descend {
+        for d in doc.descendants(c) {
+            if tag_matches(doc, d, &step.tag) {
+                out.push(d);
+            }
+        }
+    } else {
+        for ch in doc.children(c) {
+            if tag_matches(doc, ch, &step.tag) {
+                out.push(ch);
+            }
+        }
+    }
+}
+
+/// Does the node's tag satisfy the test?
+pub fn tag_matches(doc: &Document, n: NodeId, test: &TagTest) -> bool {
+    match test {
+        TagTest::Any => doc.kind(n) == NodeKind::Element,
+        TagTest::Name(name) => doc.label_str(n) == name,
+        TagTest::Regex(re) => match Regex::with_options(re, true) {
+            Ok(r) => r.is_full_match(doc.label_str(n)),
+            Err(_) => false,
+        },
+    }
+}
+
+/// Check one attribute condition; `Some(bindings)` on success.
+pub fn check_attr(doc: &Document, n: NodeId, cond: &AttrCond) -> Option<Bindings> {
+    let value: String = if cond.attr == "elementtext" {
+        doc.text_content(n)
+    } else {
+        doc.attr(n, &cond.attr)?.to_string()
+    };
+    match cond.mode {
+        AttrMode::Exact => {
+            if value.trim() == cond.pattern {
+                Some(Bindings::new())
+            } else {
+                None
+            }
+        }
+        AttrMode::Substr => {
+            if value.contains(&cond.pattern) {
+                Some(Bindings::new())
+            } else {
+                None
+            }
+        }
+        AttrMode::Regvar => regvar_match(&cond.pattern, &value),
+    }
+}
+
+/// Match a `\var[V]`-annotated pattern against a value. Each `\var[V]`
+/// segment becomes a named capture group; on success all variables are
+/// bound to their captures.
+pub fn regvar_match(pattern: &str, value: &str) -> Option<Bindings> {
+    let (regex_src, vars) = compile_regvar(pattern);
+    let re = Regex::new(&regex_src).ok()?;
+    let caps = re.captures(value)?;
+    let mut b = Bindings::new();
+    for v in vars {
+        let m = caps.name(&v)?;
+        b.insert(v, m.text.to_string());
+    }
+    Some(b)
+}
+
+/// Translate a `\var[V]` pattern into regex source with named groups.
+/// `\var[V]` becomes `(?P<V>.+?)` unless followed by a refining group in
+/// parentheses: `\var[V](re)` becomes `(?P<V>re)`.
+pub fn compile_regvar(pattern: &str) -> (String, Vec<String>) {
+    let mut out = String::new();
+    let mut vars = Vec::new();
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if pattern[byte_of(&chars, i)..].starts_with("\\var[") {
+            i += 5;
+            let mut name = String::new();
+            while i < chars.len() && chars[i] != ']' {
+                name.push(chars[i]);
+                i += 1;
+            }
+            i += 1; // ']'
+            // Optional refining subpattern in parentheses.
+            if i < chars.len() && chars[i] == '(' {
+                let mut depth = 0;
+                let mut sub = String::new();
+                loop {
+                    let c = chars[i];
+                    if c == '(' {
+                        depth += 1;
+                        if depth == 1 {
+                            i += 1;
+                            continue;
+                        }
+                    }
+                    if c == ')' {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    sub.push(c);
+                    i += 1;
+                }
+                out.push_str(&format!("(?P<{name}>{sub})"));
+            } else {
+                out.push_str(&format!("(?P<{name}>.+?)"));
+            }
+            vars.push(name);
+        } else {
+            out.push(chars[i]);
+            i += 1;
+        }
+    }
+    (out, vars)
+}
+
+fn byte_of(chars: &[char], i: usize) -> usize {
+    chars[..i].iter().map(|c| c.len_utf8()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lixto_tree::build::from_sexp;
+
+    fn doc() -> Document {
+        from_sexp(
+            r#"(body (table (tr (td (a href="x" "Desc")) (td "$ 10.00") (td "3"))) (hr))"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn child_steps() {
+        let d = doc();
+        let roots: Vec<NodeId> = d.children(d.root()).collect();
+        let p = ElementPath::children(&["table", "tr", "td"]);
+        // roots = [table, hr]; first step tests the roots themselves.
+        let hits = eval_path(&d, &roots, &p);
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn descendant_step() {
+        let d = doc();
+        let roots: Vec<NodeId> = vec![d.root()];
+        let p = ElementPath::anywhere("td");
+        let hits = eval_path(&d, &roots, &p);
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn elementtext_substr_condition() {
+        let d = doc();
+        let p = ElementPath::anywhere("td").with_attr("elementtext", "$", AttrMode::Substr);
+        let hits = eval_path(&d, &[d.root()], &p);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(d.text_content(hits[0].node), "$ 10.00");
+    }
+
+    #[test]
+    fn attr_exact_and_missing() {
+        let d = doc();
+        let p = ElementPath::anywhere("a").with_attr("href", "x", AttrMode::Exact);
+        assert_eq!(eval_path(&d, &[d.root()], &p).len(), 1);
+        let p = ElementPath::anywhere("a").with_attr("href", "y", AttrMode::Exact);
+        assert!(eval_path(&d, &[d.root()], &p).is_empty());
+        let p = ElementPath::anywhere("a").with_attr("missing", "x", AttrMode::Exact);
+        assert!(eval_path(&d, &[d.root()], &p).is_empty());
+    }
+
+    #[test]
+    fn regvar_binds_variables() {
+        let b = regvar_match(r"\var[CUR](\$|EUR)\s*\var[AMT]([0-9.]+)", "$ 10.00").unwrap();
+        assert_eq!(b["CUR"], "$");
+        assert_eq!(b["AMT"], "10.00");
+        assert!(regvar_match(r"\var[C](\$)", "no currency").is_none());
+    }
+
+    #[test]
+    fn regvar_in_elementtext() {
+        let d = doc();
+        let p = ElementPath::anywhere("td").with_attr(
+            "elementtext",
+            r"\var[Y](\$|EUR)",
+            AttrMode::Regvar,
+        );
+        let hits = eval_path(&d, &[d.root()], &p);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].bindings["Y"], "$");
+    }
+
+    #[test]
+    fn wildcard_and_regex_tags() {
+        let d = doc();
+        let p = ElementPath {
+            steps: vec![PathStep {
+                descend: true,
+                tag: TagTest::Regex("t[dr]".into()),
+            }],
+            attrs: vec![],
+        };
+        assert_eq!(eval_path(&d, &[d.root()], &p).len(), 4); // 1 tr + 3 td
+        let p = ElementPath {
+            steps: vec![
+                PathStep {
+                    descend: true,
+                    tag: TagTest::Name("tr".into()),
+                },
+                PathStep {
+                    descend: false,
+                    tag: TagTest::Any,
+                },
+            ],
+            attrs: vec![],
+        };
+        assert_eq!(eval_path(&d, &[d.root()], &p).len(), 3); // the tds
+    }
+
+    #[test]
+    fn matches_in_document_order() {
+        let d = doc();
+        let hits = eval_path(&d, &[d.root()], &ElementPath::anywhere("td"));
+        for w in hits.windows(2) {
+            assert!(d.doc_before(w[0].node, w[1].node));
+        }
+    }
+}

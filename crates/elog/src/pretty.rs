@@ -1,0 +1,176 @@
+//! Pretty-printing Elog programs back to the textual dialect.
+
+use crate::ast::{
+    AttrMode, Condition, ElementPath, ElogRule, Extraction, ParentSpec, TagTest, UrlExpr,
+};
+
+/// Render a path.
+pub fn path_to_string(p: &ElementPath) -> String {
+    let mut s = String::from("(");
+    for (i, step) in p.steps.iter().enumerate() {
+        match (i == 0, step.descend) {
+            (true, true) => s.push_str("?."),
+            (true, false) => s.push('.'),
+            (false, true) => s.push_str(".?."),
+            (false, false) => s.push('.'),
+        }
+        match &step.tag {
+            TagTest::Name(n) => s.push_str(n),
+            TagTest::Any => s.push('*'),
+            TagTest::Regex(r) => {
+                s.push('/');
+                s.push_str(r);
+                s.push('/');
+            }
+        }
+    }
+    s.push_str(", [");
+    for (i, a) in p.attrs.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let mode = match a.mode {
+            AttrMode::Exact => "exact",
+            AttrMode::Substr => "substr",
+            AttrMode::Regvar => "regvar",
+        };
+        s.push_str(&format!("({}, \"{}\", {mode})", a.attr, a.pattern));
+    }
+    s.push_str("])");
+    s
+}
+
+/// Render one rule.
+pub fn rule_to_string(r: &ElogRule) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    parts.push(match &r.parent {
+        ParentSpec::Pattern(p) => format!("{p}(_, S)"),
+        ParentSpec::Document(UrlExpr::Const(u)) => format!("document(\"{u}\", S)"),
+        ParentSpec::Document(UrlExpr::Var(v)) => format!("document({v}, S)"),
+    });
+    match &r.extraction {
+        Extraction::Subelem(p) => parts.push(format!("subelem(S, {}, X)", path_to_string(p))),
+        Extraction::Subsq {
+            context,
+            start,
+            end,
+        } => parts.push(format!(
+            "subsq(S, {}, {}, {}, X)",
+            path_to_string(context),
+            path_to_string(start),
+            path_to_string(end)
+        )),
+        Extraction::Subtext(t) => parts.push(format!("subtext(S, \"{t}\", X)")),
+        Extraction::Subatt(a) => parts.push(format!("subatt(S, {a}, X)")),
+        Extraction::Document(UrlExpr::Const(u)) => {
+            parts.push(format!("document(\"{u}\", X)"))
+        }
+        Extraction::Document(UrlExpr::Var(v)) => parts.push(format!("document({v}, X)")),
+        Extraction::Specialize => {}
+    }
+    for c in &r.conditions {
+        parts.push(match c {
+            Condition::Before {
+                path,
+                min,
+                max,
+                bind,
+                negated,
+            } => format!(
+                "{}(S, X, {}, {min}, {max}, {}, _)",
+                if *negated { "notbefore" } else { "before" },
+                path_to_string(path),
+                bind.as_deref().unwrap_or("_")
+            ),
+            Condition::After {
+                path,
+                min,
+                max,
+                bind,
+                negated,
+            } => format!(
+                "{}(S, X, {}, {min}, {max}, {}, _)",
+                if *negated { "notafter" } else { "after" },
+                path_to_string(path),
+                bind.as_deref().unwrap_or("_")
+            ),
+            Condition::Contains { path, negated } => format!(
+                "{}(X, {})",
+                if *negated { "notcontains" } else { "contains" },
+                path_to_string(path)
+            ),
+            Condition::FirstSubtree { path } => {
+                format!("firstsubtree(S, X, {})", path_to_string(path))
+            }
+            Condition::Concept {
+                concept,
+                var,
+                negated,
+            } => {
+                if *negated {
+                    format!("not{}({var})", capitalize(concept))
+                } else {
+                    format!("{concept}({var})")
+                }
+            }
+            Condition::Comparison {
+                left,
+                op,
+                right,
+                right_is_literal,
+            } => {
+                let name = match op.as_str() {
+                    "<" => "lt",
+                    "<=" => "le",
+                    ">" => "gt",
+                    ">=" => "ge",
+                    "=" => "eq",
+                    _ => "ne",
+                };
+                if *right_is_literal {
+                    format!("{name}({left}, \"{right}\")")
+                } else {
+                    format!("{name}({left}, {right})")
+                }
+            }
+            Condition::PatternRef { pattern, var } => format!("{pattern}(_, {var})"),
+            Condition::AttrBind { attr, var } => format!("attrbind(S, {attr}, {var})"),
+            Condition::Range { from, to } => format!("range({from}, {to})"),
+        });
+    }
+    format!("{}(S, X) :- {}.", r.pattern, parts.join(", "))
+}
+
+fn capitalize(s: &str) -> String {
+    let mut c = s.chars();
+    match c.next() {
+        Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse_program;
+
+    #[test]
+    fn roundtrip_through_parser() {
+        let src = r#"
+        rec(S, X) :- page(_, S), subelem(S, (?.table, [(bgcolor, "green", exact)]), X),
+                     before(S, X, (?.h1, []), 0, 5, Y, _), notcontains(X, (.blink, [])),
+                     isCurrency(Y), range(1, 10).
+        "#;
+        let p1 = parse_program(src).unwrap();
+        let printed = p1.to_string();
+        let p2 = parse_program(&printed).unwrap();
+        assert_eq!(p1, p2, "printed:\n{printed}");
+    }
+
+    #[test]
+    fn figure5_roundtrip() {
+        let p1 = parse_program(crate::parser::EBAY_PROGRAM).unwrap();
+        let printed = p1.to_string();
+        let p2 = parse_program(&printed).unwrap();
+        assert_eq!(p1, p2, "printed:\n{printed}");
+    }
+}

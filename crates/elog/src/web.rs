@@ -1,0 +1,87 @@
+//! Web access abstraction.
+//!
+//! The commercial Lixto fetched live pages; we substitute a [`WebSource`]
+//! trait so wrappers run against an in-memory synthetic web (see
+//! `lixto-workloads`) with identical code paths — DESIGN.md documents the
+//! substitution.
+
+use std::collections::HashMap;
+
+/// Something that can fetch HTML by URL.
+pub trait WebSource {
+    /// Fetch the page; `None` for 404s.
+    fn fetch(&self, url: &str) -> Option<String>;
+}
+
+/// A fixed in-memory site map.
+#[derive(Debug, Clone, Default)]
+pub struct StaticWeb {
+    pages: HashMap<String, String>,
+}
+
+impl StaticWeb {
+    /// Empty web.
+    pub fn new() -> StaticWeb {
+        StaticWeb::default()
+    }
+
+    /// Add (or replace) a page.
+    pub fn put(&mut self, url: &str, html: impl Into<String>) {
+        self.pages.insert(url.to_string(), html.into());
+    }
+
+    /// Number of pages.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// True if no pages are registered.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+}
+
+impl WebSource for StaticWeb {
+    fn fetch(&self, url: &str) -> Option<String> {
+        self.pages.get(url).cloned()
+    }
+}
+
+/// A single-page web (convenience for wrapping one document).
+pub struct SinglePage {
+    /// The URL the page answers to.
+    pub url: String,
+    /// Its HTML.
+    pub html: String,
+}
+
+impl WebSource for SinglePage {
+    fn fetch(&self, url: &str) -> Option<String> {
+        (url == self.url).then(|| self.html.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_web_fetches() {
+        let mut w = StaticWeb::new();
+        w.put("http://a/", "<p>a</p>");
+        w.put("http://b/", "<p>b</p>");
+        assert_eq!(w.fetch("http://a/").unwrap(), "<p>a</p>");
+        assert!(w.fetch("http://c/").is_none());
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn single_page() {
+        let w = SinglePage {
+            url: "u".into(),
+            html: "<i>x</i>".into(),
+        };
+        assert!(w.fetch("u").is_some());
+        assert!(w.fetch("v").is_none());
+    }
+}

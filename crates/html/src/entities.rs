@@ -1,0 +1,176 @@
+//! Character-reference (entity) decoding.
+//!
+//! Covers the numeric forms `&#dd;` / `&#xhh;` and the named entities that
+//! actually occur on data-centric pages (currency signs, punctuation,
+//! accented letters used by the paper's application domains). Unknown
+//! entities are passed through verbatim — the forgiving behaviour browsers
+//! exhibit and wrappers depend on.
+
+/// Named entities we decode. Kept sorted for the binary search in
+/// [`lookup_named`].
+const NAMED: &[(&str, char)] = &[
+    ("AElig", 'Æ'),
+    ("Aacute", 'Á'),
+    ("Eacute", 'É'),
+    ("Oacute", 'Ó'),
+    ("Uacute", 'Ú'),
+    ("aacute", 'á'),
+    ("agrave", 'à'),
+    ("amp", '&'),
+    ("apos", '\''),
+    ("auml", 'ä'),
+    ("bull", '•'),
+    ("cent", '¢'),
+    ("copy", '©'),
+    ("curren", '¤'),
+    ("deg", '°'),
+    ("eacute", 'é'),
+    ("egrave", 'è'),
+    ("euro", '€'),
+    ("frac12", '½'),
+    ("gt", '>'),
+    ("hellip", '…'),
+    ("iexcl", '¡'),
+    ("laquo", '«'),
+    ("ldquo", '“'),
+    ("lsquo", '‘'),
+    ("lt", '<'),
+    ("mdash", '—'),
+    ("middot", '·'),
+    ("nbsp", '\u{a0}'),
+    ("ndash", '–'),
+    ("ouml", 'ö'),
+    ("para", '¶'),
+    ("plusmn", '±'),
+    ("pound", '£'),
+    ("quot", '"'),
+    ("raquo", '»'),
+    ("rdquo", '”'),
+    ("reg", '®'),
+    ("rsquo", '’'),
+    ("sect", '§'),
+    ("szlig", 'ß'),
+    ("times", '×'),
+    ("trade", '™'),
+    ("uacute", 'ú'),
+    ("uuml", 'ü'),
+    ("yen", '¥'),
+];
+
+fn lookup_named(name: &str) -> Option<char> {
+    NAMED
+        .binary_search_by(|(n, _)| n.cmp(&name))
+        .ok()
+        .map(|i| NAMED[i].1)
+}
+
+/// Decode all character references in `input`.
+///
+/// Handles `&name;`, `&#decimal;`, `&#xhex;` (and `&#Xhex;`). A reference
+/// that does not parse — unknown name, bad number, missing `;` — is copied
+/// through unchanged.
+pub fn decode(input: &str) -> String {
+    if !input.contains('&') {
+        return input.to_string();
+    }
+    let mut out = String::with_capacity(input.len());
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'&' {
+            // Copy one full UTF-8 char.
+            let ch_len = utf8_len(bytes[i]);
+            out.push_str(&input[i..i + ch_len]);
+            i += ch_len;
+            continue;
+        }
+        // Find the ';' within a reasonable window.
+        let end = bytes[i + 1..]
+            .iter()
+            .take(32)
+            .position(|&b| b == b';')
+            .map(|p| i + 1 + p);
+        let Some(end) = end else {
+            out.push('&');
+            i += 1;
+            continue;
+        };
+        let body = &input[i + 1..end];
+        let decoded = if let Some(num) = body.strip_prefix('#') {
+            let code = if let Some(hex) = num.strip_prefix(['x', 'X']) {
+                u32::from_str_radix(hex, 16).ok()
+            } else {
+                num.parse::<u32>().ok()
+            };
+            code.and_then(char::from_u32)
+        } else {
+            lookup_named(body)
+        };
+        match decoded {
+            Some(c) => {
+                out.push(c);
+                i = end + 1;
+            }
+            None => {
+                out.push('&');
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        b if b < 0x80 => 1,
+        b if b >= 0xF0 => 4,
+        b if b >= 0xE0 => 3,
+        _ => 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_entities() {
+        assert_eq!(decode("a &amp; b &lt;c&gt;"), "a & b <c>");
+        assert_eq!(decode("&euro;45 &nbsp;"), "€45 \u{a0}");
+    }
+
+    #[test]
+    fn numeric_entities() {
+        assert_eq!(decode("&#65;&#x42;&#X43;"), "ABC");
+        assert_eq!(decode("&#8364;"), "€");
+    }
+
+    #[test]
+    fn unknown_entities_pass_through() {
+        assert_eq!(decode("&bogus; &noSemicolonEver"), "&bogus; &noSemicolonEver");
+        assert_eq!(decode("x & y"), "x & y");
+    }
+
+    #[test]
+    fn invalid_numeric_pass_through() {
+        assert_eq!(decode("&#xZZ;"), "&#xZZ;");
+        assert_eq!(decode("&#;"), "&#;");
+    }
+
+    #[test]
+    fn table_is_sorted_for_binary_search() {
+        for w in NAMED.windows(2) {
+            assert!(w[0].0 < w[1].0, "{} !< {}", w[0].0, w[1].0);
+        }
+    }
+
+    #[test]
+    fn no_ampersand_fast_path() {
+        assert_eq!(decode("plain text"), "plain text");
+    }
+
+    #[test]
+    fn multibyte_around_entities() {
+        assert_eq!(decode("é&amp;ü"), "é&ü");
+    }
+}

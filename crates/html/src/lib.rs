@@ -1,0 +1,38 @@
+//! # lixto-html
+//!
+//! HTML parsing substrate: turns HTML source into the unranked ordered
+//! labeled trees (`lixto_tree::Document`) that wrappers run on.
+//!
+//! The paper's pipeline (Figure 2) starts from "an HTML document" that the
+//! Extractor receives already parsed into a document tree; the commercial
+//! Lixto system used a Java HTML/DOM stack. This crate is the from-scratch
+//! replacement: a tokenizer ([`tokenizer`]) feeding a *forgiving* tree
+//! builder ([`treebuilder`]) that applies the HTML idioms real pages rely
+//! on — implied end tags (`<li>`, `<tr>`, `<td>`, `<p>`, …), void elements,
+//! raw-text elements (`<script>`, `<style>`), case-insensitive names, and
+//! entity decoding ([`entities`]).
+//!
+//! It is deliberately not a full WHATWG implementation (no foster
+//! parenting, no active formatting elements): wrapping workloads — and the
+//! synthetic sites in `lixto-workloads` — exercise the table/list/link
+//! idioms, which are handled faithfully.
+//!
+//! # Example
+//!
+//! ```
+//! let doc = lixto_html::parse("<table><tr><td>Item<td>Price</table>");
+//! let tds: Vec<_> = doc
+//!     .node_ids()
+//!     .filter(|&n| doc.label_str(n) == "td")
+//!     .collect();
+//! assert_eq!(tds.len(), 2, "implied </td> must be inserted");
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod entities;
+pub mod tokenizer;
+pub mod treebuilder;
+
+pub use tokenizer::{Token, Tokenizer};
+pub use treebuilder::{parse, parse_with_options, ParseOptions};

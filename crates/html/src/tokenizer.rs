@@ -1,0 +1,361 @@
+//! HTML tokenizer.
+//!
+//! Produces a flat token stream; all tree-shaping (implied end tags, void
+//! elements) happens in [`treebuilder`](crate::treebuilder). Names are
+//! lower-cased, attribute values entity-decoded, raw-text elements
+//! (`script`, `style`, `textarea`, `title`) consumed verbatim up to their
+//! matching end tag.
+
+use crate::entities::decode;
+
+/// One token of HTML source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// `<name attr="v" …>`; `self_closing` records a trailing `/`.
+    StartTag {
+        /// Lower-cased tag name.
+        name: String,
+        /// Attributes in source order, entity-decoded values.
+        attrs: Vec<(String, String)>,
+        /// Whether the tag ended with `/>`.
+        self_closing: bool,
+    },
+    /// `</name>`.
+    EndTag {
+        /// Lower-cased tag name.
+        name: String,
+    },
+    /// Character data between tags, entity-decoded.
+    Text(String),
+    /// `<!-- … -->`.
+    Comment(String),
+    /// `<!DOCTYPE …>` — content ignored.
+    Doctype,
+}
+
+/// Elements whose content is raw text up to the matching end tag.
+pub(crate) const RAW_TEXT: &[&str] = &["script", "style", "textarea", "title"];
+
+/// Streaming tokenizer over HTML source.
+pub struct Tokenizer<'a> {
+    src: &'a str,
+    pos: usize,
+    /// Set when the last start tag opened a raw-text element; the next
+    /// token is everything up to its end tag.
+    pending_raw: Option<String>,
+}
+
+impl<'a> Tokenizer<'a> {
+    /// Tokenize `src` from the beginning.
+    pub fn new(src: &'a str) -> Tokenizer<'a> {
+        Tokenizer {
+            src,
+            pos: 0,
+            pending_raw: None,
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.rest().starts_with(s)
+    }
+
+    /// Case-insensitive search for `</name` from the current position.
+    fn find_end_tag(&self, name: &str) -> Option<usize> {
+        let hay = self.rest().as_bytes();
+        let needle_len = name.len() + 2;
+        if hay.len() < needle_len {
+            return None;
+        }
+        'outer: for i in 0..=(hay.len() - needle_len) {
+            if hay[i] != b'<' || hay[i + 1] != b'/' {
+                continue;
+            }
+            for (j, nb) in name.bytes().enumerate() {
+                if hay[i + 2 + j].to_ascii_lowercase() != nb {
+                    continue 'outer;
+                }
+            }
+            return Some(self.pos + i);
+        }
+        None
+    }
+}
+
+impl Iterator for Tokenizer<'_> {
+    type Item = Token;
+
+    fn next(&mut self) -> Option<Token> {
+        // Raw-text mode: swallow everything up to the matching end tag.
+        if let Some(name) = self.pending_raw.take() {
+            let end = self.find_end_tag(&name).unwrap_or(self.src.len());
+            let text = &self.src[self.pos..end];
+            self.pos = end;
+            if !text.is_empty() {
+                // Raw text is NOT entity-decoded (scripts contain '&&').
+                return Some(Token::Text(text.to_string()));
+            }
+            // fall through to normal tokenization of the end tag
+        }
+        if self.pos >= self.src.len() {
+            return None;
+        }
+        if self.starts_with("<!--") {
+            let start = self.pos + 4;
+            let end = self.src[start..]
+                .find("-->")
+                .map(|p| start + p)
+                .unwrap_or(self.src.len());
+            let body = self.src[start..end].to_string();
+            self.pos = (end + 3).min(self.src.len());
+            return Some(Token::Comment(body));
+        }
+        if self.starts_with("<!") || self.starts_with("<?") {
+            // DOCTYPE or processing instruction: skip to '>'.
+            let end = self.rest().find('>').map(|p| self.pos + p);
+            self.pos = end.map(|e| e + 1).unwrap_or(self.src.len());
+            return Some(Token::Doctype);
+        }
+        if self.starts_with("</") {
+            self.pos += 2;
+            let name = self.read_name();
+            // Skip to '>' (tolerate junk in end tags).
+            match self.rest().find('>') {
+                Some(p) => self.pos += p + 1,
+                None => self.pos = self.src.len(),
+            }
+            if name.is_empty() {
+                return self.next();
+            }
+            return Some(Token::EndTag { name });
+        }
+        if self.starts_with("<") {
+            // A '<' not followed by a letter is literal text.
+            let after = self.rest()[1..].chars().next();
+            if !matches!(after, Some(c) if c.is_ascii_alphabetic()) {
+                return Some(self.read_text());
+            }
+            self.pos += 1;
+            let name = self.read_name();
+            let mut attrs = Vec::new();
+            let mut self_closing = false;
+            loop {
+                self.skip_ws();
+                match self.rest().chars().next() {
+                    None => break,
+                    Some('>') => {
+                        self.pos += 1;
+                        break;
+                    }
+                    Some('/') => {
+                        self.pos += 1;
+                        if self.starts_with(">") {
+                            self.pos += 1;
+                            self_closing = true;
+                            break;
+                        }
+                    }
+                    Some(_) => {
+                        if let Some(attr) = self.read_attr() {
+                            attrs.push(attr);
+                        }
+                    }
+                }
+            }
+            if !self_closing && RAW_TEXT.contains(&name.as_str()) {
+                self.pending_raw = Some(name.clone());
+            }
+            return Some(Token::StartTag {
+                name,
+                attrs,
+                self_closing,
+            });
+        }
+        Some(self.read_text())
+    }
+}
+
+impl Tokenizer<'_> {
+    fn read_text(&mut self) -> Token {
+        let start = self.pos;
+        // Consume at least one char, then up to the next '<'.
+        let mut it = self.rest().char_indices();
+        it.next();
+        let end = it
+            .find(|&(_, c)| c == '<')
+            .map(|(i, _)| start + i)
+            .unwrap_or(self.src.len());
+        let raw = &self.src[start..end];
+        self.pos = end;
+        Token::Text(decode(raw))
+    }
+
+    fn read_name(&mut self) -> String {
+        let start = self.pos;
+        for (i, c) in self.rest().char_indices() {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == ':' {
+                continue;
+            }
+            self.pos = start + i;
+            return self.src[start..self.pos].to_ascii_lowercase();
+        }
+        self.pos = self.src.len();
+        self.src[start..].to_ascii_lowercase()
+    }
+
+    fn read_attr(&mut self) -> Option<(String, String)> {
+        let name = self.read_name();
+        if name.is_empty() {
+            // Unparseable junk: skip one char to guarantee progress.
+            self.pos += self.rest().chars().next().map_or(0, |c| c.len_utf8());
+            return None;
+        }
+        self.skip_ws();
+        if !self.starts_with("=") {
+            return Some((name, String::new())); // boolean attribute
+        }
+        self.pos += 1;
+        self.skip_ws();
+        let value = match self.rest().chars().next() {
+            Some(q @ ('"' | '\'')) => {
+                self.pos += 1;
+                let end = self
+                    .rest()
+                    .find(q)
+                    .map(|p| self.pos + p)
+                    .unwrap_or(self.src.len());
+                let v = &self.src[self.pos..end];
+                self.pos = (end + 1).min(self.src.len());
+                v.to_string()
+            }
+            _ => {
+                let start = self.pos;
+                let end = self
+                    .rest()
+                    .char_indices()
+                    .find(|&(_, c)| c.is_whitespace() || c == '>' || c == '/')
+                    .map(|(i, _)| start + i)
+                    .unwrap_or(self.src.len());
+                self.pos = end;
+                self.src[start..end].to_string()
+            }
+        };
+        Some((name, decode(&value)))
+    }
+
+    fn skip_ws(&mut self) {
+        let trimmed = self.rest().trim_start();
+        self.pos = self.src.len() - trimmed.len();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Token> {
+        Tokenizer::new(s).collect()
+    }
+
+    #[test]
+    fn simple_tags_and_text() {
+        let t = toks("<p>hi</p>");
+        assert_eq!(t.len(), 3);
+        assert!(matches!(&t[0], Token::StartTag { name, .. } if name == "p"));
+        assert!(matches!(&t[1], Token::Text(s) if s == "hi"));
+        assert!(matches!(&t[2], Token::EndTag { name } if name == "p"));
+    }
+
+    #[test]
+    fn attributes_all_quote_styles() {
+        let t = toks(r#"<a href="x" id='y' class=z disabled>"#);
+        if let Token::StartTag { attrs, .. } = &t[0] {
+            assert_eq!(
+                attrs,
+                &vec![
+                    ("href".to_string(), "x".to_string()),
+                    ("id".to_string(), "y".to_string()),
+                    ("class".to_string(), "z".to_string()),
+                    ("disabled".to_string(), String::new()),
+                ]
+            );
+        } else {
+            panic!("expected start tag");
+        }
+    }
+
+    #[test]
+    fn names_are_lowercased() {
+        let t = toks("<TABLE BgColor=red></TABLE>");
+        assert!(matches!(&t[0], Token::StartTag { name, attrs, .. }
+            if name == "table" && attrs[0].0 == "bgcolor"));
+        assert!(matches!(&t[1], Token::EndTag { name } if name == "table"));
+    }
+
+    #[test]
+    fn self_closing_flag() {
+        let t = toks("<br/><img src=x />");
+        assert!(matches!(&t[0], Token::StartTag { self_closing: true, .. }));
+        assert!(matches!(&t[1], Token::StartTag { name, self_closing: true, .. } if name == "img"));
+    }
+
+    #[test]
+    fn comments_and_doctype() {
+        let t = toks("<!DOCTYPE html><!-- note --><b>x</b>");
+        assert!(matches!(&t[0], Token::Doctype));
+        assert!(matches!(&t[1], Token::Comment(c) if c == " note "));
+    }
+
+    #[test]
+    fn raw_text_script_not_parsed() {
+        let t = toks("<script>if (a<b && c>d) {}</script><p>x</p>");
+        assert!(matches!(&t[0], Token::StartTag { name, .. } if name == "script"));
+        assert!(matches!(&t[1], Token::Text(s) if s.contains("a<b && c>d")));
+        assert!(matches!(&t[2], Token::EndTag { name } if name == "script"));
+        assert!(matches!(&t[3], Token::StartTag { name, .. } if name == "p"));
+    }
+
+    #[test]
+    fn raw_text_end_tag_case_insensitive() {
+        let t = toks("<style>body{}</STYLE>after");
+        assert!(matches!(&t[1], Token::Text(s) if s == "body{}"));
+        assert!(matches!(&t[2], Token::EndTag { name } if name == "style"));
+        assert!(matches!(&t[3], Token::Text(s) if s == "after"));
+    }
+
+    #[test]
+    fn entities_decoded_in_text_and_attrs() {
+        let t = toks(r#"<a title="A &amp; B">&euro;5</a>"#);
+        assert!(matches!(&t[0], Token::StartTag { attrs, .. } if attrs[0].1 == "A & B"));
+        assert!(matches!(&t[1], Token::Text(s) if s == "€5"));
+    }
+
+    #[test]
+    fn stray_lt_is_text() {
+        let t = toks("a < b");
+        assert_eq!(t.len(), 2); // "a " and "< b"
+        let joined: String = t
+            .iter()
+            .map(|tok| match tok {
+                Token::Text(s) => s.clone(),
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(joined, "a < b");
+    }
+
+    #[test]
+    fn unterminated_tag_at_eof() {
+        let t = toks("<p>x<a href=");
+        assert!(t.len() >= 2);
+    }
+
+    #[test]
+    fn unterminated_raw_text() {
+        let t = toks("<script>never ends");
+        assert!(matches!(&t[1], Token::Text(s) if s == "never ends"));
+    }
+}

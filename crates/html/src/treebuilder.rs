@@ -1,0 +1,315 @@
+//! Forgiving tree construction from the token stream.
+//!
+//! Implements the subset of HTML's implied-end-tag rules that data-centric
+//! pages exercise: list items, paragraphs, table structure, definition
+//! lists, options. Unmatched end tags are dropped; unclosed elements are
+//! closed at end of input; everything is rooted under a synthesized `html`
+//! element when the source does not provide one (documents are single
+//! trees, and Lixto's "root" pattern needs a root node).
+
+use lixto_tree::{Document, TreeBuilder};
+
+use crate::tokenizer::{Token, Tokenizer};
+
+/// Elements that never have children.
+const VOID: &[&str] = &[
+    "area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta", "param",
+    "source", "track", "wbr",
+];
+
+/// Parsing options.
+#[derive(Debug, Clone)]
+pub struct ParseOptions {
+    /// Drop text nodes that consist only of whitespace (default: true).
+    /// Inter-tag whitespace carries no information for wrappers and would
+    /// roughly double node counts on indented markup.
+    pub skip_whitespace_text: bool,
+    /// Drop comment tokens entirely (default: true).
+    pub skip_comments: bool,
+}
+
+impl Default for ParseOptions {
+    fn default() -> Self {
+        ParseOptions {
+            skip_whitespace_text: true,
+            skip_comments: true,
+        }
+    }
+}
+
+/// Parse with default options.
+pub fn parse(src: &str) -> Document {
+    parse_with_options(src, &ParseOptions::default())
+}
+
+/// Parse `src` into a document tree.
+///
+/// Never fails: HTML parsing is total. Pathological input produces a tree
+/// that reflects a browser-like forgiving interpretation.
+pub fn parse_with_options(src: &str, opts: &ParseOptions) -> Document {
+    let mut b = TreeBuilder::new();
+    // Track open element names in parallel with the builder's stack; the
+    // builder gives us current_label but we need full-stack searches for
+    // end-tag matching.
+    let mut stack: Vec<String> = Vec::new();
+    let mut saw_root = false;
+
+    let ensure_root = |b: &mut TreeBuilder, stack: &mut Vec<String>, saw_root: &mut bool| {
+        if !*saw_root {
+            b.open("html");
+            stack.push("html".to_string());
+            *saw_root = true;
+        }
+    };
+
+    for tok in Tokenizer::new(src) {
+        match tok {
+            Token::Doctype => {}
+            Token::Comment(_) if opts.skip_comments => {}
+            Token::Comment(_) => {}
+            Token::Text(t) => {
+                if opts.skip_whitespace_text && t.trim().is_empty() {
+                    continue;
+                }
+                ensure_root(&mut b, &mut stack, &mut saw_root);
+                b.text(&t);
+            }
+            Token::StartTag {
+                name,
+                attrs,
+                self_closing,
+            } => {
+                if name == "html" && !saw_root {
+                    b.open("html");
+                    stack.push("html".to_string());
+                    saw_root = true;
+                    for (k, v) in &attrs {
+                        b.attr(k, v);
+                    }
+                    continue;
+                }
+                ensure_root(&mut b, &mut stack, &mut saw_root);
+                // Implied end tags: close elements the new tag terminates.
+                while let Some(top) = stack.last() {
+                    if implies_end(top, &name) && stack.len() > 1 {
+                        b.close();
+                        stack.pop();
+                    } else {
+                        break;
+                    }
+                }
+                b.open(&name);
+                for (k, v) in &attrs {
+                    b.attr(k, v);
+                }
+                if self_closing || VOID.contains(&name.as_str()) {
+                    b.close();
+                } else {
+                    stack.push(name);
+                }
+            }
+            Token::EndTag { name } => {
+                // Find the nearest matching open element; if none, ignore.
+                if let Some(idx) = stack.iter().rposition(|n| *n == name) {
+                    if idx == 0 {
+                        // Closing the root: leave it open; finish() closes.
+                        continue;
+                    }
+                    while stack.len() > idx {
+                        b.close();
+                        stack.pop();
+                    }
+                }
+            }
+        }
+    }
+    if !saw_root {
+        b.open("html");
+    }
+    b.finish()
+}
+
+/// Does an open `<open>` element get implicitly closed by a following
+/// `<next>` start tag?
+fn implies_end(open: &str, next: &str) -> bool {
+    match open {
+        "li" => next == "li",
+        "dt" | "dd" => next == "dt" || next == "dd",
+        "option" => next == "option" || next == "optgroup",
+        "tr" => next == "tr" || next == "tbody" || next == "thead" || next == "tfoot",
+        "td" | "th" => {
+            next == "td" || next == "th" || next == "tr" || next == "tbody" || next == "thead"
+                || next == "tfoot"
+        }
+        "thead" | "tbody" | "tfoot" => next == "tbody" || next == "tfoot",
+        "p" => matches!(
+            next,
+            "p" | "div" | "table" | "ul" | "ol" | "dl" | "li" | "h1" | "h2" | "h3" | "h4"
+                | "h5" | "h6" | "blockquote" | "pre" | "form" | "hr" | "section" | "article"
+        ),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lixto_tree::render::to_sexp;
+
+    fn sexp(src: &str) -> String {
+        to_sexp(&parse(src))
+    }
+
+    #[test]
+    fn well_formed_document() {
+        assert_eq!(
+            sexp("<html><body><p>hi</p></body></html>"),
+            r#"(html (body (p "hi")))"#
+        );
+    }
+
+    #[test]
+    fn missing_root_is_synthesized() {
+        assert_eq!(sexp("<p>a</p>"), r#"(html (p "a"))"#);
+        assert_eq!(sexp("just text"), r#"(html "just text")"#);
+        assert_eq!(sexp(""), "(html)");
+    }
+
+    #[test]
+    fn implied_li_end_tags() {
+        assert_eq!(
+            sexp("<ul><li>a<li>b<li>c</ul>"),
+            r#"(html (ul (li "a") (li "b") (li "c")))"#
+        );
+    }
+
+    #[test]
+    fn implied_table_cells() {
+        assert_eq!(
+            sexp("<table><tr><td>1<td>2<tr><td>3</table>"),
+            r#"(html (table (tr (td "1") (td "2")) (tr (td "3"))))"#
+        );
+    }
+
+    #[test]
+    fn paragraph_closed_by_block() {
+        assert_eq!(
+            sexp("<p>one<p>two<div>three</div>"),
+            r#"(html (p "one") (p "two") (div "three"))"#
+        );
+    }
+
+    #[test]
+    fn void_elements_take_no_children() {
+        // note: <hr> implies </p> (spec behaviour), so it lands as a sibling
+        assert_eq!(
+            sexp("<p>a<br>b<hr>c</p>"),
+            r#"(html (p "a" (br) "b") (hr) "c")"#
+        );
+        assert_eq!(
+            sexp(r#"<img src="x.png">after"#),
+            r#"(html (img src="x.png") "after")"#
+        );
+    }
+
+    #[test]
+    fn unmatched_end_tags_ignored() {
+        assert_eq!(sexp("<b>x</i></b>"), r#"(html (b "x"))"#);
+        assert_eq!(sexp("</div><p>y</p>"), r#"(html (p "y"))"#);
+    }
+
+    #[test]
+    fn unclosed_elements_closed_at_eof() {
+        assert_eq!(
+            sexp("<div><span>deep"),
+            r#"(html (div (span "deep")))"#
+        );
+    }
+
+    #[test]
+    fn end_tag_closes_intervening_elements() {
+        assert_eq!(
+            sexp("<div><b>x</div>after"),
+            r#"(html (div (b "x")) "after")"#
+        );
+    }
+
+    #[test]
+    fn whitespace_text_skipped_by_default() {
+        assert_eq!(
+            sexp("<table>\n  <tr>\n    <td>v</td>\n  </tr>\n</table>"),
+            r#"(html (table (tr (td "v"))))"#
+        );
+    }
+
+    #[test]
+    fn whitespace_kept_when_requested() {
+        let doc = parse_with_options(
+            "<p> </p>",
+            &ParseOptions {
+                skip_whitespace_text: false,
+                skip_comments: true,
+            },
+        );
+        assert_eq!(to_sexp(&doc), r#"(html (p " "))"#);
+    }
+
+    #[test]
+    fn attributes_survive_into_tree() {
+        let doc = parse(r#"<table bgcolor="green"><tr><td>x</td></tr></table>"#);
+        let table = doc
+            .node_ids()
+            .find(|&n| doc.label_str(n) == "table")
+            .unwrap();
+        assert_eq!(doc.attr(table, "bgcolor"), Some("green"));
+    }
+
+    #[test]
+    fn ebay_like_page_shape() {
+        // The Figure 5 wrapper counts on: body > (header table, item
+        // tables..., hr).
+        let src = r#"<html><body>
+          <table><tr><td>item</td></tr></table>
+          <table><tr><td><a href="i1">Desc 1</a></td><td>$ 10.00</td><td>3</td></tr></table>
+          <table><tr><td><a href="i2">Desc 2</a></td><td>$ 22.50</td><td>0</td></tr></table>
+          <hr>
+        </body></html>"#;
+        let doc = parse(src);
+        let body = doc
+            .node_ids()
+            .find(|&n| doc.label_str(n) == "body")
+            .unwrap();
+        let kids: Vec<_> = doc
+            .children(body)
+            .map(|n| doc.label_str(n).to_string())
+            .collect();
+        assert_eq!(kids, vec!["table", "table", "table", "hr"]);
+    }
+
+    #[test]
+    fn deep_nesting_does_not_recurse() {
+        let mut src = String::new();
+        for _ in 0..50_000 {
+            src.push_str("<div>");
+        }
+        src.push('x');
+        let doc = parse(&src);
+        assert_eq!(doc.len(), 50_002); // html + divs + text
+    }
+
+    #[test]
+    fn definition_lists() {
+        assert_eq!(
+            sexp("<dl><dt>t1<dd>d1<dt>t2<dd>d2</dl>"),
+            r#"(html (dl (dt "t1") (dd "d1") (dt "t2") (dd "d2")))"#
+        );
+    }
+
+    #[test]
+    fn thead_tbody_sections() {
+        assert_eq!(
+            sexp("<table><thead><tr><th>h</th></tr><tbody><tr><td>v</td></tr></table>"),
+            r#"(html (table (thead (tr (th "h"))) (tbody (tr (td "v")))))"#
+        );
+    }
+}

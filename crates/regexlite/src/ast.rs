@@ -1,0 +1,76 @@
+//! Abstract syntax of patterns.
+
+use crate::classes::CharClass;
+
+/// A parsed regular expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ast {
+    /// The empty pattern (matches the empty string).
+    Empty,
+    /// A single character class (literals are singleton classes).
+    Class(CharClass),
+    /// Concatenation, in order.
+    Concat(Vec<Ast>),
+    /// Alternation, in priority order (leftmost branch preferred).
+    Alternate(Vec<Ast>),
+    /// Repetition of the inner pattern.
+    Repeat {
+        /// The repeated subpattern.
+        inner: Box<Ast>,
+        /// Minimum number of iterations.
+        min: u32,
+        /// Maximum number of iterations, `None` = unbounded.
+        max: Option<u32>,
+        /// Greedy (prefer more) or lazy (prefer fewer).
+        greedy: bool,
+    },
+    /// A capturing group with index (1-based; 0 is the implicit whole
+    /// match) and optional name.
+    Group {
+        /// Capture index.
+        index: usize,
+        /// Name from `(?P<name>…)`, if given.
+        name: Option<String>,
+        /// Group body.
+        inner: Box<Ast>,
+    },
+    /// Non-capturing group `(?:…)`. Kept distinct so the pretty-printer can
+    /// round-trip, but compiles identically to its body.
+    NonCapturing(Box<Ast>),
+    /// `^` — start of input.
+    AssertStart,
+    /// `$` — end of input.
+    AssertEnd,
+}
+
+impl Ast {
+    /// Number of capturing groups contained in this AST (not counting the
+    /// implicit group 0).
+    pub fn group_count(&self) -> usize {
+        match self {
+            Ast::Empty | Ast::Class(_) | Ast::AssertStart | Ast::AssertEnd => 0,
+            Ast::Concat(parts) | Ast::Alternate(parts) => {
+                parts.iter().map(Ast::group_count).sum()
+            }
+            Ast::Repeat { inner, .. } | Ast::NonCapturing(inner) => inner.group_count(),
+            Ast::Group { inner, .. } => 1 + inner.group_count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse;
+
+    #[test]
+    fn group_count_counts_nested() {
+        let ast = parse("((a)(b(c)))").unwrap();
+        assert_eq!(ast.group_count(), 4);
+    }
+
+    #[test]
+    fn group_count_ignores_noncapturing() {
+        let ast = parse("(?:a(b))").unwrap();
+        assert_eq!(ast.group_count(), 1);
+    }
+}

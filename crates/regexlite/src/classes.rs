@@ -1,0 +1,180 @@
+//! Character classes.
+
+/// A set of characters, represented as sorted disjoint inclusive ranges
+/// with an optional negation flag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CharClass {
+    /// Sorted, coalesced, inclusive ranges.
+    ranges: Vec<(char, char)>,
+    /// If true the class matches characters *not* in `ranges`.
+    negated: bool,
+}
+
+impl CharClass {
+    /// The class matching exactly one character.
+    pub fn single(c: char) -> CharClass {
+        CharClass {
+            ranges: vec![(c, c)],
+            negated: false,
+        }
+    }
+
+    /// The class matching any character (`.`). We follow the common regex
+    /// default of letting `.` match everything including newlines; wrapper
+    /// text is whitespace-normalized anyway.
+    pub fn any() -> CharClass {
+        CharClass {
+            ranges: vec![('\0', char::MAX)],
+            negated: false,
+        }
+    }
+
+    /// Build from raw ranges (inclusive). Ranges are sorted and coalesced.
+    pub fn from_ranges(mut ranges: Vec<(char, char)>, negated: bool) -> CharClass {
+        ranges.sort_unstable();
+        let mut coalesced: Vec<(char, char)> = Vec::with_capacity(ranges.len());
+        for (lo, hi) in ranges {
+            match coalesced.last_mut() {
+                Some((_, phi)) if (*phi as u32) + 1 >= lo as u32 => {
+                    if hi > *phi {
+                        *phi = hi;
+                    }
+                }
+                _ => coalesced.push((lo, hi)),
+            }
+        }
+        CharClass {
+            ranges: coalesced,
+            negated,
+        }
+    }
+
+    /// Perl `\d`.
+    pub fn digit() -> CharClass {
+        CharClass::from_ranges(vec![('0', '9')], false)
+    }
+
+    /// Perl `\w`.
+    pub fn word() -> CharClass {
+        CharClass::from_ranges(
+            vec![('0', '9'), ('A', 'Z'), ('a', 'z'), ('_', '_')],
+            false,
+        )
+    }
+
+    /// Perl `\s`.
+    pub fn space() -> CharClass {
+        CharClass::from_ranges(
+            vec![(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r'), ('\x0b', '\x0c')],
+            false,
+        )
+    }
+
+    /// The negation of this class.
+    pub fn negate(mut self) -> CharClass {
+        self.negated = !self.negated;
+        self
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn matches(&self, c: char) -> bool {
+        let inside = self
+            .ranges
+            .binary_search_by(|&(lo, hi)| {
+                if c < lo {
+                    std::cmp::Ordering::Greater
+                } else if c > hi {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok();
+        inside != self.negated
+    }
+
+    /// Widen the class so ASCII letters match case-insensitively.
+    pub fn ascii_fold(self) -> CharClass {
+        let negated = self.negated;
+        let mut ranges = self.ranges.clone();
+        for &(lo, hi) in &self.ranges {
+            // Add the case-swapped image of the ASCII-letter intersection.
+            let (lo, hi) = (lo as u32, hi as u32);
+            for (a, b, delta) in [('A' as u32, 'Z' as u32, 32i32), ('a' as u32, 'z' as u32, -32)] {
+                let s = lo.max(a);
+                let e = hi.min(b);
+                if s <= e {
+                    let s2 = char::from_u32((s as i32 + delta) as u32).unwrap();
+                    let e2 = char::from_u32((e as i32 + delta) as u32).unwrap();
+                    ranges.push((s2, e2));
+                }
+            }
+        }
+        CharClass::from_ranges(ranges, negated)
+    }
+
+    /// The ranges (for inspection/printing).
+    pub fn ranges(&self) -> &[(char, char)] {
+        &self.ranges
+    }
+
+    /// Whether the class is negated.
+    pub fn is_negated(&self) -> bool {
+        self.negated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_and_any() {
+        assert!(CharClass::single('x').matches('x'));
+        assert!(!CharClass::single('x').matches('y'));
+        assert!(CharClass::any().matches('€'));
+        assert!(CharClass::any().matches('\n'));
+    }
+
+    #[test]
+    fn coalescing_adjacent_ranges() {
+        let c = CharClass::from_ranges(vec![('a', 'c'), ('d', 'f'), ('x', 'z')], false);
+        assert_eq!(c.ranges(), &[('a', 'f'), ('x', 'z')]);
+    }
+
+    #[test]
+    fn negation() {
+        let c = CharClass::digit().negate();
+        assert!(!c.matches('5'));
+        assert!(c.matches('a'));
+        assert!(c.negate().matches('5'));
+    }
+
+    #[test]
+    fn perl_classes() {
+        assert!(CharClass::word().matches('_'));
+        assert!(!CharClass::word().matches('-'));
+        assert!(CharClass::space().matches('\t'));
+        assert!(!CharClass::space().matches('x'));
+    }
+
+    #[test]
+    fn ascii_fold_covers_both_cases() {
+        let c = CharClass::from_ranges(vec![('a', 'c')], false).ascii_fold();
+        assert!(c.matches('B'));
+        assert!(c.matches('b'));
+        assert!(!c.matches('d'));
+        // folding a negated class keeps negation over the widened set
+        let n = CharClass::from_ranges(vec![('a', 'a')], true).ascii_fold();
+        assert!(!n.matches('a'));
+        assert!(!n.matches('A'));
+        assert!(n.matches('b'));
+    }
+
+    #[test]
+    fn overlapping_ranges_merge() {
+        let c = CharClass::from_ranges(vec![('a', 'm'), ('g', 'z')], false);
+        assert_eq!(c.ranges(), &[('a', 'z')]);
+    }
+}

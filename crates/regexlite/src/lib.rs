@@ -1,0 +1,465 @@
+//! # lixto-regexlite
+//!
+//! A small regular-expression engine written from scratch for `lixto-rs`.
+//!
+//! Elog (Section 3.3 of the PODS 2004 Lixto paper) leans on regular
+//! expressions in three places: the `subtext` extraction predicate ("a
+//! regular expression specifying which substrings of the element texts to
+//! be extracted"), *syntactic concept* predicates such as `isDate` which
+//! "are created as regular expressions", and element-path expressions where
+//! attribute values are matched against patterns possibly binding regex
+//! variables (`\var[Y]`).
+//!
+//! The sanctioned offline dependency set does not include a regex crate, so
+//! this crate implements the classical pipeline
+//!
+//! ```text
+//! pattern --parse--> AST --compile--> NFA program --run--> Pike VM
+//! ```
+//!
+//! giving linear-time matching in the product of input length and program
+//! size, with capture groups (the Pike VM carries save-slots per thread).
+//! Supported syntax:
+//!
+//! * literals, `.` (any char), escapes `\d \D \w \W \s \S \n \t \r` and
+//!   escaped metacharacters;
+//! * classes `[a-z0-9_]`, negated classes `[^…]`, ranges and escapes inside
+//!   classes;
+//! * alternation `|`, grouping `(...)`, non-capturing `(?:...)`, named
+//!   groups `(?P<name>...)`;
+//! * quantifiers `* + ?` and bounded repetition `{m} {m,} {m,n}`, each with
+//!   a non-greedy variant (`*?` etc.);
+//! * anchors `^` and `$` (whole-input, not multi-line).
+//!
+//! # Example
+//!
+//! ```
+//! use lixto_regexlite::Regex;
+//! let re = Regex::new(r"(\d+)\s*bids?").unwrap();
+//! let caps = re.captures("   17 bids so far").unwrap();
+//! assert_eq!(caps.get(1).unwrap().text, "17");
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod ast;
+pub mod classes;
+pub mod nfa;
+pub mod parser;
+pub mod pike;
+
+use std::fmt;
+
+pub use ast::Ast;
+pub use classes::CharClass;
+
+/// A compiled regular expression.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    pattern: String,
+    program: nfa::Program,
+}
+
+/// A single capture: the matched span and its text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Match<'t> {
+    /// Byte offset of the match start in the haystack.
+    pub start: usize,
+    /// Byte offset one past the match end.
+    pub end: usize,
+    /// The matched text.
+    pub text: &'t str,
+}
+
+/// The result of a successful capturing match.
+#[derive(Debug, Clone)]
+pub struct Captures<'t> {
+    groups: Vec<Option<Match<'t>>>,
+    names: std::collections::HashMap<String, usize>,
+}
+
+impl<'t> Captures<'t> {
+    /// Group 0 is the whole match; groups 1.. are parenthesized groups in
+    /// order of their opening parenthesis.
+    pub fn get(&self, i: usize) -> Option<&Match<'t>> {
+        self.groups.get(i).and_then(|g| g.as_ref())
+    }
+
+    /// Look up a named group `(?P<name>…)`.
+    pub fn name(&self, name: &str) -> Option<&Match<'t>> {
+        self.names.get(name).and_then(|&i| self.get(i))
+    }
+
+    /// Number of groups including group 0.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// True if there are no groups at all (never the case for a successful
+    /// match, which always has group 0).
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+}
+
+/// Error produced when a pattern fails to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    /// Char position in the pattern.
+    pub at: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex error at {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Regex {
+    /// Compile `pattern` with default options (case-sensitive).
+    pub fn new(pattern: &str) -> Result<Regex, Error> {
+        Self::with_options(pattern, false)
+    }
+
+    /// Compile `pattern`; when `case_insensitive`, ASCII letters match both
+    /// cases (sufficient for HTML attribute/concept matching).
+    pub fn with_options(pattern: &str, case_insensitive: bool) -> Result<Regex, Error> {
+        let ast = parser::parse(pattern)?;
+        let program = nfa::compile(&ast, case_insensitive);
+        Ok(Regex {
+            pattern: pattern.to_string(),
+            program,
+        })
+    }
+
+    /// The source pattern.
+    pub fn as_str(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Number of capture groups, including the implicit group 0.
+    pub fn group_count(&self) -> usize {
+        self.program.n_groups
+    }
+
+    /// Does the pattern match anywhere in `haystack`?
+    pub fn is_match(&self, haystack: &str) -> bool {
+        pike::run(&self.program, haystack, false).is_some()
+    }
+
+    /// Does the pattern match the *entire* `haystack`?
+    pub fn is_full_match(&self, haystack: &str) -> bool {
+        match pike::run(&self.program, haystack, true) {
+            Some(slots) => slots[0] == Some(0) && slots[1] == Some(haystack.len()),
+            None => false,
+        }
+    }
+
+    /// Leftmost match, if any.
+    pub fn find<'t>(&self, haystack: &'t str) -> Option<Match<'t>> {
+        let slots = pike::run(&self.program, haystack, false)?;
+        let (s, e) = (slots[0]?, slots[1]?);
+        Some(Match {
+            start: s,
+            end: e,
+            text: &haystack[s..e],
+        })
+    }
+
+    /// Leftmost match with capture groups.
+    pub fn captures<'t>(&self, haystack: &'t str) -> Option<Captures<'t>> {
+        let slots = pike::run(&self.program, haystack, false)?;
+        Some(self.captures_from_slots(haystack, &slots))
+    }
+
+    /// All non-overlapping matches, left to right.
+    pub fn find_iter<'r, 't>(&'r self, haystack: &'t str) -> FindIter<'r, 't> {
+        FindIter {
+            re: self,
+            haystack,
+            at: 0,
+        }
+    }
+
+    /// All non-overlapping capturing matches, left to right.
+    pub fn captures_iter<'r, 't>(
+        &'r self,
+        haystack: &'t str,
+    ) -> impl Iterator<Item = Captures<'t>> + 'r
+    where
+        't: 'r,
+    {
+        CapturesIter {
+            re: self,
+            haystack,
+            at: 0,
+        }
+    }
+
+    fn captures_from_slots<'t>(&self, haystack: &'t str, slots: &[Option<usize>]) -> Captures<'t> {
+        let mut groups = Vec::with_capacity(self.program.n_groups);
+        for g in 0..self.program.n_groups {
+            let m = match (
+                slots.get(2 * g).copied().flatten(),
+                slots.get(2 * g + 1).copied().flatten(),
+            ) {
+                (Some(s), Some(e)) if s <= e => Some(Match {
+                    start: s,
+                    end: e,
+                    text: &haystack[s..e],
+                }),
+                _ => None,
+            };
+            groups.push(m);
+        }
+        Captures {
+            groups,
+            names: self.program.group_names.clone(),
+        }
+    }
+
+    fn find_at<'t>(&self, haystack: &'t str, at: usize) -> Option<(Match<'t>, Captures<'t>)> {
+        let slots = pike::run(&self.program, &haystack[at..], false)?;
+        let (s, e) = (slots[0]?, slots[1]?);
+        let shifted: Vec<Option<usize>> = slots.iter().map(|o| o.map(|p| p + at)).collect();
+        let caps = self.captures_from_slots(haystack, &shifted);
+        Some((
+            Match {
+                start: at + s,
+                end: at + e,
+                text: &haystack[at + s..at + e],
+            },
+            caps,
+        ))
+    }
+}
+
+/// Iterator over non-overlapping matches (see [`Regex::find_iter`]).
+pub struct FindIter<'r, 't> {
+    re: &'r Regex,
+    haystack: &'t str,
+    at: usize,
+}
+
+impl<'t> Iterator for FindIter<'_, 't> {
+    type Item = Match<'t>;
+    fn next(&mut self) -> Option<Match<'t>> {
+        if self.at > self.haystack.len() {
+            return None;
+        }
+        let (m, _) = self.re.find_at(self.haystack, self.at)?;
+        // Advance past the match; for empty matches step one char to
+        // guarantee progress.
+        self.at = if m.end > m.start {
+            m.end
+        } else {
+            next_char_boundary(self.haystack, m.end)
+        };
+        Some(m)
+    }
+}
+
+struct CapturesIter<'r, 't> {
+    re: &'r Regex,
+    haystack: &'t str,
+    at: usize,
+}
+
+impl<'t> Iterator for CapturesIter<'_, 't> {
+    type Item = Captures<'t>;
+    fn next(&mut self) -> Option<Captures<'t>> {
+        if self.at > self.haystack.len() {
+            return None;
+        }
+        let (m, caps) = self.re.find_at(self.haystack, self.at)?;
+        self.at = if m.end > m.start {
+            m.end
+        } else {
+            next_char_boundary(self.haystack, m.end)
+        };
+        Some(caps)
+    }
+}
+
+fn next_char_boundary(s: &str, mut i: usize) -> usize {
+    i += 1;
+    while i < s.len() && !s.is_char_boundary(i) {
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_and_dot() {
+        let re = Regex::new("a.c").unwrap();
+        assert!(re.is_match("xxabcxx"));
+        assert!(re.is_match("a€c"));
+        assert!(!re.is_match("ac"));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        let re = Regex::new("(cat|dog)s?").unwrap();
+        let caps = re.captures("two dogs").unwrap();
+        assert_eq!(caps.get(0).unwrap().text, "dogs");
+        assert_eq!(caps.get(1).unwrap().text, "dog");
+    }
+
+    #[test]
+    fn quantifiers() {
+        let re = Regex::new("ab*c+").unwrap();
+        assert!(re.is_match("ac"));
+        assert!(re.is_match("abbbccc"));
+        assert!(!re.is_match("ab"));
+        let re = Regex::new("a{2,3}").unwrap();
+        assert!(!re.is_full_match("a"));
+        assert!(re.is_full_match("aa"));
+        assert!(re.is_full_match("aaa"));
+        assert!(!re.is_full_match("aaaa"));
+        let re = Regex::new("x{3}").unwrap();
+        assert!(re.is_full_match("xxx"));
+        assert!(!re.is_full_match("xx"));
+        let re = Regex::new("y{2,}").unwrap();
+        assert!(re.is_full_match("yyyyy"));
+        assert!(!re.is_full_match("y"));
+    }
+
+    #[test]
+    fn greedy_vs_lazy() {
+        let re = Regex::new("<(.*)>").unwrap();
+        assert_eq!(re.captures("<a><b>").unwrap().get(1).unwrap().text, "a><b");
+        let re = Regex::new("<(.*?)>").unwrap();
+        assert_eq!(re.captures("<a><b>").unwrap().get(1).unwrap().text, "a");
+    }
+
+    #[test]
+    fn classes_and_escapes() {
+        let re = Regex::new(r"[A-Za-z_]\w*").unwrap();
+        assert_eq!(re.find("  my_var9 = 3").unwrap().text, "my_var9");
+        let re = Regex::new(r"[^0-9]+").unwrap();
+        assert_eq!(re.find("123abc456").unwrap().text, "abc");
+        let re = Regex::new(r"\$\s*\d+\.\d{2}").unwrap();
+        assert!(re.is_match("price: $ 12.99!"));
+    }
+
+    #[test]
+    fn anchors() {
+        let re = Regex::new("^abc$").unwrap();
+        assert!(re.is_match("abc"));
+        assert!(!re.is_match("xabc"));
+        assert!(!re.is_match("abcx"));
+        let re = Regex::new("^ab").unwrap();
+        assert!(re.is_match("abx"));
+        assert!(!re.is_match("xab"));
+    }
+
+    #[test]
+    fn named_groups() {
+        let re = Regex::new(r"(?P<cur>\$|EUR|DM)\s*(?P<amt>\d+)").unwrap();
+        let caps = re.captures("costs EUR 45 today").unwrap();
+        assert_eq!(caps.name("cur").unwrap().text, "EUR");
+        assert_eq!(caps.name("amt").unwrap().text, "45");
+        assert!(caps.name("missing").is_none());
+    }
+
+    #[test]
+    fn find_iter_non_overlapping() {
+        let re = Regex::new(r"\d+").unwrap();
+        let all: Vec<_> = re.find_iter("a1b22c333").map(|m| m.text).collect();
+        assert_eq!(all, vec!["1", "22", "333"]);
+    }
+
+    #[test]
+    fn empty_match_progress() {
+        let re = Regex::new("a*").unwrap();
+        // Must terminate even though it can match the empty string.
+        let n = re.find_iter("bbb").count();
+        assert_eq!(n, 4); // empty matches at 0,1,2,3
+    }
+
+    #[test]
+    fn case_insensitive_option() {
+        let re = Regex::with_options("euro?", true).unwrap();
+        assert!(re.is_match("EURO"));
+        assert!(re.is_match("Eur"));
+        assert!(!re.is_match("exr"));
+    }
+
+    #[test]
+    fn leftmost_semantics() {
+        let re = Regex::new("b+").unwrap();
+        let m = re.find("abbbcbb").unwrap();
+        assert_eq!((m.start, m.end), (1, 4));
+    }
+
+    #[test]
+    fn unicode_haystack() {
+        let re = Regex::new("é+").unwrap();
+        let m = re.find("caféé!").unwrap();
+        assert_eq!(m.text, "éé");
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(Regex::new("(").is_err());
+        assert!(Regex::new("a{3,1}").is_err());
+        assert!(Regex::new("[z-a]").is_err());
+        assert!(Regex::new("*a").is_err());
+        assert!(Regex::new("a\\").is_err());
+    }
+
+    #[test]
+    fn nongreedy_plus_and_question() {
+        let re = Regex::new("a+?").unwrap();
+        assert_eq!(re.find("aaa").unwrap().text, "a");
+        let re = Regex::new("a??b").unwrap();
+        assert_eq!(re.find("ab").unwrap().text, "ab");
+    }
+
+    #[test]
+    fn repeated_group_keeps_last_iteration() {
+        let re = Regex::new("(?:(a|b)x)+").unwrap();
+        let caps = re.captures("axbx").unwrap();
+        assert_eq!(caps.get(0).unwrap().text, "axbx");
+        assert_eq!(caps.get(1).unwrap().text, "b");
+    }
+
+    #[test]
+    fn pathological_pattern_is_still_linear() {
+        // (a*)*b against aaaa...a — catastrophic for backtrackers, fine for
+        // a Pike VM. 10k 'a's should finish quickly.
+        let re = Regex::new("(a*)*b").unwrap();
+        let hay = "a".repeat(10_000);
+        assert!(!re.is_match(&hay));
+    }
+
+    #[test]
+    fn captures_iter_yields_all() {
+        let re = Regex::new(r"(\w+)=(\d+)").unwrap();
+        let pairs: Vec<(String, String)> = re
+            .captures_iter("a=1; bb=22; c=3")
+            .map(|c| {
+                (
+                    c.get(1).unwrap().text.to_string(),
+                    c.get(2).unwrap().text.to_string(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            pairs,
+            vec![
+                ("a".into(), "1".into()),
+                ("bb".into(), "22".into()),
+                ("c".into(), "3".into())
+            ]
+        );
+    }
+}

@@ -1,0 +1,237 @@
+//! Compilation of ASTs into NFA programs (Thompson construction over a
+//! bytecode of the kind popularized by Pike/Janson VMs).
+
+use std::collections::HashMap;
+
+use crate::ast::Ast;
+use crate::classes::CharClass;
+
+/// One VM instruction.
+#[derive(Debug, Clone)]
+pub enum Inst {
+    /// Consume one character matching the class.
+    Char(CharClass),
+    /// Fork execution: try `prefer` first, then `alt` (thread priority
+    /// encodes greediness).
+    Split { prefer: usize, alt: usize },
+    /// Unconditional jump.
+    Jmp(usize),
+    /// Record the current input position in capture slot `slot`.
+    Save(usize),
+    /// Succeed.
+    Match,
+    /// Zero-width assertion: start of input.
+    AssertStart,
+    /// Zero-width assertion: end of input.
+    AssertEnd,
+}
+
+/// A compiled NFA program.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Instruction sequence; entry point is index 0.
+    pub insts: Vec<Inst>,
+    /// Number of capture groups including group 0; slots = 2 * n_groups.
+    pub n_groups: usize,
+    /// Map from group name to group index.
+    pub group_names: HashMap<String, usize>,
+}
+
+impl Program {
+    /// Number of capture slots carried by each VM thread.
+    pub fn n_slots(&self) -> usize {
+        2 * self.n_groups
+    }
+}
+
+/// Compile `ast`. When `fold_case` is set, every character class is widened
+/// with [`CharClass::ascii_fold`].
+pub fn compile(ast: &Ast, fold_case: bool) -> Program {
+    let n_groups = 1 + ast.group_count();
+    let mut c = Compiler {
+        insts: Vec::new(),
+        group_names: HashMap::new(),
+        fold_case,
+    };
+    // Group 0 wraps the whole pattern: save slots 0 and 1.
+    c.push(Inst::Save(0));
+    c.emit(ast);
+    c.push(Inst::Save(1));
+    c.push(Inst::Match);
+    Program {
+        insts: c.insts,
+        n_groups,
+        group_names: c.group_names,
+    }
+}
+
+struct Compiler {
+    insts: Vec<Inst>,
+    group_names: HashMap<String, usize>,
+    fold_case: bool,
+}
+
+impl Compiler {
+    fn push(&mut self, i: Inst) -> usize {
+        self.insts.push(i);
+        self.insts.len() - 1
+    }
+
+    fn here(&self) -> usize {
+        self.insts.len()
+    }
+
+    fn emit(&mut self, ast: &Ast) {
+        match ast {
+            Ast::Empty => {}
+            Ast::Class(c) => {
+                let c = if self.fold_case {
+                    c.clone().ascii_fold()
+                } else {
+                    c.clone()
+                };
+                self.push(Inst::Char(c));
+            }
+            Ast::Concat(parts) => {
+                for p in parts {
+                    self.emit(p);
+                }
+            }
+            Ast::Alternate(branches) => {
+                // Chain of splits; each branch jumps to the common end.
+                let mut jmp_fixups = Vec::new();
+                for (i, b) in branches.iter().enumerate() {
+                    if i + 1 < branches.len() {
+                        let split = self.push(Inst::Split { prefer: 0, alt: 0 });
+                        let branch_start = self.here();
+                        self.emit(b);
+                        jmp_fixups.push(self.push(Inst::Jmp(0)));
+                        let next_branch = self.here();
+                        self.insts[split] = Inst::Split {
+                            prefer: branch_start,
+                            alt: next_branch,
+                        };
+                    } else {
+                        self.emit(b);
+                    }
+                }
+                let end = self.here();
+                for j in jmp_fixups {
+                    self.insts[j] = Inst::Jmp(end);
+                }
+            }
+            Ast::Repeat {
+                inner,
+                min,
+                max,
+                greedy,
+            } => self.emit_repeat(inner, *min, *max, *greedy),
+            Ast::Group { index, name, inner } => {
+                if let Some(n) = name {
+                    self.group_names.insert(n.clone(), *index);
+                }
+                self.push(Inst::Save(2 * index));
+                self.emit(inner);
+                self.push(Inst::Save(2 * index + 1));
+            }
+            Ast::NonCapturing(inner) => self.emit(inner),
+            Ast::AssertStart => {
+                self.push(Inst::AssertStart);
+            }
+            Ast::AssertEnd => {
+                self.push(Inst::AssertEnd);
+            }
+        }
+    }
+
+    /// `e{min,max}` desugars into `min` mandatory copies followed by either
+    /// a star (max = None) or `max - min` optional copies. Reusing the same
+    /// save slots across copies yields the standard "last iteration wins"
+    /// capture semantics.
+    fn emit_repeat(&mut self, inner: &Ast, min: u32, max: Option<u32>, greedy: bool) {
+        for _ in 0..min {
+            self.emit(inner);
+        }
+        match max {
+            None => {
+                // star: L: split(body, end); body; jmp L; end:
+                let l = self.push(Inst::Split { prefer: 0, alt: 0 });
+                let body = self.here();
+                self.emit(inner);
+                self.push(Inst::Jmp(l));
+                let end = self.here();
+                self.insts[l] = if greedy {
+                    Inst::Split {
+                        prefer: body,
+                        alt: end,
+                    }
+                } else {
+                    Inst::Split {
+                        prefer: end,
+                        alt: body,
+                    }
+                };
+            }
+            Some(mx) => {
+                // (mx - min) nested optionals; each may bail to the end.
+                let mut splits = Vec::new();
+                for _ in 0..(mx - min) {
+                    let s = self.push(Inst::Split { prefer: 0, alt: 0 });
+                    let body = self.here();
+                    splits.push((s, body));
+                    self.emit(inner);
+                }
+                let end = self.here();
+                for (s, body) in splits {
+                    self.insts[s] = if greedy {
+                        Inst::Split {
+                            prefer: body,
+                            alt: end,
+                        }
+                    } else {
+                        Inst::Split {
+                            prefer: end,
+                            alt: body,
+                        }
+                    };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn prog(p: &str) -> Program {
+        compile(&parse(p).unwrap(), false)
+    }
+
+    #[test]
+    fn program_always_ends_with_match() {
+        let p = prog("a(b|c)*d");
+        assert!(matches!(p.insts.last(), Some(Inst::Match)));
+    }
+
+    #[test]
+    fn group_zero_is_counted() {
+        assert_eq!(prog("abc").n_groups, 1);
+        assert_eq!(prog("(a)(b)").n_groups, 3);
+    }
+
+    #[test]
+    fn named_groups_recorded() {
+        let p = prog("(?P<x>a)");
+        assert_eq!(p.group_names.get("x"), Some(&1));
+    }
+
+    #[test]
+    fn counted_repetition_expands_linear_in_count() {
+        let small = prog("a{2}").insts.len();
+        let large = prog("a{40}").insts.len();
+        assert!(large > small);
+        assert!(large < 200, "expansion should stay modest: {large}");
+    }
+}

@@ -1,0 +1,446 @@
+//! Recursive-descent pattern parser.
+//!
+//! Grammar (precedence low → high):
+//!
+//! ```text
+//! alternation := concat ('|' concat)*
+//! concat      := repeat*
+//! repeat      := atom ('*'|'+'|'?'|'{m}'|'{m,}'|'{m,n}') '?'?
+//! atom        := literal | '.' | class | '(' ... ')' | '^' | '$' | escape
+//! ```
+
+use crate::ast::Ast;
+use crate::classes::CharClass;
+use crate::Error;
+
+/// Parse a pattern into an [`Ast`].
+pub fn parse(pattern: &str) -> Result<Ast, Error> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut p = Parser {
+        chars: &chars,
+        pos: 0,
+        next_group: 1,
+    };
+    let ast = p.alternation()?;
+    if p.pos != p.chars.len() {
+        return Err(p.err("unexpected ')'"));
+    }
+    Ok(ast)
+}
+
+struct Parser<'a> {
+    chars: &'a [char],
+    pos: usize,
+    next_group: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> Error {
+        Error {
+            at: self.pos,
+            message: msg.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn alternation(&mut self) -> Result<Ast, Error> {
+        let mut branches = vec![self.concat()?];
+        while self.eat('|') {
+            branches.push(self.concat()?);
+        }
+        Ok(if branches.len() == 1 {
+            branches.pop().unwrap()
+        } else {
+            Ast::Alternate(branches)
+        })
+    }
+
+    fn concat(&mut self) -> Result<Ast, Error> {
+        let mut parts = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            parts.push(self.repeat()?);
+        }
+        Ok(match parts.len() {
+            0 => Ast::Empty,
+            1 => parts.pop().unwrap(),
+            _ => Ast::Concat(parts),
+        })
+    }
+
+    fn repeat(&mut self) -> Result<Ast, Error> {
+        let atom = self.atom()?;
+        let (min, max) = match self.peek() {
+            Some('*') => {
+                self.bump();
+                (0, None)
+            }
+            Some('+') => {
+                self.bump();
+                (1, None)
+            }
+            Some('?') => {
+                self.bump();
+                (0, Some(1))
+            }
+            Some('{') => {
+                // Try to parse {m}, {m,}, {m,n}; a '{' that is not a valid
+                // counted repetition is treated as a literal, like most
+                // engines do.
+                if let Some((min, max, consumed)) = self.try_counted() {
+                    self.pos += consumed;
+                    if let Some(mx) = max {
+                        if mx < min {
+                            return Err(self.err("repetition {m,n} with n < m"));
+                        }
+                    }
+                    (min, max)
+                } else {
+                    return Ok(atom);
+                }
+            }
+            _ => return Ok(atom),
+        };
+        if matches!(
+            atom,
+            Ast::AssertStart | Ast::AssertEnd
+        ) {
+            return Err(self.err("cannot repeat an anchor"));
+        }
+        if matches!(atom, Ast::Empty) {
+            return Err(self.err("nothing to repeat"));
+        }
+        let greedy = !self.eat('?');
+        Ok(Ast::Repeat {
+            inner: Box::new(atom),
+            min,
+            max,
+            greedy,
+        })
+    }
+
+    /// Attempt to read `{m}`, `{m,}` or `{m,n}` starting at the current
+    /// `{`. Returns (min, max, chars consumed) without consuming on failure.
+    fn try_counted(&self) -> Option<(u32, Option<u32>, usize)> {
+        let rest = &self.chars[self.pos..];
+        debug_assert_eq!(rest.first(), Some(&'{'));
+        let mut i = 1;
+        let mut min = String::new();
+        while i < rest.len() && rest[i].is_ascii_digit() {
+            min.push(rest[i]);
+            i += 1;
+        }
+        if min.is_empty() {
+            return None;
+        }
+        let min: u32 = min.parse().ok()?;
+        match rest.get(i) {
+            Some('}') => Some((min, Some(min), i + 1)),
+            Some(',') => {
+                i += 1;
+                let mut max = String::new();
+                while i < rest.len() && rest[i].is_ascii_digit() {
+                    max.push(rest[i]);
+                    i += 1;
+                }
+                if rest.get(i) != Some(&'}') {
+                    return None;
+                }
+                let max = if max.is_empty() {
+                    None
+                } else {
+                    Some(max.parse().ok()?)
+                };
+                Some((min, max, i + 1))
+            }
+            _ => None,
+        }
+    }
+
+    fn atom(&mut self) -> Result<Ast, Error> {
+        match self.peek() {
+            Some('(') => self.group(),
+            Some('[') => {
+                let class = self.class()?;
+                Ok(Ast::Class(class))
+            }
+            Some('.') => {
+                self.bump();
+                Ok(Ast::Class(CharClass::any()))
+            }
+            Some('^') => {
+                self.bump();
+                Ok(Ast::AssertStart)
+            }
+            Some('$') => {
+                self.bump();
+                Ok(Ast::AssertEnd)
+            }
+            Some('\\') => {
+                self.bump();
+                let class = self.escape()?;
+                Ok(Ast::Class(class))
+            }
+            Some(c @ ('*' | '+' | '?')) => {
+                Err(self.err(&format!("dangling quantifier '{c}'")))
+            }
+            Some(c) => {
+                self.bump();
+                Ok(Ast::Class(CharClass::single(c)))
+            }
+            None => Ok(Ast::Empty),
+        }
+    }
+
+    fn group(&mut self) -> Result<Ast, Error> {
+        assert!(self.eat('('));
+        // (?: ...) or (?P<name> ...) ?
+        let mut name = None;
+        let mut capturing = true;
+        if self.eat('?') {
+            match self.peek() {
+                Some(':') => {
+                    self.bump();
+                    capturing = false;
+                }
+                Some('P') => {
+                    self.bump();
+                    if !self.eat('<') {
+                        return Err(self.err("expected '<' after (?P"));
+                    }
+                    let mut n = String::new();
+                    while let Some(c) = self.peek() {
+                        if c == '>' {
+                            break;
+                        }
+                        if !(c.is_alphanumeric() || c == '_') {
+                            return Err(self.err("invalid group name character"));
+                        }
+                        n.push(c);
+                        self.bump();
+                    }
+                    if !self.eat('>') {
+                        return Err(self.err("unterminated group name"));
+                    }
+                    if n.is_empty() {
+                        return Err(self.err("empty group name"));
+                    }
+                    name = Some(n);
+                }
+                _ => return Err(self.err("unsupported group flag")),
+            }
+        }
+        let index = if capturing {
+            let i = self.next_group;
+            self.next_group += 1;
+            i
+        } else {
+            0
+        };
+        let inner = self.alternation()?;
+        if !self.eat(')') {
+            return Err(self.err("missing ')'"));
+        }
+        Ok(if capturing {
+            Ast::Group {
+                index,
+                name,
+                inner: Box::new(inner),
+            }
+        } else {
+            Ast::NonCapturing(Box::new(inner))
+        })
+    }
+
+    fn class(&mut self) -> Result<CharClass, Error> {
+        assert!(self.eat('['));
+        let negated = self.eat('^');
+        let mut ranges: Vec<(char, char)> = Vec::new();
+        let mut first = true;
+        loop {
+            let c = match self.peek() {
+                None => return Err(self.err("unterminated character class")),
+                Some(']') if !first => {
+                    self.bump();
+                    break;
+                }
+                Some(c) => c,
+            };
+            first = false;
+            self.bump();
+            let lo = if c == '\\' {
+                let class = self.escape()?;
+                // A multi-char escape inside a class contributes its ranges
+                // directly and cannot form a range with '-'.
+                if class.ranges().len() != 1 || class.ranges()[0].0 != class.ranges()[0].1 {
+                    ranges.extend_from_slice(class.ranges());
+                    continue;
+                }
+                class.ranges()[0].0
+            } else {
+                c
+            };
+            // Possible range lo-hi?
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                self.bump(); // '-'
+                let hi_c = self
+                    .bump()
+                    .ok_or_else(|| self.err("unterminated character class"))?;
+                let hi = if hi_c == '\\' {
+                    let class = self.escape()?;
+                    if class.ranges().len() != 1 || class.ranges()[0].0 != class.ranges()[0].1 {
+                        return Err(self.err("class escape cannot end a range"));
+                    }
+                    class.ranges()[0].0
+                } else {
+                    hi_c
+                };
+                if hi < lo {
+                    return Err(self.err("invalid range: end before start"));
+                }
+                ranges.push((lo, hi));
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+        Ok(CharClass::from_ranges(ranges, negated))
+    }
+
+    fn escape(&mut self) -> Result<CharClass, Error> {
+        let c = self
+            .bump()
+            .ok_or_else(|| self.err("dangling escape at end of pattern"))?;
+        Ok(match c {
+            'd' => CharClass::digit(),
+            'D' => CharClass::digit().negate(),
+            'w' => CharClass::word(),
+            'W' => CharClass::word().negate(),
+            's' => CharClass::space(),
+            'S' => CharClass::space().negate(),
+            'n' => CharClass::single('\n'),
+            't' => CharClass::single('\t'),
+            'r' => CharClass::single('\r'),
+            '0' => CharClass::single('\0'),
+            // Any punctuation escapes itself: \. \* \( \[ \\ \$ …
+            c if !c.is_alphanumeric() => CharClass::single(c),
+            _ => return Err(self.err(&format!("unknown escape '\\{c}'"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_concat() {
+        let ast = parse("ab").unwrap();
+        assert!(matches!(ast, Ast::Concat(ref v) if v.len() == 2));
+    }
+
+    #[test]
+    fn precedence_alternation_lowest() {
+        let ast = parse("ab|c").unwrap();
+        assert!(matches!(ast, Ast::Alternate(ref v) if v.len() == 2));
+    }
+
+    #[test]
+    fn counted_repetition_forms() {
+        assert!(matches!(
+            parse("a{3}").unwrap(),
+            Ast::Repeat { min: 3, max: Some(3), .. }
+        ));
+        assert!(matches!(
+            parse("a{2,}").unwrap(),
+            Ast::Repeat { min: 2, max: None, .. }
+        ));
+        assert!(matches!(
+            parse("a{2,5}").unwrap(),
+            Ast::Repeat { min: 2, max: Some(5), .. }
+        ));
+    }
+
+    #[test]
+    fn brace_literal_when_not_counted() {
+        // '{' not followed by digits is a literal.
+        let ast = parse("a{x}").unwrap();
+        assert!(matches!(ast, Ast::Concat(_)));
+    }
+
+    #[test]
+    fn group_indices_assigned_left_to_right() {
+        let ast = parse("((a)(b))").unwrap();
+        if let Ast::Group { index, inner, .. } = &ast {
+            assert_eq!(*index, 1);
+            if let Ast::Concat(parts) = inner.as_ref() {
+                assert!(matches!(parts[0], Ast::Group { index: 2, .. }));
+                assert!(matches!(parts[1], Ast::Group { index: 3, .. }));
+            } else {
+                panic!("expected concat inside group");
+            }
+        } else {
+            panic!("expected outer group");
+        }
+    }
+
+    #[test]
+    fn class_with_escapes_and_ranges() {
+        let ast = parse(r"[\d\-a-f]").unwrap();
+        if let Ast::Class(c) = ast {
+            assert!(c.matches('3'));
+            assert!(c.matches('-'));
+            assert!(c.matches('e'));
+            assert!(!c.matches('g'));
+        } else {
+            panic!("expected class");
+        }
+    }
+
+    #[test]
+    fn dash_at_end_of_class_is_literal() {
+        let ast = parse("[a-]").unwrap();
+        if let Ast::Class(c) = ast {
+            assert!(c.matches('a'));
+            assert!(c.matches('-'));
+        } else {
+            panic!("expected class");
+        }
+    }
+
+    #[test]
+    fn anchors_cannot_be_repeated() {
+        assert!(parse("^*").is_err());
+        assert!(parse("$+").is_err());
+    }
+
+    #[test]
+    fn closing_bracket_first_is_literal() {
+        let ast = parse("[]a]").unwrap();
+        if let Ast::Class(c) = ast {
+            assert!(c.matches(']'));
+            assert!(c.matches('a'));
+        } else {
+            panic!("expected class");
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! The Pike VM: breadth-first NFA simulation with capture slots.
+//!
+//! Time complexity is O(|input| · |program|): each input position processes
+//! each instruction at most once (the `added` generation marks guarantee
+//! that). This is what makes `(a*)*b`-style patterns harmless here while
+//! they are catastrophic for backtracking engines.
+
+use crate::nfa::{Inst, Program};
+
+type Slots = Box<[Option<usize>]>;
+
+/// A runnable list of threads, deduplicated by program counter.
+struct ThreadList {
+    /// (pc, slots) in priority order.
+    threads: Vec<(usize, Slots)>,
+    /// Generation marks: `seen[pc] == gen` means pc already queued.
+    seen: Vec<u32>,
+    gen: u32,
+}
+
+impl ThreadList {
+    fn new(n: usize) -> ThreadList {
+        ThreadList {
+            threads: Vec::new(),
+            seen: vec![0; n],
+            gen: 0,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.threads.clear();
+        self.gen += 1;
+    }
+}
+
+/// Run `prog` against `haystack`.
+///
+/// If `anchored` is true the match must start at position 0 (the caller
+/// checks the end position for full matches). Returns the capture slots of
+/// the highest-priority matching thread, or `None`.
+///
+/// Positions stored in slots are byte offsets into `haystack`.
+pub fn run(prog: &Program, haystack: &str, anchored: bool) -> Option<Slots> {
+    let n = prog.insts.len();
+    let mut clist = ThreadList::new(n);
+    let mut nlist = ThreadList::new(n);
+    let mut matched: Option<Slots> = None;
+
+    // Iterate over char boundaries; `pos` is the byte offset, `ch` the char
+    // at that offset (None at end of input).
+    let mut positions: Vec<(usize, Option<char>)> =
+        haystack.char_indices().map(|(i, c)| (i, Some(c))).collect();
+    positions.push((haystack.len(), None));
+
+    clist.clear();
+    for (step, &(pos, ch)) in positions.iter().enumerate() {
+        // Seed a new thread for unanchored search — but only while no match
+        // has been found (leftmost semantics: once a match starts, later
+        // starts are lower priority and cannot win).
+        if step == 0 || (!anchored && matched.is_none()) {
+            let slots = vec![None; prog.n_slots()].into_boxed_slice();
+            add_thread(prog, &mut clist, 0, pos, haystack.len(), slots);
+        }
+
+        nlist.clear();
+        let mut i = 0;
+        while i < clist.threads.len() {
+            let (pc, slots) = clist.threads[i].clone();
+            match &prog.insts[pc] {
+                Inst::Char(class) => {
+                    if let Some(c) = ch {
+                        if class.matches(c) {
+                            let next_pos = pos + c.len_utf8();
+                            add_thread(prog, &mut nlist, pc + 1, next_pos, haystack.len(), slots);
+                        }
+                    }
+                }
+                Inst::Match => {
+                    // Highest-priority match at this step wins; cut all
+                    // lower-priority threads (they cannot produce a better
+                    // match under leftmost-first semantics).
+                    matched = Some(slots);
+                    break;
+                }
+                // Epsilon instructions were resolved in add_thread.
+                Inst::Split { .. } | Inst::Jmp(_) | Inst::Save(_) | Inst::AssertStart
+                | Inst::AssertEnd => {
+                    unreachable!("epsilon instructions are expanded eagerly")
+                }
+            }
+            i += 1;
+        }
+        std::mem::swap(&mut clist, &mut nlist);
+        if clist.threads.is_empty() && (matched.is_some() || anchored) {
+            break;
+        }
+        let _ = ch;
+    }
+    matched
+}
+
+/// Add a thread, eagerly following epsilon transitions (Split/Jmp/Save and
+/// zero-width assertions) in priority order.
+fn add_thread(
+    prog: &Program,
+    list: &mut ThreadList,
+    pc: usize,
+    pos: usize,
+    input_len: usize,
+    slots: Slots,
+) {
+    if list.seen[pc] == list.gen {
+        return;
+    }
+    list.seen[pc] = list.gen;
+    match &prog.insts[pc] {
+        Inst::Jmp(t) => add_thread(prog, list, *t, pos, input_len, slots),
+        Inst::Split { prefer, alt } => {
+            add_thread(prog, list, *prefer, pos, input_len, slots.clone());
+            add_thread(prog, list, *alt, pos, input_len, slots);
+        }
+        Inst::Save(slot) => {
+            let mut s = slots;
+            s[*slot] = Some(pos);
+            add_thread(prog, list, pc + 1, pos, input_len, s);
+        }
+        Inst::AssertStart => {
+            if pos == 0 {
+                add_thread(prog, list, pc + 1, pos, input_len, slots);
+            }
+        }
+        Inst::AssertEnd => {
+            if pos == input_len {
+                add_thread(prog, list, pc + 1, pos, input_len, slots);
+            }
+        }
+        Inst::Char(_) | Inst::Match => {
+            list.threads.push((pc, slots));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::nfa::compile;
+    use crate::parser::parse;
+
+    fn slots(pattern: &str, hay: &str) -> Option<Vec<Option<usize>>> {
+        let p = compile(&parse(pattern).unwrap(), false);
+        super::run(&p, hay, false).map(|s| s.to_vec())
+    }
+
+    #[test]
+    fn whole_match_slots() {
+        let s = slots("b+", "abbc").unwrap();
+        assert_eq!(s[0], Some(1));
+        assert_eq!(s[1], Some(3));
+    }
+
+    #[test]
+    fn no_match_returns_none() {
+        assert!(slots("z", "abc").is_none());
+    }
+
+    #[test]
+    fn group_slots_follow_priority() {
+        // Greedy: group 1 should take the longer arm.
+        let s = slots("(ab|a)b?", "ab").unwrap();
+        assert_eq!(&s[2..4], &[Some(0), Some(2)]);
+    }
+
+    #[test]
+    fn anchored_run_requires_start() {
+        let p = compile(&parse("b").unwrap(), false);
+        assert!(super::run(&p, "ab", true).is_none());
+        assert!(super::run(&p, "ba", true).is_some());
+    }
+
+    #[test]
+    fn empty_pattern_matches_empty_prefix() {
+        let s = slots("", "xyz").unwrap();
+        assert_eq!(s[0], Some(0));
+        assert_eq!(s[1], Some(0));
+    }
+}

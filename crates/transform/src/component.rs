@@ -1,0 +1,100 @@
+//! Pipeline components.
+//!
+//! "Each stage within the Transformation Server accepts XML documents
+//! (except for the wrapper component, which accepts HTML documents),
+//! performs its specific task, and produces an XML document as result."
+
+use lixto_core::{to_xml, XmlDesign};
+use lixto_elog::{ElogProgram, Extractor, WebSource};
+use lixto_xml::Element;
+
+/// A message delivered at a pipe boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeliveredMessage {
+    /// The deliverer's channel name (stands in for SMS/HTTP/RMI).
+    pub channel: String,
+    /// The payload (serialized XML).
+    pub body: String,
+}
+
+/// A pipeline component: consumes zero or more input XML documents and
+/// produces one output document (or None to emit nothing this round).
+pub enum Component {
+    /// Source component: runs an Elog wrapper against the web and emits
+    /// the wrapped XML. Self-activating (a boundary component).
+    Wrapper(WrapperComponent),
+    /// Integrator: merges the children of all inputs under one root
+    /// ("integrate it").
+    Integrate {
+        /// Output document element name.
+        root: String,
+    },
+    /// Transformer: an arbitrary XML→XML function ("transform it").
+    Transform(Box<dyn Fn(&[Element]) -> Option<Element> + Send>),
+    /// Deliverer: serializes the input for an output channel; with
+    /// `only_on_change`, suppresses deliveries identical to the previous
+    /// one (§6.2).
+    Deliver {
+        /// Channel name.
+        channel: String,
+        /// Deliver only when the payload changed.
+        only_on_change: bool,
+    },
+}
+
+/// The wrapper (source) component.
+pub struct WrapperComponent {
+    /// The Elog program to run.
+    pub program: ElogProgram,
+    /// Output mapping.
+    pub design: XmlDesign,
+}
+
+impl WrapperComponent {
+    /// Run the wrapper against `web` and return the XML document.
+    pub fn acquire(&self, web: &dyn WebSource) -> Element {
+        let result = Extractor::new(self.program.clone(), web).run();
+        to_xml(&result, &self.design)
+    }
+}
+
+/// Merge inputs: a new element named `root` whose children are the
+/// concatenated children of every input, in input order.
+pub fn integrate(root: &str, inputs: &[Element]) -> Element {
+    let mut out = Element::new(root);
+    for i in inputs {
+        for c in &i.children {
+            out.children.push(c.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integrate_merges_children_in_order() {
+        let a = Element::new("a").with_child_text("x", "1");
+        let b = Element::new("b")
+            .with_child_text("y", "2")
+            .with_child_text("z", "3");
+        let m = integrate("all", &[a, b]);
+        assert_eq!(m.name, "all");
+        assert_eq!(m.child_elements().count(), 3);
+        assert_eq!(m.child_text("x"), Some("1"));
+        assert_eq!(m.child_text("z"), Some("3"));
+    }
+
+    #[test]
+    fn wrapper_component_acquires_xml() {
+        let (web, records) = lixto_workloads::ebay::site(8, 3);
+        let w = WrapperComponent {
+            program: lixto_elog::parse_program(lixto_elog::EBAY_PROGRAM).unwrap(),
+            design: XmlDesign::new().auxiliary("tableseq").root("auctions"),
+        };
+        let xml = w.acquire(&web);
+        assert_eq!(xml.children_named("record").count(), records.len());
+    }
+}

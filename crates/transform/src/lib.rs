@@ -1,0 +1,36 @@
+//! # lixto-transform
+//!
+//! The Lixto Transformation Server (Section 5 of the PODS 2004 paper).
+//!
+//! "The overall task of information processing is composed into stages
+//! that can be used as building blocks for assembling an information
+//! processing pipeline which we call *information pipe*. The stages are to
+//! (1) acquire the required content from the source locations; (2)
+//! integrate it, (3) transform it, and (4) deliver results to the end
+//! users. […] The actual data flow within the Transformation Server is
+//! realized by handing over XML documents."
+//!
+//! * [`component`] — the four component kinds (source/wrapper,
+//!   integrator, transformer, deliverer), each mapping XML to XML;
+//! * [`pipe`] — the information pipe: a DAG of components; "components
+//!   which are not on the boundaries of the network are only activated by
+//!   their neighboring components. Boundary components have the ability to
+//!   activate themselves according to a user specified strategy";
+//! * [`runtime`] — a threaded streaming runtime over crossbeam channels,
+//!   plus a deterministic single-threaded scheduler for tests;
+//! * [`trigger`] — activation strategies (every tick / every n ticks) and
+//!   change detection (the §6.2 flight service "sends the actual flight
+//!   status to the user …, but only if the status changed between
+//!   consecutive requests").
+
+#![forbid(unsafe_code)]
+
+pub mod component;
+pub mod pipe;
+pub mod runtime;
+pub mod trigger;
+
+pub use component::{Component, DeliveredMessage, WrapperComponent};
+pub use pipe::{InfoPipe, NodeId as PipeNodeId};
+pub use runtime::{run_threaded, run_ticks};
+pub use trigger::{ChangeDetector, Trigger};

@@ -1,0 +1,322 @@
+//! Pipe execution.
+//!
+//! Two runtimes share the component semantics:
+//!
+//! * [`run_ticks`] — a deterministic scheduler: at each tick, boundary
+//!   wrappers whose trigger fires re-acquire their sources, and documents
+//!   propagate through the DAG in topological order. Used by tests and the
+//!   E12/E13 experiments, where determinism matters.
+//! * [`run_threaded`] — one thread per component connected by
+//!   crossbeam channels, the push-based streaming architecture the paper
+//!   describes ("push-based information systems architectures in which
+//!   wrappers are connected to pipelines of postprocessors").
+
+use std::collections::HashMap;
+
+use crossbeam_channel::{bounded, Receiver, Sender};
+use lixto_elog::WebSource;
+use lixto_xml::Element;
+
+use crate::component::{integrate, Component, DeliveredMessage};
+use crate::pipe::InfoPipe;
+use crate::trigger::ChangeDetector;
+
+/// Run `pipe` for `ticks` scheduler ticks against `web_at` (a function
+/// giving the web state at each tick — sources change over time).
+/// Returns every delivered message with its tick.
+pub fn run_ticks(
+    pipe: &InfoPipe,
+    ticks: u64,
+    web_at: &dyn Fn(u64) -> Box<dyn WebSource>,
+) -> Vec<(u64, DeliveredMessage)> {
+    let order = pipe.topo_order().expect("pipe must be acyclic");
+    let mut delivered = Vec::new();
+    let mut change: HashMap<usize, ChangeDetector> = HashMap::new();
+    // Latest output per node (persisting between ticks, so slow sources
+    // keep serving their last acquisition).
+    let mut latest: HashMap<usize, Element> = HashMap::new();
+    for tick in 0..ticks {
+        let web = web_at(tick);
+        for &i in &order {
+            let node = &pipe.nodes[i];
+            match &node.component {
+                Component::Wrapper(w) => {
+                    if node.trigger.fires(tick) {
+                        latest.insert(i, w.acquire(web.as_ref()));
+                    }
+                }
+                Component::Integrate { root } => {
+                    let inputs: Vec<Element> = node
+                        .inputs
+                        .iter()
+                        .filter_map(|j| latest.get(j).cloned())
+                        .collect();
+                    if !inputs.is_empty() {
+                        latest.insert(i, integrate(root, &inputs));
+                    }
+                }
+                Component::Transform(f) => {
+                    let inputs: Vec<Element> = node
+                        .inputs
+                        .iter()
+                        .filter_map(|j| latest.get(j).cloned())
+                        .collect();
+                    if !inputs.is_empty() {
+                        if let Some(out) = f(&inputs) {
+                            latest.insert(i, out);
+                        }
+                    }
+                }
+                Component::Deliver {
+                    channel,
+                    only_on_change,
+                } => {
+                    let inputs: Vec<Element> = node
+                        .inputs
+                        .iter()
+                        .filter_map(|j| latest.get(j).cloned())
+                        .collect();
+                    if let Some(doc) = inputs.first() {
+                        let body = lixto_xml::to_string(doc);
+                        let fire = if *only_on_change {
+                            change.entry(i).or_default().changed(&body)
+                        } else {
+                            true
+                        };
+                        if fire {
+                            delivered.push((
+                                tick,
+                                DeliveredMessage {
+                                    channel: channel.clone(),
+                                    body,
+                                },
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    delivered
+}
+
+/// Streaming execution: each component runs on its own thread; wrappers
+/// push `rounds` acquisitions downstream; deliverers send to the returned
+/// channel. The web is shared and static for the run.
+pub fn run_threaded(
+    pipe: InfoPipe,
+    rounds: usize,
+    web: impl WebSource + Send + Sync + 'static,
+) -> Receiver<DeliveredMessage> {
+    let order = pipe.topo_order().expect("pipe must be acyclic");
+    let n = pipe.nodes.len();
+    // Channels: one per edge (producer index -> consumers).
+    let mut senders: Vec<Vec<Sender<Element>>> = (0..n).map(|_| Vec::new()).collect();
+    let mut receivers: Vec<Vec<Receiver<Element>>> = (0..n).map(|_| Vec::new()).collect();
+    for (j, node) in pipe.nodes.iter().enumerate() {
+        for &i in &node.inputs {
+            let (tx, rx) = bounded::<Element>(16);
+            senders[i].push(tx);
+            receivers[j].push(rx);
+        }
+    }
+    let (dtx, drx) = bounded::<DeliveredMessage>(1024);
+    let web = std::sync::Arc::new(web);
+
+    // Spawn in reverse topological order so consumers exist first (not
+    // strictly necessary with channels, but tidy).
+    let mut nodes: Vec<Option<crate::pipe::PipeNode>> = pipe.nodes.into_iter().map(Some).collect();
+    for &i in order.iter().rev() {
+        let node = nodes[i].take().expect("each node spawned once");
+        let outs = std::mem::take(&mut senders[i]);
+        let ins = std::mem::take(&mut receivers[i]);
+        let dtx = dtx.clone();
+        let web = web.clone();
+        std::thread::spawn(move || {
+            match node.component {
+                Component::Wrapper(w) => {
+                    for _ in 0..rounds {
+                        let doc = w.acquire(web.as_ref());
+                        for o in &outs {
+                            if o.send(doc.clone()).is_err() {
+                                return;
+                            }
+                        }
+                    }
+                }
+                Component::Integrate { root } => {
+                    // One output per synchronized round of inputs.
+                    'rounds: loop {
+                        let mut batch = Vec::new();
+                        for rx in &ins {
+                            match rx.recv() {
+                                Ok(d) => batch.push(d),
+                                Err(_) => break 'rounds,
+                            }
+                        }
+                        let out = integrate(&root, &batch);
+                        for o in &outs {
+                            if o.send(out.clone()).is_err() {
+                                return;
+                            }
+                        }
+                    }
+                }
+                Component::Transform(f) => loop {
+                    let mut batch = Vec::new();
+                    for rx in &ins {
+                        match rx.recv() {
+                            Ok(d) => batch.push(d),
+                            Err(_) => return,
+                        }
+                    }
+                    if let Some(out) = f(&batch) {
+                        for o in &outs {
+                            if o.send(out.clone()).is_err() {
+                                return;
+                            }
+                        }
+                    }
+                },
+                Component::Deliver {
+                    channel,
+                    only_on_change,
+                } => {
+                    let mut detector = ChangeDetector::default();
+                    loop {
+                        let mut batch = Vec::new();
+                        for rx in &ins {
+                            match rx.recv() {
+                                Ok(d) => batch.push(d),
+                                Err(_) => return,
+                            }
+                        }
+                        if let Some(doc) = batch.first() {
+                            let body = lixto_xml::to_string(doc);
+                            if !only_on_change || detector.changed(&body) {
+                                if dtx
+                                    .send(DeliveredMessage {
+                                        channel: channel.clone(),
+                                        body,
+                                    })
+                                    .is_err()
+                                {
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        });
+    }
+    drop(dtx);
+    drx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::WrapperComponent;
+    use crate::trigger::Trigger;
+    use lixto_core::XmlDesign;
+    use lixto_elog::parse_program;
+
+    /// Books pipeline of Figure 7: two shop wrappers → integrator →
+    /// transformer (cheap books) → deliverer.
+    fn books_pipe() -> InfoPipe {
+        let mut pipe = InfoPipe::new();
+        let a = pipe.source(
+            Component::Wrapper(WrapperComponent {
+                program: parse_program(lixto_workloads::books::SHOP_A_WRAPPER).unwrap(),
+                design: XmlDesign::new().root("shopA"),
+            }),
+            Trigger::EveryTick,
+        );
+        let b = pipe.source(
+            Component::Wrapper(WrapperComponent {
+                program: parse_program(lixto_workloads::books::SHOP_B_WRAPPER).unwrap(),
+                design: XmlDesign::new().root("shopB"),
+            }),
+            Trigger::EveryTick,
+        );
+        let merged = pipe.stage(
+            Component::Integrate {
+                root: "books".into(),
+            },
+            vec![a, b],
+        );
+        let filtered = pipe.stage(
+            Component::Transform(Box::new(|inputs: &[Element]| {
+                let mut out = Element::new("books");
+                for e in inputs[0].children_named("book") {
+                    out.push_element(e.clone());
+                }
+                Some(out)
+            })),
+            vec![merged],
+        );
+        pipe.stage(
+            Component::Deliver {
+                channel: "portal".into(),
+                only_on_change: false,
+            },
+            vec![filtered],
+        );
+        pipe
+    }
+
+    #[test]
+    fn deterministic_books_pipeline() {
+        let pipe = books_pipe();
+        let delivered = run_ticks(&pipe, 2, &|_tick| {
+            Box::new(lixto_workloads::books::site(5, 4).0)
+        });
+        assert_eq!(delivered.len(), 2);
+        let doc = lixto_xml::parse(&delivered[0].1.body).unwrap();
+        // 4 books from each shop.
+        assert_eq!(doc.children_named("book").count(), 8);
+    }
+
+    #[test]
+    fn threaded_books_pipeline_streams() {
+        let pipe = books_pipe();
+        let rx = run_threaded(pipe, 3, lixto_workloads::books::site(5, 2).0);
+        let got: Vec<_> = rx.iter().collect();
+        assert_eq!(got.len(), 3);
+        for m in got {
+            assert_eq!(m.channel, "portal");
+            let doc = lixto_xml::parse(&m.body).unwrap();
+            assert_eq!(doc.children_named("book").count(), 4);
+        }
+    }
+
+    #[test]
+    fn change_detection_suppresses_unchanged_flights() {
+        let mut pipe = InfoPipe::new();
+        let w = pipe.source(
+            Component::Wrapper(WrapperComponent {
+                program: parse_program(lixto_workloads::flights::FLIGHT_WRAPPER).unwrap(),
+                design: XmlDesign::new().root("flights"),
+            }),
+            Trigger::EveryTick,
+        );
+        pipe.stage(
+            Component::Deliver {
+                channel: "sms".into(),
+                only_on_change: true,
+            },
+            vec![w],
+        );
+        // Web identical at ticks 0–1, then jumps at ticks 2–3 (status
+        // tick 5 advances every flight regardless of its speed 1..3).
+        let delivered = run_ticks(&pipe, 4, &|tick| {
+            Box::new(lixto_workloads::flights::site(11, 3, if tick < 2 { 0 } else { 5 }))
+        });
+        // tick 0: first delivery; tick 1: same page, suppressed; tick 2:
+        // statuses moved → delivery; tick 3: suppressed.
+        assert_eq!(delivered.len(), 2);
+        assert_eq!(delivered[0].0, 0);
+        assert_eq!(delivered[1].0, 2);
+    }
+}

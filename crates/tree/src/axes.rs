@@ -1,0 +1,317 @@
+//! Navigational axes over documents.
+//!
+//! Section 4 of the paper studies query languages over the axis relations
+//! `Child`, `Child+`, `Child*`, `Nextsibling`, `Nextsibling+`,
+//! `Nextsibling*`, and `Following`. This module gives each axis a uniform
+//! interface: enumerate partners of a node, and test membership of a pair.
+//! The XPath axes (`parent`, `ancestor`, `preceding`, …) are included since
+//! `lixto-xpath` is built on the same enumeration.
+
+use crate::document::Document;
+use crate::ids::NodeId;
+
+/// An axis relation between two nodes of a document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// The node itself.
+    SelfAxis,
+    /// `Child(x, y)`: y is a child of x.
+    Child,
+    /// `Child+(x, y)`: y is a proper descendant of x.
+    Descendant,
+    /// `Child*(x, y)`: y is x or a descendant of x.
+    DescendantOrSelf,
+    /// Inverse of `Child`.
+    Parent,
+    /// Inverse of `Child+`.
+    Ancestor,
+    /// Inverse of `Child*`.
+    AncestorOrSelf,
+    /// `Nextsibling(x, y)`: y is the sibling immediately right of x.
+    NextSibling,
+    /// `Nextsibling+(x, y)`: y is a sibling strictly right of x.
+    FollowingSibling,
+    /// `Nextsibling*(x, y)`: y is x or a sibling right of x.
+    FollowingSiblingOrSelf,
+    /// Inverse of `NextSibling`.
+    PrevSibling,
+    /// Inverse of `Nextsibling+` (XPath `preceding-sibling`).
+    PrecedingSibling,
+    /// Inverse of `Nextsibling*`.
+    PrecedingSiblingOrSelf,
+    /// `Following(x, y)` — after x in document order, not a descendant of x.
+    Following,
+    /// Inverse of `Following` (XPath `preceding`).
+    Preceding,
+    /// `Firstchild(x, y)`: y is the leftmost child of x.
+    FirstChild,
+    /// Inverse of `Firstchild`.
+    FirstChildInv,
+}
+
+impl Axis {
+    /// The inverse axis, satisfying `axis(x,y) ⇔ inverse(y,x)`.
+    pub fn inverse(self) -> Axis {
+        use Axis::*;
+        match self {
+            SelfAxis => SelfAxis,
+            Child => Parent,
+            Parent => Child,
+            Descendant => Ancestor,
+            Ancestor => Descendant,
+            DescendantOrSelf => AncestorOrSelf,
+            AncestorOrSelf => DescendantOrSelf,
+            NextSibling => PrevSibling,
+            PrevSibling => NextSibling,
+            FollowingSibling => PrecedingSibling,
+            PrecedingSibling => FollowingSibling,
+            FollowingSiblingOrSelf => PrecedingSiblingOrSelf,
+            PrecedingSiblingOrSelf => FollowingSiblingOrSelf,
+            Following => Preceding,
+            Preceding => Following,
+            FirstChild => FirstChildInv,
+            FirstChildInv => FirstChild,
+        }
+    }
+
+    /// Name as it appears in XPath / the paper.
+    pub fn name(self) -> &'static str {
+        use Axis::*;
+        match self {
+            SelfAxis => "self",
+            Child => "child",
+            Descendant => "descendant",
+            DescendantOrSelf => "descendant-or-self",
+            Parent => "parent",
+            Ancestor => "ancestor",
+            AncestorOrSelf => "ancestor-or-self",
+            NextSibling => "nextsibling",
+            FollowingSibling => "following-sibling",
+            FollowingSiblingOrSelf => "following-sibling-or-self",
+            PrevSibling => "prevsibling",
+            PrecedingSibling => "preceding-sibling",
+            PrecedingSiblingOrSelf => "preceding-sibling-or-self",
+            Following => "following",
+            Preceding => "preceding",
+            FirstChild => "firstchild",
+            FirstChildInv => "firstchild-inverse",
+        }
+    }
+
+    /// Membership test `axis(x, y)`; O(1) thanks to pre/post numbering
+    /// except for sibling-transitive axes which are O(#siblings between).
+    pub fn holds(self, doc: &Document, x: NodeId, y: NodeId) -> bool {
+        use Axis::*;
+        match self {
+            SelfAxis => x == y,
+            Child => doc.parent(y) == Some(x),
+            Descendant => doc.is_ancestor(x, y),
+            DescendantOrSelf => doc.is_ancestor_or_self(x, y),
+            Parent => doc.parent(x) == Some(y),
+            Ancestor => doc.is_ancestor(y, x),
+            AncestorOrSelf => doc.is_ancestor_or_self(y, x),
+            NextSibling => doc.next_sibling(x) == Some(y),
+            PrevSibling => doc.prev_sibling(x) == Some(y),
+            FollowingSibling => {
+                doc.parent(x).is_some()
+                    && doc.parent(x) == doc.parent(y)
+                    && doc.doc_before(x, y)
+            }
+            PrecedingSibling => Axis::FollowingSibling.holds(doc, y, x),
+            FollowingSiblingOrSelf => x == y || Axis::FollowingSibling.holds(doc, x, y),
+            PrecedingSiblingOrSelf => x == y || Axis::PrecedingSibling.holds(doc, x, y),
+            Following => doc.is_following(x, y),
+            Preceding => doc.is_following(y, x),
+            FirstChild => doc.first_child(x) == Some(y),
+            FirstChildInv => doc.first_child(y) == Some(x),
+        }
+    }
+
+    /// Enumerate all `y` with `axis(x, y)`, in document order.
+    pub fn partners(self, doc: &Document, x: NodeId) -> Vec<NodeId> {
+        use Axis::*;
+        match self {
+            SelfAxis => vec![x],
+            Child => doc.children(x).collect(),
+            Descendant => doc.descendants(x).collect(),
+            DescendantOrSelf => doc.descendants_or_self(x).collect(),
+            Parent => doc.parent(x).into_iter().collect(),
+            Ancestor => {
+                let mut v: Vec<_> = doc.ancestors(x).collect();
+                v.reverse(); // document order: root first
+                v
+            }
+            AncestorOrSelf => {
+                let mut v: Vec<_> = doc.ancestors(x).collect();
+                v.reverse();
+                v.push(x);
+                v
+            }
+            NextSibling => doc.next_sibling(x).into_iter().collect(),
+            PrevSibling => doc.prev_sibling(x).into_iter().collect(),
+            FollowingSibling => {
+                let mut v = Vec::new();
+                let mut cur = doc.next_sibling(x);
+                while let Some(s) = cur {
+                    v.push(s);
+                    cur = doc.next_sibling(s);
+                }
+                v
+            }
+            PrecedingSibling => {
+                let mut v = Vec::new();
+                let mut cur = doc.prev_sibling(x);
+                while let Some(s) = cur {
+                    v.push(s);
+                    cur = doc.prev_sibling(s);
+                }
+                v.reverse();
+                v
+            }
+            FollowingSiblingOrSelf => {
+                let mut v = vec![x];
+                v.extend(Axis::FollowingSibling.partners(doc, x));
+                v
+            }
+            PrecedingSiblingOrSelf => {
+                let mut v = Axis::PrecedingSibling.partners(doc, x);
+                v.push(x);
+                v
+            }
+            Following => {
+                let (_, end) = doc.order().subtree_range(x);
+                doc.order().preorder()[end..].to_vec()
+            }
+            Preceding => {
+                // Nodes before x in document order that are not ancestors.
+                let upto = doc.order().pre(x) as usize;
+                doc.order().preorder()[..upto]
+                    .iter()
+                    .copied()
+                    .filter(|&y| !doc.is_ancestor(y, x))
+                    .collect()
+            }
+            FirstChild => doc.first_child(x).into_iter().collect(),
+            FirstChildInv => {
+                // y such that firstchild(y) == x, i.e. x's parent if x is a
+                // first sibling.
+                match doc.parent(x) {
+                    Some(p) if doc.first_child(p) == Some(x) => vec![p],
+                    _ => vec![],
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::from_sexp;
+
+    fn all_axes() -> Vec<Axis> {
+        use Axis::*;
+        vec![
+            SelfAxis,
+            Child,
+            Descendant,
+            DescendantOrSelf,
+            Parent,
+            Ancestor,
+            AncestorOrSelf,
+            NextSibling,
+            PrevSibling,
+            FollowingSibling,
+            PrecedingSibling,
+            FollowingSiblingOrSelf,
+            PrecedingSiblingOrSelf,
+            Following,
+            Preceding,
+            FirstChild,
+            FirstChildInv,
+        ]
+    }
+
+    #[test]
+    fn partners_agree_with_holds() {
+        let doc = from_sexp("(a (b (c) (d) (e)) (f (g)) (h))").unwrap();
+        for axis in all_axes() {
+            for x in doc.node_ids() {
+                let partners = axis.partners(&doc, x);
+                for y in doc.node_ids() {
+                    assert_eq!(
+                        partners.contains(&y),
+                        axis.holds(&doc, x, y),
+                        "axis {} x={x} y={y}",
+                        axis.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_is_an_involution_and_flips_pairs() {
+        let doc = from_sexp("(a (b (c)) (d))").unwrap();
+        for axis in all_axes() {
+            assert_eq!(axis.inverse().inverse(), axis);
+            for x in doc.node_ids() {
+                for y in doc.node_ids() {
+                    assert_eq!(
+                        axis.holds(&doc, x, y),
+                        axis.inverse().holds(&doc, y, x),
+                        "axis {}",
+                        axis.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn following_matches_paper_definition() {
+        // Following(x,y) := ∃z1,z2 Child*(z1,x) ∧ Nextsibling+(z1,z2)
+        //                   ∧ Child*(z2,y)    (Section 4)
+        let doc = from_sexp("(a (b (c) (d)) (e (f)) (g))").unwrap();
+        for x in doc.node_ids() {
+            for y in doc.node_ids() {
+                let mut by_def = false;
+                for z1 in doc.node_ids() {
+                    for z2 in doc.node_ids() {
+                        if doc.is_ancestor_or_self(z1, x)
+                            && Axis::FollowingSibling.holds(&doc, z1, z2)
+                            && doc.is_ancestor_or_self(z2, y)
+                        {
+                            by_def = true;
+                        }
+                    }
+                }
+                // z1 ancestor-or-self of x — note direction: Child*(z1,x)
+                assert_eq!(
+                    Axis::Following.holds(&doc, x, y),
+                    by_def,
+                    "x={x} y={y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partners_are_in_document_order() {
+        let doc = from_sexp("(a (b (c) (d)) (e (f)) (g))").unwrap();
+        for axis in all_axes() {
+            for x in doc.node_ids() {
+                let ps = axis.partners(&doc, x);
+                for w in ps.windows(2) {
+                    assert!(
+                        doc.doc_before(w[0], w[1]),
+                        "axis {} from {x}: {} !< {}",
+                        axis.name(),
+                        w[0],
+                        w[1]
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,382 @@
+//! Document construction.
+//!
+//! [`TreeBuilder`] is the event-style interface used by the HTML parser and
+//! the synthetic workload generators; [`from_sexp`] is a compact literal
+//! syntax for tests and documentation:
+//!
+//! ```
+//! let doc = lixto_tree::build::from_sexp(
+//!     r#"(table (tr (td bgcolor="green" "price") (td "$ 9.99")))"#,
+//! ).unwrap();
+//! assert_eq!(doc.text_content(doc.root()), "price$ 9.99");
+//! ```
+
+use crate::document::Document;
+use crate::ids::NodeId;
+use crate::interner::Interner;
+use crate::node::NodeData;
+use crate::order::Order;
+use crate::TEXT_LABEL;
+
+/// Incremental, event-driven construction of a [`Document`].
+///
+/// The builder enforces the tree discipline: exactly one root element, every
+/// `open` matched by a `close`, text only inside an open element.
+pub struct TreeBuilder {
+    nodes: Vec<NodeData>,
+    interner: Interner,
+    /// Stack of currently open elements.
+    open: Vec<NodeId>,
+    finished_root: bool,
+}
+
+impl Default for TreeBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TreeBuilder {
+    /// Create an empty builder.
+    pub fn new() -> Self {
+        TreeBuilder {
+            nodes: Vec::new(),
+            interner: Interner::new(),
+            open: Vec::new(),
+            finished_root: false,
+        }
+    }
+
+    /// Open an element with the given label. Returns its node id.
+    ///
+    /// # Panics
+    /// Panics if a complete root subtree has already been closed (documents
+    /// are single trees).
+    pub fn open(&mut self, label: &str) -> NodeId {
+        assert!(
+            !self.finished_root,
+            "cannot add a second root to a document"
+        );
+        let sym = self.interner.intern(label);
+        let id = NodeId::from_index(self.nodes.len());
+        self.nodes.push(NodeData::new_element(sym));
+        self.attach(id);
+        self.open.push(id);
+        id
+    }
+
+    /// Add an attribute to the innermost open element.
+    ///
+    /// # Panics
+    /// Panics if no element is open.
+    pub fn attr(&mut self, name: &str, value: &str) {
+        let &cur = self.open.last().expect("attr outside any open element");
+        let sym = self.interner.intern(name);
+        self.nodes[cur.index()].attrs.push((sym, value.into()));
+    }
+
+    /// Append a text node to the innermost open element. Empty strings are
+    /// ignored (they would create meaningless leaves). Returns the id if a
+    /// node was created.
+    pub fn text(&mut self, data: &str) -> Option<NodeId> {
+        if data.is_empty() {
+            return None;
+        }
+        let &_cur = self.open.last().expect("text outside any open element");
+        let sym = self.interner.intern(TEXT_LABEL);
+        let id = NodeId::from_index(self.nodes.len());
+        self.nodes.push(NodeData::new_text(sym, data.into()));
+        self.attach(id);
+        Some(id)
+    }
+
+    /// Close the innermost open element.
+    ///
+    /// # Panics
+    /// Panics if nothing is open.
+    pub fn close(&mut self) {
+        self.open.pop().expect("close without matching open");
+        if self.open.is_empty() {
+            self.finished_root = true;
+        }
+    }
+
+    /// Label of the innermost open element, if any — used by forgiving
+    /// parsers to decide on implied end tags.
+    pub fn current_label(&self) -> Option<&str> {
+        self.open
+            .last()
+            .map(|&n| self.interner.resolve(self.nodes[n.index()].label))
+    }
+
+    /// Depth of the open-element stack.
+    pub fn open_depth(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Finish construction. Closes any still-open elements (forgiving-HTML
+    /// behaviour) and freezes the document, computing its [`Order`].
+    ///
+    /// # Panics
+    /// Panics if no node was ever added — trees have at least one node.
+    pub fn finish(mut self) -> Document {
+        while !self.open.is_empty() {
+            self.close();
+        }
+        assert!(!self.nodes.is_empty(), "a document needs at least one node");
+        let order = Order::compute(&self.nodes);
+        Document {
+            nodes: self.nodes,
+            interner: self.interner,
+            order,
+        }
+    }
+
+    fn attach(&mut self, id: NodeId) {
+        if let Some(&parent) = self.open.last() {
+            self.nodes[id.index()].parent = Some(parent);
+            let p = &mut self.nodes[parent.index()];
+            match p.last_child {
+                None => {
+                    p.first_child = Some(id);
+                    p.last_child = Some(id);
+                }
+                Some(prev) => {
+                    p.last_child = Some(id);
+                    self.nodes[prev.index()].next_sibling = Some(id);
+                    self.nodes[id.index()].prev_sibling = Some(prev);
+                }
+            }
+        } else {
+            assert_eq!(
+                id,
+                NodeId::ROOT,
+                "only the first node may be parentless (the root)"
+            );
+        }
+    }
+}
+
+/// Error from [`from_sexp`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SexpError {
+    /// Byte offset of the problem.
+    pub at: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for SexpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s-expression error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for SexpError {}
+
+/// Parse a document literal:
+///
+/// ```text
+/// doc      := element
+/// element  := '(' name (attr | child)* ')'
+/// attr     := name '=' '"' chars '"'
+/// child    := element | '"' chars '"'      (a text node)
+/// ```
+///
+/// Whitespace between tokens is insignificant. `\"` and `\\` escapes are
+/// supported inside strings.
+pub fn from_sexp(input: &str) -> Result<Document, SexpError> {
+    let mut p = SexpParser {
+        bytes: input.as_bytes(),
+        pos: 0,
+        builder: TreeBuilder::new(),
+    };
+    p.skip_ws();
+    p.element()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing input after document"));
+    }
+    Ok(p.builder.finish())
+}
+
+struct SexpParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    builder: TreeBuilder,
+}
+
+impl SexpParser<'_> {
+    fn err(&self, msg: &str) -> SexpError {
+        SexpError {
+            at: self.pos,
+            message: msg.to_string(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn element(&mut self) -> Result<(), SexpError> {
+        if self.bytes.get(self.pos) != Some(&b'(') {
+            return Err(self.err("expected '('"));
+        }
+        self.pos += 1;
+        self.skip_ws();
+        let name = self.name()?;
+        self.builder.open(&name);
+        loop {
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b')') => {
+                    self.pos += 1;
+                    self.builder.close();
+                    return Ok(());
+                }
+                Some(b'(') => self.element()?,
+                Some(b'"') => {
+                    let s = self.string()?;
+                    self.builder.text(&s);
+                }
+                Some(_) => {
+                    // attribute: name = "value"
+                    let name = self.name()?;
+                    self.skip_ws();
+                    if self.bytes.get(self.pos) != Some(&b'=') {
+                        return Err(self.err("expected '=' after attribute name"));
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let val = self.string()?;
+                    self.builder.attr(&name, &val);
+                }
+                None => return Err(self.err("unexpected end of input inside element")),
+            }
+        }
+    }
+
+    fn name(&mut self) -> Result<String, SexpError> {
+        let start = self.pos;
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b.is_ascii_whitespace() || b == b'(' || b == b')' || b == b'=' || b == b'"' {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("name is not UTF-8"))?
+            .to_string())
+    }
+
+    fn string(&mut self) -> Result<String, SexpError> {
+        if self.bytes.get(self.pos) != Some(&b'"') {
+            return Err(self.err("expected '\"'"));
+        }
+        self.pos += 1;
+        let mut out = Vec::new();
+        while let Some(&b) = self.bytes.get(self.pos) {
+            self.pos += 1;
+            match b {
+                b'"' => {
+                    return String::from_utf8(out).map_err(|_| self.err("string is not UTF-8"))
+                }
+                b'\\' => {
+                    let esc = self
+                        .bytes
+                        .get(self.pos)
+                        .copied()
+                        .ok_or_else(|| self.err("dangling escape"))?;
+                    self.pos += 1;
+                    out.push(esc);
+                }
+                _ => out.push(b),
+            }
+        }
+        Err(self.err("unterminated string"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeKind;
+
+    #[test]
+    fn builder_produces_sibling_chain() {
+        let mut b = TreeBuilder::new();
+        b.open("ul");
+        for i in 0..3 {
+            b.open("li");
+            b.text(&format!("item {i}"));
+            b.close();
+        }
+        let doc = b.finish();
+        let kids: Vec<_> = doc.children(doc.root()).collect();
+        assert_eq!(kids.len(), 3);
+        assert!(doc.is_first_sibling(kids[0]));
+        assert!(doc.is_last_sibling(kids[2]));
+        assert_eq!(doc.text_content(kids[1]), "item 1");
+    }
+
+    #[test]
+    fn finish_closes_dangling_elements() {
+        let mut b = TreeBuilder::new();
+        b.open("html");
+        b.open("body");
+        b.open("p");
+        b.text("hello");
+        let doc = b.finish();
+        assert_eq!(doc.len(), 4);
+        assert_eq!(doc.text_content(doc.root()), "hello");
+    }
+
+    #[test]
+    #[should_panic(expected = "second root")]
+    fn two_roots_panic() {
+        let mut b = TreeBuilder::new();
+        b.open("a");
+        b.close();
+        b.open("b");
+    }
+
+    #[test]
+    fn sexp_roundtrip_with_attrs_and_text() {
+        let doc = from_sexp(r#"(a href="x.html" (b "bold") " tail")"#).unwrap();
+        assert_eq!(doc.attr(doc.root(), "href"), Some("x.html"));
+        let kids: Vec<_> = doc.children(doc.root()).collect();
+        assert_eq!(kids.len(), 2);
+        assert_eq!(doc.kind(kids[1]), NodeKind::Text);
+        assert_eq!(doc.text(kids[1]), Some(" tail"));
+    }
+
+    #[test]
+    fn sexp_escapes() {
+        let doc = from_sexp(r#"(t "say \"hi\" \\ ok")"#).unwrap();
+        assert_eq!(doc.text_content(doc.root()), r#"say "hi" \ ok"#);
+    }
+
+    #[test]
+    fn sexp_rejects_garbage() {
+        assert!(from_sexp("(a").is_err());
+        assert!(from_sexp("(a) (b)").is_err());
+        assert!(from_sexp("a").is_err());
+        assert!(from_sexp(r#"(a x=)"#).is_err());
+        assert!(from_sexp(r#"(a "unterminated)"#).is_err());
+    }
+
+    #[test]
+    fn empty_text_is_skipped() {
+        let mut b = TreeBuilder::new();
+        b.open("p");
+        assert!(b.text("").is_none());
+        let doc = b.finish();
+        assert_eq!(doc.len(), 1);
+    }
+}

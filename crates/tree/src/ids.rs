@@ -1,0 +1,65 @@
+//! Compact node identifiers.
+//!
+//! Node ids are indices into the [`Document`](crate::Document) arena. They
+//! are only meaningful relative to the document that produced them; mixing
+//! ids across documents is a logic error (caught by debug assertions in the
+//! accessors, not by the type system — wrappers routinely process millions
+//! of nodes and a document handle per id would double the footprint).
+
+/// Identifier of a node within one [`Document`](crate::Document).
+///
+/// Internally an index into the document's node arena. `u32` keeps hot
+/// node-set structures small (the performance guides' "smaller integers"
+/// advice); 4 billion nodes per document is far beyond any wrapping
+/// workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The id of a document's root node. Documents always have at least one
+    /// node (trees in the paper are non-empty), and the builder materializes
+    /// the root first.
+    pub const ROOT: NodeId = NodeId(0);
+
+    /// Index into the arena.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a raw index. Intended for de-serialization and for
+    /// iterating over `0..doc.len()`; out-of-range ids panic on use.
+    #[inline]
+    pub fn from_index(i: usize) -> NodeId {
+        debug_assert!(i <= u32::MAX as usize);
+        NodeId(i as u32)
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_is_index_zero() {
+        assert_eq!(NodeId::ROOT.index(), 0);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let id = NodeId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(format!("{id}"), "n42");
+    }
+
+    #[test]
+    fn ordering_follows_arena_order() {
+        assert!(NodeId::from_index(1) < NodeId::from_index(2));
+    }
+}

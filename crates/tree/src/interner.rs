@@ -1,0 +1,123 @@
+//! Label interning.
+//!
+//! The paper assumes labels are drawn from a *finite* alphabet Σ. Interning
+//! makes `label_a(x)` tests integer comparisons and keeps the per-node
+//! footprint at one word.
+
+use std::collections::HashMap;
+
+/// An interned label (element name, `#text`, attribute name, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(pub(crate) u32);
+
+impl Symbol {
+    /// Index into the interner's table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A string interner mapping labels to dense [`Symbol`]s.
+///
+/// Each [`Document`](crate::Document) owns one interner; symbols are only
+/// comparable within their document (documents produced by the same
+/// [`TreeBuilder`](crate::TreeBuilder) pipeline share insertion order for
+/// common HTML names, but code must not rely on that).
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    map: HashMap<Box<str>, u32>,
+    names: Vec<Box<str>>,
+}
+
+impl Interner {
+    /// Create an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `name`, returning its symbol (existing or fresh).
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&id) = self.map.get(name) {
+            return Symbol(id);
+        }
+        let id = self.names.len() as u32;
+        let owned: Box<str> = name.into();
+        self.names.push(owned.clone());
+        self.map.insert(owned, id);
+        Symbol(id)
+    }
+
+    /// Look up an already-interned name without inserting.
+    pub fn get(&self, name: &str) -> Option<Symbol> {
+        self.map.get(name).map(|&id| Symbol(id))
+    }
+
+    /// Resolve a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if `sym` was not produced by this interner.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of distinct interned labels (|Σ| as seen so far).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate over `(Symbol, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Symbol(i as u32), n.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("table");
+        let b = i.intern("table");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_symbols() {
+        let mut i = Interner::new();
+        let a = i.intern("td");
+        let b = i.intern("tr");
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), "td");
+        assert_eq!(i.resolve(b), "tr");
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut i = Interner::new();
+        assert!(i.get("div").is_none());
+        i.intern("div");
+        assert!(i.get("div").is_some());
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn iter_preserves_order() {
+        let mut i = Interner::new();
+        i.intern("a");
+        i.intern("b");
+        let names: Vec<_> = i.iter().map(|(_, n)| n.to_string()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,81 @@
+//! Per-node storage.
+
+use crate::ids::NodeId;
+use crate::interner::Symbol;
+
+/// What kind of node this is.
+///
+/// The relational view of the paper does not distinguish kinds — text is
+/// just a `#text`-labeled leaf — but wrappers need the payloads, and the
+/// HTML tree builder needs to know which nodes may have children.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// An element (HTML/XML tag). Carries attributes, may have children.
+    Element,
+    /// A text leaf. Carries its character data in [`NodeData::text`].
+    Text,
+}
+
+/// Arena entry for one node.
+///
+/// The five structural links realize the binary relations of τ_ur and their
+/// inverses (firstchild / firstchild⁻¹ via `parent`+`prev_sibling == None`,
+/// nextsibling / nextsibling⁻¹) in O(1). `last_child` accelerates the
+/// builder and the `lastsibling` unary relation.
+#[derive(Debug, Clone)]
+pub struct NodeData {
+    pub(crate) label: Symbol,
+    pub(crate) kind: NodeKind,
+    pub(crate) parent: Option<NodeId>,
+    pub(crate) first_child: Option<NodeId>,
+    pub(crate) last_child: Option<NodeId>,
+    pub(crate) next_sibling: Option<NodeId>,
+    pub(crate) prev_sibling: Option<NodeId>,
+    /// Character data for text nodes; `None` for elements.
+    pub(crate) text: Option<Box<str>>,
+    /// Attribute list for elements, in source order. Linear scan is right:
+    /// real HTML elements carry a handful of attributes.
+    pub(crate) attrs: Vec<(Symbol, Box<str>)>,
+}
+
+impl NodeData {
+    pub(crate) fn new_element(label: Symbol) -> Self {
+        NodeData {
+            label,
+            kind: NodeKind::Element,
+            parent: None,
+            first_child: None,
+            last_child: None,
+            next_sibling: None,
+            prev_sibling: None,
+            text: None,
+            attrs: Vec::new(),
+        }
+    }
+
+    pub(crate) fn new_text(label: Symbol, text: Box<str>) -> Self {
+        NodeData {
+            label,
+            kind: NodeKind::Text,
+            parent: None,
+            first_child: None,
+            last_child: None,
+            next_sibling: None,
+            prev_sibling: None,
+            text: Some(text),
+            attrs: Vec::new(),
+        }
+    }
+
+    /// The node's interned label.
+    #[inline]
+    pub fn label(&self) -> Symbol {
+        self.label
+    }
+
+    /// The node's kind.
+    #[inline]
+    pub fn kind(&self) -> NodeKind {
+        self.kind
+    }
+}

@@ -1,0 +1,179 @@
+//! Pre/post numbering and document order.
+//!
+//! Computed once when a [`Document`](crate::Document) is frozen. The
+//! interval encoding (`pre`, `subtree_end`) gives O(1) answers to
+//! `child*`, `child+`, `following` and document-order comparisons — the
+//! workhorse behind the linear-time evaluators in `lixto-xpath` and
+//! `lixto-cq`.
+
+use crate::ids::NodeId;
+use crate::node::NodeData;
+
+/// Pre/post numbering of a document.
+#[derive(Debug, Clone, Default)]
+pub struct Order {
+    /// `pre[n]` — position of `n` in preorder (document order), 0-based.
+    pre: Vec<u32>,
+    /// `post[n]` — position of `n` in postorder, 0-based.
+    post: Vec<u32>,
+    /// Preorder sequence of node ids; `preorder[pre[n]] == n`.
+    preorder: Vec<NodeId>,
+    /// `subtree_end[n]` — one past the preorder index of the last node in
+    /// `n`'s subtree; the subtree of `n` is `preorder[pre[n]..subtree_end[n]]`.
+    subtree_end: Vec<u32>,
+}
+
+impl Order {
+    /// Compute numbering for an arena whose root is node 0. Iterative DFS —
+    /// documents can be deep enough (degenerate chains in stress tests) that
+    /// recursion would overflow.
+    pub(crate) fn compute(nodes: &[NodeData]) -> Order {
+        let n = nodes.len();
+        let mut pre = vec![0u32; n];
+        let mut post = vec![0u32; n];
+        let mut preorder = Vec::with_capacity(n);
+        let mut subtree_end = vec![0u32; n];
+
+        let mut pre_ctr = 0u32;
+        let mut post_ctr = 0u32;
+        // Stack of (node, entered?) frames.
+        let mut stack: Vec<(NodeId, bool)> = vec![(NodeId::ROOT, false)];
+        while let Some((cur, entered)) = stack.pop() {
+            if entered {
+                post[cur.index()] = post_ctr;
+                post_ctr += 1;
+                subtree_end[cur.index()] = pre_ctr;
+                continue;
+            }
+            pre[cur.index()] = pre_ctr;
+            pre_ctr += 1;
+            preorder.push(cur);
+            stack.push((cur, true));
+            // Push children in reverse so the leftmost is processed first.
+            let mut kids: Vec<NodeId> = Vec::new();
+            let mut c = nodes[cur.index()].first_child;
+            while let Some(k) = c {
+                kids.push(k);
+                c = nodes[k.index()].next_sibling;
+            }
+            for &k in kids.iter().rev() {
+                stack.push((k, false));
+            }
+        }
+        debug_assert_eq!(preorder.len(), n, "all nodes must be reachable from the root");
+        Order {
+            pre,
+            post,
+            preorder,
+            subtree_end,
+        }
+    }
+
+    /// Preorder (document-order) index of `n`.
+    #[inline]
+    pub fn pre(&self, n: NodeId) -> u32 {
+        self.pre[n.index()]
+    }
+
+    /// Postorder index of `n`.
+    #[inline]
+    pub fn post(&self, n: NodeId) -> u32 {
+        self.post[n.index()]
+    }
+
+    /// The preorder sequence of nodes.
+    #[inline]
+    pub fn preorder(&self) -> &[NodeId] {
+        &self.preorder
+    }
+
+    /// Node at a given preorder index.
+    #[inline]
+    pub fn node_at_pre(&self, idx: usize) -> NodeId {
+        self.preorder[idx]
+    }
+
+    /// Half-open preorder interval covered by `n`'s subtree.
+    #[inline]
+    pub fn subtree_range(&self, n: NodeId) -> (usize, usize) {
+        (self.pre[n.index()] as usize, self.subtree_end[n.index()] as usize)
+    }
+
+    /// O(1) `child*(a, b)` test via interval containment.
+    #[inline]
+    pub fn is_ancestor_or_self(&self, a: NodeId, b: NodeId) -> bool {
+        let (s, e) = self.subtree_range(a);
+        let p = self.pre[b.index()] as usize;
+        s <= p && p < e
+    }
+
+    /// Subtree size of `n` (including `n`).
+    #[inline]
+    pub fn subtree_size(&self, n: NodeId) -> usize {
+        let (s, e) = self.subtree_range(n);
+        e - s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::build::from_sexp;
+
+    #[test]
+    fn pre_and_post_are_permutations() {
+        let doc = from_sexp("(a (b (c) (d)) (e))").unwrap();
+        let n = doc.len();
+        let mut seen_pre = vec![false; n];
+        let mut seen_post = vec![false; n];
+        for id in doc.node_ids() {
+            seen_pre[doc.order().pre(id) as usize] = true;
+            seen_post[doc.order().post(id) as usize] = true;
+        }
+        assert!(seen_pre.into_iter().all(|b| b));
+        assert!(seen_post.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn ancestor_iff_pre_le_and_post_ge() {
+        // Classical characterization: a ancestor-or-self of b iff
+        // pre(a) <= pre(b) and post(a) >= post(b).
+        let doc = from_sexp("(a (b (c) (d)) (e (f (g))))").unwrap();
+        let o = doc.order();
+        for x in doc.node_ids() {
+            for y in doc.node_ids() {
+                let via_interval = o.is_ancestor_or_self(x, y);
+                let via_prepost = o.pre(x) <= o.pre(y) && o.post(x) >= o.post(y);
+                assert_eq!(via_interval, via_prepost, "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn subtree_size_matches_descendant_count() {
+        let doc = from_sexp("(a (b (c) (d)) (e))").unwrap();
+        for n in doc.node_ids() {
+            assert_eq!(
+                doc.order().subtree_size(n),
+                doc.descendants_or_self(n).count()
+            );
+        }
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        // 200k-deep degenerate chain exercises the iterative DFS in
+        // Order::compute (built with TreeBuilder, whose open/close loop is
+        // also iterative).
+        let depth = 200_000;
+        let mut b = crate::TreeBuilder::new();
+        for _ in 0..depth {
+            b.open("x");
+        }
+        b.open("y");
+        let doc = b.finish();
+        assert_eq!(doc.len(), depth + 1);
+        let deepest = doc.order().node_at_pre(depth);
+        assert_eq!(doc.label_str(deepest), "y");
+        assert!(doc.is_ancestor(doc.root(), deepest));
+    }
+}

@@ -1,0 +1,123 @@
+//! Rendering documents back to text — s-expressions for tests and debug
+//! output, and an indented outline for human inspection.
+
+use crate::document::Document;
+use crate::ids::NodeId;
+use crate::node::NodeKind;
+
+/// Render the whole document as the s-expression dialect accepted by
+/// [`build::from_sexp`](crate::build::from_sexp).
+pub fn to_sexp(doc: &Document) -> String {
+    let mut out = String::new();
+    write_sexp(doc, doc.root(), &mut out);
+    out
+}
+
+/// Render the subtree rooted at `n` as an s-expression.
+pub fn subtree_to_sexp(doc: &Document, n: NodeId) -> String {
+    let mut out = String::new();
+    write_sexp(doc, n, &mut out);
+    out
+}
+
+fn write_sexp(doc: &Document, n: NodeId, out: &mut String) {
+    match doc.kind(n) {
+        NodeKind::Text => {
+            out.push('"');
+            escape_into(doc.text(n).unwrap_or_default(), out);
+            out.push('"');
+        }
+        NodeKind::Element => {
+            out.push('(');
+            out.push_str(doc.label_str(n));
+            for (k, v) in doc.attrs(n) {
+                out.push(' ');
+                out.push_str(k);
+                out.push_str("=\"");
+                escape_into(v, out);
+                out.push('"');
+            }
+            for c in doc.children(n) {
+                out.push(' ');
+                write_sexp(doc, c, out);
+            }
+            out.push(')');
+        }
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            _ => out.push(ch),
+        }
+    }
+}
+
+/// Render an indented outline, one node per line — the "program tree view"
+/// style of Figure 4, useful in examples and debugging.
+pub fn to_outline(doc: &Document) -> String {
+    let mut out = String::new();
+    let mut stack = vec![(doc.root(), 0usize)];
+    while let Some((n, depth)) = stack.pop() {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        match doc.kind(n) {
+            NodeKind::Text => {
+                let t = doc.text(n).unwrap_or_default();
+                let shown: String = t.chars().take(40).collect();
+                out.push_str(&format!("#text {shown:?}\n"));
+            }
+            NodeKind::Element => {
+                out.push_str(doc.label_str(n));
+                let attrs: Vec<String> =
+                    doc.attrs(n).map(|(k, v)| format!("{k}={v:?}")).collect();
+                if !attrs.is_empty() {
+                    out.push_str(&format!(" [{}]", attrs.join(" ")));
+                }
+                out.push('\n');
+            }
+        }
+        let kids: Vec<_> = doc.children(n).collect();
+        for &k in kids.iter().rev() {
+            stack.push((k, depth + 1));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::from_sexp;
+
+    #[test]
+    fn sexp_roundtrips() {
+        let src = r#"(html (body (table border="1" (tr (td "a \"quoted\" cell")))))"#;
+        let doc = from_sexp(src).unwrap();
+        let rendered = to_sexp(&doc);
+        let doc2 = from_sexp(&rendered).unwrap();
+        assert_eq!(rendered, to_sexp(&doc2));
+        assert_eq!(doc.len(), doc2.len());
+    }
+
+    #[test]
+    fn outline_contains_every_label() {
+        let doc = from_sexp(r#"(a (b "hi") (c x="1"))"#).unwrap();
+        let outline = to_outline(&doc);
+        assert!(outline.contains("a\n"));
+        assert!(outline.contains("  b\n"));
+        assert!(outline.contains("c [x=\"1\"]"));
+        assert!(outline.contains("#text \"hi\""));
+    }
+
+    #[test]
+    fn subtree_rendering() {
+        let doc = from_sexp("(a (b (c)) (d))").unwrap();
+        let b = doc.children(doc.root()).next().unwrap();
+        assert_eq!(subtree_to_sexp(&doc, b), "(b (c))");
+    }
+}

@@ -1,0 +1,136 @@
+//! Two synthetic book-shop sites for the Figure 7 pipeline ("Small
+//! information pipeline integrating information about books").
+
+use crate::hash01;
+
+/// A book offer (ground truth).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Book {
+    /// Title.
+    pub title: String,
+    /// Author.
+    pub author: String,
+    /// Price in EUR.
+    pub price: f64,
+    /// Which shop offers it (0 or 1).
+    pub shop: usize,
+}
+
+const TITLES: &[(&str, &str)] = &[
+    ("Foundations of Databases", "Abiteboul, Hull, Vianu"),
+    ("The Art of Computer Programming", "Knuth"),
+    ("Principles of Program Analysis", "Nielson, Nielson, Hankin"),
+    ("Introduction to Automata Theory", "Hopcroft, Ullman"),
+    ("A Discipline of Programming", "Dijkstra"),
+    ("Types and Programming Languages", "Pierce"),
+    ("Structure and Interpretation", "Abelson, Sussman"),
+    ("The Mythical Man-Month", "Brooks"),
+];
+
+/// Books offered by shop `shop` (each shop carries a deterministic subset
+/// with shop-specific prices).
+pub fn catalog(seed: u64, shop: usize, n: usize) -> Vec<Book> {
+    (0..n)
+        .map(|i| {
+            let (t, a) = TITLES[i % TITLES.len()];
+            let r = hash01(seed.wrapping_add(shop as u64), i as u64);
+            Book {
+                title: format!("{t} (vol. {})", i / TITLES.len() + 1),
+                author: a.to_string(),
+                price: 10.0 + (r * 80.0 * 100.0).round() / 100.0,
+                shop,
+            }
+        })
+        .collect()
+}
+
+/// Shop 0 lists books in a table; shop 1 as a definition list — two
+/// different layouts wrapped by two different programs, integrated by the
+/// Transformation Server.
+pub fn shop_page(books: &[Book]) -> String {
+    let shop = books.first().map_or(0, |b| b.shop);
+    if shop == 0 {
+        let mut h = String::from(
+            "<html><body><h1>Shop A bestsellers</h1><table class=\"list\">\n\
+             <tr><th>title</th><th>author</th><th>price</th></tr>\n",
+        );
+        for b in books {
+            h.push_str(&format!(
+                "<tr class=\"book\"><td>{}</td><td>{}</td><td>EUR {:.2}</td></tr>\n",
+                b.title, b.author, b.price
+            ));
+        }
+        h.push_str("</table></body></html>");
+        h
+    } else {
+        let mut h = String::from("<html><body><h1>Shop B catalogue</h1><dl>\n");
+        for b in books {
+            h.push_str(&format!(
+                "<dt><b>{}</b> by {}</dt><dd>price: EUR {:.2}</dd>\n",
+                b.title, b.author, b.price
+            ));
+        }
+        h.push_str("</dl></body></html>");
+        h
+    }
+}
+
+/// The two-shop web of Figure 7.
+pub fn site(seed: u64, per_shop: usize) -> (lixto_elog::StaticWeb, Vec<Book>) {
+    let mut all = Vec::new();
+    let mut web = lixto_elog::StaticWeb::new();
+    for shop in 0..2 {
+        let books = catalog(seed, shop, per_shop);
+        web.put(&format!("http://shop{shop}/books"), shop_page(&books));
+        all.extend(books);
+    }
+    (web, all)
+}
+
+/// The Elog wrapper for shop 0 (table layout).
+pub const SHOP_A_WRAPPER: &str = r#"
+    book(S, X) :- document("http://shop0/books", S),
+        subelem(S, (?.tr, []), X),
+        contains(X, (.td, [])).
+    title(S, X) :- book(_, S), subelem(S, (.td, []), X), range(1, 1).
+    author(S, X) :- book(_, S), subelem(S, (.td, []), X), range(2, 2).
+    price(S, X) :- book(_, S), subelem(S, (.td, [(elementtext, "EUR", substr)]), X).
+"#;
+
+/// The Elog wrapper for shop 1 (definition-list layout).
+pub const SHOP_B_WRAPPER: &str = r#"
+    book(S, X) :- document("http://shop1/books", S), subelem(S, (?.dt, []), X).
+    title(S, X) :- book(_, S), subelem(S, (.b, []), X).
+    price(S, X) :- book(_, S), subtext(S, "", X).
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lixto_elog::{parse_program, Extractor};
+
+    #[test]
+    fn shop_a_wrapper_extracts_books() {
+        let (web, all) = site(5, 6);
+        let program = parse_program(SHOP_A_WRAPPER).unwrap();
+        let result = Extractor::new(program, &web).run();
+        assert_eq!(result.base.of_pattern("book").len(), 6);
+        let titles = result.texts_of("title");
+        let want: Vec<String> = all
+            .iter()
+            .filter(|b| b.shop == 0)
+            .map(|b| b.title.clone())
+            .collect();
+        assert_eq!(titles, want);
+        assert_eq!(result.texts_of("price").len(), 6);
+    }
+
+    #[test]
+    fn shop_b_wrapper_extracts_books() {
+        let (web, _) = site(5, 4);
+        let program = parse_program(SHOP_B_WRAPPER).unwrap();
+        let result = Extractor::new(program, &web).run();
+        assert_eq!(result.base.of_pattern("book").len(), 4);
+        assert_eq!(result.texts_of("title").len(), 4);
+    }
+}

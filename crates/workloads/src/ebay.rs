@@ -1,0 +1,152 @@
+//! Synthetic eBay auction listings (Figure 5's target).
+//!
+//! "At the time of writing this, on eBay pages, every offered item is
+//! stored in its own table. This sequence of tables is extracted with the
+//! pattern `<tableseq>` […] the first node immediately follows the list
+//! header (which on such pages is a 'table' itself, containing the text
+//! 'item') and the final node is immediately followed by an 'hr' HTML
+//! node." — the generator reproduces exactly that layout.
+
+use crate::hash01;
+
+/// One auction record (ground truth).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Auction {
+    /// Item description (hyperlinked on the page).
+    pub description: String,
+    /// Currency symbol.
+    pub currency: &'static str,
+    /// Price amount.
+    pub amount: f64,
+    /// Number of bids.
+    pub bids: u32,
+}
+
+/// Generate `n` deterministic auctions.
+pub fn auctions(seed: u64, n: usize) -> Vec<Auction> {
+    const ITEMS: &[&str] = &[
+        "Antique pocket watch",
+        "Signed first edition",
+        "Vintage camera",
+        "Mountain bike",
+        "Espresso machine",
+        "Model railway set",
+        "Oil painting",
+        "Mechanical keyboard",
+    ];
+    const CURRENCIES: &[&str] = &["$", "EUR", "DM"];
+    (0..n)
+        .map(|i| {
+            let r = hash01(seed, i as u64);
+            let r2 = hash01(seed, (i as u64) << 17);
+            Auction {
+                description: format!("{} #{i}", ITEMS[(r * ITEMS.len() as f64) as usize]),
+                currency: CURRENCIES[(r2 * CURRENCIES.len() as f64) as usize],
+                amount: (r * 500.0 * 100.0).round() / 100.0 + 1.0,
+                bids: (r2 * 30.0) as u32,
+            }
+        })
+        .collect()
+}
+
+/// Render a listing page: header table ("item"), one table per record,
+/// closing `<hr>`.
+pub fn listing_page(auctions: &[Auction]) -> String {
+    let mut html = String::from(
+        "<html><body>\n<h1>All auctions</h1>\n\
+         <table><tr><td>item</td><td>price</td><td>bids</td></tr></table>\n",
+    );
+    for (i, a) in auctions.iter().enumerate() {
+        html.push_str(&format!(
+            "<table><tr>\
+             <td><a href=\"item{i}.html\">{}</a></td>\
+             <td>{} {:.2}</td>\
+             <td>{}</td>\
+             </tr></table>\n",
+            a.description, a.currency, a.amount, a.bids
+        ));
+    }
+    html.push_str("<hr>\n<p>footer: auctions refresh daily</p></body></html>\n");
+    html
+}
+
+/// A *robust* variant of the Figure 5 wrapper: records are located as
+/// "tables containing a hyperlinked cell" instead of "children of body
+/// between two landmarks", so the wrapper survives even layout redesigns
+/// that re-nest the page (experiment E10's strongest perturbation).
+pub const EBAY_ROBUST_PROGRAM: &str = r#"
+    record(S, X) :- document("www.ebay.com/", S), subelem(S, (?.table, []), X),
+        contains(X, (?.td.?.a, [])).
+    itemdes(S, X) :- record(_, S), subelem(S, (?.td.?.a, []), X).
+    price(S, X) :- record(_, S),
+        subelem(S, (?.td, [(elementtext, "\var[Y](\$|EUR|DM|Euro)", regvar)]), X),
+        isCurrency(Y).
+    bids(S, X) :- record(_, S), subelem(S, (?.td, []), X),
+        before(S, X, (?.td, []), 0, 30, Y, _), price(_, Y).
+"#;
+
+/// The standard synthetic eBay site: one listing page at
+/// `www.ebay.com/` (the URL the Figure 5 program fetches).
+pub fn site(seed: u64, n: usize) -> (lixto_elog::StaticWeb, Vec<Auction>) {
+    let records = auctions(seed, n);
+    let mut web = lixto_elog::StaticWeb::new();
+    web.put("www.ebay.com/", listing_page(&records));
+    (web, records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lixto_elog::{parse_program, Extractor, EBAY_PROGRAM};
+
+    #[test]
+    fn generator_is_deterministic() {
+        assert_eq!(auctions(7, 5), auctions(7, 5));
+        assert_ne!(auctions(7, 5), auctions(8, 5));
+    }
+
+    #[test]
+    fn figure_5_wrapper_extracts_every_record() {
+        let (web, records) = site(42, 12);
+        let program = parse_program(EBAY_PROGRAM).unwrap();
+        let result = Extractor::new(program, &web).run();
+        // One record table per auction.
+        assert_eq!(result.base.of_pattern("record").len(), records.len());
+        // Every description extracted, in order.
+        let descs = result.texts_of("itemdes");
+        let want: Vec<String> = records.iter().map(|r| r.description.clone()).collect();
+        assert_eq!(descs, want);
+        // Prices carry the currency; bids are the cells right of prices.
+        let prices = result.texts_of("price");
+        assert_eq!(prices.len(), records.len());
+        for (p, r) in prices.iter().zip(&records) {
+            assert!(p.contains(r.currency), "{p} should contain {}", r.currency);
+        }
+        let bids = result.texts_of("bids");
+        assert_eq!(bids.len(), records.len());
+        for (b, r) in bids.iter().zip(&records) {
+            assert_eq!(b, &r.bids.to_string());
+        }
+        // currency: string extraction from the price cells.
+        let curs = result.texts_of("currency");
+        assert_eq!(curs.len(), records.len());
+        for (c, r) in curs.iter().zip(&records) {
+            assert_eq!(c, r.currency);
+        }
+    }
+
+    #[test]
+    fn tableseq_is_exactly_the_record_block() {
+        let (web, records) = site(1, 4);
+        let program = parse_program(EBAY_PROGRAM).unwrap();
+        let result = Extractor::new(program, &web).run();
+        let seqs = result.base.of_pattern("tableseq");
+        assert_eq!(seqs.len(), 1);
+        match &result.base.instances[seqs[0]].target {
+            lixto_elog::Target::NodeSeq { nodes, .. } => {
+                assert_eq!(nodes.len(), records.len())
+            }
+            other => panic!("unexpected target {other:?}"),
+        }
+    }
+}

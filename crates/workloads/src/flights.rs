@@ -1,0 +1,100 @@
+//! Flight status tables (§6.2): "The system will send the actual flight
+//! status to the user by means of an SMS message, but only if the status
+//! changed between consecutive requests."
+
+use crate::hash01;
+
+/// Flight status values.
+pub const STATUSES: &[&str] = &["on time", "boarding", "delayed", "departed", "cancelled"];
+
+/// A flight row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Flight {
+    /// Flight number, e.g. `OS123`.
+    pub number: String,
+    /// Departure airport.
+    pub from: &'static str,
+    /// Destination airport.
+    pub to: &'static str,
+    /// Current status.
+    pub status: &'static str,
+}
+
+/// The flight table at a given tick; statuses evolve over ticks.
+pub fn flights(seed: u64, n: usize, tick: u64) -> Vec<Flight> {
+    const AIRPORTS: &[&str] = &["VIE", "FRA", "CDG", "LHR", "JFK", "NRT"];
+    (0..n)
+        .map(|i| {
+            let r = hash01(seed, i as u64);
+            let from = AIRPORTS[(r * AIRPORTS.len() as f64) as usize];
+            let to = AIRPORTS[((r * 7919.0) as usize + 1 + i) % AIRPORTS.len()];
+            // Status advances with ticks at flight-specific speed.
+            let speed = 1 + (r * 3.0) as u64;
+            let si = ((tick / speed) as usize + i) % STATUSES.len();
+            Flight {
+                number: format!("OS{}", 100 + i),
+                from,
+                to,
+                status: STATUSES[si],
+            }
+        })
+        .collect()
+}
+
+/// Render the airport information page.
+pub fn status_page(flights: &[Flight]) -> String {
+    let mut h = String::from(
+        "<html><body><h1>Departures</h1><table class=\"flights\">\n\
+         <tr><th>flight</th><th>from</th><th>to</th><th>status</th></tr>\n",
+    );
+    for f in flights {
+        h.push_str(&format!(
+            "<tr class=\"flight\"><td>{}</td><td>{}</td><td>{}</td><td class=\"status\">{}</td></tr>\n",
+            f.number, f.from, f.to, f.status
+        ));
+    }
+    h.push_str("</table></body></html>");
+    h
+}
+
+/// The flight-status wrapper.
+pub const FLIGHT_WRAPPER: &str = r#"
+    flight(S, X) :- document("http://airport/departures", S),
+        subelem(S, (?.tr, [(class, "flight", exact)]), X).
+    number(S, X) :- flight(_, S), subelem(S, (.td, []), X), range(1, 1).
+    status(S, X) :- flight(_, S), subelem(S, (.td, [(class, "status", exact)]), X).
+"#;
+
+/// Web at a tick.
+pub fn site(seed: u64, n: usize, tick: u64) -> lixto_elog::StaticWeb {
+    let mut web = lixto_elog::StaticWeb::new();
+    web.put("http://airport/departures", status_page(&flights(seed, n, tick)));
+    web
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lixto_elog::{parse_program, Extractor};
+
+    #[test]
+    fn wrapper_reads_statuses() {
+        let web = site(11, 5, 3);
+        let program = parse_program(FLIGHT_WRAPPER).unwrap();
+        let result = Extractor::new(program, &web).run();
+        let want: Vec<String> = flights(11, 5, 3).iter().map(|f| f.status.to_string()).collect();
+        assert_eq!(result.texts_of("status"), want);
+        assert_eq!(result.texts_of("number").len(), 5);
+    }
+
+    #[test]
+    fn statuses_change_between_ticks() {
+        let a = flights(11, 5, 0);
+        let b = flights(11, 5, 5);
+        assert_ne!(a, b);
+        // numbers stay stable — only the status column moves
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.number, y.number);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! LR wrapper induction — the machine-learning baseline of E11.
+//!
+//! Section 1: wrapper induction "currently suffers from the need to
+//! provide machine learning algorithms with too many example instances —
+//! which have to be wrapped manually"; Section 7 lists learning as an open
+//! problem. This module implements the classic LR (left–right delimiter)
+//! induction of Kushmerick et al. \[23\]: from labeled examples
+//! (page, extracted strings) it learns the longest common left and right
+//! delimiters, and the experiment counts how many labeled examples are
+//! needed before the learned wrapper generalizes — versus the *one*
+//! example document visual specification needs (Section 3.2).
+
+/// A labeled example: the page text and the strings to extract, in order.
+#[derive(Debug, Clone)]
+pub struct Example {
+    /// Raw page (HTML source).
+    pub page: String,
+    /// Ground-truth extractions, in order of appearance.
+    pub targets: Vec<String>,
+}
+
+/// A learned LR wrapper: extract every substring between `left` and
+/// `right`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LrWrapper {
+    /// Left delimiter.
+    pub left: String,
+    /// Right delimiter.
+    pub right: String,
+}
+
+impl LrWrapper {
+    /// Apply the wrapper to a page.
+    pub fn extract(&self, page: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut rest = page;
+        while let Some(l) = rest.find(&self.left) {
+            let after = &rest[l + self.left.len()..];
+            let Some(r) = after.find(&self.right) else {
+                break;
+            };
+            out.push(after[..r].to_string());
+            rest = &after[r + self.right.len()..];
+        }
+        out
+    }
+}
+
+/// Learn an LR wrapper from examples: the left delimiter is the longest
+/// common suffix of the text preceding each target, the right delimiter
+/// the longest common prefix of the text following it.
+pub fn learn(examples: &[Example]) -> Option<LrWrapper> {
+    let mut lefts: Vec<&str> = Vec::new();
+    let mut rights: Vec<&str> = Vec::new();
+    for ex in examples {
+        let mut pos = 0;
+        for t in &ex.targets {
+            let i = ex.page[pos..].find(t.as_str())? + pos;
+            lefts.push(&ex.page[..i]);
+            rights.push(&ex.page[i + t.len()..]);
+            pos = i + t.len();
+        }
+    }
+    if lefts.is_empty() {
+        return None;
+    }
+    let left = longest_common_suffix(&lefts);
+    let right = longest_common_prefix(&rights);
+    if left.is_empty() || right.is_empty() {
+        return None;
+    }
+    Some(LrWrapper { left, right })
+}
+
+/// Does the learned wrapper reproduce the ground truth on a (held-out)
+/// example?
+pub fn correct_on(w: &LrWrapper, ex: &Example) -> bool {
+    w.extract(&ex.page) == ex.targets
+}
+
+fn longest_common_suffix(strs: &[&str]) -> String {
+    let first = strs[0];
+    let mut len = first.len();
+    for s in &strs[1..] {
+        let mut k = 0;
+        let a: Vec<u8> = first.bytes().rev().collect();
+        let b: Vec<u8> = s.bytes().rev().collect();
+        while k < len.min(b.len()) && k < a.len() && a[k] == b[k] {
+            k += 1;
+        }
+        len = len.min(k);
+    }
+    // Keep on a char boundary.
+    let mut start = first.len() - len;
+    while !first.is_char_boundary(start) {
+        start += 1;
+    }
+    first[start..].to_string()
+}
+
+fn longest_common_prefix(strs: &[&str]) -> String {
+    let first = strs[0];
+    let mut len = first.len();
+    for s in &strs[1..] {
+        let common = first
+            .bytes()
+            .zip(s.bytes())
+            .take_while(|(a, b)| a == b)
+            .count();
+        len = len.min(common);
+    }
+    let mut end = len;
+    while !first.is_char_boundary(end) {
+        end -= 1;
+    }
+    first[..end].to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn price_example(seed: u64, n: usize) -> Example {
+        let auctions = crate::ebay::auctions(seed, n);
+        let page = crate::ebay::listing_page(&auctions);
+        let targets = auctions
+            .iter()
+            .map(|a| format!("{} {:.2}", a.currency, a.amount))
+            .collect();
+        Example { page, targets }
+    }
+
+    #[test]
+    fn lr_learns_price_delimiters_eventually() {
+        // With enough examples the delimiters shrink to something that
+        // generalizes; with one example they overfit.
+        let train: Vec<Example> = (0..6).map(|s| price_example(s, 4)).collect();
+        let held_out = price_example(99, 5);
+        let w_all = learn(&train).expect("learnable");
+        assert!(
+            correct_on(&w_all, &held_out),
+            "learned delimiters: {:?} — should generalize",
+            w_all
+        );
+    }
+
+    #[test]
+    fn single_example_overfits() {
+        // One SINGLE-record example: the common-suffix computation
+        // memorizes the page's entire prefix, so the wrapper cannot find
+        // more than one record on a larger held-out page.
+        let train = vec![price_example(0, 1)];
+        let held_out = price_example(50, 6);
+        if let Some(w) = learn(&train) {
+            assert!(
+                !correct_on(&w, &held_out),
+                "a single example should not be enough for LR induction"
+            );
+        }
+    }
+
+    #[test]
+    fn extraction_mechanics() {
+        let w = LrWrapper {
+            left: "<b>".into(),
+            right: "</b>".into(),
+        };
+        assert_eq!(
+            w.extract("<b>a</b> x <b>b</b>"),
+            vec!["a".to_string(), "b".to_string()]
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! # lixto-workloads
+//!
+//! Synthetic web sites, perturbation operators and baselines for the
+//! application scenarios of Section 6 of the PODS 2004 Lixto paper.
+//!
+//! The paper's wrappers ran against live sites (eBay, Amazon, radio
+//! playlists, flight portals, power exchanges). This crate substitutes
+//! deterministic generators that emit the same DOM idioms those wrappers
+//! key on — per-record tables, header/`<hr>` landmarks, hyperlinked
+//! description cells, currency strings — so every wrapper code path is
+//! exercised end to end (the substitution is documented in DESIGN.md).
+//!
+//! * [`ebay`] — auction listings shaped exactly like Figure 5 expects;
+//! * [`books`] — two book-shop sites for the Figure 7 integration pipe;
+//! * [`radio`] — 14 sources (radio playlists, charts, lyrics) for the
+//!   "Now Playing" scenario (§6.1);
+//! * [`flights`] — flight status tables with change events (§6.2);
+//! * [`news`] — press pages for the clipping scenario (§6.3);
+//! * [`power`] — spot-market price tables (§6.7);
+//! * [`perturb`] — random irrelevant-markup injection for the robustness
+//!   experiment E10 (§2.5's "schema-less wrappers don't break" claim);
+//! * [`induction`] — an LR wrapper-induction baseline for E11 (the
+//!   learning contrast of §1/§7).
+
+#![forbid(unsafe_code)]
+
+pub mod books;
+pub mod ebay;
+pub mod flights;
+pub mod induction;
+pub mod news;
+pub mod perturb;
+pub mod power;
+pub mod radio;
+
+/// Deterministic pseudo-random f64 in [0,1) derived from a seed and index
+/// (keeps generators dependency-light and reproducible).
+pub(crate) fn hash01(seed: u64, i: u64) -> f64 {
+    let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(i);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58476D1CE4E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D049BB133111EB);
+    x ^= x >> 31;
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}

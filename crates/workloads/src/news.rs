@@ -1,0 +1,82 @@
+//! Press / financial news pages (§6.3): headlines plus stock quotes, to be
+//! re-emitted as NITF-style XML by the pipeline.
+
+use crate::hash01;
+
+/// A news item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NewsItem {
+    /// Headline.
+    pub headline: String,
+    /// Ticker symbol the item mentions.
+    pub ticker: &'static str,
+    /// Quote at publication time.
+    pub quote: f64,
+}
+
+/// Deterministic items.
+pub fn items(seed: u64, n: usize) -> Vec<NewsItem> {
+    const TICKERS: &[&str] = &["OMV", "EVN", "VOE", "RBI", "ANDR"];
+    const VERBS: &[&str] = &["rises on", "falls after", "steady despite", "jumps on"];
+    (0..n)
+        .map(|i| {
+            let r = hash01(seed, i as u64);
+            let t = TICKERS[(r * TICKERS.len() as f64) as usize];
+            let v = VERBS[((r * 7919.0) as usize) % VERBS.len()];
+            NewsItem {
+                headline: format!("{t} {v} Q{} results", i % 4 + 1),
+                ticker: t,
+                quote: 20.0 + (r * 80.0 * 100.0).round() / 100.0,
+            }
+        })
+        .collect()
+}
+
+/// Render a press page.
+pub fn press_page(items: &[NewsItem]) -> String {
+    let mut h = String::from("<html><body><h1>Financial news</h1>\n");
+    for it in items {
+        h.push_str(&format!(
+            "<div class=\"story\"><h2>{}</h2>\
+             <span class=\"ticker\">{}</span>\
+             <span class=\"quote\">{:.2}</span></div>\n",
+            it.headline, it.ticker, it.quote
+        ));
+    }
+    h.push_str("</body></html>");
+    h
+}
+
+/// The press wrapper.
+pub const NEWS_WRAPPER: &str = r#"
+    story(S, X) :- document("http://press/finance", S),
+        subelem(S, (?.div, [(class, "story", exact)]), X).
+    headline(S, X) :- story(_, S), subelem(S, (.h2, []), X).
+    ticker(S, X) :- story(_, S), subelem(S, (.span, [(class, "ticker", exact)]), X).
+    quote(S, X) :- story(_, S), subelem(S, (.span, [(class, "quote", exact)]), X).
+"#;
+
+/// Web with one press page.
+pub fn site(seed: u64, n: usize) -> (lixto_elog::StaticWeb, Vec<NewsItem>) {
+    let its = items(seed, n);
+    let mut web = lixto_elog::StaticWeb::new();
+    web.put("http://press/finance", press_page(&its));
+    (web, its)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lixto_elog::{parse_program, Extractor};
+
+    #[test]
+    fn wrapper_extracts_stories() {
+        let (web, its) = site(2, 7);
+        let program = parse_program(NEWS_WRAPPER).unwrap();
+        let result = Extractor::new(program, &web).run();
+        assert_eq!(result.base.of_pattern("story").len(), 7);
+        let heads = result.texts_of("headline");
+        let want: Vec<String> = its.iter().map(|i| i.headline.clone()).collect();
+        assert_eq!(heads, want);
+    }
+}

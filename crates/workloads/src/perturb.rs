@@ -1,0 +1,182 @@
+//! Layout perturbation for the robustness experiment (E10).
+//!
+//! Section 2.5: wrappers "only need to specify queries, rather than the
+//! full source trees on which they run. This is very important to
+//! practical wrapping, because this way changes in parts of documents not
+//! immediately relevant to the objects to be extracted do not break the
+//! wrapper." Section 1 adds that layouts change *frequently* and often
+//! intentionally.
+//!
+//! The operators below inject markup that does not touch the record
+//! structure itself: extra banner/navigation elements, wrapper `<div>`s
+//! around the whole page, attribute noise, and extra text. A Lixto wrapper
+//! keyed on landmarks survives; an absolute-path XPath wrapper breaks —
+//! experiment E10 measures both survival rates.
+
+use rand::Rng;
+
+/// Kinds of irrelevant-markup perturbations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Perturbation {
+    /// Insert a banner block right after `<body>`.
+    TopBanner,
+    /// Insert a navigation sidebar before the content.
+    NavSidebar,
+    /// Wrap the body content in an extra `<div>` (changes all absolute
+    /// paths).
+    WrapperDiv,
+    /// Append a footer block.
+    Footer,
+    /// Sprinkle `class`/`id` attribute noise on the first few elements.
+    AttrNoise,
+}
+
+/// All perturbation kinds.
+pub const ALL: &[Perturbation] = &[
+    Perturbation::TopBanner,
+    Perturbation::NavSidebar,
+    Perturbation::WrapperDiv,
+    Perturbation::Footer,
+    Perturbation::AttrNoise,
+];
+
+/// Apply one perturbation to an HTML page (string level, mirroring how
+/// site redesigns actually land).
+pub fn apply(html: &str, p: Perturbation, rng: &mut impl Rng) -> String {
+    match p {
+        Perturbation::TopBanner => insert_after(
+            html,
+            "<body>",
+            &format!(
+                "<div class=\"banner\"><img src=\"ad{}.gif\"><span>Special offer {}!</span></div>",
+                rng.gen_range(0..100),
+                rng.gen_range(0..100)
+            ),
+        ),
+        Perturbation::NavSidebar => insert_after(
+            html,
+            "<body>",
+            "<ul class=\"nav\"><li><a href=\"/\">home</a></li><li><a href=\"/help\">help</a></li></ul>",
+        ),
+        Perturbation::WrapperDiv => {
+            let inner = html
+                .replacen("<body>", "<body><div class=\"page\"><div class=\"content\">", 1);
+            inner.replacen("</body>", "</div></div></body>", 1)
+        }
+        Perturbation::Footer => insert_before(
+            html,
+            "</body>",
+            "<div class=\"footer\"><p>© operator — terms apply</p></div>",
+        ),
+        Perturbation::AttrNoise => {
+            // Add a random class to the first table.
+            html.replacen(
+                "<table>",
+                &format!("<table class=\"x{}\">", rng.gen_range(0..1000)),
+                1,
+            )
+        }
+    }
+}
+
+/// Apply `k` random perturbations.
+pub fn apply_random(html: &str, k: usize, rng: &mut impl Rng) -> String {
+    let mut out = html.to_string();
+    for _ in 0..k {
+        let p = ALL[rng.gen_range(0..ALL.len())];
+        out = apply(&out, p, rng);
+    }
+    out
+}
+
+fn insert_after(html: &str, marker: &str, content: &str) -> String {
+    html.replacen(marker, &format!("{marker}{content}"), 1)
+}
+
+fn insert_before(html: &str, marker: &str, content: &str) -> String {
+    html.replacen(marker, &format!("{content}{marker}"), 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn perturbations_change_markup_but_keep_records() {
+        let (_, records) = crate::ebay::site(1, 3);
+        let page = crate::ebay::listing_page(&records);
+        let mut rng = StdRng::seed_from_u64(5);
+        for &p in ALL {
+            let mutated = apply(&page, p, &mut rng);
+            assert_ne!(mutated, page, "{p:?} must change the page");
+            // record content survives
+            for r in &records {
+                assert!(mutated.contains(&r.description));
+            }
+        }
+    }
+
+    #[test]
+    fn robust_elog_wrapper_survives_all_perturbations() {
+        use lixto_elog::{parse_program, Extractor, StaticWeb};
+        let (_, records) = crate::ebay::site(2, 5);
+        let page = crate::ebay::listing_page(&records);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mutated = apply_random(&page, 8, &mut rng);
+        let mut web = StaticWeb::new();
+        web.put("www.ebay.com/", mutated);
+        let program = parse_program(crate::ebay::EBAY_ROBUST_PROGRAM).unwrap();
+        let result = Extractor::new(program, &web).run();
+        assert_eq!(
+            result.texts_of("itemdes").len(),
+            records.len(),
+            "landmark-based wrapper must survive irrelevant changes"
+        );
+    }
+
+    #[test]
+    fn figure5_wrapper_survives_sibling_noise_but_not_renesting() {
+        use lixto_elog::{parse_program, Extractor, StaticWeb, EBAY_PROGRAM};
+        let (_, records) = crate::ebay::site(2, 4);
+        let page = crate::ebay::listing_page(&records);
+        let mut rng = StdRng::seed_from_u64(8);
+        // Sibling-level noise: the subsq landmarks still hold.
+        for &p in &[Perturbation::TopBanner, Perturbation::Footer, Perturbation::AttrNoise] {
+            let mutated = apply(&page, p, &mut rng);
+            let mut web = StaticWeb::new();
+            web.put("www.ebay.com/", mutated);
+            let program = parse_program(EBAY_PROGRAM).unwrap();
+            let result = Extractor::new(program, &web).run();
+            assert_eq!(result.texts_of("itemdes").len(), records.len(), "{p:?}");
+        }
+        // Re-nesting moves the tables out of body's child list — the
+        // literal Figure 5 program is anchored there and loses them.
+        let mutated = apply(&page, Perturbation::WrapperDiv, &mut rng);
+        let mut web = StaticWeb::new();
+        web.put("www.ebay.com/", mutated);
+        let program = parse_program(EBAY_PROGRAM).unwrap();
+        let result = Extractor::new(program, &web).run();
+        assert_eq!(result.texts_of("itemdes").len(), 0);
+    }
+
+    #[test]
+    fn absolute_xpath_breaks_under_wrapper_div() {
+        use lixto_xpath::{core::eval_core, parse};
+        let (_, records) = crate::ebay::site(3, 4);
+        let page = crate::ebay::listing_page(&records);
+        // Brittle absolute-path "wrapper": body's 2nd..nth tables.
+        let q = parse("/html/body/table/tr/td/a").unwrap();
+        let doc = lixto_html::parse(&page);
+        assert_eq!(eval_core(&doc, &q).unwrap().len(), records.len());
+        let mut rng = StdRng::seed_from_u64(7);
+        let mutated = apply(&page, Perturbation::WrapperDiv, &mut rng);
+        let doc2 = lixto_html::parse(&mutated);
+        assert_eq!(
+            eval_core(&doc2, &q).unwrap().len(),
+            0,
+            "absolute path must break when the layout nests"
+        );
+    }
+}

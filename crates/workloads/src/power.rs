@@ -1,0 +1,86 @@
+//! Power-exchange spot prices (§6.7): hourly prices from "major European
+//! power trading sites", integrated with weather/water-level data.
+
+use crate::hash01;
+
+/// One hourly spot price.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpotPrice {
+    /// Hour of day, 0..24.
+    pub hour: u32,
+    /// Price in EUR/MWh.
+    pub price: f64,
+}
+
+/// 24 hourly prices for a given exchange and day.
+pub fn day_prices(seed: u64, exchange: usize, day: u64) -> Vec<SpotPrice> {
+    (0..24)
+        .map(|hour| {
+            let r = hash01(seed.wrapping_add(exchange as u64 * 31), day * 24 + hour as u64);
+            // Morning/evening peaks.
+            let shape = 1.0 + 0.5 * (((hour as f64 - 8.0) / 3.0).powi(2)).min(4.0).recip()
+                + 0.5 * (((hour as f64 - 19.0) / 3.0).powi(2)).min(4.0).recip();
+            SpotPrice {
+                hour,
+                price: ((20.0 + r * 30.0) * shape * 100.0).round() / 100.0,
+            }
+        })
+        .collect()
+}
+
+/// Exchange page.
+pub fn exchange_page(name: &str, prices: &[SpotPrice]) -> String {
+    let mut h = format!(
+        "<html><body><h1>{name} day-ahead</h1><table class=\"spot\">\n\
+         <tr><th>hour</th><th>EUR/MWh</th></tr>\n"
+    );
+    for p in prices {
+        h.push_str(&format!(
+            "<tr class=\"h\"><td>{:02}</td><td>{:.2}</td></tr>\n",
+            p.hour, p.price
+        ));
+    }
+    h.push_str("</table></body></html>");
+    h
+}
+
+/// Wrapper for an exchange page.
+pub fn exchange_wrapper(url: &str) -> String {
+    format!(
+        r#"row(S, X) :- document("{url}", S), subelem(S, (?.tr, [(class, "h", exact)]), X).
+           hour(S, X) :- row(_, S), subelem(S, (.td, []), X), range(1, 1).
+           price(S, X) :- row(_, S), subelem(S, (.td, []), X), range(2, 2)."#
+    )
+}
+
+/// Site with `n_exchanges` exchanges.
+pub fn site(seed: u64, n_exchanges: usize, day: u64) -> lixto_elog::StaticWeb {
+    let mut web = lixto_elog::StaticWeb::new();
+    for e in 0..n_exchanges {
+        web.put(
+            &format!("http://exchange{e}/spot"),
+            exchange_page(&format!("EX{e}"), &day_prices(seed, e, day)),
+        );
+    }
+    web
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lixto_elog::{parse_program, Extractor};
+
+    #[test]
+    fn wrapper_reads_24_prices() {
+        let web = site(9, 2, 1);
+        let program = parse_program(&exchange_wrapper("http://exchange0/spot")).unwrap();
+        let result = Extractor::new(program, &web).run();
+        assert_eq!(result.texts_of("hour").len(), 24);
+        assert_eq!(result.texts_of("price").len(), 24);
+        let want: Vec<String> = day_prices(9, 0, 1)
+            .iter()
+            .map(|p| format!("{:.2}", p.price))
+            .collect();
+        assert_eq!(result.texts_of("price"), want);
+    }
+}

@@ -1,0 +1,153 @@
+//! "Now Playing" sources (§6.1): 14 sites in three groups — 8 radio
+//! station playlists, 5 music charts, 1 lyrics server — refreshed at
+//! different rates ("ranging from a few seconds (radio channels) up to
+//! hours or days (charts and lyrics)").
+
+use crate::hash01;
+
+/// Station names (8 radio channels, national + international).
+pub const STATIONS: &[&str] = &[
+    "radio-wien", "oe3", "fm4", "radio-tirol", "antenne", "energy", "radio-paris",
+    "radio-berlin",
+];
+
+/// Chart names (5 major charts).
+pub const CHARTS: &[&str] = &["austria-top40", "uk-singles", "billboard", "eurochart", "club"];
+
+/// A song.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Song {
+    /// Title.
+    pub title: String,
+    /// Artist.
+    pub artist: String,
+}
+
+/// The song a station plays at a given tick (rotates deterministically).
+pub fn now_playing(seed: u64, station: usize, tick: u64) -> Song {
+    const SONGS: &[(&str, &str)] = &[
+        ("Blue Monday", "New Order"),
+        ("One More Time", "Daft Punk"),
+        ("Hung Up", "Madonna"),
+        ("Toxic", "Britney Spears"),
+        ("Take Me Out", "Franz Ferdinand"),
+        ("Mr. Brightside", "The Killers"),
+        ("Hey Ya!", "OutKast"),
+        ("Seven Nation Army", "The White Stripes"),
+        ("Crazy In Love", "Beyoncé"),
+        ("Lose Yourself", "Eminem"),
+    ];
+    let r = hash01(seed.wrapping_add(station as u64 * 131), tick);
+    let (t, a) = SONGS[(r * SONGS.len() as f64) as usize];
+    Song {
+        title: t.to_string(),
+        artist: a.to_string(),
+    }
+}
+
+/// Playlist page for a station at a tick.
+pub fn playlist_page(seed: u64, station: usize, tick: u64) -> String {
+    let song = now_playing(seed, station, tick);
+    format!(
+        "<html><body><h1>{}</h1>\
+         <div class=\"nowplaying\"><span class=\"title\">{}</span>\
+         <span class=\"artist\">{}</span></div>\
+         <a href=\"stream.m3u\">live stream</a></body></html>",
+        STATIONS[station], song.title, song.artist
+    )
+}
+
+/// Chart page: top-10 list with ranks.
+pub fn chart_page(seed: u64, chart: usize, week: u64) -> String {
+    let mut h = format!(
+        "<html><body><h1>{}</h1><ol class=\"chart\">",
+        CHARTS[chart]
+    );
+    for rank in 0..10 {
+        let s = now_playing(seed.wrapping_add(chart as u64 * 977), rank, week);
+        h.push_str(&format!(
+            "<li><span class=\"title\">{}</span> — <span class=\"artist\">{}</span></li>",
+            s.title, s.artist
+        ));
+    }
+    h.push_str("</ol></body></html>");
+    h
+}
+
+/// Lyrics server page for a title.
+pub fn lyrics_page(title: &str) -> String {
+    format!(
+        "<html><body><h2>{title}</h2><pre class=\"lyrics\">la la la — {title} — la la</pre></body></html>"
+    )
+}
+
+/// Build the full 14-source web at a given (radio tick, chart week).
+pub fn site(seed: u64, tick: u64, week: u64) -> lixto_elog::StaticWeb {
+    let mut web = lixto_elog::StaticWeb::new();
+    for s in 0..STATIONS.len() {
+        web.put(
+            &format!("http://{}/playlist", STATIONS[s]),
+            playlist_page(seed, s, tick),
+        );
+    }
+    for c in 0..CHARTS.len() {
+        web.put(
+            &format!("http://charts/{}", CHARTS[c]),
+            chart_page(seed, c, week),
+        );
+    }
+    // One lyrics server page per currently playing song.
+    for s in 0..STATIONS.len() {
+        let song = now_playing(seed, s, tick);
+        web.put(
+            &format!("http://lyrics/{}", song.title.replace(' ', "+")),
+            lyrics_page(&song.title),
+        );
+    }
+    web
+}
+
+/// Playlist wrapper (parameterized by station).
+pub fn playlist_wrapper(station: &str) -> String {
+    format!(
+        r#"playing(S, X) :- document("http://{station}/playlist", S), subelem(S, (?.div, [(class, "nowplaying", exact)]), X).
+           title(S, X) :- playing(_, S), subelem(S, (.span, [(class, "title", exact)]), X).
+           artist(S, X) :- playing(_, S), subelem(S, (.span, [(class, "artist", exact)]), X)."#
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lixto_elog::{parse_program, Extractor};
+
+    #[test]
+    fn fourteen_sources() {
+        let web = site(3, 0, 0);
+        // 8 stations + 5 charts + 8 lyrics pages (may dedup to fewer URLs
+        // if two stations play the same song).
+        assert!(web.len() >= 14);
+    }
+
+    #[test]
+    fn playlist_wrapper_extracts_song() {
+        let web = site(3, 7, 0);
+        let program = parse_program(&playlist_wrapper(STATIONS[0])).unwrap();
+        let result = Extractor::new(program, &web).run();
+        let song = now_playing(3, 0, 7);
+        assert_eq!(result.texts_of("title"), vec![song.title]);
+        assert_eq!(result.texts_of("artist"), vec![song.artist]);
+    }
+
+    #[test]
+    fn songs_change_across_ticks() {
+        let a = now_playing(3, 0, 0);
+        let mut changed = false;
+        for t in 1..10 {
+            if now_playing(3, 0, t) != a {
+                changed = true;
+            }
+        }
+        assert!(changed, "rotation must produce different songs");
+    }
+}

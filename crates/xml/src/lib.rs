@@ -1,0 +1,28 @@
+//! # lixto-xml
+//!
+//! XML substrate for `lixto-rs`.
+//!
+//! Section 5 of the PODS 2004 Lixto paper: "The actual data flow within the
+//! Transformation Server is realized by handing over XML documents. Each
+//! stage within the Transformation Server accepts XML documents (except for
+//! the wrapper component, which accepts HTML documents), performs its
+//! specific task, and produces an XML document as result."
+//!
+//! This crate is that hand-over format: an owned, mutable XML document
+//! model ([`Element`], [`XmlNode`]), a parser ([`parse`]), a serializer
+//! with proper escaping ([`serialize`]), and small selection helpers
+//! ([`select`]) that integrator/transformer stages use to pick apart
+//! incoming documents. It is namespace-free — the paper's pipelines (NITF
+//! news items, book lists, playlists) do not need namespaces, and wrappers
+//! control both ends of the pipe.
+
+#![forbid(unsafe_code)]
+
+pub mod model;
+pub mod parse;
+pub mod select;
+pub mod serialize;
+
+pub use model::{Element, XmlNode};
+pub use parse::{parse, ParseError};
+pub use serialize::{to_string, to_string_pretty};

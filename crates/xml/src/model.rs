@@ -1,0 +1,219 @@
+//! Owned XML document model.
+
+/// A node in an XML document: an element or character data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlNode {
+    /// An element with name, attributes and children.
+    Element(Element),
+    /// Character data (already unescaped).
+    Text(String),
+}
+
+impl XmlNode {
+    /// The element inside, if this is one.
+    pub fn as_element(&self) -> Option<&Element> {
+        match self {
+            XmlNode::Element(e) => Some(e),
+            XmlNode::Text(_) => None,
+        }
+    }
+
+    /// Mutable element access.
+    pub fn as_element_mut(&mut self) -> Option<&mut Element> {
+        match self {
+            XmlNode::Element(e) => Some(e),
+            XmlNode::Text(_) => None,
+        }
+    }
+
+    /// The text inside, if this is character data.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            XmlNode::Text(t) => Some(t),
+            XmlNode::Element(_) => None,
+        }
+    }
+}
+
+/// An XML element.
+///
+/// The builder-style constructors make pipeline stages pleasant to write:
+///
+/// ```
+/// use lixto_xml::Element;
+/// let book = Element::new("book")
+///     .with_attr("isbn", "123")
+///     .with_child_text("title", "Foundations of Databases")
+///     .with_child_text("price", "59.90");
+/// assert_eq!(book.child_text("title"), Some("Foundations of Databases"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Element {
+    /// Element name.
+    pub name: String,
+    /// Attributes in order.
+    pub attrs: Vec<(String, String)>,
+    /// Child nodes in order.
+    pub children: Vec<XmlNode>,
+}
+
+impl Element {
+    /// New empty element.
+    pub fn new(name: impl Into<String>) -> Element {
+        Element {
+            name: name.into(),
+            attrs: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Builder: add an attribute.
+    pub fn with_attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Element {
+        self.attrs.push((name.into(), value.into()));
+        self
+    }
+
+    /// Builder: append a child element.
+    pub fn with_child(mut self, child: Element) -> Element {
+        self.children.push(XmlNode::Element(child));
+        self
+    }
+
+    /// Builder: append a text node.
+    pub fn with_text(mut self, text: impl Into<String>) -> Element {
+        self.children.push(XmlNode::Text(text.into()));
+        self
+    }
+
+    /// Builder: append `<name>text</name>`.
+    pub fn with_child_text(self, name: impl Into<String>, text: impl Into<String>) -> Element {
+        self.with_child(Element::new(name).with_text(text))
+    }
+
+    /// Append a child element (non-builder form).
+    pub fn push_element(&mut self, child: Element) {
+        self.children.push(XmlNode::Element(child));
+    }
+
+    /// Append a text node (non-builder form).
+    pub fn push_text(&mut self, text: impl Into<String>) {
+        self.children.push(XmlNode::Text(text.into()));
+    }
+
+    /// Attribute value by name.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Set (or replace) an attribute.
+    pub fn set_attr(&mut self, name: &str, value: impl Into<String>) {
+        if let Some(slot) = self.attrs.iter_mut().find(|(k, _)| k == name) {
+            slot.1 = value.into();
+        } else {
+            self.attrs.push((name.to_string(), value.into()));
+        }
+    }
+
+    /// Child elements (skipping text), in order.
+    pub fn child_elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(XmlNode::as_element)
+    }
+
+    /// Child elements with a given name.
+    pub fn children_named<'e, 'n>(
+        &'e self,
+        name: &'n str,
+    ) -> impl Iterator<Item = &'e Element> + use<'e, 'n> {
+        self.child_elements().filter(move |e| e.name == name)
+    }
+
+    /// First child element with a given name.
+    pub fn child(&self, name: &str) -> Option<&Element> {
+        self.children_named(name).next()
+    }
+
+    /// Text content of the first child element with the given name,
+    /// trimmed. `None` if there is no such child.
+    pub fn child_text(&self, name: &str) -> Option<&str> {
+        self.child(name).and_then(|e| {
+            e.children
+                .iter()
+                .find_map(XmlNode::as_text)
+                .map(str::trim)
+        })
+    }
+
+    /// Concatenated text of this element's whole subtree.
+    pub fn text_content(&self) -> String {
+        let mut out = String::new();
+        self.collect_text(&mut out);
+        out
+    }
+
+    fn collect_text(&self, out: &mut String) {
+        for c in &self.children {
+            match c {
+                XmlNode::Text(t) => out.push_str(t),
+                XmlNode::Element(e) => e.collect_text(out),
+            }
+        }
+    }
+
+    /// Total number of elements in this subtree (including self).
+    pub fn element_count(&self) -> usize {
+        1 + self
+            .child_elements()
+            .map(Element::element_count)
+            .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let e = Element::new("item")
+            .with_attr("id", "1")
+            .with_child_text("price", "$ 4.20")
+            .with_child(Element::new("bids").with_text("7"));
+        assert_eq!(e.attr("id"), Some("1"));
+        assert_eq!(e.child_text("price"), Some("$ 4.20"));
+        assert_eq!(e.child_text("bids"), Some("7"));
+        assert_eq!(e.child_text("missing"), None);
+        assert_eq!(e.element_count(), 3);
+    }
+
+    #[test]
+    fn set_attr_replaces() {
+        let mut e = Element::new("a").with_attr("x", "1");
+        e.set_attr("x", "2");
+        e.set_attr("y", "3");
+        assert_eq!(e.attr("x"), Some("2"));
+        assert_eq!(e.attr("y"), Some("3"));
+        assert_eq!(e.attrs.len(), 2);
+    }
+
+    #[test]
+    fn text_content_is_recursive() {
+        let e = Element::new("a")
+            .with_text("x")
+            .with_child(Element::new("b").with_text("y"))
+            .with_text("z");
+        assert_eq!(e.text_content(), "xyz");
+    }
+
+    #[test]
+    fn children_named_filters() {
+        let e = Element::new("r")
+            .with_child(Element::new("a"))
+            .with_child(Element::new("b"))
+            .with_child(Element::new("a"));
+        assert_eq!(e.children_named("a").count(), 2);
+        assert_eq!(e.child_elements().count(), 3);
+    }
+}

@@ -1,0 +1,309 @@
+//! A small strict XML parser.
+//!
+//! Pipeline stages exchange machine-generated XML, so unlike the HTML
+//! parser this one *rejects* malformed input instead of guessing: mismatched
+//! tags, unterminated constructs and stray content are errors. Supports
+//! elements, attributes (single/double quoted), character data with the
+//! five predefined entities plus numeric references, CDATA sections,
+//! comments and processing instructions (skipped).
+
+use crate::model::{Element, XmlNode};
+
+/// Error with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the problem.
+    pub at: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "XML parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a complete XML document, returning its root element.
+pub fn parse(src: &str) -> Result<Element, ParseError> {
+    let mut p = Parser {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+    };
+    p.skip_misc()?;
+    let root = p.element()?;
+    p.skip_misc()?;
+    if p.pos != p.bytes.len() {
+        return Err(p.err("content after document element"));
+    }
+    Ok(root)
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, m: &str) -> ParseError {
+        ParseError {
+            at: self.pos,
+            message: m.to_string(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    /// Skip whitespace, comments, PIs and the XML declaration.
+    fn skip_misc(&mut self) -> Result<(), ParseError> {
+        loop {
+            self.skip_ws();
+            if self.src[self.pos..].starts_with("<?") {
+                match self.src[self.pos..].find("?>") {
+                    Some(p) => self.pos += p + 2,
+                    None => return Err(self.err("unterminated processing instruction")),
+                }
+            } else if self.src[self.pos..].starts_with("<!--") {
+                match self.src[self.pos..].find("-->") {
+                    Some(p) => self.pos += p + 3,
+                    None => return Err(self.err("unterminated comment")),
+                }
+            } else if self.src[self.pos..].starts_with("<!DOCTYPE") {
+                match self.src[self.pos..].find('>') {
+                    Some(p) => self.pos += p + 1,
+                    None => return Err(self.err("unterminated DOCTYPE")),
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn name(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b'.' || b == b':' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(self.src[start..self.pos].to_string())
+    }
+
+    fn element(&mut self) -> Result<Element, ParseError> {
+        if self.bytes.get(self.pos) != Some(&b'<') {
+            return Err(self.err("expected '<'"));
+        }
+        self.pos += 1;
+        let name = self.name()?;
+        let mut el = Element::new(&name);
+        loop {
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.bytes.get(self.pos) != Some(&b'>') {
+                        return Err(self.err("expected '>' after '/'"));
+                    }
+                    self.pos += 1;
+                    return Ok(el);
+                }
+                Some(_) => {
+                    let aname = self.name()?;
+                    self.skip_ws();
+                    if self.bytes.get(self.pos) != Some(&b'=') {
+                        return Err(self.err("expected '=' in attribute"));
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let quote = match self.bytes.get(self.pos) {
+                        Some(&q @ (b'"' | b'\'')) => q,
+                        _ => return Err(self.err("attribute value must be quoted")),
+                    };
+                    self.pos += 1;
+                    let vstart = self.pos;
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] != quote {
+                        self.pos += 1;
+                    }
+                    if self.pos >= self.bytes.len() {
+                        return Err(self.err("unterminated attribute value"));
+                    }
+                    let raw = &self.src[vstart..self.pos];
+                    self.pos += 1;
+                    el.attrs.push((aname, unescape(raw)));
+                }
+                None => return Err(self.err("unexpected end of input in tag")),
+            }
+        }
+        // Content.
+        loop {
+            if self.pos >= self.bytes.len() {
+                return Err(self.err("unexpected end of input in element content"));
+            }
+            if self.src[self.pos..].starts_with("</") {
+                self.pos += 2;
+                let end_name = self.name()?;
+                if end_name != name {
+                    return Err(self.err(&format!(
+                        "mismatched end tag: expected </{name}>, found </{end_name}>"
+                    )));
+                }
+                self.skip_ws();
+                if self.bytes.get(self.pos) != Some(&b'>') {
+                    return Err(self.err("expected '>' in end tag"));
+                }
+                self.pos += 1;
+                return Ok(el);
+            } else if self.src[self.pos..].starts_with("<![CDATA[") {
+                let start = self.pos + 9;
+                match self.src[start..].find("]]>") {
+                    Some(p) => {
+                        el.children
+                            .push(XmlNode::Text(self.src[start..start + p].to_string()));
+                        self.pos = start + p + 3;
+                    }
+                    None => return Err(self.err("unterminated CDATA section")),
+                }
+            } else if self.src[self.pos..].starts_with("<!--") {
+                match self.src[self.pos..].find("-->") {
+                    Some(p) => self.pos += p + 3,
+                    None => return Err(self.err("unterminated comment")),
+                }
+            } else if self.src[self.pos..].starts_with("<?") {
+                match self.src[self.pos..].find("?>") {
+                    Some(p) => self.pos += p + 2,
+                    None => return Err(self.err("unterminated processing instruction")),
+                }
+            } else if self.bytes[self.pos] == b'<' {
+                let child = self.element()?;
+                el.children.push(XmlNode::Element(child));
+            } else {
+                let start = self.pos;
+                while self.pos < self.bytes.len() && self.bytes[self.pos] != b'<' {
+                    self.pos += 1;
+                }
+                let text = unescape(&self.src[start..self.pos]);
+                if !text.trim().is_empty() {
+                    el.children.push(XmlNode::Text(text));
+                }
+            }
+        }
+    }
+}
+
+fn unescape(s: &str) -> String {
+    if !s.contains('&') {
+        return s.to_string();
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        rest = &rest[amp..];
+        if let Some(semi) = rest.find(';') {
+            let body = &rest[1..semi];
+            let decoded = match body {
+                "amp" => Some('&'),
+                "lt" => Some('<'),
+                "gt" => Some('>'),
+                "quot" => Some('"'),
+                "apos" => Some('\''),
+                _ => body.strip_prefix('#').and_then(|n| {
+                    if let Some(h) = n.strip_prefix(['x', 'X']) {
+                        u32::from_str_radix(h, 16).ok()
+                    } else {
+                        n.parse().ok()
+                    }
+                    .and_then(char::from_u32)
+                }),
+            };
+            if let Some(c) = decoded {
+                out.push(c);
+                rest = &rest[semi + 1..];
+                continue;
+            }
+        }
+        out.push('&');
+        rest = &rest[1..];
+    }
+    out.push_str(rest);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serialize::to_string;
+
+    #[test]
+    fn roundtrip() {
+        let src = r#"<books><book isbn="1"><title>A &amp; B</title><price>9.99</price></book><book isbn="2"/></books>"#;
+        let doc = parse(src).unwrap();
+        assert_eq!(to_string(&doc), src);
+    }
+
+    #[test]
+    fn declaration_doctype_comments_skipped() {
+        let src = "<?xml version=\"1.0\"?>\n<!DOCTYPE r>\n<!-- hi -->\n<r><a/></r>";
+        let doc = parse(src).unwrap();
+        assert_eq!(doc.name, "r");
+        assert_eq!(doc.child_elements().count(), 1);
+    }
+
+    #[test]
+    fn cdata_preserved_verbatim() {
+        let doc = parse("<x><![CDATA[a < b && c]]></x>").unwrap();
+        assert_eq!(doc.text_content(), "a < b && c");
+    }
+
+    #[test]
+    fn mismatched_tags_rejected() {
+        assert!(parse("<a><b></a></b>").is_err());
+        assert!(parse("<a>").is_err());
+        assert!(parse("<a></a><b></b>").is_err());
+    }
+
+    #[test]
+    fn unquoted_attrs_rejected() {
+        assert!(parse("<a x=1/>").is_err());
+    }
+
+    #[test]
+    fn numeric_references() {
+        let doc = parse("<t>&#8364;&#x41;</t>").unwrap();
+        assert_eq!(doc.text_content(), "€A");
+    }
+
+    #[test]
+    fn whitespace_only_text_dropped() {
+        let doc = parse("<r>\n  <a/>\n  <b/>\n</r>").unwrap();
+        assert_eq!(doc.children.len(), 2);
+    }
+
+    #[test]
+    fn serializer_output_reparses() {
+        let e = crate::Element::new("m")
+            .with_attr("a", "x<y\"z")
+            .with_text("1 & 2");
+        let doc = parse(&to_string(&e)).unwrap();
+        assert_eq!(doc.attr("a"), Some("x<y\"z"));
+        assert_eq!(doc.text_content(), "1 & 2");
+    }
+}

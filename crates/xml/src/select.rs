@@ -1,0 +1,130 @@
+//! Selection helpers for pipeline stages.
+//!
+//! Integrator and transformer components need to address parts of incoming
+//! XML documents. Full XPath lives in `lixto-xpath` (over `lixto-tree`
+//! documents); stages work on the lightweight [`Element`] model and only
+//! need simple slash-paths and descendant searches, provided here.
+
+use crate::model::{Element, XmlNode};
+
+/// All elements in the subtree (including the root element itself) with
+/// the given name, in document order.
+pub fn descendants_named<'a>(root: &'a Element, name: &str) -> Vec<&'a Element> {
+    let mut out = Vec::new();
+    collect_named(root, name, &mut out);
+    out
+}
+
+fn collect_named<'a>(e: &'a Element, name: &str, out: &mut Vec<&'a Element>) {
+    if e.name == name {
+        out.push(e);
+    }
+    for c in &e.children {
+        if let XmlNode::Element(child) = c {
+            collect_named(child, name, out);
+        }
+    }
+}
+
+/// Resolve a simple slash path like `"books/book/title"` relative to
+/// `root` (the first segment matches children of `root`, not `root`
+/// itself). Returns every match, in document order.
+pub fn path<'a>(root: &'a Element, p: &str) -> Vec<&'a Element> {
+    let mut current = vec![root];
+    for seg in p.split('/').filter(|s| !s.is_empty()) {
+        let mut next = Vec::new();
+        for e in current {
+            for c in e.children_named(seg) {
+                next.push(c);
+            }
+        }
+        current = next;
+    }
+    current
+}
+
+/// First match of [`path`].
+pub fn path_first<'a>(root: &'a Element, p: &str) -> Option<&'a Element> {
+    // Cheap short-circuit would require a lazy walk; paths in pipelines are
+    // two or three segments deep, so collecting is fine.
+    path(root, p).into_iter().next()
+}
+
+/// Visit every element in the subtree (preorder), applying `f`.
+pub fn for_each_element<'a>(root: &'a Element, f: &mut impl FnMut(&'a Element)) {
+    f(root);
+    for c in &root.children {
+        if let XmlNode::Element(e) = c {
+            for_each_element(e, f);
+        }
+    }
+}
+
+/// Transform every element bottom-up, producing a new tree. `f` receives
+/// each element after its children were processed and may rewrite it.
+pub fn map_elements(root: &Element, f: &impl Fn(Element) -> Element) -> Element {
+    let mut out = Element::new(&root.name);
+    out.attrs = root.attrs.clone();
+    for c in &root.children {
+        match c {
+            XmlNode::Element(e) => out.children.push(XmlNode::Element(map_elements(e, f))),
+            XmlNode::Text(t) => out.children.push(XmlNode::Text(t.clone())),
+        }
+    }
+    f(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn sample() -> Element {
+        parse(
+            r#"<catalog>
+                 <shelf><book><title>A</title></book></shelf>
+                 <book><title>B</title></book>
+                 <book><title>C</title></book>
+               </catalog>"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn descendants_at_any_depth() {
+        let doc = sample();
+        let books = descendants_named(&doc, "book");
+        assert_eq!(books.len(), 3);
+        let titles: Vec<_> = books.iter().filter_map(|b| b.child_text("title")).collect();
+        assert_eq!(titles, vec!["A", "B", "C"]);
+    }
+
+    #[test]
+    fn slash_path_is_child_steps_only() {
+        let doc = sample();
+        assert_eq!(path(&doc, "book").len(), 2); // not the nested one
+        assert_eq!(path(&doc, "shelf/book/title").len(), 1);
+        assert!(path_first(&doc, "shelf/book/title").is_some());
+        assert!(path_first(&doc, "no/such").is_none());
+    }
+
+    #[test]
+    fn map_elements_rewrites_bottom_up() {
+        let doc = sample();
+        let upper = map_elements(&doc, &|mut e| {
+            e.name = e.name.to_uppercase();
+            e
+        });
+        assert_eq!(upper.name, "CATALOG");
+        assert_eq!(descendants_named(&upper, "BOOK").len(), 3);
+        assert_eq!(descendants_named(&upper, "book").len(), 0);
+    }
+
+    #[test]
+    fn for_each_counts_all() {
+        let doc = sample();
+        let mut n = 0;
+        for_each_element(&doc, &mut |_| n += 1);
+        assert_eq!(n, doc.element_count());
+    }
+}

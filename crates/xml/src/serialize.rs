@@ -1,0 +1,124 @@
+//! XML serialization with escaping.
+
+use crate::model::{Element, XmlNode};
+
+/// Serialize compactly (no added whitespace).
+pub fn to_string(root: &Element) -> String {
+    let mut out = String::new();
+    write_element(root, &mut out, None, 0);
+    out
+}
+
+/// Serialize with two-space indentation — element-only content is broken
+/// across lines; mixed content is kept inline to avoid changing its text.
+pub fn to_string_pretty(root: &Element) -> String {
+    let mut out = String::new();
+    write_element(root, &mut out, Some(2), 0);
+    out.push('\n');
+    out
+}
+
+fn write_element(e: &Element, out: &mut String, indent: Option<usize>, depth: usize) {
+    out.push('<');
+    out.push_str(&e.name);
+    for (k, v) in &e.attrs {
+        out.push(' ');
+        out.push_str(k);
+        out.push_str("=\"");
+        escape_attr(v, out);
+        out.push('"');
+    }
+    if e.children.is_empty() {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    let element_only = e.children.iter().all(|c| matches!(c, XmlNode::Element(_)));
+    let pretty = indent.filter(|_| element_only);
+    for c in &e.children {
+        if let Some(step) = pretty {
+            out.push('\n');
+            for _ in 0..(depth + 1) * step {
+                out.push(' ');
+            }
+        }
+        match c {
+            XmlNode::Element(child) => write_element(child, out, indent, depth + 1),
+            XmlNode::Text(t) => escape_text(t, out),
+        }
+    }
+    if let Some(step) = pretty {
+        out.push('\n');
+        for _ in 0..depth * step {
+            out.push(' ');
+        }
+    }
+    out.push_str("</");
+    out.push_str(&e.name);
+    out.push('>');
+}
+
+pub(crate) fn escape_text(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+pub(crate) fn escape_attr(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Element;
+
+    #[test]
+    fn compact_form() {
+        let e = Element::new("a")
+            .with_attr("k", "v")
+            .with_child(Element::new("b").with_text("x"))
+            .with_child(Element::new("c"));
+        assert_eq!(to_string(&e), r#"<a k="v"><b>x</b><c/></a>"#);
+    }
+
+    #[test]
+    fn escaping() {
+        let e = Element::new("t")
+            .with_attr("q", "a\"b<c>")
+            .with_text("1 < 2 & 3 > 2");
+        assert_eq!(
+            to_string(&e),
+            r#"<t q="a&quot;b&lt;c&gt;">1 &lt; 2 &amp; 3 &gt; 2</t>"#
+        );
+    }
+
+    #[test]
+    fn pretty_indents_element_only_content() {
+        let e = Element::new("r")
+            .with_child(Element::new("a").with_text("x"))
+            .with_child(Element::new("b"));
+        assert_eq!(to_string_pretty(&e), "<r>\n  <a>x</a>\n  <b/>\n</r>\n");
+    }
+
+    #[test]
+    fn pretty_keeps_mixed_content_inline() {
+        let e = Element::new("p")
+            .with_text("see ")
+            .with_child(Element::new("b").with_text("this"));
+        assert_eq!(to_string_pretty(&e), "<p>see <b>this</b></p>\n");
+    }
+}

@@ -1,0 +1,172 @@
+//! XPath abstract syntax.
+
+use lixto_tree::Axis;
+
+/// Error type shared by the parser and the evaluators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XPathError {
+    /// Description.
+    pub message: String,
+}
+
+impl XPathError {
+    pub(crate) fn new(m: impl Into<String>) -> XPathError {
+        XPathError { message: m.into() }
+    }
+}
+
+impl std::fmt::Display for XPathError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "xpath error: {}", self.message)
+    }
+}
+
+impl std::error::Error for XPathError {}
+
+/// A node test within a step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeTest {
+    /// `*` — any element (not text).
+    AnyElement,
+    /// A name test.
+    Name(String),
+    /// `text()`.
+    Text,
+    /// `node()` — anything.
+    AnyNode,
+}
+
+/// One location step `axis::test[pred]*`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    /// The axis.
+    pub axis: Axis,
+    /// The node test.
+    pub test: NodeTest,
+    /// Predicates, applied in order.
+    pub predicates: Vec<Expr>,
+}
+
+/// A location path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocationPath {
+    /// Absolute paths start at the root.
+    pub absolute: bool,
+    /// The steps.
+    pub steps: Vec<Step>,
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// An expression (used in predicates; a full query is a [`LocationPath`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A relative path — truthy iff non-empty.
+    Path(LocationPath),
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// `not(e)`.
+    Not(Box<Expr>),
+    /// Comparison; node-set operands compare existentially (XPath 1
+    /// semantics).
+    Cmp(Box<Expr>, CmpOp, Box<Expr>),
+    /// Numeric literal.
+    Number(f64),
+    /// String literal.
+    Literal(String),
+    /// `position()`.
+    Position,
+    /// `last()`.
+    Last,
+    /// `count(path)`.
+    Count(LocationPath),
+}
+
+impl NodeTest {
+    /// Does node `n` of `doc` pass this test?
+    pub fn matches(&self, doc: &lixto_tree::Document, n: lixto_tree::NodeId) -> bool {
+        use lixto_tree::NodeKind;
+        match self {
+            NodeTest::AnyNode => true,
+            NodeTest::Text => doc.kind(n) == NodeKind::Text,
+            NodeTest::AnyElement => doc.kind(n) == NodeKind::Element,
+            NodeTest::Name(name) => {
+                doc.kind(n) == NodeKind::Element && doc.label_str(n) == name
+            }
+        }
+    }
+}
+
+impl LocationPath {
+    /// Total number of steps including those nested in predicates —
+    /// the |Q| of the complexity statements.
+    pub fn size(&self) -> usize {
+        self.steps
+            .iter()
+            .map(|s| 1 + s.predicates.iter().map(Expr::size).sum::<usize>())
+            .sum()
+    }
+}
+
+impl Expr {
+    /// Size counting steps and operators.
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Path(p) => p.size(),
+            Expr::And(a, b) | Expr::Or(a, b) => 1 + a.size() + b.size(),
+            Expr::Not(a) => 1 + a.size(),
+            Expr::Cmp(a, _, b) => 1 + a.size() + b.size(),
+            Expr::Number(_) | Expr::Literal(_) | Expr::Position | Expr::Last => 1,
+            Expr::Count(p) => 1 + p.size(),
+        }
+    }
+}
+
+/// Axis display names (XPath spelling), used by the pretty printer and
+/// parser error messages.
+pub fn axis_name(axis: Axis) -> &'static str {
+    axis.name()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn size_counts_nested_steps() {
+        let q = parse("//a[b/c and not(d)]/e").unwrap();
+        // steps: desc-or-self::node, a, e = 3; predicate: b, c, d + and + not = 5
+        assert_eq!(q.size(), 8);
+    }
+
+    #[test]
+    fn node_tests() {
+        let doc = lixto_html::parse("<p>hi</p>");
+        let p = doc.node_ids().find(|&n| doc.label_str(n) == "p").unwrap();
+        let t = doc.first_child(p).unwrap();
+        assert!(NodeTest::Name("p".into()).matches(&doc, p));
+        assert!(!NodeTest::Name("p".into()).matches(&doc, t));
+        assert!(NodeTest::AnyElement.matches(&doc, p));
+        assert!(!NodeTest::AnyElement.matches(&doc, t));
+        assert!(NodeTest::Text.matches(&doc, t));
+        assert!(NodeTest::AnyNode.matches(&doc, t));
+    }
+}

@@ -1,0 +1,499 @@
+//! Linear-time Core XPath evaluation.
+//!
+//! The Gottlob–Koch–Pichler node-set algebra \[15\]: a location path is
+//! evaluated set-at-a-time with one O(|doc|) document sweep per step, and
+//! each predicate path is evaluated *once globally* (backwards, using the
+//! inverse axes) into a "satisfaction set", so the total running time is
+//! O(|Q| · |doc|) regardless of intermediate node-set sizes. Compare
+//! [`naive`](crate::naive), which recurses per context node and explodes.
+//!
+//! Only the navigational fragment (Core XPath) is allowed here:
+//! `position()`, `last()`, comparisons and `count()` are rejected with an
+//! error — use [`cvt`](crate::cvt) for the extended fragment.
+
+use lixto_tree::{Axis, Document, NodeId};
+
+use crate::ast::{Expr, LocationPath, NodeTest, Step, XPathError};
+
+
+/// A node set as a bitmask over node indices.
+#[derive(Clone)]
+pub(crate) struct NodeSet {
+    bits: Vec<u64>,
+    n: usize,
+}
+
+impl NodeSet {
+    pub(crate) fn empty(n: usize) -> NodeSet {
+        NodeSet {
+            bits: vec![0; n.div_ceil(64)],
+            n,
+        }
+    }
+
+    pub(crate) fn full(n: usize) -> NodeSet {
+        let mut s = NodeSet::empty(n);
+        for i in 0..n {
+            s.insert(NodeId::from_index(i));
+        }
+        s
+    }
+
+    pub(crate) fn singleton(n: usize, node: NodeId) -> NodeSet {
+        let mut s = NodeSet::empty(n);
+        s.insert(node);
+        s
+    }
+
+    #[inline]
+    pub(crate) fn insert(&mut self, node: NodeId) {
+        self.bits[node.index() / 64] |= 1 << (node.index() % 64);
+    }
+
+    #[inline]
+    pub(crate) fn contains(&self, node: NodeId) -> bool {
+        self.bits[node.index() / 64] & (1 << (node.index() % 64)) != 0
+    }
+
+    pub(crate) fn union_with(&mut self, other: &NodeSet) {
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= b;
+        }
+    }
+
+    pub(crate) fn intersect_with(&mut self, other: &NodeSet) {
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a &= b;
+        }
+    }
+
+    pub(crate) fn complement(&mut self) {
+        for a in self.bits.iter_mut() {
+            *a = !*a;
+        }
+        // Mask out the tail beyond n.
+        let tail = self.n % 64;
+        if tail != 0 {
+            if let Some(last) = self.bits.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    pub(crate) fn to_vec(&self, doc: &Document) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = (0..self.n)
+            .map(NodeId::from_index)
+            .filter(|&i| self.contains(i))
+            .collect();
+        v.sort_by_key(|&x| doc.order().pre(x));
+        v
+    }
+}
+
+/// Evaluate a Core XPath query; errors if the query uses non-Core features.
+pub fn eval_core(doc: &Document, query: &LocationPath) -> Result<Vec<NodeId>, XPathError> {
+    let set = eval_path_set(doc, query, None)?;
+    Ok(set.to_vec(doc))
+}
+
+/// Evaluate a path starting from `start` (None = per the path's
+/// absoluteness: root for absolute, which is the only sensible default for
+/// a top-level query).
+pub(crate) fn eval_path_set(
+    doc: &Document,
+    path: &LocationPath,
+    start: Option<&NodeSet>,
+) -> Result<NodeSet, XPathError> {
+    let n = doc.len();
+    // Absolute paths start at the *virtual document node* (the XPath root,
+    // sitting above the root element); `virtual_ctx` tracks whether it is
+    // still in the context set.
+    let (mut current, mut virtual_ctx) = if path.absolute {
+        (NodeSet::empty(n), true)
+    } else {
+        match start {
+            Some(s) => (s.clone(), false),
+            None => (NodeSet::singleton(n, doc.root()), false),
+        }
+    };
+    if path.absolute && path.steps.is_empty() {
+        // Bare "/": we approximate the document node by the root element.
+        return Ok(NodeSet::singleton(n, doc.root()));
+    }
+    for step in &path.steps {
+        let next_virtual = virtual_ctx
+            && matches!(step.axis, Axis::SelfAxis | Axis::DescendantOrSelf)
+            && step.test == NodeTest::AnyNode
+            && step.predicates.is_empty();
+        current = apply_step(doc, &current, step, virtual_ctx)?;
+        virtual_ctx = next_virtual;
+    }
+    Ok(current)
+}
+
+fn apply_step(
+    doc: &Document,
+    from: &NodeSet,
+    step: &Step,
+    virtual_ctx: bool,
+) -> Result<NodeSet, XPathError> {
+    let mut to = axis_image(doc, from, step.axis);
+    if virtual_ctx {
+        // Contributions of the virtual document node.
+        match step.axis {
+            Axis::Child | Axis::FirstChild => to.insert(doc.root()),
+            Axis::Descendant | Axis::DescendantOrSelf => {
+                to.union_with(&NodeSet::full(doc.len()))
+            }
+            _ => {}
+        }
+    }
+    // Node test.
+    let n = doc.len();
+    let mut tested = NodeSet::empty(n);
+    for i in 0..n {
+        let node = NodeId::from_index(i);
+        if to.contains(node) && step.test.matches(doc, node) {
+            tested.insert(node);
+        }
+    }
+    to = tested;
+    // Predicates: each is a global satisfaction set intersected in.
+    for pred in &step.predicates {
+        let sat = eval_pred_set(doc, pred)?;
+        to.intersect_with(&sat);
+    }
+    Ok(to)
+}
+
+/// The image of a node set under an axis, in O(|doc|) independent of |S|.
+pub(crate) fn axis_image(doc: &Document, s: &NodeSet, axis: Axis) -> NodeSet {
+    let n = doc.len();
+    let mut out = NodeSet::empty(n);
+    match axis {
+        Axis::SelfAxis => out.union_with(s),
+        Axis::Child => {
+            for i in 0..n {
+                let node = NodeId::from_index(i);
+                if let Some(p) = doc.parent(node) {
+                    if s.contains(p) {
+                        out.insert(node);
+                    }
+                }
+            }
+        }
+        Axis::Parent => {
+            for i in 0..n {
+                let node = NodeId::from_index(i);
+                if s.contains(node) {
+                    if let Some(p) = doc.parent(node) {
+                        out.insert(p);
+                    }
+                }
+            }
+        }
+        Axis::Descendant | Axis::DescendantOrSelf => {
+            // Preorder sweep with an "inside how many S-subtrees" counter.
+            let mut depth_stack: Vec<(usize, usize)> = Vec::new(); // (subtree_end, ...)
+            for &node in doc.order().preorder() {
+                let pre = doc.order().pre(node) as usize;
+                while let Some(&(end, _)) = depth_stack.last() {
+                    if pre >= end {
+                        depth_stack.pop();
+                    } else {
+                        break;
+                    }
+                }
+                let inside = !depth_stack.is_empty();
+                if inside || (axis == Axis::DescendantOrSelf && s.contains(node)) {
+                    out.insert(node);
+                }
+                if s.contains(node) {
+                    let (_, end) = doc.order().subtree_range(node);
+                    depth_stack.push((end, 0));
+                }
+            }
+        }
+        Axis::Ancestor | Axis::AncestorOrSelf => {
+            // Reverse preorder: a node is an ancestor of an S-node iff one
+            // of its children subtrees contains an S-node; propagate up.
+            let mut contains_s = vec![false; n];
+            for &node in doc.order().preorder().iter().rev() {
+                let mut c = s.contains(node);
+                if c && axis == Axis::AncestorOrSelf {
+                    out.insert(node);
+                }
+                let mut has = false;
+                for ch in doc.children(node) {
+                    if contains_s[ch.index()] {
+                        has = true;
+                    }
+                }
+                if has {
+                    out.insert(node);
+                    c = true;
+                }
+                contains_s[node.index()] = c;
+            }
+        }
+        Axis::FollowingSibling | Axis::FollowingSiblingOrSelf => {
+            for &node in doc.order().preorder() {
+                if let Some(prev) = doc.prev_sibling(node) {
+                    if s.contains(prev) || out.contains(prev) {
+                        out.insert(node);
+                    }
+                }
+            }
+            if axis == Axis::FollowingSiblingOrSelf {
+                out.union_with(s);
+            }
+        }
+        Axis::PrecedingSibling | Axis::PrecedingSiblingOrSelf => {
+            for &node in doc.order().preorder().iter().rev() {
+                if let Some(next) = doc.next_sibling(node) {
+                    if s.contains(next) || out.contains(next) {
+                        out.insert(node);
+                    }
+                }
+            }
+            if axis == Axis::PrecedingSiblingOrSelf {
+                out.union_with(s);
+            }
+        }
+        Axis::Following => {
+            // y follows some x∈S iff pre(y) >= min over S of subtree_end.
+            let mut min_end = usize::MAX;
+            for i in 0..n {
+                let node = NodeId::from_index(i);
+                if s.contains(node) {
+                    min_end = min_end.min(doc.order().subtree_range(node).1);
+                }
+            }
+            for i in 0..n {
+                let node = NodeId::from_index(i);
+                if (doc.order().pre(node) as usize) >= min_end {
+                    out.insert(node);
+                }
+            }
+        }
+        Axis::Preceding => {
+            // y precedes some x∈S iff subtree_end(y) <= max over S of pre.
+            let mut max_pre = None;
+            for i in 0..n {
+                let node = NodeId::from_index(i);
+                if s.contains(node) {
+                    let p = doc.order().pre(node) as usize;
+                    max_pre = Some(max_pre.map_or(p, |m: usize| m.max(p)));
+                }
+            }
+            if let Some(mp) = max_pre {
+                for i in 0..n {
+                    let node = NodeId::from_index(i);
+                    if doc.order().subtree_range(node).1 <= mp {
+                        out.insert(node);
+                    }
+                }
+            }
+        }
+        Axis::NextSibling => {
+            for i in 0..n {
+                let node = NodeId::from_index(i);
+                if s.contains(node) {
+                    if let Some(ns) = doc.next_sibling(node) {
+                        out.insert(ns);
+                    }
+                }
+            }
+        }
+        Axis::PrevSibling => {
+            for i in 0..n {
+                let node = NodeId::from_index(i);
+                if s.contains(node) {
+                    if let Some(ps) = doc.prev_sibling(node) {
+                        out.insert(ps);
+                    }
+                }
+            }
+        }
+        Axis::FirstChild => {
+            for i in 0..n {
+                let node = NodeId::from_index(i);
+                if s.contains(node) {
+                    if let Some(fc) = doc.first_child(node) {
+                        out.insert(fc);
+                    }
+                }
+            }
+        }
+        Axis::FirstChildInv => {
+            for i in 0..n {
+                let node = NodeId::from_index(i);
+                if s.contains(node) && doc.is_first_sibling(node) {
+                    if let Some(p) = doc.parent(node) {
+                        out.insert(p);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The satisfaction set of a Core XPath predicate: all nodes where the
+/// boolean expression holds. Paths inside predicates are evaluated
+/// *backwards* (via inverse axes) so the whole predicate costs O(|p|·|doc|).
+fn eval_pred_set(doc: &Document, e: &Expr) -> Result<NodeSet, XPathError> {
+    let n = doc.len();
+    match e {
+        Expr::And(a, b) => {
+            let mut s = eval_pred_set(doc, a)?;
+            s.intersect_with(&eval_pred_set(doc, b)?);
+            Ok(s)
+        }
+        Expr::Or(a, b) => {
+            let mut s = eval_pred_set(doc, a)?;
+            s.union_with(&eval_pred_set(doc, b)?);
+            Ok(s)
+        }
+        Expr::Not(a) => {
+            let mut s = eval_pred_set(doc, a)?;
+            s.complement();
+            Ok(s)
+        }
+        Expr::Path(p) => {
+            if p.absolute {
+                // Absolute path in a predicate: a global boolean.
+                let set = eval_path_set(doc, p, None)?;
+                Ok(if set.is_empty() {
+                    NodeSet::empty(n)
+                } else {
+                    NodeSet::full(n)
+                })
+            } else {
+                // Backwards: start from all nodes passing the final step's
+                // test (and its predicates), walk inverse axes.
+                eval_path_backwards(doc, p)
+            }
+        }
+        Expr::Cmp(..) | Expr::Number(_) | Expr::Literal(_) | Expr::Position | Expr::Last
+        | Expr::Count(_) => Err(XPathError::new(
+            "not a Core XPath query (position/last/comparison/count) — use the cvt evaluator",
+        )),
+    }
+}
+
+/// Nodes from which the relative path `p` matches at least one node.
+fn eval_path_backwards(doc: &Document, p: &LocationPath) -> Result<NodeSet, XPathError> {
+    let n = doc.len();
+    // sat = nodes satisfying "steps i.. exist", computed right to left.
+    let mut sat = NodeSet::full(n);
+    for step in p.steps.iter().rev() {
+        // Nodes passing this step's test + predicates + continuation…
+        let mut here = NodeSet::empty(n);
+        for i in 0..n {
+            let node = NodeId::from_index(i);
+            if sat.contains(node) && step.test.matches(doc, node) {
+                here.insert(node);
+            }
+        }
+        for pred in &step.predicates {
+            here.intersect_with(&eval_pred_set(doc, pred)?);
+        }
+        // …then pull back through the axis.
+        sat = axis_image(doc, &here, step.axis.inverse());
+    }
+    Ok(sat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn texts(doc: &Document, nodes: &[NodeId]) -> Vec<String> {
+        nodes.iter().map(|&n| doc.text_content(n)).collect()
+    }
+
+    #[test]
+    fn absolute_and_descendant() {
+        let doc = lixto_html::parse("<div><p>a</p><span><p>b</p></span></div>");
+        let q = parse("//p").unwrap();
+        let hits = eval_core(&doc, &q).unwrap();
+        assert_eq!(texts(&doc, &hits), vec!["a", "b"]);
+        let q = parse("/html/div/p").unwrap();
+        let hits = eval_core(&doc, &q).unwrap();
+        assert_eq!(texts(&doc, &hits), vec!["a"]);
+    }
+
+    #[test]
+    fn predicates_with_negation() {
+        let doc = lixto_html::parse(
+            "<ul><li>plain</li><li><b>bold</b></li><li>plain2</li></ul>",
+        );
+        let q = parse("//li[not(b)]").unwrap();
+        let hits = eval_core(&doc, &q).unwrap();
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn context_axes() {
+        let doc = lixto_html::parse("<p>a</p><hr/><p>b</p><p>c</p>");
+        let q = parse("//p[preceding-sibling::hr]").unwrap();
+        let hits = eval_core(&doc, &q).unwrap();
+        assert_eq!(texts(&doc, &hits), vec!["b", "c"]);
+        let q = parse("//p[following::p]").unwrap();
+        let hits = eval_core(&doc, &q).unwrap();
+        assert_eq!(texts(&doc, &hits), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn ancestor_queries() {
+        let doc = lixto_html::parse("<table><tr><td><table><tr><td>inner</td></tr></table></td></tr></table>");
+        let q = parse("//td[ancestor::td]").unwrap();
+        let hits = eval_core(&doc, &q).unwrap();
+        assert_eq!(texts(&doc, &hits), vec!["inner"]);
+    }
+
+    #[test]
+    fn absolute_path_in_predicate_is_global() {
+        let doc = lixto_html::parse("<div><p>x</p></div><hr/>");
+        let q = parse("//p[/html/hr]").unwrap();
+        assert_eq!(eval_core(&doc, &q).unwrap().len(), 1);
+        let doc2 = lixto_html::parse("<div><p>x</p></div>");
+        assert_eq!(eval_core(&doc2, &q).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn non_core_features_rejected() {
+        let doc = lixto_html::parse("<p/>");
+        for q in ["//p[position() = 1]", "//p[count(a) > 2]", "//p[text() = 'x']"] {
+            let query = parse(q).unwrap();
+            assert!(eval_core(&doc, &query).is_err(), "{q}");
+        }
+    }
+
+    #[test]
+    fn dot_and_dotdot() {
+        let doc = lixto_html::parse("<div><p>a</p></div>");
+        let q = parse("//p/..").unwrap();
+        let hits = eval_core(&doc, &q).unwrap();
+        assert_eq!(doc.label_str(hits[0]), "div");
+        let q = parse("//p/.").unwrap();
+        let hits = eval_core(&doc, &q).unwrap();
+        assert_eq!(doc.label_str(hits[0]), "p");
+    }
+
+    #[test]
+    fn linear_time_shape_sanity() {
+        // 4x the document => roughly 4x the work; just verify correctness
+        // at size here (timing is bench territory).
+        let row = "<tr><td><a>d</a></td><td>$1</td></tr>";
+        let doc = lixto_html::parse(&format!("<table>{}</table>", row.repeat(100)));
+        let q = parse("//tr[td/a]/td").unwrap();
+        assert_eq!(eval_core(&doc, &q).unwrap().len(), 200);
+    }
+}

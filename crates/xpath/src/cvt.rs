@@ -1,0 +1,428 @@
+//! Polynomial-time evaluation of the extended XPath fragment —
+//! the Theorem 4.1 algorithm class.
+//!
+//! Gottlob–Koch–Pichler showed XPath 1 has PTIME combined complexity via
+//! *context-value tables*: every subexpression is evaluated once per
+//! context, bottom-up, instead of once per (context × enclosing
+//! recursion). This module implements that discipline in node-set style:
+//!
+//! * location paths are evaluated set-at-a-time (sharing the linear-time
+//!   axis sweeps of [`core`](crate::core));
+//! * steps whose predicates use `position()` / `last()` are expanded per
+//!   context node, but each candidate is tested once — positions are known
+//!   from the candidate list, never recomputed recursively;
+//! * predicates *not* using position/last/comparisons are evaluated once
+//!   globally into satisfaction sets and cached per subexpression
+//!   (the "table" of the CVT algorithm);
+//! * comparisons use XPath's existential node-set semantics with memoized
+//!   string values.
+//!
+//! The result is polynomial in |Q|·|doc| — the shape experiment E4
+//! contrasts with the exponential [`naive`](crate::naive) baseline.
+
+use std::collections::HashMap;
+
+use lixto_tree::{Axis, Document, NodeId};
+
+use crate::ast::{CmpOp, Expr, LocationPath, Step, XPathError};
+use crate::core::{axis_image, NodeSet};
+
+/// Evaluate `query` (extended fragment) in polynomial time.
+pub fn eval(doc: &Document, query: &LocationPath) -> Result<Vec<NodeId>, XPathError> {
+    let mut cx = Cvt {
+        doc,
+        sat_cache: HashMap::new(),
+        string_values: HashMap::new(),
+    };
+    let start = NodeSet::singleton(doc.len(), doc.root());
+    let set = cx.eval_path(query, &start)?;
+    Ok(set.to_vec(doc))
+}
+
+struct Cvt<'d> {
+    doc: &'d Document,
+    /// Satisfaction sets per (formatted) position-free predicate — the
+    /// context-value table for boolean subexpressions.
+    sat_cache: HashMap<String, NodeSet>,
+    /// Memoized string values of nodes.
+    string_values: HashMap<NodeId, String>,
+}
+
+impl Cvt<'_> {
+    fn eval_path(&mut self, path: &LocationPath, start: &NodeSet) -> Result<NodeSet, XPathError> {
+        let (mut current, mut virtual_ctx) = if path.absolute {
+            (NodeSet::empty(self.doc.len()), true)
+        } else {
+            (start.clone(), false)
+        };
+        if path.absolute && path.steps.is_empty() {
+            return Ok(NodeSet::singleton(self.doc.len(), self.doc.root()));
+        }
+        for step in &path.steps {
+            let next_virtual = virtual_ctx
+                && matches!(step.axis, Axis::SelfAxis | Axis::DescendantOrSelf)
+                && step.test == crate::ast::NodeTest::AnyNode
+                && step.predicates.is_empty();
+            current = self.eval_step(step, &current, virtual_ctx)?;
+            virtual_ctx = next_virtual;
+        }
+        Ok(current)
+    }
+
+    fn eval_step(
+        &mut self,
+        step: &Step,
+        from: &NodeSet,
+        virtual_ctx: bool,
+    ) -> Result<NodeSet, XPathError> {
+        let n = self.doc.len();
+        let positional = step.predicates.iter().any(uses_position);
+        if !positional {
+            // Set-at-a-time: axis sweep + test + global satisfaction sets.
+            let mut image = axis_image(self.doc, from, step.axis);
+            if virtual_ctx {
+                match step.axis {
+                    Axis::Child | Axis::FirstChild => image.insert(self.doc.root()),
+                    Axis::Descendant | Axis::DescendantOrSelf => {
+                        image.union_with(&NodeSet::full(n))
+                    }
+                    _ => {}
+                }
+            }
+            let mut out = NodeSet::empty(n);
+            for i in 0..n {
+                let node = NodeId::from_index(i);
+                if image.contains(node) && step.test.matches(self.doc, node) {
+                    out.insert(node);
+                }
+            }
+            for pred in &step.predicates {
+                let sat = self.sat_set(pred)?;
+                out.intersect_with(&sat);
+            }
+            Ok(out)
+        } else {
+            // Positional: expand per context node — each candidate list is
+            // materialized once, positions assigned by axis order.
+            let mut out = NodeSet::empty(n);
+            // The virtual document node is one more context if present.
+            let mut contexts: Vec<Option<NodeId>> = Vec::new();
+            if virtual_ctx {
+                contexts.push(None);
+            }
+            for i in 0..n {
+                let cn = NodeId::from_index(i);
+                if from.contains(cn) {
+                    contexts.push(Some(cn));
+                }
+            }
+            for ctx in contexts {
+                let raw: Vec<NodeId> = match ctx {
+                    Some(cn) => step.axis.partners(self.doc, cn),
+                    None => match step.axis {
+                        Axis::Child | Axis::FirstChild => vec![self.doc.root()],
+                        Axis::Descendant | Axis::DescendantOrSelf => {
+                            self.doc.order().preorder().to_vec()
+                        }
+                        _ => vec![],
+                    },
+                };
+                let mut candidates: Vec<NodeId> = raw
+                    .into_iter()
+                    .filter(|&m| step.test.matches(self.doc, m))
+                    .collect();
+                if is_reverse_axis(step.axis) {
+                    candidates.reverse(); // positions count against document order
+                }
+                let size = candidates.len();
+                'cand: for (idx, m) in candidates.iter().copied().enumerate() {
+                    for pred in &step.predicates {
+                        if !self.truthy(pred, m, idx + 1, size)? {
+                            continue 'cand;
+                        }
+                    }
+                    out.insert(m);
+                }
+            }
+            Ok(out)
+        }
+    }
+
+    /// Global satisfaction set for a position-free predicate, cached.
+    fn sat_set(&mut self, e: &Expr) -> Result<NodeSet, XPathError> {
+        let key = format!("{e:?}");
+        if let Some(s) = self.sat_cache.get(&key) {
+            return Ok(s.clone());
+        }
+        let n = self.doc.len();
+        let s = match e {
+            Expr::And(a, b) => {
+                let mut s = self.sat_set(a)?;
+                s.intersect_with(&self.sat_set(b)?);
+                s
+            }
+            Expr::Or(a, b) => {
+                let mut s = self.sat_set(a)?;
+                s.union_with(&self.sat_set(b)?);
+                s
+            }
+            Expr::Not(a) => {
+                let mut s = self.sat_set(a)?;
+                s.complement();
+                s
+            }
+            Expr::Path(_) | Expr::Cmp(..) | Expr::Count(_) => {
+                // Evaluate per node, but memoize: overall O(|e|·n²) worst
+                // case, polynomial.
+                let mut s = NodeSet::empty(n);
+                for i in 0..n {
+                    let node = NodeId::from_index(i);
+                    if self.truthy(e, node, 1, 1)? {
+                        s.insert(node);
+                    }
+                }
+                s
+            }
+            Expr::Number(x) => {
+                if *x != 0.0 {
+                    NodeSet::full(n)
+                } else {
+                    NodeSet::empty(n)
+                }
+            }
+            Expr::Literal(s0) => {
+                if s0.is_empty() {
+                    NodeSet::empty(n)
+                } else {
+                    NodeSet::full(n)
+                }
+            }
+            Expr::Position | Expr::Last => {
+                return Err(XPathError::new("position()/last() outside a step"))
+            }
+        };
+        self.sat_cache.insert(key, s.clone());
+        Ok(s)
+    }
+
+    fn truthy(&mut self, e: &Expr, node: NodeId, pos: usize, size: usize) -> Result<bool, XPathError> {
+        Ok(match e {
+            Expr::And(a, b) => {
+                self.truthy(a, node, pos, size)? && self.truthy(b, node, pos, size)?
+            }
+            Expr::Or(a, b) => {
+                self.truthy(a, node, pos, size)? || self.truthy(b, node, pos, size)?
+            }
+            Expr::Not(a) => !self.truthy(a, node, pos, size)?,
+            Expr::Path(p) => {
+                let start = NodeSet::singleton(self.doc.len(), node);
+                !self.eval_path(p, &start)?.is_empty()
+            }
+            Expr::Number(x) => *x != 0.0,
+            Expr::Literal(s) => !s.is_empty(),
+            Expr::Position => pos != 0,
+            Expr::Last => size != 0,
+            Expr::Count(p) => {
+                let start = NodeSet::singleton(self.doc.len(), node);
+                !self.eval_path(p, &start)?.is_empty()
+            }
+            Expr::Cmp(a, op, b) => self.compare(a, *op, b, node, pos, size)?,
+        })
+    }
+
+    fn number_value(
+        &mut self,
+        e: &Expr,
+        node: NodeId,
+        pos: usize,
+        size: usize,
+    ) -> Result<f64, XPathError> {
+        Ok(match e {
+            Expr::Number(x) => *x,
+            Expr::Position => pos as f64,
+            Expr::Last => size as f64,
+            Expr::Count(p) => {
+                let start = NodeSet::singleton(self.doc.len(), node);
+                let set = self.eval_path(p, &start)?;
+                set.to_vec(self.doc).len() as f64
+            }
+            Expr::Literal(s) => s.trim().parse().unwrap_or(f64::NAN),
+            _ => f64::NAN,
+        })
+    }
+
+    fn string_value(&mut self, node: NodeId) -> String {
+        if let Some(s) = self.string_values.get(&node) {
+            return s.clone();
+        }
+        let s = self.doc.text_content(node);
+        self.string_values.insert(node, s.clone());
+        s
+    }
+
+    fn compare(
+        &mut self,
+        a: &Expr,
+        op: CmpOp,
+        b: &Expr,
+        node: NodeId,
+        pos: usize,
+        size: usize,
+    ) -> Result<bool, XPathError> {
+        let cmp_str = |x: &str, y: &str| match op {
+            CmpOp::Eq => x == y,
+            CmpOp::Ne => x != y,
+            CmpOp::Lt => x < y,
+            CmpOp::Le => x <= y,
+            CmpOp::Gt => x > y,
+            CmpOp::Ge => x >= y,
+        };
+        let cmp_num = |x: f64, y: f64| match op {
+            CmpOp::Eq => x == y,
+            CmpOp::Ne => x != y,
+            CmpOp::Lt => x < y,
+            CmpOp::Le => x <= y,
+            CmpOp::Gt => x > y,
+            CmpOp::Ge => x >= y,
+        };
+        match (a, b) {
+            (Expr::Path(p), rhs) => {
+                let start = NodeSet::singleton(self.doc.len(), node);
+                let nodes = self.eval_path(p, &start)?.to_vec(self.doc);
+                for m in nodes {
+                    let sv = self.string_value(m);
+                    let hit = match rhs {
+                        Expr::Literal(s) => cmp_str(&sv, s),
+                        _ => {
+                            let rv = self.number_value(rhs, node, pos, size)?;
+                            cmp_num(sv.trim().parse().unwrap_or(f64::NAN), rv)
+                        }
+                    };
+                    if hit {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+            (lhs, Expr::Path(p)) => {
+                let start = NodeSet::singleton(self.doc.len(), node);
+                let nodes = self.eval_path(p, &start)?.to_vec(self.doc);
+                for m in nodes {
+                    let sv = self.string_value(m);
+                    let hit = match lhs {
+                        Expr::Literal(s) => cmp_str(s, &sv),
+                        _ => {
+                            let lv = self.number_value(lhs, node, pos, size)?;
+                            cmp_num(lv, sv.trim().parse().unwrap_or(f64::NAN))
+                        }
+                    };
+                    if hit {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+            (Expr::Literal(x), Expr::Literal(y)) => Ok(cmp_str(x, y)),
+            (lhs, rhs) => {
+                let lv = self.number_value(lhs, node, pos, size)?;
+                let rv = self.number_value(rhs, node, pos, size)?;
+                Ok(cmp_num(lv, rv))
+            }
+        }
+    }
+}
+
+fn uses_position(e: &Expr) -> bool {
+    match e {
+        Expr::Position | Expr::Last => true,
+        Expr::And(a, b) | Expr::Or(a, b) => uses_position(a) || uses_position(b),
+        Expr::Not(a) => uses_position(a),
+        Expr::Cmp(a, _, b) => uses_position(a) || uses_position(b),
+        // position() inside a nested path's predicates is positional for
+        // *that* step, not this one.
+        Expr::Path(_) | Expr::Number(_) | Expr::Literal(_) | Expr::Count(_) => false,
+    }
+}
+
+fn is_reverse_axis(axis: Axis) -> bool {
+    matches!(
+        axis,
+        Axis::Ancestor
+            | Axis::AncestorOrSelf
+            | Axis::Parent
+            | Axis::Preceding
+            | Axis::PrecedingSibling
+            | Axis::PrecedingSiblingOrSelf
+            | Axis::PrevSibling
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn positional_predicates() {
+        let doc = lixto_html::parse("<ul><li>a</li><li>b</li><li>c</li></ul>");
+        let cases = [
+            ("//li[position() = 1]", vec!["a"]),
+            ("//li[position() = last()]", vec!["c"]),
+            ("//li[position() >= 2]", vec!["b", "c"]),
+            ("//li[not(position() = 2)]", vec!["a", "c"]),
+        ];
+        for (q, want) in cases {
+            let query = parse(q).unwrap();
+            let hits = eval(&doc, &query).unwrap();
+            let texts: Vec<String> = hits.iter().map(|&n| doc.text_content(n)).collect();
+            assert_eq!(texts, want, "{q}");
+        }
+    }
+
+    #[test]
+    fn reverse_axis_positions() {
+        let doc = lixto_html::parse("<ul><li>a</li><li>b</li><li>c</li></ul>");
+        // first preceding sibling of c = b.
+        let q = parse("//li[. = 'c']/preceding-sibling::li[position() = 1]").unwrap();
+        let hits = eval(&doc, &q).unwrap();
+        assert_eq!(doc.text_content(hits[0]), "b");
+    }
+
+    #[test]
+    fn count_comparisons() {
+        let doc = lixto_html::parse(
+            "<table><tr><td>1</td></tr><tr><td>1</td><td>2</td><td>3</td></tr></table>",
+        );
+        let q = parse("//tr[count(td) >= 2]").unwrap();
+        let hits = eval(&doc, &q).unwrap();
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn string_comparison_existential() {
+        let doc = lixto_html::parse(
+            "<table><tr><td>item</td><td>price</td></tr><tr><td>x</td></tr></table>",
+        );
+        // XPath 1: td = 'item' holds if SOME td child matches.
+        let q = parse("//tr[td = 'item']").unwrap();
+        assert_eq!(eval(&doc, &q).unwrap().len(), 1);
+        let q = parse("//tr[td != 'item']").unwrap();
+        assert_eq!(eval(&doc, &q).unwrap().len(), 2, "existential !=");
+    }
+
+    #[test]
+    fn numeric_text_comparison() {
+        let doc = lixto_html::parse("<ul><li>10</li><li>25</li><li>3</li></ul>");
+        let q = parse("//li[. > 9]").unwrap();
+        assert_eq!(eval(&doc, &q).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn pathological_query_is_fast_here() {
+        // The E4 killer query: polynomial here, exponential in naive.
+        let doc = lixto_html::parse(&format!("<div>{}</div>", "<a>x</a>".repeat(8)));
+        let q = parse(&crate::naive::pathological_query(12)).unwrap();
+        let hits = eval(&doc, &q).unwrap();
+        assert_eq!(hits.len(), 8); // the same 8 <a> nodes, deduplicated
+    }
+}

@@ -1,0 +1,213 @@
+//! XPath tokenizer.
+
+use crate::ast::XPathError;
+
+/// Tokens of the XPath grammar subset we support.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Name (element name, axis name, function name).
+    Name(String),
+    /// Numeric literal.
+    Number(f64),
+    /// String literal (quotes stripped).
+    Literal(String),
+    /// `/`
+    Slash,
+    /// `//`
+    DoubleSlash,
+    /// `::`
+    Axis,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `*`
+    Star,
+    /// `.`
+    Dot,
+    /// `..`
+    DotDot,
+    /// `,`
+    Comma,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Tokenize an XPath string.
+pub fn lex(src: &str) -> Result<Vec<Tok>, XPathError> {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '/' => {
+                if b.get(i + 1) == Some(&'/') {
+                    out.push(Tok::DoubleSlash);
+                    i += 2;
+                } else {
+                    out.push(Tok::Slash);
+                    i += 1;
+                }
+            }
+            ':' => {
+                if b.get(i + 1) == Some(&':') {
+                    out.push(Tok::Axis);
+                    i += 2;
+                } else {
+                    return Err(XPathError::new("single ':' is not valid"));
+                }
+            }
+            '[' => {
+                out.push(Tok::LBracket);
+                i += 1;
+            }
+            ']' => {
+                out.push(Tok::RBracket);
+                i += 1;
+            }
+            '(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            '*' => {
+                out.push(Tok::Star);
+                i += 1;
+            }
+            ',' => {
+                out.push(Tok::Comma);
+                i += 1;
+            }
+            '.' => {
+                if b.get(i + 1) == Some(&'.') {
+                    out.push(Tok::DotDot);
+                    i += 2;
+                } else {
+                    out.push(Tok::Dot);
+                    i += 1;
+                }
+            }
+            '=' => {
+                out.push(Tok::Eq);
+                i += 1;
+            }
+            '!' => {
+                if b.get(i + 1) == Some(&'=') {
+                    out.push(Tok::Ne);
+                    i += 2;
+                } else {
+                    return Err(XPathError::new("'!' must be followed by '='"));
+                }
+            }
+            '<' => {
+                if b.get(i + 1) == Some(&'=') {
+                    out.push(Tok::Le);
+                    i += 2;
+                } else {
+                    out.push(Tok::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if b.get(i + 1) == Some(&'=') {
+                    out.push(Tok::Ge);
+                    i += 2;
+                } else {
+                    out.push(Tok::Gt);
+                    i += 1;
+                }
+            }
+            '"' | '\'' => {
+                let quote = c;
+                let start = i + 1;
+                let mut j = start;
+                while j < b.len() && b[j] != quote {
+                    j += 1;
+                }
+                if j >= b.len() {
+                    return Err(XPathError::new("unterminated string literal"));
+                }
+                out.push(Tok::Literal(b[start..j].iter().collect()));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_digit() || b[i] == '.') {
+                    i += 1;
+                }
+                let s: String = b[start..i].iter().collect();
+                let n: f64 = s
+                    .parse()
+                    .map_err(|_| XPathError::new(format!("bad number '{s}'")))?;
+                out.push(Tok::Number(n));
+            }
+            c if c.is_alphanumeric() || c == '_' || c == '#' => {
+                let start = i;
+                while i < b.len()
+                    && (b[i].is_alphanumeric() || b[i] == '_' || b[i] == '-' || b[i] == '#')
+                {
+                    i += 1;
+                }
+                out.push(Tok::Name(b[start..i].iter().collect()));
+            }
+            other => return Err(XPathError::new(format!("unexpected character '{other}'"))),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let t = lex("//tr[td/a]/td").unwrap();
+        assert_eq!(t[0], Tok::DoubleSlash);
+        assert!(matches!(&t[1], Tok::Name(n) if n == "tr"));
+        assert_eq!(t[2], Tok::LBracket);
+    }
+
+    #[test]
+    fn operators_and_literals() {
+        let t = lex(r#"a[position() >= 2 and text() != 'x']"#).unwrap();
+        assert!(t.contains(&Tok::Ge));
+        assert!(t.contains(&Tok::Ne));
+        assert!(t.contains(&Tok::Literal("x".into())));
+        assert!(t.contains(&Tok::Number(2.0)));
+    }
+
+    #[test]
+    fn axis_and_abbreviations() {
+        let t = lex("ancestor::table/..").unwrap();
+        assert!(t.contains(&Tok::Axis));
+        assert!(t.contains(&Tok::DotDot));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("a:b").is_err());
+        assert!(lex("'open").is_err());
+        assert!(lex("a ! b").is_err());
+        assert!(lex("a § b").is_err());
+    }
+}

@@ -1,0 +1,107 @@
+//! # lixto-xpath
+//!
+//! Core XPath and its complexity landscape (Section 4 of the PODS 2004
+//! Lixto paper).
+//!
+//! The paper reports three headline results about XPath processing, all of
+//! which this crate makes runnable:
+//!
+//! * **"All XPath engines available in 2002 took exponential time in the
+//!   worst case"** — [`naive`] is that 2002-style evaluator: per-context-
+//!   node recursion with duplicate contexts, exponential on crafted
+//!   queries (experiment E4 regenerates the blow-up curve).
+//! * **Theorem 4.1: XPath 1 is in PTIME (combined complexity)** — [`cvt`]
+//!   is a polynomial-time evaluator in the spirit of the
+//!   context-value-table algorithm of Gottlob–Koch–Pichler \[15\]:
+//!   node-set-at-a-time evaluation with memoized predicate sets and
+//!   per-context position/last handling. It supports an extended fragment
+//!   (position(), last(), count(), string comparisons) beyond Core XPath.
+//! * **Core XPath is linear-time** — [`core`] evaluates the navigational
+//!   fragment in O(|Q|·|doc|) using per-axis document sweeps and global
+//!   predicate satisfaction sets.
+//!
+//! [`positive`] classifies queries into the negation-free fragment
+//! (LOGCFL-complete per Theorem 4.3 — experiment E6 uses this as an
+//! ablation), and [`to_tmnf`] implements the Theorem 4.6 direction for
+//! positive queries: Core XPath compiles to monadic datalog (TMNF-shaped
+//! rules over τ_ur ∪ {child}) in linear time; `not(…)` translates via
+//! stratified negation (the negation-free TMNF construction for full Core
+//! XPath of \[12\] computes automata complements and is documented as
+//! out of scope in DESIGN.md).
+//!
+//! # Example
+//!
+//! ```
+//! use lixto_xpath::{parse, core::eval_core};
+//!
+//! let doc = lixto_html::parse(
+//!     "<table><tr><td>item</td></tr><tr><td><a href='x'>Desc</a></td></tr></table>",
+//! );
+//! let q = parse("//tr[td/a]/td").unwrap();
+//! let hits = eval_core(&doc, &q).unwrap();
+//! assert_eq!(hits.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod ast;
+pub mod core;
+pub mod cvt;
+pub mod lexer;
+pub mod naive;
+pub mod parser;
+pub mod positive;
+pub mod to_tmnf;
+
+pub use ast::{Expr, LocationPath, NodeTest, Step, XPathError};
+pub use parser::parse;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The three evaluators must agree on Core XPath queries.
+    #[test]
+    fn evaluators_agree_on_core_queries() {
+        let docs = [
+            "<table><tr><td>item</td></tr><tr><td><a>D1</a></td><td>$1</td></tr></table>",
+            "<ul><li>a<ul><li>b</li></ul></li><li>c</li></ul>",
+            "<div><p>x</p><hr/><p>y</p><span><p>z</p></span></div>",
+        ];
+        let queries = [
+            "/html/table/tr",
+            "//td",
+            "//tr[td/a]/td",
+            "//li[not(ul)]",
+            "//p[following-sibling::hr]",
+            "//p[preceding::p]",
+            "/descendant::li[ancestor::li]",
+            "//tr[td and not(td/a)]",
+            "//*[self::p or self::span]",
+            "//text()",
+        ];
+        for d in &docs {
+            let doc = lixto_html::parse(d);
+            for q in &queries {
+                let query = parse(q).unwrap();
+                let via_core = core::eval_core(&doc, &query).unwrap();
+                let via_cvt = cvt::eval(&doc, &query).unwrap();
+                let mut via_naive = naive::eval_naive(&doc, &query);
+                via_naive.sort_by_key(|&n| doc.order().pre(n));
+                via_naive.dedup();
+                assert_eq!(via_core, via_cvt, "core vs cvt on {q} over {d}");
+                assert_eq!(via_core, via_naive, "core vs naive on {q} over {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn extended_features_only_in_cvt() {
+        let doc = lixto_html::parse("<ul><li>a</li><li>b</li><li>c</li></ul>");
+        let q = parse("//li[position() = 2]").unwrap();
+        assert!(core::eval_core(&doc, &q).is_err(), "not Core XPath");
+        let hits = cvt::eval(&doc, &q).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(doc.text_content(hits[0]), "b");
+    }
+}

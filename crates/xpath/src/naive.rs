@@ -1,0 +1,237 @@
+//! The 2002-style naive XPath evaluator.
+//!
+//! "All XPath engines available in 2002 took exponential time in the worst
+//! case to process XPath" \[15\] — because they evaluated location steps
+//! *per context node*, carrying context **lists** (with duplicates) instead
+//! of context sets, and re-evaluated predicates from scratch at every
+//! node. This module reproduces that strategy faithfully so experiment E4
+//! can regenerate the exponential-vs-polynomial contrast of Theorem 4.1:
+//! on queries like `//a/parent::*/a/parent::*/…` the context list doubles
+//! per step pair.
+//!
+//! Correct (modulo duplicates), deliberately not clever. Do not use for
+//! anything but baselines.
+
+use lixto_tree::{Document, NodeId};
+
+use crate::ast::{CmpOp, Expr, LocationPath};
+
+/// Evaluate `query` the 2002 way. The result may contain duplicates and is
+/// in discovery order; callers sort/dedup for comparisons.
+pub fn eval_naive(doc: &Document, query: &LocationPath) -> Vec<NodeId> {
+    let start = vec![doc.root()];
+    eval_path(doc, query, &start)
+}
+
+fn eval_path(doc: &Document, path: &LocationPath, context: &[NodeId]) -> Vec<NodeId> {
+    // `None` marks the virtual document node above the root element.
+    let mut current: Vec<Option<NodeId>> = if path.absolute {
+        vec![None]
+    } else {
+        context.iter().map(|&n| Some(n)).collect()
+    };
+    if path.absolute && path.steps.is_empty() {
+        return vec![doc.root()];
+    }
+    for step in &path.steps {
+        let mut next: Vec<Option<NodeId>> = Vec::new();
+        // Per context node — the exponential mistake: no dedup between
+        // context nodes, so shared results multiply.
+        for &cn in &current {
+            let raw: Vec<Option<NodeId>> = match cn {
+                Some(cn) => step
+                    .axis
+                    .partners(doc, cn)
+                    .into_iter()
+                    .map(Some)
+                    .collect(),
+                None => {
+                    use lixto_tree::Axis;
+                    match step.axis {
+                        Axis::Child | Axis::FirstChild => vec![Some(doc.root())],
+                        Axis::Descendant => {
+                            doc.order().preorder().iter().map(|&n| Some(n)).collect()
+                        }
+                        Axis::DescendantOrSelf => std::iter::once(None)
+                            .chain(doc.order().preorder().iter().map(|&n| Some(n)))
+                            .collect(),
+                        Axis::SelfAxis => vec![None],
+                        _ => vec![],
+                    }
+                }
+            };
+            let candidates: Vec<Option<NodeId>> = raw
+                .into_iter()
+                .filter(|m| match m {
+                    Some(m) => step.test.matches(doc, *m),
+                    // The virtual node only passes node().
+                    None => step.test == crate::ast::NodeTest::AnyNode,
+                })
+                .collect();
+            let size = candidates.len();
+            for (idx, m) in candidates.into_iter().enumerate() {
+                let pos = idx + 1;
+                let keep = match m {
+                    Some(m) => step
+                        .predicates
+                        .iter()
+                        .all(|p| truthy(doc, p, m, pos, size)),
+                    None => step.predicates.is_empty(),
+                };
+                if keep {
+                    next.push(m);
+                }
+            }
+        }
+        current = next;
+    }
+    current.into_iter().flatten().collect()
+}
+
+/// Predicate evaluation, re-done from scratch per candidate node.
+fn truthy(doc: &Document, e: &Expr, node: NodeId, pos: usize, size: usize) -> bool {
+    match e {
+        Expr::And(a, b) => {
+            truthy(doc, a, node, pos, size) && truthy(doc, b, node, pos, size)
+        }
+        Expr::Or(a, b) => truthy(doc, a, node, pos, size) || truthy(doc, b, node, pos, size),
+        Expr::Not(a) => !truthy(doc, a, node, pos, size),
+        Expr::Path(p) => !eval_path(doc, p, &[node]).is_empty(),
+        Expr::Number(x) => *x != 0.0,
+        Expr::Literal(s) => !s.is_empty(),
+        Expr::Position | Expr::Last | Expr::Count(_) => {
+            number_value(doc, e, node, pos, size) != 0.0
+        }
+        Expr::Cmp(a, op, b) => compare(doc, a, *op, b, node, pos, size),
+    }
+}
+
+fn number_value(doc: &Document, e: &Expr, node: NodeId, pos: usize, size: usize) -> f64 {
+    match e {
+        Expr::Number(x) => *x,
+        Expr::Position => pos as f64,
+        Expr::Last => size as f64,
+        Expr::Count(p) => eval_path(doc, p, &[node]).len() as f64,
+        _ => f64::NAN,
+    }
+}
+
+fn compare(
+    doc: &Document,
+    a: &Expr,
+    op: CmpOp,
+    b: &Expr,
+    node: NodeId,
+    pos: usize,
+    size: usize,
+) -> bool {
+    // Node-set operands compare existentially over string values; other
+    // operands numerically / stringly.
+    let cmp_str = |x: &str, y: &str| match op {
+        CmpOp::Eq => x == y,
+        CmpOp::Ne => x != y,
+        CmpOp::Lt => x < y,
+        CmpOp::Le => x <= y,
+        CmpOp::Gt => x > y,
+        CmpOp::Ge => x >= y,
+    };
+    let cmp_num = |x: f64, y: f64| match op {
+        CmpOp::Eq => x == y,
+        CmpOp::Ne => x != y,
+        CmpOp::Lt => x < y,
+        CmpOp::Le => x <= y,
+        CmpOp::Gt => x > y,
+        CmpOp::Ge => x >= y,
+    };
+    match (a, b) {
+        (Expr::Path(p), rhs) => {
+            let nodes = eval_path(doc, p, &[node]);
+            nodes.iter().any(|&m| {
+                let sv = doc.text_content(m);
+                match rhs {
+                    Expr::Literal(s) => cmp_str(&sv, s),
+                    _ => cmp_num(
+                        sv.trim().parse().unwrap_or(f64::NAN),
+                        number_value(doc, rhs, node, pos, size),
+                    ),
+                }
+            })
+        }
+        (lhs, Expr::Path(p)) => {
+            let nodes = eval_path(doc, p, &[node]);
+            nodes.iter().any(|&m| {
+                let sv = doc.text_content(m);
+                match lhs {
+                    Expr::Literal(s) => cmp_str(s, &sv),
+                    _ => cmp_num(
+                        number_value(doc, lhs, node, pos, size),
+                        sv.trim().parse().unwrap_or(f64::NAN),
+                    ),
+                }
+            })
+        }
+        (Expr::Literal(x), Expr::Literal(y)) => cmp_str(x, y),
+        (lhs, rhs) => cmp_num(
+            number_value(doc, lhs, node, pos, size),
+            number_value(doc, rhs, node, pos, size),
+        ),
+    }
+}
+
+/// The pathological query family of experiment E4:
+/// `//a/parent::*/a/parent::*/…` with `depth` parent/child zig-zags. On a
+/// flat document with one parent holding `width` `<a>` children, the naive
+/// context list grows by a factor `width` per zig-zag.
+pub fn pathological_query(depth: usize) -> String {
+    let mut q = String::from("//a");
+    for _ in 0..depth {
+        q.push_str("/parent::*/a");
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn agrees_with_core_after_dedup() {
+        let doc = lixto_html::parse("<div><a>1</a><a>2</a><b><a>3</a></b></div>");
+        let q = parse("//a").unwrap();
+        let mut got = eval_naive(&doc, &q);
+        got.sort_by_key(|&n| doc.order().pre(n));
+        got.dedup();
+        let want = crate::core::eval_core(&doc, &q).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn duplicates_grow_exponentially() {
+        // 5 <a> children: //a = 5 results; each parent::*/a zig-zag
+        // multiplies by 5.
+        let doc = lixto_html::parse("<div><a/><a/><a/><a/><a/></div>");
+        let q1 = parse(&pathological_query(1)).unwrap();
+        let q2 = parse(&pathological_query(2)).unwrap();
+        assert_eq!(eval_naive(&doc, &q1).len(), 25);
+        assert_eq!(eval_naive(&doc, &q2).len(), 125);
+    }
+
+    #[test]
+    fn position_and_last() {
+        let doc = lixto_html::parse("<ul><li>a</li><li>b</li><li>c</li></ul>");
+        let q = parse("//li[position() = last()]").unwrap();
+        let hits = eval_naive(&doc, &q);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(doc.text_content(hits[0]), "c");
+    }
+
+    #[test]
+    fn string_comparison() {
+        let doc = lixto_html::parse("<tr><td>item</td><td>other</td></tr>");
+        let q = parse("//td[. = 'item']").unwrap();
+        // "." is self::node(); its string value is the text content.
+        let hits = eval_naive(&doc, &q);
+        assert_eq!(hits.len(), 1);
+    }
+}

@@ -1,0 +1,338 @@
+//! XPath parser (recursive descent over the token stream).
+//!
+//! Grammar (the navigational fragment plus the pXPath-style extensions the
+//! CVT evaluator supports):
+//!
+//! ```text
+//! query     := '/'? relative | '//' relative
+//! relative  := step (('/' | '//') step)*
+//! step      := axis_step | '.' | '..'
+//! axis_step := (axis '::')? nodetest predicate*
+//! nodetest  := name | '*' | 'text' '(' ')' | 'node' '(' ')'
+//! predicate := '[' or_expr ']'
+//! or_expr   := and_expr ('or' and_expr)*
+//! and_expr  := cmp_expr ('and' cmp_expr)*
+//! cmp_expr  := value (('='|'!='|'<'|'<='|'>'|'>=') value)?
+//! value     := 'not' '(' or_expr ')' | 'position' '(' ')' | 'last' '(' ')'
+//!            | 'count' '(' query ')' | number | literal | query-or-relative
+//! ```
+
+use lixto_tree::Axis;
+
+use crate::ast::{CmpOp, Expr, LocationPath, NodeTest, Step, XPathError};
+use crate::lexer::{lex, Tok};
+
+/// Parse an XPath query.
+pub fn parse(src: &str) -> Result<LocationPath, XPathError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let path = p.location_path()?;
+    if p.pos != p.toks.len() {
+        return Err(XPathError::new("trailing tokens after query"));
+    }
+    Ok(path)
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok) -> Result<(), XPathError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(XPathError::new(format!(
+                "expected {t:?}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn location_path(&mut self) -> Result<LocationPath, XPathError> {
+        let mut steps = Vec::new();
+        let absolute;
+        if self.eat(&Tok::DoubleSlash) {
+            absolute = true;
+            steps.push(descendant_or_self_node());
+        } else if self.eat(&Tok::Slash) {
+            absolute = true;
+            if self.peek().is_none() {
+                return Ok(LocationPath {
+                    absolute,
+                    steps, // bare "/" selects the root
+                });
+            }
+        } else {
+            absolute = false;
+        }
+        steps.push(self.step()?);
+        loop {
+            if self.eat(&Tok::DoubleSlash) {
+                steps.push(descendant_or_self_node());
+                steps.push(self.step()?);
+            } else if self.eat(&Tok::Slash) {
+                steps.push(self.step()?);
+            } else {
+                break;
+            }
+        }
+        Ok(LocationPath { absolute, steps })
+    }
+
+    fn step(&mut self) -> Result<Step, XPathError> {
+        if self.eat(&Tok::Dot) {
+            return Ok(Step {
+                axis: Axis::SelfAxis,
+                test: NodeTest::AnyNode,
+                predicates: vec![],
+            });
+        }
+        if self.eat(&Tok::DotDot) {
+            return Ok(Step {
+                axis: Axis::Parent,
+                test: NodeTest::AnyNode,
+                predicates: vec![],
+            });
+        }
+        // (axis '::')? nodetest
+        let mut axis = Axis::Child;
+        if let Some(Tok::Name(n)) = self.peek() {
+            if self.toks.get(self.pos + 1) == Some(&Tok::Axis) {
+                axis = axis_by_name(n)
+                    .ok_or_else(|| XPathError::new(format!("unknown axis '{n}'")))?;
+                self.pos += 2;
+            }
+        }
+        let test = self.node_test()?;
+        let mut predicates = Vec::new();
+        while self.eat(&Tok::LBracket) {
+            predicates.push(self.or_expr()?);
+            self.expect(&Tok::RBracket)?;
+        }
+        Ok(Step {
+            axis,
+            test,
+            predicates,
+        })
+    }
+
+    fn node_test(&mut self) -> Result<NodeTest, XPathError> {
+        if self.eat(&Tok::Star) {
+            return Ok(NodeTest::AnyElement);
+        }
+        match self.peek().cloned() {
+            Some(Tok::Name(n)) => {
+                self.pos += 1;
+                if self.eat(&Tok::LParen) {
+                    self.expect(&Tok::RParen)?;
+                    match n.as_str() {
+                        "text" => Ok(NodeTest::Text),
+                        "node" => Ok(NodeTest::AnyNode),
+                        other => Err(XPathError::new(format!(
+                            "unsupported node-test function '{other}()'"
+                        ))),
+                    }
+                } else {
+                    Ok(NodeTest::Name(n))
+                }
+            }
+            other => Err(XPathError::new(format!(
+                "expected a node test, found {other:?}"
+            ))),
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, XPathError> {
+        let mut e = self.and_expr()?;
+        while self.peek() == Some(&Tok::Name("or".into())) {
+            self.pos += 1;
+            let rhs = self.and_expr()?;
+            e = Expr::Or(Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, XPathError> {
+        let mut e = self.cmp_expr()?;
+        while self.peek() == Some(&Tok::Name("and".into())) {
+            self.pos += 1;
+            let rhs = self.cmp_expr()?;
+            e = Expr::And(Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, XPathError> {
+        let lhs = self.value()?;
+        let op = match self.peek() {
+            Some(Tok::Eq) => Some(CmpOp::Eq),
+            Some(Tok::Ne) => Some(CmpOp::Ne),
+            Some(Tok::Lt) => Some(CmpOp::Lt),
+            Some(Tok::Le) => Some(CmpOp::Le),
+            Some(Tok::Gt) => Some(CmpOp::Gt),
+            Some(Tok::Ge) => Some(CmpOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let rhs = self.value()?;
+            Ok(Expr::Cmp(Box::new(lhs), op, Box::new(rhs)))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn value(&mut self) -> Result<Expr, XPathError> {
+        match self.peek().cloned() {
+            Some(Tok::Number(n)) => {
+                self.pos += 1;
+                Ok(Expr::Number(n))
+            }
+            Some(Tok::Literal(s)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(s))
+            }
+            Some(Tok::LParen) => {
+                self.pos += 1;
+                let e = self.or_expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Some(Tok::Name(n)) if self.toks.get(self.pos + 1) == Some(&Tok::LParen) => {
+                match n.as_str() {
+                    "not" => {
+                        self.pos += 2;
+                        let e = self.or_expr()?;
+                        self.expect(&Tok::RParen)?;
+                        Ok(Expr::Not(Box::new(e)))
+                    }
+                    "position" => {
+                        self.pos += 2;
+                        self.expect(&Tok::RParen)?;
+                        Ok(Expr::Position)
+                    }
+                    "last" => {
+                        self.pos += 2;
+                        self.expect(&Tok::RParen)?;
+                        Ok(Expr::Last)
+                    }
+                    "count" => {
+                        self.pos += 2;
+                        let p = self.location_path()?;
+                        self.expect(&Tok::RParen)?;
+                        Ok(Expr::Count(p))
+                    }
+                    // text() / node() as a relative path step
+                    "text" | "node" => Ok(Expr::Path(self.location_path()?)),
+                    other => Err(XPathError::new(format!("unknown function '{other}'"))),
+                }
+            }
+            Some(_) => Ok(Expr::Path(self.location_path()?)),
+            None => Err(XPathError::new("expected an expression")),
+        }
+    }
+}
+
+fn descendant_or_self_node() -> Step {
+    Step {
+        axis: Axis::DescendantOrSelf,
+        test: NodeTest::AnyNode,
+        predicates: vec![],
+    }
+}
+
+fn axis_by_name(n: &str) -> Option<Axis> {
+    Some(match n {
+        "child" => Axis::Child,
+        "descendant" => Axis::Descendant,
+        "descendant-or-self" => Axis::DescendantOrSelf,
+        "parent" => Axis::Parent,
+        "ancestor" => Axis::Ancestor,
+        "ancestor-or-self" => Axis::AncestorOrSelf,
+        "following-sibling" => Axis::FollowingSibling,
+        "preceding-sibling" => Axis::PrecedingSibling,
+        "following" => Axis::Following,
+        "preceding" => Axis::Preceding,
+        "self" => Axis::SelfAxis,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abbreviations_expand() {
+        let q = parse("//a").unwrap();
+        assert!(q.absolute);
+        assert_eq!(q.steps.len(), 2);
+        assert_eq!(q.steps[0].axis, Axis::DescendantOrSelf);
+        assert_eq!(q.steps[1].axis, Axis::Child);
+        let q = parse("a/../b").unwrap();
+        assert!(!q.absolute);
+        assert_eq!(q.steps[1].axis, Axis::Parent);
+    }
+
+    #[test]
+    fn explicit_axes() {
+        let q = parse("/descendant::li/following-sibling::li").unwrap();
+        assert_eq!(q.steps[0].axis, Axis::Descendant);
+        assert_eq!(q.steps[1].axis, Axis::FollowingSibling);
+    }
+
+    #[test]
+    fn predicates_nest() {
+        let q = parse("//tr[td[a] and not(th)]").unwrap();
+        let pred = &q.steps[1].predicates[0];
+        assert!(matches!(pred, Expr::And(_, _)));
+    }
+
+    #[test]
+    fn comparisons_and_functions() {
+        let q = parse("//li[position() = last()]").unwrap();
+        assert!(matches!(
+            &q.steps[1].predicates[0],
+            Expr::Cmp(a, CmpOp::Eq, b)
+                if matches!(**a, Expr::Position) && matches!(**b, Expr::Last)
+        ));
+        let q = parse("//tr[count(td) >= 2]").unwrap();
+        assert!(matches!(&q.steps[1].predicates[0], Expr::Cmp(_, CmpOp::Ge, _)));
+    }
+
+    #[test]
+    fn bare_slash_selects_root() {
+        let q = parse("/").unwrap();
+        assert!(q.absolute && q.steps.is_empty());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse("//").is_err());
+        assert!(parse("a[").is_err());
+        assert!(parse("a]").is_err());
+        assert!(parse("foo::a").is_err());
+        assert!(parse("a[frobnicate(2)]").is_err());
+    }
+
+    #[test]
+    fn text_node_test() {
+        let q = parse("//td/text()").unwrap();
+        assert_eq!(q.steps[2].test, NodeTest::Text);
+    }
+}

@@ -1,0 +1,90 @@
+//! The positive (negation-free) fragment of Core XPath.
+//!
+//! Theorem 4.3 of the paper: positive Core XPath is LOGCFL-complete —
+//! inside NC2, hence (unlike full Core XPath, which is P-complete by
+//! Theorem 4.2) amenable to parallel evaluation. We cannot measure
+//! complexity classes, but the classifier here drives experiment E6's
+//! ablation: negation is what forces the sequential complement operations
+//! in the evaluator.
+
+use crate::ast::{Expr, LocationPath};
+
+/// Is the query in *Core XPath* (navigational only)?
+pub fn is_core(q: &LocationPath) -> bool {
+    q.steps.iter().all(|s| s.predicates.iter().all(expr_is_core))
+}
+
+fn expr_is_core(e: &Expr) -> bool {
+    match e {
+        Expr::Path(p) => is_core(p),
+        Expr::And(a, b) | Expr::Or(a, b) => expr_is_core(a) && expr_is_core(b),
+        Expr::Not(a) => expr_is_core(a),
+        Expr::Cmp(..) | Expr::Number(_) | Expr::Literal(_) | Expr::Position | Expr::Last
+        | Expr::Count(_) => false,
+    }
+}
+
+/// Is the query in *positive* Core XPath (no `not(…)` anywhere)?
+pub fn is_positive_core(q: &LocationPath) -> bool {
+    is_core(q) && q.steps.iter().all(|s| s.predicates.iter().all(expr_is_positive))
+}
+
+fn expr_is_positive(e: &Expr) -> bool {
+    match e {
+        Expr::Path(p) => p
+            .steps
+            .iter()
+            .all(|s| s.predicates.iter().all(expr_is_positive)),
+        Expr::And(a, b) | Expr::Or(a, b) => expr_is_positive(a) && expr_is_positive(b),
+        Expr::Not(_) => false,
+        _ => false,
+    }
+}
+
+/// Count the `not(…)` operators in a query (the E6 ablation knob).
+pub fn negation_count(q: &LocationPath) -> usize {
+    q.steps
+        .iter()
+        .map(|s| s.predicates.iter().map(expr_negs).sum::<usize>())
+        .sum()
+}
+
+fn expr_negs(e: &Expr) -> usize {
+    match e {
+        Expr::Path(p) => negation_count(p),
+        Expr::And(a, b) | Expr::Or(a, b) => expr_negs(a) + expr_negs(b),
+        Expr::Not(a) => 1 + expr_negs(a),
+        Expr::Cmp(a, _, b) => expr_negs(a) + expr_negs(b),
+        Expr::Count(p) => negation_count(p),
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn classification() {
+        let pos = parse("//tr[td/a and th]/td").unwrap();
+        assert!(is_core(&pos));
+        assert!(is_positive_core(&pos));
+
+        let neg = parse("//tr[not(td)]").unwrap();
+        assert!(is_core(&neg));
+        assert!(!is_positive_core(&neg));
+
+        let ext = parse("//tr[position() = 1]").unwrap();
+        assert!(!is_core(&ext));
+        assert!(!is_positive_core(&ext));
+    }
+
+    #[test]
+    fn negation_counting() {
+        let q = parse("//a[not(b[not(c)]) and not(d)]").unwrap();
+        assert_eq!(negation_count(&q), 3);
+        let q = parse("//a[b]").unwrap();
+        assert_eq!(negation_count(&q), 0);
+    }
+}

@@ -1,0 +1,62 @@
+//! The Figure 7 information pipe: two differently-shaped book shops →
+//! integrate → transform (sort by price) → deliver.
+//!
+//! ```text
+//! cargo run --example books_pipeline
+//! ```
+
+use lixto_transform::*;
+use lixto_xml::Element;
+
+fn main() {
+    let mut pipe = InfoPipe::new();
+    let a = pipe.source(
+        Component::Wrapper(WrapperComponent {
+            program: lixto_elog::parse_program(lixto_workloads::books::SHOP_A_WRAPPER).unwrap(),
+            design: lixto_core::XmlDesign::new().root("shopA"),
+        }),
+        Trigger::EveryTick,
+    );
+    let b = pipe.source(
+        Component::Wrapper(WrapperComponent {
+            program: lixto_elog::parse_program(lixto_workloads::books::SHOP_B_WRAPPER).unwrap(),
+            design: lixto_core::XmlDesign::new().root("shopB"),
+        }),
+        Trigger::EveryTick,
+    );
+    let merged = pipe.stage(Component::Integrate { root: "books".into() }, vec![a, b]);
+    // Transformer: sort books by price (cheapest first).
+    let sorted = pipe.stage(
+        Component::Transform(Box::new(|inputs: &[Element]| {
+            let mut books: Vec<Element> =
+                inputs[0].children_named("book").cloned().collect();
+            books.sort_by(|x, y| {
+                let p = |e: &Element| {
+                    e.text_content()
+                        .split("EUR")
+                        .nth(1)
+                        .and_then(|s| s.trim().parse::<f64>().ok())
+                        .unwrap_or(f64::MAX)
+                };
+                p(x).total_cmp(&p(y))
+            });
+            let mut out = Element::new("books");
+            for bk in books {
+                out.push_element(bk);
+            }
+            Some(out)
+        })),
+        vec![merged],
+    );
+    pipe.stage(
+        Component::Deliver { channel: "portal".into(), only_on_change: false },
+        vec![sorted],
+    );
+
+    let delivered = run_ticks(&pipe, 1, &|_| Box::new(lixto_workloads::books::site(7, 4).0));
+    for (tick, msg) in delivered {
+        println!("tick {tick} → channel '{}':", msg.channel);
+        let doc = lixto_xml::parse(&msg.body).unwrap();
+        println!("{}", lixto_xml::to_string_pretty(&doc));
+    }
+}

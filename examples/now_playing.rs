@@ -1,0 +1,46 @@
+//! "Now Playing" (§6.1): 8 radio playlists wrapped each tick, integrated
+//! into a PDA-sized portal page; deliveries are change-gated.
+//!
+//! ```text
+//! cargo run --example now_playing -- 9
+//! ```
+
+use lixto_transform::*;
+
+fn main() {
+    let ticks: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(6);
+    let mut pipe = InfoPipe::new();
+    let mut sources = Vec::new();
+    for s in lixto_workloads::radio::STATIONS {
+        sources.push(pipe.source(
+            Component::Wrapper(WrapperComponent {
+                program: lixto_elog::parse_program(&lixto_workloads::radio::playlist_wrapper(s))
+                    .unwrap(),
+                design: lixto_core::XmlDesign::new().root("station"),
+            }),
+            Trigger::EveryTick,
+        ));
+    }
+    let merged = pipe.stage(Component::Integrate { root: "nowplaying".into() }, sources);
+    pipe.stage(
+        Component::Deliver { channel: "pda".into(), only_on_change: true },
+        vec![merged],
+    );
+
+    // Playlists rotate every 3 ticks; charts/lyrics would be slower groups.
+    let delivered = run_ticks(&pipe, ticks, &|tick| {
+        Box::new(lixto_workloads::radio::site(3, tick / 3, 0))
+    });
+    println!("{} deliveries over {ticks} ticks (change-gated):", delivered.len());
+    for (tick, msg) in delivered {
+        let doc = lixto_xml::parse(&msg.body).unwrap();
+        let titles: Vec<String> = lixto_xml::select::descendants_named(&doc, "title")
+            .iter()
+            .map(|t| t.text_content())
+            .collect();
+        println!("  tick {tick}: {}", titles.join(" | "));
+    }
+}

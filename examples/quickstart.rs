@@ -1,0 +1,34 @@
+//! Quickstart: wrap a page with a five-line Elog program and print XML.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+fn main() {
+    // A page to wrap (in-memory; lixto_elog::WebSource abstracts HTTP).
+    let mut web = lixto_elog::StaticWeb::new();
+    web.put(
+        "http://shop/",
+        "<html><body><h1>Offers</h1>
+           <ul>
+             <li><b>Espresso machine</b> — EUR 89.00</li>
+             <li><b>Grinder</b> — EUR 45.50</li>
+           </ul></body></html>",
+    );
+
+    // An Elog wrapper: offers are the <li>s, each with a name and a price.
+    let program = lixto_elog::parse_program(
+        r#"
+        offer(S, X) :- document("http://shop/", S), subelem(S, (?.li, []), X).
+        name(S, X)  :- offer(_, S), subelem(S, (.b, []), X).
+        price(S, X) :- offer(_, S), subtext(S, "EUR [0-9.]+", X).
+        "#,
+    )
+    .expect("valid Elog");
+
+    // Run the Extractor, map the instance base to XML, print it.
+    let result = lixto_elog::Extractor::new(program, &web).run();
+    let design = lixto_core::XmlDesign::new().root("offers");
+    let xml = lixto_core::to_xml(&result, &design);
+    print!("{}", lixto_xml::to_string_pretty(&xml));
+}

@@ -1,0 +1,20 @@
+//! # lixto
+//!
+//! Umbrella crate for **lixto-rs**, a Rust reproduction of *"The Lixto
+//! Data Extraction Project — Back and Forth between Theory and Practice"*
+//! (PODS 2004). Re-exports every subsystem; see the README for the map.
+
+#![forbid(unsafe_code)]
+
+pub use lixto_automata as automata;
+pub use lixto_cq as cq;
+pub use lixto_datalog as datalog;
+pub use lixto_elog as elog;
+pub use lixto_html as html;
+pub use lixto_regexlite as regexlite;
+pub use lixto_transform as transform;
+pub use lixto_tree as tree;
+pub use lixto_core as core;
+pub use lixto_workloads as workloads;
+pub use lixto_xml as xml;
+pub use lixto_xpath as xpath;

@@ -1,0 +1,99 @@
+//! End-to-end wrapper scenarios across crates: HTML → Elog → instance
+//! base → XML designer/transformer → XML, plus the monadic-datalog
+//! wrapper path of Section 2.
+
+use lixto_tree::render::to_sexp;
+
+#[test]
+fn figure5_ebay_to_xml() {
+    let (web, records) = lixto_workloads::ebay::site(21, 7);
+    let program = lixto_elog::parse_program(lixto_elog::EBAY_PROGRAM).unwrap();
+    let result = lixto_elog::Extractor::new(program, &web).run();
+    let design = lixto_core::XmlDesign::new()
+        .auxiliary("tableseq")
+        .label("itemdes", "description")
+        .root("auctions");
+    let xml = lixto_core::to_xml(&result, &design);
+    let records_out: Vec<_> = xml.children_named("record").collect();
+    assert_eq!(records_out.len(), records.len());
+    for (r, truth) in records_out.iter().zip(&records) {
+        assert_eq!(r.child_text("description"), Some(truth.description.as_str()));
+        assert_eq!(r.child_text("bids"), Some(truth.bids.to_string().as_str()));
+    }
+    // Round-trips through the XML parser.
+    let serialized = lixto_xml::to_string_pretty(&xml);
+    assert!(lixto_xml::parse(&serialized).is_ok());
+}
+
+#[test]
+fn monadic_datalog_wrapper_of_section_2() {
+    // The Section 2 view: a wrapper is a monadic datalog program whose
+    // extraction predicates relabel nodes; the output is the tree minor.
+    let program = lixto_datalog::parse_program(
+        r#"record(X) :- label(X, "tr").
+           field(X) :- record(R), child(R, X), label(X, "td")."#,
+    )
+    .unwrap();
+    let doc = lixto_html::parse(
+        "<table><tr><td>a</td><td>b</td></tr><tr><td>c</td></tr></table>",
+    );
+    let out = lixto_datalog::Wrapper::new(program).wrap(&doc).unwrap();
+    assert_eq!(
+        to_sexp(&out),
+        r#"(result (record (field "a") (field "b")) (record (field "c")))"#
+    );
+}
+
+#[test]
+fn crawling_assembles_multi_page_wrapping() {
+    let mut web = lixto_elog::StaticWeb::new();
+    web.put(
+        "http://start/",
+        "<body><div class='item'>one</div><a href='http://p2/'>more</a></body>",
+    );
+    web.put(
+        "http://p2/",
+        "<body><div class='item'>two</div><a href='http://p3/'>more</a></body>",
+    );
+    web.put("http://p3/", "<body><div class='item'>three</div></body>");
+    let program = lixto_elog::parse_program(
+        r#"
+        page(S, X) :- document("http://start/", S).
+        nextlink(S, X) :- page(_, S), subelem(S, (?.a, []), X).
+        page(S, X) :- nextlink(_, S), attrbind(S, href, U), document(U, X).
+        item(S, X) :- page(_, S), subelem(S, (?.div, [(class, "item", exact)]), X).
+        "#,
+    )
+    .unwrap();
+    let result = lixto_elog::Extractor::new(program, &web).run();
+    let mut items = result.texts_of("item");
+    items.sort();
+    assert_eq!(items, vec!["one", "three", "two"]);
+    assert_eq!(result.docs.len(), 3);
+}
+
+#[test]
+fn visual_builder_program_equals_handwritten_semantics() {
+    // A wrapper built by "clicks" behaves like a handwritten one.
+    let (_, records) = lixto_workloads::ebay::site(2, 4);
+    let page = lixto_workloads::ebay::listing_page(&records);
+    let mut b = lixto_core::PatternBuilder::new("www.ebay.com/", &page);
+    let table = {
+        let doc = b.document();
+        doc.node_ids()
+            .find(|&n| {
+                doc.label_str(n) == "table"
+                    && doc.text_content(n).contains(&records[0].description)
+            })
+            .unwrap()
+    };
+    b.click("page", "record", table)
+        .generalize()
+        .add_condition(lixto_elog::Condition::Contains {
+            path: lixto_elog::ElementPath::anywhere("a"),
+            negated: false,
+        })
+        .commit();
+    let result = b.run();
+    assert_eq!(result.base.of_pattern("record").len(), records.len());
+}
