@@ -91,8 +91,9 @@ pub fn determinize(nta: &Nta) -> Dta {
     // Subsets are sorted Vec<u32>, interned.
     let mut subset_id: HashMap<Vec<u32>, u32> = HashMap::new();
     let mut subsets: Vec<Vec<u32>> = Vec::new();
-    let intern = |s: Vec<u32>, subsets: &mut Vec<Vec<u32>>,
-                      subset_id: &mut HashMap<Vec<u32>, u32>|
+    let intern = |s: Vec<u32>,
+                  subsets: &mut Vec<Vec<u32>>,
+                  subset_id: &mut HashMap<Vec<u32>, u32>|
      -> (u32, bool) {
         if let Some(&i) = subset_id.get(&s) {
             return (i, false);

@@ -147,10 +147,8 @@ impl Mso {
 
     fn collect_labels(&self, out: &mut Vec<String>) {
         match self {
-            Mso::Label(_, a) => {
-                if !out.contains(a) {
-                    out.push(a.clone());
-                }
+            Mso::Label(_, a) if !out.contains(a) => {
+                out.push(a.clone());
             }
             Mso::And(a, b) | Mso::Or(a, b) => {
                 a.collect_labels(out);
@@ -172,9 +170,7 @@ impl Mso {
             }
         };
         match self {
-            Mso::Label(x, _) | Mso::Root(x) | Mso::Leaf(x) | Mso::LastSibling(x) => {
-                chk(x, scope)
-            }
+            Mso::Label(x, _) | Mso::Root(x) | Mso::Leaf(x) | Mso::LastSibling(x) => chk(x, scope),
             Mso::FirstChild(x, y) | Mso::NextSibling(x, y) | Mso::In(x, y) => {
                 chk(x, scope)?;
                 chk(y, scope)

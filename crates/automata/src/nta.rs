@@ -58,7 +58,10 @@ impl Nta {
 
     /// Add a transition (builder-style helper).
     pub fn add_transition(&mut self, l: u32, r: u32, sym: SymbolClass, bits: u32, to: u32) {
-        self.transitions.entry((l, r, sym, bits)).or_default().push(to);
+        self.transitions
+            .entry((l, r, sym, bits))
+            .or_default()
+            .push(to);
     }
 
     /// Run the automaton on `doc` with per-node variable bits supplied by

@@ -20,13 +20,21 @@ fn books_pipe() -> InfoPipe {
         }),
         Trigger::EveryTick,
     );
-    let m = pipe.stage(Component::Integrate { root: "books".into() }, vec![a, b]);
+    let m = pipe.stage(
+        Component::Integrate {
+            root: "books".into(),
+        },
+        vec![a, b],
+    );
     let f = pipe.stage(
         Component::Transform(Box::new(|inp: &[Element]| Some(inp[0].clone()))),
         vec![m],
     );
     pipe.stage(
-        Component::Deliver { channel: "portal".into(), only_on_change: false },
+        Component::Deliver {
+            channel: "portal".into(),
+            only_on_change: false,
+        },
         vec![f],
     );
     pipe
@@ -41,7 +49,10 @@ fn bench(c: &mut Criterion) {
     for per_shop in [8usize, 32, 128] {
         g.bench_with_input(BenchmarkId::from_parameter(per_shop), &per_shop, |b, &n| {
             b.iter(|| {
-                run_ticks(&pipe, 1, &|_| Box::new(lixto_workloads::books::site(5, n).0)).len()
+                run_ticks(&pipe, 1, &|_| {
+                    Box::new(lixto_workloads::books::site(5, n).0)
+                })
+                .len()
             })
         });
     }

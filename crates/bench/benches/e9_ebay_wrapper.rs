@@ -12,7 +12,12 @@ fn bench(c: &mut Criterion) {
         let (web, _) = lixto_workloads::ebay::site(7, n);
         g.throughput(Throughput::Elements(n as u64));
         g.bench_with_input(BenchmarkId::from_parameter(n), &web, |b, web| {
-            b.iter(|| lixto_elog::Extractor::new(program.clone(), web).run().base.len())
+            b.iter(|| {
+                lixto_elog::Extractor::new(program.clone(), web)
+                    .run()
+                    .base
+                    .len()
+            })
         });
     }
     g.finish();

@@ -206,9 +206,7 @@ fn e3_general_vs_tree() {
             body.push(format!("ok(X{i}, X{})", i + 1));
         }
         // K4 on Xk, Y1, Y2, Y3 — unsatisfiable with 3 colors.
-        for (a, b) in [
-            ("Y1", "Y2"), ("Y1", "Y3"), ("Y2", "Y3"),
-        ] {
+        for (a, b) in [("Y1", "Y2"), ("Y1", "Y3"), ("Y2", "Y3")] {
             body.push(format!("ok({a}, {b})"));
         }
         for y in ["Y1", "Y2", "Y3"] {
@@ -428,8 +426,7 @@ fn e10_robustness() {
     let (_, records) = lixto_workloads::ebay::site(3, 6);
     let page = lixto_workloads::ebay::listing_page(&records);
     let fig5 = lixto_elog::parse_program(lixto_elog::EBAY_PROGRAM).unwrap();
-    let robust =
-        lixto_elog::parse_program(lixto_workloads::ebay::EBAY_ROBUST_PROGRAM).unwrap();
+    let robust = lixto_elog::parse_program(lixto_workloads::ebay::EBAY_ROBUST_PROGRAM).unwrap();
     let xq = lixto_xpath::parse("/html/body/table/tr/td/a").unwrap();
     let mut rng = StdRng::seed_from_u64(10);
     let (mut s_fig5, mut s_robust, mut s_xpath) = (0, 0, 0);
@@ -483,8 +480,7 @@ fn e11_induction_vs_visual() {
         let train: Vec<Example> = (0..n as u64).map(make).collect();
         let acc = match learn(&train) {
             Some(w) => {
-                held_out.iter().filter(|e| correct_on(&w, e)).count() as f64
-                    / held_out.len() as f64
+                held_out.iter().filter(|e| correct_on(&w, e)).count() as f64 / held_out.len() as f64
             }
             None => 0.0,
         };
@@ -576,14 +572,18 @@ fn e13_now_playing_and_flights() {
     let mut pipe = InfoPipe::new();
     let mut sources = Vec::new();
     for s in lixto_workloads::radio::STATIONS {
-        sources.push(pipe.source(
-            Component::Wrapper(WrapperComponent {
-                program: lixto_elog::parse_program(&lixto_workloads::radio::playlist_wrapper(s))
+        sources.push(
+            pipe.source(
+                Component::Wrapper(WrapperComponent {
+                    program: lixto_elog::parse_program(&lixto_workloads::radio::playlist_wrapper(
+                        s,
+                    ))
                     .unwrap(),
-                design: lixto_core::XmlDesign::new().root("station"),
-            }),
-            Trigger::EveryTick,
-        ));
+                    design: lixto_core::XmlDesign::new().root("station"),
+                }),
+                Trigger::EveryTick,
+            ),
+        );
     }
     let m = pipe.stage(
         Component::Integrate {
@@ -605,7 +605,10 @@ fn e13_now_playing_and_flights() {
         "E13a — Now Playing (§6.1): deliveries to the PDA over 12 ticks (playlists rotate every 3)",
         &["metric", "value"],
         &[
-            vec!["sources wrapped".into(), "8 playlists (site has 14 sources)".into()],
+            vec![
+                "sources wrapped".into(),
+                "8 playlists (site has 14 sources)".into(),
+            ],
             vec![
                 "deliveries (change-gated)".into(),
                 delivered.len().to_string(),
@@ -617,8 +620,7 @@ fn e13_now_playing_and_flights() {
     let mut pipe = InfoPipe::new();
     let w = pipe.source(
         Component::Wrapper(WrapperComponent {
-            program: lixto_elog::parse_program(lixto_workloads::flights::FLIGHT_WRAPPER)
-                .unwrap(),
+            program: lixto_elog::parse_program(lixto_workloads::flights::FLIGHT_WRAPPER).unwrap(),
             design: lixto_core::XmlDesign::new().root("flights"),
         }),
         Trigger::EveryTick,
@@ -653,14 +655,20 @@ fn e14_mso_equivalence() {
         "u",
         forall_fo(
             "v",
-            implies(and(member("u", "X"), first_child("u", "v")), member("v", "X")),
+            implies(
+                and(member("u", "X"), first_child("u", "v")),
+                member("v", "X"),
+            ),
         ),
     );
     let closed_ns = forall_fo(
         "u",
         forall_fo(
             "v",
-            implies(and(member("u", "X"), next_sibling("u", "v")), member("v", "X")),
+            implies(
+                and(member("u", "X"), next_sibling("u", "v")),
+                member("v", "X"),
+            ),
         ),
     );
     let phi = forall_so(

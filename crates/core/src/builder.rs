@@ -245,8 +245,8 @@ mod tests {
         // Click the second record table to define <record> under <page>.
         let table = {
             let doc = b.document();
-            let n = find_node(doc, "table", "First thing");
-            n
+
+            find_node(doc, "table", "First thing")
         };
         // Too specific: path matches only tables; generalize + restrict so
         // the header table (no link) is excluded.

@@ -53,7 +53,10 @@ impl XmlDesign {
 
     /// The output label for a pattern.
     pub fn label_of<'a>(&'a self, pattern: &'a str) -> &'a str {
-        self.labels.get(pattern).map(String::as_str).unwrap_or(pattern)
+        self.labels
+            .get(pattern)
+            .map(String::as_str)
+            .unwrap_or(pattern)
     }
 }
 

@@ -13,7 +13,7 @@ pub fn is_acyclic(cq: &Cq) -> bool {
     // Union-find; a cycle appears when an edge joins two already-connected
     // variables.
     let mut parent: Vec<usize> = (0..cq.n_vars).collect();
-    fn find(p: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(p: &mut [usize], mut x: usize) -> usize {
         while p[x] != x {
             p[x] = p[p[x]];
             x = p[x];
@@ -37,7 +37,7 @@ pub fn is_acyclic(cq: &Cq) -> bool {
 /// atoms form their own components).
 pub fn components(cq: &Cq) -> Vec<usize> {
     let mut parent: Vec<usize> = (0..cq.n_vars).collect();
-    fn find(p: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(p: &mut [usize], mut x: usize) -> usize {
         while p[x] != x {
             p[x] = p[p[x]];
             x = p[x];

@@ -17,12 +17,15 @@ pub fn holds(doc: &Document, axis: CqAxis, x: NodeId, y: NodeId) -> bool {
         CqAxis::ChildStar => doc.is_ancestor_or_self(x, y),
         CqAxis::NextSibling => doc.next_sibling(x) == Some(y),
         CqAxis::NextSiblingPlus => {
-            x != y && doc.parent(x).is_some() && doc.parent(x) == doc.parent(y)
+            x != y
+                && doc.parent(x).is_some()
+                && doc.parent(x) == doc.parent(y)
                 && doc.doc_before(x, y)
         }
         CqAxis::NextSiblingStar => {
             x == y
-                || (doc.parent(x).is_some() && doc.parent(x) == doc.parent(y)
+                || (doc.parent(x).is_some()
+                    && doc.parent(x) == doc.parent(y)
                     && doc.doc_before(x, y))
         }
         CqAxis::Following => doc.is_following(x, y),
@@ -35,11 +38,10 @@ pub fn image(doc: &Document, s: &[bool], axis: CqAxis) -> Vec<bool> {
     let mut out = vec![false; n];
     match axis {
         CqAxis::Child => {
-            for i in 0..n {
-                let node = NodeId::from_index(i);
-                if let Some(p) = doc.parent(node) {
+            for (i, o) in out.iter_mut().enumerate() {
+                if let Some(p) = doc.parent(NodeId::from_index(i)) {
                     if s[p.index()] {
-                        out[i] = true;
+                        *o = true;
                     }
                 }
             }
@@ -65,10 +67,9 @@ pub fn image(doc: &Document, s: &[bool], axis: CqAxis) -> Vec<bool> {
             }
         }
         CqAxis::NextSibling => {
-            for i in 0..n {
-                let node = NodeId::from_index(i);
-                if s[i] {
-                    if let Some(ns) = doc.next_sibling(node) {
+            for (i, &si) in s.iter().enumerate() {
+                if si {
+                    if let Some(ns) = doc.next_sibling(NodeId::from_index(i)) {
                         out[ns.index()] = true;
                     }
                 }
@@ -90,15 +91,14 @@ pub fn image(doc: &Document, s: &[bool], axis: CqAxis) -> Vec<bool> {
         }
         CqAxis::Following => {
             let mut min_end = usize::MAX;
-            for i in 0..n {
-                if s[i] {
+            for (i, &si) in s.iter().enumerate() {
+                if si {
                     min_end = min_end.min(doc.order().subtree_range(NodeId::from_index(i)).1);
                 }
             }
-            for i in 0..n {
-                let node = NodeId::from_index(i);
-                if (doc.order().pre(node) as usize) >= min_end {
-                    out[i] = true;
+            for (i, o) in out.iter_mut().enumerate() {
+                if (doc.order().pre(NodeId::from_index(i)) as usize) >= min_end {
+                    *o = true;
                 }
             }
         }
@@ -112,10 +112,9 @@ pub fn preimage(doc: &Document, s: &[bool], axis: CqAxis) -> Vec<bool> {
     let mut out = vec![false; n];
     match axis {
         CqAxis::Child => {
-            for i in 0..n {
-                let node = NodeId::from_index(i);
-                if s[i] {
-                    if let Some(p) = doc.parent(node) {
+            for (i, &si) in s.iter().enumerate() {
+                if si {
+                    if let Some(p) = doc.parent(NodeId::from_index(i)) {
                         out[p.index()] = true;
                     }
                 }
@@ -140,10 +139,9 @@ pub fn preimage(doc: &Document, s: &[bool], axis: CqAxis) -> Vec<bool> {
             }
         }
         CqAxis::NextSibling => {
-            for i in 0..n {
-                let node = NodeId::from_index(i);
-                if s[i] {
-                    if let Some(ps) = doc.prev_sibling(node) {
+            for (i, &si) in s.iter().enumerate() {
+                if si {
+                    if let Some(ps) = doc.prev_sibling(NodeId::from_index(i)) {
                         out[ps.index()] = true;
                     }
                 }
@@ -166,16 +164,16 @@ pub fn preimage(doc: &Document, s: &[bool], axis: CqAxis) -> Vec<bool> {
         CqAxis::Following => {
             // x with following(x, y), y∈S ⇔ subtree_end(x) <= max pre(S).
             let mut max_pre = None;
-            for i in 0..n {
-                if s[i] {
+            for (i, &si) in s.iter().enumerate() {
+                if si {
                     let p = doc.order().pre(NodeId::from_index(i)) as usize;
                     max_pre = Some(max_pre.map_or(p, |m: usize| m.max(p)));
                 }
             }
             if let Some(mp) = max_pre {
-                for i in 0..n {
+                for (i, o) in out.iter_mut().enumerate() {
                     if doc.order().subtree_range(NodeId::from_index(i)).1 <= mp {
-                        out[i] = true;
+                        *o = true;
                     }
                 }
             }
@@ -241,11 +239,11 @@ mod tests {
             s[1] = true;
             s[3] = true;
             let img = image(&doc, &s, axis);
-            for j in 0..n {
+            for (j, &got) in img.iter().enumerate() {
                 let y = NodeId::from_index(j);
                 let expect = holds(&doc, axis, NodeId::from_index(1), y)
                     || holds(&doc, axis, NodeId::from_index(3), y);
-                assert_eq!(img[j], expect, "{} j={j}", axis.name());
+                assert_eq!(got, expect, "{} j={j}", axis.name());
             }
         }
     }

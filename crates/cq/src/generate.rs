@@ -197,10 +197,6 @@ mod tests {
         let (d4, q4) = hard_instance(4, 4);
         let w2 = crate::generic::count_search_nodes(&d2, &q2);
         let w4 = crate::generic::count_search_nodes(&d4, &q4);
-        assert!(
-            w4 > w2 * 2,
-            "search work should grow sharply: {w2} vs {w4}"
-        );
+        assert!(w4 > w2 * 2, "search work should grow sharply: {w2} vs {w4}");
     }
-
 }

@@ -64,9 +64,9 @@ impl<'d> Search<'d> {
         let n = doc.len();
         let mut domains = vec![vec![true; n]; cq.n_vars];
         for la in &cq.labels {
-            for i in 0..n {
-                if domains[la.var][i] && !doc.has_label(NodeId::from_index(i), &la.label) {
-                    domains[la.var][i] = false;
+            for (i, d) in domains[la.var].iter_mut().enumerate() {
+                if *d && !doc.has_label(NodeId::from_index(i), &la.label) {
+                    *d = false;
                 }
             }
         }
@@ -78,9 +78,7 @@ impl<'d> Search<'d> {
             let next = (0..cq.n_vars).filter(|&v| !placed[v]).max_by_key(|&v| {
                 cq.atoms
                     .iter()
-                    .filter(|a| {
-                        (a.x == v && placed[a.y]) || (a.y == v && placed[a.x])
-                    })
+                    .filter(|a| (a.x == v && placed[a.y]) || (a.y == v && placed[a.x]))
                     .count()
             });
             let v = next.unwrap();

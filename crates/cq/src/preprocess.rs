@@ -141,10 +141,7 @@ mod tests {
     fn strict_cycle_is_unsat() {
         let cq = Cq::boolean(
             2,
-            vec![
-                atom(CqAxis::ChildPlus, 0, 1),
-                atom(CqAxis::ChildStar, 1, 0),
-            ],
+            vec![atom(CqAxis::ChildPlus, 0, 1), atom(CqAxis::ChildStar, 1, 0)],
             vec![],
         );
         assert_eq!(
@@ -195,10 +192,7 @@ mod tests {
     fn acyclic_input_passes_through() {
         let cq = Cq::boolean(
             3,
-            vec![
-                atom(CqAxis::ChildPlus, 0, 1),
-                atom(CqAxis::ChildStar, 1, 2),
-            ],
+            vec![atom(CqAxis::ChildPlus, 0, 1), atom(CqAxis::ChildStar, 1, 2)],
             vec![],
         );
         match collapse_ancestor_cycles(&cq).unwrap() {

@@ -36,9 +36,9 @@ pub fn reduce_domains(doc: &Document, cq: &Cq) -> Result<Vec<Vec<bool>>, NotAcyc
     // Initial domains from label atoms.
     let mut dom: Vec<Vec<bool>> = vec![vec![true; n]; cq.n_vars];
     for la in &cq.labels {
-        for i in 0..n {
-            if dom[la.var][i] && !doc.has_label(NodeId::from_index(i), &la.label) {
-                dom[la.var][i] = false;
+        for (i, d) in dom[la.var].iter_mut().enumerate() {
+            if *d && !doc.has_label(NodeId::from_index(i), &la.label) {
+                *d = false;
             }
         }
     }
@@ -150,10 +150,7 @@ mod tests {
     #[test]
     fn path_query() {
         // table // td with a following sibling td
-        let doc = from_sexp(
-            "(html (table (tr (td (a)) (td)) (tr (td))) (div (td)))",
-        )
-        .unwrap();
+        let doc = from_sexp("(html (table (tr (td (a)) (td)) (tr (td))) (div (td)))").unwrap();
         // v0=table, v1=td (v0 child+ v1), v2 = next sibling of v1
         let cq = Cq {
             n_vars: 3,

@@ -72,8 +72,7 @@ fn is_edb_unary(pred: &str) -> bool {
 fn is_edb_binary(pred: &str) -> bool {
     matches!(
         pred,
-        "firstchild" | "nextsibling" | "child" | "firstchild_inv" | "nextsibling_inv"
-            | "child_inv"
+        "firstchild" | "nextsibling" | "child" | "firstchild_inv" | "nextsibling_inv" | "child_inv"
     )
 }
 
@@ -283,8 +282,8 @@ mod tests {
 
     #[test]
     fn child_edges_ground_per_edge() {
-        let program = parse_program(r#"kid(X) :- top(X0), child(X0, X). top(X) :- root(X)."#)
-            .unwrap();
+        let program =
+            parse_program(r#"kid(X) :- top(X0), child(X0, X). top(X) :- root(X)."#).unwrap();
         let doc = lixto_html::parse("<a/><b/><c/>");
         let g = ground_program(&program, &doc).unwrap();
         let truths = solve(&g.clauses, g.n_props);

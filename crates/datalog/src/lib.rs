@@ -90,7 +90,10 @@ impl std::fmt::Display for EvalError {
             EvalError::Unsafe(r) => write!(f, "unsafe rule: {r}"),
             EvalError::NotTreeShaped(r) => write!(f, "rule body is not tree-shaped: {r}"),
             EvalError::NotStratified(p) => {
-                write!(f, "program is not stratified (negation cycle through '{p}')")
+                write!(
+                    f,
+                    "program is not stratified (negation cycle through '{p}')"
+                )
             }
         }
     }
@@ -118,7 +121,12 @@ impl<'d> MonadicEvaluator<'d> {
     /// set of selected nodes in document order.
     pub fn eval(&self, program: &Program) -> Result<HashMap<String, Vec<NodeId>>, EvalError> {
         program.check_tree_program()?;
-        match tmnf::to_tmnf(program, tmnf::TmnfOptions { eliminate_child: false }) {
+        match tmnf::to_tmnf(
+            program,
+            tmnf::TmnfOptions {
+                eliminate_child: false,
+            },
+        ) {
             Ok(translation) => {
                 let ground = ground::ground_program(&translation.program, self.doc)?;
                 let truths = ltur::solve(&ground.clauses, ground.n_props);
@@ -150,11 +158,7 @@ impl<'d> MonadicEvaluator<'d> {
     }
 
     /// Evaluate and return just one predicate's selection.
-    pub fn eval_predicate(
-        &self,
-        program: &Program,
-        pred: &str,
-    ) -> Result<Vec<NodeId>, EvalError> {
+    pub fn eval_predicate(&self, program: &Program, pred: &str) -> Result<Vec<NodeId>, EvalError> {
         let mut all = self.eval(program)?;
         Ok(all.remove(pred).unwrap_or_default())
     }
@@ -198,9 +202,8 @@ mod tests {
 
     #[test]
     fn seminaive_and_ltur_agree_on_italics() {
-        let doc = lixto_html::parse(
-            "<body><i>x<span>y</span></i><p>plain<i><i>deep</i></i></p></body>",
-        );
+        let doc =
+            lixto_html::parse("<body><i>x<span>y</span></i><p>plain<i><i>deep</i></i></p></body>");
         let program = italic_program();
         let fast = MonadicEvaluator::new(&doc)
             .eval_predicate(&program, "italic")
@@ -219,9 +222,8 @@ mod tests {
     fn multi_variable_path_rule() {
         // price(X) :- record(R), child(R, T), label(T, "td"), child(T, X),
         //             label(X, "#text")  — a 3-variable chain rule.
-        let doc = lixto_html::parse(
-            "<table><tr class=\"rec\"><td>alpha</td><td>beta</td></tr></table>",
-        );
+        let doc =
+            lixto_html::parse("<table><tr class=\"rec\"><td>alpha</td><td>beta</td></tr></table>");
         let program = parse_program(
             r##"
             record(X) :- label(X, "tr").
@@ -242,10 +244,8 @@ mod tests {
         // has a cyclic body graph (X-Y, X-Z, Y-Z) — the fallback must
         // still produce the right answer.
         let doc = lixto_html::parse("<ul><li>a</li><li>b</li></ul><p>c</p>");
-        let program = parse_program(
-            "adjpair(X) :- child(X, Y), child(X, Z), nextsibling(Y, Z).",
-        )
-        .unwrap();
+        let program =
+            parse_program("adjpair(X) :- child(X, Y), child(X, Z), nextsibling(Y, Z).").unwrap();
         let sel = MonadicEvaluator::new(&doc)
             .eval_predicate(&program, "adjpair")
             .unwrap();

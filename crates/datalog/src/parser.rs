@@ -26,7 +26,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "datalog parse error at byte {}: {}", self.at, self.message)
+        write!(
+            f,
+            "datalog parse error at byte {}: {}",
+            self.at, self.message
+        )
     }
 }
 
@@ -192,7 +196,11 @@ impl Parser<'_> {
             }
             Some(b) if b.is_ascii_alphabetic() || *b == b'_' => {
                 let name = self.ident()?;
-                if name.chars().next().is_some_and(|c| c.is_ascii_uppercase() || c == '_') {
+                if name
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_uppercase() || c == '_')
+                {
                     Ok(Term::Var(name))
                 } else {
                     // lowercase bare word = symbolic constant
@@ -244,10 +252,8 @@ mod tests {
 
     #[test]
     fn comments_ignored() {
-        let p = parse_program(
-            "% the italics program\nitalic(X) :- label(X, \"i\"). % seed rule\n",
-        )
-        .unwrap();
+        let p = parse_program("% the italics program\nitalic(X) :- label(X, \"i\"). % seed rule\n")
+            .unwrap();
         assert_eq!(p.rules.len(), 1);
     }
 

@@ -44,18 +44,12 @@ pub fn eval(db: &Database, program: &Program) -> Result<Database, EvalError> {
             .iter()
             .filter(|r| strata[&r.head.pred] == s)
             .collect();
-        eval_stratum(db, &mut idb, &rules, &strata, s)?;
+        eval_stratum(db, &mut idb, &rules)?;
     }
     Ok(idb)
 }
 
-fn eval_stratum(
-    edb: &Database,
-    idb: &mut Database,
-    rules: &[&Rule],
-    strata: &HashMap<String, usize>,
-    stratum: usize,
-) -> Result<(), EvalError> {
+fn eval_stratum(edb: &Database, idb: &mut Database, rules: &[&Rule]) -> Result<(), EvalError> {
     // Semi-naive loop: track per-predicate deltas of the current stratum.
     // Rules whose bodies mention no current-stratum predicate fire once.
     let current: Vec<&str> = rules.iter().map(|r| r.head.pred.as_str()).collect();
@@ -64,7 +58,7 @@ fn eval_stratum(
     // Round 0: fire every rule against the full (edb + lower-strata idb).
     let mut delta: HashMap<String, Vec<Vec<u32>>> = HashMap::new();
     for rule in rules {
-        let derived = eval_rule(edb, idb, rule, strata, stratum, None)?;
+        let derived = eval_rule(edb, idb, rule, None)?;
         for t in derived {
             if insert_idb(idb, &rule.head, &t) {
                 delta.entry(rule.head.pred.clone()).or_default().push(t);
@@ -84,7 +78,7 @@ fn eval_stratum(
                 let Some(d) = delta.get(&lit.atom.pred) else {
                     continue;
                 };
-                let derived = eval_rule(edb, idb, rule, strata, stratum, Some((i, d)))?;
+                let derived = eval_rule(edb, idb, rule, Some((i, d)))?;
                 for t in derived {
                     if insert_idb(idb, &rule.head, &t) {
                         next_delta
@@ -115,8 +109,6 @@ fn eval_rule(
     edb: &Database,
     idb: &Database,
     rule: &Rule,
-    strata: &HashMap<String, usize>,
-    stratum: usize,
     delta_at: Option<(usize, &Vec<Vec<u32>>)>,
 ) -> Result<Vec<Vec<u32>>, EvalError> {
     // Order literals: positives first (negation needs bound variables).
@@ -129,8 +121,6 @@ fn eval_rule(
         edb,
         idb,
         rule,
-        strata,
-        stratum,
         &order,
         0,
         delta_at,
@@ -145,8 +135,6 @@ fn join<'r>(
     edb: &Database,
     idb: &Database,
     rule: &'r Rule,
-    strata: &HashMap<String, usize>,
-    stratum: usize,
     order: &[usize],
     depth: usize,
     delta_at: Option<(usize, &Vec<Vec<u32>>)>,
@@ -194,19 +182,14 @@ fn join<'r>(
                     None => {
                         // Unknown constant: the positive fact cannot hold,
                         // so the negation is satisfied.
-                        return join(
-                            edb, idb, rule, strata, stratum, order, depth + 1, delta_at,
-                            binding, results,
-                        );
+                        return join(edb, idb, rule, order, depth + 1, delta_at, binding, results);
                     }
                 },
             }
         }
         let holds = edb.contains(pred, &t) || idb.contains(pred, &t);
         if !holds {
-            join(
-                edb, idb, rule, strata, stratum, order, depth + 1, delta_at, binding, results,
-            )?;
+            join(edb, idb, rule, order, depth + 1, delta_at, binding, results)?;
         }
         return Ok(());
     }
@@ -228,8 +211,8 @@ fn join<'r>(
         }
     }
     let try_tuple = |tuple: &Vec<u32>,
-                         binding: &mut HashMap<&'r str, u32>,
-                         results: &mut Vec<Vec<u32>>|
+                     binding: &mut HashMap<&'r str, u32>,
+                     results: &mut Vec<Vec<u32>>|
      -> Result<(), EvalError> {
         let mut newly_bound: Vec<&str> = Vec::new();
         let mut ok = true;
@@ -259,9 +242,7 @@ fn join<'r>(
             }
         }
         if ok {
-            join(
-                edb, idb, rule, strata, stratum, order, depth + 1, delta_at, binding, results,
-            )?;
+            join(edb, idb, rule, order, depth + 1, delta_at, binding, results)?;
         }
         for v in newly_bound {
             binding.remove(v);
@@ -284,7 +265,6 @@ fn join<'r>(
             try_tuple(tuple, binding, results)?;
         }
     }
-    let _ = stratum;
     Ok(())
 }
 
@@ -301,10 +281,8 @@ mod tests {
         db.add_fact("edge", &["a", "b"]);
         db.add_fact("edge", &["b", "c"]);
         db.add_fact("edge", &["c", "d"]);
-        let p = parse_program(
-            "path(X, Y) :- edge(X, Y). path(X, Z) :- path(X, Y), edge(Y, Z).",
-        )
-        .unwrap();
+        let p = parse_program("path(X, Y) :- edge(X, Y). path(X, Z) :- path(X, Y), edge(Y, Z).")
+            .unwrap();
         let out = eval(&db, &p).unwrap();
         assert_eq!(out.count("path"), 6);
         let (a, d) = (db.lookup("a").unwrap(), db.lookup("d").unwrap());
@@ -349,15 +327,17 @@ mod tests {
         // K3 colors; query graph = path of 3 vertices (colorable).
         let mut db = Database::new();
         for (x, y) in [
-            ("r", "g"), ("g", "r"), ("r", "b"), ("b", "r"), ("g", "b"), ("b", "g"),
+            ("r", "g"),
+            ("g", "r"),
+            ("r", "b"),
+            ("b", "r"),
+            ("g", "b"),
+            ("b", "g"),
         ] {
             db.add_fact("ok", &[x, y]);
         }
         db.add_fact("vtx", &["r"]);
-        let p = parse_program(
-            "colorable(X1) :- ok(X1, X2), ok(X2, X3), vtx(X1).",
-        )
-        .unwrap();
+        let p = parse_program("colorable(X1) :- ok(X1, X2), ok(X2, X3), vtx(X1).").unwrap();
         let out = eval(&db, &p).unwrap();
         assert_eq!(out.count("colorable"), 1);
         // Triangle with only 2 colors available is not colorable:
@@ -366,10 +346,8 @@ mod tests {
             db2.add_fact("ok", &[x, y]);
         }
         db2.add_fact("vtx", &["r"]);
-        let p2 = parse_program(
-            "colorable(X1) :- ok(X1, X2), ok(X2, X3), ok(X3, X1), vtx(X1).",
-        )
-        .unwrap();
+        let p2 =
+            parse_program("colorable(X1) :- ok(X1, X2), ok(X2, X3), ok(X3, X1), vtx(X1).").unwrap();
         let out2 = eval(&db2, &p2).unwrap();
         assert_eq!(out2.count("colorable"), 0);
     }
@@ -388,10 +366,7 @@ mod tests {
     fn recursive_on_tree_matches_reachability() {
         let doc = from_sexp("(a (b (c)) (d))").unwrap();
         let db = tree_db(&doc);
-        let p = parse_program(
-            "reach(X) :- root(X). reach(X) :- reach(Y), child(Y, X).",
-        )
-        .unwrap();
+        let p = parse_program("reach(X) :- root(X). reach(X) :- reach(Y), child(Y, X).").unwrap();
         let out = eval(&db, &p).unwrap();
         assert_eq!(out.count("reach"), doc.len());
     }

@@ -72,10 +72,7 @@ mod tests {
 
     #[test]
     fn negation_pushes_consumer_up() {
-        let p = parse_program(
-            "base(X) :- leaf(X). derived(X) :- root(X), not base(X).",
-        )
-        .unwrap();
+        let p = parse_program("base(X) :- leaf(X). derived(X) :- root(X), not base(X).").unwrap();
         let (s, n) = stratify(&p).unwrap();
         assert_eq!(n, 2);
         assert!(s["derived"] > s["base"]);
@@ -83,10 +80,7 @@ mod tests {
 
     #[test]
     fn negation_cycle_rejected() {
-        let p = parse_program(
-            "a(X) :- root(X), not b(X). b(X) :- root(X), not a(X).",
-        )
-        .unwrap();
+        let p = parse_program("a(X) :- root(X), not b(X). b(X) :- root(X), not a(X).").unwrap();
         assert!(matches!(stratify(&p), Err(EvalError::NotStratified(_))));
     }
 
@@ -106,10 +100,9 @@ mod tests {
 
     #[test]
     fn three_strata_chain() {
-        let p = parse_program(
-            "a(X) :- root(X). b(X) :- root(X), not a(X). c(X) :- root(X), not b(X).",
-        )
-        .unwrap();
+        let p =
+            parse_program("a(X) :- root(X). b(X) :- root(X), not a(X). c(X) :- root(X), not b(X).")
+                .unwrap();
         let (s, n) = stratify(&p).unwrap();
         assert_eq!(n, 3);
         assert!(s["a"] < s["b"] && s["b"] < s["c"]);

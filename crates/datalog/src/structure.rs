@@ -221,7 +221,7 @@ mod tests {
         // lastsibling: d and e (root is not a last sibling)
         assert_eq!(db.count("lastsibling"), 2);
         assert_eq!(db.count("firstsibling"), 2); // b and c
-        // label constant resolvable
+                                                 // label constant resolvable
         assert!(db.lookup("c").is_some());
     }
 

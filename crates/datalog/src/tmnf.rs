@@ -147,10 +147,9 @@ impl Ctx {
         match cond {
             UnaryCond::Pred(p) => Atom::new(p.clone(), vec![Term::Var(var.into())]),
             UnaryCond::Edb(p) => Atom::new(p.clone(), vec![Term::Var(var.into())]),
-            UnaryCond::Label(l) => Atom::new(
-                "label",
-                vec![Term::Var(var.into()), Term::Const(l.clone())],
-            ),
+            UnaryCond::Label(l) => {
+                Atom::new("label", vec![Term::Var(var.into()), Term::Const(l.clone())])
+            }
         }
     }
 
@@ -339,10 +338,7 @@ impl Ctx {
         let at_root = self.fresh_pred("atroot");
         self.rule(
             Atom::new(at_root.clone(), vec![x()]),
-            vec![
-                Atom::new(up, vec![x()]),
-                Atom::new("root", vec![x()]),
-            ],
+            vec![Atom::new(up, vec![x()]), Atom::new("root", vec![x()])],
         );
         let glob = self.fresh_pred("glob");
         self.rule(
@@ -426,10 +422,9 @@ impl Ctx {
                         .or_default()
                         .push(UnaryCond::Label(l.clone()));
                 }
-                "firstchild" | "nextsibling" | "child" | "firstchild_inv"
-                | "nextsibling_inv" | "child_inv" => {
-                    let (Some(a), Some(b)) = (atom.args[0].as_var(), atom.args[1].as_var())
-                    else {
+                "firstchild" | "nextsibling" | "child" | "firstchild_inv" | "nextsibling_inv"
+                | "child_inv" => {
+                    let (Some(a), Some(b)) = (atom.args[0].as_var(), atom.args[1].as_var()) else {
                         return Err(EvalError::NotTreeShaped(rule.to_string()));
                     };
                     if a == b {
@@ -477,15 +472,11 @@ impl Ctx {
         // bottom-up.
         let head_comp = comp[&head_var];
         let mut head_conjuncts: Vec<UnaryCond> = Vec::new();
-        let head_pred =
-            self.fold_component(&head_var, head_comp, &vars, &edges, &unary, &comp)?;
+        let head_pred = self.fold_component(&head_var, head_comp, &vars, &edges, &unary, &comp)?;
         head_conjuncts.push(UnaryCond::Pred(head_pred));
 
         // Other components contribute global existence conditions.
-        let mut other_roots: Vec<&String> = vars
-            .iter()
-            .filter(|v| comp[*v] != head_comp)
-            .collect();
+        let mut other_roots: Vec<&String> = vars.iter().filter(|v| comp[*v] != head_comp).collect();
         // One root per component (first member encountered).
         other_roots.dedup_by_key(|v| comp[*v]);
         let mut handled: Vec<usize> = Vec::new();
@@ -551,8 +542,7 @@ impl Ctx {
         // Fold bottom-up: process in reverse BFS order.
         let mut cond_pred: HashMap<&str, String> = HashMap::new();
         for &v in order.iter().rev() {
-            let mut conjuncts: Vec<UnaryCond> =
-                unary.get(v).cloned().unwrap_or_default();
+            let mut conjuncts: Vec<UnaryCond> = unary.get(v).cloned().unwrap_or_default();
             // Children of v = vars whose parent edge connects to v.
             for &w in &order {
                 if w == v {
@@ -578,14 +568,15 @@ impl Ctx {
     }
 }
 
-fn components(
-    vars: &[String],
-    edges: &[(String, String, EdgeKind)],
-) -> HashMap<String, usize> {
+fn components(vars: &[String], edges: &[(String, String, EdgeKind)]) -> HashMap<String, usize> {
     // Union-find over variable indices.
-    let idx: HashMap<&str, usize> = vars.iter().enumerate().map(|(i, v)| (v.as_str(), i)).collect();
+    let idx: HashMap<&str, usize> = vars
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (v.as_str(), i))
+        .collect();
     let mut uf: Vec<usize> = (0..vars.len()).collect();
-    fn find(uf: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(uf: &mut [usize], mut x: usize) -> usize {
         while uf[x] != x {
             uf[x] = uf[uf[x]];
             x = uf[x];
@@ -593,7 +584,10 @@ fn components(
         x
     }
     for (s, t, _) in edges {
-        let (a, b) = (find(&mut uf, idx[s.as_str()]), find(&mut uf, idx[t.as_str()]));
+        let (a, b) = (
+            find(&mut uf, idx[s.as_str()]),
+            find(&mut uf, idx[t.as_str()]),
+        );
         if a != b {
             uf[a] = b;
         }
@@ -618,7 +612,13 @@ mod tests {
         let db = crate::structure::tree_db(&doc);
         let reference = crate::seminaive::eval(&db, &program).unwrap();
         // TMNF path (strict, with child elimination).
-        let t = to_tmnf(&program, TmnfOptions { eliminate_child: true }).unwrap();
+        let t = to_tmnf(
+            &program,
+            TmnfOptions {
+                eliminate_child: true,
+            },
+        )
+        .unwrap();
         assert!(is_tmnf(&t.program), "not strict TMNF:\n{}", t.program);
         let result = MonadicEvaluator::new(&doc).eval(&program).unwrap();
         for pred in program.idb_predicates() {
@@ -646,10 +646,22 @@ mod tests {
     #[test]
     fn output_is_strict_tmnf_for_child_rules() {
         let p = parse_program(r#"q(X) :- child(X, Y), label(Y, "td")."#).unwrap();
-        let t = to_tmnf(&p, TmnfOptions { eliminate_child: true }).unwrap();
+        let t = to_tmnf(
+            &p,
+            TmnfOptions {
+                eliminate_child: true,
+            },
+        )
+        .unwrap();
         assert!(is_tmnf(&t.program), "{}", t.program);
         // and without elimination it is generalized TMNF (child allowed)
-        let t2 = to_tmnf(&p, TmnfOptions { eliminate_child: false }).unwrap();
+        let t2 = to_tmnf(
+            &p,
+            TmnfOptions {
+                eliminate_child: false,
+            },
+        )
+        .unwrap();
         assert!(t2
             .program
             .rules
@@ -735,7 +747,13 @@ mod tests {
             }
             let src = format!("q(V{k}) :- {}.", body.join(", "));
             let p = parse_program(&src).unwrap();
-            let t = to_tmnf(&p, TmnfOptions { eliminate_child: true }).unwrap();
+            let t = to_tmnf(
+                &p,
+                TmnfOptions {
+                    eliminate_child: true,
+                },
+            )
+            .unwrap();
             sizes.push((p.size(), t.program.size()));
         }
         // Output size should grow by a constant factor, not quadratically.

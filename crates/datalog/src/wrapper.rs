@@ -70,7 +70,11 @@ impl Wrapper {
         // selections by extraction priority, which `extraction` already
         // encodes. Sort stably by node document order within a predicate is
         // already given.
-        Ok(tree_minor_with_values(doc, &selections, &self.minor_options))
+        Ok(tree_minor_with_values(
+            doc,
+            &selections,
+            &self.minor_options,
+        ))
     }
 }
 

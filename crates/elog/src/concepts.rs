@@ -50,8 +50,18 @@ impl ConceptRegistry {
         r.add_semantic(
             "isCountry",
             &[
-                "austria", "germany", "italy", "france", "spain", "switzerland", "usa",
-                "united states", "uk", "united kingdom", "japan", "china",
+                "austria",
+                "germany",
+                "italy",
+                "france",
+                "spain",
+                "switzerland",
+                "usa",
+                "united states",
+                "uk",
+                "united kingdom",
+                "japan",
+                "china",
             ],
         );
         r.add_semantic(
@@ -108,10 +118,7 @@ pub fn compare_values(left: &str, op: &str, right: &str) -> bool {
     use std::cmp::Ordering;
     let ord = if let (Some(a), Some(b)) = (parse_date(left), parse_date(right)) {
         a.cmp(&b)
-    } else if let (Ok(a), Ok(b)) = (
-        left.trim().parse::<f64>(),
-        right.trim().parse::<f64>(),
-    ) {
+    } else if let (Ok(a), Ok(b)) = (left.trim().parse::<f64>(), right.trim().parse::<f64>()) {
         a.partial_cmp(&b).unwrap_or(Ordering::Equal)
     } else {
         left.trim().cmp(right.trim())

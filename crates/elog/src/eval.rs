@@ -17,9 +17,7 @@ use std::collections::HashMap;
 
 use lixto_tree::{Document, NodeId};
 
-use crate::ast::{
-    Condition, ElementPath, ElogProgram, ElogRule, Extraction, ParentSpec, UrlExpr,
-};
+use crate::ast::{Condition, ElementPath, ElogProgram, ElogRule, Extraction, ParentSpec, UrlExpr};
 use crate::concepts::{compare_values, ConceptRegistry};
 use crate::instances::{DocId, Instance, InstanceBase, Target};
 use crate::path::{check_attr, eval_path, tag_matches, PathMatch};
@@ -148,7 +146,13 @@ impl<'w> Extractor<'w> {
                 match st.fetch(self.web, url, self.options.max_documents) {
                     Some(did) => {
                         let root = st.docs[did.0 as usize].root();
-                        vec![(None, Target::Node { doc: did, node: root })]
+                        vec![(
+                            None,
+                            Target::Node {
+                                doc: did,
+                                node: root,
+                            },
+                        )]
                     }
                     None => vec![],
                 }
@@ -168,9 +172,8 @@ impl<'w> Extractor<'w> {
                 .iter()
                 .map(|c| match c {
                     Condition::Before { path, .. } | Condition::After { path, .. } => {
-                        forest_of(&s_target, &st.docs).map(|(did, roots)| {
-                            eval_path(&st.docs[did.0 as usize], &roots, path)
-                        })
+                        forest_of(&s_target, &st.docs)
+                            .map(|(did, roots)| eval_path(&st.docs[did.0 as usize], &roots, path))
                     }
                     _ => None,
                 })
@@ -194,8 +197,7 @@ impl<'w> Extractor<'w> {
                     };
                     !snapshot.iter().any(|o| {
                         if let Target::NodeSeq { nodes: onodes, .. } = o {
-                            onodes.len() > nodes.len()
-                                && nodes.iter().all(|n| onodes.contains(n))
+                            onodes.len() > nodes.len() && nodes.iter().all(|n| onodes.contains(n))
                         } else {
                             false
                         }
@@ -210,7 +212,7 @@ impl<'w> Extractor<'w> {
                 accepted = accepted
                     .into_iter()
                     .enumerate()
-                    .filter(|(i, _)| *i + 1 >= from && *i + 1 <= to)
+                    .filter(|(i, _)| *i + 1 >= from && *i < to)
                     .map(|(_, t)| t)
                     .collect();
             }
@@ -227,12 +229,7 @@ impl<'w> Extractor<'w> {
     }
 
     /// Apply the extraction atom, yielding (target, initial env) pairs.
-    fn extract(
-        &self,
-        rule: &ElogRule,
-        s: &Target,
-        st: &mut State,
-    ) -> Vec<(Target, Env)> {
+    fn extract(&self, rule: &ElogRule, s: &Target, st: &mut State) -> Vec<(Target, Env)> {
         match &rule.extraction {
             Extraction::Specialize => vec![(s.clone(), Env::new())],
             Extraction::Subelem(path) => {
@@ -350,7 +347,13 @@ impl<'w> Extractor<'w> {
                 match st.fetch(self.web, &url, self.options.max_documents) {
                     Some(did) => {
                         let root = st.docs[did.0 as usize].root();
-                        vec![(Target::Node { doc: did, node: root }, Env::new())]
+                        vec![(
+                            Target::Node {
+                                doc: did,
+                                node: root,
+                            },
+                            Env::new(),
+                        )]
                     }
                     None => vec![],
                 }
@@ -510,9 +513,7 @@ impl<'w> Extractor<'w> {
             } => {
                 let value = match env.get(var) {
                     Some(Value::Str(sv)) => sv.clone(),
-                    Some(Value::Node(did, node)) => {
-                        st.docs[did.0 as usize].text_content(*node)
-                    }
+                    Some(Value::Node(did, node)) => st.docs[did.0 as usize].text_content(*node),
                     None if var == "X" => target_text(x, &st.docs),
                     None => return vec![],
                 };
@@ -538,7 +539,9 @@ impl<'w> Extractor<'w> {
                         None => None,
                     }
                 };
-                let Some(l) = resolve(left) else { return vec![] };
+                let Some(l) = resolve(left) else {
+                    return vec![];
+                };
                 let r = if *right_is_literal {
                     right.clone()
                 } else {
@@ -700,19 +703,15 @@ mod tests {
         );
         let program = ElogProgram {
             rules: vec![
-                rule(
-                    "page",
-                    doc_parent(),
-                    Extraction::Specialize,
-                    vec![],
-                ),
+                rule("page", doc_parent(), Extraction::Specialize, vec![]),
                 rule(
                     "desc",
                     ParentSpec::Pattern("page".into()),
-                    Extraction::Subelem(
-                        ElementPath::anywhere("td")
-                            .with_attr("elementtext", "D", AttrMode::Substr),
-                    ),
+                    Extraction::Subelem(ElementPath::anywhere("td").with_attr(
+                        "elementtext",
+                        "D",
+                        AttrMode::Substr,
+                    )),
                     vec![],
                 ),
             ],
@@ -912,9 +911,7 @@ mod tests {
     #[test]
     fn pattern_reference_with_binding() {
         // bids-like: td cells that are within distance of a price cell.
-        let web = page(
-            "<table><tr><td>Desc</td><td>$ 5</td><td>7</td></tr></table>",
-        );
+        let web = page("<table><tr><td>Desc</td><td>$ 5</td><td>7</td></tr></table>");
         let mut program = ElogProgram::default();
         program.rules.push(rule(
             "row",
@@ -925,30 +922,30 @@ mod tests {
         program.rules.push(rule(
             "price",
             ParentSpec::Pattern("row".into()),
-            Extraction::Subelem(
-                ElementPath::children(&["td"]).with_attr(
-                    "elementtext",
-                    r"\var[Y](\$|EUR)",
-                    AttrMode::Regvar,
-                ),
-            ),
+            Extraction::Subelem(ElementPath::children(&["td"]).with_attr(
+                "elementtext",
+                r"\var[Y](\$|EUR)",
+                AttrMode::Regvar,
+            )),
             vec![],
         ));
         program.rules.push(rule(
             "bids",
             ParentSpec::Pattern("row".into()),
             Extraction::Subelem(ElementPath::children(&["td"])),
-            vec![Condition::Before {
-                path: ElementPath::children(&["td"]),
-                min: 0,
-                max: 5,
-                bind: Some("Y".into()),
-                negated: false,
-            },
-            Condition::PatternRef {
-                pattern: "price".into(),
-                var: "Y".into(),
-            }],
+            vec![
+                Condition::Before {
+                    path: ElementPath::children(&["td"]),
+                    min: 0,
+                    max: 5,
+                    bind: Some("Y".into()),
+                    negated: false,
+                },
+                Condition::PatternRef {
+                    pattern: "price".into(),
+                    var: "Y".into(),
+                },
+            ],
         ));
         let result = Extractor::new(program, &web).run();
         assert_eq!(result.texts_of("bids"), vec!["7"]);
@@ -973,8 +970,11 @@ mod tests {
                 },
                 vec![
                     Condition::Before {
-                        path: ElementPath::anywhere("table")
-                            .with_attr("elementtext", "item", AttrMode::Substr),
+                        path: ElementPath::anywhere("table").with_attr(
+                            "elementtext",
+                            "item",
+                            AttrMode::Substr,
+                        ),
                         min: 0,
                         max: 0,
                         bind: None,

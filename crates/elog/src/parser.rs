@@ -383,10 +383,7 @@ impl P<'_> {
                             .var_or_blank()?
                             .ok_or_else(|| self.err("pattern reference needs a variable"))?;
                         self.expect(")")?;
-                        conditions.push(Condition::PatternRef {
-                            pattern: name,
-                            var,
-                        });
+                        conditions.push(Condition::PatternRef { pattern: name, var });
                     } else {
                         let var = self
                             .var_or_blank()?
@@ -541,9 +538,7 @@ impl P<'_> {
                     });
                     descend = false;
                 }
-                Some(&b)
-                    if b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b'#' =>
-                {
+                Some(&b) if b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b'#' => {
                     let start = self.pos;
                     while self.pos < self.src.len() {
                         let b = self.src[self.pos];
@@ -605,7 +600,9 @@ mod tests {
         );
         // tableseq rule shape
         let ts = &p.rules[0];
-        assert!(matches!(ts.parent, ParentSpec::Document(UrlExpr::Const(ref u)) if u == "www.ebay.com/"));
+        assert!(
+            matches!(ts.parent, ParentSpec::Document(UrlExpr::Const(ref u)) if u == "www.ebay.com/")
+        );
         assert!(matches!(ts.extraction, Extraction::Subsq { .. }));
         assert_eq!(ts.conditions.len(), 2);
         // bids rule has a binding + pattern reference
@@ -673,7 +670,10 @@ mod tests {
         ));
         assert!(matches!(
             &p.rules[0].conditions[1],
-            Condition::Comparison { right_is_literal: true, .. }
+            Condition::Comparison {
+                right_is_literal: true,
+                ..
+            }
         ));
     }
 

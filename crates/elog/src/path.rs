@@ -158,7 +158,7 @@ pub fn compile_regvar(pattern: &str) -> (String, Vec<String>) {
                 i += 1;
             }
             i += 1; // ']'
-            // Optional refining subpattern in parentheses.
+                    // Optional refining subpattern in parentheses.
             if i < chars.len() && chars[i] == '(' {
                 let mut depth = 0;
                 let mut sub = String::new();
@@ -204,10 +204,8 @@ mod tests {
     use lixto_tree::build::from_sexp;
 
     fn doc() -> Document {
-        from_sexp(
-            r#"(body (table (tr (td (a href="x" "Desc")) (td "$ 10.00") (td "3"))) (hr))"#,
-        )
-        .unwrap()
+        from_sexp(r#"(body (table (tr (td (a href="x" "Desc")) (td "$ 10.00") (td "3"))) (hr))"#)
+            .unwrap()
     }
 
     #[test]

@@ -62,9 +62,7 @@ pub fn rule_to_string(r: &ElogRule) -> String {
         )),
         Extraction::Subtext(t) => parts.push(format!("subtext(S, \"{t}\", X)")),
         Extraction::Subatt(a) => parts.push(format!("subatt(S, {a}, X)")),
-        Extraction::Document(UrlExpr::Const(u)) => {
-            parts.push(format!("document(\"{u}\", X)"))
-        }
+        Extraction::Document(UrlExpr::Const(u)) => parts.push(format!("document(\"{u}\", X)")),
         Extraction::Document(UrlExpr::Var(v)) => parts.push(format!("document({v}, X)")),
         Extraction::Specialize => {}
     }

@@ -147,7 +147,10 @@ mod tests {
 
     #[test]
     fn unknown_entities_pass_through() {
-        assert_eq!(decode("&bogus; &noSemicolonEver"), "&bogus; &noSemicolonEver");
+        assert_eq!(
+            decode("&bogus; &noSemicolonEver"),
+            "&bogus; &noSemicolonEver"
+        );
         assert_eq!(decode("x & y"), "x & y");
     }
 

@@ -298,7 +298,13 @@ mod tests {
     #[test]
     fn self_closing_flag() {
         let t = toks("<br/><img src=x />");
-        assert!(matches!(&t[0], Token::StartTag { self_closing: true, .. }));
+        assert!(matches!(
+            &t[0],
+            Token::StartTag {
+                self_closing: true,
+                ..
+            }
+        ));
         assert!(matches!(&t[1], Token::StartTag { name, self_closing: true, .. } if name == "img"));
     }
 

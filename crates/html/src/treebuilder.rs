@@ -13,8 +13,8 @@ use crate::tokenizer::{Token, Tokenizer};
 
 /// Elements that never have children.
 const VOID: &[&str] = &[
-    "area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta", "param",
-    "source", "track", "wbr",
+    "area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta", "param", "source",
+    "track", "wbr",
 ];
 
 /// Parsing options.
@@ -138,14 +138,34 @@ fn implies_end(open: &str, next: &str) -> bool {
         "option" => next == "option" || next == "optgroup",
         "tr" => next == "tr" || next == "tbody" || next == "thead" || next == "tfoot",
         "td" | "th" => {
-            next == "td" || next == "th" || next == "tr" || next == "tbody" || next == "thead"
+            next == "td"
+                || next == "th"
+                || next == "tr"
+                || next == "tbody"
+                || next == "thead"
                 || next == "tfoot"
         }
         "thead" | "tbody" | "tfoot" => next == "tbody" || next == "tfoot",
         "p" => matches!(
             next,
-            "p" | "div" | "table" | "ul" | "ol" | "dl" | "li" | "h1" | "h2" | "h3" | "h4"
-                | "h5" | "h6" | "blockquote" | "pre" | "form" | "hr" | "section" | "article"
+            "p" | "div"
+                | "table"
+                | "ul"
+                | "ol"
+                | "dl"
+                | "li"
+                | "h1"
+                | "h2"
+                | "h3"
+                | "h4"
+                | "h5"
+                | "h6"
+                | "blockquote"
+                | "pre"
+                | "form"
+                | "hr"
+                | "section"
+                | "article"
         ),
         _ => false,
     }
@@ -220,10 +240,7 @@ mod tests {
 
     #[test]
     fn unclosed_elements_closed_at_eof() {
-        assert_eq!(
-            sexp("<div><span>deep"),
-            r#"(html (div (span "deep")))"#
-        );
+        assert_eq!(sexp("<div><span>deep"), r#"(html (div (span "deep")))"#);
     }
 
     #[test]

@@ -49,9 +49,7 @@ impl Ast {
     pub fn group_count(&self) -> usize {
         match self {
             Ast::Empty | Ast::Class(_) | Ast::AssertStart | Ast::AssertEnd => 0,
-            Ast::Concat(parts) | Ast::Alternate(parts) => {
-                parts.iter().map(Ast::group_count).sum()
-            }
+            Ast::Concat(parts) | Ast::Alternate(parts) => parts.iter().map(Ast::group_count).sum(),
             Ast::Repeat { inner, .. } | Ast::NonCapturing(inner) => inner.group_count(),
             Ast::Group { inner, .. } => 1 + inner.group_count(),
         }

@@ -56,16 +56,19 @@ impl CharClass {
 
     /// Perl `\w`.
     pub fn word() -> CharClass {
-        CharClass::from_ranges(
-            vec![('0', '9'), ('A', 'Z'), ('a', 'z'), ('_', '_')],
-            false,
-        )
+        CharClass::from_ranges(vec![('0', '9'), ('A', 'Z'), ('a', 'z'), ('_', '_')], false)
     }
 
     /// Perl `\s`.
     pub fn space() -> CharClass {
         CharClass::from_ranges(
-            vec![(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r'), ('\x0b', '\x0c')],
+            vec![
+                (' ', ' '),
+                ('\t', '\t'),
+                ('\n', '\n'),
+                ('\r', '\r'),
+                ('\x0b', '\x0c'),
+            ],
             false,
         )
     }
@@ -101,7 +104,10 @@ impl CharClass {
         for &(lo, hi) in &self.ranges {
             // Add the case-swapped image of the ASCII-letter intersection.
             let (lo, hi) = (lo as u32, hi as u32);
-            for (a, b, delta) in [('A' as u32, 'Z' as u32, 32i32), ('a' as u32, 'z' as u32, -32)] {
+            for (a, b, delta) in [
+                ('A' as u32, 'Z' as u32, 32i32),
+                ('a' as u32, 'z' as u32, -32),
+            ] {
                 let s = lo.max(a);
                 let e = hi.min(b);
                 if s <= e {

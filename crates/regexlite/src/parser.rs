@@ -121,10 +121,7 @@ impl Parser<'_> {
             }
             _ => return Ok(atom),
         };
-        if matches!(
-            atom,
-            Ast::AssertStart | Ast::AssertEnd
-        ) {
+        if matches!(atom, Ast::AssertStart | Ast::AssertEnd) {
             return Err(self.err("cannot repeat an anchor"));
         }
         if matches!(atom, Ast::Empty) {
@@ -201,9 +198,7 @@ impl Parser<'_> {
                 let class = self.escape()?;
                 Ok(Ast::Class(class))
             }
-            Some(c @ ('*' | '+' | '?')) => {
-                Err(self.err(&format!("dangling quantifier '{c}'")))
-            }
+            Some(c @ ('*' | '+' | '?')) => Err(self.err(&format!("dangling quantifier '{c}'"))),
             Some(c) => {
                 self.bump();
                 Ok(Ast::Class(CharClass::single(c)))
@@ -368,15 +363,27 @@ mod tests {
     fn counted_repetition_forms() {
         assert!(matches!(
             parse("a{3}").unwrap(),
-            Ast::Repeat { min: 3, max: Some(3), .. }
+            Ast::Repeat {
+                min: 3,
+                max: Some(3),
+                ..
+            }
         ));
         assert!(matches!(
             parse("a{2,}").unwrap(),
-            Ast::Repeat { min: 2, max: None, .. }
+            Ast::Repeat {
+                min: 2,
+                max: None,
+                ..
+            }
         ));
         assert!(matches!(
             parse("a{2,5}").unwrap(),
-            Ast::Repeat { min: 2, max: Some(5), .. }
+            Ast::Repeat {
+                min: 2,
+                max: Some(5),
+                ..
+            }
         ));
     }
 

@@ -83,7 +83,10 @@ pub fn run(prog: &Program, haystack: &str, anchored: bool) -> Option<Slots> {
                     break;
                 }
                 // Epsilon instructions were resolved in add_thread.
-                Inst::Split { .. } | Inst::Jmp(_) | Inst::Save(_) | Inst::AssertStart
+                Inst::Split { .. }
+                | Inst::Jmp(_)
+                | Inst::Save(_)
+                | Inst::AssertStart
                 | Inst::AssertEnd => {
                     unreachable!("epsilon instructions are expanded eagerly")
                 }

@@ -17,6 +17,9 @@ pub struct DeliveredMessage {
     pub body: String,
 }
 
+/// An arbitrary XML→XML transformation, boxed for storage in a pipe node.
+pub type TransformFn = Box<dyn Fn(&[Element]) -> Option<Element> + Send>;
+
 /// A pipeline component: consumes zero or more input XML documents and
 /// produces one output document (or None to emit nothing this round).
 pub enum Component {
@@ -30,7 +33,7 @@ pub enum Component {
         root: String,
     },
     /// Transformer: an arbitrary XML→XML function ("transform it").
-    Transform(Box<dyn Fn(&[Element]) -> Option<Element> + Send>),
+    Transform(TransformFn),
     /// Deliverer: serializes the input for an output channel; with
     /// `only_on_change`, suppresses deliveries identical to the previous
     /// one (§6.2).

@@ -193,16 +193,15 @@ pub fn run_threaded(
                         }
                         if let Some(doc) = batch.first() {
                             let body = lixto_xml::to_string(doc);
-                            if !only_on_change || detector.changed(&body) {
-                                if dtx
+                            if (!only_on_change || detector.changed(&body))
+                                && dtx
                                     .send(DeliveredMessage {
                                         channel: channel.clone(),
                                         body,
                                     })
                                     .is_err()
-                                {
-                                    return;
-                                }
+                            {
+                                return;
                             }
                         }
                     }
@@ -311,7 +310,11 @@ mod tests {
         // Web identical at ticks 0–1, then jumps at ticks 2–3 (status
         // tick 5 advances every flight regardless of its speed 1..3).
         let delivered = run_ticks(&pipe, 4, &|tick| {
-            Box::new(lixto_workloads::flights::site(11, 3, if tick < 2 { 0 } else { 5 }))
+            Box::new(lixto_workloads::flights::site(
+                11,
+                3,
+                if tick < 2 { 0 } else { 5 },
+            ))
         });
         // tick 0: first delivery; tick 1: same page, suppressed; tick 2:
         // statuses moved → delivery; tick 3: suppressed.

@@ -19,7 +19,7 @@ impl Trigger {
     pub fn fires(self, tick: u64) -> bool {
         match self {
             Trigger::EveryTick => true,
-            Trigger::Every(n) => n != 0 && tick % n == 0,
+            Trigger::Every(n) => n != 0 && tick.is_multiple_of(n),
             Trigger::Never => false,
         }
     }

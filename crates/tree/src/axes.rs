@@ -113,9 +113,7 @@ impl Axis {
             NextSibling => doc.next_sibling(x) == Some(y),
             PrevSibling => doc.prev_sibling(x) == Some(y),
             FollowingSibling => {
-                doc.parent(x).is_some()
-                    && doc.parent(x) == doc.parent(y)
-                    && doc.doc_before(x, y)
+                doc.parent(x).is_some() && doc.parent(x) == doc.parent(y) && doc.doc_before(x, y)
             }
             PrecedingSibling => Axis::FollowingSibling.holds(doc, y, x),
             FollowingSiblingOrSelf => x == y || Axis::FollowingSibling.holds(doc, x, y),
@@ -287,11 +285,7 @@ mod tests {
                     }
                 }
                 // z1 ancestor-or-self of x — note direction: Child*(z1,x)
-                assert_eq!(
-                    Axis::Following.holds(&doc, x, y),
-                    by_def,
-                    "x={x} y={y}"
-                );
+                assert_eq!(Axis::Following.holds(&doc, x, y), by_def, "x={x} y={y}");
             }
         }
     }

@@ -168,7 +168,11 @@ pub struct SexpError {
 
 impl std::fmt::Display for SexpError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "s-expression error at byte {}: {}", self.at, self.message)
+        write!(
+            f,
+            "s-expression error at byte {}: {}",
+            self.at, self.message
+        )
     }
 }
 
@@ -284,9 +288,7 @@ impl SexpParser<'_> {
         while let Some(&b) = self.bytes.get(self.pos) {
             self.pos += 1;
             match b {
-                b'"' => {
-                    return String::from_utf8(out).map_err(|_| self.err("string is not UTF-8"))
-                }
+                b'"' => return String::from_utf8(out).map_err(|_| self.err("string is not UTF-8")),
                 b'\\' => {
                     let esc = self
                         .bytes

@@ -225,7 +225,8 @@ mod tests {
     #[test]
     fn attributes_carry_through() {
         let doc = from_sexp(r#"(a (img src="cover.png"))"#).unwrap();
-        let out = tree_minor_with_values(&doc, &sel(&doc, "img", "cover"), &MinorOptions::default());
+        let out =
+            tree_minor_with_values(&doc, &sel(&doc, "img", "cover"), &MinorOptions::default());
         assert_eq!(to_sexp(&out), r#"(result (cover src="cover.png"))"#);
     }
 }

@@ -60,7 +60,11 @@ impl Order {
                 stack.push((k, false));
             }
         }
-        debug_assert_eq!(preorder.len(), n, "all nodes must be reachable from the root");
+        debug_assert_eq!(
+            preorder.len(),
+            n,
+            "all nodes must be reachable from the root"
+        );
         Order {
             pre,
             post,
@@ -96,7 +100,10 @@ impl Order {
     /// Half-open preorder interval covered by `n`'s subtree.
     #[inline]
     pub fn subtree_range(&self, n: NodeId) -> (usize, usize) {
-        (self.pre[n.index()] as usize, self.subtree_end[n.index()] as usize)
+        (
+            self.pre[n.index()] as usize,
+            self.subtree_end[n.index()] as usize,
+        )
     }
 
     /// O(1) `child*(a, b)` test via interval containment.

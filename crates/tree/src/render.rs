@@ -73,8 +73,7 @@ pub fn to_outline(doc: &Document) -> String {
             }
             NodeKind::Element => {
                 out.push_str(doc.label_str(n));
-                let attrs: Vec<String> =
-                    doc.attrs(n).map(|(k, v)| format!("{k}={v:?}")).collect();
+                let attrs: Vec<String> = doc.attrs(n).map(|(k, v)| format!("{k}={v:?}")).collect();
                 if !attrs.is_empty() {
                     out.push_str(&format!(" [{}]", attrs.join(" ")));
                 }

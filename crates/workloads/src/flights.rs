@@ -68,7 +68,10 @@ pub const FLIGHT_WRAPPER: &str = r#"
 /// Web at a tick.
 pub fn site(seed: u64, n: usize, tick: u64) -> lixto_elog::StaticWeb {
     let mut web = lixto_elog::StaticWeb::new();
-    web.put("http://airport/departures", status_page(&flights(seed, n, tick)));
+    web.put(
+        "http://airport/departures",
+        status_page(&flights(seed, n, tick)),
+    );
     web
 }
 
@@ -82,7 +85,10 @@ mod tests {
         let web = site(11, 5, 3);
         let program = parse_program(FLIGHT_WRAPPER).unwrap();
         let result = Extractor::new(program, &web).run();
-        let want: Vec<String> = flights(11, 5, 3).iter().map(|f| f.status.to_string()).collect();
+        let want: Vec<String> = flights(11, 5, 3)
+            .iter()
+            .map(|f| f.status.to_string())
+            .collect();
         assert_eq!(result.texts_of("status"), want);
         assert_eq!(result.texts_of("number").len(), 5);
     }

@@ -143,7 +143,11 @@ mod tests {
         let page = crate::ebay::listing_page(&records);
         let mut rng = StdRng::seed_from_u64(8);
         // Sibling-level noise: the subsq landmarks still hold.
-        for &p in &[Perturbation::TopBanner, Perturbation::Footer, Perturbation::AttrNoise] {
+        for &p in &[
+            Perturbation::TopBanner,
+            Perturbation::Footer,
+            Perturbation::AttrNoise,
+        ] {
             let mutated = apply(&page, p, &mut rng);
             let mut web = StaticWeb::new();
             web.put("www.ebay.com/", mutated);

@@ -16,9 +16,13 @@ pub struct SpotPrice {
 pub fn day_prices(seed: u64, exchange: usize, day: u64) -> Vec<SpotPrice> {
     (0..24)
         .map(|hour| {
-            let r = hash01(seed.wrapping_add(exchange as u64 * 31), day * 24 + hour as u64);
+            let r = hash01(
+                seed.wrapping_add(exchange as u64 * 31),
+                day * 24 + hour as u64,
+            );
             // Morning/evening peaks.
-            let shape = 1.0 + 0.5 * (((hour as f64 - 8.0) / 3.0).powi(2)).min(4.0).recip()
+            let shape = 1.0
+                + 0.5 * (((hour as f64 - 8.0) / 3.0).powi(2)).min(4.0).recip()
                 + 0.5 * (((hour as f64 - 19.0) / 3.0).powi(2)).min(4.0).recip();
             SpotPrice {
                 hour,

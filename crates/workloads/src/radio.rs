@@ -7,12 +7,24 @@ use crate::hash01;
 
 /// Station names (8 radio channels, national + international).
 pub const STATIONS: &[&str] = &[
-    "radio-wien", "oe3", "fm4", "radio-tirol", "antenne", "energy", "radio-paris",
+    "radio-wien",
+    "oe3",
+    "fm4",
+    "radio-tirol",
+    "antenne",
+    "energy",
+    "radio-paris",
     "radio-berlin",
 ];
 
 /// Chart names (5 major charts).
-pub const CHARTS: &[&str] = &["austria-top40", "uk-singles", "billboard", "eurochart", "club"];
+pub const CHARTS: &[&str] = &[
+    "austria-top40",
+    "uk-singles",
+    "billboard",
+    "eurochart",
+    "club",
+];
 
 /// A song.
 #[derive(Debug, Clone, PartialEq)]
@@ -59,10 +71,7 @@ pub fn playlist_page(seed: u64, station: usize, tick: u64) -> String {
 
 /// Chart page: top-10 list with ranks.
 pub fn chart_page(seed: u64, chart: usize, week: u64) -> String {
-    let mut h = format!(
-        "<html><body><h1>{}</h1><ol class=\"chart\">",
-        CHARTS[chart]
-    );
+    let mut h = format!("<html><body><h1>{}</h1><ol class=\"chart\">", CHARTS[chart]);
     for rank in 0..10 {
         let s = now_playing(seed.wrapping_add(chart as u64 * 977), rank, week);
         h.push_str(&format!(
@@ -84,17 +93,14 @@ pub fn lyrics_page(title: &str) -> String {
 /// Build the full 14-source web at a given (radio tick, chart week).
 pub fn site(seed: u64, tick: u64, week: u64) -> lixto_elog::StaticWeb {
     let mut web = lixto_elog::StaticWeb::new();
-    for s in 0..STATIONS.len() {
+    for (s, station) in STATIONS.iter().enumerate() {
         web.put(
-            &format!("http://{}/playlist", STATIONS[s]),
+            &format!("http://{station}/playlist"),
             playlist_page(seed, s, tick),
         );
     }
-    for c in 0..CHARTS.len() {
-        web.put(
-            &format!("http://charts/{}", CHARTS[c]),
-            chart_page(seed, c, week),
-        );
+    for (c, chart) in CHARTS.iter().enumerate() {
+        web.put(&format!("http://charts/{chart}"), chart_page(seed, c, week));
     }
     // One lyrics server page per currently playing song.
     for s in 0..STATIONS.len() {

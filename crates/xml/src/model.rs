@@ -138,12 +138,8 @@ impl Element {
     /// Text content of the first child element with the given name,
     /// trimmed. `None` if there is no such child.
     pub fn child_text(&self, name: &str) -> Option<&str> {
-        self.child(name).and_then(|e| {
-            e.children
-                .iter()
-                .find_map(XmlNode::as_text)
-                .map(str::trim)
-        })
+        self.child(name)
+            .and_then(|e| e.children.iter().find_map(XmlNode::as_text).map(str::trim))
     }
 
     /// Concatenated text of this element's whole subtree.

@@ -107,9 +107,7 @@ impl NodeTest {
             NodeTest::AnyNode => true,
             NodeTest::Text => doc.kind(n) == NodeKind::Text,
             NodeTest::AnyElement => doc.kind(n) == NodeKind::Element,
-            NodeTest::Name(name) => {
-                doc.kind(n) == NodeKind::Element && doc.label_str(n) == name
-            }
+            NodeTest::Name(name) => doc.kind(n) == NodeKind::Element && doc.label_str(n) == name,
         }
     }
 }

@@ -15,7 +15,6 @@ use lixto_tree::{Axis, Document, NodeId};
 
 use crate::ast::{Expr, LocationPath, NodeTest, Step, XPathError};
 
-
 /// A node set as a bitmask over node indices.
 #[derive(Clone)]
 pub(crate) struct NodeSet {
@@ -146,9 +145,7 @@ fn apply_step(
         // Contributions of the virtual document node.
         match step.axis {
             Axis::Child | Axis::FirstChild => to.insert(doc.root()),
-            Axis::Descendant | Axis::DescendantOrSelf => {
-                to.union_with(&NodeSet::full(doc.len()))
-            }
+            Axis::Descendant | Axis::DescendantOrSelf => to.union_with(&NodeSet::full(doc.len())),
             _ => {}
         }
     }
@@ -379,7 +376,11 @@ fn eval_pred_set(doc: &Document, e: &Expr) -> Result<NodeSet, XPathError> {
                 eval_path_backwards(doc, p)
             }
         }
-        Expr::Cmp(..) | Expr::Number(_) | Expr::Literal(_) | Expr::Position | Expr::Last
+        Expr::Cmp(..)
+        | Expr::Number(_)
+        | Expr::Literal(_)
+        | Expr::Position
+        | Expr::Last
         | Expr::Count(_) => Err(XPathError::new(
             "not a Core XPath query (position/last/comparison/count) — use the cvt evaluator",
         )),
@@ -431,9 +432,7 @@ mod tests {
 
     #[test]
     fn predicates_with_negation() {
-        let doc = lixto_html::parse(
-            "<ul><li>plain</li><li><b>bold</b></li><li>plain2</li></ul>",
-        );
+        let doc = lixto_html::parse("<ul><li>plain</li><li><b>bold</b></li><li>plain2</li></ul>");
         let q = parse("//li[not(b)]").unwrap();
         let hits = eval_core(&doc, &q).unwrap();
         assert_eq!(hits.len(), 2);
@@ -452,7 +451,9 @@ mod tests {
 
     #[test]
     fn ancestor_queries() {
-        let doc = lixto_html::parse("<table><tr><td><table><tr><td>inner</td></tr></table></td></tr></table>");
+        let doc = lixto_html::parse(
+            "<table><tr><td><table><tr><td>inner</td></tr></table></td></tr></table>",
+        );
         let q = parse("//td[ancestor::td]").unwrap();
         let hits = eval_core(&doc, &q).unwrap();
         assert_eq!(texts(&doc, &hits), vec!["inner"]);
@@ -470,7 +471,11 @@ mod tests {
     #[test]
     fn non_core_features_rejected() {
         let doc = lixto_html::parse("<p/>");
-        for q in ["//p[position() = 1]", "//p[count(a) > 2]", "//p[text() = 'x']"] {
+        for q in [
+            "//p[position() = 1]",
+            "//p[count(a) > 2]",
+            "//p[text() = 'x']",
+        ] {
             let query = parse(q).unwrap();
             assert!(eval_core(&doc, &query).is_err(), "{q}");
         }

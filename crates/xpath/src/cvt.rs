@@ -205,7 +205,13 @@ impl Cvt<'_> {
         Ok(s)
     }
 
-    fn truthy(&mut self, e: &Expr, node: NodeId, pos: usize, size: usize) -> Result<bool, XPathError> {
+    fn truthy(
+        &mut self,
+        e: &Expr,
+        node: NodeId,
+        pos: usize,
+        size: usize,
+    ) -> Result<bool, XPathError> {
         Ok(match e {
             Expr::And(a, b) => {
                 self.truthy(a, node, pos, size)? && self.truthy(b, node, pos, size)?

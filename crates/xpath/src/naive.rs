@@ -39,12 +39,7 @@ fn eval_path(doc: &Document, path: &LocationPath, context: &[NodeId]) -> Vec<Nod
         // context nodes, so shared results multiply.
         for &cn in &current {
             let raw: Vec<Option<NodeId>> = match cn {
-                Some(cn) => step
-                    .axis
-                    .partners(doc, cn)
-                    .into_iter()
-                    .map(Some)
-                    .collect(),
+                Some(cn) => step.axis.partners(doc, cn).into_iter().map(Some).collect(),
                 None => {
                     use lixto_tree::Axis;
                     match step.axis {
@@ -72,10 +67,7 @@ fn eval_path(doc: &Document, path: &LocationPath, context: &[NodeId]) -> Vec<Nod
             for (idx, m) in candidates.into_iter().enumerate() {
                 let pos = idx + 1;
                 let keep = match m {
-                    Some(m) => step
-                        .predicates
-                        .iter()
-                        .all(|p| truthy(doc, p, m, pos, size)),
+                    Some(m) => step.predicates.iter().all(|p| truthy(doc, p, m, pos, size)),
                     None => step.predicates.is_empty(),
                 };
                 if keep {
@@ -91,9 +83,7 @@ fn eval_path(doc: &Document, path: &LocationPath, context: &[NodeId]) -> Vec<Nod
 /// Predicate evaluation, re-done from scratch per candidate node.
 fn truthy(doc: &Document, e: &Expr, node: NodeId, pos: usize, size: usize) -> bool {
     match e {
-        Expr::And(a, b) => {
-            truthy(doc, a, node, pos, size) && truthy(doc, b, node, pos, size)
-        }
+        Expr::And(a, b) => truthy(doc, a, node, pos, size) && truthy(doc, b, node, pos, size),
         Expr::Or(a, b) => truthy(doc, a, node, pos, size) || truthy(doc, b, node, pos, size),
         Expr::Not(a) => !truthy(doc, a, node, pos, size),
         Expr::Path(p) => !eval_path(doc, p, &[node]).is_empty(),

@@ -312,7 +312,10 @@ mod tests {
                 if matches!(**a, Expr::Position) && matches!(**b, Expr::Last)
         ));
         let q = parse("//tr[count(td) >= 2]").unwrap();
-        assert!(matches!(&q.steps[1].predicates[0], Expr::Cmp(_, CmpOp::Ge, _)));
+        assert!(matches!(
+            &q.steps[1].predicates[0],
+            Expr::Cmp(_, CmpOp::Ge, _)
+        ));
     }
 
     #[test]

@@ -11,7 +11,9 @@ use crate::ast::{Expr, LocationPath};
 
 /// Is the query in *Core XPath* (navigational only)?
 pub fn is_core(q: &LocationPath) -> bool {
-    q.steps.iter().all(|s| s.predicates.iter().all(expr_is_core))
+    q.steps
+        .iter()
+        .all(|s| s.predicates.iter().all(expr_is_core))
 }
 
 fn expr_is_core(e: &Expr) -> bool {
@@ -19,14 +21,21 @@ fn expr_is_core(e: &Expr) -> bool {
         Expr::Path(p) => is_core(p),
         Expr::And(a, b) | Expr::Or(a, b) => expr_is_core(a) && expr_is_core(b),
         Expr::Not(a) => expr_is_core(a),
-        Expr::Cmp(..) | Expr::Number(_) | Expr::Literal(_) | Expr::Position | Expr::Last
+        Expr::Cmp(..)
+        | Expr::Number(_)
+        | Expr::Literal(_)
+        | Expr::Position
+        | Expr::Last
         | Expr::Count(_) => false,
     }
 }
 
 /// Is the query in *positive* Core XPath (no `not(…)` anywhere)?
 pub fn is_positive_core(q: &LocationPath) -> bool {
-    is_core(q) && q.steps.iter().all(|s| s.predicates.iter().all(expr_is_positive))
+    is_core(q)
+        && q.steps
+            .iter()
+            .all(|s| s.predicates.iter().all(expr_is_positive))
 }
 
 fn expr_is_positive(e: &Expr) -> bool {

@@ -134,16 +134,15 @@ impl Ctx {
     fn axis_pred(&mut self, from: &str, axis: Axis) -> String {
         use Axis::*;
         let out = self.fresh("ax");
-        let step =
-            |cx: &mut Ctx, head: &str, src: &str, rel: &str| {
-                cx.rule(
-                    head,
-                    vec![
-                        Atom::new(src, vec![var("Y")]),
-                        Atom::new(rel, vec![var("Y"), var("X")]),
-                    ],
-                );
-            };
+        let step = |cx: &mut Ctx, head: &str, src: &str, rel: &str| {
+            cx.rule(
+                head,
+                vec![
+                    Atom::new(src, vec![var("Y")]),
+                    Atom::new(rel, vec![var("Y"), var("X")]),
+                ],
+            );
+        };
         match axis {
             SelfAxis => {
                 self.rule(&out, vec![Atom::new(from, vec![var("X")])]);
@@ -311,7 +310,10 @@ impl Ctx {
                 let out = self.fresh("and");
                 self.rule(
                     &out,
-                    vec![Atom::new(&pa, vec![var("X")]), Atom::new(&pb, vec![var("X")])],
+                    vec![
+                        Atom::new(&pa, vec![var("X")]),
+                        Atom::new(&pb, vec![var("X")]),
+                    ],
                 );
                 Ok(out)
             }
@@ -395,8 +397,12 @@ impl Ctx {
                 }
                 Ok(cur.unwrap_or_else(|| self.node_pred()))
             }
-            Expr::Cmp(..) | Expr::Number(_) | Expr::Literal(_) | Expr::Position
-            | Expr::Last | Expr::Count(_) => Err(XPathError::new(
+            Expr::Cmp(..)
+            | Expr::Number(_)
+            | Expr::Literal(_)
+            | Expr::Position
+            | Expr::Last
+            | Expr::Count(_) => Err(XPathError::new(
                 "only Core XPath translates to TMNF (Theorem 4.6)",
             )),
         }
@@ -472,7 +478,9 @@ mod tests {
         assert!(!t.uses_negation);
         let strict = lixto_datalog::tmnf::to_tmnf(
             &t.program,
-            lixto_datalog::tmnf::TmnfOptions { eliminate_child: true },
+            lixto_datalog::tmnf::TmnfOptions {
+                eliminate_child: true,
+            },
         )
         .unwrap();
         assert!(

@@ -24,12 +24,16 @@ fn main() {
         }),
         Trigger::EveryTick,
     );
-    let merged = pipe.stage(Component::Integrate { root: "books".into() }, vec![a, b]);
+    let merged = pipe.stage(
+        Component::Integrate {
+            root: "books".into(),
+        },
+        vec![a, b],
+    );
     // Transformer: sort books by price (cheapest first).
     let sorted = pipe.stage(
         Component::Transform(Box::new(|inputs: &[Element]| {
-            let mut books: Vec<Element> =
-                inputs[0].children_named("book").cloned().collect();
+            let mut books: Vec<Element> = inputs[0].children_named("book").cloned().collect();
             books.sort_by(|x, y| {
                 let p = |e: &Element| {
                     e.text_content()
@@ -49,11 +53,16 @@ fn main() {
         vec![merged],
     );
     pipe.stage(
-        Component::Deliver { channel: "portal".into(), only_on_change: false },
+        Component::Deliver {
+            channel: "portal".into(),
+            only_on_change: false,
+        },
         vec![sorted],
     );
 
-    let delivered = run_ticks(&pipe, 1, &|_| Box::new(lixto_workloads::books::site(7, 4).0));
+    let delivered = run_ticks(&pipe, 1, &|_| {
+        Box::new(lixto_workloads::books::site(7, 4).0)
+    });
     for (tick, msg) in delivered {
         println!("tick {tick} → channel '{}':", msg.channel);
         let doc = lixto_xml::parse(&msg.body).unwrap();

@@ -17,7 +17,10 @@ fn main() {
     let program = lixto_elog::parse_program(lixto_elog::EBAY_PROGRAM).unwrap();
     let result = lixto_elog::Extractor::new(program, &web).run();
 
-    println!("\n--- pattern instance base: {} instances ---", result.base.len());
+    println!(
+        "\n--- pattern instance base: {} instances ---",
+        result.base.len()
+    );
     for pat in ["tableseq", "record", "itemdes", "price", "bids", "currency"] {
         println!("  <{pat}>: {} instances", result.base.of_pattern(pat).len());
     }
@@ -27,9 +30,15 @@ fn main() {
         .label("itemdes", "description")
         .root("auctions");
     let xml = lixto_core::to_xml(&result, &design);
-    println!("\n--- XML output ---\n{}", lixto_xml::to_string_pretty(&xml));
+    println!(
+        "\n--- XML output ---\n{}",
+        lixto_xml::to_string_pretty(&xml)
+    );
 
     // Sanity: extraction matches the generator's ground truth.
     assert_eq!(result.base.of_pattern("record").len(), records.len());
-    println!("extraction complete: {} records, all fields verified", records.len());
+    println!(
+        "extraction complete: {} records, all fields verified",
+        records.len()
+    );
 }

@@ -15,18 +15,30 @@ fn main() {
     let mut pipe = InfoPipe::new();
     let mut sources = Vec::new();
     for s in lixto_workloads::radio::STATIONS {
-        sources.push(pipe.source(
-            Component::Wrapper(WrapperComponent {
-                program: lixto_elog::parse_program(&lixto_workloads::radio::playlist_wrapper(s))
+        sources.push(
+            pipe.source(
+                Component::Wrapper(WrapperComponent {
+                    program: lixto_elog::parse_program(&lixto_workloads::radio::playlist_wrapper(
+                        s,
+                    ))
                     .unwrap(),
-                design: lixto_core::XmlDesign::new().root("station"),
-            }),
-            Trigger::EveryTick,
-        ));
+                    design: lixto_core::XmlDesign::new().root("station"),
+                }),
+                Trigger::EveryTick,
+            ),
+        );
     }
-    let merged = pipe.stage(Component::Integrate { root: "nowplaying".into() }, sources);
+    let merged = pipe.stage(
+        Component::Integrate {
+            root: "nowplaying".into(),
+        },
+        sources,
+    );
     pipe.stage(
-        Component::Deliver { channel: "pda".into(), only_on_change: true },
+        Component::Deliver {
+            channel: "pda".into(),
+            only_on_change: true,
+        },
         vec![merged],
     );
 
@@ -34,7 +46,10 @@ fn main() {
     let delivered = run_ticks(&pipe, ticks, &|tick| {
         Box::new(lixto_workloads::radio::site(3, tick / 3, 0))
     });
-    println!("{} deliveries over {ticks} ticks (change-gated):", delivered.len());
+    println!(
+        "{} deliveries over {ticks} ticks (change-gated):",
+        delivered.len()
+    );
     for (tick, msg) in delivered {
         let doc = lixto_xml::parse(&msg.body).unwrap();
         let titles: Vec<String> = lixto_xml::select::descendants_named(&doc, "title")

@@ -39,8 +39,10 @@ fn main() {
     let doc = b.document();
     let price = doc
         .node_ids()
-        .find(|&n| doc.label_str(n) == "td" && doc.text_content(n).contains("$")
-            || doc.label_str(n) == "td" && doc.text_content(n).contains("EUR"))
+        .find(|&n| {
+            doc.label_str(n) == "td" && doc.text_content(n).contains("$")
+                || doc.label_str(n) == "td" && doc.text_content(n).contains("EUR")
+        })
         .unwrap();
     let draft = b.click("record", "price", price);
     let draft = draft.generalize().add_condition(Condition::Contains {

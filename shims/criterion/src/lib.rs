@@ -1,0 +1,252 @@
+//! Minimal stand-in for [`criterion`](https://crates.io/crates/criterion),
+//! vendored because this build environment cannot reach a registry.
+//!
+//! Implements the API subset used by the benches in `crates/bench/benches/`:
+//! benchmark groups with `sample_size` / `measurement_time` / `warm_up_time` /
+//! `throughput`, `bench_with_input` + `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros. Instead of criterion's
+//! statistical machinery it runs a warm-up pass, collects wall-clock samples,
+//! and prints mean/min/max per benchmark — enough for CI smoke runs and
+//! coarse regression spotting.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver handed to each `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(name);
+        group.bench_with_input(BenchmarkId::from_parameter(""), &(), |b, ()| f(b));
+        group.finish();
+        self
+    }
+}
+
+/// A named set of related measurements.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            samples: Vec::new(),
+        };
+        f(&mut bencher, input);
+        bencher.report(&self.name, &id, self.throughput.as_ref());
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.bench_with_input(id, &(), |b, ()| f(b))
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `f`, once per sample, after a short warm-up. Stops early if the
+    /// configured measurement time is exhausted.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_up_end = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_up_end {
+            std::hint::black_box(f());
+        }
+        self.samples.clear();
+        let measure_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(start.elapsed());
+            if measure_start.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, group: &str, id: &BenchmarkId, throughput: Option<&Throughput>) {
+        if self.samples.is_empty() {
+            eprintln!("  {group}/{id}: no samples");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = self.samples.iter().min().expect("non-empty");
+        let max = self.samples.iter().max().expect("non-empty");
+        let rate = match throughput {
+            Some(&Throughput::Elements(n)) if mean > Duration::ZERO => {
+                format!(" ({:.0} elem/s)", n as f64 / mean.as_secs_f64())
+            }
+            Some(&Throughput::Bytes(n)) if mean > Duration::ZERO => {
+                format!(" ({:.0} B/s)", n as f64 / mean.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        eprintln!(
+            "  {group}/{id}: mean {mean:?} min {min:?} max {max:?} over {} samples{rate}",
+            self.samples.len(),
+        );
+    }
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.function, &self.parameter) {
+            (Some(func), Some(p)) => write!(f, "{func}/{p}"),
+            (Some(func), None) => f.write_str(func),
+            (None, Some(p)) => f.write_str(p),
+            (None, None) => f.write_str("benchmark"),
+        }
+    }
+}
+
+/// Units processed per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Define a function `$name` that runs each listed benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` to run each group. Cargo's `--bench` style arguments are
+/// accepted and ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim_smoke");
+        g.sample_size(5);
+        g.warm_up_time(Duration::from_millis(1));
+        g.measurement_time(Duration::from_millis(50));
+        let mut ran = 0u32;
+        g.bench_with_input(BenchmarkId::new("count", 1), &3u64, |b, &n| {
+            b.iter(|| {
+                ran += 1;
+                (0..n).sum::<u64>()
+            })
+        });
+        g.finish();
+        assert!(ran > 0, "closure must have been exercised");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

@@ -1,0 +1,54 @@
+//! Strategies for collections.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// Strategy for a `Vec` whose length is drawn from `size` and whose
+/// elements are drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "vec size range must be non-empty");
+    VecStrategy { element, size }
+}
+
+/// Strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: std::ops::Range<usize>,
+}
+
+impl<S: Clone> Clone for VecStrategy<S> {
+    fn clone(&self) -> Self {
+        VecStrategy {
+            element: self.element.clone(),
+            size: self.size.clone(),
+        }
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.clone());
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vec_respects_size_and_element_ranges() {
+        let strat = vec(0u8..5, 1..4);
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..100 {
+            let v = strat.sample(&mut rng);
+            assert!((1..4).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+}

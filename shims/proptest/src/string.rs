@@ -1,0 +1,182 @@
+//! String generation from a small regex subset.
+//!
+//! Real proptest lets a string literal act as a full regex strategy. This
+//! shim supports the subset this workspace's tests use, plus the obvious
+//! neighbours: literal characters, character classes `[abc]` (with ranges
+//! like `a-z`), and the quantifiers `{m,n}`, `{n}`, `?`, `*`, `+`
+//! (unbounded repetition is capped at 8). Anything else panics loudly so a
+//! future test doesn't silently get wrong data.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+const UNBOUNDED_CAP: usize = 8;
+
+enum Piece {
+    Literal(char),
+    Class(Vec<char>),
+}
+
+struct Token {
+    piece: Piece,
+    min: usize,
+    max: usize,
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut StdRng) -> String {
+    let tokens = parse(pattern);
+    let mut out = String::new();
+    for token in &tokens {
+        let count = if token.min == token.max {
+            token.min
+        } else {
+            rng.gen_range(token.min..token.max + 1)
+        };
+        for _ in 0..count {
+            match &token.piece {
+                Piece::Literal(c) => out.push(*c),
+                Piece::Class(options) => out.push(options[rng.gen_range(0..options.len())]),
+            }
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Token> {
+    let mut chars = pattern.chars().peekable();
+    let mut tokens = Vec::new();
+    while let Some(c) = chars.next() {
+        let piece = match c {
+            '[' => Piece::Class(parse_class(&mut chars, pattern)),
+            '\\' => Piece::Literal(
+                chars
+                    .next()
+                    .unwrap_or_else(|| unsupported(pattern, "trailing backslash")),
+            ),
+            '(' | ')' | '|' | '.' | '^' | '$' => {
+                unsupported(pattern, "groups, alternation and anchors")
+            }
+            other => Piece::Literal(other),
+        };
+        let (min, max) = parse_quantifier(&mut chars, pattern);
+        tokens.push(Token { piece, min, max });
+    }
+    tokens
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &str) -> Vec<char> {
+    let mut options = Vec::new();
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| unsupported(pattern, "unterminated character class"));
+        match c {
+            ']' => break,
+            '\\' => options.push(
+                chars
+                    .next()
+                    .unwrap_or_else(|| unsupported(pattern, "trailing backslash in class")),
+            ),
+            start => {
+                if chars.peek() == Some(&'-') {
+                    chars.next();
+                    let end = match chars.next() {
+                        Some(']') | None => unsupported(pattern, "dangling '-' in character class"),
+                        Some(e) => e,
+                    };
+                    assert!(start <= end, "bad class range in {pattern:?}");
+                    options.extend(start..=end);
+                } else {
+                    options.push(start);
+                }
+            }
+        }
+    }
+    assert!(!options.is_empty(), "empty character class in {pattern:?}");
+    options
+}
+
+fn parse_quantifier(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> (usize, usize) {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let body: String = chars.by_ref().take_while(|&c| c != '}').collect();
+            let parse_n = |s: &str| {
+                s.trim()
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| unsupported(pattern, "non-numeric repetition count"))
+            };
+            match body.split_once(',') {
+                Some((lo, hi)) => (parse_n(lo), parse_n(hi)),
+                None => {
+                    let n = parse_n(&body);
+                    (n, n)
+                }
+            }
+        }
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        Some('*') => {
+            chars.next();
+            (0, UNBOUNDED_CAP)
+        }
+        Some('+') => {
+            chars.next();
+            (1, UNBOUNDED_CAP)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn unsupported(pattern: &str, what: &str) -> ! {
+    panic!(
+        "proptest shim: pattern {pattern:?} uses unsupported regex syntax ({what}); \
+         only literals, [classes] and {{m,n}}/?/*/+ quantifiers are implemented"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn class_with_count_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let s = generate("[ab]{0,12}", &mut rng);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| c == 'a' || c == 'b'));
+        }
+    }
+
+    #[test]
+    fn literals_and_quantifiers() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = generate("xy{3}z?", &mut rng);
+        assert!(s.starts_with("xyyy"));
+        assert!(s == "xyyy" || s == "xyyyz");
+    }
+
+    #[test]
+    fn class_ranges_expand() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..50 {
+            let s = generate("[a-c]{1}", &mut rng);
+            assert!(["a", "b", "c"].contains(&s.as_str()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex syntax")]
+    fn alternation_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        generate("a|b", &mut rng);
+    }
+}

@@ -7,6 +7,7 @@
 #![forbid(unsafe_code)]
 
 pub use lixto_automata as automata;
+pub use lixto_core as core;
 pub use lixto_cq as cq;
 pub use lixto_datalog as datalog;
 pub use lixto_elog as elog;
@@ -14,7 +15,6 @@ pub use lixto_html as html;
 pub use lixto_regexlite as regexlite;
 pub use lixto_transform as transform;
 pub use lixto_tree as tree;
-pub use lixto_core as core;
 pub use lixto_workloads as workloads;
 pub use lixto_xml as xml;
 pub use lixto_xpath as xpath;

@@ -49,10 +49,20 @@ fn cq_vs_xpath_pairs() {
     // CQ: table child+ td   ≡   //table//td ∩ label td
     let cq = Cq {
         n_vars: 2,
-        atoms: vec![CqAtom { axis: CqAxis::ChildPlus, x: 0, y: 1 }],
+        atoms: vec![CqAtom {
+            axis: CqAxis::ChildPlus,
+            x: 0,
+            y: 1,
+        }],
         labels: vec![
-            LabelAtom { var: 0, label: "table".into() },
-            LabelAtom { var: 1, label: "td".into() },
+            LabelAtom {
+                var: 0,
+                label: "table".into(),
+            },
+            LabelAtom {
+                var: 1,
+                label: "td".into(),
+            },
         ],
         free: Some(1),
     };
@@ -74,7 +84,9 @@ fn tmnf_normal_form_and_equivalence() {
     .unwrap();
     let t = lixto_datalog::tmnf::to_tmnf(
         &program,
-        lixto_datalog::tmnf::TmnfOptions { eliminate_child: true },
+        lixto_datalog::tmnf::TmnfOptions {
+            eliminate_child: true,
+        },
     )
     .unwrap();
     assert!(lixto_datalog::tmnf::is_tmnf(&t.program));

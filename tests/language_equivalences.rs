@@ -21,7 +21,7 @@ fn arb_doc() -> impl Strategy<Value = String> {
                     if let Some(top) = stack.pop() {
                         html.push_str(&format!("</{top}>"));
                     } else {
-                        html.push_str("x");
+                        html.push('x');
                     }
                 }
                 _ => html.push_str("txt "),
@@ -48,16 +48,14 @@ fn arb_query() -> impl Strategy<Value = String> {
     ]);
     let pred_name = prop::sample::select(vec!["td", "i", "a", "p"]);
     let pred_kind = 0u8..3;
-    (name.clone(), axis, name, pred_kind, pred_name).prop_map(
-        |(n1, ax, n2, pk, pn)| {
-            let pred = match pk {
-                0 => String::new(),
-                1 => format!("[{pn}]"),
-                _ => format!("[not({pn})]"),
-            };
-            format!("//{n1}{pred}/{ax}{n2}")
-        },
-    )
+    (name.clone(), axis, name, pred_kind, pred_name).prop_map(|(n1, ax, n2, pk, pn)| {
+        let pred = match pk {
+            0 => String::new(),
+            1 => format!("[{pn}]"),
+            _ => format!("[not({pn})]"),
+        };
+        format!("//{n1}{pred}/{ax}{n2}")
+    })
 }
 
 proptest! {

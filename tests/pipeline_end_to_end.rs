@@ -20,12 +20,22 @@ fn figure7_books_pipe_delivers_integrated_xml() {
         }),
         Trigger::EveryTick,
     );
-    let m = pipe.stage(Component::Integrate { root: "books".into() }, vec![a, b]);
+    let m = pipe.stage(
+        Component::Integrate {
+            root: "books".into(),
+        },
+        vec![a, b],
+    );
     pipe.stage(
-        Component::Deliver { channel: "portal".into(), only_on_change: false },
+        Component::Deliver {
+            channel: "portal".into(),
+            only_on_change: false,
+        },
         vec![m],
     );
-    let delivered = run_ticks(&pipe, 1, &|_| Box::new(lixto_workloads::books::site(1, 5).0));
+    let delivered = run_ticks(&pipe, 1, &|_| {
+        Box::new(lixto_workloads::books::site(1, 5).0)
+    });
     assert_eq!(delivered.len(), 1);
     let doc = lixto_xml::parse(&delivered[0].1.body).unwrap();
     assert_eq!(lixto_xml::select::descendants_named(&doc, "book").len(), 10);
@@ -47,7 +57,10 @@ fn threaded_runtime_matches_tick_runtime_output_counts() {
             vec![w],
         );
         pipe.stage(
-            Component::Deliver { channel: "wire".into(), only_on_change: false },
+            Component::Deliver {
+                channel: "wire".into(),
+                only_on_change: false,
+            },
             vec![t],
         );
         pipe
@@ -94,9 +107,15 @@ fn slow_trigger_groups_reuse_last_acquisition() {
         }),
         Trigger::Every(4),
     );
-    let m = pipe.stage(Component::Integrate { root: "all".into() }, vec![fast, slow]);
+    let m = pipe.stage(
+        Component::Integrate { root: "all".into() },
+        vec![fast, slow],
+    );
     pipe.stage(
-        Component::Deliver { channel: "out".into(), only_on_change: false },
+        Component::Deliver {
+            channel: "out".into(),
+            only_on_change: false,
+        },
         vec![m],
     );
     let delivered = run_ticks(&pipe, 4, &|tick| {

@@ -17,7 +17,10 @@ fn figure5_ebay_to_xml() {
     let records_out: Vec<_> = xml.children_named("record").collect();
     assert_eq!(records_out.len(), records.len());
     for (r, truth) in records_out.iter().zip(&records) {
-        assert_eq!(r.child_text("description"), Some(truth.description.as_str()));
+        assert_eq!(
+            r.child_text("description"),
+            Some(truth.description.as_str())
+        );
         assert_eq!(r.child_text("bids"), Some(truth.bids.to_string().as_str()));
     }
     // Round-trips through the XML parser.
@@ -34,9 +37,7 @@ fn monadic_datalog_wrapper_of_section_2() {
            field(X) :- record(R), child(R, X), label(X, "td")."#,
     )
     .unwrap();
-    let doc = lixto_html::parse(
-        "<table><tr><td>a</td><td>b</td></tr><tr><td>c</td></tr></table>",
-    );
+    let doc = lixto_html::parse("<table><tr><td>a</td><td>b</td></tr><tr><td>c</td></tr></table>");
     let out = lixto_datalog::Wrapper::new(program).wrap(&doc).unwrap();
     assert_eq!(
         to_sexp(&out),
@@ -82,8 +83,7 @@ fn visual_builder_program_equals_handwritten_semantics() {
         let doc = b.document();
         doc.node_ids()
             .find(|&n| {
-                doc.label_str(n) == "table"
-                    && doc.text_content(n).contains(&records[0].description)
+                doc.label_str(n) == "table" && doc.text_content(n).contains(&records[0].description)
             })
             .unwrap()
     };
