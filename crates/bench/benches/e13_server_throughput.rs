@@ -1,0 +1,78 @@
+//! E13b: serving-layer throughput — mixed wrapper traffic through the
+//! sharded `lixto_server` worker pool, swept over shard counts.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lixto_core::XmlDesign;
+use lixto_elog::StaticWeb;
+use lixto_server::{
+    ExtractionRequest, ExtractionServer, RequestSource, ServerConfig, WrapperRegistry,
+};
+use lixto_workloads::traffic;
+
+fn registry() -> Arc<WrapperRegistry> {
+    let registry = Arc::new(WrapperRegistry::new());
+    for p in traffic::profiles() {
+        let mut design = XmlDesign::new().root(p.root);
+        for aux in p.auxiliary {
+            design = design.auxiliary(aux);
+        }
+        registry
+            .register_source(p.name, p.program, design)
+            .expect("wrapper compiles");
+    }
+    registry
+}
+
+fn bench(c: &mut Criterion) {
+    const USERS: usize = 16;
+    const PER_USER: usize = 8;
+    let requests: Vec<ExtractionRequest> = traffic::requests(99, USERS, PER_USER)
+        .into_iter()
+        .map(|r| ExtractionRequest {
+            wrapper: r.wrapper.to_string(),
+            version: None,
+            source: RequestSource::Inline {
+                url: r.url,
+                html: r.html,
+            },
+        })
+        .collect();
+    let mut g = c.benchmark_group("e13_server_throughput");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.throughput(Throughput::Elements(requests.len() as u64));
+    for shards in [1usize, 2, 4, 8] {
+        // One pool per configuration; each iteration replays the whole
+        // batch (cold cache only on the first pass — steady-state serving).
+        let server = ExtractionServer::start(
+            ServerConfig {
+                shards,
+                workers_per_shard: 1,
+                queue_capacity: 64,
+                cache_capacity: 64,
+            },
+            registry(),
+            Arc::new(StaticWeb::new()),
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(shards), &shards, |b, _| {
+            b.iter(|| {
+                let tickets: Vec<_> = requests
+                    .iter()
+                    .map(|r| server.submit(r.clone()).expect("submit"))
+                    .collect();
+                tickets
+                    .into_iter()
+                    .map(|t| t.wait().expect("job completes").cache_hit as usize)
+                    .sum::<usize>()
+            })
+        });
+        server.shutdown();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -50,6 +50,9 @@ fn main() {
     if want("e13") {
         e13_now_playing_and_flights();
     }
+    if want("e13_server") {
+        e13_server_throughput();
+    }
     if want("e14") {
         e14_mso_equivalence();
     }
@@ -707,4 +710,107 @@ fn e14_mso_equivalence() {
         &rows,
     );
     println!("compiled MSO automaton: {} states", q.automaton().n_states);
+}
+
+fn e13_server_throughput() {
+    use lixto_server::{
+        ExtractionRequest, ExtractionServer, RequestSource, ServerConfig, WrapperRegistry,
+    };
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    const USERS: usize = 32;
+    const PER_USER: usize = 25;
+    let requests: Vec<ExtractionRequest> =
+        lixto_workloads::traffic::requests(2026, USERS, PER_USER)
+            .into_iter()
+            .map(|r| ExtractionRequest {
+                wrapper: r.wrapper.to_string(),
+                version: None,
+                source: RequestSource::Inline {
+                    url: r.url,
+                    html: r.html,
+                },
+            })
+            .collect();
+    let registry = || {
+        let registry = Arc::new(WrapperRegistry::new());
+        for p in lixto_workloads::traffic::profiles() {
+            let mut design = lixto_core::XmlDesign::new().root(p.root);
+            for aux in p.auxiliary {
+                design = design.auxiliary(aux);
+            }
+            registry
+                .register_source(p.name, p.program, design)
+                .expect("wrapper compiles");
+        }
+        registry
+    };
+
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        let server = ExtractionServer::start(
+            ServerConfig {
+                shards,
+                workers_per_shard: 1,
+                queue_capacity: 64,
+                cache_capacity: 64,
+            },
+            registry(),
+            Arc::new(lixto_elog::StaticWeb::new()),
+        );
+        let t = Instant::now();
+        let tickets: Vec<_> = requests
+            .iter()
+            .map(|r| server.submit(r.clone()).expect("submit"))
+            .collect();
+        for ticket in tickets {
+            ticket.wait().expect("job completes");
+        }
+        let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        let snap = server.metrics();
+        let rps = requests.len() as f64 / (wall_ms / 1e3);
+        rows.push(vec![
+            shards.to_string(),
+            requests.len().to_string(),
+            format!("{wall_ms:.1}"),
+            format!("{rps:.0}"),
+            snap.p50_us.to_string(),
+            snap.p99_us.to_string(),
+            format!("{:.0}%", snap.cache.hit_rate() * 100.0),
+        ]);
+        json_rows.push(format!(
+            r#"    {{"shards": {shards}, "requests": {}, "wall_ms": {wall_ms:.3}, "throughput_rps": {rps:.1}, "p50_us": {}, "p99_us": {}, "cache_hits": {}, "cache_misses": {}, "cache_evictions": {}}}"#,
+            requests.len(),
+            snap.p50_us,
+            snap.p99_us,
+            snap.cache.hits,
+            snap.cache.misses,
+            snap.cache.evictions,
+        ));
+        server.shutdown();
+    }
+    print_table(
+        "E13c — serving layer: mixed traffic (32 users × 25 reqs) through the sharded worker pool",
+        &[
+            "shards",
+            "requests",
+            "wall ms",
+            "req/s",
+            "p50 µs",
+            "p99 µs",
+            "cache hit",
+        ],
+        &rows,
+    );
+    let json = format!(
+        "{{\n  \"experiment\": \"e13_server_throughput\",\n  \"users\": {USERS},\n  \"requests_per_user\": {PER_USER},\n  \"workers_per_shard\": 1,\n  \"runs\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    let path = "BENCH_e13.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
 }

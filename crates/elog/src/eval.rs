@@ -53,7 +53,11 @@ pub enum Value {
 type Env = HashMap<String, Value>;
 
 /// The result of an extraction run.
-#[derive(Debug)]
+///
+/// `Clone` and `PartialEq` let callers (the `lixto_server` result cache in
+/// particular) store results and check that a cached result is identical
+/// to a fresh run.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExtractionResult {
     /// The pattern instance base.
     pub base: InstanceBase,
@@ -72,6 +76,18 @@ impl ExtractionResult {
             .into_iter()
             .map(|i| self.base.text_of(i, &self.docs))
             .collect()
+    }
+
+    /// The distinct pattern names with at least one extracted instance,
+    /// in first-extraction order.
+    pub fn patterns(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        for inst in &self.base.instances {
+            if !seen.iter().any(|p| p == &inst.pattern) {
+                seen.push(inst.pattern.clone());
+            }
+        }
+        seen
     }
 }
 
@@ -997,5 +1013,24 @@ mod tests {
             Target::NodeSeq { nodes, .. } => assert_eq!(nodes.len(), 2),
             other => panic!("expected sequence, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn result_clone_eq_and_patterns() {
+        let web = crate::web::SinglePage {
+            url: "http://p/".into(),
+            html: "<html><body><ul><li><b>x</b></li><li><b>y</b></li></ul></body></html>".into(),
+        };
+        let program = crate::parser::parse_program(
+            r#"item(S, X) :- document("http://p/", S), subelem(S, (?.li, []), X).
+               name(S, X) :- item(_, S), subelem(S, (.b, []), X)."#,
+        )
+        .unwrap();
+        let a = Extractor::new(program.clone(), &web).run();
+        let b = a.clone();
+        assert_eq!(a, b);
+        // A fresh run is equal too (deterministic evaluation).
+        assert_eq!(a, Extractor::new(program, &web).run());
+        assert_eq!(a.patterns(), vec!["item".to_string(), "name".to_string()]);
     }
 }

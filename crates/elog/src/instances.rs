@@ -33,7 +33,7 @@ pub enum Target {
 }
 
 /// One pattern instance.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Instance {
     /// The pattern this instance belongs to.
     pub pattern: String,
@@ -45,7 +45,7 @@ pub struct Instance {
 }
 
 /// The hierarchically ordered pattern instance base.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct InstanceBase {
     /// All instances; children always come after their parent.
     pub instances: Vec<Instance>,

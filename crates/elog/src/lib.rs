@@ -69,4 +69,4 @@ pub use concepts::ConceptRegistry;
 pub use eval::{Extractor, ExtractorOptions};
 pub use instances::{Instance, InstanceBase, Target};
 pub use parser::{parse_program, EBAY_PROGRAM};
-pub use web::{StaticWeb, WebSource};
+pub use web::{SinglePage, StaticWeb, WebSource};

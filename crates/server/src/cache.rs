@@ -1,0 +1,302 @@
+//! Content-addressed result cache.
+//!
+//! A wrapper is a pure function of (program version, document bytes) —
+//! the Extractor is deterministic — so results are cached under the
+//! FxHash of the source document's bytes combined with the wrapper name
+//! and version. Identical pages served to different users (the common
+//! case for a portal polling slowly-changing sites) cost one extraction.
+//!
+//! Eviction is LRU over a fixed capacity, implemented as a recency
+//! counter per entry (O(1) touch, O(n) eviction scan — eviction is the
+//! rare path and capacities are small). Hit/miss/eviction/invalidation
+//! counters feed the server's metrics snapshot.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use lixto_elog::eval::ExtractionResult;
+
+/// FxHash-style 64-bit hash (the rustc-hash multiply-xor scheme): fast,
+/// deterministic, good enough dispersion for content addressing and
+/// shard selection. Not cryptographic — collisions only cost a stale
+/// cache entry in an in-memory service, never corruption across
+/// wrappers, because the full key compares name and version too.
+pub fn fxhash64(bytes: &[u8]) -> u64 {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+    let mut hash: u64 = 0;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        let word = u64::from_le_bytes(c.try_into().expect("chunk of 8"));
+        hash = (hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+    let mut tail: u64 = 0;
+    for (i, b) in chunks.remainder().iter().enumerate() {
+        tail |= (*b as u64) << (8 * i);
+    }
+    hash = (hash.rotate_left(5) ^ tail).wrapping_mul(SEED);
+    hash = (hash.rotate_left(5) ^ bytes.len() as u64).wrapping_mul(SEED);
+    hash
+}
+
+/// The content address of a source document: its bytes *and* the URL it
+/// is served at, combined. The URL matters because a wrapper's
+/// `document(...)` entry atom matches on it — the same bytes at a
+/// different URL can extract to something entirely different (usually
+/// nothing), so they must not share a cache entry.
+pub fn content_address(url: &str, html: &str) -> u64 {
+    fxhash64(html.as_bytes()).rotate_left(17) ^ fxhash64(url.as_bytes())
+}
+
+/// Cache key: wrapper identity plus the content address of the source
+/// document.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Wrapper name.
+    pub wrapper: String,
+    /// Wrapper version.
+    pub version: u32,
+    /// [`content_address`] of the source document (URL + bytes).
+    pub content: u64,
+}
+
+/// A cached extraction: the result and its serialized XML rendering
+/// (cached too, so hits skip re-serialization).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedExtraction {
+    /// The extraction result.
+    pub result: ExtractionResult,
+    /// `lixto_xml::to_string` of the designed output document.
+    pub xml: String,
+}
+
+struct Entry {
+    value: Arc<CachedExtraction>,
+    last_used: u64,
+}
+
+/// Counter snapshot of the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that required a fresh extraction.
+    pub misses: u64,
+    /// Entries evicted by the LRU policy.
+    pub evictions: u64,
+    /// Entries dropped because change detection saw new source content.
+    pub invalidations: u64,
+    /// Entries currently held.
+    pub len: usize,
+    /// Maximum entries held.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// hits / (hits + misses), 0 when unused.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Bounded, thread-safe, content-addressed LRU cache of extraction
+/// results.
+pub struct ResultCache {
+    inner: Mutex<CacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+struct CacheInner {
+    map: HashMap<CacheKey, Entry>,
+    capacity: usize,
+    clock: u64,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` entries (min 1).
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                capacity: capacity.max(1),
+                clock: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up `key`, counting a hit or miss and refreshing recency.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<CachedExtraction>> {
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        inner.clock += 1;
+        let clock = inner.clock;
+        match inner.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = clock;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.value.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert `value` under `key`, evicting the least-recently-used entry
+    /// when at capacity.
+    pub fn insert(&self, key: CacheKey, value: Arc<CachedExtraction>) {
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        inner.clock += 1;
+        let clock = inner.clock;
+        if !inner.map.contains_key(&key) && inner.map.len() >= inner.capacity {
+            if let Some(lru) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&lru);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        inner.map.insert(
+            key,
+            Entry {
+                value,
+                last_used: clock,
+            },
+        );
+    }
+
+    /// Drop `key` because its source content changed; true if present.
+    pub fn invalidate(&self, key: &CacheKey) -> bool {
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        let removed = inner.map.remove(key).is_some();
+        if removed {
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+        }
+        removed
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("cache poisoned");
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            len: inner.map.len(),
+            capacity: inner.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lixto_elog::InstanceBase;
+
+    fn dummy(xml: &str) -> Arc<CachedExtraction> {
+        Arc::new(CachedExtraction {
+            result: ExtractionResult {
+                base: InstanceBase::default(),
+                docs: Vec::new(),
+                doc_urls: Vec::new(),
+            },
+            xml: xml.to_string(),
+        })
+    }
+
+    fn key(wrapper: &str, content: u64) -> CacheKey {
+        CacheKey {
+            wrapper: wrapper.to_string(),
+            version: 1,
+            content,
+        }
+    }
+
+    #[test]
+    fn fxhash_is_deterministic_and_disperses() {
+        assert_eq!(fxhash64(b"hello world"), fxhash64(b"hello world"));
+        assert_ne!(fxhash64(b"hello world"), fxhash64(b"hello worle"));
+        assert_ne!(fxhash64(b""), fxhash64(b"\0"));
+        // Same prefix, different length.
+        assert_ne!(fxhash64(b"aaaaaaaa"), fxhash64(b"aaaaaaaaa"));
+    }
+
+    #[test]
+    fn content_address_separates_url_and_body() {
+        let html = "<p>same bytes</p>";
+        assert_eq!(
+            content_address("http://a/", html),
+            content_address("http://a/", html)
+        );
+        // Same bytes at a different URL are a different document.
+        assert_ne!(
+            content_address("http://a/", html),
+            content_address("http://b/", html)
+        );
+        assert_ne!(
+            content_address("http://a/", html),
+            content_address("http://a/", "<p>other</p>")
+        );
+    }
+
+    #[test]
+    fn hit_miss_and_counters() {
+        let cache = ResultCache::new(8);
+        let k = key("w", 1);
+        assert!(cache.get(&k).is_none());
+        cache.insert(k.clone(), dummy("<a/>"));
+        assert_eq!(cache.get(&k).unwrap().xml, "<a/>");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.len), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = ResultCache::new(2);
+        cache.insert(key("w", 1), dummy("1"));
+        cache.insert(key("w", 2), dummy("2"));
+        // Touch 1 so 2 becomes the LRU victim.
+        cache.get(&key("w", 1));
+        cache.insert(key("w", 3), dummy("3"));
+        assert!(cache.get(&key("w", 1)).is_some());
+        assert!(cache.get(&key("w", 2)).is_none());
+        assert!(cache.get(&key("w", 3)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn invalidation_counts() {
+        let cache = ResultCache::new(4);
+        cache.insert(key("w", 1), dummy("1"));
+        assert!(cache.invalidate(&key("w", 1)));
+        assert!(!cache.invalidate(&key("w", 1)));
+        let s = cache.stats();
+        assert_eq!((s.invalidations, s.len), (1, 0));
+    }
+
+    #[test]
+    fn versions_do_not_collide() {
+        let cache = ResultCache::new(4);
+        let mut k1 = key("w", 9);
+        cache.insert(k1.clone(), dummy("v1"));
+        k1.version = 2;
+        assert!(cache.get(&k1).is_none(), "new version must miss");
+    }
+}

@@ -1,0 +1,42 @@
+//! # lixto-server
+//!
+//! The serving layer over the Lixto engines: an embeddable, concurrent
+//! wrapper-execution service in the spirit of the paper's §6
+//! Transformation Server deployments, where "wrappers run continuously
+//! against changing web sources" and feed pipelines of postprocessors.
+//! Where `lixto_transform` wires components into *pipes*, this crate
+//! serves ad-hoc extraction *requests* at scale:
+//!
+//! * [`registry`] — named, versioned, compiled wrappers
+//!   ([`WrapperRegistry`]); deploy a new version while the pool keeps
+//!   executing the old one;
+//! * [`server`] — the [`ExtractionServer`]: requests hash to one of N
+//!   shards, each a bounded queue drained by worker threads (backpressure
+//!   via blocking [`submit`](ExtractionServer::submit) or non-blocking
+//!   [`try_submit`](ExtractionServer::try_submit)), with graceful
+//!   [`shutdown`](ExtractionServer::shutdown) that drains queues and
+//!   joins every thread;
+//! * [`cache`] — a content-addressed [`ResultCache`]: FxHash of the
+//!   document bytes + wrapper version addresses an
+//!   [`ExtractionResult`](lixto_elog::eval::ExtractionResult), LRU
+//!   eviction, hit/miss/eviction/invalidation counters, and
+//!   [`ChangeDetector`](lixto_transform::ChangeDetector)-driven
+//!   invalidation when a live source changes;
+//! * [`metrics`] — a lock-free fixed-bucket latency histogram and the
+//!   [`MetricsSnapshot`] API (throughput, p50/p99, queue depths, cache
+//!   stats).
+
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod metrics;
+pub mod registry;
+pub mod server;
+
+pub use cache::{content_address, fxhash64, CacheKey, CacheStats, CachedExtraction, ResultCache};
+pub use metrics::{LatencyHistogram, MetricsSnapshot, ServerMetrics};
+pub use registry::{RegisteredWrapper, WrapperRegistry, WrapperSpec};
+pub use server::{
+    ExtractionRequest, ExtractionResponse, ExtractionServer, JobTicket, RequestSource,
+    ServerConfig, ServerError, ShutdownReport,
+};

@@ -1,0 +1,197 @@
+//! Service metrics: a fixed-bucket latency histogram and a coherent
+//! snapshot API.
+//!
+//! The histogram uses power-of-two microsecond buckets (bucket *i* counts
+//! latencies in `[2^(i-1), 2^i)` µs, bucket 0 counts sub-microsecond
+//! completions), so recording is one atomic increment and quantiles are
+//! a cumulative walk — no allocation or locking on the hot path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::cache::CacheStats;
+
+/// Number of histogram buckets; 2^30 µs ≈ 18 minutes caps the top one.
+const BUCKETS: usize = 31;
+
+/// Lock-free fixed-bucket latency histogram.
+#[derive(Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl LatencyHistogram {
+    /// A histogram with every bucket at zero.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    /// Record one latency observation.
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let bucket = if us == 0 {
+            0
+        } else {
+            ((64 - us.leading_zeros()) as usize).min(BUCKETS - 1)
+        };
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The upper bound (µs) of the bucket containing quantile `q` in
+    /// [0,1]; `None` with no observations. Resolution is the bucket
+    /// width, i.e. a factor of two.
+    pub fn quantile_us(&self, q: f64) -> Option<u64> {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, c) in counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= rank {
+                return Some(if i == 0 { 1 } else { 1u64 << i });
+            }
+        }
+        Some(1u64 << (BUCKETS - 1))
+    }
+}
+
+/// Shared mutable counters the server and its workers write into.
+pub struct ServerMetrics {
+    /// Requests accepted into a shard queue.
+    pub submitted: AtomicU64,
+    /// Requests completed successfully.
+    pub completed: AtomicU64,
+    /// Requests completed with an error.
+    pub errors: AtomicU64,
+    /// Requests rejected by backpressure (`try_submit` on a full queue).
+    pub rejected: AtomicU64,
+    /// End-to-end latency (enqueue → response) histogram.
+    pub latency: LatencyHistogram,
+    /// When the server started (throughput denominator).
+    pub started_at: Instant,
+}
+
+impl ServerMetrics {
+    /// Fresh counters starting now.
+    pub fn new() -> ServerMetrics {
+        ServerMetrics {
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            latency: LatencyHistogram::new(),
+            started_at: Instant::now(),
+        }
+    }
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        ServerMetrics::new()
+    }
+}
+
+/// A point-in-time, copyable view of the service's health.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Requests accepted into a shard queue.
+    pub submitted: u64,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests completed with an error.
+    pub errors: u64,
+    /// Requests rejected by backpressure.
+    pub rejected: u64,
+    /// Completions per second since the server started.
+    pub throughput_per_sec: f64,
+    /// Median end-to-end latency in µs (bucket upper bound); 0 if idle.
+    pub p50_us: u64,
+    /// 99th-percentile end-to-end latency in µs; 0 if idle.
+    pub p99_us: u64,
+    /// Jobs currently queued, per shard.
+    pub queue_depths: Vec<usize>,
+    /// Worker thread count.
+    pub workers: usize,
+    /// Result-cache counters.
+    pub cache: CacheStats,
+}
+
+impl MetricsSnapshot {
+    /// Assemble a snapshot from live counters.
+    pub fn collect(
+        metrics: &ServerMetrics,
+        queue_depths: Vec<usize>,
+        workers: usize,
+        cache: CacheStats,
+    ) -> MetricsSnapshot {
+        let completed = metrics.completed.load(Ordering::Relaxed);
+        let elapsed = metrics.started_at.elapsed().as_secs_f64().max(1e-9);
+        MetricsSnapshot {
+            submitted: metrics.submitted.load(Ordering::Relaxed),
+            completed,
+            errors: metrics.errors.load(Ordering::Relaxed),
+            rejected: metrics.rejected.load(Ordering::Relaxed),
+            throughput_per_sec: completed as f64 / elapsed,
+            p50_us: metrics.latency.quantile_us(0.50).unwrap_or(0),
+            p99_us: metrics.latency.quantile_us(0.99).unwrap_or(0),
+            queue_depths,
+            workers,
+            cache,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_powers_of_two() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile_us(0.5), None);
+        for _ in 0..98 {
+            h.record(Duration::from_micros(100)); // bucket [64,128) → 128
+        }
+        h.record(Duration::from_micros(3)); // [2,4) → 4
+        h.record(Duration::from_millis(20)); // [16384,32768) → 32768
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile_us(0.0), Some(4));
+        assert_eq!(h.quantile_us(0.5), Some(128));
+        assert_eq!(h.quantile_us(0.99), Some(128));
+        assert_eq!(h.quantile_us(1.0), Some(32768));
+    }
+
+    #[test]
+    fn zero_latency_lands_in_first_bucket() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::ZERO);
+        assert_eq!(h.quantile_us(0.5), Some(1));
+    }
+
+    #[test]
+    fn snapshot_collects_counters() {
+        let m = ServerMetrics::new();
+        m.submitted.store(10, Ordering::Relaxed);
+        m.completed.store(8, Ordering::Relaxed);
+        m.errors.store(2, Ordering::Relaxed);
+        m.latency.record(Duration::from_micros(50));
+        let snap = MetricsSnapshot::collect(&m, vec![1, 2], 4, CacheStats::default());
+        assert_eq!((snap.submitted, snap.completed, snap.errors), (10, 8, 2));
+        assert_eq!(snap.queue_depths, vec![1, 2]);
+        assert_eq!(snap.workers, 4);
+        assert!(snap.throughput_per_sec > 0.0);
+        assert_eq!(snap.p50_us, 64);
+    }
+}

@@ -1,0 +1,172 @@
+//! The wrapper registry: named, versioned, compiled Elog wrappers.
+//!
+//! The commercial Transformation Server kept a library of deployed
+//! wrappers that operators upgraded in place while the service kept
+//! running. The registry reproduces that: every `register` call appends a
+//! new immutable version (1-based), lookups default to the latest one,
+//! and in-flight jobs keep the `Arc` of the version they resolved — an
+//! upgrade never mutates a wrapper another thread is executing.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use lixto_core::XmlDesign;
+use lixto_elog::{parse_program, ConceptRegistry, ElogProgram, ExtractorOptions};
+
+/// Everything needed to execute one wrapper: the compiled program, the
+/// XML output design, and the extraction environment.
+#[derive(Clone)]
+pub struct WrapperSpec {
+    /// The compiled Elog program.
+    pub program: ElogProgram,
+    /// Mapping from the instance base to the output XML document.
+    pub design: XmlDesign,
+    /// Concept predicates available to the program's conditions.
+    pub concepts: ConceptRegistry,
+    /// Safety limits for the extraction fixpoint.
+    pub options: ExtractorOptions,
+}
+
+impl WrapperSpec {
+    /// A spec with built-in concepts and default limits.
+    pub fn new(program: ElogProgram, design: XmlDesign) -> WrapperSpec {
+        WrapperSpec {
+            program,
+            design,
+            concepts: ConceptRegistry::builtin(),
+            options: ExtractorOptions::default(),
+        }
+    }
+
+    /// Compile `source` Elog text into a spec.
+    pub fn from_source(source: &str, design: XmlDesign) -> Result<WrapperSpec, String> {
+        let program = parse_program(source).map_err(|e| format!("{e:?}"))?;
+        Ok(WrapperSpec::new(program, design))
+    }
+
+    /// Replace the concept registry.
+    pub fn with_concepts(mut self, concepts: ConceptRegistry) -> Self {
+        self.concepts = concepts;
+        self
+    }
+
+    /// Replace the safety limits.
+    pub fn with_options(mut self, options: ExtractorOptions) -> Self {
+        self.options = options;
+        self
+    }
+}
+
+/// One registered, immutable wrapper version.
+pub struct RegisteredWrapper {
+    /// The wrapper's registry name.
+    pub name: String,
+    /// 1-based version, assigned at registration.
+    pub version: u32,
+    /// The executable spec.
+    pub spec: WrapperSpec,
+}
+
+/// Thread-safe name → versions map shared by clients and worker shards.
+#[derive(Default)]
+pub struct WrapperRegistry {
+    inner: RwLock<HashMap<String, Vec<Arc<RegisteredWrapper>>>>,
+}
+
+impl WrapperRegistry {
+    /// An empty registry.
+    pub fn new() -> WrapperRegistry {
+        WrapperRegistry::default()
+    }
+
+    /// Register a new version of `name`; returns the assigned version.
+    pub fn register(&self, name: &str, spec: WrapperSpec) -> u32 {
+        let mut inner = self.inner.write().expect("registry poisoned");
+        let versions = inner.entry(name.to_string()).or_default();
+        let version = versions.len() as u32 + 1;
+        versions.push(Arc::new(RegisteredWrapper {
+            name: name.to_string(),
+            version,
+            spec,
+        }));
+        version
+    }
+
+    /// Compile `source` and register it; returns the assigned version.
+    pub fn register_source(
+        &self,
+        name: &str,
+        source: &str,
+        design: XmlDesign,
+    ) -> Result<u32, String> {
+        Ok(self.register(name, WrapperSpec::from_source(source, design)?))
+    }
+
+    /// The latest version of `name`.
+    pub fn latest(&self, name: &str) -> Option<Arc<RegisteredWrapper>> {
+        let inner = self.inner.read().expect("registry poisoned");
+        inner.get(name).and_then(|v| v.last()).cloned()
+    }
+
+    /// A specific version of `name`.
+    pub fn version(&self, name: &str, version: u32) -> Option<Arc<RegisteredWrapper>> {
+        let inner = self.inner.read().expect("registry poisoned");
+        inner
+            .get(name)?
+            .get(version.checked_sub(1)? as usize)
+            .cloned()
+    }
+
+    /// Registered wrapper names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let inner = self.inner.read().expect("registry poisoned");
+        let mut names: Vec<String> = inner.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered names.
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("registry poisoned").len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WRAPPER: &str = r#"item(S, X) :- document("http://x/", S), subelem(S, (?.li, []), X)."#;
+
+    #[test]
+    fn versions_are_appended_and_latest_wins() {
+        let reg = WrapperRegistry::new();
+        let v1 = reg
+            .register_source("shop", WRAPPER, XmlDesign::new().root("v1"))
+            .unwrap();
+        let v2 = reg
+            .register_source("shop", WRAPPER, XmlDesign::new().root("v2"))
+            .unwrap();
+        assert_eq!((v1, v2), (1, 2));
+        assert_eq!(reg.latest("shop").unwrap().version, 2);
+        assert_eq!(reg.latest("shop").unwrap().spec.design.root_label, "v2");
+        assert_eq!(reg.version("shop", 1).unwrap().spec.design.root_label, "v1");
+        assert!(reg.version("shop", 3).is_none());
+        assert!(reg.version("shop", 0).is_none());
+        assert!(reg.latest("unknown").is_none());
+        assert_eq!(reg.names(), vec!["shop".to_string()]);
+    }
+
+    #[test]
+    fn bad_source_is_rejected() {
+        let reg = WrapperRegistry::new();
+        assert!(reg
+            .register_source("bad", "not elog at all (", XmlDesign::new())
+            .is_err());
+        assert!(reg.is_empty());
+    }
+}

@@ -1,0 +1,718 @@
+//! The extraction server: a sharded worker pool executing registered
+//! wrappers against submitted documents.
+//!
+//! Requests are hashed to one of N shards (by wrapper name plus source
+//! identity, so identical work lands on the same queue), each shard owns
+//! a bounded job queue drained by one or more worker threads, and every
+//! completed extraction is stored in the shared content-addressed
+//! [`ResultCache`]. Bounded queues give backpressure two ways: `submit`
+//! blocks the producer when its shard is full, `try_submit` returns
+//! [`ServerError::Backpressure`] instead. `shutdown` stops intake, lets
+//! the workers drain every queued job, and joins all threads.
+
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::{bounded, Receiver, Sender, TrySendError};
+use lixto_core::to_xml;
+use lixto_elog::eval::ExtractionResult;
+use lixto_elog::{Extractor, WebSource};
+use lixto_transform::ChangeDetector;
+
+use crate::cache::{content_address, fxhash64, CacheKey, CachedExtraction, ResultCache};
+use crate::metrics::{MetricsSnapshot, ServerMetrics};
+use crate::registry::{RegisteredWrapper, WrapperRegistry};
+
+/// Where the document to wrap comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestSource {
+    /// The client ships the page itself, served to the wrapper at `url`
+    /// (the entry URL its `document(...)` atom fetches).
+    Inline {
+        /// Entry URL the page answers to.
+        url: String,
+        /// The page bytes.
+        html: String,
+    },
+    /// The server fetches `url` from its configured [`WebSource`].
+    Web {
+        /// URL to fetch.
+        url: String,
+    },
+}
+
+impl RequestSource {
+    fn url(&self) -> &str {
+        match self {
+            RequestSource::Inline { url, .. } | RequestSource::Web { url } => url,
+        }
+    }
+}
+
+/// One extraction request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtractionRequest {
+    /// Registered wrapper name.
+    pub wrapper: String,
+    /// Specific version, or `None` for the latest.
+    pub version: Option<u32>,
+    /// The document to wrap.
+    pub source: RequestSource,
+}
+
+/// A completed extraction.
+#[derive(Debug, Clone)]
+pub struct ExtractionResponse {
+    /// Wrapper name.
+    pub wrapper: String,
+    /// Version that executed.
+    pub version: u32,
+    /// The extraction result (shared with the cache).
+    pub result: Arc<CachedExtraction>,
+    /// Whether the result came from the cache.
+    pub cache_hit: bool,
+    /// End-to-end latency, enqueue to completion.
+    pub latency: Duration,
+}
+
+impl ExtractionResponse {
+    /// The serialized output XML document.
+    pub fn xml(&self) -> &str {
+        &self.result.xml
+    }
+
+    /// The underlying extraction result.
+    pub fn extraction(&self) -> &ExtractionResult {
+        &self.result.result
+    }
+}
+
+/// Why a request failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerError {
+    /// No wrapper registered under this name.
+    UnknownWrapper(String),
+    /// The name exists but not this version.
+    UnknownVersion {
+        /// Wrapper name.
+        wrapper: String,
+        /// Requested version.
+        version: u32,
+    },
+    /// A `Web` source URL the server's [`WebSource`] cannot fetch.
+    FetchFailed(String),
+    /// `try_submit` found the target shard queue full.
+    Backpressure,
+    /// The server is shutting down; no new work is accepted.
+    ShuttingDown,
+    /// The worker executing the job disappeared before replying.
+    Canceled,
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::UnknownWrapper(name) => write!(f, "unknown wrapper {name:?}"),
+            ServerError::UnknownVersion { wrapper, version } => {
+                write!(f, "wrapper {wrapper:?} has no version {version}")
+            }
+            ServerError::FetchFailed(url) => write!(f, "failed to fetch {url:?}"),
+            ServerError::Backpressure => f.write_str("shard queue full"),
+            ServerError::ShuttingDown => f.write_str("server is shutting down"),
+            ServerError::Canceled => f.write_str("job canceled"),
+        }
+    }
+}
+
+/// Sizing knobs for [`ExtractionServer::start`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Number of shard queues.
+    pub shards: usize,
+    /// Worker threads per shard (sharing the shard's queue).
+    pub workers_per_shard: usize,
+    /// Bounded capacity of each shard queue.
+    pub queue_capacity: usize,
+    /// Result-cache capacity in entries.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            shards: 4,
+            workers_per_shard: 1,
+            queue_capacity: 64,
+            cache_capacity: 256,
+        }
+    }
+}
+
+/// Handle on an in-flight job; redeem with [`JobTicket::wait`].
+pub struct JobTicket {
+    reply: Receiver<Result<ExtractionResponse, ServerError>>,
+}
+
+impl JobTicket {
+    /// Block until the job completes.
+    pub fn wait(self) -> Result<ExtractionResponse, ServerError> {
+        self.reply.recv().unwrap_or(Err(ServerError::Canceled))
+    }
+}
+
+struct Job {
+    request: ExtractionRequest,
+    wrapper: Arc<RegisteredWrapper>,
+    /// Content address of an `Inline` document, computed once at submit
+    /// (it doubles as the shard key); `Web` documents are addressed
+    /// after the fetch, in the worker.
+    content: Option<u64>,
+    submitted_at: Instant,
+    reply: Sender<Result<ExtractionResponse, ServerError>>,
+}
+
+/// Joint fate of a shutdown: how the pool wound down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShutdownReport {
+    /// Worker threads joined (all of them — none is left running).
+    pub workers_joined: usize,
+    /// Jobs completed over the server's lifetime (including drained
+    /// queue remainders).
+    pub jobs_completed: u64,
+}
+
+/// Per-(wrapper, url) change detection for `Web`-sourced requests: when
+/// the fetched body differs from the last one seen, the previous cache
+/// entry is proactively invalidated. The detector is fed the hex content
+/// address rather than the body itself, so each tracker costs a few
+/// dozen bytes, not a page.
+struct SourceTracker {
+    detector: ChangeDetector,
+    last_key: Option<CacheKey>,
+}
+
+/// Cap on tracked (wrapper, url) pairs. Past this, tracking state is
+/// reset wholesale — losing only the *proactive* invalidation of stale
+/// entries (content addressing keeps results correct regardless), never
+/// growing without bound under per-query URLs.
+const MAX_TRACKED_SOURCES: usize = 4096;
+
+struct Shared {
+    registry: Arc<WrapperRegistry>,
+    cache: ResultCache,
+    metrics: ServerMetrics,
+    web: Arc<dyn WebSource + Send + Sync>,
+    sources: Mutex<HashMap<(String, String), SourceTracker>>,
+}
+
+/// The wrapper-execution service.
+///
+/// `shutdown` takes the server by value, so "no submissions after
+/// shutdown" is enforced by the type system rather than a runtime flag.
+pub struct ExtractionServer {
+    shared: Arc<Shared>,
+    config: ServerConfig,
+    queues: Vec<Sender<Job>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// A `Web` entry page pinned to the body the server fetched (and
+/// hashed), with every other URL — crawl targets — falling through to
+/// the live web.
+///
+/// Caveat: the cache key covers the *entry* page only. A wrapper that
+/// crawls beyond it can serve results computed from since-changed
+/// subpages until its entry page changes too. The bundled wrappers are
+/// all single-page; crawl-aware addressing is an open item in
+/// ROADMAP.md.
+struct PinnedPage<'a> {
+    url: &'a str,
+    html: &'a str,
+    rest: Option<&'a (dyn WebSource + Send + Sync)>,
+}
+
+impl WebSource for PinnedPage<'_> {
+    fn fetch(&self, url: &str) -> Option<String> {
+        if url == self.url {
+            Some(self.html.to_string())
+        } else {
+            self.rest.and_then(|w| w.fetch(url))
+        }
+    }
+}
+
+impl ExtractionServer {
+    /// Spawn the worker pool and start serving.
+    pub fn start(
+        config: ServerConfig,
+        registry: Arc<WrapperRegistry>,
+        web: Arc<dyn WebSource + Send + Sync>,
+    ) -> ExtractionServer {
+        let config = ServerConfig {
+            shards: config.shards.max(1),
+            workers_per_shard: config.workers_per_shard.max(1),
+            queue_capacity: config.queue_capacity.max(1),
+            cache_capacity: config.cache_capacity.max(1),
+        };
+        let shared = Arc::new(Shared {
+            registry,
+            cache: ResultCache::new(config.cache_capacity),
+            metrics: ServerMetrics::new(),
+            web,
+            sources: Mutex::new(HashMap::new()),
+        });
+        let mut queues = Vec::with_capacity(config.shards);
+        let mut workers = Vec::new();
+        for shard in 0..config.shards {
+            let (tx, rx) = bounded::<Job>(config.queue_capacity);
+            queues.push(tx);
+            for worker in 0..config.workers_per_shard {
+                let rx = rx.clone();
+                let shared = shared.clone();
+                workers.push(
+                    std::thread::Builder::new()
+                        .name(format!("lixto-worker-{shard}.{worker}"))
+                        .spawn(move || worker_loop(rx, shared))
+                        .expect("spawn worker"),
+                );
+            }
+        }
+        ExtractionServer {
+            shared,
+            config,
+            queues,
+            workers,
+        }
+    }
+
+    /// The registry this server executes from (register new wrappers or
+    /// versions at any time — running jobs are unaffected).
+    pub fn registry(&self) -> &Arc<WrapperRegistry> {
+        &self.shared.registry
+    }
+
+    /// The effective (clamped) configuration the pool was built with.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    fn resolve(&self, request: &ExtractionRequest) -> Result<Arc<RegisteredWrapper>, ServerError> {
+        match request.version {
+            None => self
+                .shared
+                .registry
+                .latest(&request.wrapper)
+                .ok_or_else(|| ServerError::UnknownWrapper(request.wrapper.clone())),
+            Some(v) => self
+                .shared
+                .registry
+                .version(&request.wrapper, v)
+                .ok_or_else(|| {
+                    if self.shared.registry.latest(&request.wrapper).is_none() {
+                        ServerError::UnknownWrapper(request.wrapper.clone())
+                    } else {
+                        ServerError::UnknownVersion {
+                            wrapper: request.wrapper.clone(),
+                            version: v,
+                        }
+                    }
+                }),
+        }
+    }
+
+    fn make_job(&self, request: ExtractionRequest) -> Result<(usize, Job, JobTicket), ServerError> {
+        let wrapper = self.resolve(&request)?;
+        // Shard by wrapper name + source identity, so repeated work for
+        // the same (wrapper, document) lands on the same queue. For
+        // inline documents the source key *is* the content address, which
+        // the worker then reuses as the cache key — the document is
+        // hashed exactly once.
+        let (content, source_key) = match &request.source {
+            RequestSource::Inline { url, html } => {
+                let address = content_address(url, html);
+                (Some(address), address)
+            }
+            RequestSource::Web { url } => (None, fxhash64(url.as_bytes())),
+        };
+        let shard = ((fxhash64(request.wrapper.as_bytes()).rotate_left(1) ^ source_key)
+            % self.queues.len() as u64) as usize;
+        let (tx, rx) = bounded(1);
+        Ok((
+            shard,
+            Job {
+                request,
+                wrapper,
+                content,
+                submitted_at: Instant::now(),
+                reply: tx,
+            },
+            JobTicket { reply: rx },
+        ))
+    }
+
+    /// Enqueue a request, blocking while the target shard queue is full
+    /// (producer-side backpressure).
+    pub fn submit(&self, request: ExtractionRequest) -> Result<JobTicket, ServerError> {
+        let (shard, job, ticket) = self.make_job(request)?;
+        self.queues[shard]
+            .send(job)
+            .map_err(|_| ServerError::ShuttingDown)?;
+        self.shared
+            .metrics
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(ticket)
+    }
+
+    /// Enqueue a request without blocking; a full shard queue is
+    /// reported as [`ServerError::Backpressure`].
+    pub fn try_submit(&self, request: ExtractionRequest) -> Result<JobTicket, ServerError> {
+        let (shard, job, ticket) = self.make_job(request)?;
+        match self.queues[shard].try_send(job) {
+            Ok(()) => {
+                self.shared
+                    .metrics
+                    .submitted
+                    .fetch_add(1, Ordering::Relaxed);
+                Ok(ticket)
+            }
+            Err(TrySendError::Full(_)) => {
+                self.shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(ServerError::Backpressure)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(ServerError::ShuttingDown),
+        }
+    }
+
+    /// Submit and wait: the synchronous client call.
+    pub fn execute(&self, request: ExtractionRequest) -> Result<ExtractionResponse, ServerError> {
+        self.submit(request)?.wait()
+    }
+
+    /// A point-in-time view of throughput, latency, queues and cache.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        MetricsSnapshot::collect(
+            &self.shared.metrics,
+            self.queues.iter().map(|q| q.len()).collect(),
+            self.workers.len(),
+            self.shared.cache.stats(),
+        )
+    }
+
+    /// Graceful shutdown: let workers drain their queues, then join
+    /// every thread. Consuming `self` makes further submissions a
+    /// compile error.
+    pub fn shutdown(mut self) -> ShutdownReport {
+        // Dropping the queue senders disconnects the shards; workers
+        // drain what is queued, then exit.
+        self.queues.clear();
+        let workers = std::mem::take(&mut self.workers);
+        let workers_joined = workers.len();
+        for handle in workers {
+            let _ = handle.join();
+        }
+        ShutdownReport {
+            workers_joined,
+            jobs_completed: self.shared.metrics.completed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn worker_loop(rx: Receiver<Job>, shared: Arc<Shared>) {
+    while let Ok(job) = rx.recv() {
+        let outcome = process(&job, &shared);
+        match &outcome {
+            Ok(_) => shared.metrics.completed.fetch_add(1, Ordering::Relaxed),
+            Err(_) => shared.metrics.errors.fetch_add(1, Ordering::Relaxed),
+        };
+        shared.metrics.latency.record(job.submitted_at.elapsed());
+        // The client may have dropped its ticket; that is its business.
+        let _ = job.reply.send(outcome);
+    }
+}
+
+fn process(job: &Job, shared: &Shared) -> Result<ExtractionResponse, ServerError> {
+    let spec = &job.wrapper.spec;
+    let url = job.request.source.url();
+    let (html, from_web) = match &job.request.source {
+        RequestSource::Inline { html, .. } => (html.clone(), false),
+        RequestSource::Web { url } => (
+            shared
+                .web
+                .fetch(url)
+                .ok_or_else(|| ServerError::FetchFailed(url.clone()))?,
+            true,
+        ),
+    };
+    let key = CacheKey {
+        wrapper: job.wrapper.name.clone(),
+        version: job.wrapper.version,
+        content: job.content.unwrap_or_else(|| content_address(url, &html)),
+    };
+    if from_web {
+        // Change detection over the live source: a changed body drops
+        // the stale entry instead of leaving it to age out of the LRU.
+        let mut sources = shared.sources.lock().expect("sources poisoned");
+        if sources.len() >= MAX_TRACKED_SOURCES
+            && !sources.contains_key(&(job.wrapper.name.clone(), url.to_string()))
+        {
+            sources.clear();
+        }
+        let tracker = sources
+            .entry((job.wrapper.name.clone(), url.to_string()))
+            .or_insert_with(|| SourceTracker {
+                detector: ChangeDetector::default(),
+                last_key: None,
+            });
+        if tracker.detector.changed(&format!("{:016x}", key.content)) {
+            if let Some(old) = tracker.last_key.take() {
+                if old != key {
+                    shared.cache.invalidate(&old);
+                }
+            }
+        }
+        tracker.last_key = Some(key.clone());
+    }
+    if let Some(cached) = shared.cache.get(&key) {
+        return Ok(ExtractionResponse {
+            wrapper: job.wrapper.name.clone(),
+            version: job.wrapper.version,
+            result: cached,
+            cache_hit: true,
+            latency: job.submitted_at.elapsed(),
+        });
+    }
+    let page = PinnedPage {
+        url,
+        html: &html,
+        rest: from_web.then_some(shared.web.as_ref()),
+    };
+    let result = Extractor::new(spec.program.clone(), &page)
+        .with_concepts(spec.concepts.clone())
+        .with_options(spec.options.clone())
+        .run();
+    let xml = lixto_xml::to_string(&to_xml(&result, &spec.design));
+    let value = Arc::new(CachedExtraction { result, xml });
+    shared.cache.insert(key, value.clone());
+    Ok(ExtractionResponse {
+        wrapper: job.wrapper.name.clone(),
+        version: job.wrapper.version,
+        result: value,
+        cache_hit: false,
+        latency: job.submitted_at.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lixto_core::XmlDesign;
+    use lixto_elog::StaticWeb;
+
+    const WRAPPER: &str = r#"
+        offer(S, X) :- document("http://shop/", S), subelem(S, (?.li, []), X).
+        name(S, X)  :- offer(_, S), subelem(S, (.b, []), X).
+    "#;
+
+    fn page(items: &[&str]) -> String {
+        let mut h = String::from("<html><body><ul>");
+        for it in items {
+            h.push_str(&format!("<li><b>{it}</b></li>"));
+        }
+        h.push_str("</ul></body></html>");
+        h
+    }
+
+    fn server_with(web: Arc<dyn WebSource + Send + Sync>) -> ExtractionServer {
+        let registry = Arc::new(WrapperRegistry::new());
+        registry
+            .register_source("shop", WRAPPER, XmlDesign::new().root("offers"))
+            .unwrap();
+        ExtractionServer::start(ServerConfig::default(), registry, web)
+    }
+
+    fn inline_req(items: &[&str]) -> ExtractionRequest {
+        ExtractionRequest {
+            wrapper: "shop".into(),
+            version: None,
+            source: RequestSource::Inline {
+                url: "http://shop/".into(),
+                html: page(items),
+            },
+        }
+    }
+
+    #[test]
+    fn executes_inline_request_and_caches_repeats() {
+        let server = server_with(Arc::new(StaticWeb::new()));
+        let first = server
+            .execute(inline_req(&["espresso", "grinder"]))
+            .unwrap();
+        assert!(!first.cache_hit);
+        assert!(first.xml().contains("espresso"));
+        assert_eq!(first.version, 1);
+        let second = server
+            .execute(inline_req(&["espresso", "grinder"]))
+            .unwrap();
+        assert!(second.cache_hit);
+        assert_eq!(first.xml(), second.xml());
+        assert_eq!(first.extraction(), second.extraction());
+        let snap = server.metrics();
+        assert_eq!(snap.completed, 2);
+        assert!(snap.cache.hits >= 1);
+        let report = server.shutdown();
+        assert_eq!(report.workers_joined, 4);
+        assert_eq!(report.jobs_completed, 2);
+    }
+
+    #[test]
+    fn same_bytes_at_different_url_do_not_share_cache_entries() {
+        let server = server_with(Arc::new(StaticWeb::new()));
+        let html = page(&["only-offer"]);
+        let at_entry = server
+            .execute(ExtractionRequest {
+                wrapper: "shop".into(),
+                version: None,
+                source: RequestSource::Inline {
+                    url: "http://shop/".into(),
+                    html: html.clone(),
+                },
+            })
+            .unwrap();
+        assert!(at_entry.xml().contains("only-offer"));
+        // Same bytes served at a URL the wrapper's entry atom does not
+        // match: a different document, so no cache hit and an empty
+        // extraction — not the first request's result.
+        let elsewhere = server
+            .execute(ExtractionRequest {
+                wrapper: "shop".into(),
+                version: None,
+                source: RequestSource::Inline {
+                    url: "http://elsewhere/".into(),
+                    html,
+                },
+            })
+            .unwrap();
+        assert!(!elsewhere.cache_hit);
+        assert!(!elsewhere.xml().contains("only-offer"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_wrapper_and_version_error_fast() {
+        let server = server_with(Arc::new(StaticWeb::new()));
+        assert_eq!(
+            server
+                .execute(ExtractionRequest {
+                    wrapper: "nope".into(),
+                    version: None,
+                    source: RequestSource::Web { url: "u".into() },
+                })
+                .unwrap_err(),
+            ServerError::UnknownWrapper("nope".into())
+        );
+        assert_eq!(
+            server
+                .execute(ExtractionRequest {
+                    wrapper: "shop".into(),
+                    version: Some(9),
+                    source: RequestSource::Web { url: "u".into() },
+                })
+                .unwrap_err(),
+            ServerError::UnknownVersion {
+                wrapper: "shop".into(),
+                version: 9
+            }
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn web_source_fetches_and_change_invalidates() {
+        // A mutable web page: first two requests see body A (one miss,
+        // one hit), then the page changes and the stale entry must be
+        // invalidated, not merely missed.
+        struct MutableWeb {
+            body: Mutex<String>,
+        }
+        impl WebSource for MutableWeb {
+            fn fetch(&self, url: &str) -> Option<String> {
+                (url == "http://shop/").then(|| self.body.lock().unwrap().clone())
+            }
+        }
+        let web = Arc::new(MutableWeb {
+            body: Mutex::new(page(&["first"])),
+        });
+        let server = server_with(web.clone());
+        let req = ExtractionRequest {
+            wrapper: "shop".into(),
+            version: None,
+            source: RequestSource::Web {
+                url: "http://shop/".into(),
+            },
+        };
+        let a1 = server.execute(req.clone()).unwrap();
+        let a2 = server.execute(req.clone()).unwrap();
+        assert!(!a1.cache_hit && a2.cache_hit);
+        *web.body.lock().unwrap() = page(&["second"]);
+        let b = server.execute(req.clone()).unwrap();
+        assert!(!b.cache_hit);
+        assert!(b.xml().contains("second"));
+        let snap = server.metrics();
+        assert_eq!(snap.cache.invalidations, 1);
+        // 404s surface as FetchFailed.
+        assert_eq!(
+            server
+                .execute(ExtractionRequest {
+                    wrapper: "shop".into(),
+                    version: None,
+                    source: RequestSource::Web {
+                        url: "http://gone/".into()
+                    },
+                })
+                .unwrap_err(),
+            ServerError::FetchFailed("http://gone/".into())
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn versions_execute_independently() {
+        let server = server_with(Arc::new(StaticWeb::new()));
+        server
+            .registry()
+            .register_source("shop", WRAPPER, XmlDesign::new().root("offers_v2"))
+            .unwrap();
+        let latest = server.execute(inline_req(&["x"])).unwrap();
+        assert_eq!(latest.version, 2);
+        assert!(latest.xml().starts_with("<offers_v2"));
+        let mut pinned = inline_req(&["x"]);
+        pinned.version = Some(1);
+        let v1 = server.execute(pinned).unwrap();
+        assert_eq!(v1.version, 1);
+        assert!(v1.xml().starts_with("<offers"));
+        assert!(!v1.cache_hit, "different versions must not share entries");
+        server.shutdown();
+    }
+
+    #[test]
+    fn submit_after_shutdown_not_possible_and_tickets_resolve() {
+        let server = server_with(Arc::new(StaticWeb::new()));
+        // In-flight tickets resolve before shutdown returns.
+        let tickets: Vec<JobTicket> = (0..8)
+            .map(|i| {
+                server
+                    .submit(inline_req(&["item", &format!("v{}", i % 2)]))
+                    .unwrap()
+            })
+            .collect();
+        let report = server.shutdown();
+        assert_eq!(report.workers_joined, 4);
+        assert_eq!(report.jobs_completed, 8);
+        for t in tickets {
+            assert!(t.wait().is_ok(), "queued jobs drain during shutdown");
+        }
+    }
+}

@@ -32,5 +32,5 @@ pub mod trigger;
 
 pub use component::{Component, DeliveredMessage, WrapperComponent};
 pub use pipe::{InfoPipe, NodeId as PipeNodeId};
-pub use runtime::{run_threaded, run_ticks};
+pub use runtime::{run_threaded, run_threaded_controlled, run_ticks, PipeController};
 pub use trigger::{ChangeDetector, Trigger};

@@ -12,6 +12,8 @@
 //!   wrappers are connected to pipelines of postprocessors").
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use crossbeam_channel::{bounded, Receiver, Sender};
 use lixto_elog::WebSource;
@@ -100,14 +102,73 @@ pub fn run_ticks(
     delivered
 }
 
+/// Handle over a running threaded pipe: an explicit shutdown signal plus
+/// the worker join handles.
+///
+/// Before this existed, a threaded pipe could only be torn down by
+/// letting the wrappers exhaust their rounds and the channel disconnects
+/// cascade downstream — with a slow source that could take arbitrarily
+/// long. The controller makes teardown deterministic: [`request_stop`]
+/// flips a flag every wrapper checks between acquisitions, and
+/// [`shutdown`] additionally joins every component thread.
+///
+/// [`request_stop`]: PipeController::request_stop
+/// [`shutdown`]: PipeController::shutdown
+pub struct PipeController {
+    stop: Arc<AtomicBool>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl PipeController {
+    /// Signal every wrapper to stop after its current acquisition. The
+    /// disconnects then cascade through the interior components.
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Number of component threads.
+    pub fn thread_count(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Signal stop and join every component thread; returns how many
+    /// threads were joined. Callers must keep draining (or drop) the
+    /// delivery receiver so deliverers are never blocked on a full
+    /// channel.
+    pub fn shutdown(self) -> usize {
+        self.request_stop();
+        let n = self.handles.len();
+        for h in self.handles {
+            let _ = h.join();
+        }
+        n
+    }
+}
+
 /// Streaming execution: each component runs on its own thread; wrappers
 /// push `rounds` acquisitions downstream; deliverers send to the returned
 /// channel. The web is shared and static for the run.
+///
+/// Threads are detached; the run ends when the wrappers exhaust their
+/// rounds. Use [`run_threaded_controlled`] to stop a pipe early and join
+/// its threads.
 pub fn run_threaded(
     pipe: InfoPipe,
     rounds: usize,
     web: impl WebSource + Send + Sync + 'static,
 ) -> Receiver<DeliveredMessage> {
+    let (rx, _controller) = run_threaded_controlled(pipe, rounds, web);
+    // Dropping the controller detaches the threads (legacy behavior).
+    rx
+}
+
+/// [`run_threaded`], returning a [`PipeController`] for explicit,
+/// deterministic shutdown alongside the delivery channel.
+pub fn run_threaded_controlled(
+    pipe: InfoPipe,
+    rounds: usize,
+    web: impl WebSource + Send + Sync + 'static,
+) -> (Receiver<DeliveredMessage>, PipeController) {
     let order = pipe.topo_order().expect("pipe must be acyclic");
     let n = pipe.nodes.len();
     // Channels: one per edge (producer index -> consumers).
@@ -121,7 +182,9 @@ pub fn run_threaded(
         }
     }
     let (dtx, drx) = bounded::<DeliveredMessage>(1024);
-    let web = std::sync::Arc::new(web);
+    let web = Arc::new(web);
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::with_capacity(n);
 
     // Spawn in reverse topological order so consumers exist first (not
     // strictly necessary with channels, but tidy).
@@ -132,10 +195,14 @@ pub fn run_threaded(
         let ins = std::mem::take(&mut receivers[i]);
         let dtx = dtx.clone();
         let web = web.clone();
-        std::thread::spawn(move || {
+        let stop = stop.clone();
+        handles.push(std::thread::spawn(move || {
             match node.component {
                 Component::Wrapper(w) => {
                     for _ in 0..rounds {
+                        if stop.load(Ordering::SeqCst) {
+                            return;
+                        }
                         let doc = w.acquire(web.as_ref());
                         for o in &outs {
                             if o.send(doc.clone()).is_err() {
@@ -207,10 +274,10 @@ pub fn run_threaded(
                     }
                 }
             }
-        });
+        }));
     }
     drop(dtx);
-    drx
+    (drx, PipeController { stop, handles })
 }
 
 #[cfg(test)]
@@ -288,6 +355,67 @@ mod tests {
             let doc = lixto_xml::parse(&m.body).unwrap();
             assert_eq!(doc.children_named("book").count(), 4);
         }
+    }
+
+    /// A web source whose fetches take real wall time — stands in for a
+    /// slow remote site.
+    struct SlowWeb {
+        inner: lixto_elog::StaticWeb,
+        delay: std::time::Duration,
+    }
+
+    impl lixto_elog::WebSource for SlowWeb {
+        fn fetch(&self, url: &str) -> Option<String> {
+            std::thread::sleep(self.delay);
+            self.inner.fetch(url)
+        }
+    }
+
+    #[test]
+    fn controlled_shutdown_terminates_slow_source_deterministically() {
+        // 10_000 rounds at ≥20ms per acquisition would run for minutes;
+        // the explicit stop signal must end the pipe after the in-flight
+        // round instead of waiting for channel-drop teardown.
+        let pipe = books_pipe();
+        let web = SlowWeb {
+            inner: lixto_workloads::books::site(5, 2).0,
+            delay: std::time::Duration::from_millis(20),
+        };
+        let (rx, controller) = run_threaded_controlled(pipe, 10_000, web);
+        assert_eq!(controller.thread_count(), 5);
+        // Let at least one delivery through, then stop.
+        let first = rx.recv().expect("one delivery before shutdown");
+        assert_eq!(first.channel, "portal");
+        let start = std::time::Instant::now();
+        controller.request_stop();
+        // Keep draining so no deliverer can block on a full channel; the
+        // iterator ends once every component thread has exited.
+        let drained: Vec<_> = rx.iter().collect();
+        let joined = controller.shutdown();
+        assert_eq!(joined, 5);
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "shutdown took {:?}",
+            start.elapsed()
+        );
+        // Far fewer than the requested rounds were executed.
+        assert!(drained.len() < 100, "pipe kept running after stop");
+    }
+
+    #[test]
+    fn shutdown_joins_all_threads() {
+        let pipe = books_pipe();
+        let web = SlowWeb {
+            inner: lixto_workloads::books::site(5, 2).0,
+            delay: std::time::Duration::from_millis(10),
+        };
+        let (rx, controller) = run_threaded_controlled(pipe, 10_000, web);
+        rx.recv().expect("one delivery before shutdown");
+        // Drain concurrently so deliverers never block while we join.
+        let drainer = std::thread::spawn(move || rx.iter().count());
+        let joined = controller.shutdown();
+        assert_eq!(joined, 5, "every component thread joined");
+        drainer.join().unwrap();
     }
 
     #[test]

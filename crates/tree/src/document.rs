@@ -25,7 +25,7 @@ use crate::order::Order;
 /// | `firstchild(x,y)`     | [`Document::first_child`]                 |
 /// | `nextsibling(x,y)`    | [`Document::next_sibling`]                |
 /// | document order ≺      | [`Document::doc_before`] / [`Order`]      |
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Document {
     pub(crate) nodes: Vec<NodeData>,
     pub(crate) interner: Interner,

@@ -24,7 +24,7 @@ impl Symbol {
 /// comparable within their document (documents produced by the same
 /// [`TreeBuilder`](crate::TreeBuilder) pipeline share insertion order for
 /// common HTML names, but code must not rely on that).
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct Interner {
     map: HashMap<Box<str>, u32>,
     names: Vec<Box<str>>,

@@ -22,7 +22,7 @@ pub enum NodeKind {
 /// inverses (firstchild / firstchild⁻¹ via `parent`+`prev_sibling == None`,
 /// nextsibling / nextsibling⁻¹) in O(1). `last_child` accelerates the
 /// builder and the `lastsibling` unary relation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NodeData {
     pub(crate) label: Symbol,
     pub(crate) kind: NodeKind,

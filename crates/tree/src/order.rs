@@ -10,7 +10,7 @@ use crate::ids::NodeId;
 use crate::node::NodeData;
 
 /// Pre/post numbering of a document.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Order {
     /// `pre[n]` — position of `n` in preorder (document order), 0-based.
     pre: Vec<u32>,

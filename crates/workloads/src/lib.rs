@@ -19,6 +19,8 @@
 //! * [`power`] — spot-market price tables (§6.7);
 //! * [`perturb`] — random irrelevant-markup injection for the robustness
 //!   experiment E10 (§2.5's "schema-less wrappers don't break" claim);
+//! * [`traffic`] — mixed-wrapper request streams from N simulated users
+//!   for the `lixto_server` serving-layer experiments;
 //! * [`induction`] — an LR wrapper-induction baseline for E11 (the
 //!   learning contrast of §1/§7).
 
@@ -32,6 +34,7 @@ pub mod news;
 pub mod perturb;
 pub mod power;
 pub mod radio;
+pub mod traffic;
 
 /// Deterministic pseudo-random f64 in [0,1) derived from a seed and index
 /// (keeps generators dependency-light and reproducible).

@@ -1,0 +1,180 @@
+//! Mixed-wrapper request traffic for the serving-layer experiments.
+//!
+//! Simulates N portal users hitting the extraction service with a
+//! deterministic mix of the §6 scenarios — book shops, eBay auctions,
+//! news clippings, flight status. Each wrapper draws its documents from
+//! a small per-wrapper pool of variants, so the stream repeats documents
+//! the way real traffic repeats slowly-changing pages (that repetition
+//! is what a content-addressed result cache exists for).
+
+use crate::{books, ebay, flights, hash01, news};
+
+/// A deployable wrapper: everything a registry needs to serve one of the
+/// workload scenarios.
+pub struct WrapperProfile {
+    /// Registry name.
+    pub name: &'static str,
+    /// Entry URL the program's `document(...)` atom fetches.
+    pub entry_url: &'static str,
+    /// Elog source text.
+    pub program: &'static str,
+    /// Root element label for the output design.
+    pub root: &'static str,
+    /// Patterns to declare auxiliary in the output design.
+    pub auxiliary: &'static [&'static str],
+}
+
+/// The five wrappers the traffic mix exercises.
+pub fn profiles() -> Vec<WrapperProfile> {
+    vec![
+        WrapperProfile {
+            name: "books_a",
+            entry_url: "http://shop0/books",
+            program: books::SHOP_A_WRAPPER,
+            root: "shopA",
+            auxiliary: &[],
+        },
+        WrapperProfile {
+            name: "books_b",
+            entry_url: "http://shop1/books",
+            program: books::SHOP_B_WRAPPER,
+            root: "shopB",
+            auxiliary: &[],
+        },
+        WrapperProfile {
+            name: "ebay",
+            entry_url: "www.ebay.com/",
+            program: lixto_elog::EBAY_PROGRAM,
+            root: "auctions",
+            auxiliary: &["tableseq"],
+        },
+        WrapperProfile {
+            name: "news",
+            entry_url: "http://press/finance",
+            program: news::NEWS_WRAPPER,
+            root: "clippings",
+            auxiliary: &[],
+        },
+        WrapperProfile {
+            name: "flights",
+            entry_url: "http://airport/departures",
+            program: flights::FLIGHT_WRAPPER,
+            root: "departures",
+            auxiliary: &[],
+        },
+    ]
+}
+
+/// One simulated request: `user` asks wrapper `wrapper` to extract the
+/// page `html`, served at the wrapper's entry URL `url`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrafficRequest {
+    /// Which simulated user issued it (0-based).
+    pub user: usize,
+    /// Wrapper profile name.
+    pub wrapper: &'static str,
+    /// Entry URL for the document.
+    pub url: String,
+    /// The document.
+    pub html: String,
+}
+
+/// Distinct document variants each wrapper rotates through.
+pub const VARIANTS_PER_WRAPPER: u64 = 3;
+
+/// The page a wrapper sees for document variant `variant`.
+pub fn page_for(wrapper: &str, seed: u64, variant: u64) -> String {
+    let vseed = seed
+        .wrapping_mul(31)
+        .wrapping_add(variant.wrapping_mul(0x9E37));
+    let n = 6 + (variant as usize % 3) * 3;
+    match wrapper {
+        "books_a" => books::shop_page(&books::catalog(vseed, 0, n)),
+        "books_b" => books::shop_page(&books::catalog(vseed, 1, n)),
+        "ebay" => ebay::listing_page(&ebay::auctions(vseed, n)),
+        "news" => news::press_page(&news::items(vseed, n)),
+        "flights" => flights::status_page(&flights::flights(vseed, n, variant)),
+        other => panic!("unknown traffic wrapper {other:?}"),
+    }
+}
+
+/// A deterministic request stream: `users` simulated users each issue
+/// `per_user` requests, wrapper and document variant drawn per request.
+/// The stream is interleaved round-robin across users (request *i* of
+/// every user, then request *i+1*), the arrival order a concurrent
+/// frontend would see.
+pub fn requests(seed: u64, users: usize, per_user: usize) -> Vec<TrafficRequest> {
+    let profiles = profiles();
+    let mut out = Vec::with_capacity(users * per_user);
+    for round in 0..per_user {
+        for user in 0..users {
+            let k = (user * per_user + round) as u64;
+            let w = (hash01(seed, k) * profiles.len() as f64) as usize % profiles.len();
+            let variant = (hash01(seed ^ 0xA5A5, k) * VARIANTS_PER_WRAPPER as f64) as u64
+                % VARIANTS_PER_WRAPPER;
+            let profile = &profiles[w];
+            out.push(TrafficRequest {
+                user,
+                wrapper: profile.name,
+                url: profile.entry_url.to_string(),
+                html: page_for(profile.name, seed, variant),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lixto_elog::{parse_program, Extractor, SinglePage};
+
+    #[test]
+    fn stream_is_deterministic_and_sized() {
+        let a = requests(7, 4, 5);
+        let b = requests(7, 4, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 20);
+        assert!(requests(8, 4, 5) != a, "seed must matter");
+    }
+
+    #[test]
+    fn mix_covers_every_wrapper_and_repeats_documents() {
+        let reqs = requests(3, 16, 8);
+        for p in profiles() {
+            assert!(
+                reqs.iter().any(|r| r.wrapper == p.name),
+                "wrapper {} never drawn",
+                p.name
+            );
+        }
+        // Small variant pools mean repeated documents — the cache's diet.
+        let mut seen = std::collections::HashSet::new();
+        let mut repeats = 0usize;
+        for r in &reqs {
+            if !seen.insert((r.wrapper, r.html.clone())) {
+                repeats += 1;
+            }
+        }
+        assert!(repeats > 0, "traffic must repeat documents");
+    }
+
+    #[test]
+    fn every_profile_extracts_from_its_own_pages() {
+        for p in profiles() {
+            let program = parse_program(p.program).unwrap();
+            for variant in 0..VARIANTS_PER_WRAPPER {
+                let web = SinglePage {
+                    url: p.entry_url.to_string(),
+                    html: page_for(p.name, 11, variant),
+                };
+                let result = Extractor::new(program.clone(), &web).run();
+                assert!(
+                    !result.base.is_empty(),
+                    "{} extracted nothing from variant {variant}",
+                    p.name
+                );
+            }
+        }
+    }
+}

@@ -1,43 +1,213 @@
 //! Minimal stand-in for [`crossbeam-channel`](https://crates.io/crates/crossbeam-channel),
 //! vendored because this build environment cannot reach a registry.
 //!
-//! Backed by `std::sync::mpsc::sync_channel`, which has the same
-//! bounded-blocking semantics for the patterns this workspace uses:
-//! cloneable senders, blocking `send`/`recv`, and receiver iteration that
-//! terminates once every sender is dropped.
+//! Hand-rolled bounded MPMC channel on `Mutex<VecDeque>` + two condvars.
+//! Unlike the earlier `std::sync::mpsc` wrapper, this matches the
+//! crossbeam semantics the workspace relies on: **both halves are
+//! cloneable** (multiple producers *and* multiple consumers, the
+//! worker-pool pattern of `lixto_server`), `try_send` reports a full
+//! queue without blocking (backpressure probing), and `len` exposes the
+//! queue depth (scheduler metrics). Disconnection rules are crossbeam's:
+//! `recv` errors once the queue is drained and every `Sender` is gone;
+//! `send`/`try_send` error once every `Receiver` is gone.
+//!
+//! Zero-capacity (rendezvous) channels are not supported; `bounded(0)`
+//! panics. The workspace never creates one.
 
+use std::collections::VecDeque;
 use std::fmt;
-use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
 
-/// Create a bounded channel with capacity `cap`.
+/// Create a bounded channel with capacity `cap` (> 0).
 pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
-    let (tx, rx) = mpsc::sync_channel(cap);
-    (Sender(tx), Receiver(rx))
+    assert!(cap > 0, "zero-capacity (rendezvous) channels unsupported");
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner {
+            queue: VecDeque::with_capacity(cap.min(1024)),
+            cap,
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: shared.clone(),
+        },
+        Receiver { shared },
+    )
 }
 
-/// The sending half of a bounded channel. Cloneable; `send` blocks while
-/// the channel is full and errors once the receiver is gone.
-pub struct Sender<T>(mpsc::SyncSender<T>);
+struct Inner<T> {
+    queue: VecDeque<T>,
+    cap: usize,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// The sending half. Cloneable; `send` blocks while the channel is full
+/// and errors once every receiver is gone.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
-        Sender(self.0.clone())
+        self.shared.inner.lock().expect("channel poisoned").senders += 1;
+        Sender {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.inner.lock().expect("channel poisoned");
+        inner.senders -= 1;
+        if inner.senders == 0 {
+            // Wake consumers blocked on an empty queue so they observe
+            // the disconnect.
+            drop(inner);
+            self.shared.not_empty.notify_all();
+        }
     }
 }
 
 impl<T> Sender<T> {
+    /// Block until there is room (or error if every receiver is gone).
     pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
-        self.0.send(msg).map_err(|mpsc::SendError(v)| SendError(v))
+        let mut inner = self.shared.inner.lock().expect("channel poisoned");
+        loop {
+            if inner.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            if inner.queue.len() < inner.cap {
+                inner.queue.push_back(msg);
+                drop(inner);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            inner = self.shared.not_full.wait(inner).expect("channel poisoned");
+        }
+    }
+
+    /// Non-blocking send: `Full` when at capacity, `Disconnected` when
+    /// every receiver is gone.
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        let mut inner = self.shared.inner.lock().expect("channel poisoned");
+        if inner.receivers == 0 {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        if inner.queue.len() >= inner.cap {
+            return Err(TrySendError::Full(msg));
+        }
+        inner.queue.push_back(msg);
+        drop(inner);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared
+            .inner
+            .lock()
+            .expect("channel poisoned")
+            .queue
+            .len()
+    }
+
+    /// True when no message is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
-/// The receiving half of a bounded channel.
-pub struct Receiver<T>(mpsc::Receiver<T>);
+/// The receiving half. Cloneable (multi-consumer); `recv` blocks until a
+/// message arrives and errors once the queue is drained and every sender
+/// is gone.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared
+            .inner
+            .lock()
+            .expect("channel poisoned")
+            .receivers += 1;
+        Receiver {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.inner.lock().expect("channel poisoned");
+        inner.receivers -= 1;
+        if inner.receivers == 0 {
+            // Wake producers blocked on a full queue so they observe the
+            // disconnect.
+            drop(inner);
+            self.shared.not_full.notify_all();
+        }
+    }
+}
 
 impl<T> Receiver<T> {
     /// Block until a message arrives or every sender is dropped.
     pub fn recv(&self) -> Result<T, RecvError> {
-        self.0.recv().map_err(|_| RecvError)
+        let mut inner = self.shared.inner.lock().expect("channel poisoned");
+        loop {
+            if let Some(msg) = inner.queue.pop_front() {
+                drop(inner);
+                self.shared.not_full.notify_one();
+                return Ok(msg);
+            }
+            if inner.senders == 0 {
+                return Err(RecvError);
+            }
+            inner = self.shared.not_empty.wait(inner).expect("channel poisoned");
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut inner = self.shared.inner.lock().expect("channel poisoned");
+        if let Some(msg) = inner.queue.pop_front() {
+            drop(inner);
+            self.shared.not_full.notify_one();
+            return Ok(msg);
+        }
+        if inner.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared
+            .inner
+            .lock()
+            .expect("channel poisoned")
+            .queue
+            .len()
+    }
+
+    /// True when no message is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
     /// Iterate over messages, ending when every sender is dropped.
@@ -84,8 +254,8 @@ impl<T> Iterator for IntoIter<T> {
     }
 }
 
-/// Error returned by [`Sender::send`] when the receiver has disconnected;
-/// carries the unsent message.
+/// Error returned by [`Sender::send`] when every receiver has
+/// disconnected; carries the unsent message.
 pub struct SendError<T>(pub T);
 
 impl<T> fmt::Debug for SendError<T> {
@@ -100,7 +270,48 @@ impl<T> fmt::Display for SendError<T> {
     }
 }
 
-/// Error returned by [`Receiver::recv`] when every sender has disconnected.
+/// Error returned by [`Sender::try_send`]; carries the unsent message.
+pub enum TrySendError<T> {
+    /// The channel is at capacity.
+    Full(T),
+    /// Every receiver has disconnected.
+    Disconnected(T),
+}
+
+impl<T> TrySendError<T> {
+    /// Recover the unsent message.
+    pub fn into_inner(self) -> T {
+        match self {
+            TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+        }
+    }
+
+    /// Was the failure a full queue?
+    pub fn is_full(&self) -> bool {
+        matches!(self, TrySendError::Full(_))
+    }
+}
+
+impl<T> fmt::Debug for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TrySendError::Full(_) => "Full(..)",
+            TrySendError::Disconnected(_) => "Disconnected(..)",
+        })
+    }
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TrySendError::Full(_) => "sending on a full channel",
+            TrySendError::Disconnected(_) => "sending on a disconnected channel",
+        })
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when every sender has
+/// disconnected and the queue is drained.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RecvError;
 
@@ -110,9 +321,29 @@ impl fmt::Display for RecvError {
     }
 }
 
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No message queued right now.
+    Empty,
+    /// Every sender has disconnected and the queue is drained.
+    Disconnected,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TryRecvError::Empty => "receiving on an empty channel",
+            TryRecvError::Disconnected => "receiving on an empty and disconnected channel",
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
 
     #[test]
     fn send_recv_roundtrip() {
@@ -154,5 +385,128 @@ mod tests {
         let (tx, rx) = bounded::<i32>(1);
         drop(tx);
         assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn try_send_reports_backpressure_then_succeeds() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        // Queue full: try_send must not block, and must hand the message
+        // back.
+        match tx.try_send(3) {
+            Err(TrySendError::Full(v)) => assert_eq!(v, 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(tx.len(), 2);
+        assert_eq!(rx.recv(), Ok(1));
+        // Room again.
+        tx.try_send(3).unwrap();
+        drop(rx);
+        match tx.try_send(4) {
+            Err(TrySendError::Disconnected(v)) => assert_eq!(v, 4),
+            other => panic!("expected Disconnected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_consumer_drains() {
+        // Producer fills a capacity-1 queue; the second send must block
+        // until the consumer takes the first message — the backpressure
+        // the server's shard queues rely on.
+        let (tx, rx) = bounded(1);
+        let sent = Arc::new(AtomicUsize::new(0));
+        let sent2 = sent.clone();
+        let producer = std::thread::spawn(move || {
+            for i in 0..3 {
+                tx.send(i).unwrap();
+                sent2.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        // Give the producer time to run ahead; it can complete at most
+        // the first send (queued) — the second blocks.
+        std::thread::sleep(Duration::from_millis(100));
+        assert!(
+            sent.load(Ordering::SeqCst) <= 2,
+            "producer ran ahead of a full queue"
+        );
+        let got: Vec<i32> = rx.iter().collect();
+        assert_eq!(got, vec![0, 1, 2]);
+        producer.join().unwrap();
+        assert_eq!(sent.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn mpmc_worker_pool_delivers_each_message_once() {
+        // The worker-pool pattern: many producers, a pool of consumers
+        // sharing one cloned receiver. Every message is consumed exactly
+        // once and per-producer FIFO order is preserved.
+        const PRODUCERS: usize = 4;
+        const CONSUMERS: usize = 3;
+        const PER_PRODUCER: usize = 50;
+        let (tx, rx) = bounded::<(usize, usize)>(8);
+        let mut producers = Vec::new();
+        for p in 0..PRODUCERS {
+            let tx = tx.clone();
+            producers.push(std::thread::spawn(move || {
+                for i in 0..PER_PRODUCER {
+                    tx.send((p, i)).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        let mut consumers = Vec::new();
+        for _ in 0..CONSUMERS {
+            let rx = rx.clone();
+            consumers.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Ok(msg) = rx.recv() {
+                    got.push(msg);
+                }
+                got
+            }));
+        }
+        drop(rx);
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut all: Vec<(usize, usize)> = Vec::new();
+        let mut per_consumer_orders: Vec<Vec<(usize, usize)>> = Vec::new();
+        for c in consumers {
+            let got = c.join().unwrap();
+            all.extend(got.iter().copied());
+            per_consumer_orders.push(got);
+        }
+        // Exactly once, nothing lost.
+        assert_eq!(all.len(), PRODUCERS * PER_PRODUCER);
+        all.sort_unstable();
+        let want: Vec<(usize, usize)> = (0..PRODUCERS)
+            .flat_map(|p| (0..PER_PRODUCER).map(move |i| (p, i)))
+            .collect();
+        assert_eq!(all, want);
+        // FIFO per producer as observed by each single consumer: a
+        // consumer never sees producer p's message i after message j > i.
+        for got in per_consumer_orders {
+            let mut last: Vec<Option<usize>> = vec![None; PRODUCERS];
+            for (p, i) in got {
+                if let Some(prev) = last[p] {
+                    assert!(i > prev, "out-of-order delivery from producer {p}");
+                }
+                last[p] = Some(i);
+            }
+        }
+    }
+
+    #[test]
+    fn queue_depth_is_observable() {
+        let (tx, rx) = bounded(8);
+        assert!(tx.is_empty() && rx.is_empty());
+        tx.send("a").unwrap();
+        tx.send("b").unwrap();
+        assert_eq!(tx.len(), 2);
+        assert_eq!(rx.len(), 2);
+        rx.recv().unwrap();
+        assert_eq!(rx.len(), 1);
+        assert!(!rx.is_empty());
     }
 }

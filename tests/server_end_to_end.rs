@@ -1,0 +1,226 @@
+//! End-to-end exercise of the `lixto_server` serving layer: many
+//! concurrent clients replaying mixed workload traffic against a sharded
+//! worker pool, checked for byte-identical agreement with the
+//! single-threaded engine, for cache effectiveness, and for clean
+//! shutdown.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use lixto::core::{to_xml, XmlDesign};
+use lixto::elog::{parse_program, Extractor, SinglePage, StaticWeb};
+use lixto::server::{
+    ExtractionRequest, ExtractionServer, RequestSource, ServerConfig, ServerError, WrapperRegistry,
+};
+use lixto::workloads::traffic::{self, WrapperProfile};
+
+fn design_of(profile: &WrapperProfile) -> XmlDesign {
+    let mut design = XmlDesign::new().root(profile.root);
+    for aux in profile.auxiliary {
+        design = design.auxiliary(aux);
+    }
+    design
+}
+
+fn registry_from_profiles() -> Arc<WrapperRegistry> {
+    let registry = Arc::new(WrapperRegistry::new());
+    for p in traffic::profiles() {
+        registry
+            .register_source(p.name, p.program, design_of(&p))
+            .expect("workload wrapper compiles");
+    }
+    registry
+}
+
+/// The single-threaded reference: run the Extractor directly and render
+/// XML exactly as the server does.
+fn baseline_xml(profile: &WrapperProfile, url: &str, html: &str) -> String {
+    let program = parse_program(profile.program).unwrap();
+    let web = SinglePage {
+        url: url.to_string(),
+        html: html.to_string(),
+    };
+    let result = Extractor::new(program, &web).run();
+    lixto::xml::to_string(&to_xml(&result, &design_of(profile)))
+}
+
+#[test]
+fn concurrent_clients_agree_with_single_threaded_engine() {
+    const USERS: usize = 25;
+    const PER_USER: usize = 5; // 125 requests ≥ the 100 the issue asks for
+
+    let registry = registry_from_profiles();
+    let server = ExtractionServer::start(
+        ServerConfig {
+            shards: 4,
+            workers_per_shard: 2,
+            queue_capacity: 16,
+            cache_capacity: 64,
+        },
+        registry,
+        Arc::new(StaticWeb::new()),
+    );
+    let requests = traffic::requests(42, USERS, PER_USER);
+    assert!(requests.len() >= 100);
+
+    // Reference results, computed single-threaded per unique document.
+    let profiles: HashMap<&str, WrapperProfile> = traffic::profiles()
+        .into_iter()
+        .map(|p| (p.name, p))
+        .collect();
+    let mut reference: HashMap<(&str, String), String> = HashMap::new();
+    for r in &requests {
+        reference
+            .entry((r.wrapper, r.html.clone()))
+            .or_insert_with(|| baseline_xml(&profiles[r.wrapper], &r.url, &r.html));
+    }
+    assert!(
+        reference.len() < requests.len(),
+        "traffic must repeat documents so the cache can hit"
+    );
+
+    // One client thread per simulated user, all hammering the pool
+    // concurrently through the blocking (backpressuring) submit path.
+    std::thread::scope(|scope| {
+        let server = &server;
+        let reference = &reference;
+        let mut clients = Vec::new();
+        for user in 0..USERS {
+            let mine: Vec<_> = requests
+                .iter()
+                .filter(|r| r.user == user)
+                .cloned()
+                .collect();
+            clients.push(scope.spawn(move || {
+                for r in mine {
+                    let response = server
+                        .execute(ExtractionRequest {
+                            wrapper: r.wrapper.to_string(),
+                            version: None,
+                            source: RequestSource::Inline {
+                                url: r.url.clone(),
+                                html: r.html.clone(),
+                            },
+                        })
+                        .expect("extraction succeeds");
+                    // Byte-identical to the single-threaded engine, hit
+                    // or miss.
+                    assert_eq!(
+                        response.xml(),
+                        reference[&(r.wrapper, r.html.clone())],
+                        "server output diverged for wrapper {}",
+                        r.wrapper
+                    );
+                }
+            }));
+        }
+        for c in clients {
+            c.join().expect("client thread panicked");
+        }
+    });
+
+    let snapshot = server.metrics();
+    assert_eq!(snapshot.completed, requests.len() as u64);
+    assert_eq!(snapshot.errors, 0);
+    assert_eq!(snapshot.queue_depths.len(), 4);
+    assert!(
+        snapshot.cache.hits > 0,
+        "repeated documents must hit the cache: {:?}",
+        snapshot.cache
+    );
+    assert!(snapshot.cache.hit_rate() > 0.0);
+    assert!(snapshot.p50_us > 0 && snapshot.p99_us >= snapshot.p50_us);
+    assert!(snapshot.throughput_per_sec > 0.0);
+
+    // Cached results are the *same values* a fresh engine run produces.
+    let sample = &requests[0];
+    let repeat = server
+        .execute(ExtractionRequest {
+            wrapper: sample.wrapper.to_string(),
+            version: None,
+            source: RequestSource::Inline {
+                url: sample.url.clone(),
+                html: sample.html.clone(),
+            },
+        })
+        .unwrap();
+    assert!(
+        repeat.cache_hit,
+        "125 requests over ~15 documents must re-hit"
+    );
+    let fresh = Extractor::new(
+        parse_program(profiles[sample.wrapper].program).unwrap(),
+        &SinglePage {
+            url: sample.url.clone(),
+            html: sample.html.clone(),
+        },
+    )
+    .run();
+    assert_eq!(
+        *repeat.extraction(),
+        fresh,
+        "cached ExtractionResult must equal a fresh run"
+    );
+
+    // Clean shutdown: every worker joined, nothing left running.
+    let report = server.shutdown();
+    assert_eq!(report.workers_joined, 8, "4 shards × 2 workers all joined");
+    assert_eq!(report.jobs_completed, requests.len() as u64 + 1);
+}
+
+#[test]
+fn shutdown_rejects_new_work_but_drains_queued_jobs() {
+    let registry = registry_from_profiles();
+    let server = ExtractionServer::start(
+        ServerConfig {
+            shards: 4,
+            workers_per_shard: 1,
+            queue_capacity: 8,
+            cache_capacity: 16,
+        },
+        registry,
+        Arc::new(StaticWeb::new()),
+    );
+    let requests = traffic::requests(7, 4, 3);
+    let tickets: Vec<_> = requests
+        .iter()
+        .map(|r| {
+            server
+                .submit(ExtractionRequest {
+                    wrapper: r.wrapper.to_string(),
+                    version: None,
+                    source: RequestSource::Inline {
+                        url: r.url.clone(),
+                        html: r.html.clone(),
+                    },
+                })
+                .unwrap()
+        })
+        .collect();
+    let report = server.shutdown();
+    assert_eq!(report.workers_joined, 4);
+    for t in tickets {
+        assert!(t.wait().is_ok(), "queued jobs complete during drain");
+    }
+    assert_eq!(report.jobs_completed, requests.len() as u64);
+}
+
+#[test]
+fn unknown_wrapper_is_rejected_before_queueing() {
+    let server = ExtractionServer::start(
+        ServerConfig::default(),
+        Arc::new(WrapperRegistry::new()),
+        Arc::new(StaticWeb::new()),
+    );
+    let err = server
+        .execute(ExtractionRequest {
+            wrapper: "ghost".into(),
+            version: None,
+            source: RequestSource::Web { url: "u".into() },
+        })
+        .unwrap_err();
+    assert_eq!(err, ServerError::UnknownWrapper("ghost".into()));
+    let snapshot = server.metrics();
+    assert_eq!(snapshot.submitted, 0, "rejected before any queue");
+    server.shutdown();
+}
