@@ -4,26 +4,10 @@
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use lixto_core::XmlDesign;
+use lixto_bench::workload_registry;
 use lixto_elog::StaticWeb;
-use lixto_server::{
-    ExtractionRequest, ExtractionServer, RequestSource, ServerConfig, WrapperRegistry,
-};
+use lixto_server::{ExtractionRequest, ExtractionServer, RequestSource, ServerConfig};
 use lixto_workloads::traffic;
-
-fn registry() -> Arc<WrapperRegistry> {
-    let registry = Arc::new(WrapperRegistry::new());
-    for p in traffic::profiles() {
-        let mut design = XmlDesign::new().root(p.root);
-        for aux in p.auxiliary {
-            design = design.auxiliary(aux);
-        }
-        registry
-            .register_source(p.name, p.program, design)
-            .expect("wrapper compiles");
-    }
-    registry
-}
 
 fn bench(c: &mut Criterion) {
     const USERS: usize = 16;
@@ -54,7 +38,7 @@ fn bench(c: &mut Criterion) {
                 queue_capacity: 64,
                 cache_capacity: 64,
             },
-            registry(),
+            workload_registry(),
             Arc::new(StaticWeb::new()),
         );
         g.bench_with_input(BenchmarkId::from_parameter(shards), &shards, |b, _| {

@@ -1,0 +1,73 @@
+//! E14: gateway throughput — mixed wrapper traffic through the full
+//! loopback HTTP path (`lixto_http` gateway → `lixto_server` pool),
+//! swept over concurrent keep-alive client counts.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lixto_bench::workload_registry;
+use lixto_elog::StaticWeb;
+use lixto_http::{GatewayConfig, HttpClient, HttpGateway};
+use lixto_server::{ExtractionServer, ServerConfig};
+use lixto_workloads::http_traffic;
+
+fn bench(c: &mut Criterion) {
+    const USERS: usize = 16;
+    const PER_USER: usize = 8;
+    let requests = http_traffic::requests(99, USERS, PER_USER);
+    let mut g = c.benchmark_group("e14_http_throughput");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.throughput(Throughput::Elements(requests.len() as u64));
+    for clients in [1usize, 4, 8] {
+        let server = Arc::new(ExtractionServer::start(
+            ServerConfig {
+                shards: 4,
+                workers_per_shard: 2,
+                queue_capacity: 128,
+                cache_capacity: 64,
+            },
+            workload_registry(),
+            Arc::new(StaticWeb::new()),
+        ));
+        let gateway = HttpGateway::bind(
+            "127.0.0.1:0",
+            GatewayConfig {
+                handler_threads: clients,
+                ..GatewayConfig::default()
+            },
+            server.clone(),
+        )
+        .expect("bind gateway");
+        let addr = gateway.addr();
+        g.bench_with_input(BenchmarkId::from_parameter(clients), &clients, |b, _| {
+            b.iter(|| {
+                // Each client thread owns one keep-alive connection and
+                // replays its slice of the stream (cold cache only on the
+                // very first pass — steady-state serving).
+                std::thread::scope(|scope| {
+                    for chunk in requests.chunks(requests.len().div_ceil(clients)) {
+                        scope.spawn(move || {
+                            let mut client = HttpClient::connect(addr).expect("connect");
+                            let mut hits = 0usize;
+                            for r in chunk {
+                                let response =
+                                    client.post_json("/extract", &r.body).expect("extract");
+                                assert_eq!(response.status, 200);
+                                hits += response.text().contains("\"cache_hit\":true") as usize;
+                            }
+                            hits
+                        });
+                    }
+                })
+            })
+        });
+        gateway.shutdown();
+        server.initiate_shutdown();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -56,6 +56,9 @@ fn main() {
     if want("e14") {
         e14_mso_equivalence();
     }
+    if want("e14_http") {
+        e14_http_throughput();
+    }
 }
 
 /// A deep/wide synthetic document of ~n nodes (nested lists of tables).
@@ -713,9 +716,7 @@ fn e14_mso_equivalence() {
 }
 
 fn e13_server_throughput() {
-    use lixto_server::{
-        ExtractionRequest, ExtractionServer, RequestSource, ServerConfig, WrapperRegistry,
-    };
+    use lixto_server::{ExtractionRequest, ExtractionServer, RequestSource, ServerConfig};
     use std::sync::Arc;
     use std::time::Instant;
 
@@ -733,20 +734,6 @@ fn e13_server_throughput() {
                 },
             })
             .collect();
-    let registry = || {
-        let registry = Arc::new(WrapperRegistry::new());
-        for p in lixto_workloads::traffic::profiles() {
-            let mut design = lixto_core::XmlDesign::new().root(p.root);
-            for aux in p.auxiliary {
-                design = design.auxiliary(aux);
-            }
-            registry
-                .register_source(p.name, p.program, design)
-                .expect("wrapper compiles");
-        }
-        registry
-    };
-
     let mut rows = Vec::new();
     let mut json_rows = Vec::new();
     for shards in [1usize, 2, 4, 8] {
@@ -757,7 +744,7 @@ fn e13_server_throughput() {
                 queue_capacity: 64,
                 cache_capacity: 64,
             },
-            registry(),
+            lixto_bench::workload_registry(),
             Arc::new(lixto_elog::StaticWeb::new()),
         );
         let t = Instant::now();
@@ -809,6 +796,140 @@ fn e13_server_throughput() {
         json_rows.join(",\n")
     );
     let path = "BENCH_e13.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn e14_http_throughput() {
+    use lixto_http::{GatewayConfig, HttpClient, HttpGateway, Json};
+    use lixto_server::{ExtractionServer, ServerConfig};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    const USERS: usize = 32;
+    const PER_USER: usize = 50;
+    let requests = lixto_workloads::http_traffic::requests(2026, USERS, PER_USER);
+
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    for clients in [2usize, 8, 16, 32] {
+        // Fresh pool + gateway per run, so every run's counters start at
+        // zero and the metrics-agreement check is exact.
+        let server = Arc::new(ExtractionServer::start(
+            ServerConfig {
+                shards: 4,
+                workers_per_shard: 2,
+                queue_capacity: 128,
+                cache_capacity: 64,
+            },
+            lixto_bench::workload_registry(),
+            Arc::new(lixto_elog::StaticWeb::new()),
+        ));
+        let gateway = HttpGateway::bind(
+            "127.0.0.1:0",
+            GatewayConfig {
+                handler_threads: clients,
+                ..GatewayConfig::default()
+            },
+            server.clone(),
+        )
+        .expect("bind gateway");
+        let addr = gateway.addr();
+        let t = Instant::now();
+        // One keep-alive connection per client thread, the stream split
+        // between them.
+        let hits: usize = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for chunk in requests.chunks(requests.len().div_ceil(clients)) {
+                handles.push(scope.spawn(move || {
+                    let mut client = HttpClient::connect(addr).expect("connect");
+                    let mut hits = 0usize;
+                    for r in chunk {
+                        let response = client.post_json("/extract", &r.body).expect("extract");
+                        assert_eq!(response.status, 200, "{}", response.text());
+                        hits += response.text().contains("\"cache_hit\":true") as usize;
+                    }
+                    hits
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("client")).sum()
+        });
+        let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        let rps = requests.len() as f64 / (wall_ms / 1e3);
+
+        // The acceptance check: GET /metrics must agree, counter for
+        // counter, with the in-process MetricsSnapshot (both taken at
+        // quiescence — serving /metrics itself submits no pool jobs).
+        let snap = server.metrics();
+        let mut probe = HttpClient::connect(addr).expect("connect");
+        let wire = probe
+            .get_accept("/metrics", "application/json")
+            .expect("metrics")
+            .json()
+            .expect("metrics json");
+        let field = |name: &str| wire.get(name).and_then(Json::as_u64);
+        let cache_field = |name: &str| {
+            wire.get("cache")
+                .and_then(|c| c.get(name))
+                .and_then(Json::as_u64)
+        };
+        let agree = field("submitted") == Some(snap.submitted)
+            && field("completed") == Some(snap.completed)
+            && field("errors") == Some(snap.errors)
+            && field("rejected") == Some(snap.rejected)
+            && cache_field("hits") == Some(snap.cache.hits)
+            && cache_field("misses") == Some(snap.cache.misses)
+            && cache_field("evictions") == Some(snap.cache.evictions)
+            && cache_field("invalidations") == Some(snap.cache.invalidations);
+        assert!(agree, "GET /metrics diverged from the in-process snapshot");
+
+        rows.push(vec![
+            clients.to_string(),
+            requests.len().to_string(),
+            format!("{wall_ms:.1}"),
+            format!("{rps:.0}"),
+            snap.p50_us.to_string(),
+            snap.p99_us.to_string(),
+            format!("{:.0}%", 100.0 * hits as f64 / requests.len() as f64),
+            agree.to_string(),
+        ]);
+        json_rows.push(format!(
+            r#"    {{"clients": {clients}, "requests": {}, "wall_ms": {wall_ms:.3}, "throughput_rps": {rps:.1}, "p50_us": {}, "p99_us": {}, "cache_hits": {}, "cache_misses": {}, "http_4xx": {}, "http_5xx": {}, "metrics_agree": {agree}}}"#,
+            requests.len(),
+            snap.p50_us,
+            snap.p99_us,
+            snap.cache.hits,
+            snap.cache.misses,
+            gateway.stats().responses_4xx,
+            gateway.stats().responses_5xx,
+        ));
+        // Close the probe's keep-alive connection before shutdown, or
+        // the handler serving it idles out the full timeout first.
+        drop(probe);
+        gateway.shutdown();
+        server.initiate_shutdown();
+    }
+    print_table(
+        "E14 — HTTP gateway: mixed traffic (32 users × 50 reqs) through the loopback HTTP path",
+        &[
+            "clients",
+            "requests",
+            "wall ms",
+            "req/s",
+            "p50 µs",
+            "p99 µs",
+            "cache hit",
+            "metrics agree",
+        ],
+        &rows,
+    );
+    let json = format!(
+        "{{\n  \"experiment\": \"e14_http_throughput\",\n  \"users\": {USERS},\n  \"requests_per_user\": {PER_USER},\n  \"pool\": {{\"shards\": 4, \"workers_per_shard\": 2}},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    let path = "BENCH_e14.json";
     match std::fs::write(path, &json) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),

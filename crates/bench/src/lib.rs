@@ -7,7 +7,35 @@
 
 #![forbid(unsafe_code)]
 
+use std::sync::Arc;
 use std::time::Instant;
+
+use lixto_core::XmlDesign;
+use lixto_server::WrapperRegistry;
+use lixto_workloads::traffic::{self, WrapperProfile};
+
+/// The XML design a workload wrapper profile declares (root element plus
+/// auxiliary patterns).
+pub fn workload_design(profile: &WrapperProfile) -> XmlDesign {
+    let mut design = XmlDesign::new().root(profile.root);
+    for aux in profile.auxiliary {
+        design = design.auxiliary(aux);
+    }
+    design
+}
+
+/// A registry with every workload wrapper profile registered — the
+/// shared setup of the serving-layer examples, tests, benches and
+/// experiments.
+pub fn workload_registry() -> Arc<WrapperRegistry> {
+    let registry = Arc::new(WrapperRegistry::new());
+    for p in traffic::profiles() {
+        registry
+            .register_source(p.name, p.program, workload_design(&p))
+            .expect("workload wrapper compiles");
+    }
+    registry
+}
 
 /// Median wall time of `f` over `reps` runs, in microseconds.
 pub fn time_us(reps: usize, mut f: impl FnMut()) -> f64 {

@@ -1,0 +1,171 @@
+//! A minimal blocking HTTP/1.1 client with keep-alive, for driving the
+//! gateway from tests, benches and examples (and anything else that
+//! wants to talk to it without external dependencies).
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::json::{Json, JsonError};
+
+/// A parsed HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// `(name, value)` headers, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// First value of header `name` (lower-case).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy never needed for our own gateway).
+    pub fn text(&self) -> &str {
+        std::str::from_utf8(&self.body).unwrap_or("")
+    }
+
+    /// Parse the body as JSON.
+    pub fn json(&self) -> Result<Json, JsonError> {
+        Json::parse(self.text())
+    }
+}
+
+/// One keep-alive connection to an HTTP server.
+pub struct HttpClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl HttpClient {
+    /// Connect with a 30 s read timeout.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<HttpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_nodelay(true)?;
+        Ok(HttpClient {
+            stream,
+            buf: Vec::with_capacity(4096),
+        })
+    }
+
+    /// Issue one request and read the full response. The connection
+    /// stays usable afterwards unless the server said
+    /// `Connection: close`.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: Option<&[u8]>,
+    ) -> std::io::Result<HttpResponse> {
+        let mut out = Vec::with_capacity(256 + body.map_or(0, <[u8]>::len));
+        out.extend_from_slice(format!("{method} {path} HTTP/1.1\r\nhost: lixto\r\n").as_bytes());
+        for (name, value) in headers {
+            out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+        }
+        out.extend_from_slice(
+            format!("content-length: {}\r\n\r\n", body.map_or(0, <[u8]>::len)).as_bytes(),
+        );
+        if let Some(body) = body {
+            out.extend_from_slice(body);
+        }
+        self.stream.write_all(&out)?;
+        self.read_response()
+    }
+
+    /// `GET path`.
+    pub fn get(&mut self, path: &str) -> std::io::Result<HttpResponse> {
+        self.request("GET", path, &[], None)
+    }
+
+    /// `GET path` with an `Accept` header.
+    pub fn get_accept(&mut self, path: &str, accept: &str) -> std::io::Result<HttpResponse> {
+        self.request("GET", path, &[("accept", accept)], None)
+    }
+
+    /// `POST path` with a JSON body.
+    pub fn post_json(&mut self, path: &str, body: &str) -> std::io::Result<HttpResponse> {
+        self.request(
+            "POST",
+            path,
+            &[("content-type", "application/json")],
+            Some(body.as_bytes()),
+        )
+    }
+
+    /// `PUT path` with a JSON body.
+    pub fn put_json(&mut self, path: &str, body: &str) -> std::io::Result<HttpResponse> {
+        self.request(
+            "PUT",
+            path,
+            &[("content-type", "application/json")],
+            Some(body.as_bytes()),
+        )
+    }
+
+    fn read_response(&mut self) -> std::io::Result<HttpResponse> {
+        let malformed = |what: &str| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad response: {what}"),
+            )
+        };
+        loop {
+            if let Some(header_end) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                let head = std::str::from_utf8(&self.buf[..header_end])
+                    .map_err(|_| malformed("not UTF-8"))?;
+                let mut lines = head.split("\r\n");
+                let status_line = lines.next().unwrap_or("");
+                let status = status_line
+                    .split(' ')
+                    .nth(1)
+                    .and_then(|s| s.parse::<u16>().ok())
+                    .ok_or_else(|| malformed("status line"))?;
+                let headers: Vec<(String, String)> = lines
+                    .filter_map(|line| line.split_once(':'))
+                    .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+                    .collect();
+                let content_length = headers
+                    .iter()
+                    .find(|(n, _)| n == "content-length")
+                    .and_then(|(_, v)| v.parse::<usize>().ok())
+                    .ok_or_else(|| malformed("missing content-length"))?;
+                let body_start = header_end + 4;
+                let total = body_start + content_length;
+                while self.buf.len() < total {
+                    self.fill()?;
+                }
+                let body = self.buf[body_start..total].to_vec();
+                self.buf.drain(..total);
+                return Ok(HttpResponse {
+                    status,
+                    headers,
+                    body,
+                });
+            }
+            self.fill()?;
+        }
+    }
+
+    fn fill(&mut self) -> std::io::Result<()> {
+        let mut chunk = [0u8; 16 * 1024];
+        let n = self.stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection mid-response",
+            ));
+        }
+        self.buf.extend_from_slice(&chunk[..n]);
+        Ok(())
+    }
+}

@@ -1,0 +1,979 @@
+//! The HTTP gateway: a bounded acceptor + connection-handler thread pool
+//! serving the [`ExtractionServer`] over the wire.
+//!
+//! Architecture mirrors the pool it fronts: one acceptor thread pushes
+//! accepted sockets into a bounded queue (a full queue blocks the
+//! acceptor, pushing overload back into the TCP backlog), N handler
+//! threads each own one connection at a time and serve keep-alive
+//! request sequences off it (pipelined requests included). Graceful
+//! shutdown stops the acceptor, lets every handler finish the request it
+//! is serving (responses switch to `Connection: close`), and joins all
+//! threads — in-flight extraction tickets resolve because the pool's own
+//! shutdown drains before tearing down (see
+//! [`ExtractionServer::initiate_shutdown`]).
+//!
+//! ## Endpoints
+//!
+//! | Method & path           | Body → response |
+//! |-------------------------|-----------------|
+//! | `POST /extract`         | `{"wrapper", "version"?, "url", "html"?}` → XML + pattern instances |
+//! | `PUT /wrappers/{name}`  | `{"program", "root"?, "auxiliary"?}` → registered version |
+//! | `GET /wrappers`         | the deployed catalog |
+//! | `GET /metrics`          | Prometheus text, or JSON with `Accept: application/json` |
+//! | `GET /healthz`          | liveness probe |
+//! | `POST /admin/shutdown`  | request graceful shutdown |
+//!
+//! `/extract` submits through the pool's non-blocking `try_submit`, so a
+//! full shard queue surfaces as `429 Too Many Requests` instead of
+//! stalling the handler — the client decides whether to retry.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use crossbeam_channel::{bounded, Receiver};
+use lixto_server::{
+    ExtractionRequest, ExtractionResponse, ExtractionServer, MetricsSnapshot, RequestSource,
+    ServerError, WrapperSpec, XmlDesign,
+};
+
+use crate::http::{parse_request, Limits, Request, RequestError, Response};
+use crate::json::{obj, Json};
+
+/// Sizing and protocol knobs for [`HttpGateway::bind`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GatewayConfig {
+    /// Connection-handler threads. Each owns one connection at a time,
+    /// so this bounds concurrent keep-alive sessions.
+    pub handler_threads: usize,
+    /// Bounded queue of accepted-but-unclaimed sockets; a full queue
+    /// blocks the acceptor (overload spills into the TCP backlog).
+    pub accept_backlog: usize,
+    /// Parser size limits.
+    pub limits: Limits,
+    /// How long an idle keep-alive connection may sit between requests
+    /// before the handler closes it (also bounds shutdown latency).
+    pub idle_timeout: Duration,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> GatewayConfig {
+        GatewayConfig {
+            handler_threads: 8,
+            accept_backlog: 64,
+            limits: Limits::default(),
+            idle_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Counters the gateway keeps about itself (the pool's own metrics come
+/// from [`ExtractionServer::metrics`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GatewayStats {
+    /// Connections accepted and served.
+    pub connections: u64,
+    /// Requests answered (any status).
+    pub requests: u64,
+    /// Responses with a 4xx status.
+    pub responses_4xx: u64,
+    /// Responses with a 5xx status.
+    pub responses_5xx: u64,
+}
+
+struct SharedGateway {
+    server: Arc<ExtractionServer>,
+    config: GatewayConfig,
+    stop: AtomicBool,
+    shutdown_requested: Mutex<bool>,
+    shutdown_cv: Condvar,
+    connections: AtomicU64,
+    requests: AtomicU64,
+    responses_4xx: AtomicU64,
+    responses_5xx: AtomicU64,
+}
+
+impl SharedGateway {
+    fn stats(&self) -> GatewayStats {
+        GatewayStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            responses_4xx: self.responses_4xx.load(Ordering::Relaxed),
+            responses_5xx: self.responses_5xx.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The running HTTP front-end. Dropping it without calling
+/// [`shutdown`](HttpGateway::shutdown) leaves the threads serving until
+/// the process exits (like a detached server).
+pub struct HttpGateway {
+    addr: SocketAddr,
+    shared: Arc<SharedGateway>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    handlers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl HttpGateway {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// start the acceptor + handler pool serving `server`.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        config: GatewayConfig,
+        server: Arc<ExtractionServer>,
+    ) -> std::io::Result<HttpGateway> {
+        let config = GatewayConfig {
+            handler_threads: config.handler_threads.max(1),
+            accept_backlog: config.accept_backlog.max(1),
+            ..config
+        };
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(SharedGateway {
+            server,
+            config: config.clone(),
+            stop: AtomicBool::new(false),
+            shutdown_requested: Mutex::new(false),
+            shutdown_cv: Condvar::new(),
+            connections: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            responses_4xx: AtomicU64::new(0),
+            responses_5xx: AtomicU64::new(0),
+        });
+        let (conn_tx, conn_rx) = bounded::<TcpStream>(config.accept_backlog);
+        let acceptor = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("lixto-http-acceptor".to_string())
+                .spawn(move || {
+                    // conn_tx lives (only) here: when this loop exits the
+                    // sender drops, the queue drains, and the handlers'
+                    // recv() disconnects — that is the drain signal.
+                    loop {
+                        match listener.accept() {
+                            Ok((stream, _)) => {
+                                if shared.stop.load(Ordering::Acquire) {
+                                    break; // the stream is the shutdown wake-up
+                                }
+                                if conn_tx.send(stream).is_err() {
+                                    break;
+                                }
+                            }
+                            Err(_) => {
+                                // Transient (ECONNABORTED mid-handshake,
+                                // momentary EMFILE): intake must survive.
+                                // Back off briefly so a persistent error
+                                // cannot spin a core.
+                                if shared.stop.load(Ordering::Acquire) {
+                                    break;
+                                }
+                                std::thread::sleep(Duration::from_millis(10));
+                            }
+                        }
+                    }
+                })
+                .expect("spawn acceptor")
+        };
+        let handlers = (0..config.handler_threads)
+            .map(|i| {
+                let conn_rx = conn_rx.clone();
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("lixto-http-handler-{i}"))
+                    .spawn(move || handler_loop(conn_rx, shared))
+                    .expect("spawn handler")
+            })
+            .collect();
+        Ok(HttpGateway {
+            addr: local_addr,
+            shared,
+            acceptor: Some(acceptor),
+            handlers,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The gateway's own counters.
+    pub fn stats(&self) -> GatewayStats {
+        self.shared.stats()
+    }
+
+    /// Block until a client asks for shutdown via `POST /admin/shutdown`
+    /// (returns immediately if it already happened). The caller then
+    /// runs [`shutdown`](HttpGateway::shutdown).
+    pub fn wait_shutdown_requested(&self) {
+        let mut requested = self
+            .shared
+            .shutdown_requested
+            .lock()
+            .expect("shutdown flag poisoned");
+        while !*requested {
+            requested = self
+                .shared
+                .shutdown_cv
+                .wait(requested)
+                .expect("shutdown flag poisoned");
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, serve what is in flight (each
+    /// handler finishes its current request and closes), join every
+    /// thread, and return the final counters. The extraction pool is
+    /// *not* shut down — it may be shared; call
+    /// [`ExtractionServer::initiate_shutdown`] separately.
+    pub fn shutdown(mut self) -> GatewayStats {
+        self.shared.stop.store(true, Ordering::Release);
+        // Wake the acceptor out of its blocking accept(). A wildcard
+        // bind address (0.0.0.0 / ::) is not connectable everywhere, so
+        // aim the wake-up at loopback on the bound port.
+        let wake_addr = if self.addr.ip().is_unspecified() {
+            let loopback: std::net::IpAddr = if self.addr.is_ipv4() {
+                std::net::Ipv4Addr::LOCALHOST.into()
+            } else {
+                std::net::Ipv6Addr::LOCALHOST.into()
+            };
+            SocketAddr::new(loopback, self.addr.port())
+        } else {
+            self.addr
+        };
+        let _ = TcpStream::connect(wake_addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for handler in self.handlers.drain(..) {
+            let _ = handler.join();
+        }
+        self.shared.stats()
+    }
+}
+
+fn handler_loop(conn_rx: Receiver<TcpStream>, shared: Arc<SharedGateway>) {
+    // Keep draining queued connections even while stopping: they were
+    // accepted, so they get served (with `Connection: close`).
+    while let Ok(stream) = conn_rx.recv() {
+        shared.connections.fetch_add(1, Ordering::Relaxed);
+        let _ = serve_connection(stream, &shared);
+    }
+}
+
+fn count_response(shared: &SharedGateway, status: u16) {
+    shared.requests.fetch_add(1, Ordering::Relaxed);
+    if (400..500).contains(&status) {
+        shared.responses_4xx.fetch_add(1, Ordering::Relaxed);
+    } else if status >= 500 {
+        shared.responses_5xx.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, shared: &SharedGateway) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(shared.config.idle_timeout))?;
+    stream.set_nodelay(true)?;
+    let mut buf: Vec<u8> = Vec::with_capacity(4096);
+    let mut out: Vec<u8> = Vec::with_capacity(4096);
+    // Whether the current (incomplete) request already got its interim
+    // `100 Continue`; reset when a request completes.
+    let mut continued = false;
+    loop {
+        match parse_request(&buf, &shared.config.limits) {
+            Ok(Some((request, consumed))) => {
+                buf.drain(..consumed);
+                continued = false;
+                let response = route(&request, shared);
+                // Re-check stop *after* routing: /admin/shutdown flips it
+                // and its own response must already say close.
+                let keep_alive = request.keep_alive() && !shared.stop.load(Ordering::Acquire);
+                count_response(shared, response.status);
+                out.clear();
+                response.write_to(&mut out, keep_alive);
+                stream.write_all(&out)?;
+                if !keep_alive {
+                    return Ok(());
+                }
+                continue; // serve pipelined bytes before reading again
+            }
+            Ok(None) => {
+                // Headers complete but body pending: honor
+                // `Expect: 100-continue` so clients (curl with a body
+                // over 1 KiB, for one) send the body immediately instead
+                // of waiting out their expect timeout.
+                if !continued {
+                    if let Some(end) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                        if contains_ignore_ascii_case(&buf[..end], b"100-continue") {
+                            stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n")?;
+                        }
+                        continued = true; // scan the header section once
+                    }
+                }
+            }
+            Err(error) => {
+                // Answer before draining: an `Expect: 100-continue`
+                // client is holding its body back waiting for us, and
+                // the 413 is what tells it to stop.
+                let plan = drain_plan(&error, buf.len());
+                let keep_alive = plan.is_some() && !shared.stop.load(Ordering::Acquire);
+                let response =
+                    Response::error(error.status(), error_code(&error), &error.message());
+                count_response(shared, response.status);
+                out.clear();
+                response.write_to(&mut out, keep_alive);
+                stream.write_all(&out)?;
+                let Some(plan) = plan.filter(|_| keep_alive) else {
+                    return Ok(());
+                };
+                if !discard_from_stream(&mut stream, plan.from_stream)? {
+                    return Ok(()); // body never arrived in full: close
+                }
+                // Drop only the oversized request's bytes: anything after
+                // them is the next pipelined request and must survive.
+                buf.drain(..plan.from_buffer);
+                continued = false;
+                continue;
+            }
+        }
+        let mut chunk = [0u8; 16 * 1024];
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(()), // peer closed
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Ok(()); // idle keep-alive connection: close it
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// How to dispose of an over-long request whose framing is still
+/// intact: drop `from_buffer` bytes of the connection buffer and read
+/// away `from_stream` bytes still in flight, after which the connection
+/// can keep serving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct DrainPlan {
+    from_buffer: usize,
+    from_stream: usize,
+}
+
+fn drain_plan(error: &RequestError, buffered: usize) -> Option<DrainPlan> {
+    let RequestError::BodyTooLarge {
+        declared,
+        body_start,
+    } = error
+    else {
+        return None; // other parse errors poison the framing: close
+    };
+    /// Refuse to sponge up absurd declarations; just close instead.
+    const MAX_DRAIN: usize = 8 * 1024 * 1024;
+    if *declared > MAX_DRAIN {
+        return None;
+    }
+    let total = body_start + declared;
+    Some(DrainPlan {
+        from_buffer: total.min(buffered),
+        from_stream: total.saturating_sub(buffered),
+    })
+}
+
+/// Read and discard exactly `remaining` bytes; false when the peer
+/// closed or errored first.
+fn discard_from_stream(stream: &mut TcpStream, mut remaining: usize) -> std::io::Result<bool> {
+    let mut sink = [0u8; 16 * 1024];
+    while remaining > 0 {
+        let take = sink.len().min(remaining);
+        match stream.read(&mut sink[..take]) {
+            Ok(0) => return Ok(false),
+            Ok(n) => remaining -= n,
+            Err(_) => return Ok(false),
+        }
+    }
+    Ok(true)
+}
+
+/// Case-insensitive substring search over raw header bytes.
+fn contains_ignore_ascii_case(haystack: &[u8], needle: &[u8]) -> bool {
+    haystack
+        .windows(needle.len())
+        .any(|w| w.eq_ignore_ascii_case(needle))
+}
+
+fn error_code(error: &RequestError) -> &'static str {
+    match error {
+        RequestError::Malformed(_) => "malformed_request",
+        RequestError::HeadersTooLarge => "headers_too_large",
+        RequestError::BodyTooLarge { .. } => "body_too_large",
+        RequestError::UnsupportedTransferEncoding => "unsupported_transfer_encoding",
+    }
+}
+
+fn route(request: &Request, shared: &SharedGateway) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/extract") => post_extract(request, shared),
+        ("GET", "/wrappers") => get_wrappers(shared),
+        ("PUT", path)
+            if path
+                .strip_prefix("/wrappers/")
+                .is_some_and(|n| !n.is_empty()) =>
+        {
+            put_wrapper(
+                path.strip_prefix("/wrappers/").expect("checked"),
+                request,
+                shared,
+            )
+        }
+        ("GET", "/metrics") => get_metrics(request, shared),
+        ("GET", "/healthz") => Response::json(200, &obj([("status", "ok".into())])),
+        ("POST", "/admin/shutdown") => {
+            shared.stop.store(true, Ordering::Release);
+            *shared
+                .shutdown_requested
+                .lock()
+                .expect("shutdown flag poisoned") = true;
+            shared.shutdown_cv.notify_all();
+            Response::json(200, &obj([("shutting_down", true.into())]))
+        }
+        (_, "/extract" | "/wrappers" | "/metrics" | "/healthz" | "/admin/shutdown") => {
+            Response::error(405, "method_not_allowed", "wrong method for this path")
+        }
+        (_, path) if path.starts_with("/wrappers/") => {
+            Response::error(405, "method_not_allowed", "wrong method for this path")
+        }
+        _ => Response::error(404, "not_found", "no such endpoint"),
+    }
+}
+
+/// Map a pool-side failure onto the wire.
+fn server_error_response(error: &ServerError) -> Response {
+    let (status, code) = match error {
+        ServerError::UnknownWrapper(_) => (404, "unknown_wrapper"),
+        ServerError::UnknownVersion { .. } => (404, "unknown_version"),
+        ServerError::FetchFailed(_) => (502, "fetch_failed"),
+        ServerError::Backpressure => (429, "backpressure"),
+        ServerError::ShuttingDown => (503, "shutting_down"),
+        ServerError::Canceled => (503, "canceled"),
+        ServerError::Internal(_) => (500, "internal"),
+    };
+    let response = Response::error(status, code, &error.to_string());
+    if status == 429 {
+        response.with_header("retry-after", "1")
+    } else {
+        response
+    }
+}
+
+fn bad_request(message: &str) -> Response {
+    Response::error(400, "bad_request", message)
+}
+
+fn post_extract(request: &Request, shared: &SharedGateway) -> Response {
+    let Some(body) = request.body_utf8() else {
+        return bad_request("body is not UTF-8");
+    };
+    let parsed = match Json::parse(body) {
+        Ok(v) => v,
+        Err(e) => return bad_request(&e.to_string()),
+    };
+    let Some(wrapper) = parsed.get("wrapper").and_then(Json::as_str) else {
+        return bad_request("missing string field \"wrapper\"");
+    };
+    let version = match parsed.get("version") {
+        None | Some(Json::Null) => None,
+        Some(v) => match v.as_u64().and_then(|n| u32::try_from(n).ok()) {
+            Some(n) => Some(n),
+            None => return bad_request("\"version\" must be an unsigned integer"),
+        },
+    };
+    let Some(url) = parsed.get("url").and_then(Json::as_str) else {
+        return bad_request("missing string field \"url\"");
+    };
+    let source = match parsed.get("html") {
+        None | Some(Json::Null) => RequestSource::Web {
+            url: url.to_string(),
+        },
+        Some(html) => match html.as_str() {
+            Some(html) => RequestSource::Inline {
+                url: url.to_string(),
+                html: html.to_string(),
+            },
+            None => return bad_request("\"html\" must be a string"),
+        },
+    };
+    let submitted = shared.server.try_submit(ExtractionRequest {
+        wrapper: wrapper.to_string(),
+        version,
+        source,
+    });
+    let outcome = match submitted {
+        Ok(ticket) => ticket.wait(),
+        Err(e) => Err(e),
+    };
+    match outcome {
+        Ok(response) => Response::json(200, &extraction_json(&response)),
+        Err(error) => server_error_response(&error),
+    }
+}
+
+/// The `/extract` response body: execution metadata, the designed XML
+/// document, and the extracted pattern instances as JSON.
+fn extraction_json(response: &ExtractionResponse) -> Json {
+    let extraction = response.extraction();
+    let patterns: Vec<Json> = extraction
+        .patterns()
+        .into_iter()
+        .map(|name| {
+            let texts: Vec<Json> = extraction
+                .texts_of(&name)
+                .into_iter()
+                .map(Json::from)
+                .collect();
+            obj([("name", name.into()), ("instances", texts.into())])
+        })
+        .collect();
+    obj([
+        ("wrapper", response.wrapper.as_str().into()),
+        ("version", response.version.into()),
+        ("cache_hit", response.cache_hit.into()),
+        ("latency_us", (response.latency.as_micros() as u64).into()),
+        ("xml", response.xml().into()),
+        ("patterns", patterns.into()),
+    ])
+}
+
+fn get_wrappers(shared: &SharedGateway) -> Response {
+    let wrappers: Vec<Json> = shared
+        .server
+        .registry()
+        .catalog()
+        .into_iter()
+        .map(|(name, latest)| obj([("name", name.into()), ("latest", latest.into())]))
+        .collect();
+    Response::json(200, &obj([("wrappers", wrappers.into())]))
+}
+
+fn put_wrapper(name: &str, request: &Request, shared: &SharedGateway) -> Response {
+    if !name
+        .bytes()
+        .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+    {
+        return bad_request("wrapper names are [A-Za-z0-9_-]+");
+    }
+    let Some(body) = request.body_utf8() else {
+        return bad_request("body is not UTF-8");
+    };
+    let parsed = match Json::parse(body) {
+        Ok(v) => v,
+        Err(e) => return bad_request(&e.to_string()),
+    };
+    let Some(program) = parsed.get("program").and_then(Json::as_str) else {
+        return bad_request("missing string field \"program\"");
+    };
+    let mut design = XmlDesign::new();
+    if let Some(root) = parsed.get("root") {
+        match root.as_str() {
+            Some(root) => design = design.root(root),
+            None => return bad_request("\"root\" must be a string"),
+        }
+    }
+    if let Some(auxiliary) = parsed.get("auxiliary") {
+        let Some(items) = auxiliary.as_array() else {
+            return bad_request("\"auxiliary\" must be an array of strings");
+        };
+        for item in items {
+            match item.as_str() {
+                Some(pattern) => design = design.auxiliary(pattern),
+                None => return bad_request("\"auxiliary\" must be an array of strings"),
+            }
+        }
+    }
+    match WrapperSpec::from_source(program, design) {
+        Ok(spec) => {
+            let version = shared.server.registry().register(name, spec);
+            Response::json(
+                201,
+                &obj([("name", name.into()), ("version", version.into())]),
+            )
+        }
+        Err(e) => Response::error(
+            400,
+            "bad_program",
+            &format!("wrapper does not compile: {e}"),
+        ),
+    }
+}
+
+fn get_metrics(request: &Request, shared: &SharedGateway) -> Response {
+    let snapshot = shared.server.metrics();
+    let stats = shared.stats();
+    let wants_json = request
+        .header("accept")
+        .is_some_and(|accept| accept.contains("application/json"));
+    if wants_json {
+        Response::json(200, &metrics_json(&snapshot, &stats))
+    } else {
+        Response::text(200, render_prometheus(&snapshot, &stats))
+    }
+}
+
+/// The snapshot as JSON — field for field the same numbers
+/// [`ExtractionServer::metrics`] reports in-process.
+pub fn metrics_json(snapshot: &MetricsSnapshot, stats: &GatewayStats) -> Json {
+    let depths: Vec<Json> = snapshot
+        .queue_depths
+        .iter()
+        .map(|&d| Json::from(d))
+        .collect();
+    obj([
+        ("submitted", snapshot.submitted.into()),
+        ("completed", snapshot.completed.into()),
+        ("errors", snapshot.errors.into()),
+        ("rejected", snapshot.rejected.into()),
+        ("throughput_per_sec", snapshot.throughput_per_sec.into()),
+        ("p50_us", snapshot.p50_us.into()),
+        ("p99_us", snapshot.p99_us.into()),
+        ("queue_depths", depths.into()),
+        ("workers", snapshot.workers.into()),
+        (
+            "cache",
+            obj([
+                ("hits", snapshot.cache.hits.into()),
+                ("misses", snapshot.cache.misses.into()),
+                ("evictions", snapshot.cache.evictions.into()),
+                ("invalidations", snapshot.cache.invalidations.into()),
+                ("len", snapshot.cache.len.into()),
+                ("capacity", snapshot.cache.capacity.into()),
+                ("hit_rate", snapshot.cache.hit_rate().into()),
+            ]),
+        ),
+        (
+            "gateway",
+            obj([
+                ("connections", stats.connections.into()),
+                ("requests", stats.requests.into()),
+                ("responses_4xx", stats.responses_4xx.into()),
+                ("responses_5xx", stats.responses_5xx.into()),
+            ]),
+        ),
+    ])
+}
+
+fn prometheus_metric(out: &mut String, name: &str, kind: &str, help: &str, value: &str) {
+    out.push_str(&format!(
+        "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
+    ));
+}
+
+/// The snapshot in the Prometheus text exposition format.
+pub fn render_prometheus(snapshot: &MetricsSnapshot, stats: &GatewayStats) -> String {
+    let mut out = String::with_capacity(2048);
+    let pool_metrics = [
+        (
+            "lixto_requests_submitted_total",
+            "counter",
+            "Requests accepted into a shard queue",
+            snapshot.submitted.to_string(),
+        ),
+        (
+            "lixto_requests_completed_total",
+            "counter",
+            "Requests completed successfully",
+            snapshot.completed.to_string(),
+        ),
+        (
+            "lixto_requests_errored_total",
+            "counter",
+            "Requests completed with an error",
+            snapshot.errors.to_string(),
+        ),
+        (
+            "lixto_requests_rejected_total",
+            "counter",
+            "Requests rejected by backpressure",
+            snapshot.rejected.to_string(),
+        ),
+        (
+            "lixto_throughput_per_second",
+            "gauge",
+            "Completions per second since start",
+            format!("{:.3}", snapshot.throughput_per_sec),
+        ),
+        (
+            "lixto_latency_p50_microseconds",
+            "gauge",
+            "Median end-to-end latency",
+            snapshot.p50_us.to_string(),
+        ),
+        (
+            "lixto_latency_p99_microseconds",
+            "gauge",
+            "99th-percentile end-to-end latency",
+            snapshot.p99_us.to_string(),
+        ),
+        (
+            "lixto_workers",
+            "gauge",
+            "Worker thread count",
+            snapshot.workers.to_string(),
+        ),
+    ];
+    for (name, kind, help, value) in &pool_metrics {
+        prometheus_metric(&mut out, name, kind, help, value);
+    }
+    out.push_str("# HELP lixto_queue_depth Jobs currently queued per shard\n");
+    out.push_str("# TYPE lixto_queue_depth gauge\n");
+    for (shard, depth) in snapshot.queue_depths.iter().enumerate() {
+        out.push_str(&format!("lixto_queue_depth{{shard=\"{shard}\"}} {depth}\n"));
+    }
+    let tail_metrics = [
+        (
+            "lixto_cache_hits_total",
+            "counter",
+            "Cache lookups answered from the cache",
+            snapshot.cache.hits.to_string(),
+        ),
+        (
+            "lixto_cache_misses_total",
+            "counter",
+            "Cache lookups that required a fresh extraction",
+            snapshot.cache.misses.to_string(),
+        ),
+        (
+            "lixto_cache_evictions_total",
+            "counter",
+            "Cache entries evicted by the LRU policy",
+            snapshot.cache.evictions.to_string(),
+        ),
+        (
+            "lixto_cache_invalidations_total",
+            "counter",
+            "Cache entries dropped by change detection or crawl revalidation",
+            snapshot.cache.invalidations.to_string(),
+        ),
+        (
+            "lixto_cache_entries",
+            "gauge",
+            "Cache entries currently held",
+            snapshot.cache.len.to_string(),
+        ),
+        (
+            "lixto_http_connections_total",
+            "counter",
+            "Connections accepted by the gateway",
+            stats.connections.to_string(),
+        ),
+        (
+            "lixto_http_requests_total",
+            "counter",
+            "HTTP requests answered by the gateway",
+            stats.requests.to_string(),
+        ),
+        (
+            "lixto_http_responses_4xx_total",
+            "counter",
+            "HTTP responses with a 4xx status",
+            stats.responses_4xx.to_string(),
+        ),
+        (
+            "lixto_http_responses_5xx_total",
+            "counter",
+            "HTTP responses with a 5xx status",
+            stats.responses_5xx.to_string(),
+        ),
+    ];
+    for (name, kind, help, value) in &tail_metrics {
+        prometheus_metric(&mut out, name, kind, help, value);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::HttpClient;
+    use lixto_server::{ServerConfig, WrapperRegistry};
+
+    const WRAPPER: &str = r#"
+        offer(S, X) :- document("http://shop/", S), subelem(S, (?.li, []), X).
+    "#;
+
+    fn gateway() -> (HttpGateway, Arc<ExtractionServer>) {
+        let registry = Arc::new(WrapperRegistry::new());
+        registry
+            .register_source("shop", WRAPPER, XmlDesign::new().root("offers"))
+            .unwrap();
+        let server = Arc::new(ExtractionServer::start(
+            ServerConfig::default(),
+            registry,
+            Arc::new(lixto_elog::StaticWeb::new()),
+        ));
+        let gateway = HttpGateway::bind(
+            "127.0.0.1:0",
+            GatewayConfig {
+                handler_threads: 2,
+                idle_timeout: Duration::from_millis(500),
+                ..GatewayConfig::default()
+            },
+            server.clone(),
+        )
+        .unwrap();
+        (gateway, server)
+    }
+
+    #[test]
+    fn serves_extract_wrappers_metrics_and_health_over_keep_alive() {
+        let (gateway, server) = gateway();
+        let mut client = HttpClient::connect(gateway.addr()).unwrap();
+        // Health.
+        let health = client.get("/healthz").unwrap();
+        assert_eq!(health.status, 200);
+        // Extract (inline document).
+        let body = r#"{"wrapper":"shop","url":"http://shop/","html":"<ul><li>beans</li></ul>"}"#;
+        let extract = client.post_json("/extract", body).unwrap();
+        assert_eq!(extract.status, 200, "{}", extract.text());
+        let parsed = extract.json().unwrap();
+        assert!(parsed
+            .get("xml")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("beans"));
+        assert_eq!(parsed.get("cache_hit").and_then(Json::as_bool), Some(false));
+        // Same connection (keep-alive): a repeat hits the cache.
+        let repeat = client.post_json("/extract", body).unwrap();
+        assert_eq!(
+            repeat
+                .json()
+                .unwrap()
+                .get("cache_hit")
+                .and_then(Json::as_bool),
+            Some(true)
+        );
+        // Wrapper deployment and listing.
+        let put = client
+            .put_json("/wrappers/shop", r#"{"program":"offer(S, X) :- document(\"http://shop/\", S), subelem(S, (?.li, []), X).","root":"offers_v2"}"#)
+            .unwrap();
+        assert_eq!(put.status, 201, "{}", put.text());
+        let listing = client.get("/wrappers").unwrap();
+        assert!(listing.text().contains(r#"{"name":"shop","latest":2}"#));
+        // Metrics: JSON numbers agree with the in-process snapshot.
+        let metrics = client.get_accept("/metrics", "application/json").unwrap();
+        let snapshot = server.metrics();
+        let parsed = metrics.json().unwrap();
+        assert_eq!(
+            parsed.get("completed").and_then(Json::as_u64),
+            Some(snapshot.completed)
+        );
+        // Prometheus rendering carries the same counters.
+        let text = client.get("/metrics").unwrap();
+        assert!(text.text().contains(&format!(
+            "lixto_requests_completed_total {}",
+            snapshot.completed
+        )));
+        // Errors map to 4xx.
+        assert_eq!(client.post_json("/extract", "{oops").unwrap().status, 400);
+        assert_eq!(
+            client
+                .post_json("/extract", r#"{"wrapper":"ghost","url":"u"}"#)
+                .unwrap()
+                .status,
+            404
+        );
+        assert_eq!(client.get("/no/such/path").unwrap().status, 404);
+        assert_eq!(
+            client
+                .request("DELETE", "/wrappers", &[], None)
+                .unwrap()
+                .status,
+            405
+        );
+        drop(client);
+        let stats = gateway.shutdown();
+        assert_eq!(stats.connections, 1, "one keep-alive connection");
+        assert!(stats.requests >= 9);
+        server.initiate_shutdown();
+    }
+
+    #[test]
+    fn request_pipelined_behind_oversized_body_still_answered() {
+        use std::io::{Read, Write};
+
+        let registry = Arc::new(WrapperRegistry::new());
+        registry
+            .register_source("shop", WRAPPER, XmlDesign::new().root("offers"))
+            .unwrap();
+        let server = Arc::new(ExtractionServer::start(
+            ServerConfig::default(),
+            registry,
+            Arc::new(lixto_elog::StaticWeb::new()),
+        ));
+        let gateway = HttpGateway::bind(
+            "127.0.0.1:0",
+            GatewayConfig {
+                handler_threads: 1,
+                limits: crate::http::Limits {
+                    max_header_bytes: 2048,
+                    max_body_bytes: 64,
+                },
+                idle_timeout: Duration::from_millis(500),
+                ..GatewayConfig::default()
+            },
+            server.clone(),
+        )
+        .unwrap();
+        // One write carrying an oversized POST *and* a pipelined GET:
+        // the 413 must drain only the oversized request's bytes, leaving
+        // the GET to be answered on the same connection.
+        let oversized_body = "x".repeat(100);
+        let mut raw = std::net::TcpStream::connect(gateway.addr()).unwrap();
+        raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        raw.write_all(
+            format!(
+                "POST /extract HTTP/1.1\r\ncontent-length: {}\r\n\r\n{}GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n",
+                oversized_body.len(),
+                oversized_body
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+        let mut received = Vec::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            match raw.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => received.extend_from_slice(&chunk[..n]),
+                Err(_) => break,
+            }
+        }
+        let text = String::from_utf8_lossy(&received);
+        assert!(text.contains("HTTP/1.1 413"), "first response: {text}");
+        assert!(
+            text.contains("HTTP/1.1 200") && text.contains(r#"{"status":"ok"}"#),
+            "the pipelined GET must still be answered: {text}"
+        );
+        drop(raw);
+        gateway.shutdown();
+        server.initiate_shutdown();
+    }
+
+    #[test]
+    fn admin_shutdown_unblocks_the_waiter_and_closes() {
+        let (gateway, server) = gateway();
+        let addr = gateway.addr();
+        let trigger = std::thread::spawn(move || {
+            let mut client = HttpClient::connect(addr).unwrap();
+            let response = client.post_json("/admin/shutdown", "{}").unwrap();
+            assert_eq!(response.status, 200);
+            assert_eq!(response.header("connection"), Some("close"));
+        });
+        gateway.wait_shutdown_requested();
+        trigger.join().unwrap();
+        gateway.shutdown();
+        server.initiate_shutdown();
+    }
+}

@@ -1,0 +1,32 @@
+//! # lixto-http
+//!
+//! The HTTP/JSON gateway that turns the `lixto_server` extraction pool
+//! into a network service — the missing front half of the paper's §6
+//! Transformation Server story, where wrappers built visually are
+//! "served to applications over the web". Everything is built on the
+//! standard library (`std::net::TcpListener` and hand-rolled HTTP/JSON),
+//! because this environment has no registry access:
+//!
+//! * [`json`] — a small JSON value type with a parser and serializer
+//!   (full escaping both ways, insertion-ordered objects);
+//! * [`http`] — HTTP/1.1 framing: incremental, pipelining-aware request
+//!   parsing with header/body size limits, and response serialization;
+//! * [`gateway`] — the [`HttpGateway`]: a bounded acceptor + handler
+//!   thread pool with keep-alive and graceful drain shutdown, exposing
+//!   `POST /extract`, `PUT`/`GET /wrappers`, `GET /metrics` (Prometheus
+//!   text or JSON) and `POST /admin/shutdown` over an
+//!   [`ExtractionServer`](lixto_server::ExtractionServer);
+//! * [`client`] — a blocking keep-alive [`HttpClient`] for tests,
+//!   benches and command-line use.
+
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod gateway;
+pub mod http;
+pub mod json;
+
+pub use client::{HttpClient, HttpResponse};
+pub use gateway::{metrics_json, render_prometheus, GatewayConfig, GatewayStats, HttpGateway};
+pub use http::{parse_request, Limits, Request, RequestError, Response};
+pub use json::{obj, Json, JsonError};

@@ -1,15 +1,26 @@
-//! Content-addressed result cache.
+//! Content-addressed result cache, sharded across mutex'd segments.
 //!
-//! A wrapper is a pure function of (program version, document bytes) —
+//! A wrapper is a pure function of (program version, fetched pages) —
 //! the Extractor is deterministic — so results are cached under the
 //! FxHash of the source document's bytes combined with the wrapper name
 //! and version. Identical pages served to different users (the common
 //! case for a portal polling slowly-changing sites) cost one extraction.
 //!
-//! Eviction is LRU over a fixed capacity, implemented as a recency
-//! counter per entry (O(1) touch, O(n) eviction scan — eviction is the
-//! rare path and capacities are small). Hit/miss/eviction/invalidation
-//! counters feed the server's metrics snapshot.
+//! The map is split into N independently locked segments selected by the
+//! key's fxhash, so concurrent workers (and now the HTTP gateway's
+//! handler threads) do not serialize on one big mutex. Aggregate
+//! hit/miss/eviction/invalidation counters are kept in shared atomics and
+//! stay exact regardless of which segment served an operation.
+//!
+//! Every cached value also carries a *crawl manifest*: the URL and body
+//! hash of each page the extraction fetched beyond the entry document.
+//! The server revalidates that manifest before serving a hit, closing the
+//! stale-subpage window where a wrapper that crawls past its entry page
+//! would keep serving results computed from since-changed subpages.
+//!
+//! Eviction is LRU over a fixed per-segment capacity, implemented as a
+//! recency counter per entry (O(1) touch, O(n) eviction scan — eviction
+//! is the rare path and capacities are small).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -56,18 +67,39 @@ pub struct CacheKey {
     pub wrapper: String,
     /// Wrapper version.
     pub version: u32,
-    /// [`content_address`] of the source document (URL + bytes).
+    /// [`content_address`] of the entry document (URL + bytes).
     pub content: u64,
 }
 
-/// A cached extraction: the result and its serialized XML rendering
-/// (cached too, so hits skip re-serialization).
+/// One page an extraction fetched beyond its entry document (a crawl
+/// target followed via `document(U)`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrawlRecord {
+    /// The fetched URL.
+    pub url: String,
+    /// `fxhash64` of the fetched body, or `None` when the fetch failed
+    /// (a 404 at extraction time is part of the result's identity too).
+    pub content: Option<u64>,
+}
+
+/// A cached extraction: the result, its serialized XML rendering (cached
+/// too, so hits skip re-serialization), and the crawl manifest used to
+/// revalidate the entry before serving it again.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CachedExtraction {
     /// The extraction result.
     pub result: ExtractionResult,
     /// `lixto_xml::to_string` of the designed output document.
     pub xml: String,
+    /// Pages fetched beyond the entry document, with their body hashes.
+    /// Empty for single-page wrappers — the common case, which therefore
+    /// pays no revalidation cost.
+    pub crawl: Vec<CrawlRecord>,
+    /// Whether `crawl` was recorded with live-web access (a `Web`
+    /// request) or self-contained (`Inline`). A non-empty manifest only
+    /// revalidates against the same capability — comparing a live hash
+    /// with an offline fetch failure would spuriously invalidate.
+    pub crawl_live: bool,
 }
 
 struct Entry {
@@ -84,11 +116,12 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries evicted by the LRU policy.
     pub evictions: u64,
-    /// Entries dropped because change detection saw new source content.
+    /// Entries dropped because change detection or crawl revalidation saw
+    /// new source content.
     pub invalidations: u64,
     /// Entries currently held.
     pub len: usize,
-    /// Maximum entries held.
+    /// Maximum entries held (summed over segments).
     pub capacity: usize,
 }
 
@@ -104,31 +137,58 @@ impl CacheStats {
     }
 }
 
+/// Most segments a [`ResultCache::new`] cache is split into.
+pub const DEFAULT_CACHE_SEGMENTS: usize = 8;
+
+/// Smallest per-segment capacity [`ResultCache::new`] will accept when
+/// choosing its segment count: splitting a small cache into one-entry
+/// segments would replace the LRU policy with hash-collision thrashing.
+const MIN_SEGMENT_CAPACITY: usize = 8;
+
 /// Bounded, thread-safe, content-addressed LRU cache of extraction
-/// results.
+/// results, sharded over independently locked segments.
 pub struct ResultCache {
-    inner: Mutex<CacheInner>,
+    segments: Vec<Mutex<Segment>>,
+    segment_capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
     invalidations: AtomicU64,
 }
 
-struct CacheInner {
+struct Segment {
     map: HashMap<CacheKey, Entry>,
-    capacity: usize,
     clock: u64,
 }
 
 impl ResultCache {
-    /// A cache holding at most `capacity` entries (min 1).
+    /// A cache holding at most ~`capacity` entries (min 1), split into
+    /// up to [`DEFAULT_CACHE_SEGMENTS`] segments — fewer for small
+    /// capacities, so each segment keeps at least
+    /// `MIN_SEGMENT_CAPACITY` entries of real LRU behavior (a capacity
+    /// of 8 is one global-LRU segment, exactly as before sharding).
     pub fn new(capacity: usize) -> ResultCache {
+        let segments = (capacity.max(1) / MIN_SEGMENT_CAPACITY).clamp(1, DEFAULT_CACHE_SEGMENTS);
+        ResultCache::with_segments(capacity, segments)
+    }
+
+    /// A cache with an explicit segment count. The per-segment capacity
+    /// is `ceil(capacity / segments)`, so the total capacity may round up
+    /// slightly; `stats().capacity` reports the effective total.
+    pub fn with_segments(capacity: usize, segments: usize) -> ResultCache {
+        let capacity = capacity.max(1);
+        let segments = segments.clamp(1, capacity);
+        let segment_capacity = capacity.div_ceil(segments);
         ResultCache {
-            inner: Mutex::new(CacheInner {
-                map: HashMap::new(),
-                capacity: capacity.max(1),
-                clock: 0,
-            }),
+            segments: (0..segments)
+                .map(|_| {
+                    Mutex::new(Segment {
+                        map: HashMap::new(),
+                        clock: 0,
+                    })
+                })
+                .collect(),
+            segment_capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -136,42 +196,74 @@ impl ResultCache {
         }
     }
 
+    fn segment(&self, key: &CacheKey) -> &Mutex<Segment> {
+        // Finalizer mix (murmur3 style) so the modulo sees every bit of
+        // the combined key hash, not just its low bits.
+        let mut h =
+            fxhash64(key.wrapper.as_bytes()) ^ key.content ^ u64::from(key.version).rotate_left(11);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        &self.segments[(h % self.segments.len() as u64) as usize]
+    }
+
     /// Look up `key`, counting a hit or miss and refreshing recency.
     pub fn get(&self, key: &CacheKey) -> Option<Arc<CachedExtraction>> {
-        let mut inner = self.inner.lock().expect("cache poisoned");
-        inner.clock += 1;
-        let clock = inner.clock;
-        match inner.map.get_mut(key) {
-            Some(entry) => {
-                entry.last_used = clock;
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(entry.value.clone())
+        match self.peek(key) {
+            Some(value) => {
+                self.record_hit();
+                Some(value)
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.record_miss();
                 None
             }
         }
     }
 
-    /// Insert `value` under `key`, evicting the least-recently-used entry
-    /// when at capacity.
+    /// Look up `key` and refresh recency *without* touching the hit/miss
+    /// counters. The server uses this to revalidate a candidate's crawl
+    /// manifest first and then record the lookup as a hit or a miss
+    /// depending on the verdict, keeping the aggregate counters exact.
+    pub fn peek(&self, key: &CacheKey) -> Option<Arc<CachedExtraction>> {
+        let mut seg = self.segment(key).lock().expect("cache poisoned");
+        seg.clock += 1;
+        let clock = seg.clock;
+        seg.map.get_mut(key).map(|entry| {
+            entry.last_used = clock;
+            entry.value.clone()
+        })
+    }
+
+    /// Count one cache hit (pairs with [`ResultCache::peek`]).
+    pub fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one cache miss (pairs with [`ResultCache::peek`]).
+    pub fn record_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Insert `value` under `key`, evicting the segment's least-recently-
+    /// used entry when the segment is at capacity.
     pub fn insert(&self, key: CacheKey, value: Arc<CachedExtraction>) {
-        let mut inner = self.inner.lock().expect("cache poisoned");
-        inner.clock += 1;
-        let clock = inner.clock;
-        if !inner.map.contains_key(&key) && inner.map.len() >= inner.capacity {
-            if let Some(lru) = inner
+        let capacity = self.segment_capacity;
+        let mut seg = self.segment(&key).lock().expect("cache poisoned");
+        seg.clock += 1;
+        let clock = seg.clock;
+        if !seg.map.contains_key(&key) && seg.map.len() >= capacity {
+            if let Some(lru) = seg
                 .map
                 .iter()
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(k, _)| k.clone())
             {
-                inner.map.remove(&lru);
+                seg.map.remove(&lru);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
-        inner.map.insert(
+        seg.map.insert(
             key,
             Entry {
                 value,
@@ -182,8 +274,8 @@ impl ResultCache {
 
     /// Drop `key` because its source content changed; true if present.
     pub fn invalidate(&self, key: &CacheKey) -> bool {
-        let mut inner = self.inner.lock().expect("cache poisoned");
-        let removed = inner.map.remove(key).is_some();
+        let mut seg = self.segment(key).lock().expect("cache poisoned");
+        let removed = seg.map.remove(key).is_some();
         if removed {
             self.invalidations.fetch_add(1, Ordering::Relaxed);
         }
@@ -192,14 +284,18 @@ impl ResultCache {
 
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().expect("cache poisoned");
+        let len = self
+            .segments
+            .iter()
+            .map(|s| s.lock().expect("cache poisoned").map.len())
+            .sum();
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
-            len: inner.map.len(),
-            capacity: inner.capacity,
+            len,
+            capacity: self.segment_capacity * self.segments.len(),
         }
     }
 }
@@ -217,6 +313,8 @@ mod tests {
                 doc_urls: Vec::new(),
             },
             xml: xml.to_string(),
+            crawl: Vec::new(),
+            crawl_live: false,
         })
     }
 
@@ -269,7 +367,8 @@ mod tests {
 
     #[test]
     fn lru_evicts_least_recently_used() {
-        let cache = ResultCache::new(2);
+        // One segment so the LRU order is global and deterministic.
+        let cache = ResultCache::with_segments(2, 1);
         cache.insert(key("w", 1), dummy("1"));
         cache.insert(key("w", 2), dummy("2"));
         // Touch 1 so 2 becomes the LRU victim.
@@ -298,5 +397,77 @@ mod tests {
         cache.insert(k1.clone(), dummy("v1"));
         k1.version = 2;
         assert!(cache.get(&k1).is_none(), "new version must miss");
+    }
+
+    #[test]
+    fn segment_counts_clamp_to_capacity() {
+        let tiny = ResultCache::with_segments(3, 8);
+        assert_eq!(tiny.stats().capacity, 3);
+        let cache = ResultCache::new(256);
+        assert_eq!(cache.stats().capacity, 256);
+        // Entries spread across segments; total len is the sum.
+        for i in 0..64 {
+            cache.insert(key("w", i), dummy("x"));
+        }
+        assert_eq!(cache.stats().len, 64);
+    }
+
+    #[test]
+    fn small_caches_keep_global_lru_behavior() {
+        // A capacity-8 cache must behave as one LRU, not as 8 one-entry
+        // segments where two hot keys can thrash a shared slot.
+        let cache = ResultCache::new(8);
+        for i in 0..8 {
+            cache.insert(key("w", i), dummy("x"));
+        }
+        for _ in 0..4 {
+            for i in 0..8 {
+                assert!(cache.get(&key("w", i)).is_some(), "key {i} evicted early");
+            }
+        }
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn sharded_counters_stay_exact_under_concurrency() {
+        const THREADS: usize = 8;
+        const OPS: u64 = 500;
+        // Capacity comfortably above the 4000 distinct keys, so no
+        // evictions interfere with the hit/miss accounting.
+        let cache = ResultCache::new(8192);
+        std::thread::scope(|scope| {
+            for t in 0..THREADS as u64 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for i in 0..OPS {
+                        let k = key("w", t * OPS + i);
+                        // First lookup misses, insert, second lookup hits.
+                        assert!(cache.get(&k).is_none());
+                        cache.insert(k.clone(), dummy("x"));
+                        assert!(cache.get(&k).is_some());
+                    }
+                });
+            }
+        });
+        let s = cache.stats();
+        let total = THREADS as u64 * OPS;
+        assert_eq!(s.hits, total, "every second lookup hits");
+        assert_eq!(s.misses, total, "every first lookup misses");
+        assert_eq!(s.hits + s.misses, 2 * total, "no lookup lost");
+    }
+
+    #[test]
+    fn peek_does_not_count_but_record_does() {
+        let cache = ResultCache::new(4);
+        let k = key("w", 5);
+        assert!(cache.peek(&k).is_none());
+        cache.insert(k.clone(), dummy("x"));
+        assert!(cache.peek(&k).is_some());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (0, 0));
+        cache.record_hit();
+        cache.record_miss();
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
     }
 }

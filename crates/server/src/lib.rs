@@ -16,7 +16,10 @@
 //!   [`try_submit`](ExtractionServer::try_submit)), with graceful
 //!   [`shutdown`](ExtractionServer::shutdown) that drains queues and
 //!   joins every thread;
-//! * [`cache`] — a content-addressed [`ResultCache`]: FxHash of the
+//! * [`cache`] — a content-addressed [`ResultCache`], sharded over
+//!   independently locked segments with exact aggregate counters and a
+//!   crawl manifest per entry (stale subpages are revalidated before a
+//!   hit is served): FxHash of the
 //!   document bytes + wrapper version addresses an
 //!   [`ExtractionResult`](lixto_elog::eval::ExtractionResult), LRU
 //!   eviction, hit/miss/eviction/invalidation counters, and
@@ -33,7 +36,12 @@ pub mod metrics;
 pub mod registry;
 pub mod server;
 
-pub use cache::{content_address, fxhash64, CacheKey, CacheStats, CachedExtraction, ResultCache};
+pub use lixto_core::XmlDesign;
+
+pub use cache::{
+    content_address, fxhash64, CacheKey, CacheStats, CachedExtraction, CrawlRecord, ResultCache,
+    DEFAULT_CACHE_SEGMENTS,
+};
 pub use metrics::{LatencyHistogram, MetricsSnapshot, ServerMetrics};
 pub use registry::{RegisteredWrapper, WrapperRegistry, WrapperSpec};
 pub use server::{

@@ -117,6 +117,20 @@ impl WrapperRegistry {
             .cloned()
     }
 
+    /// The deployed catalog: every registered name with its latest
+    /// version, name-sorted. Versions are dense and 1-based, so the
+    /// latest version doubles as the version count — this is the listing
+    /// the HTTP gateway's `GET /wrappers` endpoint serves.
+    pub fn catalog(&self) -> Vec<(String, u32)> {
+        let inner = self.inner.read().expect("registry poisoned");
+        let mut entries: Vec<(String, u32)> = inner
+            .iter()
+            .map(|(name, versions)| (name.clone(), versions.len() as u32))
+            .collect();
+        entries.sort();
+        entries
+    }
+
     /// Registered wrapper names, sorted.
     pub fn names(&self) -> Vec<String> {
         let inner = self.inner.read().expect("registry poisoned");
@@ -159,6 +173,22 @@ mod tests {
         assert!(reg.version("shop", 0).is_none());
         assert!(reg.latest("unknown").is_none());
         assert_eq!(reg.names(), vec!["shop".to_string()]);
+    }
+
+    #[test]
+    fn catalog_lists_names_with_latest_versions() {
+        let reg = WrapperRegistry::new();
+        assert!(reg.catalog().is_empty());
+        reg.register_source("zeta", WRAPPER, XmlDesign::new())
+            .unwrap();
+        reg.register_source("alpha", WRAPPER, XmlDesign::new())
+            .unwrap();
+        reg.register_source("alpha", WRAPPER, XmlDesign::new())
+            .unwrap();
+        assert_eq!(
+            reg.catalog(),
+            vec![("alpha".to_string(), 2), ("zeta".to_string(), 1)]
+        );
     }
 
     #[test]

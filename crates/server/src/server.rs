@@ -7,12 +7,22 @@
 //! completed extraction is stored in the shared content-addressed
 //! [`ResultCache`]. Bounded queues give backpressure two ways: `submit`
 //! blocks the producer when its shard is full, `try_submit` returns
-//! [`ServerError::Backpressure`] instead. `shutdown` stops intake, lets
-//! the workers drain every queued job, and joins all threads.
+//! [`ServerError::Backpressure`] instead.
+//!
+//! Shutdown is drain-ordered and callable through a shared handle
+//! ([`ExtractionServer::initiate_shutdown`], which `shutdown` wraps):
+//! intake stops first, the workers finish every queued job — answering
+//! every outstanding [`JobTicket`] — and only then are the threads
+//! joined. A ticket whose job can no longer be executed (its worker died
+//! or its queue was torn down) resolves to [`ServerError::Canceled`]
+//! rather than hanging, so frontend handler threads blocked in
+//! [`JobTicket::wait`] always come back.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use crossbeam_channel::{bounded, Receiver, Sender, TrySendError};
@@ -21,7 +31,9 @@ use lixto_elog::eval::ExtractionResult;
 use lixto_elog::{Extractor, WebSource};
 use lixto_transform::ChangeDetector;
 
-use crate::cache::{content_address, fxhash64, CacheKey, CachedExtraction, ResultCache};
+use crate::cache::{
+    content_address, fxhash64, CacheKey, CachedExtraction, CrawlRecord, ResultCache,
+};
 use crate::metrics::{MetricsSnapshot, ServerMetrics};
 use crate::registry::{RegisteredWrapper, WrapperRegistry};
 
@@ -109,6 +121,9 @@ pub enum ServerError {
     ShuttingDown,
     /// The worker executing the job disappeared before replying.
     Canceled,
+    /// The job panicked inside the worker; the panic was contained and
+    /// the worker keeps serving.
+    Internal(String),
 }
 
 impl std::fmt::Display for ServerError {
@@ -122,6 +137,7 @@ impl std::fmt::Display for ServerError {
             ServerError::Backpressure => f.write_str("shard queue full"),
             ServerError::ShuttingDown => f.write_str("server is shutting down"),
             ServerError::Canceled => f.write_str("job canceled"),
+            ServerError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
 }
@@ -155,8 +171,17 @@ pub struct JobTicket {
     reply: Receiver<Result<ExtractionResponse, ServerError>>,
 }
 
+impl std::fmt::Debug for JobTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JobTicket")
+    }
+}
+
 impl JobTicket {
-    /// Block until the job completes.
+    /// Block until the job completes. Never hangs past the job's fate:
+    /// if the job is dropped unprocessed (worker death, queue teardown),
+    /// the reply channel disconnects and this returns
+    /// [`ServerError::Canceled`].
     pub fn wait(self) -> Result<ExtractionResponse, ServerError> {
         self.reply.recv().unwrap_or(Err(ServerError::Canceled))
     }
@@ -176,7 +201,8 @@ struct Job {
 /// Joint fate of a shutdown: how the pool wound down.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShutdownReport {
-    /// Worker threads joined (all of them — none is left running).
+    /// Worker threads joined by *this* call (a second, idempotent call
+    /// finds none left).
     pub workers_joined: usize,
     /// Jobs completed over the server's lifetime (including drained
     /// queue remainders).
@@ -209,24 +235,22 @@ struct Shared {
 
 /// The wrapper-execution service.
 ///
-/// `shutdown` takes the server by value, so "no submissions after
-/// shutdown" is enforced by the type system rather than a runtime flag.
+/// The pool is safe to share behind an `Arc` (the HTTP gateway does):
+/// submission takes `&self`, and [`initiate_shutdown`] drains and joins
+/// the pool through a shared reference. The by-value
+/// [`shutdown`](ExtractionServer::shutdown) remains for exclusive owners.
 pub struct ExtractionServer {
     shared: Arc<Shared>,
     config: ServerConfig,
-    queues: Vec<Sender<Job>>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    /// Shard queue senders; emptied (dropping every sender, which
+    /// disconnects the workers once drained) when shutdown begins.
+    queues: RwLock<Vec<Sender<Job>>>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 /// A `Web` entry page pinned to the body the server fetched (and
 /// hashed), with every other URL — crawl targets — falling through to
 /// the live web.
-///
-/// Caveat: the cache key covers the *entry* page only. A wrapper that
-/// crawls beyond it can serve results computed from since-changed
-/// subpages until its entry page changes too. The bundled wrappers are
-/// all single-page; crawl-aware addressing is an open item in
-/// ROADMAP.md.
 struct PinnedPage<'a> {
     url: &'a str,
     html: &'a str,
@@ -241,6 +265,42 @@ impl WebSource for PinnedPage<'_> {
             self.rest.and_then(|w| w.fetch(url))
         }
     }
+}
+
+/// Wraps the page source handed to the Extractor and records every fetch
+/// beyond the entry URL as a [`CrawlRecord`] — the crawl manifest the
+/// cache revalidates before serving this result again.
+struct RecordingWeb<'a> {
+    inner: &'a dyn WebSource,
+    entry: &'a str,
+    fetched: RefCell<Vec<CrawlRecord>>,
+}
+
+impl WebSource for RecordingWeb<'_> {
+    fn fetch(&self, url: &str) -> Option<String> {
+        let body = self.inner.fetch(url);
+        if url != self.entry {
+            let mut fetched = self.fetched.borrow_mut();
+            if !fetched.iter().any(|r| r.url == url) {
+                fetched.push(CrawlRecord {
+                    url: url.to_string(),
+                    content: body.as_deref().map(|b| fxhash64(b.as_bytes())),
+                });
+            }
+        }
+        body
+    }
+}
+
+/// True when every page in the crawl manifest still fetches to the body
+/// hash (or the same 404) recorded at extraction time.
+fn crawl_current(crawl: &[CrawlRecord], web: Option<&(dyn WebSource + Send + Sync)>) -> bool {
+    crawl.iter().all(|record| {
+        let now = web
+            .and_then(|w| w.fetch(&record.url))
+            .map(|body| fxhash64(body.as_bytes()));
+        now == record.content
+    })
 }
 
 impl ExtractionServer {
@@ -282,8 +342,8 @@ impl ExtractionServer {
         ExtractionServer {
             shared,
             config,
-            queues,
-            workers,
+            queues: RwLock::new(queues),
+            workers: Mutex::new(workers),
         }
     }
 
@@ -322,8 +382,11 @@ impl ExtractionServer {
         }
     }
 
-    fn make_job(&self, request: ExtractionRequest) -> Result<(usize, Job, JobTicket), ServerError> {
-        let wrapper = self.resolve(&request)?;
+    fn make_job(
+        request: ExtractionRequest,
+        wrapper: Arc<RegisteredWrapper>,
+        shards: usize,
+    ) -> (usize, Job, JobTicket) {
         // Shard by wrapper name + source identity, so repeated work for
         // the same (wrapper, document) lands on the same queue. For
         // inline documents the source key *is* the content address, which
@@ -337,9 +400,9 @@ impl ExtractionServer {
             RequestSource::Web { url } => (None, fxhash64(url.as_bytes())),
         };
         let shard = ((fxhash64(request.wrapper.as_bytes()).rotate_left(1) ^ source_key)
-            % self.queues.len() as u64) as usize;
+            % shards as u64) as usize;
         let (tx, rx) = bounded(1);
-        Ok((
+        (
             shard,
             Job {
                 request,
@@ -349,14 +412,19 @@ impl ExtractionServer {
                 reply: tx,
             },
             JobTicket { reply: rx },
-        ))
+        )
     }
 
     /// Enqueue a request, blocking while the target shard queue is full
     /// (producer-side backpressure).
     pub fn submit(&self, request: ExtractionRequest) -> Result<JobTicket, ServerError> {
-        let (shard, job, ticket) = self.make_job(request)?;
-        self.queues[shard]
+        let wrapper = self.resolve(&request)?;
+        let queues = self.queues.read().expect("queues poisoned");
+        if queues.is_empty() {
+            return Err(ServerError::ShuttingDown);
+        }
+        let (shard, job, ticket) = Self::make_job(request, wrapper, queues.len());
+        queues[shard]
             .send(job)
             .map_err(|_| ServerError::ShuttingDown)?;
         self.shared
@@ -369,8 +437,13 @@ impl ExtractionServer {
     /// Enqueue a request without blocking; a full shard queue is
     /// reported as [`ServerError::Backpressure`].
     pub fn try_submit(&self, request: ExtractionRequest) -> Result<JobTicket, ServerError> {
-        let (shard, job, ticket) = self.make_job(request)?;
-        match self.queues[shard].try_send(job) {
+        let wrapper = self.resolve(&request)?;
+        let queues = self.queues.read().expect("queues poisoned");
+        if queues.is_empty() {
+            return Err(ServerError::ShuttingDown);
+        }
+        let (shard, job, ticket) = Self::make_job(request, wrapper, queues.len());
+        match queues[shard].try_send(job) {
             Ok(()) => {
                 self.shared
                     .metrics
@@ -393,22 +466,45 @@ impl ExtractionServer {
 
     /// A point-in-time view of throughput, latency, queues and cache.
     pub fn metrics(&self) -> MetricsSnapshot {
+        let queue_depths = {
+            let queues = self.queues.read().expect("queues poisoned");
+            if queues.is_empty() {
+                vec![0; self.config.shards]
+            } else {
+                queues.iter().map(|q| q.len()).collect()
+            }
+        };
         MetricsSnapshot::collect(
             &self.shared.metrics,
-            self.queues.iter().map(|q| q.len()).collect(),
-            self.workers.len(),
+            queue_depths,
+            self.workers.lock().expect("workers poisoned").len(),
             self.shared.cache.stats(),
         )
     }
 
-    /// Graceful shutdown: let workers drain their queues, then join
-    /// every thread. Consuming `self` makes further submissions a
-    /// compile error.
-    pub fn shutdown(mut self) -> ShutdownReport {
-        // Dropping the queue senders disconnects the shards; workers
-        // drain what is queued, then exit.
-        self.queues.clear();
-        let workers = std::mem::take(&mut self.workers);
+    /// Graceful shutdown through a shared handle (e.g. an
+    /// `Arc<ExtractionServer>` a frontend also holds), in strict drain
+    /// order:
+    ///
+    /// 1. intake stops — the shard senders are dropped, so `submit` /
+    ///    `try_submit` return [`ServerError::ShuttingDown`] from now on;
+    /// 2. workers drain everything already queued, answering every
+    ///    outstanding [`JobTicket`];
+    /// 3. the worker threads are joined.
+    ///
+    /// Handler threads blocked in [`JobTicket::wait`] therefore always
+    /// resolve: drained jobs get their real result, and a job destroyed
+    /// unprocessed resolves to [`ServerError::Canceled`] when its reply
+    /// sender is dropped — never a hang. The call is idempotent; a
+    /// concurrent or repeated call joins whatever threads remain.
+    pub fn initiate_shutdown(&self) -> ShutdownReport {
+        // Step 1: stop intake. Blocking `submit` calls hold the read
+        // lock while waiting for queue room, so this write acquisition
+        // also orders shutdown after any in-progress enqueue — those
+        // jobs are part of the drain, not lost.
+        self.queues.write().expect("queues poisoned").clear();
+        // Steps 2+3: workers drain their disconnected queues, then exit.
+        let workers = std::mem::take(&mut *self.workers.lock().expect("workers poisoned"));
         let workers_joined = workers.len();
         for handle in workers {
             let _ = handle.join();
@@ -418,11 +514,32 @@ impl ExtractionServer {
             jobs_completed: self.shared.metrics.completed.load(Ordering::Relaxed),
         }
     }
+
+    /// Graceful shutdown for an exclusive owner: consumes the server so
+    /// further use is a compile error. Equivalent to
+    /// [`initiate_shutdown`](ExtractionServer::initiate_shutdown).
+    pub fn shutdown(self) -> ShutdownReport {
+        self.initiate_shutdown()
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
+    }
 }
 
 fn worker_loop(rx: Receiver<Job>, shared: Arc<Shared>) {
     while let Ok(job) = rx.recv() {
-        let outcome = process(&job, &shared);
+        // A panicking wrapper (or web source) must not take the worker
+        // down — that would strand every job queued behind it. Contain
+        // it and answer the ticket with an error instead.
+        let outcome = catch_unwind(AssertUnwindSafe(|| process(&job, &shared)))
+            .unwrap_or_else(|payload| Err(ServerError::Internal(panic_message(payload))));
         match &outcome {
             Ok(_) => shared.metrics.completed.fetch_add(1, Ordering::Relaxed),
             Err(_) => shared.metrics.errors.fetch_add(1, Ordering::Relaxed),
@@ -475,26 +592,54 @@ fn process(job: &Job, shared: &Shared) -> Result<ExtractionResponse, ServerError
         }
         tracker.last_key = Some(key.clone());
     }
-    if let Some(cached) = shared.cache.get(&key) {
-        return Ok(ExtractionResponse {
-            wrapper: job.wrapper.name.clone(),
-            version: job.wrapper.version,
-            result: cached,
-            cache_hit: true,
-            latency: job.submitted_at.elapsed(),
-        });
+    // Crawl targets resolve against the live web for `Web` requests; an
+    // `Inline` request is self-contained (the client shipped one page).
+    let crawl_web = from_web.then_some(shared.web.as_ref());
+    // A candidate only counts as a hit once its crawl manifest
+    // revalidates — the entry page being unchanged is not enough for a
+    // wrapper that crawled beyond it. A manifest recorded with the
+    // other fetch capability (live vs. self-contained) cannot be judged
+    // here: recompute, but leave the entry alone — it is still valid
+    // for requests of its own kind.
+    if let Some(cached) = shared.cache.peek(&key) {
+        if cached.crawl.is_empty() || cached.crawl_live == from_web {
+            if crawl_current(&cached.crawl, crawl_web) {
+                shared.cache.record_hit();
+                return Ok(ExtractionResponse {
+                    wrapper: job.wrapper.name.clone(),
+                    version: job.wrapper.version,
+                    result: cached,
+                    cache_hit: true,
+                    latency: job.submitted_at.elapsed(),
+                });
+            }
+            shared.cache.invalidate(&key);
+        }
+        shared.cache.record_miss();
+    } else {
+        shared.cache.record_miss();
     }
     let page = PinnedPage {
         url,
         html: &html,
-        rest: from_web.then_some(shared.web.as_ref()),
+        rest: crawl_web,
     };
-    let result = Extractor::new(spec.program.clone(), &page)
+    let recorder = RecordingWeb {
+        inner: &page,
+        entry: url,
+        fetched: RefCell::new(Vec::new()),
+    };
+    let result = Extractor::new(spec.program.clone(), &recorder)
         .with_concepts(spec.concepts.clone())
         .with_options(spec.options.clone())
         .run();
     let xml = lixto_xml::to_string(&to_xml(&result, &spec.design));
-    let value = Arc::new(CachedExtraction { result, xml });
+    let value = Arc::new(CachedExtraction {
+        result,
+        xml,
+        crawl: recorder.fetched.into_inner(),
+        crawl_live: from_web,
+    });
     shared.cache.insert(key, value.clone());
     Ok(ExtractionResponse {
         wrapper: job.wrapper.name.clone(),
@@ -714,5 +859,181 @@ mod tests {
         for t in tickets {
             assert!(t.wait().is_ok(), "queued jobs drain during shutdown");
         }
+    }
+
+    /// A wrapper that crawls from its entry page to a subpage via
+    /// `attrbind` + `document(U)`.
+    const CRAWLER: &str = r#"
+        link(S, X)  :- document("http://start/", S), subelem(S, (?.a, []), X).
+        page(S, X)  :- link(_, S), attrbind(S, href, U), document(U, X).
+        para(S, X)  :- page(_, S), subelem(S, (?.p, []), X).
+    "#;
+
+    #[test]
+    fn crawl_aware_cache_rejects_stale_subpages() {
+        // Entry page unchanged, subpage mutated: the entry content
+        // address still matches, so only crawl-manifest revalidation can
+        // stop the stale result from being served.
+        struct TwoPageWeb {
+            sub_body: Mutex<String>,
+        }
+        impl WebSource for TwoPageWeb {
+            fn fetch(&self, url: &str) -> Option<String> {
+                match url {
+                    "http://start/" => {
+                        Some("<body><a href='http://sub/'>next</a></body>".to_string())
+                    }
+                    "http://sub/" => Some(self.sub_body.lock().unwrap().clone()),
+                    _ => None,
+                }
+            }
+        }
+        let web = Arc::new(TwoPageWeb {
+            sub_body: Mutex::new("<body><p>alpha</p></body>".to_string()),
+        });
+        let registry = Arc::new(WrapperRegistry::new());
+        registry
+            .register_source("crawler", CRAWLER, XmlDesign::new().root("pages"))
+            .unwrap();
+        let server = ExtractionServer::start(ServerConfig::default(), registry, web.clone());
+        let req = ExtractionRequest {
+            wrapper: "crawler".into(),
+            version: None,
+            source: RequestSource::Web {
+                url: "http://start/".into(),
+            },
+        };
+        let first = server.execute(req.clone()).unwrap();
+        assert!(!first.cache_hit);
+        assert!(first.xml().contains("alpha"));
+        assert_eq!(
+            first.result.crawl.len(),
+            1,
+            "the subpage fetch must be recorded in the crawl manifest"
+        );
+        // Unchanged: a revalidated hit.
+        let second = server.execute(req.clone()).unwrap();
+        assert!(second.cache_hit);
+        // Mutate only the subpage; the entry page (and so the cache key)
+        // is untouched.
+        *web.sub_body.lock().unwrap() = "<body><p>beta</p></body>".to_string();
+        let third = server.execute(req.clone()).unwrap();
+        assert!(!third.cache_hit, "stale subpage must not be served");
+        assert!(third.xml().contains("beta"));
+        let snap = server.metrics();
+        assert!(snap.cache.invalidations >= 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn inline_requests_have_empty_crawl_manifest_for_single_page_wrappers() {
+        let server = server_with(Arc::new(StaticWeb::new()));
+        let response = server.execute(inline_req(&["x"])).unwrap();
+        assert!(response.result.crawl.is_empty());
+        server.shutdown();
+    }
+
+    #[test]
+    fn single_page_wrappers_share_cache_across_inline_and_web_sources() {
+        // For a non-crawling wrapper the manifest is empty, so an Inline
+        // request and a Web fetch of the same document must share one
+        // entry — and never invalidate each other.
+        let html = page(&["shared"]);
+        let mut web = StaticWeb::new();
+        web.put("http://shop/", html.clone());
+        let server = server_with(Arc::new(web));
+        let web_req = ExtractionRequest {
+            wrapper: "shop".into(),
+            version: None,
+            source: RequestSource::Web {
+                url: "http://shop/".into(),
+            },
+        };
+        let inline = ExtractionRequest {
+            wrapper: "shop".into(),
+            version: None,
+            source: RequestSource::Inline {
+                url: "http://shop/".into(),
+                html,
+            },
+        };
+        assert!(!server.execute(web_req.clone()).unwrap().cache_hit);
+        assert!(server.execute(inline.clone()).unwrap().cache_hit);
+        assert!(server.execute(web_req).unwrap().cache_hit);
+        assert!(server.execute(inline).unwrap().cache_hit);
+        let snap = server.metrics();
+        assert_eq!(snap.cache.invalidations, 0);
+        assert_eq!(snap.cache.misses, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shared_handle_shutdown_resolves_outstanding_tickets() {
+        // The gateway scenario: the pool lives in an Arc, handler threads
+        // hold JobTickets, and shutdown comes in through a *shared*
+        // reference. Every wait() must resolve — Ok for drained jobs,
+        // Canceled for destroyed ones — and never hang.
+        let server = Arc::new(server_with(Arc::new(StaticWeb::new())));
+        let mut holders = Vec::new();
+        for i in 0..12 {
+            let ticket = server
+                .submit(inline_req(&["held", &format!("{i}")]))
+                .unwrap();
+            holders.push(std::thread::spawn(move || ticket.wait()));
+        }
+        let report = server.initiate_shutdown();
+        assert_eq!(report.workers_joined, 4);
+        for h in holders {
+            let outcome = h.join().expect("holder thread panicked");
+            assert!(
+                matches!(outcome, Ok(_) | Err(ServerError::Canceled)),
+                "ticket resolved to {outcome:?}, not a hang"
+            );
+        }
+        // Intake is closed and the call is idempotent.
+        assert_eq!(
+            server.submit(inline_req(&["late"])).unwrap_err(),
+            ServerError::ShuttingDown
+        );
+        assert_eq!(
+            server.try_submit(inline_req(&["late"])).unwrap_err(),
+            ServerError::ShuttingDown
+        );
+        let again = server.initiate_shutdown();
+        assert_eq!(again.workers_joined, 0);
+        // Metrics remain queryable after shutdown.
+        let snap = server.metrics();
+        assert_eq!(snap.queue_depths.len(), 4);
+        assert_eq!(snap.workers, 0);
+    }
+
+    #[test]
+    fn worker_contains_panics_as_internal_errors() {
+        struct PanickyWeb;
+        impl WebSource for PanickyWeb {
+            fn fetch(&self, _url: &str) -> Option<String> {
+                panic!("fetch exploded");
+            }
+        }
+        let server = server_with(Arc::new(PanickyWeb));
+        let err = server
+            .execute(ExtractionRequest {
+                wrapper: "shop".into(),
+                version: None,
+                source: RequestSource::Web {
+                    url: "http://shop/".into(),
+                },
+            })
+            .unwrap_err();
+        assert!(
+            matches!(&err, ServerError::Internal(msg) if msg.contains("fetch exploded")),
+            "got {err:?}"
+        );
+        // The worker survived the panic and keeps serving.
+        let ok = server.execute(inline_req(&["still-alive"])).unwrap();
+        assert!(ok.xml().contains("still-alive"));
+        let snap = server.metrics();
+        assert_eq!(snap.errors, 1);
+        server.shutdown();
     }
 }

@@ -1,0 +1,141 @@
+//! Client-side HTTP traffic driver: renders the mixed-wrapper request
+//! stream of [`traffic`](crate::traffic) as the JSON bodies the
+//! `lixto_http` gateway's wire protocol expects, so load generators can
+//! replay realistic portal traffic straight onto the network service.
+//!
+//! The JSON is built by hand (with full string escaping) rather than via
+//! `lixto_http`'s value type, keeping this crate free of upward
+//! dependencies — the driver produces bytes any HTTP client can POST.
+
+use crate::traffic::{TrafficRequest, WrapperProfile};
+
+/// Escape `s` for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The `POST /extract` body for one inline-document request.
+pub fn extract_body(wrapper: &str, url: &str, html: &str) -> String {
+    format!(
+        r#"{{"wrapper":"{}","url":"{}","html":"{}"}}"#,
+        json_escape(wrapper),
+        json_escape(url),
+        json_escape(html)
+    )
+}
+
+/// The `POST /extract` body for a server-side (`Web`) fetch of `url`.
+pub fn extract_body_web(wrapper: &str, url: &str) -> String {
+    format!(
+        r#"{{"wrapper":"{}","url":"{}"}}"#,
+        json_escape(wrapper),
+        json_escape(url)
+    )
+}
+
+/// The `PUT /wrappers/{name}` body deploying `profile`.
+pub fn register_body(profile: &WrapperProfile) -> String {
+    let auxiliary = profile
+        .auxiliary
+        .iter()
+        .map(|a| format!("\"{}\"", json_escape(a)))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        r#"{{"program":"{}","root":"{}","auxiliary":[{}]}}"#,
+        json_escape(profile.program),
+        json_escape(profile.root),
+        auxiliary
+    )
+}
+
+/// One wire-ready request of the replay stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpTrafficRequest {
+    /// Which simulated user issued it (0-based) — load generators
+    /// partition the stream by this to get per-user connections.
+    pub user: usize,
+    /// Wrapper profile name (for correlating responses).
+    pub wrapper: &'static str,
+    /// The `POST /extract` JSON body.
+    pub body: String,
+}
+
+impl From<&TrafficRequest> for HttpTrafficRequest {
+    fn from(r: &TrafficRequest) -> HttpTrafficRequest {
+        HttpTrafficRequest {
+            user: r.user,
+            wrapper: r.wrapper,
+            body: extract_body(r.wrapper, &r.url, &r.html),
+        }
+    }
+}
+
+/// The deterministic mixed traffic stream of
+/// [`traffic::requests`](crate::traffic::requests), rendered as
+/// `POST /extract` bodies.
+pub fn requests(seed: u64, users: usize, per_user: usize) -> Vec<HttpTrafficRequest> {
+    crate::traffic::requests(seed, users, per_user)
+        .iter()
+        .map(HttpTrafficRequest::from)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_quotes_backslashes_and_controls() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+        assert_eq!(json_escape("\u{01}"), "\\u0001");
+    }
+
+    #[test]
+    fn bodies_embed_the_document_and_parse_as_json_shapes() {
+        let body = extract_body("shop", "http://s/", "<p class=\"x\">hi</p>");
+        assert!(body.starts_with(r#"{"wrapper":"shop","url":"http://s/","html":""#));
+        assert!(body.contains("\\\"x\\\""));
+        let web = extract_body_web("news", "http://press/finance");
+        assert_eq!(web, r#"{"wrapper":"news","url":"http://press/finance"}"#);
+    }
+
+    #[test]
+    fn register_bodies_carry_program_root_and_auxiliary() {
+        let profile = crate::traffic::profiles()
+            .into_iter()
+            .find(|p| p.name == "ebay")
+            .unwrap();
+        let body = register_body(&profile);
+        assert!(body.contains(r#""root":"auctions""#));
+        assert!(body.contains(r#""auxiliary":["tableseq"]"#));
+        assert!(body.contains("document("));
+    }
+
+    #[test]
+    fn stream_mirrors_the_traffic_generator() {
+        let wire = requests(7, 4, 5);
+        let raw = crate::traffic::requests(7, 4, 5);
+        assert_eq!(wire.len(), raw.len());
+        for (w, r) in wire.iter().zip(&raw) {
+            assert_eq!(w.user, r.user);
+            assert_eq!(w.wrapper, r.wrapper);
+            assert!(w.body.contains(&format!("\"wrapper\":\"{}\"", r.wrapper)));
+        }
+        assert_eq!(wire, requests(7, 4, 5), "stream must be deterministic");
+    }
+}

@@ -21,6 +21,8 @@
 //!   experiment E10 (§2.5's "schema-less wrappers don't break" claim);
 //! * [`traffic`] — mixed-wrapper request streams from N simulated users
 //!   for the `lixto_server` serving-layer experiments;
+//! * [`http_traffic`] — the same streams rendered as `POST /extract`
+//!   JSON bodies for driving the `lixto_http` gateway over the wire;
 //! * [`induction`] — an LR wrapper-induction baseline for E11 (the
 //!   learning contrast of §1/§7).
 
@@ -29,6 +31,7 @@
 pub mod books;
 pub mod ebay;
 pub mod flights;
+pub mod http_traffic;
 pub mod induction;
 pub mod news;
 pub mod perturb;

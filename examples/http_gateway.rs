@@ -1,0 +1,130 @@
+//! Serve the extraction pool over HTTP.
+//!
+//! ```text
+//! cargo run --release --example http_gateway
+//! ```
+//!
+//! Registers the five workload wrappers, preloads a synthetic web with
+//! each wrapper's entry page, starts an [`ExtractionServer`] pool and an
+//! [`HttpGateway`] in front of it, then serves until a client POSTs
+//! `/admin/shutdown`. Try it from another terminal:
+//!
+//! ```text
+//! curl http://127.0.0.1:7878/healthz
+//! curl http://127.0.0.1:7878/wrappers
+//! curl -X POST http://127.0.0.1:7878/extract \
+//!      -d '{"wrapper":"news","url":"http://press/finance"}'
+//! curl http://127.0.0.1:7878/metrics
+//! curl -H 'Accept: application/json' http://127.0.0.1:7878/metrics
+//! curl -X POST http://127.0.0.1:7878/admin/shutdown
+//! ```
+//!
+//! `LIXTO_HTTP_ADDR` overrides the bind address. With `--selftest` the
+//! example drives one client session against itself and exits — the
+//! zero-terminal smoke test.
+
+use std::sync::Arc;
+
+use lixto::elog::StaticWeb;
+use lixto::http::{GatewayConfig, HttpClient, HttpGateway};
+use lixto::server::{ExtractionServer, ServerConfig};
+use lixto::workloads::{http_traffic, traffic};
+use lixto_bench::workload_registry;
+
+fn main() {
+    // 1. A registry with every workload wrapper, and a synthetic web
+    //    holding each wrapper's entry page so `{"wrapper", "url"}`
+    //    requests (no inline html) work out of the box.
+    let registry = workload_registry();
+    let mut web = StaticWeb::new();
+    for p in traffic::profiles() {
+        web.put(p.entry_url, traffic::page_for(p.name, 2026, 0));
+        println!("registered {:>8} v1  (entry {})", p.name, p.entry_url);
+    }
+
+    // 2. The pool and the gateway in front of it.
+    let server = Arc::new(ExtractionServer::start(
+        ServerConfig {
+            shards: 4,
+            workers_per_shard: 2,
+            queue_capacity: 64,
+            cache_capacity: 256,
+        },
+        registry,
+        Arc::new(web),
+    ));
+    let addr = std::env::var("LIXTO_HTTP_ADDR").unwrap_or_else(|_| "127.0.0.1:7878".to_string());
+    let gateway = HttpGateway::bind(addr.as_str(), GatewayConfig::default(), server.clone())
+        .expect("bind gateway");
+    println!("\nserving on http://{}/", gateway.addr());
+    let sample_body = r#"{"wrapper":"news","url":"http://press/finance"}"#;
+    println!(
+        "try:  curl -X POST http://{}/extract -d '{sample_body}'",
+        gateway.addr(),
+    );
+    println!(
+        "stop: curl -X POST http://{}/admin/shutdown\n",
+        gateway.addr()
+    );
+
+    if std::env::args().any(|a| a == "--selftest") {
+        selftest(gateway.addr());
+    } else {
+        // 3. Serve until a client asks us to stop.
+        gateway.wait_shutdown_requested();
+    }
+
+    // 4. Graceful teardown: gateway first (drain in-flight HTTP), then
+    //    the pool (drain queued jobs, join workers).
+    let stats = gateway.shutdown();
+    let report = server.initiate_shutdown();
+    println!(
+        "gateway served {} requests over {} connections ({} 4xx, {} 5xx)",
+        stats.requests, stats.connections, stats.responses_4xx, stats.responses_5xx
+    );
+    println!(
+        "pool drained: {} workers joined, {} jobs completed",
+        report.workers_joined, report.jobs_completed
+    );
+}
+
+/// One scripted client session: extract twice (miss then cache hit),
+/// deploy a v2 wrapper, list the catalog, read both metrics formats,
+/// then request shutdown.
+fn selftest(addr: std::net::SocketAddr) {
+    let mut client = HttpClient::connect(addr).expect("connect");
+    let news = traffic::profiles()
+        .into_iter()
+        .find(|p| p.name == "news")
+        .unwrap();
+    let body = http_traffic::extract_body_web("news", news.entry_url);
+    for round in 0..2 {
+        let response = client.post_json("/extract", &body).expect("extract");
+        assert_eq!(response.status, 200, "{}", response.text());
+        let parsed = response.json().expect("json body");
+        println!(
+            "extract round {round}: cache_hit={} xml={}B",
+            parsed.get("cache_hit").and_then(|v| v.as_bool()).unwrap(),
+            parsed.get("xml").and_then(|v| v.as_str()).unwrap().len()
+        );
+    }
+    let put = client
+        .put_json("/wrappers/news", &http_traffic::register_body(&news))
+        .expect("deploy");
+    assert_eq!(put.status, 201, "{}", put.text());
+    println!("deployed news v2: {}", put.text());
+    let listing = client.get("/wrappers").expect("wrappers");
+    println!("catalog: {}", listing.text());
+    let metrics = client
+        .get_accept("/metrics", "application/json")
+        .expect("metrics");
+    println!("metrics (json): {}", metrics.text());
+    let prometheus = client.get("/metrics").expect("metrics text");
+    println!(
+        "metrics (prometheus): {} lines",
+        prometheus.text().lines().count()
+    );
+    let stop = client.post_json("/admin/shutdown", "{}").expect("shutdown");
+    assert_eq!(stop.status, 200);
+    println!("shutdown requested: {}", stop.text());
+}

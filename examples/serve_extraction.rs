@@ -13,26 +13,15 @@ use std::sync::Arc;
 
 use lixto::core::XmlDesign;
 use lixto::elog::StaticWeb;
-use lixto::server::{
-    ExtractionRequest, ExtractionServer, RequestSource, ServerConfig, WrapperRegistry,
-};
+use lixto::server::{ExtractionRequest, ExtractionServer, RequestSource, ServerConfig};
 use lixto::workloads::traffic;
+use lixto_bench::workload_registry;
 
 fn main() {
     // 1. A registry with every workload wrapper, versioned.
-    let registry = Arc::new(WrapperRegistry::new());
+    let registry = workload_registry();
     for p in traffic::profiles() {
-        let mut design = XmlDesign::new().root(p.root);
-        for aux in p.auxiliary {
-            design = design.auxiliary(aux);
-        }
-        let version = registry
-            .register_source(p.name, p.program, design)
-            .expect("wrapper compiles");
-        println!(
-            "registered {:>8} v{version}  (entry {})",
-            p.name, p.entry_url
-        );
+        println!("registered {:>8} v1  (entry {})", p.name, p.entry_url);
     }
 
     // 2. Start the pool: 4 shards, 2 workers each, bounded queues.

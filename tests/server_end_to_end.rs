@@ -7,30 +7,13 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use lixto::core::{to_xml, XmlDesign};
+use lixto::core::to_xml;
 use lixto::elog::{parse_program, Extractor, SinglePage, StaticWeb};
 use lixto::server::{
     ExtractionRequest, ExtractionServer, RequestSource, ServerConfig, ServerError, WrapperRegistry,
 };
 use lixto::workloads::traffic::{self, WrapperProfile};
-
-fn design_of(profile: &WrapperProfile) -> XmlDesign {
-    let mut design = XmlDesign::new().root(profile.root);
-    for aux in profile.auxiliary {
-        design = design.auxiliary(aux);
-    }
-    design
-}
-
-fn registry_from_profiles() -> Arc<WrapperRegistry> {
-    let registry = Arc::new(WrapperRegistry::new());
-    for p in traffic::profiles() {
-        registry
-            .register_source(p.name, p.program, design_of(&p))
-            .expect("workload wrapper compiles");
-    }
-    registry
-}
+use lixto_bench::{workload_design, workload_registry};
 
 /// The single-threaded reference: run the Extractor directly and render
 /// XML exactly as the server does.
@@ -41,7 +24,7 @@ fn baseline_xml(profile: &WrapperProfile, url: &str, html: &str) -> String {
         html: html.to_string(),
     };
     let result = Extractor::new(program, &web).run();
-    lixto::xml::to_string(&to_xml(&result, &design_of(profile)))
+    lixto::xml::to_string(&to_xml(&result, &workload_design(profile)))
 }
 
 #[test]
@@ -49,7 +32,7 @@ fn concurrent_clients_agree_with_single_threaded_engine() {
     const USERS: usize = 25;
     const PER_USER: usize = 5; // 125 requests ≥ the 100 the issue asks for
 
-    let registry = registry_from_profiles();
+    let registry = workload_registry();
     let server = ExtractionServer::start(
         ServerConfig {
             shards: 4,
@@ -170,7 +153,7 @@ fn concurrent_clients_agree_with_single_threaded_engine() {
 
 #[test]
 fn shutdown_rejects_new_work_but_drains_queued_jobs() {
-    let registry = registry_from_profiles();
+    let registry = workload_registry();
     let server = ExtractionServer::start(
         ServerConfig {
             shards: 4,
