@@ -1,0 +1,63 @@
+//! E15: compile-once wrapper plans — interpreted-AST evaluation vs
+//! compiled-plan execution on the cache-miss path, per workload wrapper,
+//! plus the cost of compilation itself (to show it amortizes after a
+//! handful of documents).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lixto_elog::{parse_program, Extractor, SinglePage, WrapperPlan};
+use lixto_workloads::traffic;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e15_plan_compile");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for profile in traffic::profiles() {
+        let program = parse_program(profile.program).expect("workload program parses");
+        let plan = Arc::new(
+            WrapperPlan::compile(&program, &lixto_elog::ConceptRegistry::builtin())
+                .expect("workload program compiles"),
+        );
+        let web = SinglePage {
+            url: profile.entry_url.to_string(),
+            html: traffic::page_for(profile.name, 2026, 0),
+        };
+        g.throughput(Throughput::Elements(1));
+        g.bench_with_input(
+            BenchmarkId::new("interpreted", profile.name),
+            &profile.name,
+            |b, _| {
+                let ex = Extractor::new(program.clone(), &web);
+                b.iter(|| std::hint::black_box(ex.run_interpreted().base.len()))
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("compiled", profile.name),
+            &profile.name,
+            |b, _| {
+                let ex = Extractor::from_plan(plan.clone(), &web);
+                b.iter(|| std::hint::black_box(ex.run().base.len()))
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("compile_only", profile.name),
+            &profile.name,
+            |b, _| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        WrapperPlan::compile(&program, &lixto_elog::ConceptRegistry::builtin())
+                            .expect("compiles")
+                            .rules()
+                            .len(),
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

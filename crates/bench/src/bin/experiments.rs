@@ -59,6 +59,9 @@ fn main() {
     if want("e14_http") {
         e14_http_throughput();
     }
+    if want("e15_plan") {
+        e15_plan_compile();
+    }
 }
 
 /// A deep/wide synthetic document of ~n nodes (nested lists of tables).
@@ -930,6 +933,204 @@ fn e14_http_throughput() {
         json_rows.join(",\n")
     );
     let path = "BENCH_e14.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn e15_plan_compile() {
+    use lixto_elog::{parse_program, Extractor, SinglePage, WrapperPlan};
+    use lixto_server::{ExtractionRequest, ExtractionServer, RequestSource, ServerConfig};
+    use lixto_workloads::traffic;
+    use std::collections::HashMap;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    const USERS: usize = 32;
+    const PER_USER: usize = 25;
+
+    // Per-wrapper miss-path microbenchmark: one full extraction of a
+    // fresh document, interpreted AST walk vs compiled-plan execution.
+    let mut rows = Vec::new();
+    let mut wrapper_json = Vec::new();
+    for profile in traffic::profiles() {
+        let program = parse_program(profile.program).expect("workload program parses");
+        let plan = Arc::new(
+            WrapperPlan::compile(&program, &lixto_elog::ConceptRegistry::builtin())
+                .expect("workload program compiles"),
+        );
+        let web = SinglePage {
+            url: profile.entry_url.to_string(),
+            html: traffic::page_for(profile.name, 2026, 0),
+        };
+        let interpreted_ex = Extractor::new(program.clone(), &web);
+        let compiled_ex = Extractor::from_plan(plan.clone(), &web);
+        assert_eq!(
+            interpreted_ex.run_interpreted(),
+            compiled_ex.run(),
+            "{}: compiled execution must be result-identical",
+            profile.name
+        );
+        let interp_us = time_us(21, || {
+            std::hint::black_box(interpreted_ex.run_interpreted().base.len());
+        });
+        let plan_us = time_us(21, || {
+            std::hint::black_box(compiled_ex.run().base.len());
+        });
+        let compile_us = time_us(21, || {
+            std::hint::black_box(
+                WrapperPlan::compile(&program, &lixto_elog::ConceptRegistry::builtin())
+                    .expect("compiles")
+                    .rules()
+                    .len(),
+            );
+        });
+        rows.push(vec![
+            profile.name.to_string(),
+            format!("{interp_us:.0}"),
+            format!("{plan_us:.0}"),
+            format!("{compile_us:.1}"),
+            format!("{:.2}x", interp_us / plan_us),
+        ]);
+        wrapper_json.push(format!(
+            r#"    {{"wrapper": "{}", "interpreted_us": {interp_us:.1}, "compiled_us": {plan_us:.1}, "compile_once_us": {compile_us:.2}, "speedup": {:.3}}}"#,
+            profile.name,
+            interp_us / plan_us,
+        ));
+    }
+    print_table(
+        "E15a — compile-once plans: miss-path extraction per wrapper (fresh document, no cache)",
+        &["wrapper", "interp µs", "plan µs", "compile µs", "speedup"],
+        &rows,
+    );
+
+    // Long-tail stream: ~0% cache hit rate, so throughput is the miss
+    // path. Interpreted baseline is exactly what the pre-plan server did
+    // per miss (clone the AST, walk it); compiled is the plan fast path.
+    let stream = traffic::long_tail_requests(2026, USERS, PER_USER);
+    let programs: HashMap<&str, _> = traffic::profiles()
+        .into_iter()
+        .map(|p| (p.name, parse_program(p.program).expect("parses")))
+        .collect();
+    let plans: HashMap<&str, Arc<WrapperPlan>> = programs
+        .iter()
+        .map(|(name, prog)| {
+            (
+                *name,
+                Arc::new(
+                    WrapperPlan::compile(prog, &lixto_elog::ConceptRegistry::builtin())
+                        .expect("compiles"),
+                ),
+            )
+        })
+        .collect();
+
+    let t = Instant::now();
+    let mut interp_instances = 0usize;
+    for r in &stream {
+        let web = SinglePage {
+            url: r.url.clone(),
+            html: r.html.clone(),
+        };
+        let result = Extractor::new(programs[r.wrapper].clone(), &web).run_interpreted();
+        interp_instances += result.base.len();
+    }
+    let interp_wall = t.elapsed().as_secs_f64();
+    let interp_rps = stream.len() as f64 / interp_wall;
+
+    let t = Instant::now();
+    let mut plan_instances = 0usize;
+    for r in &stream {
+        let web = SinglePage {
+            url: r.url.clone(),
+            html: r.html.clone(),
+        };
+        let result = Extractor::from_plan(plans[r.wrapper].clone(), &web).run();
+        plan_instances += result.base.len();
+    }
+    let plan_wall = t.elapsed().as_secs_f64();
+    let plan_rps = stream.len() as f64 / plan_wall;
+    assert_eq!(
+        interp_instances, plan_instances,
+        "both engines must extract the same instances over the long tail"
+    );
+    let speedup = plan_rps / interp_rps;
+
+    // The same stream through the serving stack (plans end to end).
+    let requests: Vec<ExtractionRequest> = stream
+        .iter()
+        .map(|r| ExtractionRequest {
+            wrapper: r.wrapper.to_string(),
+            version: None,
+            source: RequestSource::Inline {
+                url: r.url.clone(),
+                html: r.html.clone(),
+            },
+        })
+        .collect();
+    let server = ExtractionServer::start(
+        ServerConfig {
+            shards: 4,
+            workers_per_shard: 2,
+            queue_capacity: 128,
+            cache_capacity: 64,
+        },
+        lixto_bench::workload_registry(),
+        Arc::new(lixto_elog::StaticWeb::new()),
+    );
+    let t = Instant::now();
+    let tickets: Vec<_> = requests
+        .iter()
+        .map(|r| server.submit(r.clone()).expect("submit"))
+        .collect();
+    for ticket in tickets {
+        ticket.wait().expect("job completes");
+    }
+    let pool_wall = t.elapsed().as_secs_f64();
+    let pool_rps = requests.len() as f64 / pool_wall;
+    let snap = server.metrics();
+    let hit_rate = snap.cache.hit_rate();
+    server.shutdown();
+
+    print_table(
+        "E15b — long-tail miss-path throughput (32 users × 25 reqs, ~0% hit rate)",
+        &["engine", "requests", "wall ms", "req/s", "speedup"],
+        &[
+            vec![
+                "interpreted AST".into(),
+                stream.len().to_string(),
+                format!("{:.1}", interp_wall * 1e3),
+                format!("{interp_rps:.0}"),
+                "1.00x".into(),
+            ],
+            vec![
+                "compiled plan".into(),
+                stream.len().to_string(),
+                format!("{:.1}", plan_wall * 1e3),
+                format!("{plan_rps:.0}"),
+                format!("{speedup:.2}x"),
+            ],
+            vec![
+                "pool (4x2, plans)".into(),
+                requests.len().to_string(),
+                format!("{:.1}", pool_wall * 1e3),
+                format!("{pool_rps:.0}"),
+                format!("{:.2}x", pool_rps / interp_rps),
+            ],
+        ],
+    );
+    println!(
+        "long-tail cache hit rate through the pool: {:.1}%",
+        hit_rate * 100.0
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e15_plan_compile\",\n  \"users\": {USERS},\n  \"requests_per_user\": {PER_USER},\n  \"long_tail\": {{\"requests\": {}, \"interpreted_rps\": {interp_rps:.1}, \"compiled_rps\": {plan_rps:.1}, \"speedup\": {speedup:.3}, \"results_identical\": true, \"pool_rps\": {pool_rps:.1}, \"pool_cache_hit_rate\": {hit_rate:.4}}},\n  \"wrappers\": [\n{}\n  ]\n}}\n",
+        stream.len(),
+        wrapper_json.join(",\n")
+    );
+    let path = "BENCH_e15.json";
     match std::fs::write(path, &json) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),

@@ -51,6 +51,23 @@ impl XmlDesign {
         self.auxiliary.iter().any(|p| p == pattern)
     }
 
+    /// The auxiliary patterns, in declaration order.
+    pub fn auxiliary_patterns(&self) -> &[String] {
+        &self.auxiliary
+    }
+
+    /// The custom label overrides, sorted by pattern (deterministic for
+    /// serialization and fingerprinting).
+    pub fn label_overrides(&self) -> Vec<(&str, &str)> {
+        let mut out: Vec<(&str, &str)> = self
+            .labels
+            .iter()
+            .map(|(p, l)| (p.as_str(), l.as_str()))
+            .collect();
+        out.sort();
+        out
+    }
+
     /// The output label for a pattern.
     pub fn label_of<'a>(&'a self, pattern: &'a str) -> &'a str {
         self.labels

@@ -100,6 +100,21 @@ impl ConceptRegistry {
         self.concepts.contains_key(name)
     }
 
+    /// The definition of `name`, if registered (plan compilation bakes
+    /// the definition into the compiled wrapper).
+    pub fn get(&self, name: &str) -> Option<&Concept> {
+        self.concepts.get(name)
+    }
+
+    /// Every registered concept, sorted by name (deterministic — used
+    /// for fingerprinting a wrapper's full semantic identity).
+    pub fn entries(&self) -> Vec<(&str, &Concept)> {
+        let mut out: Vec<(&str, &Concept)> =
+            self.concepts.iter().map(|(n, c)| (n.as_str(), c)).collect();
+        out.sort_by_key(|(n, _)| *n);
+        out
+    }
+
     /// Test a value against a concept. Unknown concepts never hold.
     pub fn holds(&self, name: &str, value: &str) -> bool {
         match self.concepts.get(name) {

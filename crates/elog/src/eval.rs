@@ -14,6 +14,7 @@
 //! over all of them — the semantics the `<bids>` rule of Figure 5 needs.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use lixto_tree::{Document, NodeId};
 
@@ -21,6 +22,7 @@ use crate::ast::{Condition, ElementPath, ElogProgram, ElogRule, Extraction, Pare
 use crate::concepts::{compare_values, ConceptRegistry};
 use crate::instances::{DocId, Instance, InstanceBase, Target};
 use crate::path::{check_attr, eval_path, tag_matches, PathMatch};
+use crate::plan::{CompileError, WrapperPlan};
 use crate::web::WebSource;
 
 /// Safety limits for the fixpoint loop.
@@ -65,9 +67,27 @@ pub struct ExtractionResult {
     pub docs: Vec<Document>,
     /// URL of each fetched document.
     pub doc_urls: Vec<String>,
+    /// Distinct pattern names with at least one instance, in
+    /// first-extraction order — recorded once at run time (the plan
+    /// executor dedups via its pattern table) so [`patterns`] is a
+    /// zero-cost accessor rather than a per-call clone-and-scan.
+    ///
+    /// [`patterns`]: ExtractionResult::patterns
+    pub(crate) pattern_names: Vec<String>,
 }
 
 impl ExtractionResult {
+    /// An empty result (no documents, no instances) — a placeholder for
+    /// tests and error paths.
+    pub fn empty() -> ExtractionResult {
+        ExtractionResult {
+            base: InstanceBase::default(),
+            docs: Vec::new(),
+            doc_urls: Vec::new(),
+            pattern_names: Vec::new(),
+        }
+    }
+
     /// Convenience: the text of every instance of `pattern`, in insertion
     /// order.
     pub fn texts_of(&self, pattern: &str) -> Vec<String> {
@@ -80,20 +100,43 @@ impl ExtractionResult {
 
     /// The distinct pattern names with at least one extracted instance,
     /// in first-extraction order.
-    pub fn patterns(&self) -> Vec<String> {
-        let mut seen = Vec::new();
-        for inst in &self.base.instances {
-            if !seen.iter().any(|p| p == &inst.pattern) {
-                seen.push(inst.pattern.clone());
-            }
-        }
-        seen
+    pub fn patterns(&self) -> &[String] {
+        &self.pattern_names
     }
 }
 
-/// The Elog interpreter.
+/// First-extraction-order pattern names of a finished base (the
+/// interpreted evaluator computes this once per run; the plan executor
+/// tracks it incrementally through its pattern table).
+fn pattern_names_of(base: &InstanceBase) -> Vec<String> {
+    let mut seen: Vec<String> = Vec::new();
+    for inst in &base.instances {
+        if !seen.iter().any(|p| p == &inst.pattern) {
+            seen.push(inst.pattern.clone());
+        }
+    }
+    seen
+}
+
+/// How the extractor evaluates: walking the raw AST, or executing a
+/// precompiled plan.
+enum Engine {
+    Ast(ElogProgram),
+    Plan(Arc<WrapperPlan>),
+}
+
+/// The Elog evaluator.
+///
+/// [`Extractor::new`] takes a program AST; [`run`](Extractor::run)
+/// compiles it into a [`WrapperPlan`] and executes the plan (falling
+/// back to the interpreted reference evaluator for programs that do not
+/// compile — e.g. rules whose parent pattern is undefined, which the
+/// interpreter tolerates as silently-empty).
+/// [`Extractor::from_plan`] skips compilation entirely: services that
+/// compile a wrapper once at deploy time use it to pay only the cheap
+/// execution half per document.
 pub struct Extractor<'w> {
-    program: ElogProgram,
+    engine: Engine,
     concepts: ConceptRegistry,
     web: &'w dyn WebSource,
     options: ExtractorOptions,
@@ -103,7 +146,20 @@ impl<'w> Extractor<'w> {
     /// New extractor with built-in concepts and default limits.
     pub fn new(program: ElogProgram, web: &'w dyn WebSource) -> Extractor<'w> {
         Extractor {
-            program,
+            engine: Engine::Ast(program),
+            concepts: ConceptRegistry::builtin(),
+            web,
+            options: ExtractorOptions::default(),
+        }
+    }
+
+    /// The compiled-plan fast path: execute an already-compiled wrapper.
+    /// The plan carries its own concept matchers (baked in at compile
+    /// time), so [`with_concepts`](Extractor::with_concepts) only
+    /// affects the interpreted reference path.
+    pub fn from_plan(plan: Arc<WrapperPlan>, web: &'w dyn WebSource) -> Extractor<'w> {
+        Extractor {
+            engine: Engine::Plan(plan),
             concepts: ConceptRegistry::builtin(),
             web,
             options: ExtractorOptions::default(),
@@ -122,8 +178,42 @@ impl<'w> Extractor<'w> {
         self
     }
 
+    /// Compile this extractor's program against its concept registry
+    /// (or return the already-compiled plan).
+    pub fn compile(&self) -> Result<Arc<WrapperPlan>, CompileError> {
+        match &self.engine {
+            Engine::Plan(plan) => Ok(plan.clone()),
+            Engine::Ast(program) => WrapperPlan::compile(program, &self.concepts).map(Arc::new),
+        }
+    }
+
     /// Run to fixpoint.
+    ///
+    /// Compiles and executes the plan; a program the compiler rejects
+    /// (see [`CompileError`]) falls back to the interpreted reference
+    /// evaluator, whose semantics tolerate such programs as empty
+    /// matches — `run` itself never fails.
     pub fn run(&self) -> ExtractionResult {
+        match &self.engine {
+            Engine::Plan(plan) => crate::exec::execute(plan, self.web, &self.options),
+            Engine::Ast(program) => match WrapperPlan::compile(program, &self.concepts) {
+                Ok(plan) => crate::exec::execute(&plan, self.web, &self.options),
+                Err(_) => self.interpret(program),
+            },
+        }
+    }
+
+    /// Run the interpreted reference evaluator (the pre-plan AST
+    /// walker). Kept public for equivalence testing and benchmarking
+    /// against the compiled path.
+    pub fn run_interpreted(&self) -> ExtractionResult {
+        match &self.engine {
+            Engine::Ast(program) => self.interpret(program),
+            Engine::Plan(plan) => self.interpret(plan.program()),
+        }
+    }
+
+    fn interpret(&self, program: &ElogProgram) -> ExtractionResult {
         let mut st = State {
             base: InstanceBase::default(),
             docs: Vec::new(),
@@ -132,7 +222,7 @@ impl<'w> Extractor<'w> {
         };
         loop {
             let mut changed = false;
-            for rule in &self.program.rules {
+            for rule in &program.rules {
                 changed |= self.apply_rule(rule, &mut st);
                 if st.base.len() >= self.options.max_instances {
                     break;
@@ -142,10 +232,12 @@ impl<'w> Extractor<'w> {
                 break;
             }
         }
+        let pattern_names = pattern_names_of(&st.base);
         ExtractionResult {
             base: st.base,
             docs: st.docs,
             doc_urls: st.doc_urls,
+            pattern_names,
         }
     }
 
@@ -636,7 +728,7 @@ fn member_matches(doc: &Document, n: NodeId, path: &ElementPath) -> bool {
 
 /// The forest context of a target: (document, roots). For nodes the roots
 /// are the children; for sequences, the members.
-fn forest_of(t: &Target, docs: &[Document]) -> Option<(DocId, Vec<NodeId>)> {
+pub(crate) fn forest_of(t: &Target, docs: &[Document]) -> Option<(DocId, Vec<NodeId>)> {
     match t {
         Target::Node { doc, node } => {
             let d = &docs[doc.0 as usize];
@@ -648,7 +740,7 @@ fn forest_of(t: &Target, docs: &[Document]) -> Option<(DocId, Vec<NodeId>)> {
 }
 
 /// Text content of a target.
-fn target_text(t: &Target, docs: &[Document]) -> String {
+pub(crate) fn target_text(t: &Target, docs: &[Document]) -> String {
     match t {
         Target::Node { doc, node } => docs[doc.0 as usize].text_content(*node),
         Target::NodeSeq { doc, nodes } => {
@@ -660,7 +752,7 @@ fn target_text(t: &Target, docs: &[Document]) -> String {
 }
 
 /// (preorder start, subtree end) of a target — used for distances.
-fn target_span(t: &Target, doc: &Document, expected: DocId) -> Option<(usize, usize)> {
+pub(crate) fn target_span(t: &Target, doc: &Document, expected: DocId) -> Option<(usize, usize)> {
     match t {
         Target::Node { doc: d, node } if *d == expected => Some(node_span(doc, *node)),
         Target::NodeSeq { doc: d, nodes } if *d == expected => {
@@ -675,7 +767,7 @@ fn target_span(t: &Target, doc: &Document, expected: DocId) -> Option<(usize, us
     }
 }
 
-fn node_span(doc: &Document, n: NodeId) -> (usize, usize) {
+pub(crate) fn node_span(doc: &Document, n: NodeId) -> (usize, usize) {
     let (s, e) = doc.order().subtree_range(n);
     (s, e)
 }
@@ -1031,6 +1123,6 @@ mod tests {
         assert_eq!(a, b);
         // A fresh run is equal too (deterministic evaluation).
         assert_eq!(a, Extractor::new(program, &web).run());
-        assert_eq!(a.patterns(), vec!["item".to_string(), "name".to_string()]);
+        assert_eq!(a.patterns(), ["item".to_string(), "name".to_string()]);
     }
 }

@@ -1,0 +1,785 @@
+//! Execution of compiled [`WrapperPlan`]s.
+//!
+//! The executor is the cheap, repeatable half of the compile-once /
+//! run-many split: every per-run cost the interpreted evaluator pays —
+//! regex compilation, `HashMap` environments keyed by variable name,
+//! linear scans of the instance base for parents, duplicates and pattern
+//! references — is replaced by slot frames (`Vec<Option<Value>>`),
+//! precompiled matchers, and per-pattern indexes. A semi-naive touch on
+//! the fixpoint skips rules whose inputs (parent pattern and referenced
+//! patterns) have not grown since the rule last ran.
+//!
+//! Everything here deliberately mirrors the interpreted evaluator in
+//! `eval.rs` step for step: plan execution must be *result-identical*,
+//! instance order included, which the `plan_equivalence` integration
+//! test asserts across the workload corpus.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+use lixto_tree::{Document, NodeId, NodeKind};
+
+use crate::concepts::compare_values;
+use crate::eval::{
+    forest_of, node_span, target_span, target_text, ExtractionResult, ExtractorOptions, Value,
+};
+use crate::instances::{DocId, Instance, InstanceBase, Target};
+use crate::plan::{
+    PatternId, PlanAttr, PlanAttrMatch, PlanCondition, PlanExtraction, PlanParent, PlanPath,
+    PlanRule, PlanTag, PlanUrl, PlanVarRef, SlotId, WrapperPlan,
+};
+use crate::web::WebSource;
+
+/// FxHash: the dedup and reference sets sit on the per-instance hot
+/// path, where SipHash's per-lookup cost would eat the win on small
+/// documents. Same multiply-xor scheme as `lixto_server`'s cache.
+#[derive(Default)]
+struct FxHasher(u64);
+
+impl Hasher for FxHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+
+    fn write_u8(&mut self, b: u8) {
+        self.0 = (self.0.rotate_left(5) ^ u64::from(b)).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0.rotate_left(5) ^ n).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+    }
+
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(u64::from(n));
+    }
+
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type FxSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// A rule-local environment: one value per slot.
+type Frame = Vec<Option<Value>>;
+
+/// A path match: target node plus slot bindings from `regvar` captures.
+struct PlanMatch {
+    node: NodeId,
+    bindings: Vec<(SlotId, String)>,
+}
+
+/// Per-pattern target index for `PatternRef` conditions: O(1) membership
+/// instead of the interpreted full-base scan.
+#[derive(Default)]
+struct RefIndex {
+    nodes: FxSet<(DocId, NodeId)>,
+    texts: FxSet<String>,
+}
+
+struct PlanState {
+    base: InstanceBase,
+    docs: Vec<Document>,
+    doc_urls: Vec<String>,
+    url_ids: HashMap<String, DocId>,
+    /// Instance indices per pattern id, in insertion order — the
+    /// indexed replacement for `InstanceBase::of_pattern`.
+    by_pattern: Vec<Vec<usize>>,
+    /// Dedup set replacing the interpreted `add` linear scan.
+    dedup: FxSet<(PatternId, Option<usize>, Target)>,
+    /// Per-pattern instance counts, used as input generations by the
+    /// semi-naive rule-skipping.
+    gens: Vec<u64>,
+    /// Target indexes for patterns referenced by `PatternRef`.
+    refs: HashMap<PatternId, RefIndex>,
+    /// Pattern names in first-extraction order.
+    name_order: Vec<String>,
+    seen: Vec<bool>,
+}
+
+impl PlanState {
+    fn fetch(&mut self, web: &dyn WebSource, url: &str, cap: usize) -> Option<DocId> {
+        if let Some(&id) = self.url_ids.get(url) {
+            return Some(id);
+        }
+        if self.docs.len() >= cap {
+            return None;
+        }
+        let html = web.fetch(url)?;
+        let doc = lixto_html::parse(&html);
+        let id = DocId(self.docs.len() as u32);
+        self.docs.push(doc);
+        self.doc_urls.push(url.to_string());
+        self.url_ids.insert(url.to_string(), id);
+        Some(id)
+    }
+
+    /// Add an instance unless an identical one exists; true when new.
+    fn add(
+        &mut self,
+        plan: &WrapperPlan,
+        pattern: PatternId,
+        parent: Option<usize>,
+        target: Target,
+    ) -> bool {
+        let key = (pattern, parent, target);
+        if self.dedup.contains(&key) {
+            return false;
+        }
+        let (pattern, parent, target) = (key.0, key.1, key.2.clone());
+        self.dedup.insert(key);
+        let index = self.base.instances.len();
+        if let Some(ref_index) = self.refs.get_mut(&pattern) {
+            match &target {
+                Target::Node { doc, node } => {
+                    ref_index.nodes.insert((*doc, *node));
+                }
+                Target::Text(text) => {
+                    ref_index.texts.insert(text.clone());
+                }
+                Target::NodeSeq { .. } => {}
+            }
+        }
+        self.base.instances.push(Instance {
+            pattern: plan.patterns()[pattern as usize].clone(),
+            parent,
+            target,
+        });
+        self.by_pattern[pattern as usize].push(index);
+        self.gens[pattern as usize] += 1;
+        if !self.seen[pattern as usize] {
+            self.seen[pattern as usize] = true;
+            self.name_order
+                .push(plan.patterns()[pattern as usize].clone());
+        }
+        true
+    }
+}
+
+/// Input generations a rule saw when it last ran; the rule is skipped
+/// while they are unchanged (its output is a function of parent and
+/// referenced pattern instances only).
+struct RuleMark {
+    parent_gen: u64,
+    ref_gens: Vec<u64>,
+}
+
+/// Run `plan` to fixpoint over `web` — the compiled counterpart of the
+/// interpreted `Extractor::run_interpreted`.
+pub(crate) fn execute(
+    plan: &WrapperPlan,
+    web: &dyn WebSource,
+    options: &ExtractorOptions,
+) -> ExtractionResult {
+    let n = plan.patterns().len();
+    let mut refs: HashMap<PatternId, RefIndex> = HashMap::new();
+    for rule in plan.rules() {
+        for &r in &rule.refs {
+            refs.entry(r).or_default();
+        }
+    }
+    let mut st = PlanState {
+        base: InstanceBase::default(),
+        docs: Vec::new(),
+        doc_urls: Vec::new(),
+        url_ids: HashMap::new(),
+        by_pattern: vec![Vec::new(); n],
+        dedup: FxSet::default(),
+        gens: vec![0; n],
+        refs,
+        name_order: Vec::new(),
+        seen: vec![false; n],
+    };
+    let mut marks: Vec<Option<RuleMark>> = (0..plan.rules().len()).map(|_| None).collect();
+    loop {
+        let mut changed = false;
+        for (ri, rule) in plan.rules().iter().enumerate() {
+            if can_skip(rule, &marks[ri], &st) {
+                continue;
+            }
+            marks[ri] = Some(RuleMark {
+                parent_gen: match &rule.parent {
+                    PlanParent::Pattern(p) => st.gens[*p as usize],
+                    PlanParent::Document(_) => 0,
+                },
+                ref_gens: rule.refs.iter().map(|&r| st.gens[r as usize]).collect(),
+            });
+            changed |= apply_rule(plan, rule, &mut st, web, options);
+            if st.base.len() >= options.max_instances {
+                break;
+            }
+        }
+        if !changed || st.base.len() >= options.max_instances {
+            break;
+        }
+    }
+    ExtractionResult {
+        base: st.base,
+        docs: st.docs,
+        doc_urls: st.doc_urls,
+        pattern_names: st.name_order,
+    }
+}
+
+/// A rule can be skipped when it has run before and nothing it reads has
+/// grown since. Entry rules and crawl rules always re-run: they fetch,
+/// and the interpreted evaluator retries failed fetches every pass.
+fn can_skip(rule: &PlanRule, mark: &Option<RuleMark>, st: &PlanState) -> bool {
+    let Some(mark) = mark else { return false };
+    let PlanParent::Pattern(parent) = &rule.parent else {
+        return false;
+    };
+    if matches!(rule.extraction, PlanExtraction::Document(_)) {
+        return false;
+    }
+    st.gens[*parent as usize] == mark.parent_gen
+        && rule
+            .refs
+            .iter()
+            .zip(&mark.ref_gens)
+            .all(|(&r, &g)| st.gens[r as usize] == g)
+}
+
+fn apply_rule(
+    plan: &WrapperPlan,
+    rule: &PlanRule,
+    st: &mut PlanState,
+    web: &dyn WebSource,
+    options: &ExtractorOptions,
+) -> bool {
+    let parents: Vec<(Option<usize>, Target)> = match &rule.parent {
+        PlanParent::Pattern(pid) => st.by_pattern[*pid as usize]
+            .iter()
+            .map(|&i| (Some(i), st.base.instances[i].target.clone()))
+            .collect(),
+        PlanParent::Document(url) => match st.fetch(web, url, options.max_documents) {
+            Some(did) => {
+                let root = st.docs[did.0 as usize].root();
+                vec![(
+                    None,
+                    Target::Node {
+                        doc: did,
+                        node: root,
+                    },
+                )]
+            }
+            None => vec![],
+        },
+    };
+
+    let mut changed = false;
+    for (parent_idx, s_target) in parents {
+        let candidates = extract(rule, &s_target, st, web, options);
+        // Context-condition witnesses are per (condition, parent):
+        // hoisted exactly as the interpreted evaluator hoists them.
+        let witnesses: Vec<Option<Vec<PlanMatch>>> = rule
+            .conditions
+            .iter()
+            .map(|c| match c {
+                PlanCondition::Context { path, .. } => forest_of(&s_target, &st.docs)
+                    .map(|(did, roots)| eval_plan_path(&st.docs[did.0 as usize], &roots, path)),
+                _ => None,
+            })
+            .collect();
+        let mut accepted: Vec<Target> = Vec::new();
+        for (target, frame) in candidates {
+            if conditions_hold(rule, &s_target, &target, frame, st, &witnesses) {
+                accepted.push(target);
+            }
+        }
+        // Maximality for subsq, mirrored from the interpreter.
+        if matches!(rule.extraction, PlanExtraction::Subsq { .. }) {
+            let snapshot = accepted.clone();
+            accepted.retain(|t| {
+                let Target::NodeSeq { nodes, .. } = t else {
+                    return true;
+                };
+                !snapshot.iter().any(|o| {
+                    if let Target::NodeSeq { nodes: onodes, .. } = o {
+                        onodes.len() > nodes.len() && nodes.iter().all(|n| onodes.contains(n))
+                    } else {
+                        false
+                    }
+                })
+            });
+        }
+        if let Some((from, to)) = rule.range {
+            accepted = accepted
+                .into_iter()
+                .enumerate()
+                .filter(|(i, _)| *i + 1 >= from && *i < to)
+                .map(|(_, t)| t)
+                .collect();
+        }
+        for target in accepted {
+            changed |= st.add(plan, rule.pattern, parent_idx, target);
+        }
+    }
+    changed
+}
+
+/// Apply the extraction atom, yielding (target, initial frame) pairs.
+fn extract(
+    rule: &PlanRule,
+    s: &Target,
+    st: &mut PlanState,
+    web: &dyn WebSource,
+    options: &ExtractorOptions,
+) -> Vec<(Target, Frame)> {
+    let frame = || vec![None; rule.slots];
+    match &rule.extraction {
+        PlanExtraction::Specialize => vec![(s.clone(), frame())],
+        PlanExtraction::Subelem(path) => {
+            let Some((did, roots)) = forest_of(s, &st.docs) else {
+                return vec![];
+            };
+            let doc = &st.docs[did.0 as usize];
+            eval_plan_path(doc, &roots, path)
+                .into_iter()
+                .map(|m| {
+                    let mut env = frame();
+                    for (slot, value) in m.bindings {
+                        env[slot as usize] = Some(Value::Str(value));
+                    }
+                    (
+                        Target::Node {
+                            doc: did,
+                            node: m.node,
+                        },
+                        env,
+                    )
+                })
+                .collect()
+        }
+        PlanExtraction::Subsq {
+            context,
+            start,
+            end,
+        } => {
+            let Some((did, roots)) = forest_of(s, &st.docs) else {
+                return vec![];
+            };
+            let doc = &st.docs[did.0 as usize];
+            let mut out = Vec::new();
+            for ctx in eval_plan_path(doc, &roots, context) {
+                let kids: Vec<NodeId> = doc.children(ctx.node).collect();
+                for i in 0..kids.len() {
+                    if !member_matches(doc, kids[i], start) {
+                        continue;
+                    }
+                    for j in i..kids.len() {
+                        if member_matches(doc, kids[j], end) {
+                            out.push((
+                                Target::NodeSeq {
+                                    doc: did,
+                                    nodes: kids[i..=j].to_vec(),
+                                },
+                                frame(),
+                            ));
+                        }
+                    }
+                }
+            }
+            out
+        }
+        PlanExtraction::Subtext(rv) => {
+            let text = target_text(s, &st.docs);
+            let mut out = Vec::new();
+            for caps in rv.regex.captures_iter(&text) {
+                let Some(whole) = caps.get(0) else { continue };
+                if whole.text.is_empty() {
+                    continue;
+                }
+                let mut env = frame();
+                let mut ok = true;
+                for (name, slot) in &rv.captures {
+                    match caps.name(name) {
+                        Some(m) => {
+                            if let Some(slot) = slot {
+                                env[*slot as usize] = Some(Value::Str(m.text.to_string()));
+                            }
+                        }
+                        None => ok = false,
+                    }
+                }
+                if ok {
+                    out.push((Target::Text(whole.text.to_string()), env));
+                }
+            }
+            out
+        }
+        PlanExtraction::Subatt(attr) => match s {
+            Target::Node { doc, node } => {
+                let d = &st.docs[doc.0 as usize];
+                match d.attr(*node, attr) {
+                    Some(v) => vec![(Target::Text(v.to_string()), frame())],
+                    None => vec![],
+                }
+            }
+            _ => vec![],
+        },
+        PlanExtraction::Document(url) => {
+            let url = match url {
+                PlanUrl::Const(u) => Some(u.clone()),
+                PlanUrl::Slot(slot) => {
+                    // Resolve from attrbind conditions against S, in
+                    // condition order (later bindings overwrite) — the
+                    // interpreted evaluator's pre-scan.
+                    let mut resolved: Option<String> = None;
+                    for c in &rule.conditions {
+                        if let PlanCondition::AttrBind { attr, var } = c {
+                            if var == slot {
+                                if let Target::Node { doc, node } = s {
+                                    let d = &st.docs[doc.0 as usize];
+                                    if let Some(val) = d.attr(*node, attr) {
+                                        resolved = Some(val.to_string());
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    resolved
+                }
+            };
+            let Some(url) = url else { return vec![] };
+            match st.fetch(web, &url, options.max_documents) {
+                Some(did) => {
+                    let root = st.docs[did.0 as usize].root();
+                    vec![(
+                        Target::Node {
+                            doc: did,
+                            node: root,
+                        },
+                        frame(),
+                    )]
+                }
+                None => vec![],
+            }
+        }
+    }
+}
+
+/// Evaluate Φ(S, X) with environment-set semantics over slot frames.
+fn conditions_hold(
+    rule: &PlanRule,
+    s: &Target,
+    x: &Target,
+    initial: Frame,
+    st: &PlanState,
+    witnesses: &[Option<Vec<PlanMatch>>],
+) -> bool {
+    let mut envs = vec![initial];
+    for (ci, cond) in rule.conditions.iter().enumerate() {
+        match cond {
+            PlanCondition::Range => continue,
+            PlanCondition::AttrBind { attr, var } => {
+                if let Target::Node { doc, node } = s {
+                    let d = &st.docs[doc.0 as usize];
+                    if let Some(v) = d.attr(*node, attr) {
+                        for env in &mut envs {
+                            env[*var as usize] = Some(Value::Str(v.to_string()));
+                        }
+                    } else {
+                        return false;
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
+        let mut next: Vec<Frame> = Vec::new();
+        for env in envs {
+            next.extend(eval_condition(
+                cond,
+                s,
+                x,
+                env,
+                st,
+                witnesses[ci].as_deref(),
+            ));
+        }
+        if next.is_empty() {
+            return false;
+        }
+        envs = next;
+    }
+    true
+}
+
+/// Resolve a condition's value reference to a string, mirroring the
+/// interpreted resolution (slot values, node text, `X` fallback).
+fn resolve_value(var: &PlanVarRef, env: &Frame, x: &Target, st: &PlanState) -> Option<String> {
+    let slot_value = |slot: SlotId| -> Option<String> {
+        match env[slot as usize].as_ref()? {
+            Value::Str(sv) => Some(sv.clone()),
+            Value::Node(did, node) => Some(st.docs[did.0 as usize].text_content(*node)),
+        }
+    };
+    match var {
+        PlanVarRef::Slot(slot) => slot_value(*slot),
+        PlanVarRef::SlotOrTarget(slot) => {
+            slot_value(*slot).or_else(|| Some(target_text(x, &st.docs)))
+        }
+        PlanVarRef::TargetText => Some(target_text(x, &st.docs)),
+    }
+}
+
+fn eval_condition(
+    cond: &PlanCondition,
+    s: &Target,
+    x: &Target,
+    env: Frame,
+    st: &PlanState,
+    hoisted: Option<&[PlanMatch]>,
+) -> Vec<Frame> {
+    match cond {
+        PlanCondition::Context {
+            path,
+            min,
+            max,
+            bind,
+            negated,
+            is_before,
+        } => {
+            let Some((did, roots)) = forest_of(s, &st.docs) else {
+                return vec![];
+            };
+            let doc = &st.docs[did.0 as usize];
+            let Some((x_start, x_end)) = target_span(x, doc, did) else {
+                return vec![];
+            };
+            let owned;
+            let all: &[PlanMatch] = match hoisted {
+                Some(w) => w,
+                None => {
+                    owned = eval_plan_path(doc, &roots, path);
+                    &owned
+                }
+            };
+            let witnesses: Vec<&PlanMatch> = all
+                .iter()
+                .filter(|m| {
+                    let (y_start, y_end) = node_span(doc, m.node);
+                    if *is_before {
+                        y_end <= x_start && {
+                            let d = (x_start - y_end) as u32;
+                            d >= *min && d <= *max
+                        }
+                    } else {
+                        y_start >= x_end && {
+                            let d = (y_start - x_end) as u32;
+                            d >= *min && d <= *max
+                        }
+                    }
+                })
+                .collect();
+            if *negated {
+                if witnesses.is_empty() {
+                    vec![env]
+                } else {
+                    vec![]
+                }
+            } else if let Some(v) = bind {
+                witnesses
+                    .into_iter()
+                    .map(|m| {
+                        let mut e = env.clone();
+                        e[*v as usize] = Some(Value::Node(did, m.node));
+                        for (slot, sv) in &m.bindings {
+                            e[*slot as usize] = Some(Value::Str(sv.clone()));
+                        }
+                        e
+                    })
+                    .collect()
+            } else if witnesses.is_empty() {
+                vec![]
+            } else {
+                vec![env]
+            }
+        }
+        PlanCondition::Contains { path, negated } => {
+            let Some((did, roots)) = forest_of(x, &st.docs) else {
+                return vec![];
+            };
+            let doc = &st.docs[did.0 as usize];
+            let found = !eval_plan_path(doc, &roots, path).is_empty();
+            if found != *negated {
+                vec![env]
+            } else {
+                vec![]
+            }
+        }
+        PlanCondition::FirstSubtree { path } => {
+            let Some((did, roots)) = forest_of(s, &st.docs) else {
+                return vec![];
+            };
+            let doc = &st.docs[did.0 as usize];
+            let matches = eval_plan_path(doc, &roots, path);
+            match (matches.first(), x) {
+                (Some(first), Target::Node { node, .. }) if first.node == *node => {
+                    vec![env]
+                }
+                _ => vec![],
+            }
+        }
+        PlanCondition::Concept {
+            concept,
+            var,
+            negated,
+        } => {
+            let Some(value) = resolve_value(var, &env, x, st) else {
+                return vec![];
+            };
+            if concept.holds(&value) != *negated {
+                vec![env]
+            } else {
+                vec![]
+            }
+        }
+        PlanCondition::Comparison { left, op, right } => {
+            let Some(l) = resolve_value(left, &env, x, st) else {
+                return vec![];
+            };
+            let r = match right {
+                crate::plan::PlanOperand::Literal(lit) => lit.clone(),
+                crate::plan::PlanOperand::Var(var) => match resolve_value(var, &env, x, st) {
+                    Some(r) => r,
+                    None => return vec![],
+                },
+            };
+            if compare_values(&l, op, &r) {
+                vec![env]
+            } else {
+                vec![]
+            }
+        }
+        PlanCondition::PatternRef { pattern, var } => {
+            let Some(value) = env[*var as usize].as_ref() else {
+                return vec![];
+            };
+            let index = st.refs.get(pattern).expect("ref index prebuilt");
+            let is_instance = match value {
+                Value::Node(did, node) => index.nodes.contains(&(*did, *node)),
+                Value::Str(sv) => index.texts.contains(sv),
+            };
+            if is_instance {
+                vec![env]
+            } else {
+                vec![]
+            }
+        }
+        PlanCondition::AttrBind { .. } | PlanCondition::Range => vec![env],
+    }
+}
+
+/// Does the node satisfy a delimiter path (last step's tag test plus the
+/// attribute conditions)? Mirrors the interpreted `member_matches`.
+fn member_matches(doc: &Document, n: NodeId, path: &PlanPath) -> bool {
+    let Some(last) = path.steps.last() else {
+        return true;
+    };
+    if !tag_matches(doc, n, &last.tag) {
+        return false;
+    }
+    path.attrs.iter().all(|c| check_attr(doc, n, c).is_some())
+}
+
+fn tag_matches(doc: &Document, n: NodeId, test: &PlanTag) -> bool {
+    match test {
+        PlanTag::Any => doc.kind(n) == NodeKind::Element,
+        PlanTag::Name(name) => doc.label_str(n) == name,
+        PlanTag::Regex(re) => re.is_full_match(doc.label_str(n)),
+    }
+}
+
+/// Check one attribute condition; `Some(bindings)` on success.
+fn check_attr(doc: &Document, n: NodeId, cond: &PlanAttr) -> Option<Vec<(SlotId, String)>> {
+    let value: String = if cond.attr == "elementtext" {
+        doc.text_content(n)
+    } else {
+        doc.attr(n, &cond.attr)?.to_string()
+    };
+    match &cond.matcher {
+        PlanAttrMatch::Exact(pattern) => (value.trim() == pattern).then(Vec::new),
+        PlanAttrMatch::Substr(pattern) => value.contains(pattern).then(Vec::new),
+        PlanAttrMatch::Regvar(rv) => {
+            let caps = rv.regex.captures(&value)?;
+            let mut bindings = Vec::new();
+            for (name, slot) in &rv.captures {
+                let m = caps.name(name)?;
+                if let Some(slot) = slot {
+                    bindings.push((*slot, m.text.to_string()));
+                }
+            }
+            Some(bindings)
+        }
+    }
+}
+
+/// Evaluate a compiled path against a forest context — the precompiled
+/// mirror of `path::eval_path`, with slot bindings instead of name maps.
+fn eval_plan_path(doc: &Document, roots: &[NodeId], path: &PlanPath) -> Vec<PlanMatch> {
+    let mut current: Vec<NodeId> = roots.to_vec();
+    for (i, step) in path.steps.iter().enumerate() {
+        let mut next = Vec::new();
+        for &c in &current {
+            step_candidates(doc, c, step, i == 0, &mut next);
+        }
+        current = next;
+        if current.is_empty() {
+            return Vec::new();
+        }
+    }
+    current.sort_by_key(|&n| doc.order().pre(n));
+    current.dedup();
+    let mut out = Vec::new();
+    'node: for n in current {
+        let mut bindings = Vec::new();
+        for cond in &path.attrs {
+            match check_attr(doc, n, cond) {
+                Some(more) => bindings.extend(more),
+                None => continue 'node,
+            }
+        }
+        out.push(PlanMatch { node: n, bindings });
+    }
+    out
+}
+
+fn step_candidates(
+    doc: &Document,
+    c: NodeId,
+    step: &crate::plan::PlanStep,
+    first: bool,
+    out: &mut Vec<NodeId>,
+) {
+    if first {
+        if step.descend {
+            for d in doc.descendants_or_self(c) {
+                if tag_matches(doc, d, &step.tag) {
+                    out.push(d);
+                }
+            }
+        } else if tag_matches(doc, c, &step.tag) {
+            out.push(c);
+        }
+    } else if step.descend {
+        for d in doc.descendants(c) {
+            if tag_matches(doc, d, &step.tag) {
+                out.push(d);
+            }
+        }
+    } else {
+        for ch in doc.children(c) {
+            if tag_matches(doc, ch, &step.tag) {
+                out.push(ch);
+            }
+        }
+    }
+}

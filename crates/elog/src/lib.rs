@@ -53,11 +53,14 @@
 #![forbid(unsafe_code)]
 
 pub mod ast;
+pub mod compile;
 pub mod concepts;
 pub mod eval;
+mod exec;
 pub mod instances;
 pub mod parser;
 pub mod path;
+pub mod plan;
 pub mod pretty;
 pub mod web;
 
@@ -66,7 +69,8 @@ pub use ast::{
     PathStep, TagTest, UrlExpr,
 };
 pub use concepts::ConceptRegistry;
-pub use eval::{Extractor, ExtractorOptions};
+pub use eval::{ExtractionResult, Extractor, ExtractorOptions};
 pub use instances::{Instance, InstanceBase, Target};
-pub use parser::{parse_program, EBAY_PROGRAM};
+pub use parser::{parse_program, ParseError, EBAY_PROGRAM};
+pub use plan::{CompileError, WrapperPlan};
 pub use web::{SinglePage, StaticWeb, WebSource};

@@ -162,7 +162,10 @@ pub fn compile_regvar(pattern: &str) -> (String, Vec<String>) {
             if i < chars.len() && chars[i] == '(' {
                 let mut depth = 0;
                 let mut sub = String::new();
-                loop {
+                // An unbalanced refining group consumes to end of input;
+                // the leftover open-paren then fails regex compilation
+                // instead of panicking here.
+                while i < chars.len() {
                     let c = chars[i];
                     if c == '(' {
                         depth += 1;

@@ -35,8 +35,8 @@ use std::time::Duration;
 
 use crossbeam_channel::{bounded, Receiver};
 use lixto_server::{
-    ExtractionRequest, ExtractionResponse, ExtractionServer, MetricsSnapshot, RequestSource,
-    ServerError, WrapperSpec, XmlDesign,
+    DeployError, ExtractionRequest, ExtractionResponse, ExtractionServer, MetricsSnapshot,
+    RequestSource, ServerError, WrapperSpec, XmlDesign,
 };
 
 use crate::http::{parse_request, Limits, Request, RequestError, Response};
@@ -527,14 +527,14 @@ fn extraction_json(response: &ExtractionResponse) -> Json {
     let extraction = response.extraction();
     let patterns: Vec<Json> = extraction
         .patterns()
-        .into_iter()
+        .iter()
         .map(|name| {
             let texts: Vec<Json> = extraction
-                .texts_of(&name)
+                .texts_of(name)
                 .into_iter()
                 .map(Json::from)
                 .collect();
-            obj([("name", name.into()), ("instances", texts.into())])
+            obj([("name", name.as_str().into()), ("instances", texts.into())])
         })
         .collect();
     obj([
@@ -601,12 +601,43 @@ fn put_wrapper(name: &str, request: &Request, shared: &SharedGateway) -> Respons
                 &obj([("name", name.into()), ("version", version.into())]),
             )
         }
-        Err(e) => Response::error(
-            400,
-            "bad_program",
-            &format!("wrapper does not compile: {e}"),
-        ),
+        Err(e) => deploy_error_response(&e),
     }
+}
+
+/// Deploy-time rejection: the wrapper was compiled once, here, and the
+/// structured parse/compile error goes back as the 400 body — the
+/// client learns which rule, pattern and identifier is at fault instead
+/// of every later `/extract` silently returning nothing.
+fn deploy_error_response(error: &DeployError) -> Response {
+    let detail = match error {
+        DeployError::Parse(parse) => obj([
+            ("kind", "parse".into()),
+            ("at", (parse.at as u64).into()),
+            ("message", parse.message.as_str().into()),
+        ]),
+        DeployError::Compile(compile) => obj([
+            ("kind", "compile".into()),
+            ("code", compile.code().into()),
+            ("rule", (compile.rule() as u64).into()),
+            ("pattern", compile.pattern().into()),
+            (
+                "subject",
+                compile.subject().map(Json::from).unwrap_or(Json::Null),
+            ),
+        ]),
+    };
+    Response::json(
+        400,
+        &obj([
+            ("error", "bad_program".into()),
+            (
+                "message",
+                format!("wrapper does not compile: {error}").into(),
+            ),
+            ("detail", detail),
+        ]),
+    )
 }
 
 fn get_metrics(request: &Request, shared: &SharedGateway) -> Response {

@@ -26,7 +26,7 @@ pub mod gateway;
 pub mod http;
 pub mod json;
 
-pub use client::{HttpClient, HttpResponse};
+pub use client::{HttpClient, HttpResponse, RetryPolicy};
 pub use gateway::{metrics_json, render_prometheus, GatewayConfig, GatewayStats, HttpGateway};
 pub use http::{parse_request, Limits, Request, RequestError, Response};
 pub use json::{obj, Json, JsonError};

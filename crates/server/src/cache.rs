@@ -61,12 +61,19 @@ pub fn content_address(url: &str, html: &str) -> u64 {
 
 /// Cache key: wrapper identity plus the content address of the source
 /// document.
+///
+/// Wrapper identity is the *plan* fingerprint
+/// ([`RegisteredWrapper::plan_id`](crate::RegisteredWrapper::plan_id)),
+/// not the registry version number: two versions that compile to the
+/// same plan over the same design (an operator redeploying unchanged
+/// source) share cache entries, while any semantic change — program,
+/// design or limits — keys separately.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CacheKey {
     /// Wrapper name.
     pub wrapper: String,
-    /// Wrapper version.
-    pub version: u32,
+    /// Fingerprint of the compiled plan + output design + limits.
+    pub plan: u64,
     /// [`content_address`] of the entry document (URL + bytes).
     pub content: u64,
 }
@@ -199,8 +206,7 @@ impl ResultCache {
     fn segment(&self, key: &CacheKey) -> &Mutex<Segment> {
         // Finalizer mix (murmur3 style) so the modulo sees every bit of
         // the combined key hash, not just its low bits.
-        let mut h =
-            fxhash64(key.wrapper.as_bytes()) ^ key.content ^ u64::from(key.version).rotate_left(11);
+        let mut h = fxhash64(key.wrapper.as_bytes()) ^ key.content ^ key.plan.rotate_left(11);
         h ^= h >> 33;
         h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
         h ^= h >> 33;
@@ -303,15 +309,10 @@ impl ResultCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lixto_elog::InstanceBase;
 
     fn dummy(xml: &str) -> Arc<CachedExtraction> {
         Arc::new(CachedExtraction {
-            result: ExtractionResult {
-                base: InstanceBase::default(),
-                docs: Vec::new(),
-                doc_urls: Vec::new(),
-            },
+            result: ExtractionResult::empty(),
             xml: xml.to_string(),
             crawl: Vec::new(),
             crawl_live: false,
@@ -321,7 +322,7 @@ mod tests {
     fn key(wrapper: &str, content: u64) -> CacheKey {
         CacheKey {
             wrapper: wrapper.to_string(),
-            version: 1,
+            plan: 1,
             content,
         }
     }
@@ -391,12 +392,12 @@ mod tests {
     }
 
     #[test]
-    fn versions_do_not_collide() {
+    fn plan_identities_do_not_collide() {
         let cache = ResultCache::new(4);
         let mut k1 = key("w", 9);
         cache.insert(k1.clone(), dummy("v1"));
-        k1.version = 2;
-        assert!(cache.get(&k1).is_none(), "new version must miss");
+        k1.plan = 2;
+        assert!(cache.get(&k1).is_none(), "a changed plan must miss");
     }
 
     #[test]

@@ -42,8 +42,9 @@ pub use cache::{
     content_address, fxhash64, CacheKey, CacheStats, CachedExtraction, CrawlRecord, ResultCache,
     DEFAULT_CACHE_SEGMENTS,
 };
+pub use lixto_elog::{CompileError, ParseError, WrapperPlan};
 pub use metrics::{LatencyHistogram, MetricsSnapshot, ServerMetrics};
-pub use registry::{RegisteredWrapper, WrapperRegistry, WrapperSpec};
+pub use registry::{DeployError, RegisteredWrapper, WrapperRegistry, WrapperSpec};
 pub use server::{
     ExtractionRequest, ExtractionResponse, ExtractionServer, JobTicket, RequestSource,
     ServerConfig, ServerError, ShutdownReport,

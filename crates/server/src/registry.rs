@@ -6,54 +6,179 @@
 //! new immutable version (1-based), lookups default to the latest one,
 //! and in-flight jobs keep the `Arc` of the version they resolved — an
 //! upgrade never mutates a wrapper another thread is executing.
+//!
+//! Two properties were added for the compile-once architecture:
+//!
+//! * **Compilation happens at registration.** A [`WrapperSpec`] carries
+//!   the Elog source *and* the [`WrapperPlan`] compiled from it; the
+//!   worker pool executes the shared plan
+//!   ([`Extractor::from_plan`](lixto_elog::Extractor::from_plan)) and
+//!   never re-walks the AST. Programs that do not compile are rejected
+//!   here, once, with a structured [`DeployError`] — not per request.
+//! * **Optional durability.** A registry opened with
+//!   [`WrapperRegistry::with_spool`] persists every registered version
+//!   (source + XML design + limits) to a spool directory and reloads —
+//!   recompiling — whatever the spool holds, so a restarted server
+//!   resumes with its deployed wrappers.
 
 use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, RwLock};
 
 use lixto_core::XmlDesign;
-use lixto_elog::{parse_program, ConceptRegistry, ElogProgram, ExtractorOptions};
+use lixto_elog::concepts::Concept;
+use lixto_elog::{
+    parse_program, CompileError, ConceptRegistry, ElogProgram, ExtractorOptions, ParseError,
+    WrapperPlan,
+};
 
-/// Everything needed to execute one wrapper: the compiled program, the
-/// XML output design, and the extraction environment.
+use crate::cache::fxhash64;
+
+/// Why a wrapper was rejected at deploy time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeployError {
+    /// The Elog source does not parse.
+    Parse(ParseError),
+    /// The program parses but does not compile into a plan (unknown
+    /// parent pattern, unbound variable, dangling concept, bad regex).
+    Compile(CompileError),
+}
+
+impl fmt::Display for DeployError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeployError::Parse(e) => write!(f, "parse error: {e}"),
+            DeployError::Compile(e) => write!(f, "compile error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+/// Everything needed to execute one wrapper: the compiled plan, its
+/// source, the XML output design, and the extraction environment.
 #[derive(Clone)]
 pub struct WrapperSpec {
-    /// The compiled Elog program.
-    pub program: ElogProgram,
+    /// The Elog source the plan was compiled from (persisted by the
+    /// spool; re-deployable as-is).
+    pub source: String,
+    /// The compiled execution plan, shared with every in-flight job.
+    pub plan: Arc<WrapperPlan>,
     /// Mapping from the instance base to the output XML document.
     pub design: XmlDesign,
-    /// Concept predicates available to the program's conditions.
-    pub concepts: ConceptRegistry,
+    /// Concept predicates the plan was compiled against. Private on
+    /// purpose: execution reads the matchers *baked into the plan*, so
+    /// replacing this field without recompiling would silently desync
+    /// behavior from [`plan_id`](WrapperSpec::plan_id) — go through
+    /// [`with_concepts`](WrapperSpec::with_concepts), which recompiles.
+    concepts: ConceptRegistry,
     /// Safety limits for the extraction fixpoint.
     pub options: ExtractorOptions,
 }
 
 impl WrapperSpec {
-    /// A spec with built-in concepts and default limits.
-    pub fn new(program: ElogProgram, design: XmlDesign) -> WrapperSpec {
-        WrapperSpec {
-            program,
+    /// Compile a program (with built-in concepts and default limits).
+    /// The stored source is the program's canonical pretty-printed form.
+    pub fn new(program: ElogProgram, design: XmlDesign) -> Result<WrapperSpec, DeployError> {
+        let source = program.to_string();
+        let concepts = ConceptRegistry::builtin();
+        let plan = WrapperPlan::compile(&program, &concepts).map_err(DeployError::Compile)?;
+        Ok(WrapperSpec {
+            source,
+            plan: Arc::new(plan),
             design,
-            concepts: ConceptRegistry::builtin(),
+            concepts,
             options: ExtractorOptions::default(),
-        }
+        })
     }
 
-    /// Compile `source` Elog text into a spec.
-    pub fn from_source(source: &str, design: XmlDesign) -> Result<WrapperSpec, String> {
-        let program = parse_program(source).map_err(|e| format!("{e:?}"))?;
-        Ok(WrapperSpec::new(program, design))
+    /// Parse and compile `source` Elog text into a spec.
+    pub fn from_source(source: &str, design: XmlDesign) -> Result<WrapperSpec, DeployError> {
+        let program = parse_program(source).map_err(DeployError::Parse)?;
+        let concepts = ConceptRegistry::builtin();
+        let plan = WrapperPlan::compile(&program, &concepts).map_err(DeployError::Compile)?;
+        Ok(WrapperSpec {
+            source: source.to_string(),
+            plan: Arc::new(plan),
+            design,
+            concepts,
+            options: ExtractorOptions::default(),
+        })
     }
 
-    /// Replace the concept registry.
-    pub fn with_concepts(mut self, concepts: ConceptRegistry) -> Self {
+    /// Replace the concept registry. Concepts are baked into the plan at
+    /// compile time, so this recompiles — and can now fail, e.g. when
+    /// the program references a concept the new registry lacks.
+    pub fn with_concepts(mut self, concepts: ConceptRegistry) -> Result<Self, DeployError> {
+        let plan =
+            WrapperPlan::compile(self.plan.program(), &concepts).map_err(DeployError::Compile)?;
+        self.plan = Arc::new(plan);
         self.concepts = concepts;
-        self
+        Ok(self)
     }
 
     /// Replace the safety limits.
     pub fn with_options(mut self, options: ExtractorOptions) -> Self {
         self.options = options;
         self
+    }
+
+    /// The concept registry the plan was compiled against.
+    pub fn concepts(&self) -> &ConceptRegistry {
+        &self.concepts
+    }
+
+    /// Fingerprint of the wrapper's full semantic identity: canonical
+    /// program text, output design, concept definitions, and limits.
+    /// Anything that can change an extraction's result changes the
+    /// fingerprint; a byte-for-byte redeploy keeps it — this is what the
+    /// result cache keys on (see [`CacheKey`](crate::CacheKey)).
+    pub fn plan_id(&self) -> u64 {
+        let mut canon = String::new();
+        canon.push_str(&self.plan.program().to_string());
+        canon.push('\u{1e}');
+        canon.push_str(&self.design.root_label);
+        let mut aux: Vec<&str> = self
+            .design
+            .auxiliary_patterns()
+            .iter()
+            .map(String::as_str)
+            .collect();
+        aux.sort_unstable();
+        aux.dedup();
+        for a in aux {
+            canon.push('\u{1f}');
+            canon.push_str(a);
+        }
+        canon.push('\u{1e}');
+        for (pattern, label) in self.design.label_overrides() {
+            canon.push_str(pattern);
+            canon.push('\u{1f}');
+            canon.push_str(label);
+            canon.push('\u{1f}');
+        }
+        canon.push('\u{1e}');
+        for (name, concept) in self.concepts.entries() {
+            canon.push_str(name);
+            canon.push('\u{1f}');
+            match concept {
+                Concept::Syntactic(re) => canon.push_str(re),
+                Concept::Semantic(set) => {
+                    let mut members: Vec<&str> = set.iter().map(String::as_str).collect();
+                    members.sort_unstable();
+                    canon.push_str(&members.join(","));
+                }
+            }
+            canon.push('\u{1f}');
+        }
+        canon.push_str(&format!(
+            "\u{1e}{}|{}",
+            self.options.max_documents, self.options.max_instances
+        ));
+        fxhash64(canon.as_bytes())
     }
 }
 
@@ -63,6 +188,9 @@ pub struct RegisteredWrapper {
     pub name: String,
     /// 1-based version, assigned at registration.
     pub version: u32,
+    /// Semantic fingerprint of the spec ([`WrapperSpec::plan_id`]) —
+    /// the wrapper identity the result cache keys on.
+    pub plan_id: u64,
     /// The executable spec.
     pub spec: WrapperSpec,
 }
@@ -71,24 +199,115 @@ pub struct RegisteredWrapper {
 #[derive(Default)]
 pub struct WrapperRegistry {
     inner: RwLock<HashMap<String, Vec<Arc<RegisteredWrapper>>>>,
+    /// When set, every registered version is persisted here and a fresh
+    /// registry opened on the same directory reloads them.
+    spool: Option<PathBuf>,
 }
 
 impl WrapperRegistry {
-    /// An empty registry.
+    /// An empty, in-memory registry.
     pub fn new() -> WrapperRegistry {
         WrapperRegistry::default()
     }
 
-    /// Register a new version of `name`; returns the assigned version.
-    pub fn register(&self, name: &str, spec: WrapperSpec) -> u32 {
+    /// A durable registry spooling to `dir`: existing wrapper manifests
+    /// in `dir` are reloaded (and recompiled) immediately, and every
+    /// subsequent [`register`](WrapperRegistry::register) writes one.
+    /// Reloaded wrappers get built-in concepts; custom concept
+    /// registries are not persisted.
+    pub fn with_spool(dir: impl Into<PathBuf>) -> io::Result<WrapperRegistry> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let registry = WrapperRegistry {
+            inner: RwLock::new(HashMap::new()),
+            spool: Some(dir.clone()),
+        };
+        // Collect manifests and register them in (name, version) order,
+        // so reassigned version numbers reproduce the spooled ones.
+        let mut manifests: Vec<(PathBuf, SpoolManifest)> = Vec::new();
+        for entry in fs::read_dir(&dir)? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("wrapper") {
+                continue;
+            }
+            let manifest = parse_manifest(&fs::read_to_string(&path)?).map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("corrupt wrapper manifest {}: {e}", path.display()),
+                )
+            })?;
+            manifests.push((path, manifest));
+        }
+        manifests.sort_by(|(_, a), (_, b)| (&a.name, a.version).cmp(&(&b.name, b.version)));
+        for (path, m) in manifests {
+            let spec = WrapperSpec::from_source(&m.source, m.design)
+                .map_err(|e| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "spooled wrapper {:?} v{} no longer compiles: {e}",
+                            m.name, m.version
+                        ),
+                    )
+                })?
+                .with_options(m.options);
+            let (assigned, _) = registry.register_in_memory(&m.name, spec);
+            // A dense spool reloads with its recorded numbering and the
+            // manifest on disk is already correct. A gap (e.g. a past
+            // spool-write failure) makes append-registration assign a
+            // lower number: rewrite the manifest under the new version
+            // so disk and memory agree — otherwise a later register()
+            // of the same name would clobber the old file and lose the
+            // wrapper on the restart after that.
+            if assigned != m.version {
+                let renumbered = registry
+                    .version(&m.name, assigned)
+                    .expect("just registered");
+                let body = render_manifest_body(&m.name, &renumbered.spec);
+                let new_path = dir.join(format!("{}@{assigned}.wrapper", sanitize(&m.name)));
+                fs::write(&new_path, format!("{body}version={assigned}\nend\n"))?;
+                fs::remove_file(&path)?;
+            }
+        }
+        Ok(registry)
+    }
+
+    /// The spool directory, when this registry is durable.
+    pub fn spool_dir(&self) -> Option<&Path> {
+        self.spool.as_deref()
+    }
+
+    fn register_in_memory(&self, name: &str, spec: WrapperSpec) -> (u32, u64) {
+        let plan_id = spec.plan_id();
         let mut inner = self.inner.write().expect("registry poisoned");
         let versions = inner.entry(name.to_string()).or_default();
         let version = versions.len() as u32 + 1;
         versions.push(Arc::new(RegisteredWrapper {
             name: name.to_string(),
             version,
+            plan_id,
             spec,
         }));
+        (version, plan_id)
+    }
+
+    /// Register a new version of `name`; returns the assigned version.
+    /// On a durable registry the version is also spooled to disk
+    /// (best-effort: a write failure keeps the in-memory registration
+    /// and logs to stderr).
+    pub fn register(&self, name: &str, spec: WrapperSpec) -> u32 {
+        let manifest = self
+            .spool
+            .as_ref()
+            .map(|dir| (dir.clone(), render_manifest_body(name, &spec)));
+        let (version, _) = self.register_in_memory(name, spec);
+        if let Some((dir, body)) = manifest {
+            let path = dir.join(format!("{}@{version}.wrapper", sanitize(name)));
+            if let Err(e) = fs::write(&path, format!("{body}version={version}\nend\n")) {
+                eprintln!("lixto: could not spool wrapper {name:?} v{version}: {e}");
+                let _ = fs::remove_file(&path);
+            }
+        }
         version
     }
 
@@ -98,7 +317,7 @@ impl WrapperRegistry {
         name: &str,
         source: &str,
         design: XmlDesign,
-    ) -> Result<u32, String> {
+    ) -> Result<u32, DeployError> {
         Ok(self.register(name, WrapperSpec::from_source(source, design)?))
     }
 
@@ -150,6 +369,156 @@ impl WrapperRegistry {
     }
 }
 
+// ---------------------------------------------------------------------
+// Spool manifests: a line-oriented header (escaped values) followed by
+// the raw Elog source. Versioned with a magic first line.
+
+const MANIFEST_MAGIC: &str = "lixto-wrapper v1";
+
+struct SpoolManifest {
+    name: String,
+    version: u32,
+    design: XmlDesign,
+    options: ExtractorOptions,
+    source: String,
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            other => return Err(format!("bad escape \\{other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+/// Only `[A-Za-z0-9_-]` survives into file names; everything else is
+/// percent-encoded (the manifest header carries the authoritative name).
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for b in name.bytes() {
+        if b.is_ascii_alphanumeric() || b == b'_' || b == b'-' {
+            out.push(b as char);
+        } else {
+            out.push_str(&format!("%{b:02x}"));
+        }
+    }
+    out
+}
+
+/// The manifest body up to (not including) the trailing `version=` /
+/// `end` lines, which `register` appends once the version is assigned.
+fn render_manifest_body(name: &str, spec: &WrapperSpec) -> String {
+    let mut out = String::new();
+    out.push_str(MANIFEST_MAGIC);
+    out.push('\n');
+    out.push_str(&format!("name={}\n", escape(name)));
+    out.push_str(&format!("root={}\n", escape(&spec.design.root_label)));
+    for aux in spec.design.auxiliary_patterns() {
+        out.push_str(&format!("auxiliary={}\n", escape(aux)));
+    }
+    for (pattern, label) in spec.design.label_overrides() {
+        out.push_str(&format!("label={}\t{}\n", escape(pattern), escape(label)));
+    }
+    out.push_str(&format!("max_documents={}\n", spec.options.max_documents));
+    out.push_str(&format!("max_instances={}\n", spec.options.max_instances));
+    out.push_str("program:\n");
+    out.push_str(&spec.source);
+    if !spec.source.ends_with('\n') {
+        out.push('\n');
+    }
+    out.push_str("end-program\n");
+    out
+}
+
+fn parse_manifest(text: &str) -> Result<SpoolManifest, String> {
+    let mut lines = text.lines();
+    if lines.next() != Some(MANIFEST_MAGIC) {
+        return Err(format!("missing magic {MANIFEST_MAGIC:?}"));
+    }
+    let mut name = None;
+    let mut version = None;
+    let mut design = XmlDesign::new();
+    let mut options = ExtractorOptions::default();
+    let mut source = String::new();
+    let mut saw_end = false;
+    while let Some(line) = lines.next() {
+        if line == "end" {
+            break;
+        }
+        let Some((key, value)) = line.split_once(&[':', '='][..]) else {
+            return Err(format!("bad header line {line:?}"));
+        };
+        match key {
+            "name" => name = Some(unescape(value)?),
+            "version" => version = Some(value.parse::<u32>().map_err(|e| e.to_string())?),
+            "root" => design = design.root(&unescape(value)?),
+            "auxiliary" => design = design.auxiliary(&unescape(value)?),
+            "label" => {
+                let (pattern, label) = value
+                    .split_once('\t')
+                    .ok_or_else(|| format!("bad label line {line:?}"))?;
+                design = design.label(&unescape(pattern)?, &unescape(label)?);
+            }
+            "max_documents" => {
+                options.max_documents = value
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| e.to_string())?
+            }
+            "max_instances" => {
+                options.max_instances = value
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| e.to_string())?
+            }
+            "program" => {
+                for line in lines.by_ref() {
+                    if line == "end-program" {
+                        saw_end = true;
+                        break;
+                    }
+                    source.push_str(line);
+                    source.push('\n');
+                }
+                if !saw_end {
+                    return Err("unterminated program section".to_string());
+                }
+            }
+            other => return Err(format!("unknown header key {other:?}")),
+        }
+    }
+    Ok(SpoolManifest {
+        name: name.ok_or("missing name")?,
+        version: version.ok_or("missing version")?,
+        design,
+        options,
+        source,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,9 +563,186 @@ mod tests {
     #[test]
     fn bad_source_is_rejected() {
         let reg = WrapperRegistry::new();
-        assert!(reg
+        let err = reg
             .register_source("bad", "not elog at all (", XmlDesign::new())
-            .is_err());
+            .unwrap_err();
+        assert!(matches!(err, DeployError::Parse(_)));
         assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn uncompilable_source_is_rejected_with_the_compile_error() {
+        let reg = WrapperRegistry::new();
+        let err = reg
+            .register_source(
+                "bad",
+                r#"x(S, X) :- ghost(_, S), subelem(S, (?.td, []), X)."#,
+                XmlDesign::new(),
+            )
+            .unwrap_err();
+        let DeployError::Compile(compile) = err else {
+            panic!("expected a compile error, got {err:?}");
+        };
+        assert_eq!(compile.code(), "unknown_parent_pattern");
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn plan_identity_tracks_semantics_not_version() {
+        let reg = WrapperRegistry::new();
+        reg.register_source("shop", WRAPPER, XmlDesign::new().root("offers"))
+            .unwrap();
+        reg.register_source("shop", WRAPPER, XmlDesign::new().root("offers"))
+            .unwrap();
+        reg.register_source("shop", WRAPPER, XmlDesign::new().root("changed"))
+            .unwrap();
+        let v1 = reg.version("shop", 1).unwrap();
+        let v2 = reg.version("shop", 2).unwrap();
+        let v3 = reg.version("shop", 3).unwrap();
+        assert_eq!(
+            v1.plan_id, v2.plan_id,
+            "identical redeploys share the plan identity"
+        );
+        assert_ne!(v1.plan_id, v3.plan_id, "a design change must re-key");
+        let relimited = reg
+            .latest("shop")
+            .unwrap()
+            .spec
+            .clone()
+            .with_options(ExtractorOptions {
+                max_documents: 1,
+                max_instances: 10,
+            });
+        assert_ne!(relimited.plan_id(), v3.plan_id, "limits are semantic too");
+    }
+
+    fn temp_spool(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "lixto-spool-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn spool_round_trips_wrappers_across_restart() {
+        let dir = temp_spool("roundtrip");
+        {
+            let reg = WrapperRegistry::with_spool(&dir).unwrap();
+            reg.register_source(
+                "shop",
+                WRAPPER,
+                XmlDesign::new()
+                    .root("v1")
+                    .auxiliary("aux")
+                    .label("item", "it"),
+            )
+            .unwrap();
+            reg.register_source("shop", WRAPPER, XmlDesign::new().root("v2"))
+                .unwrap();
+            let spec = WrapperSpec::from_source(WRAPPER, XmlDesign::new().root("limited"))
+                .unwrap()
+                .with_options(ExtractorOptions {
+                    max_documents: 7,
+                    max_instances: 99,
+                });
+            reg.register("other", spec);
+        }
+        // "Restart": a fresh registry on the same spool resumes with the
+        // same catalog, versions, designs, limits and plan identities.
+        let first = WrapperRegistry::with_spool(&dir).unwrap();
+        assert_eq!(
+            first.catalog(),
+            vec![("other".to_string(), 1), ("shop".to_string(), 2)]
+        );
+        assert_eq!(
+            first.version("shop", 1).unwrap().spec.design.root_label,
+            "v1"
+        );
+        assert!(first
+            .version("shop", 1)
+            .unwrap()
+            .spec
+            .design
+            .is_auxiliary("aux"));
+        assert_eq!(
+            first
+                .version("shop", 1)
+                .unwrap()
+                .spec
+                .design
+                .label_of("item"),
+            "it"
+        );
+        assert_eq!(first.latest("shop").unwrap().spec.design.root_label, "v2");
+        let other = first.latest("other").unwrap();
+        assert_eq!(other.spec.options.max_documents, 7);
+        assert_eq!(other.spec.options.max_instances, 99);
+        assert_eq!(other.spec.source.trim_end(), WRAPPER);
+        // Reload is a recompile of the same semantics: plan ids stable.
+        let reloaded_again = WrapperRegistry::with_spool(&dir).unwrap();
+        assert_eq!(
+            reloaded_again.latest("other").unwrap().plan_id,
+            other.plan_id
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn spool_gap_renumbers_files_instead_of_clobbering_later() {
+        let dir = temp_spool("gap");
+        {
+            let reg = WrapperRegistry::with_spool(&dir).unwrap();
+            for root in ["v1", "v2", "v3"] {
+                reg.register_source("shop", WRAPPER, XmlDesign::new().root(root))
+                    .unwrap();
+            }
+        }
+        // Simulate a historical spool-write failure: v2's manifest is gone.
+        fs::remove_file(dir.join("shop@2.wrapper")).unwrap();
+        {
+            let reg = WrapperRegistry::with_spool(&dir).unwrap();
+            // v3 reloads as version 2 — and its manifest is renumbered on
+            // disk so a later register() cannot clobber it.
+            assert_eq!(reg.latest("shop").unwrap().version, 2);
+            assert_eq!(reg.latest("shop").unwrap().spec.design.root_label, "v3");
+            assert!(dir.join("shop@2.wrapper").exists());
+            assert!(!dir.join("shop@3.wrapper").exists());
+            reg.register_source("shop", WRAPPER, XmlDesign::new().root("v4"))
+                .unwrap();
+        }
+        let reg = WrapperRegistry::with_spool(&dir).unwrap();
+        assert_eq!(reg.latest("shop").unwrap().version, 3);
+        assert_eq!(reg.latest("shop").unwrap().spec.design.root_label, "v4");
+        assert_eq!(reg.version("shop", 2).unwrap().spec.design.root_label, "v3");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn spool_escapes_awkward_names_and_labels() {
+        let dir = temp_spool("escape");
+        {
+            let reg = WrapperRegistry::with_spool(&dir).unwrap();
+            reg.register_source(
+                "weird name/v=1",
+                WRAPPER,
+                XmlDesign::new().root("line\nbreak\ttab\\slash"),
+            )
+            .unwrap();
+        }
+        let reloaded = WrapperRegistry::with_spool(&dir).unwrap();
+        let w = reloaded.latest("weird name/v=1").expect("reloaded");
+        assert_eq!(w.spec.design.root_label, "line\nbreak\ttab\\slash");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn in_memory_registry_leaves_no_spool() {
+        let reg = WrapperRegistry::new();
+        assert!(reg.spool_dir().is_none());
+        reg.register_source("shop", WRAPPER, XmlDesign::new())
+            .unwrap();
     }
 }

@@ -565,7 +565,7 @@ fn process(job: &Job, shared: &Shared) -> Result<ExtractionResponse, ServerError
     };
     let key = CacheKey {
         wrapper: job.wrapper.name.clone(),
-        version: job.wrapper.version,
+        plan: job.wrapper.plan_id,
         content: job.content.unwrap_or_else(|| content_address(url, &html)),
     };
     if from_web {
@@ -629,8 +629,10 @@ fn process(job: &Job, shared: &Shared) -> Result<ExtractionResponse, ServerError
         entry: url,
         fetched: RefCell::new(Vec::new()),
     };
-    let result = Extractor::new(spec.program.clone(), &recorder)
-        .with_concepts(spec.concepts.clone())
+    // The compile-once fast path: execute the plan shared by every job
+    // of this wrapper version — no AST clone, no per-request regex
+    // compilation (concepts are baked into the plan).
+    let result = Extractor::from_plan(spec.plan.clone(), &recorder)
         .with_options(spec.options.clone())
         .run();
     let xml = lixto_xml::to_string(&to_xml(&result, &spec.design));

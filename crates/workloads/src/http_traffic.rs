@@ -93,6 +93,17 @@ pub fn requests(seed: u64, users: usize, per_user: usize) -> Vec<HttpTrafficRequ
         .collect()
 }
 
+/// The low-hit-rate long-tail stream of
+/// [`traffic::long_tail_requests`](crate::traffic::long_tail_requests),
+/// rendered as `POST /extract` bodies — cache-hostile traffic for
+/// benchmarking the extraction miss path over the wire.
+pub fn long_tail_requests(seed: u64, users: usize, per_user: usize) -> Vec<HttpTrafficRequest> {
+    crate::traffic::long_tail_requests(seed, users, per_user)
+        .iter()
+        .map(HttpTrafficRequest::from)
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -124,6 +124,34 @@ pub fn requests(seed: u64, users: usize, per_user: usize) -> Vec<TrafficRequest>
     out
 }
 
+/// Long-tail traffic: the same wrapper mix as [`requests`], but every
+/// request draws its document from an effectively unbounded variant
+/// space (the request index itself), so documents almost never repeat
+/// and a content-addressed result cache almost always misses. This is
+/// the stream that exercises the extraction *miss path* — the workload
+/// behind the E15 compiled-plan experiment — where [`requests`]'s small
+/// variant pools exercise the hit path.
+pub fn long_tail_requests(seed: u64, users: usize, per_user: usize) -> Vec<TrafficRequest> {
+    let profiles = profiles();
+    let mut out = Vec::with_capacity(users * per_user);
+    for round in 0..per_user {
+        for user in 0..users {
+            let k = (user * per_user + round) as u64;
+            let w = (hash01(seed, k) * profiles.len() as f64) as usize % profiles.len();
+            let profile = &profiles[w];
+            out.push(TrafficRequest {
+                user,
+                wrapper: profile.name,
+                url: profile.entry_url.to_string(),
+                // Variant = stream position: unique per request, so each
+                // page's content is distinct (modulo hash luck).
+                html: page_for(profile.name, seed, k),
+            });
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,6 +185,38 @@ mod tests {
             }
         }
         assert!(repeats > 0, "traffic must repeat documents");
+    }
+
+    #[test]
+    fn long_tail_traffic_rarely_repeats_documents() {
+        let reqs = long_tail_requests(3, 16, 8);
+        assert_eq!(reqs.len(), 128);
+        assert_eq!(reqs, long_tail_requests(3, 16, 8), "deterministic");
+        let distinct: std::collections::HashSet<(&str, &str)> =
+            reqs.iter().map(|r| (r.wrapper, r.html.as_str())).collect();
+        assert!(
+            distinct.len() * 10 >= reqs.len() * 9,
+            "long-tail traffic must be ≥90% distinct documents, got {}/{}",
+            distinct.len(),
+            reqs.len()
+        );
+        // Still a mixed stream: every wrapper is drawn.
+        for p in profiles() {
+            assert!(reqs.iter().any(|r| r.wrapper == p.name));
+        }
+        // And the pages still extract.
+        for r in reqs.iter().take(10) {
+            let p = profiles()
+                .into_iter()
+                .find(|p| p.name == r.wrapper)
+                .unwrap();
+            let program = parse_program(p.program).unwrap();
+            let web = SinglePage {
+                url: r.url.clone(),
+                html: r.html.clone(),
+            };
+            assert!(!Extractor::new(program, &web).run().base.is_empty());
+        }
     }
 
     #[test]

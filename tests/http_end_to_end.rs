@@ -377,6 +377,191 @@ fn malformed_requests_map_to_4xx() {
 }
 
 #[test]
+fn deploy_time_compile_errors_surface_as_structured_400s() {
+    let server = Arc::new(ExtractionServer::start(
+        ServerConfig::default(),
+        Arc::new(WrapperRegistry::new()),
+        Arc::new(StaticWeb::new()),
+    ));
+    let gateway = HttpGateway::bind(
+        "127.0.0.1:0",
+        GatewayConfig {
+            handler_threads: 1,
+            idle_timeout: Duration::from_millis(500),
+            ..GatewayConfig::default()
+        },
+        server.clone(),
+    )
+    .unwrap();
+    let mut client = HttpClient::connect(gateway.addr()).unwrap();
+
+    let detail = |response: &lixto::http::HttpResponse| {
+        let parsed = response.json().expect("json body");
+        assert_eq!(
+            parsed.get("error").and_then(Json::as_str),
+            Some("bad_program")
+        );
+        parsed.get("detail").cloned().expect("detail object")
+    };
+
+    // Unknown parent pattern.
+    let r = client
+        .put_json(
+            "/wrappers/orphan",
+            r#"{"program":"x(S, X) :- ghost(_, S), subelem(S, (?.td, []), X)."}"#,
+        )
+        .unwrap();
+    assert_eq!(r.status, 400, "{}", r.text());
+    let d = detail(&r);
+    assert_eq!(d.get("kind").and_then(Json::as_str), Some("compile"));
+    assert_eq!(
+        d.get("code").and_then(Json::as_str),
+        Some("unknown_parent_pattern")
+    );
+    assert_eq!(d.get("pattern").and_then(Json::as_str), Some("x"));
+    assert_eq!(d.get("subject").and_then(Json::as_str), Some("ghost"));
+
+    // Unbound variable.
+    let r = client
+        .put_json(
+            "/wrappers/unbound",
+            r#"{"program":"x(S, X) :- document(\"http://u/\", S), subelem(S, (?.td, []), X), isCurrency(Z)."}"#,
+        )
+        .unwrap();
+    assert_eq!(r.status, 400);
+    let d = detail(&r);
+    assert_eq!(
+        d.get("code").and_then(Json::as_str),
+        Some("unbound_variable")
+    );
+    assert_eq!(d.get("subject").and_then(Json::as_str), Some("Z"));
+    assert_eq!(d.get("rule").and_then(Json::as_u64), Some(0));
+
+    // Bad concept reference.
+    let r = client
+        .put_json(
+            "/wrappers/noconcept",
+            r#"{"program":"x(S, X) :- document(\"http://u/\", S), subelem(S, (?.td, []), X), isUnicorn(X)."}"#,
+        )
+        .unwrap();
+    assert_eq!(r.status, 400);
+    let d = detail(&r);
+    assert_eq!(
+        d.get("code").and_then(Json::as_str),
+        Some("unknown_concept")
+    );
+    assert_eq!(d.get("subject").and_then(Json::as_str), Some("isUnicorn"));
+
+    // Parse errors keep their own structured shape.
+    let r = client
+        .put_json("/wrappers/unparsable", r#"{"program":"not elog ("}"#)
+        .unwrap();
+    assert_eq!(r.status, 400);
+    let d = detail(&r);
+    assert_eq!(d.get("kind").and_then(Json::as_str), Some("parse"));
+    assert!(d.get("at").and_then(Json::as_u64).is_some());
+
+    // Nothing was registered by any of the rejections.
+    assert!(server.registry().is_empty());
+    drop(client);
+    gateway.shutdown();
+    server.initiate_shutdown();
+}
+
+#[test]
+fn spooled_deploys_survive_a_server_restart() {
+    let spool = std::env::temp_dir().join(format!(
+        "lixto-http-spool-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&spool);
+    let body = http_traffic::extract_body(
+        "books_a",
+        "http://shop0/books",
+        &traffic::page_for("books_a", 5, 1),
+    );
+    let deploy = {
+        let profile = traffic::profiles().remove(0);
+        assert_eq!(profile.name, "books_a");
+        http_traffic::register_body(&profile)
+    };
+
+    // First life: deploy over HTTP onto a spooled registry and extract.
+    let first_xml = {
+        let registry = Arc::new(WrapperRegistry::with_spool(&spool).unwrap());
+        let server = Arc::new(ExtractionServer::start(
+            ServerConfig::default(),
+            registry,
+            Arc::new(StaticWeb::new()),
+        ));
+        let gateway = HttpGateway::bind(
+            "127.0.0.1:0",
+            GatewayConfig {
+                handler_threads: 1,
+                idle_timeout: Duration::from_millis(500),
+                ..GatewayConfig::default()
+            },
+            server.clone(),
+        )
+        .unwrap();
+        let mut client = HttpClient::connect(gateway.addr()).unwrap();
+        let put = client.put_json("/wrappers/books_a", &deploy).unwrap();
+        assert_eq!(put.status, 201, "{}", put.text());
+        let extract = client.post_json("/extract", &body).unwrap();
+        assert_eq!(extract.status, 200, "{}", extract.text());
+        let xml = extract
+            .json()
+            .unwrap()
+            .get("xml")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_string();
+        drop(client);
+        gateway.shutdown();
+        server.initiate_shutdown();
+        xml
+    };
+
+    // Second life: a fresh registry + pool + gateway on the same spool
+    // resumes with the deployed wrapper — no re-deploy.
+    let registry = Arc::new(WrapperRegistry::with_spool(&spool).unwrap());
+    let server = Arc::new(ExtractionServer::start(
+        ServerConfig::default(),
+        registry,
+        Arc::new(StaticWeb::new()),
+    ));
+    let gateway = HttpGateway::bind(
+        "127.0.0.1:0",
+        GatewayConfig {
+            handler_threads: 1,
+            idle_timeout: Duration::from_millis(500),
+            ..GatewayConfig::default()
+        },
+        server.clone(),
+    )
+    .unwrap();
+    let mut client = HttpClient::connect(gateway.addr()).unwrap();
+    let listing = client.get("/wrappers").unwrap();
+    assert!(
+        listing.text().contains(r#"{"name":"books_a","latest":1}"#),
+        "restarted catalog: {}",
+        listing.text()
+    );
+    let extract = client.post_json("/extract", &body).unwrap();
+    assert_eq!(extract.status, 200, "{}", extract.text());
+    assert_eq!(
+        extract.json().unwrap().get("xml").and_then(Json::as_str),
+        Some(first_xml.as_str()),
+        "the reloaded wrapper extracts byte-identically"
+    );
+    drop(client);
+    gateway.shutdown();
+    server.initiate_shutdown();
+    std::fs::remove_dir_all(&spool).unwrap();
+}
+
+#[test]
 fn pool_shutdown_while_handlers_hold_tickets_does_not_deadlock() {
     let registry = Arc::new(WrapperRegistry::new());
     registry

@@ -1,0 +1,158 @@
+//! Compiled-plan execution must be *result-identical* to the interpreted
+//! reference evaluator — instance for instance, byte for byte through the
+//! XML rendering — across the whole workload corpus (books / eBay / news
+//! / flights), on perturbed layouts, and on multi-page crawls. This is
+//! the safety net under the compile-once architecture: the plan executor
+//! may be arbitrarily cleverer than the AST walker, but never different.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use lixto::elog::{parse_program, ConceptRegistry, Extractor, StaticWeb, WebSource, WrapperPlan};
+use lixto::workloads::perturb;
+use lixto::workloads::traffic::{self, VARIANTS_PER_WRAPPER};
+use lixto_bench::workload_design;
+
+/// Run both engines over one (program, web) pair and demand identity of
+/// the full result, the pattern table, and the designed XML rendering.
+fn assert_engines_agree(
+    program_src: &str,
+    web: &dyn WebSource,
+    design: &lixto::core::XmlDesign,
+    context: &str,
+) {
+    let program = parse_program(program_src).expect("program parses");
+    let plan = std::sync::Arc::new(
+        WrapperPlan::compile(&program, &ConceptRegistry::builtin()).expect("program compiles"),
+    );
+    let interpreted = Extractor::new(program, web).run_interpreted();
+    let compiled = Extractor::from_plan(plan, web).run();
+    assert_eq!(
+        interpreted, compiled,
+        "{context}: extraction results diverged"
+    );
+    assert_eq!(
+        interpreted.patterns(),
+        compiled.patterns(),
+        "{context}: pattern tables diverged"
+    );
+    let interpreted_xml = lixto::xml::to_string(&lixto::core::to_xml(&interpreted, design));
+    let compiled_xml = lixto::xml::to_string(&lixto::core::to_xml(&compiled, design));
+    assert_eq!(
+        interpreted_xml, compiled_xml,
+        "{context}: XML renderings diverged"
+    );
+}
+
+#[test]
+fn corpus_sweep_all_wrappers_all_variants() {
+    for profile in traffic::profiles() {
+        let design = workload_design(&profile);
+        for seed in [1u64, 2026] {
+            for variant in 0..VARIANTS_PER_WRAPPER {
+                let web = lixto::elog::SinglePage {
+                    url: profile.entry_url.to_string(),
+                    html: traffic::page_for(profile.name, seed, variant),
+                };
+                assert_engines_agree(
+                    profile.program,
+                    &web,
+                    &design,
+                    &format!("{} seed {seed} variant {variant}", profile.name),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn long_tail_stream_is_engine_identical() {
+    let profiles: std::collections::HashMap<&str, _> = traffic::profiles()
+        .into_iter()
+        .map(|p| (p.name, p))
+        .collect();
+    for request in traffic::long_tail_requests(7, 8, 4) {
+        let profile = &profiles[request.wrapper];
+        let web = lixto::elog::SinglePage {
+            url: request.url.clone(),
+            html: request.html.clone(),
+        };
+        assert_engines_agree(
+            profile.program,
+            &web,
+            &workload_design(profile),
+            &format!("long-tail {}", request.wrapper),
+        );
+    }
+}
+
+#[test]
+fn crawling_wrapper_is_engine_identical() {
+    // Multi-page: exercises Document extraction, attrbind URL binding,
+    // the crawl fixpoint, and cross-document instances.
+    let mut web = StaticWeb::new();
+    web.put(
+        "http://start/",
+        "<body><a href='http://p2/'>next</a><a href='http://gone/'>dead</a><p>first</p></body>",
+    );
+    web.put(
+        "http://p2/",
+        "<body><a href='http://p3/'>more</a><p>second</p></body>",
+    );
+    web.put("http://p3/", "<body><p>third</p><td>$ 9</td></body>");
+    let program = r#"
+        page(S, X) :- document("http://start/", S), subelem(S, (?.body, []), X).
+        link(S, X) :- page(_, S), subelem(S, (?.a, []), X).
+        page(S, X) :- link(_, S), attrbind(S, href, U), document(U, X).
+        para(S, X) :- page(_, S), subelem(S, (?.p, []), X).
+        price(S, X) :- page(_, S), subelem(S, (?.td, [(elementtext, "\var[Y](\$|EUR)", regvar)]), X), isCurrency(Y).
+    "#;
+    let design = lixto::core::XmlDesign::new()
+        .root("crawl")
+        .auxiliary("link");
+    assert_engines_agree(program, &web, &design, "crawler");
+}
+
+#[test]
+fn ebay_figure5_program_is_engine_identical() {
+    // The paper's flagship program: subsq + before/after with binding +
+    // pattern references + subtext + concepts, all in one wrapper.
+    let web = lixto::elog::SinglePage {
+        url: "www.ebay.com/".to_string(),
+        html: traffic::page_for("ebay", 2026, 1),
+    };
+    let design = lixto::core::XmlDesign::new()
+        .root("auctions")
+        .auxiliary("tableseq");
+    assert_engines_agree(lixto::elog::EBAY_PROGRAM, &web, &design, "ebay");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random corpus point, randomly perturbed layout: the two engines
+    /// still agree byte for byte.
+    #[test]
+    fn perturbed_corpus_is_engine_identical(
+        which in 0usize..5,
+        seed in 0u64..1000,
+        variant in 0u64..VARIANTS_PER_WRAPPER,
+        perturbations in 0usize..4,
+    ) {
+        let profile = traffic::profiles().remove(which);
+        let page = traffic::page_for(profile.name, seed, variant);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xE15);
+        let mutated = perturb::apply_random(&page, perturbations, &mut rng);
+        let web = lixto::elog::SinglePage {
+            url: profile.entry_url.to_string(),
+            html: mutated,
+        };
+        assert_engines_agree(
+            profile.program,
+            &web,
+            &workload_design(&profile),
+            &format!("perturbed {} seed {seed}", profile.name),
+        );
+    }
+}
