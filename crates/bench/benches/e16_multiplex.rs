@@ -1,0 +1,141 @@
+//! E16: the multiplexed gateway — batched `/extract` vs per-request
+//! `POST /extract` on tiny documents (the framing-dominated regime the
+//! batch endpoint exists for), and mixed-workload throughput through
+//! the event-driven connection core.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lixto_core::XmlDesign;
+use lixto_elog::StaticWeb;
+use lixto_http::{GatewayConfig, HttpClient, HttpGateway};
+use lixto_server::{ExtractionServer, ServerConfig, WrapperRegistry};
+use lixto_workloads::http_traffic;
+
+const TINY_WRAPPER: &str =
+    r#"offer(S, X) :- document("http://tiny/", S), subelem(S, (?.li, []), X)."#;
+
+fn tiny_stack() -> (HttpGateway, Arc<ExtractionServer>) {
+    let registry = Arc::new(WrapperRegistry::new());
+    registry
+        .register_source("tiny", TINY_WRAPPER, XmlDesign::new().root("items"))
+        .unwrap();
+    let server = Arc::new(ExtractionServer::start(
+        ServerConfig {
+            shards: 2,
+            workers_per_shard: 1,
+            queue_capacity: 256,
+            cache_capacity: 64,
+        },
+        registry,
+        Arc::new(StaticWeb::new()),
+    ));
+    let gateway = HttpGateway::bind(
+        "127.0.0.1:0",
+        GatewayConfig {
+            event_loops: 2,
+            max_batch_items: 256,
+            ..GatewayConfig::default()
+        },
+        server.clone(),
+    )
+    .expect("bind gateway");
+    (gateway, server)
+}
+
+fn bench_batch_vs_individual(c: &mut Criterion) {
+    const REQUESTS: usize = 256;
+    let bodies = http_traffic::tiny_extract_bodies("tiny", "http://tiny/", REQUESTS, 16);
+
+    let mut g = c.benchmark_group("e16_tiny_docs");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.throughput(Throughput::Elements(REQUESTS as u64));
+
+    {
+        let (gateway, server) = tiny_stack();
+        let addr = gateway.addr();
+        g.bench_function(BenchmarkId::from_parameter("individual"), |b| {
+            let mut client = HttpClient::connect(addr).expect("connect");
+            b.iter(|| {
+                for body in &bodies {
+                    let response = client.post_json("/extract", body).expect("extract");
+                    assert_eq!(response.status, 200);
+                }
+            })
+        });
+        gateway.shutdown();
+        server.initiate_shutdown();
+    }
+
+    for batch_size in [16usize, 64] {
+        let (gateway, server) = tiny_stack();
+        let addr = gateway.addr();
+        let batches = http_traffic::batch_bodies(&bodies, batch_size);
+        g.bench_with_input(
+            BenchmarkId::new("batched", batch_size),
+            &batch_size,
+            |b, _| {
+                let mut client = HttpClient::connect(addr).expect("connect");
+                b.iter(|| {
+                    for batch in &batches {
+                        let response = client.post_json("/extract/batch", batch).expect("batch");
+                        assert_eq!(response.status, 200);
+                    }
+                })
+            },
+        );
+        gateway.shutdown();
+        server.initiate_shutdown();
+    }
+    g.finish();
+}
+
+fn bench_mixed_workload(c: &mut Criterion) {
+    const USERS: usize = 16;
+    const PER_USER: usize = 8;
+    let requests = http_traffic::requests(99, USERS, PER_USER);
+    let mut g = c.benchmark_group("e16_mixed_workload");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.throughput(Throughput::Elements(requests.len() as u64));
+    for clients in [4usize, 16] {
+        let server = Arc::new(ExtractionServer::start(
+            ServerConfig {
+                shards: 4,
+                workers_per_shard: 2,
+                queue_capacity: 128,
+                cache_capacity: 64,
+            },
+            lixto_bench::workload_registry(),
+            Arc::new(StaticWeb::new()),
+        ));
+        let gateway = HttpGateway::bind("127.0.0.1:0", GatewayConfig::default(), server.clone())
+            .expect("bind gateway");
+        let addr = gateway.addr();
+        g.bench_with_input(BenchmarkId::from_parameter(clients), &clients, |b, _| {
+            b.iter(|| {
+                std::thread::scope(|scope| {
+                    for chunk in requests.chunks(requests.len().div_ceil(clients)) {
+                        scope.spawn(move || {
+                            let mut client = HttpClient::connect(addr).expect("connect");
+                            for r in chunk {
+                                let response =
+                                    client.post_json("/extract", &r.body).expect("extract");
+                                assert_eq!(response.status, 200);
+                            }
+                        });
+                    }
+                })
+            })
+        });
+        gateway.shutdown();
+        server.initiate_shutdown();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_batch_vs_individual, bench_mixed_workload);
+criterion_main!(benches);

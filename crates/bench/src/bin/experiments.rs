@@ -62,6 +62,9 @@ fn main() {
     if want("e15_plan") {
         e15_plan_compile();
     }
+    if want("e16_multiplex") {
+        e16_multiplex();
+    }
 }
 
 /// A deep/wide synthetic document of ~n nodes (nested lists of tables).
@@ -1131,6 +1134,339 @@ fn e15_plan_compile() {
         wrapper_json.join(",\n")
     );
     let path = "BENCH_e15.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+/// E16: the event-driven gateway under three regimes the
+/// thread-per-connection design could not serve at once — thousands of
+/// mostly-idle keep-alive portal clients, the e14 mixed busy path (no
+/// regression allowed), and batched `/extract` on tiny documents.
+fn e16_multiplex() {
+    use lixto_http::{GatewayConfig, HttpClient, HttpGateway, Json};
+    use lixto_server::{ExtractionServer, ServerConfig, WrapperRegistry};
+    use std::io::{Read as _, Write as _};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    // ----------------------------------------------------------------
+    // Phase 1 — idle capacity: 2,000 concurrent keep-alive connections
+    // held by two event loops, every one of them live.
+    // ----------------------------------------------------------------
+    const IDLE_CONNS: usize = 2000;
+    const EVENT_LOOPS: usize = 2;
+
+    let pool_config = ServerConfig {
+        shards: 4,
+        workers_per_shard: 2,
+        queue_capacity: 128,
+        cache_capacity: 64,
+    };
+    let server = Arc::new(ExtractionServer::start(
+        pool_config.clone(),
+        lixto_bench::workload_registry(),
+        Arc::new(lixto_elog::StaticWeb::new()),
+    ));
+    let gateway = HttpGateway::bind(
+        "127.0.0.1:0",
+        GatewayConfig {
+            event_loops: EVENT_LOOPS,
+            max_connections_per_loop: IDLE_CONNS, // 2 loops → headroom over the target
+            idle_timeout: Duration::from_secs(300),
+            ..GatewayConfig::default()
+        },
+        server.clone(),
+    )
+    .expect("bind gateway");
+    let addr = gateway.addr();
+
+    let healthz = b"GET /healthz HTTP/1.1\r\nhost: e16\r\ncontent-length: 0\r\n\r\n";
+    let read_one_response = |socket: &mut std::net::TcpStream| -> bool {
+        let mut buf = [0u8; 1024];
+        let mut seen = Vec::new();
+        loop {
+            // One healthz response is < 1 KiB; read until the body's
+            // closing brace has arrived.
+            match socket.read(&mut buf) {
+                Ok(0) | Err(_) => return false,
+                Ok(n) => {
+                    seen.extend_from_slice(&buf[..n]);
+                    if seen.windows(15).any(|w| w == b"{\"status\":\"ok\"}") {
+                        return true;
+                    }
+                }
+            }
+        }
+    };
+
+    let t_open = Instant::now();
+    let mut idle_conns = Vec::with_capacity(IDLE_CONNS);
+    let mut served_on_open = 0usize;
+    for _ in 0..IDLE_CONNS {
+        let mut socket = std::net::TcpStream::connect(addr).expect("connect idle client");
+        socket
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("read timeout");
+        socket.write_all(healthz).expect("healthz");
+        served_on_open += usize::from(read_one_response(&mut socket));
+        idle_conns.push(socket);
+    }
+    let open_wall = t_open.elapsed();
+
+    // Sustained: with all 2,000 still open, sweep every connection with
+    // a second request — each must answer, proving none were dropped
+    // and the loops still serve under full occupancy.
+    let t_sweep = Instant::now();
+    let mut served_on_sweep = 0usize;
+    for socket in idle_conns.iter_mut() {
+        if socket.write_all(healthz).is_ok() {
+            served_on_sweep += usize::from(read_one_response(socket));
+        }
+    }
+    let sweep_wall = t_sweep.elapsed();
+
+    // And a busy probe *while* the 2,000 idle connections are parked:
+    // mixed extraction traffic must still flow.
+    let probe_requests = lixto_workloads::http_traffic::idle_portal_requests(7, 8, 16);
+    let t_probe = Instant::now();
+    let mut probe = HttpClient::connect(addr).expect("probe connect");
+    for r in &probe_requests {
+        let response = probe.post_json("/extract", &r.body).expect("probe extract");
+        assert_eq!(response.status, 200, "{}", response.text());
+    }
+    let probe_rps = probe_requests.len() as f64 / t_probe.elapsed().as_secs_f64();
+    drop(probe);
+    drop(idle_conns);
+    let idle_stats = gateway.stats();
+    gateway.shutdown();
+    server.initiate_shutdown();
+
+    let threads_total =
+        EVENT_LOOPS + 1 /* acceptor */ + pool_config.shards * pool_config.workers_per_shard;
+
+    // ----------------------------------------------------------------
+    // Phase 2 — busy path: the e14 mixed workload, compared against the
+    // committed thread-per-connection baseline in BENCH_e14.json.
+    // ----------------------------------------------------------------
+    const USERS: usize = 32;
+    const PER_USER: usize = 50;
+    let requests = lixto_workloads::http_traffic::requests(2026, USERS, PER_USER);
+    let mut busy_rows = Vec::new();
+    let mut busy_json = Vec::new();
+    let baseline: Option<Json> = std::fs::read_to_string("BENCH_e14.json")
+        .ok()
+        .and_then(|text| Json::parse(&text).ok());
+    let baseline_rps = |clients: usize| -> Option<f64> {
+        baseline
+            .as_ref()?
+            .get("runs")?
+            .as_array()?
+            .iter()
+            .find(|run| run.get("clients").and_then(Json::as_u64) == Some(clients as u64))?
+            .get("throughput_rps")?
+            .as_f64()
+    };
+    let mut worst_ratio = f64::INFINITY;
+    for clients in [2usize, 8, 16, 32] {
+        let server = Arc::new(ExtractionServer::start(
+            pool_config.clone(),
+            lixto_bench::workload_registry(),
+            Arc::new(lixto_elog::StaticWeb::new()),
+        ));
+        let gateway = HttpGateway::bind("127.0.0.1:0", GatewayConfig::default(), server.clone())
+            .expect("bind gateway");
+        let addr = gateway.addr();
+        let t = Instant::now();
+        std::thread::scope(|scope| {
+            for chunk in requests.chunks(requests.len().div_ceil(clients)) {
+                scope.spawn(move || {
+                    let mut client = HttpClient::connect(addr).expect("connect");
+                    for r in chunk {
+                        let response = client.post_json("/extract", &r.body).expect("extract");
+                        assert_eq!(response.status, 200, "{}", response.text());
+                    }
+                });
+            }
+        });
+        let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        let rps = requests.len() as f64 / (wall_ms / 1e3);
+        let base = baseline_rps(clients);
+        let ratio = base.map(|b| rps / b);
+        if let Some(r) = ratio {
+            worst_ratio = worst_ratio.min(r);
+        }
+        gateway.shutdown();
+        server.initiate_shutdown();
+        busy_rows.push(vec![
+            clients.to_string(),
+            requests.len().to_string(),
+            format!("{wall_ms:.1}"),
+            format!("{rps:.0}"),
+            base.map_or("n/a".into(), |b| format!("{b:.0}")),
+            ratio.map_or("n/a".into(), |r| format!("{r:.2}x")),
+        ]);
+        busy_json.push(format!(
+            r#"    {{"clients": {clients}, "requests": {}, "wall_ms": {wall_ms:.3}, "throughput_rps": {rps:.1}, "baseline_rps": {}, "vs_baseline": {}}}"#,
+            requests.len(),
+            base.map_or("null".into(), |b| format!("{b:.1}")),
+            ratio.map_or("null".into(), |r| format!("{r:.3}")),
+        ));
+    }
+
+    // ----------------------------------------------------------------
+    // Phase 3 — batch amortization: tiny documents, individually vs in
+    // `/extract/batch` payloads.
+    // ----------------------------------------------------------------
+    const TINY_WRAPPER: &str =
+        r#"offer(S, X) :- document("http://tiny/", S), subelem(S, (?.li, []), X)."#;
+    const TINY_REQUESTS: usize = 1024;
+    const BATCH_SIZE: usize = 32;
+    let tiny_stack = || {
+        let registry = Arc::new(WrapperRegistry::new());
+        registry
+            .register_source(
+                "tiny",
+                TINY_WRAPPER,
+                lixto_core::XmlDesign::new().root("items"),
+            )
+            .unwrap();
+        let server = Arc::new(ExtractionServer::start(
+            ServerConfig {
+                shards: 2,
+                workers_per_shard: 1,
+                queue_capacity: 256,
+                cache_capacity: 64,
+            },
+            registry,
+            Arc::new(lixto_elog::StaticWeb::new()),
+        ));
+        let gateway = HttpGateway::bind(
+            "127.0.0.1:0",
+            GatewayConfig {
+                max_batch_items: 256,
+                ..GatewayConfig::default()
+            },
+            server.clone(),
+        )
+        .expect("bind gateway");
+        (gateway, server)
+    };
+    let bodies = lixto_workloads::http_traffic::tiny_extract_bodies(
+        "tiny",
+        "http://tiny/",
+        TINY_REQUESTS,
+        16,
+    );
+
+    let individual_rps = {
+        let (gateway, server) = tiny_stack();
+        let mut client = HttpClient::connect(gateway.addr()).expect("connect");
+        let mut run = || {
+            for body in &bodies {
+                let response = client.post_json("/extract", body).expect("extract");
+                assert_eq!(response.status, 200);
+            }
+        };
+        run(); // warm pass (cold cache)
+        let t = Instant::now();
+        run(); // measured steady-state pass
+        let rps = bodies.len() as f64 / t.elapsed().as_secs_f64();
+        drop(client);
+        gateway.shutdown();
+        server.initiate_shutdown();
+        rps
+    };
+    let batch_rps = {
+        let (gateway, server) = tiny_stack();
+        let batches = lixto_workloads::http_traffic::batch_bodies(&bodies, BATCH_SIZE);
+        let mut client = HttpClient::connect(gateway.addr()).expect("connect");
+        let mut run = || {
+            for batch in &batches {
+                let response = client.post_json("/extract/batch", batch).expect("batch");
+                assert_eq!(response.status, 200, "{}", response.text());
+            }
+        };
+        run(); // warm pass
+        let t = Instant::now();
+        run(); // measured steady-state pass
+        let rps = bodies.len() as f64 / t.elapsed().as_secs_f64();
+        drop(client);
+        gateway.shutdown();
+        server.initiate_shutdown();
+        rps
+    };
+    let batch_speedup = batch_rps / individual_rps;
+
+    // ----------------------------------------------------------------
+    // Report
+    // ----------------------------------------------------------------
+    print_table(
+        "E16 — multiplexed gateway: idle capacity (2 event loops)",
+        &[
+            "connections",
+            "served@open",
+            "served@sweep",
+            "open ms",
+            "sweep ms",
+            "probe req/s",
+            "threads",
+        ],
+        &[vec![
+            IDLE_CONNS.to_string(),
+            served_on_open.to_string(),
+            served_on_sweep.to_string(),
+            format!("{:.0}", open_wall.as_secs_f64() * 1e3),
+            format!("{:.0}", sweep_wall.as_secs_f64() * 1e3),
+            format!("{probe_rps:.0}"),
+            threads_total.to_string(),
+        ]],
+    );
+    print_table(
+        "E16 — busy path: e14 mixed workload through the event-driven core",
+        &[
+            "clients",
+            "requests",
+            "wall ms",
+            "req/s",
+            "e14 baseline",
+            "ratio",
+        ],
+        &busy_rows,
+    );
+    print_table(
+        "E16 — tiny documents: batched vs per-request /extract",
+        &["mode", "requests", "req/s", "speedup"],
+        &[
+            vec![
+                "individual".into(),
+                TINY_REQUESTS.to_string(),
+                format!("{individual_rps:.0}"),
+                "1.00x".into(),
+            ],
+            vec![
+                format!("batch x{BATCH_SIZE}"),
+                TINY_REQUESTS.to_string(),
+                format!("{batch_rps:.0}"),
+                format!("{batch_speedup:.2}x"),
+            ],
+        ],
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e16_multiplex\",\n  \"idle\": {{\"connections\": {IDLE_CONNS}, \"event_loops\": {EVENT_LOOPS}, \"served_on_open\": {served_on_open}, \"served_on_sweep\": {served_on_sweep}, \"open_ms\": {:.1}, \"sweep_ms\": {:.1}, \"probe_rps_while_idle_held\": {probe_rps:.1}, \"threads_total\": {threads_total}, \"gateway_connections\": {}}},\n  \"busy\": [\n{}\n  ],\n  \"busy_worst_ratio_vs_e14\": {},\n  \"batch\": {{\"requests\": {TINY_REQUESTS}, \"batch_size\": {BATCH_SIZE}, \"individual_rps\": {individual_rps:.1}, \"batch_rps\": {batch_rps:.1}, \"speedup\": {batch_speedup:.3}}}\n}}\n",
+        open_wall.as_secs_f64() * 1e3,
+        sweep_wall.as_secs_f64() * 1e3,
+        idle_stats.connections,
+        busy_json.join(",\n"),
+        if worst_ratio.is_finite() {
+            format!("{worst_ratio:.3}")
+        } else {
+            "null".into()
+        },
+    );
+    let path = "BENCH_e16.json";
     match std::fs::write(path, &json) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),

@@ -1,61 +1,144 @@
-//! The HTTP gateway: a bounded acceptor + connection-handler thread pool
-//! serving the [`ExtractionServer`] over the wire.
+//! The HTTP gateway: an event-driven M:N connection multiplexer serving
+//! the [`ExtractionServer`] over the wire.
 //!
-//! Architecture mirrors the pool it fronts: one acceptor thread pushes
-//! accepted sockets into a bounded queue (a full queue blocks the
-//! acceptor, pushing overload back into the TCP backlog), N handler
-//! threads each own one connection at a time and serve keep-alive
-//! request sequences off it (pipelined requests included). Graceful
-//! shutdown stops the acceptor, lets every handler finish the request it
-//! is serving (responses switch to `Connection: close`), and joins all
-//! threads — in-flight extraction tickets resolve because the pool's own
-//! shutdown drains before tearing down (see
-//! [`ExtractionServer::initiate_shutdown`]).
+//! ## Architecture
+//!
+//! A small fixed set of **event-loop threads** (see
+//! [`GatewayConfig::event_loops`]) each owns many non-blocking sockets,
+//! driven by the dependency-free readiness module in
+//! [`poll`](crate::poll). One acceptor thread assigns each accepted
+//! connection to the least-loaded loop (bounded by
+//! [`GatewayConfig::max_connections_per_loop`]; past every cap the
+//! socket is refused with `503`) and wakes that loop through its
+//! self-pipe. An idle keep-alive session therefore costs a few hundred
+//! bytes of state, not a parked thread — thousands of mostly-idle
+//! portal clients fit in a handful of threads.
+//!
+//! Each connection is a little state machine layered on the incremental
+//! request parser in [`http`](crate::http):
+//!
+//! ```text
+//!             bytes in                 complete request
+//!   reading ───────────► (parse) ───────────────────────┐
+//!      ▲  ▲                │ /extract, /extract/batch    │ other routes
+//!      │  │                ▼                             ▼
+//!      │  │            dispatched ──────────────────► writing
+//!      │  │            (parked on pool tickets;          │
+//!      │  │             completion via self-pipe)        │ flushed
+//!      │  └──────────────────────────────────────────────┘ keep-alive
+//!      └── idle (empty buffer; evicted after `idle_timeout`)
+//! ```
+//!
+//! Extraction dispatch is **asynchronous**: the loop submits through the
+//! pool's [`try_submit_with_notify`](ExtractionServer::try_submit_with_notify)
+//! and parks the connection; when the job resolves, the worker's
+//! completion callback pushes a token into the loop's inbox and wakes
+//! its self-pipe. A slow extraction therefore never stalls unrelated
+//! connections sharing the loop, and a full shard queue surfaces as
+//! `429 Too Many Requests` immediately.
+//!
+//! Timeouts are threaded per state: `idle_timeout` evicts quiet
+//! keep-alive sessions, `read_timeout` bounds how long one request may
+//! take to arrive (a slow-loris client trickling bytes is answered
+//! `408` and closed, without ever pinning the loop), and
+//! `write_timeout` bounds a peer that stops reading its response.
+//!
+//! Graceful shutdown stops the acceptor, closes idle connections,
+//! flushes in-flight responses (switched to `Connection: close`), waits
+//! for parked extractions to resolve — the pool's own drain guarantees
+//! every ticket answers — and joins all threads.
 //!
 //! ## Endpoints
 //!
 //! | Method & path           | Body → response |
 //! |-------------------------|-----------------|
 //! | `POST /extract`         | `{"wrapper", "version"?, "url", "html"?}` → XML + pattern instances |
+//! | `POST /extract/batch`   | JSON array of `/extract` bodies → `{"count", "items": [{"status", "body"}]}`, partial failure preserved |
 //! | `PUT /wrappers/{name}`  | `{"program", "root"?, "auxiliary"?}` → registered version |
 //! | `GET /wrappers`         | the deployed catalog |
 //! | `GET /metrics`          | Prometheus text, or JSON with `Accept: application/json` |
 //! | `GET /healthz`          | liveness probe |
 //! | `POST /admin/shutdown`  | request graceful shutdown |
 //!
-//! `/extract` submits through the pool's non-blocking `try_submit`, so a
-//! full shard queue surfaces as `429 Too Many Requests` instead of
-//! stalling the handler — the client decides whether to retry.
+//! `POST /extract/batch` amortizes HTTP framing over tiny documents:
+//! one request carries many extraction items, each answered with the
+//! exact status and JSON body the equivalent individual `POST /extract`
+//! would have produced (so hits, misses, unknown wrappers and oversized
+//! items coexist in one response).
+//!
+//! ```text
+//! curl -X POST http://127.0.0.1:7878/extract/batch -d '[
+//!   {"wrapper":"news","url":"http://press/finance"},
+//!   {"wrapper":"ghost","url":"http://nowhere/"}
+//! ]'
+//! ```
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crossbeam_channel::{bounded, Receiver};
 use lixto_server::{
-    DeployError, ExtractionRequest, ExtractionResponse, ExtractionServer, MetricsSnapshot,
-    RequestSource, ServerError, WrapperSpec, XmlDesign,
+    DeployError, ExtractionRequest, ExtractionResponse, ExtractionServer, JobTicket,
+    MetricsSnapshot, RequestSource, ServerError, WrapperSpec, XmlDesign,
 };
 
-use crate::http::{parse_request, Limits, Request, RequestError, Response};
+use crate::http::{parse_request_with_body_limit, Limits, Request, RequestError, Response};
 use crate::json::{obj, Json};
+use crate::poll::{poll, PollFd, SelfPipe, POLLIN, POLLOUT};
 
 /// Sizing and protocol knobs for [`HttpGateway::bind`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GatewayConfig {
-    /// Connection-handler threads. Each owns one connection at a time,
-    /// so this bounds concurrent keep-alive sessions.
+    /// **Deprecated compatibility knob** from the thread-per-connection
+    /// gateway, where it bounded concurrent keep-alive sessions. It no
+    /// longer spawns handler threads; when [`event_loops`] is `0` it
+    /// seeds the event-loop count instead (clamped to 1..=4), so old
+    /// configurations keep working with the same or better concurrency.
+    ///
+    /// [`event_loops`]: GatewayConfig::event_loops
     pub handler_threads: usize,
-    /// Bounded queue of accepted-but-unclaimed sockets; a full queue
-    /// blocks the acceptor (overload spills into the TCP backlog).
+    /// **Deprecated compatibility knob**: the old bounded
+    /// accepted-socket queue. Admission is now governed by
+    /// [`max_connections_per_loop`](GatewayConfig::max_connections_per_loop);
+    /// this field is ignored.
     pub accept_backlog: usize,
-    /// Parser size limits.
+    /// Parser size limits (headers, single-request bodies). The batch
+    /// endpoint's body allowance is
+    /// [`max_batch_body_bytes`](GatewayConfig::max_batch_body_bytes).
     pub limits: Limits,
-    /// How long an idle keep-alive connection may sit between requests
-    /// before the handler closes it (also bounds shutdown latency).
+    /// How long an idle keep-alive connection (no partial request
+    /// buffered) may sit between requests before the loop closes it.
     pub idle_timeout: Duration,
+    /// Event-loop threads. Each owns many connections; `0` derives the
+    /// count from the deprecated
+    /// [`handler_threads`](GatewayConfig::handler_threads) (clamped to
+    /// 1..=4).
+    pub event_loops: usize,
+    /// Per-loop connection cap. With every loop at its cap, new
+    /// connections are refused with `503 server_busy` + close.
+    pub max_connections_per_loop: usize,
+    /// How long one request may take to arrive in full once its first
+    /// byte is in. A connection trickling bytes slower (slow loris) is
+    /// evicted with `408` and closed.
+    pub read_timeout: Duration,
+    /// How long a response flush may stay blocked on a peer that is not
+    /// reading before the connection is dropped.
+    pub write_timeout: Duration,
+    /// First sleep after a failed `accept(2)`; doubles per consecutive
+    /// failure (see [`AcceptBackoff`]).
+    pub accept_backoff_initial: Duration,
+    /// Upper bound for the accept-error backoff sleep.
+    pub accept_backoff_max: Duration,
+    /// Maximum items in one `POST /extract/batch` request.
+    pub max_batch_items: usize,
+    /// Body-size allowance for `POST /extract/batch` (the batch carries
+    /// many documents, so the single-request
+    /// [`Limits::max_body_bytes`] would be too tight; individual items
+    /// are still checked against the single-request limit).
+    pub max_batch_body_bytes: usize,
 }
 
 impl Default for GatewayConfig {
@@ -65,7 +148,73 @@ impl Default for GatewayConfig {
             accept_backlog: 64,
             limits: Limits::default(),
             idle_timeout: Duration::from_secs(5),
+            event_loops: 0,
+            max_connections_per_loop: 4096,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            accept_backoff_initial: Duration::from_millis(1),
+            accept_backoff_max: Duration::from_millis(200),
+            max_batch_items: 64,
+            max_batch_body_bytes: 8 * 1024 * 1024,
         }
+    }
+}
+
+impl GatewayConfig {
+    /// The effective event-loop count, honoring the deprecated
+    /// [`handler_threads`](GatewayConfig::handler_threads) mapping.
+    pub fn effective_event_loops(&self) -> usize {
+        if self.event_loops > 0 {
+            self.event_loops
+        } else {
+            self.handler_threads.clamp(1, 4)
+        }
+    }
+}
+
+/// Bounded, reset-on-success exponential backoff for `accept(2)`
+/// failures (`ECONNABORTED` mid-handshake, momentary `EMFILE`): the
+/// acceptor must survive transient errors without spinning a core, yet
+/// return to full accept rate the moment the condition clears.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AcceptBackoff {
+    initial: Duration,
+    max: Duration,
+    current: Option<Duration>,
+}
+
+impl AcceptBackoff {
+    /// A backoff sleeping `initial` after the first failure, doubling
+    /// per consecutive failure, never exceeding `max` (which is raised
+    /// to `initial` if misconfigured below it).
+    pub fn new(initial: Duration, max: Duration) -> AcceptBackoff {
+        let initial = initial.max(Duration::from_micros(100));
+        AcceptBackoff {
+            initial,
+            max: max.max(initial),
+            current: None,
+        }
+    }
+
+    /// A successful accept clears the streak: the next failure starts
+    /// back at the initial sleep.
+    pub fn on_success(&mut self) {
+        self.current = None;
+    }
+
+    /// Record a failure and return how long to sleep before retrying.
+    pub fn on_error(&mut self) -> Duration {
+        let next = match self.current {
+            None => self.initial,
+            Some(cur) => cur.saturating_mul(2).min(self.max),
+        };
+        self.current = Some(next);
+        next
+    }
+
+    /// Whether the last event was a failure (a sleep is in effect).
+    pub fn is_backing_off(&self) -> bool {
+        self.current.is_some()
     }
 }
 
@@ -83,9 +232,46 @@ pub struct GatewayStats {
     pub responses_5xx: u64,
 }
 
+/// A completion token: which connection slot (and which incarnation of
+/// it) a resolved extraction ticket belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Completion {
+    slot: usize,
+    generation: u64,
+}
+
+/// Cross-thread mailbox of one event loop: the acceptor pushes adopted
+/// sockets, pool workers push completion tokens, shutdown raises
+/// `stop` — each followed by a self-pipe wake.
+#[derive(Default)]
+struct Inbox {
+    accepted: Vec<TcpStream>,
+    completions: Vec<Completion>,
+    stop: bool,
+}
+
+/// The shared half of one event loop (the loop thread owns the
+/// connections themselves).
+struct LoopShared {
+    pipe: SelfPipe,
+    inbox: Mutex<Inbox>,
+    /// Connections currently assigned (incremented by the acceptor at
+    /// assignment, decremented by the loop on close) — the
+    /// least-loaded-loop placement key and the per-loop cap gauge.
+    load: AtomicUsize,
+}
+
+impl LoopShared {
+    fn wake_with(&self, f: impl FnOnce(&mut Inbox)) {
+        f(&mut self.inbox.lock().expect("loop inbox poisoned"));
+        self.pipe.wake();
+    }
+}
+
 struct SharedGateway {
     server: Arc<ExtractionServer>,
     config: GatewayConfig,
+    loops: Vec<Arc<LoopShared>>,
     stop: AtomicBool,
     shutdown_requested: Mutex<bool>,
     shutdown_cv: Condvar,
@@ -104,6 +290,18 @@ impl SharedGateway {
             responses_5xx: self.responses_5xx.load(Ordering::Relaxed),
         }
     }
+
+    /// Raise the stop flag and wake every loop so the drain begins.
+    fn begin_stop(&self) {
+        self.stop.store(true, Ordering::Release);
+        for event_loop in &self.loops {
+            event_loop.wake_with(|inbox| inbox.stop = true);
+        }
+    }
+
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
 }
 
 /// The running HTTP front-end. Dropping it without calling
@@ -113,27 +311,38 @@ pub struct HttpGateway {
     addr: SocketAddr,
     shared: Arc<SharedGateway>,
     acceptor: Option<std::thread::JoinHandle<()>>,
-    handlers: Vec<std::thread::JoinHandle<()>>,
+    loops: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl HttpGateway {
     /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
-    /// start the acceptor + handler pool serving `server`.
+    /// start the acceptor + event loops serving `server`.
     pub fn bind(
         addr: impl ToSocketAddrs,
         config: GatewayConfig,
         server: Arc<ExtractionServer>,
     ) -> std::io::Result<HttpGateway> {
         let config = GatewayConfig {
-            handler_threads: config.handler_threads.max(1),
-            accept_backlog: config.accept_backlog.max(1),
+            max_connections_per_loop: config.max_connections_per_loop.max(1),
+            max_batch_items: config.max_batch_items.max(1),
             ..config
         };
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        let loop_count = config.effective_event_loops();
+        let loop_shared: Vec<Arc<LoopShared>> = (0..loop_count)
+            .map(|_| {
+                Ok(Arc::new(LoopShared {
+                    pipe: SelfPipe::new()?,
+                    inbox: Mutex::new(Inbox::default()),
+                    load: AtomicUsize::new(0),
+                }))
+            })
+            .collect::<std::io::Result<_>>()?;
         let shared = Arc::new(SharedGateway {
             server,
-            config: config.clone(),
+            config,
+            loops: loop_shared,
             stop: AtomicBool::new(false),
             shutdown_requested: Mutex::new(false),
             shutdown_cv: Condvar::new(),
@@ -142,55 +351,28 @@ impl HttpGateway {
             responses_4xx: AtomicU64::new(0),
             responses_5xx: AtomicU64::new(0),
         });
-        let (conn_tx, conn_rx) = bounded::<TcpStream>(config.accept_backlog);
+        let loops = (0..loop_count)
+            .map(|i| {
+                let ls = shared.loops[i].clone();
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("lixto-http-loop-{i}"))
+                    .spawn(move || EventLoop::new(ls, shared).run())
+                    .expect("spawn event loop")
+            })
+            .collect();
         let acceptor = {
             let shared = shared.clone();
             std::thread::Builder::new()
                 .name("lixto-http-acceptor".to_string())
-                .spawn(move || {
-                    // conn_tx lives (only) here: when this loop exits the
-                    // sender drops, the queue drains, and the handlers'
-                    // recv() disconnects — that is the drain signal.
-                    loop {
-                        match listener.accept() {
-                            Ok((stream, _)) => {
-                                if shared.stop.load(Ordering::Acquire) {
-                                    break; // the stream is the shutdown wake-up
-                                }
-                                if conn_tx.send(stream).is_err() {
-                                    break;
-                                }
-                            }
-                            Err(_) => {
-                                // Transient (ECONNABORTED mid-handshake,
-                                // momentary EMFILE): intake must survive.
-                                // Back off briefly so a persistent error
-                                // cannot spin a core.
-                                if shared.stop.load(Ordering::Acquire) {
-                                    break;
-                                }
-                                std::thread::sleep(Duration::from_millis(10));
-                            }
-                        }
-                    }
-                })
+                .spawn(move || acceptor_loop(listener, shared))
                 .expect("spawn acceptor")
         };
-        let handlers = (0..config.handler_threads)
-            .map(|i| {
-                let conn_rx = conn_rx.clone();
-                let shared = shared.clone();
-                std::thread::Builder::new()
-                    .name(format!("lixto-http-handler-{i}"))
-                    .spawn(move || handler_loop(conn_rx, shared))
-                    .expect("spawn handler")
-            })
-            .collect();
         Ok(HttpGateway {
             addr: local_addr,
             shared,
             acceptor: Some(acceptor),
-            handlers,
+            loops,
         })
     }
 
@@ -222,13 +404,15 @@ impl HttpGateway {
         }
     }
 
-    /// Graceful shutdown: stop accepting, serve what is in flight (each
-    /// handler finishes its current request and closes), join every
-    /// thread, and return the final counters. The extraction pool is
-    /// *not* shut down — it may be shared; call
-    /// [`ExtractionServer::initiate_shutdown`] separately.
+    /// Graceful shutdown: stop accepting, close idle connections, flush
+    /// what is in flight (responses switch to `Connection: close`), let
+    /// parked extractions resolve, join every thread, and return the
+    /// final counters. The extraction pool is *not* shut down — it may
+    /// be shared; call [`ExtractionServer::initiate_shutdown`]
+    /// separately (before or after this call — parked tickets resolve
+    /// either way).
     pub fn shutdown(mut self) -> GatewayStats {
-        self.shared.stop.store(true, Ordering::Release);
+        self.shared.begin_stop();
         // Wake the acceptor out of its blocking accept(). A wildcard
         // bind address (0.0.0.0 / ::) is not connectable everywhere, so
         // aim the wake-up at loopback on the bound port.
@@ -246,20 +430,108 @@ impl HttpGateway {
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
-        for handler in self.handlers.drain(..) {
-            let _ = handler.join();
+        for event_loop in self.loops.drain(..) {
+            let _ = event_loop.join();
+        }
+        // Close the shutdown race: the acceptor may have assigned a
+        // socket to a loop after that loop drained its inbox for the
+        // last time. Nobody will poll those inboxes again — refuse any
+        // stranded socket with a 503 instead of leaving its client to
+        // hang.
+        for event_loop in &self.shared.loops {
+            let stranded = std::mem::take(
+                &mut event_loop
+                    .inbox
+                    .lock()
+                    .expect("loop inbox poisoned")
+                    .accepted,
+            );
+            for stream in stranded {
+                refuse_busy(stream, &self.shared);
+            }
         }
         self.shared.stats()
     }
 }
 
-fn handler_loop(conn_rx: Receiver<TcpStream>, shared: Arc<SharedGateway>) {
-    // Keep draining queued connections even while stopping: they were
-    // accepted, so they get served (with `Connection: close`).
-    while let Ok(stream) = conn_rx.recv() {
-        shared.connections.fetch_add(1, Ordering::Relaxed);
-        let _ = serve_connection(stream, &shared);
+fn acceptor_loop(listener: TcpListener, shared: Arc<SharedGateway>) {
+    let mut backoff = AcceptBackoff::new(
+        shared.config.accept_backoff_initial,
+        shared.config.accept_backoff_max,
+    );
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                backoff.on_success();
+                if shared.stopping() {
+                    // Usually this stream is shutdown's own wake-up
+                    // connect — but it may be a real client that raced
+                    // the stop flag. Answer 503 either way (the wake-up
+                    // connect never reads it) instead of a bare reset;
+                    // uncounted, so every normal shutdown does not
+                    // register a phantom request.
+                    write_busy(stream);
+                    break;
+                }
+                assign_connection(stream, &shared);
+            }
+            Err(_) => {
+                // Transient (ECONNABORTED mid-handshake, momentary
+                // EMFILE): intake must survive, but a persistent error
+                // must not spin a core — sleep the bounded, doubling,
+                // reset-on-success backoff.
+                if shared.stopping() {
+                    break;
+                }
+                std::thread::sleep(backoff.on_error());
+            }
+        }
     }
+}
+
+/// Hand `stream` to the least-loaded event loop, or refuse it with a
+/// `503` when every loop is at its connection cap. Only assigned
+/// connections count toward [`GatewayStats::connections`] — refusals
+/// surface in the request/5xx counters instead.
+fn assign_connection(stream: TcpStream, shared: &SharedGateway) {
+    let cap = shared.config.max_connections_per_loop;
+    let target = shared
+        .loops
+        .iter()
+        .map(|l| (l.load.load(Ordering::Relaxed), l))
+        .filter(|(load, _)| *load < cap)
+        .min_by_key(|(load, _)| *load);
+    match target {
+        Some((_, event_loop)) => {
+            shared.connections.fetch_add(1, Ordering::Relaxed);
+            event_loop.load.fetch_add(1, Ordering::Relaxed);
+            event_loop.wake_with(|inbox| inbox.accepted.push(stream));
+        }
+        None => refuse_busy(stream, shared),
+    }
+}
+
+/// Answer `503` inline (short blocking write with a timeout so a dead
+/// peer cannot stall the caller) and close, counting the response.
+fn refuse_busy(stream: TcpStream, shared: &SharedGateway) {
+    count_response(shared, 503);
+    write_busy(stream);
+}
+
+/// The `503` wire write of [`refuse_busy`], without counter updates —
+/// for shutdown paths where the peer may be the gateway's own wake-up
+/// connect.
+fn write_busy(mut stream: TcpStream) {
+    let response = Response::error(
+        503,
+        "server_busy",
+        "connection limit reached; retry shortly",
+    )
+    .with_header("retry-after", "1");
+    let mut out = Vec::with_capacity(256);
+    response.write_to(&mut out, false);
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let _ = stream.write_all(&out);
 }
 
 fn count_response(shared: &SharedGateway, status: u16) {
@@ -271,92 +543,884 @@ fn count_response(shared: &SharedGateway, status: u16) {
     }
 }
 
-fn serve_connection(mut stream: TcpStream, shared: &SharedGateway) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(shared.config.idle_timeout))?;
-    stream.set_nodelay(true)?;
-    let mut buf: Vec<u8> = Vec::with_capacity(4096);
-    let mut out: Vec<u8> = Vec::with_capacity(4096);
-    // Whether the current (incomplete) request already got its interim
-    // `100 Continue`; reset when a request completes.
-    let mut continued = false;
-    loop {
-        match parse_request(&buf, &shared.config.limits) {
-            Ok(Some((request, consumed))) => {
-                buf.drain(..consumed);
-                continued = false;
-                let response = route(&request, shared);
-                // Re-check stop *after* routing: /admin/shutdown flips it
-                // and its own response must already say close.
-                let keep_alive = request.keep_alive() && !shared.stop.load(Ordering::Acquire);
-                count_response(shared, response.status);
-                out.clear();
-                response.write_to(&mut out, keep_alive);
-                stream.write_all(&out)?;
-                if !keep_alive {
-                    return Ok(());
+// ---------------------------------------------------------------------
+// Per-connection state machine
+// ---------------------------------------------------------------------
+
+/// One parked extraction item of a dispatched request.
+enum DispatchItem {
+    /// Resolved synchronously (parse error, submission error, oversized
+    /// item): the status and JSON body to answer with.
+    Ready(u16, Json),
+    /// Parked on a pool ticket; redeemed when its completion arrives.
+    Pending(JobTicket),
+}
+
+/// A connection parked on extraction work.
+struct Dispatch {
+    /// Tickets whose completion callback has not fired yet.
+    outstanding: usize,
+    items: Vec<DispatchItem>,
+    /// `POST /extract/batch` (per-item envelope) vs `POST /extract`
+    /// (the single item's body *is* the response body).
+    batch: bool,
+    /// Connection persistence decided from the request at dispatch time
+    /// (re-checked against the stop flag when the response is built).
+    keep_alive: bool,
+    /// The single-item 429 carries a `retry-after` header; remembered
+    /// here because synchronous rejections also park briefly as
+    /// `Ready` items.
+    retry_after: bool,
+}
+
+enum ConnState {
+    /// Waiting for (more of) a request; an empty buffer means idle
+    /// keep-alive.
+    Reading,
+    /// A complete request is parked on the extraction pool.
+    Dispatched(Dispatch),
+    /// A response is being flushed; parsing resumes once it is out.
+    Writing,
+}
+
+struct Conn {
+    stream: TcpStream,
+    generation: u64,
+    state: ConnState,
+    /// Bytes received but not yet consumed by the parser.
+    buf: Vec<u8>,
+    /// Bytes to send; `written` of them already went out.
+    out: Vec<u8>,
+    written: usize,
+    close_after_write: bool,
+    /// Whether the current (incomplete) request already got its interim
+    /// `100 Continue`.
+    continued: bool,
+    /// Bytes of an oversized-but-drainable body still to swallow.
+    discard: usize,
+    /// The peer half-closed its write side: whatever is buffered is all
+    /// there will ever be. Buffered complete requests are still served
+    /// (the peer may be reading); the connection closes once the parser
+    /// needs bytes that cannot come.
+    peer_eof: bool,
+    /// When the first byte of the current partial request arrived —
+    /// the slow-loris clock ([`GatewayConfig::read_timeout`]).
+    read_started: Option<Instant>,
+    /// Last moment the connection went idle (empty buffer, nothing in
+    /// flight) — the keep-alive clock ([`GatewayConfig::idle_timeout`]).
+    idle_since: Instant,
+    /// When the bytes currently in `out` started flushing.
+    write_started: Instant,
+}
+
+impl Conn {
+    fn adopt(stream: TcpStream, generation: u64) -> std::io::Result<Conn> {
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true)?;
+        Ok(Conn {
+            stream,
+            generation,
+            state: ConnState::Reading,
+            buf: Vec::new(),
+            out: Vec::new(),
+            written: 0,
+            close_after_write: false,
+            continued: false,
+            discard: 0,
+            peer_eof: false,
+            read_started: None,
+            idle_since: Instant::now(),
+            write_started: Instant::now(),
+        })
+    }
+
+    /// Poll interest for the current state: readable while parsing,
+    /// writable while anything is queued to send (including an interim
+    /// `100 Continue` racing a body), nothing while purely parked.
+    fn interest(&self) -> i16 {
+        let mut events = 0i16;
+        if matches!(self.state, ConnState::Reading) {
+            events |= POLLIN;
+        }
+        if self.written < self.out.len() {
+            events |= POLLOUT;
+        }
+        events
+    }
+
+    /// The instant at which this connection times out in its current
+    /// state, if any (a parked connection with nothing to flush waits
+    /// on the pool alone).
+    fn deadline(&self, config: &GatewayConfig) -> Option<Instant> {
+        if self.written < self.out.len() {
+            return Some(self.write_started + config.write_timeout);
+        }
+        match self.state {
+            ConnState::Reading => {
+                if self.buf.is_empty() && self.discard == 0 {
+                    Some(self.idle_since + config.idle_timeout)
+                } else {
+                    Some(self.read_started.unwrap_or(self.idle_since) + config.read_timeout)
                 }
-                continue; // serve pipelined bytes before reading again
             }
-            Ok(None) => {
-                // Headers complete but body pending: honor
-                // `Expect: 100-continue` so clients (curl with a body
-                // over 1 KiB, for one) send the body immediately instead
-                // of waiting out their expect timeout.
-                if !continued {
-                    if let Some(end) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
-                        if contains_ignore_ascii_case(&buf[..end], b"100-continue") {
-                            stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n")?;
-                        }
-                        continued = true; // scan the header section once
-                    }
+            ConnState::Dispatched(_) | ConnState::Writing => None,
+        }
+    }
+
+    /// Queue `response` (appending after any pending interim bytes) and
+    /// enter the writing state.
+    fn queue_response(&mut self, response: &Response, keep_alive: bool) {
+        if self.out.is_empty() {
+            self.write_started = Instant::now();
+        }
+        response.write_to(&mut self.out, keep_alive);
+        self.close_after_write = !keep_alive;
+        self.state = ConnState::Writing;
+    }
+}
+
+/// Capacity a connection may keep across requests; a buffer that grew
+/// past this for one large request/response is shrunk back once empty,
+/// so long-lived keep-alive sessions do not pin their peak allocation
+/// forever (idle connections must stay cheap).
+const RETAINED_BUF_BYTES: usize = 64 * 1024;
+
+fn shrink_if_bloated(buf: &mut Vec<u8>) {
+    if buf.is_empty() && buf.capacity() > RETAINED_BUF_BYTES {
+        buf.shrink_to(RETAINED_BUF_BYTES);
+    }
+}
+
+/// What to do with a connection after an event was handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Action {
+    Keep,
+    Close,
+}
+
+enum FlushResult {
+    Done,
+    Partial,
+    Closed,
+}
+
+struct EventLoop {
+    ls: Arc<LoopShared>,
+    shared: Arc<SharedGateway>,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    live: usize,
+    next_generation: u64,
+    stopping: bool,
+}
+
+impl EventLoop {
+    fn new(ls: Arc<LoopShared>, shared: Arc<SharedGateway>) -> EventLoop {
+        EventLoop {
+            ls,
+            shared,
+            conns: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            next_generation: 0,
+            stopping: false,
+        }
+    }
+
+    fn run(mut self) {
+        let mut pollfds: Vec<PollFd> = Vec::new();
+        let mut slot_of: Vec<usize> = Vec::new();
+        loop {
+            self.drain_inbox();
+            if self.stopping {
+                self.sweep_for_stop();
+                if self.live == 0 {
+                    return;
                 }
             }
-            Err(error) => {
-                // Answer before draining: an `Expect: 100-continue`
-                // client is holding its body back waiting for us, and
-                // the 413 is what tells it to stop.
-                let plan = drain_plan(&error, buf.len());
-                let keep_alive = plan.is_some() && !shared.stop.load(Ordering::Acquire);
-                let response =
-                    Response::error(error.status(), error_code(&error), &error.message());
-                count_response(shared, response.status);
-                out.clear();
-                response.write_to(&mut out, keep_alive);
-                stream.write_all(&out)?;
-                let Some(plan) = plan.filter(|_| keep_alive) else {
-                    return Ok(());
-                };
-                if !discard_from_stream(&mut stream, plan.from_stream)? {
-                    return Ok(()); // body never arrived in full: close
+            // Build the interest set: the self-pipe first, then every
+            // connection that wants events in its current state.
+            pollfds.clear();
+            slot_of.clear();
+            pollfds.push(PollFd::new(self.ls.pipe.read_fd(), POLLIN));
+            let mut deadline: Option<Instant> = None;
+            for (slot, conn) in self.conns.iter().enumerate() {
+                let Some(conn) = conn else { continue };
+                let events = conn.interest();
+                if events != 0 {
+                    pollfds.push(PollFd::new(conn.stream.as_raw_fd(), events));
+                    slot_of.push(slot);
                 }
-                // Drop only the oversized request's bytes: anything after
-                // them is the next pipelined request and must survive.
-                buf.drain(..plan.from_buffer);
-                continued = false;
-                continue;
+                if let Some(d) = conn.deadline(&self.shared.config) {
+                    deadline = Some(deadline.map_or(d, |cur: Instant| cur.min(d)));
+                }
+            }
+            let timeout = deadline.map(|d| d.saturating_duration_since(Instant::now()));
+            if poll(&mut pollfds, timeout).is_err() {
+                // poll(2) only fails for EINVAL-class reasons here; back
+                // off rather than spin.
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            if pollfds[0].readable() {
+                self.ls.pipe.drain();
+            }
+            for (i, slot) in slot_of.iter().enumerate() {
+                let pfd = &pollfds[i + 1];
+                if pfd.revents() == 0 {
+                    continue;
+                }
+                self.handle_ready(*slot, pfd.readable(), pfd.writable());
+            }
+            self.expire_deadlines();
+        }
+    }
+
+    fn drain_inbox(&mut self) {
+        let (accepted, completions, stop) = {
+            let mut inbox = self.ls.inbox.lock().expect("loop inbox poisoned");
+            (
+                std::mem::take(&mut inbox.accepted),
+                std::mem::take(&mut inbox.completions),
+                inbox.stop,
+            )
+        };
+        if stop {
+            self.stopping = true;
+        }
+        for stream in accepted {
+            self.adopt(stream);
+        }
+        for completion in completions {
+            self.handle_completion(completion);
+        }
+    }
+
+    fn adopt(&mut self, stream: TcpStream) {
+        if self.stopping {
+            // Raced shutdown: the acceptor assigned it before observing
+            // stop. Refuse rather than strand it unserved.
+            self.ls.load.fetch_sub(1, Ordering::Relaxed);
+            refuse_busy(stream, &self.shared);
+            return;
+        }
+        self.next_generation += 1;
+        let conn = match Conn::adopt(stream, self.next_generation) {
+            Ok(conn) => conn,
+            Err(_) => {
+                self.ls.load.fetch_sub(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.conns[slot] = Some(conn);
+                slot
+            }
+            None => {
+                self.conns.push(Some(conn));
+                self.conns.len() - 1
+            }
+        };
+        self.live += 1;
+        // The first request's bytes are usually already in flight;
+        // serving them now saves a poll round trip.
+        self.handle_ready(slot, true, false);
+    }
+
+    fn release(&mut self, slot: usize) {
+        if self.conns[slot].take().is_some() {
+            self.free.push(slot);
+            self.live -= 1;
+            self.ls.load.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Run a connection's event handler with the connection temporarily
+    /// taken out of the slot (so handlers can borrow the loop's shared
+    /// context freely), then apply the resulting action.
+    fn with_conn(&mut self, slot: usize, f: impl FnOnce(&mut Conn, &ConnCtx) -> Action) {
+        let Some(mut conn) = self.conns[slot].take() else {
+            return;
+        };
+        let ctx = ConnCtx {
+            shared: &self.shared,
+            ls: &self.ls,
+            slot,
+        };
+        match f(&mut conn, &ctx) {
+            Action::Keep => self.conns[slot] = Some(conn),
+            Action::Close => {
+                self.conns[slot] = Some(conn);
+                self.release(slot);
             }
         }
-        let mut chunk = [0u8; 16 * 1024];
-        match stream.read(&mut chunk) {
-            Ok(0) => return Ok(()), // peer closed
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                return Ok(()); // idle keep-alive connection: close it
+    }
+
+    fn handle_ready(&mut self, slot: usize, readable: bool, writable: bool) {
+        self.with_conn(slot, |conn, ctx| {
+            if readable && matches!(conn.state, ConnState::Reading) {
+                on_readable(conn, ctx)
+            } else if writable {
+                pump(conn, ctx)
+            } else {
+                Action::Keep
             }
-            Err(e) => return Err(e),
+        });
+    }
+
+    fn handle_completion(&mut self, completion: Completion) {
+        let Completion { slot, generation } = completion;
+        if slot >= self.conns.len() {
+            return;
+        }
+        let matches_conn = self.conns[slot]
+            .as_ref()
+            .is_some_and(|c| c.generation == generation);
+        if !matches_conn {
+            return; // stale token: the connection died while parked
+        }
+        self.with_conn(slot, |conn, ctx| {
+            let ConnState::Dispatched(dispatch) = &mut conn.state else {
+                return Action::Keep; // defensive: token raced a state change
+            };
+            dispatch.outstanding = dispatch.outstanding.saturating_sub(1);
+            if dispatch.outstanding > 0 {
+                return Action::Keep;
+            }
+            assemble_response(conn, ctx);
+            pump(conn, ctx)
+        });
+    }
+
+    /// Under shutdown: close idle and mid-request connections (serving
+    /// a fully buffered request first, with `Connection: close`), keep
+    /// flushing and parked connections until they resolve.
+    fn sweep_for_stop(&mut self) {
+        for slot in 0..self.conns.len() {
+            let quiescent = self.conns[slot]
+                .as_ref()
+                .is_some_and(|c| matches!(c.state, ConnState::Reading) && c.out.is_empty());
+            if !quiescent {
+                continue;
+            }
+            self.with_conn(slot, |conn, ctx| {
+                if pump(conn, ctx) == Action::Close {
+                    return Action::Close;
+                }
+                // Still reading with nothing to send: no complete
+                // request is pending — close rather than wait out the
+                // idle timeout.
+                if matches!(conn.state, ConnState::Reading) && conn.out.is_empty() {
+                    return Action::Close;
+                }
+                Action::Keep
+            });
+        }
+    }
+
+    fn expire_deadlines(&mut self) {
+        let now = Instant::now();
+        for slot in 0..self.conns.len() {
+            let Some(conn) = self.conns[slot].as_ref() else {
+                continue;
+            };
+            let Some(deadline) = conn.deadline(&self.shared.config) else {
+                continue;
+            };
+            if now < deadline {
+                continue;
+            }
+            self.with_conn(slot, |conn, ctx| {
+                if conn.written < conn.out.len() {
+                    return Action::Close; // peer stopped reading its response
+                }
+                if conn.buf.is_empty() && conn.discard == 0 {
+                    return Action::Close; // idle keep-alive: quiet close
+                }
+                if conn.discard > 0 {
+                    // Stalled mid-drain of an oversized body: that
+                    // request was already answered (the early 413), so
+                    // give up on the connection without a second
+                    // response.
+                    return Action::Close;
+                }
+                // Mid-request stall (slow loris): evict loudly so the
+                // client knows, then close.
+                let response =
+                    Response::error(408, "request_timeout", "request did not arrive in time");
+                count_response(ctx.shared, response.status);
+                conn.queue_response(&response, false);
+                pump(conn, ctx)
+            });
         }
     }
 }
 
+/// Everything a connection handler needs besides the connection itself.
+struct ConnCtx<'a> {
+    shared: &'a SharedGateway,
+    ls: &'a Arc<LoopShared>,
+    slot: usize,
+}
+
+fn on_readable(conn: &mut Conn, ctx: &ConnCtx) -> Action {
+    let mut chunk = [0u8; 16 * 1024];
+    // Cap the bytes consumed per wakeup: a peer streaming at line rate
+    // must not keep this loop spinning (starving every co-located
+    // connection and growing the buffer unparsed) — after the cap we
+    // fall through to parsing, and level-triggered poll re-reports the
+    // remainder on the next iteration, fairly interleaved.
+    let mut budget = 8;
+    loop {
+        if budget == 0 {
+            break;
+        }
+        budget -= 1;
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                // Half-close: complete requests already buffered are
+                // still served below (a `printf reqs | nc`-style client
+                // shuts its write side and reads the answers); pump()
+                // closes once the parser would need more bytes.
+                conn.peer_eof = true;
+                break;
+            }
+            Ok(n) => {
+                let mut bytes = &chunk[..n];
+                if conn.discard > 0 {
+                    let swallowed = conn.discard.min(bytes.len());
+                    conn.discard -= swallowed;
+                    bytes = &bytes[swallowed..];
+                }
+                if !bytes.is_empty() {
+                    if conn.buf.is_empty() && conn.read_started.is_none() {
+                        conn.read_started = Some(Instant::now());
+                    }
+                    conn.buf.extend_from_slice(bytes);
+                }
+                if n < chunk.len() {
+                    break; // drained the socket (level-triggered poll re-reports otherwise)
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return Action::Close,
+        }
+    }
+    pump(conn, ctx)
+}
+
+/// Drive the connection's state machine as far as it can go without
+/// more events: flush pending output, complete written responses, and
+/// parse/serve requests one at a time (pipelined requests are served
+/// strictly in order, each response flushed before the next parse).
+fn pump(conn: &mut Conn, ctx: &ConnCtx) -> Action {
+    loop {
+        match flush(conn) {
+            FlushResult::Closed => return Action::Close,
+            FlushResult::Partial => return Action::Keep, // POLLOUT re-arms via interest()
+            FlushResult::Done => {}
+        }
+        match conn.state {
+            ConnState::Writing => {
+                if conn.close_after_write || ctx.shared.stopping() {
+                    return Action::Close;
+                }
+                conn.state = ConnState::Reading;
+                conn.idle_since = Instant::now();
+            }
+            ConnState::Dispatched(_) => return Action::Keep,
+            ConnState::Reading => {}
+        }
+        if !advance_one(conn, ctx) {
+            // More bytes are needed — which can never arrive after a
+            // half-close, so give up then instead of idling out.
+            return if conn.peer_eof {
+                Action::Close
+            } else {
+                Action::Keep
+            };
+        }
+    }
+}
+
+fn flush(conn: &mut Conn) -> FlushResult {
+    while conn.written < conn.out.len() {
+        match conn.stream.write(&conn.out[conn.written..]) {
+            Ok(0) => return FlushResult::Closed,
+            Ok(n) => {
+                conn.written += n;
+                // The write clock measures *stall* time, not total
+                // transfer time: a slow-but-reading peer making steady
+                // progress must not be cut off mid-response.
+                conn.write_started = Instant::now();
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return FlushResult::Partial,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return FlushResult::Closed,
+        }
+    }
+    conn.out.clear();
+    conn.written = 0;
+    shrink_if_bloated(&mut conn.out);
+    FlushResult::Done
+}
+
+/// Try to consume one request from the connection buffer. Returns
+/// whether progress was made (a response queued, a dispatch parked, or
+/// an interim `100 Continue` queued); `false` means more bytes are
+/// needed.
+fn advance_one(conn: &mut Conn, ctx: &ConnCtx) -> bool {
+    let limits = &ctx.shared.config.limits;
+    let single_limit = limits.max_body_bytes;
+    let batch_limit = ctx.shared.config.max_batch_body_bytes.max(single_limit);
+    let body_limit = move |method: &str, path: &str| {
+        if method == "POST" && path == "/extract/batch" {
+            batch_limit
+        } else {
+            single_limit
+        }
+    };
+    match parse_request_with_body_limit(&conn.buf, limits, &body_limit) {
+        Ok(Some((request, consumed))) => {
+            conn.buf.drain(..consumed);
+            shrink_if_bloated(&mut conn.buf);
+            conn.continued = false;
+            conn.read_started = None;
+            serve(conn, ctx, &request);
+            true
+        }
+        Ok(None) => {
+            // Headers complete but body pending: honor
+            // `Expect: 100-continue` so clients (curl with a body over
+            // 1 KiB, for one) send the body immediately instead of
+            // waiting out their expect timeout. Skip the same stray
+            // leading CRLFs the parser tolerates, or they would read as
+            // an (empty) header section ending at offset zero.
+            if !conn.continued {
+                let mut skipped = 0;
+                while skipped < 4 && conn.buf[skipped..].starts_with(b"\r\n") {
+                    skipped += 2;
+                }
+                let head = &conn.buf[skipped..];
+                if let Some(end) = head.windows(4).position(|w| w == b"\r\n\r\n") {
+                    conn.continued = true; // scan the header section once
+                    if contains_ignore_ascii_case(&head[..end], b"100-continue") {
+                        if conn.out.is_empty() {
+                            conn.write_started = Instant::now();
+                        }
+                        conn.out.extend_from_slice(b"HTTP/1.1 100 Continue\r\n\r\n");
+                        return true;
+                    }
+                }
+            }
+            false
+        }
+        Err(error) => {
+            // Answer before draining: an `Expect: 100-continue` client
+            // is holding its body back waiting for us, and the 413 is
+            // what tells it to stop.
+            let plan = drain_plan(&error, conn.buf.len());
+            let keep_alive = plan.is_some() && !ctx.shared.stopping();
+            let response = Response::error(error.status(), error_code(&error), &error.message());
+            count_response(ctx.shared, response.status);
+            match plan.filter(|_| keep_alive) {
+                Some(plan) => {
+                    // Drop only the oversized request's bytes: anything
+                    // after them is the next pipelined request and must
+                    // survive. What has not arrived yet is swallowed as
+                    // it comes (`discard`).
+                    conn.buf.drain(..plan.from_buffer);
+                    conn.discard = plan.from_stream;
+                    conn.continued = false;
+                    conn.read_started =
+                        (conn.discard > 0 || !conn.buf.is_empty()).then(Instant::now);
+                    conn.queue_response(&response, true);
+                }
+                None => {
+                    conn.buf.clear();
+                    conn.queue_response(&response, false);
+                }
+            }
+            true
+        }
+    }
+}
+
+/// Serve one parsed request: dispatch extraction endpoints to the pool
+/// (parking the connection), answer everything else synchronously.
+fn serve(conn: &mut Conn, ctx: &ConnCtx, request: &Request) {
+    let keep_alive = request.keep_alive() && !ctx.shared.stopping();
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/extract") => dispatch_extract(conn, ctx, request, keep_alive),
+        ("POST", "/extract/batch") => dispatch_batch(conn, ctx, request, keep_alive),
+        _ => {
+            let response = route(request, ctx.shared);
+            // Re-check stop *after* routing: /admin/shutdown flips it
+            // and its own response must already say close.
+            let keep_alive = keep_alive && !ctx.shared.stopping();
+            count_response(ctx.shared, response.status);
+            conn.queue_response(&response, keep_alive);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Extraction dispatch (async, completion-driven)
+// ---------------------------------------------------------------------
+
+/// The uniform error body (identical to [`Response::error`]'s).
+fn error_body(code: &str, message: &str) -> Json {
+    obj([("error", code.into()), ("message", message.into())])
+}
+
+/// Map a pool-side failure onto a status + body.
+fn server_error_parts(error: &ServerError) -> (u16, Json) {
+    let (status, code) = match error {
+        ServerError::UnknownWrapper(_) => (404, "unknown_wrapper"),
+        ServerError::UnknownVersion { .. } => (404, "unknown_version"),
+        ServerError::FetchFailed(_) => (502, "fetch_failed"),
+        ServerError::Backpressure => (429, "backpressure"),
+        ServerError::ShuttingDown => (503, "shutting_down"),
+        ServerError::Canceled => (503, "canceled"),
+        ServerError::Internal(_) => (500, "internal"),
+    };
+    (status, error_body(code, &error.to_string()))
+}
+
+/// Parse one `/extract` body (or one batch item) into a pool request.
+/// Errors come back as the 400 status + body the old synchronous
+/// handler produced, byte for byte.
+fn extraction_request_from_json(parsed: &Json) -> Result<ExtractionRequest, (u16, Json)> {
+    let bad = |message: &str| (400, error_body("bad_request", message));
+    let Some(wrapper) = parsed.get("wrapper").and_then(Json::as_str) else {
+        return Err(bad("missing string field \"wrapper\""));
+    };
+    let version = match parsed.get("version") {
+        None | Some(Json::Null) => None,
+        Some(v) => match v.as_u64().and_then(|n| u32::try_from(n).ok()) {
+            Some(n) => Some(n),
+            None => return Err(bad("\"version\" must be an unsigned integer")),
+        },
+    };
+    let Some(url) = parsed.get("url").and_then(Json::as_str) else {
+        return Err(bad("missing string field \"url\""));
+    };
+    let source = match parsed.get("html") {
+        None | Some(Json::Null) => RequestSource::Web {
+            url: url.to_string(),
+        },
+        Some(html) => match html.as_str() {
+            Some(html) => RequestSource::Inline {
+                url: url.to_string(),
+                html: html.to_string(),
+            },
+            None => return Err(bad("\"html\" must be a string")),
+        },
+    };
+    Ok(ExtractionRequest {
+        wrapper: wrapper.to_string(),
+        version,
+        source,
+    })
+}
+
+/// The completion callback handed to the pool: push a token and wake
+/// the owning loop. Runs on a worker thread (or wherever an unprocessed
+/// job is destroyed), so it does nothing but that.
+fn completion_notify(ctx: &ConnCtx, generation: u64) -> Box<dyn FnOnce() + Send> {
+    let ls = ctx.ls.clone();
+    let completion = Completion {
+        slot: ctx.slot,
+        generation,
+    };
+    Box::new(move || {
+        ls.wake_with(|inbox| inbox.completions.push(completion));
+    })
+}
+
+fn dispatch_extract(conn: &mut Conn, ctx: &ConnCtx, request: &Request, keep_alive: bool) {
+    let item = match request.body_utf8() {
+        None => DispatchItem::Ready(400, error_body("bad_request", "body is not UTF-8")),
+        Some(body) => match Json::parse(body) {
+            Err(e) => DispatchItem::Ready(400, error_body("bad_request", &e.to_string())),
+            Ok(parsed) => submit_item(&parsed, ctx, conn.generation),
+        },
+    };
+    let outstanding = usize::from(matches!(item, DispatchItem::Pending(_)));
+    conn.state = ConnState::Dispatched(Dispatch {
+        outstanding,
+        items: vec![item],
+        batch: false,
+        keep_alive,
+        retry_after: true,
+    });
+    if outstanding == 0 {
+        assemble_response(conn, ctx);
+    }
+}
+
+fn dispatch_batch(conn: &mut Conn, ctx: &ConnCtx, request: &Request, keep_alive: bool) {
+    let reject = |conn: &mut Conn, status: u16, code: &str, message: &str| {
+        let response = Response::error(status, code, message);
+        count_response(ctx.shared, response.status);
+        conn.queue_response(&response, keep_alive && !ctx.shared.stopping());
+    };
+    let Some(body) = request.body_utf8() else {
+        return reject(conn, 400, "bad_request", "body is not UTF-8");
+    };
+    let parsed = match Json::parse(body) {
+        Ok(v) => v,
+        Err(e) => return reject(conn, 400, "bad_request", &e.to_string()),
+    };
+    let Some(items) = parsed.as_array() else {
+        return reject(
+            conn,
+            400,
+            "bad_request",
+            "batch body must be a JSON array of /extract bodies",
+        );
+    };
+    if items.is_empty() {
+        return reject(conn, 400, "empty_batch", "batch contains no items");
+    }
+    let max_items = ctx.shared.config.max_batch_items;
+    if items.len() > max_items {
+        return reject(
+            conn,
+            413,
+            "batch_too_large",
+            &format!(
+                "batch of {} items exceeds the limit of {max_items}",
+                items.len()
+            ),
+        );
+    }
+    let single_limit = ctx.shared.config.limits.max_body_bytes;
+    let mut dispatch_items = Vec::with_capacity(items.len());
+    let mut outstanding = 0usize;
+    let mut scratch = String::new(); // one reusable buffer for all size checks
+    for item in items {
+        // An item bigger than a single request may carry is answered
+        // exactly as the framing layer would have answered the
+        // equivalent individual POST (its serialized form *is* that
+        // request's body).
+        scratch.clear();
+        item.dump_into(&mut scratch);
+        let declared = scratch.len();
+        if declared > single_limit {
+            let message = RequestError::BodyTooLarge {
+                declared,
+                body_start: 0,
+            }
+            .message();
+            dispatch_items.push(DispatchItem::Ready(
+                413,
+                error_body("body_too_large", &message),
+            ));
+            continue;
+        }
+        let item = submit_item(item, ctx, conn.generation);
+        outstanding += usize::from(matches!(item, DispatchItem::Pending(_)));
+        dispatch_items.push(item);
+    }
+    conn.state = ConnState::Dispatched(Dispatch {
+        outstanding,
+        items: dispatch_items,
+        batch: true,
+        keep_alive,
+        retry_after: false,
+    });
+    if outstanding == 0 {
+        assemble_response(conn, ctx);
+    }
+}
+
+/// Parse and submit one extraction item; synchronous failures (bad
+/// shape, unknown wrapper, backpressure, shutdown) resolve immediately.
+fn submit_item(parsed: &Json, ctx: &ConnCtx, generation: u64) -> DispatchItem {
+    match extraction_request_from_json(parsed) {
+        Err((status, body)) => DispatchItem::Ready(status, body),
+        Ok(request) => {
+            match ctx
+                .shared
+                .server
+                .try_submit_with_notify(request, completion_notify(ctx, generation))
+            {
+                Ok(ticket) => DispatchItem::Pending(ticket),
+                Err(e) => {
+                    let (status, body) = server_error_parts(&e);
+                    DispatchItem::Ready(status, body)
+                }
+            }
+        }
+    }
+}
+
+/// Redeem one dispatched item into its status + response body.
+fn resolve_item(item: DispatchItem) -> (u16, Json) {
+    match item {
+        DispatchItem::Ready(status, body) => (status, body),
+        DispatchItem::Pending(mut ticket) => match ticket.try_take() {
+            Some(Ok(response)) => (200, extraction_json(&response)),
+            Some(Err(error)) => server_error_parts(&error),
+            // Unreachable per the notify contract; fail soft if it ever
+            // is.
+            None => server_error_parts(&ServerError::Canceled),
+        },
+    }
+}
+
+/// All tickets of the parked request resolved: build the response and
+/// switch the connection to writing.
+fn assemble_response(conn: &mut Conn, ctx: &ConnCtx) {
+    let state = std::mem::replace(&mut conn.state, ConnState::Reading);
+    let ConnState::Dispatched(dispatch) = state else {
+        conn.state = state;
+        return;
+    };
+    let keep_alive = dispatch.keep_alive && !ctx.shared.stopping();
+    let retry_after = dispatch.retry_after;
+    let response = if dispatch.batch {
+        let count = dispatch.items.len();
+        let items: Vec<Json> = dispatch
+            .items
+            .into_iter()
+            .map(|item| {
+                let (status, body) = resolve_item(item);
+                obj([("status", u64::from(status).into()), ("body", body)])
+            })
+            .collect();
+        Response::json(
+            200,
+            &obj([("count", count.into()), ("items", items.into())]),
+        )
+    } else {
+        let item = dispatch
+            .items
+            .into_iter()
+            .next()
+            .expect("single dispatch holds one item");
+        let (status, body) = resolve_item(item);
+        let response = Response::json(status, &body);
+        if status == 429 && retry_after {
+            response.with_header("retry-after", "1")
+        } else {
+            response
+        }
+    };
+    count_response(ctx.shared, response.status);
+    conn.queue_response(&response, keep_alive);
+}
+
+// ---------------------------------------------------------------------
+// Synchronous routes
+// ---------------------------------------------------------------------
+
 /// How to dispose of an over-long request whose framing is still
-/// intact: drop `from_buffer` bytes of the connection buffer and read
-/// away `from_stream` bytes still in flight, after which the connection
-/// can keep serving.
+/// intact: drop `from_buffer` bytes of the connection buffer and
+/// swallow `from_stream` bytes still in flight, after which the
+/// connection can keep serving.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct DrainPlan {
     from_buffer: usize,
@@ -383,21 +1447,6 @@ fn drain_plan(error: &RequestError, buffered: usize) -> Option<DrainPlan> {
     })
 }
 
-/// Read and discard exactly `remaining` bytes; false when the peer
-/// closed or errored first.
-fn discard_from_stream(stream: &mut TcpStream, mut remaining: usize) -> std::io::Result<bool> {
-    let mut sink = [0u8; 16 * 1024];
-    while remaining > 0 {
-        let take = sink.len().min(remaining);
-        match stream.read(&mut sink[..take]) {
-            Ok(0) => return Ok(false),
-            Ok(n) => remaining -= n,
-            Err(_) => return Ok(false),
-        }
-    }
-    Ok(true)
-}
-
 /// Case-insensitive substring search over raw header bytes.
 fn contains_ignore_ascii_case(haystack: &[u8], needle: &[u8]) -> bool {
     haystack
@@ -414,9 +1463,10 @@ fn error_code(error: &RequestError) -> &'static str {
     }
 }
 
+/// Route one synchronously-served request (everything except the
+/// extraction endpoints, which park the connection instead).
 fn route(request: &Request, shared: &SharedGateway) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/extract") => post_extract(request, shared),
         ("GET", "/wrappers") => get_wrappers(shared),
         ("PUT", path)
             if path
@@ -432,7 +1482,7 @@ fn route(request: &Request, shared: &SharedGateway) -> Response {
         ("GET", "/metrics") => get_metrics(request, shared),
         ("GET", "/healthz") => Response::json(200, &obj([("status", "ok".into())])),
         ("POST", "/admin/shutdown") => {
-            shared.stop.store(true, Ordering::Release);
+            shared.begin_stop();
             *shared
                 .shutdown_requested
                 .lock()
@@ -440,9 +1490,11 @@ fn route(request: &Request, shared: &SharedGateway) -> Response {
             shared.shutdown_cv.notify_all();
             Response::json(200, &obj([("shutting_down", true.into())]))
         }
-        (_, "/extract" | "/wrappers" | "/metrics" | "/healthz" | "/admin/shutdown") => {
-            Response::error(405, "method_not_allowed", "wrong method for this path")
-        }
+        (
+            _,
+            "/extract" | "/extract/batch" | "/wrappers" | "/metrics" | "/healthz"
+            | "/admin/shutdown",
+        ) => Response::error(405, "method_not_allowed", "wrong method for this path"),
         (_, path) if path.starts_with("/wrappers/") => {
             Response::error(405, "method_not_allowed", "wrong method for this path")
         }
@@ -450,75 +1502,8 @@ fn route(request: &Request, shared: &SharedGateway) -> Response {
     }
 }
 
-/// Map a pool-side failure onto the wire.
-fn server_error_response(error: &ServerError) -> Response {
-    let (status, code) = match error {
-        ServerError::UnknownWrapper(_) => (404, "unknown_wrapper"),
-        ServerError::UnknownVersion { .. } => (404, "unknown_version"),
-        ServerError::FetchFailed(_) => (502, "fetch_failed"),
-        ServerError::Backpressure => (429, "backpressure"),
-        ServerError::ShuttingDown => (503, "shutting_down"),
-        ServerError::Canceled => (503, "canceled"),
-        ServerError::Internal(_) => (500, "internal"),
-    };
-    let response = Response::error(status, code, &error.to_string());
-    if status == 429 {
-        response.with_header("retry-after", "1")
-    } else {
-        response
-    }
-}
-
 fn bad_request(message: &str) -> Response {
     Response::error(400, "bad_request", message)
-}
-
-fn post_extract(request: &Request, shared: &SharedGateway) -> Response {
-    let Some(body) = request.body_utf8() else {
-        return bad_request("body is not UTF-8");
-    };
-    let parsed = match Json::parse(body) {
-        Ok(v) => v,
-        Err(e) => return bad_request(&e.to_string()),
-    };
-    let Some(wrapper) = parsed.get("wrapper").and_then(Json::as_str) else {
-        return bad_request("missing string field \"wrapper\"");
-    };
-    let version = match parsed.get("version") {
-        None | Some(Json::Null) => None,
-        Some(v) => match v.as_u64().and_then(|n| u32::try_from(n).ok()) {
-            Some(n) => Some(n),
-            None => return bad_request("\"version\" must be an unsigned integer"),
-        },
-    };
-    let Some(url) = parsed.get("url").and_then(Json::as_str) else {
-        return bad_request("missing string field \"url\"");
-    };
-    let source = match parsed.get("html") {
-        None | Some(Json::Null) => RequestSource::Web {
-            url: url.to_string(),
-        },
-        Some(html) => match html.as_str() {
-            Some(html) => RequestSource::Inline {
-                url: url.to_string(),
-                html: html.to_string(),
-            },
-            None => return bad_request("\"html\" must be a string"),
-        },
-    };
-    let submitted = shared.server.try_submit(ExtractionRequest {
-        wrapper: wrapper.to_string(),
-        version,
-        source,
-    });
-    let outcome = match submitted {
-        Ok(ticket) => ticket.wait(),
-        Err(e) => Err(e),
-    };
-    match outcome {
-        Ok(response) => Response::json(200, &extraction_json(&response)),
-        Err(error) => server_error_response(&error),
-    }
 }
 
 /// The `/extract` response body: execution metadata, the designed XML
@@ -796,7 +1781,7 @@ pub fn render_prometheus(snapshot: &MetricsSnapshot, stats: &GatewayStats) -> St
         (
             "lixto_http_connections_total",
             "counter",
-            "Connections accepted by the gateway",
+            "Connections accepted and assigned to an event loop (refusals count as 5xx responses)",
             stats.connections.to_string(),
         ),
         (
@@ -848,7 +1833,12 @@ mod tests {
             "127.0.0.1:0",
             GatewayConfig {
                 handler_threads: 2,
-                idle_timeout: Duration::from_millis(500),
+                // Generous: under full-workspace test parallelism a
+                // loaded box can pause a client thread long enough for
+                // a tight idle timeout to evict its keep-alive session
+                // mid-test. Shutdown does not wait out idle sessions,
+                // so this costs nothing.
+                idle_timeout: Duration::from_secs(10),
                 ..GatewayConfig::default()
             },
             server.clone(),
@@ -1004,6 +1994,108 @@ mod tests {
         });
         gateway.wait_shutdown_requested();
         trigger.join().unwrap();
+        gateway.shutdown();
+        server.initiate_shutdown();
+    }
+
+    #[test]
+    fn hundreds_of_idle_keep_alive_connections_fit_in_two_loops() {
+        let registry = Arc::new(WrapperRegistry::new());
+        registry
+            .register_source("shop", WRAPPER, XmlDesign::new().root("offers"))
+            .unwrap();
+        let server = Arc::new(ExtractionServer::start(
+            ServerConfig::default(),
+            registry,
+            Arc::new(lixto_elog::StaticWeb::new()),
+        ));
+        let gateway = HttpGateway::bind(
+            "127.0.0.1:0",
+            GatewayConfig {
+                event_loops: 2,
+                // Long enough that no client of the sequential sweep
+                // below is evicted as idle mid-test.
+                idle_timeout: Duration::from_secs(30),
+                ..GatewayConfig::default()
+            },
+            server.clone(),
+        )
+        .unwrap();
+        let addr = gateway.addr();
+        // Far more concurrent keep-alive sessions than the old
+        // thread-per-connection model (handler_threads: 2) could hold
+        // open at once.
+        let mut clients: Vec<HttpClient> = (0..300)
+            .map(|_| HttpClient::connect(addr).expect("connect"))
+            .collect();
+        // Every one of them is live: a request on each still answers.
+        for client in clients.iter_mut() {
+            assert_eq!(client.get("/healthz").unwrap().status, 200);
+        }
+        // And interleaved extraction on a few while the rest stay idle.
+        let body = r#"{"wrapper":"shop","url":"http://shop/","html":"<ul><li>idle</li></ul>"}"#;
+        for client in clients.iter_mut().step_by(37) {
+            let response = client.post_json("/extract", body).unwrap();
+            assert_eq!(response.status, 200, "{}", response.text());
+        }
+        drop(clients);
+        let stats = gateway.shutdown();
+        assert_eq!(stats.connections, 300);
+        server.initiate_shutdown();
+    }
+
+    #[test]
+    fn accept_backoff_doubles_caps_and_resets() {
+        let mut backoff = AcceptBackoff::new(Duration::from_millis(1), Duration::from_millis(8));
+        assert!(!backoff.is_backing_off());
+        assert_eq!(backoff.on_error(), Duration::from_millis(1));
+        assert_eq!(backoff.on_error(), Duration::from_millis(2));
+        assert_eq!(backoff.on_error(), Duration::from_millis(4));
+        assert_eq!(backoff.on_error(), Duration::from_millis(8));
+        assert_eq!(backoff.on_error(), Duration::from_millis(8), "capped");
+        assert!(backoff.is_backing_off());
+        backoff.on_success();
+        assert!(!backoff.is_backing_off());
+        assert_eq!(
+            backoff.on_error(),
+            Duration::from_millis(1),
+            "reset on success"
+        );
+        // Degenerate configuration: max below initial is raised, zero
+        // initial is floored (the sleep must never be zero, or a
+        // persistent error spins).
+        let mut degenerate = AcceptBackoff::new(Duration::ZERO, Duration::ZERO);
+        let first = degenerate.on_error();
+        assert!(first > Duration::ZERO);
+        assert_eq!(degenerate.on_error(), first, "max == initial");
+    }
+
+    #[test]
+    fn batch_endpoint_preserves_partial_failure() {
+        let (gateway, server) = gateway();
+        let mut client = HttpClient::connect(gateway.addr()).unwrap();
+        let batch = r#"[
+            {"wrapper":"shop","url":"http://shop/","html":"<ul><li>one</li></ul>"},
+            {"wrapper":"ghost","url":"http://nowhere/"},
+            {"wrapper":"shop","url":"http://shop/","html":"<ul><li>one</li></ul>"}
+        ]"#;
+        let response = client.post_json("/extract/batch", batch).unwrap();
+        assert_eq!(response.status, 200, "{}", response.text());
+        let parsed = response.json().unwrap();
+        assert_eq!(parsed.get("count").and_then(Json::as_u64), Some(3));
+        let items = parsed.get("items").and_then(Json::as_array).unwrap();
+        assert_eq!(items[0].get("status").and_then(Json::as_u64), Some(200));
+        assert_eq!(items[1].get("status").and_then(Json::as_u64), Some(404));
+        assert_eq!(items[2].get("status").and_then(Json::as_u64), Some(200));
+        assert!(items[0]
+            .get("body")
+            .and_then(|b| b.get("xml"))
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("one"));
+        // The connection survives a batch (keep-alive).
+        assert_eq!(client.get("/healthz").unwrap().status, 200);
+        drop(client);
         gateway.shutdown();
         server.initiate_shutdown();
     }

@@ -138,6 +138,21 @@ pub fn parse_request(
     buf: &[u8],
     limits: &Limits,
 ) -> Result<Option<(Request, usize)>, RequestError> {
+    parse_request_with_body_limit(buf, limits, &|_, _| limits.max_body_bytes)
+}
+
+/// [`parse_request`] with a per-route body limit: once the request line
+/// and headers are in, `body_limit_for(method, path)` decides the
+/// maximum acceptable `Content-Length` for *that* route instead of the
+/// blanket [`Limits::max_body_bytes`]. The gateway uses this to let
+/// `POST /extract/batch` carry a whole array of documents while every
+/// other endpoint keeps the tight single-document limit. Header limits
+/// are unaffected.
+pub fn parse_request_with_body_limit(
+    buf: &[u8],
+    limits: &Limits,
+    body_limit_for: &dyn Fn(&str, &str) -> usize,
+) -> Result<Option<(Request, usize)>, RequestError> {
     // Tolerate a couple of CRLFs before the request line (RFC 9112 §2.2
     // says to ignore at least one) — keep-alive clients historically
     // send a stray one between requests. The count is capped so a CRLF
@@ -214,7 +229,7 @@ pub fn parse_request(
             .parse::<usize>()
             .map_err(|_| RequestError::Malformed("bad content-length"))?,
     };
-    if content_length > limits.max_body_bytes {
+    if content_length > body_limit_for(&request.method, &request.path) {
         return Err(RequestError::BodyTooLarge {
             declared: content_length,
             body_start: skipped + header_end + 4,
@@ -248,6 +263,7 @@ pub fn status_reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
@@ -419,6 +435,41 @@ mod tests {
                 body_start: big_body.len(),
             }
         );
+    }
+
+    #[test]
+    fn per_route_body_limits_override_the_blanket_limit() {
+        let tight = Limits {
+            max_header_bytes: 1024,
+            max_body_bytes: 8,
+        };
+        let batchy = |method: &str, path: &str| {
+            if method == "POST" && path == "/extract/batch" {
+                1024
+            } else {
+                tight.max_body_bytes
+            }
+        };
+        let batch =
+            b"POST /extract/batch HTTP/1.1\r\nContent-Length: 20\r\n\r\n[xxxxxxxxxxxxxxxxxx]";
+        let (req, consumed) = parse_request_with_body_limit(batch, &tight, &batchy)
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.path, "/extract/batch");
+        assert_eq!(req.body.len(), 20);
+        assert_eq!(consumed, batch.len());
+        // The same declared length on any other route still trips the
+        // blanket limit...
+        let single = b"POST /extract HTTP/1.1\r\nContent-Length: 20\r\n\r\n";
+        assert!(matches!(
+            parse_request_with_body_limit(single, &tight, &batchy).unwrap_err(),
+            RequestError::BodyTooLarge { declared: 20, .. }
+        ));
+        // ...and the plain entry point never consults routes at all.
+        assert!(matches!(
+            parse_request(batch, &tight).unwrap_err(),
+            RequestError::BodyTooLarge { declared: 20, .. }
+        ));
     }
 
     #[test]

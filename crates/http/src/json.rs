@@ -120,6 +120,13 @@ impl Json {
         out
     }
 
+    /// Serialize into an existing buffer (appending, without clearing
+    /// it) — for callers serializing many values that want one
+    /// reusable allocation instead of a fresh `String` per value.
+    pub fn dump_into(&self, out: &mut String) {
+        self.write(out);
+    }
+
     fn write(&self, out: &mut String) {
         match self {
             Json::Null => out.push_str("null"),

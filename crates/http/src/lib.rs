@@ -11,22 +11,32 @@
 //!   (full escaping both ways, insertion-ordered objects);
 //! * [`http`] — HTTP/1.1 framing: incremental, pipelining-aware request
 //!   parsing with header/body size limits, and response serialization;
-//! * [`gateway`] — the [`HttpGateway`]: a bounded acceptor + handler
-//!   thread pool with keep-alive and graceful drain shutdown, exposing
-//!   `POST /extract`, `PUT`/`GET /wrappers`, `GET /metrics` (Prometheus
-//!   text or JSON) and `POST /admin/shutdown` over an
+//! * [`poll`] — readiness notification: a dependency-free safe wrapper
+//!   over the `poll(2)` syscall plus a [`SelfPipe`](poll::SelfPipe)
+//!   waker, the two primitives the multiplexer is built on;
+//! * [`gateway`] — the [`HttpGateway`]: an event-driven M:N connection
+//!   multiplexer (a few event-loop threads, each owning many
+//!   non-blocking keep-alive connections as per-connection state
+//!   machines) with graceful drain shutdown, exposing `POST /extract`
+//!   and `POST /extract/batch`, `PUT`/`GET /wrappers`, `GET /metrics`
+//!   (Prometheus text or JSON) and `POST /admin/shutdown` over an
 //!   [`ExtractionServer`](lixto_server::ExtractionServer);
 //! * [`client`] — a blocking keep-alive [`HttpClient`] for tests,
 //!   benches and command-line use.
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide; the only exception is the raw syscall
+// transcription in [`poll`], which opts back in item-locally.
+#![deny(unsafe_code)]
 
 pub mod client;
 pub mod gateway;
 pub mod http;
 pub mod json;
+pub mod poll;
 
 pub use client::{HttpClient, HttpResponse, RetryPolicy};
-pub use gateway::{metrics_json, render_prometheus, GatewayConfig, GatewayStats, HttpGateway};
+pub use gateway::{
+    metrics_json, render_prometheus, AcceptBackoff, GatewayConfig, GatewayStats, HttpGateway,
+};
 pub use http::{parse_request, Limits, Request, RequestError, Response};
 pub use json::{obj, Json, JsonError};

@@ -1,0 +1,310 @@
+//! Readiness notification for the event-driven gateway: a thin safe
+//! wrapper over the `poll(2)` syscall plus a self-pipe waker, with no
+//! external crates — the only two primitives an M:N connection
+//! multiplexer needs.
+//!
+//! The module is deliberately tiny: [`poll`] takes a caller-owned slice
+//! of [`PollFd`] interest records and blocks until one becomes ready (or
+//! the timeout lapses), and [`SelfPipe`] is the classic self-pipe trick
+//! — any thread calls [`SelfPipe::wake`] to make the pipe's read end
+//! readable, breaking an event loop out of its `poll` so it can check
+//! its inboxes. `poll(2)` was chosen over `epoll` because the fd sets
+//! here are rebuilt per iteration anyway (interest changes with every
+//! connection state transition), it needs no registration fd of its own,
+//! and it is portable POSIX; at the gateway's per-loop connection caps
+//! the O(n) scan is noise next to request parsing.
+//!
+//! All `unsafe` in `lixto_http` lives in this file, confined to the four
+//! raw syscall wrappers, each a direct transcription of the C
+//! signature.
+
+#![allow(unsafe_code)]
+
+// The raw declarations below (pipe2, and the O_* constant values) are
+// written against the Linux ABI; on other platforms they would link
+// against different or absent symbols and silently wrong flag bits, so
+// refuse to build rather than misbehave.
+#[cfg(not(target_os = "linux"))]
+compile_error!(
+    "lixto_http::poll transcribes Linux syscall signatures and constants; \
+     port the `sys` module before building on another OS"
+);
+
+use std::io;
+use std::os::raw::{c_int, c_ulong, c_void};
+use std::time::Duration;
+
+/// The fd wants to read (or has data / a pending accept).
+pub const POLLIN: i16 = 0x001;
+/// The fd can be written without blocking.
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (revents only).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up (revents only).
+pub const POLLHUP: i16 = 0x010;
+/// The fd is not open (revents only).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One `struct pollfd`: an fd, the events the caller is interested in,
+/// and the events the kernel reported back.
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PollFd {
+    fd: c_int,
+    events: i16,
+    revents: i16,
+}
+
+impl PollFd {
+    /// Interest record for `fd`. `events` is a bitmask of [`POLLIN`] /
+    /// [`POLLOUT`] (zero is valid: only error/hangup conditions are
+    /// reported then).
+    pub fn new(fd: i32, events: i16) -> PollFd {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// The fd this record watches.
+    pub fn fd(&self) -> i32 {
+        self.fd
+    }
+
+    /// Kernel-reported readiness from the last [`poll`] call.
+    pub fn revents(&self) -> i16 {
+        self.revents
+    }
+
+    /// Readable (or a condition — hangup, error — that a read will
+    /// surface; readers must attempt the read to learn which).
+    pub fn readable(&self) -> bool {
+        self.revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+
+    /// Writable (or a condition a write will surface as an error).
+    pub fn writable(&self) -> bool {
+        self.revents & (POLLOUT | POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+}
+
+mod sys {
+    use super::*;
+
+    extern "C" {
+        pub fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+        pub fn pipe2(fds: *mut c_int, flags: c_int) -> c_int;
+        pub fn close(fd: c_int) -> c_int;
+        pub fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        pub fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    }
+
+    /// `O_NONBLOCK` for `pipe2` (Linux value; the module is compile-
+    /// gated on Linux above).
+    pub const O_NONBLOCK: c_int = 0o4000;
+    /// `O_CLOEXEC` for `pipe2` — the waker must not leak into children.
+    pub const O_CLOEXEC: c_int = 0o2000000;
+}
+
+/// Block until an fd in `fds` is ready, the timeout lapses, or a signal
+/// interrupts. Returns the number of records with non-zero `revents`
+/// (zero on timeout). `None` blocks indefinitely; `EINTR` is retried
+/// internally with the timeout re-derived, so callers never see it.
+pub fn poll(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usize> {
+    let deadline = timeout.map(|t| std::time::Instant::now() + t);
+    loop {
+        let timeout_ms: c_int = match deadline {
+            None => -1,
+            Some(d) => {
+                let left = d.saturating_duration_since(std::time::Instant::now());
+                // Round up so a sub-millisecond remainder does not
+                // busy-spin at timeout 0.
+                let ms = left.as_millis();
+                let ceil = ms + u128::from(left.as_nanos() > ms * 1_000_000);
+                c_int::try_from(ceil.min(i32::MAX as u128)).unwrap_or(c_int::MAX)
+            }
+        };
+        let n = unsafe { sys::poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) };
+        match n {
+            -1 => {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    continue;
+                }
+                return Err(err);
+            }
+            n => return Ok(n as usize),
+        }
+    }
+}
+
+/// The self-pipe waker: a non-blocking pipe whose read end an event loop
+/// keeps in its poll set. Any thread (worker completion callbacks, the
+/// acceptor, shutdown) calls [`wake`](SelfPipe::wake) to make the read
+/// end readable; the loop calls [`drain`](SelfPipe::drain) once woken.
+/// Wakes are level-coalescing — a thousand wakes before one drain cost
+/// one pipe byte each at most, and the pipe being full is itself a
+/// successful wake.
+#[derive(Debug)]
+pub struct SelfPipe {
+    read_fd: c_int,
+    write_fd: c_int,
+}
+
+impl SelfPipe {
+    /// Create the pipe, both ends non-blocking and close-on-exec.
+    pub fn new() -> io::Result<SelfPipe> {
+        let mut fds: [c_int; 2] = [-1, -1];
+        let rc = unsafe { sys::pipe2(fds.as_mut_ptr(), sys::O_NONBLOCK | sys::O_CLOEXEC) };
+        if rc != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(SelfPipe {
+            read_fd: fds[0],
+            write_fd: fds[1],
+        })
+    }
+
+    /// The fd an event loop registers with [`POLLIN`].
+    pub fn read_fd(&self) -> i32 {
+        self.read_fd
+    }
+
+    /// Make the read end readable. Never blocks: a full pipe (`EAGAIN`)
+    /// already guarantees the next `poll` returns, which is all a wake
+    /// means. `EINTR` is retried — a signal must not eat the wake, or
+    /// the parked work it announces would never be picked up.
+    pub fn wake(&self) {
+        let byte = 1u8;
+        loop {
+            let n = unsafe { sys::write(self.write_fd, (&byte as *const u8).cast::<c_void>(), 1) };
+            if n == -1 && std::io::Error::last_os_error().kind() == io::ErrorKind::Interrupted {
+                continue;
+            }
+            return;
+        }
+    }
+
+    /// Swallow every pending wake byte, resetting the read end to
+    /// not-readable (until the next [`wake`](SelfPipe::wake)). Returns
+    /// whether anything had been pending.
+    pub fn drain(&self) -> bool {
+        let mut buf = [0u8; 64];
+        let mut any = false;
+        loop {
+            let n =
+                unsafe { sys::read(self.read_fd, buf.as_mut_ptr().cast::<c_void>(), buf.len()) };
+            match n {
+                n if n > 0 => any = true,
+                // 0 (closed write end) cannot happen while self holds
+                // write_fd; everything else (EAGAIN, EINTR) means drained
+                // enough — a racing wake after this read re-arms POLLIN.
+                _ => return any,
+            }
+        }
+    }
+}
+
+impl Drop for SelfPipe {
+    fn drop(&mut self) {
+        unsafe {
+            sys::close(self.read_fd);
+            sys::close(self.write_fd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn wake_makes_the_pipe_readable_and_drain_resets_it() {
+        let pipe = SelfPipe::new().unwrap();
+        // Not readable yet: poll times out.
+        let mut fds = [PollFd::new(pipe.read_fd(), POLLIN)];
+        let n = poll(&mut fds, Some(Duration::from_millis(10))).unwrap();
+        assert_eq!(n, 0);
+        assert!(!fds[0].readable());
+        // Wake from another thread: poll reports readiness.
+        std::thread::scope(|s| {
+            s.spawn(|| pipe.wake());
+            let mut fds = [PollFd::new(pipe.read_fd(), POLLIN)];
+            let n = poll(&mut fds, Some(Duration::from_secs(5))).unwrap();
+            assert_eq!(n, 1);
+            assert!(fds[0].readable());
+        });
+        // Drain resets readiness.
+        assert!(pipe.drain());
+        let mut fds = [PollFd::new(pipe.read_fd(), POLLIN)];
+        assert_eq!(poll(&mut fds, Some(Duration::from_millis(10))).unwrap(), 0);
+        assert!(!pipe.drain(), "nothing pending after a drain");
+    }
+
+    #[test]
+    fn a_wake_flood_coalesces_and_never_blocks() {
+        let pipe = SelfPipe::new().unwrap();
+        // Far more wakes than the pipe buffer holds: each must return
+        // promptly (non-blocking write), and one drain clears them all.
+        for _ in 0..100_000 {
+            pipe.wake();
+        }
+        assert!(pipe.drain());
+        let mut fds = [PollFd::new(pipe.read_fd(), POLLIN)];
+        assert_eq!(poll(&mut fds, Some(Duration::from_millis(5))).unwrap(), 0);
+    }
+
+    #[test]
+    fn poll_timeout_expires_close_to_the_requested_duration() {
+        let pipe = SelfPipe::new().unwrap();
+        let mut fds = [PollFd::new(pipe.read_fd(), POLLIN)];
+        let t = Instant::now();
+        let n = poll(&mut fds, Some(Duration::from_millis(50))).unwrap();
+        let elapsed = t.elapsed();
+        assert_eq!(n, 0);
+        assert!(
+            elapsed >= Duration::from_millis(45),
+            "returned after {elapsed:?}"
+        );
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "returned after {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn poll_reports_tcp_readability_and_writability() {
+        use std::io::Write;
+        use std::net::{TcpListener, TcpStream};
+        use std::os::fd::AsRawFd;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        // Nothing sent yet: not readable; a fresh socket is writable.
+        let mut fds = [PollFd::new(server.as_raw_fd(), POLLIN | POLLOUT)];
+        let n = poll(&mut fds, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].writable());
+        assert_eq!(fds[0].revents() & POLLIN, 0);
+
+        // After the client writes, POLLIN is reported.
+        client.write_all(b"ping").unwrap();
+        let mut fds = [PollFd::new(server.as_raw_fd(), POLLIN)];
+        let n = poll(&mut fds, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].readable());
+
+        // After the client hangs up, readable() reports it too (a read
+        // will see EOF).
+        drop(client);
+        let mut fds = [PollFd::new(server.as_raw_fd(), POLLIN)];
+        let n = poll(&mut fds, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].readable());
+    }
+}

@@ -25,7 +25,7 @@ use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
-use crossbeam_channel::{bounded, Receiver, Sender, TrySendError};
+use crossbeam_channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
 use lixto_core::to_xml;
 use lixto_elog::eval::ExtractionResult;
 use lixto_elog::{Extractor, WebSource};
@@ -185,6 +185,45 @@ impl JobTicket {
     pub fn wait(self) -> Result<ExtractionResponse, ServerError> {
         self.reply.recv().unwrap_or(Err(ServerError::Canceled))
     }
+
+    /// Non-blocking redemption for event-driven frontends: `Some` once
+    /// the job has resolved (its real outcome, or
+    /// [`ServerError::Canceled`] if it was destroyed unprocessed),
+    /// `None` while it is still in flight. After a completion
+    /// notification fired (see
+    /// [`ExtractionServer::try_submit_with_notify`]) this is guaranteed
+    /// to return `Some`.
+    pub fn try_take(&mut self) -> Option<Result<ExtractionResponse, ServerError>> {
+        match self.reply.try_recv() {
+            Ok(outcome) => Some(outcome),
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => Some(Err(ServerError::Canceled)),
+        }
+    }
+}
+
+/// Fires its callback exactly once, on drop. Declared as the *last*
+/// field of [`Job`], so by the time the callback runs the job's reply
+/// sender has already been dropped (fields drop in declaration order):
+/// whether the worker sent a real outcome or the job was destroyed
+/// unprocessed, [`JobTicket::try_take`] observes the resolution — never
+/// an empty channel — from inside or after the callback.
+struct CompletionNotice(Option<Box<dyn FnOnce() + Send>>);
+
+impl CompletionNotice {
+    /// Disarm without firing (the submission failed, so the caller never
+    /// received a ticket to redeem).
+    fn defuse(&mut self) {
+        self.0 = None;
+    }
+}
+
+impl Drop for CompletionNotice {
+    fn drop(&mut self) {
+        if let Some(notify) = self.0.take() {
+            notify();
+        }
+    }
 }
 
 struct Job {
@@ -196,6 +235,9 @@ struct Job {
     content: Option<u64>,
     submitted_at: Instant,
     reply: Sender<Result<ExtractionResponse, ServerError>>,
+    /// Completion callback; must stay the last field (see
+    /// [`CompletionNotice`] for the drop-order contract).
+    notify: CompletionNotice,
 }
 
 /// Joint fate of a shutdown: how the pool wound down.
@@ -386,6 +428,7 @@ impl ExtractionServer {
         request: ExtractionRequest,
         wrapper: Arc<RegisteredWrapper>,
         shards: usize,
+        notify: Option<Box<dyn FnOnce() + Send>>,
     ) -> (usize, Job, JobTicket) {
         // Shard by wrapper name + source identity, so repeated work for
         // the same (wrapper, document) lands on the same queue. For
@@ -410,6 +453,7 @@ impl ExtractionServer {
                 content,
                 submitted_at: Instant::now(),
                 reply: tx,
+                notify: CompletionNotice(notify),
             },
             JobTicket { reply: rx },
         )
@@ -423,7 +467,7 @@ impl ExtractionServer {
         if queues.is_empty() {
             return Err(ServerError::ShuttingDown);
         }
-        let (shard, job, ticket) = Self::make_job(request, wrapper, queues.len());
+        let (shard, job, ticket) = Self::make_job(request, wrapper, queues.len(), None);
         queues[shard]
             .send(job)
             .map_err(|_| ServerError::ShuttingDown)?;
@@ -437,12 +481,39 @@ impl ExtractionServer {
     /// Enqueue a request without blocking; a full shard queue is
     /// reported as [`ServerError::Backpressure`].
     pub fn try_submit(&self, request: ExtractionRequest) -> Result<JobTicket, ServerError> {
+        self.try_submit_inner(request, None)
+    }
+
+    /// Like [`try_submit`](ExtractionServer::try_submit), with a
+    /// completion callback for event-driven frontends that cannot block
+    /// in [`JobTicket::wait`]: `notify` runs exactly once, as soon as
+    /// the returned ticket is redeemable without blocking —
+    /// [`JobTicket::try_take`] is guaranteed to return `Some` from that
+    /// point on. It fires on the worker thread after the job completes,
+    /// or wherever an unprocessed job is destroyed (queue teardown
+    /// during shutdown), so keep it small and non-blocking — typically
+    /// "push a token and wake an event loop". When submission itself
+    /// fails (backpressure, shutdown, unknown wrapper) no ticket exists
+    /// and `notify` never runs.
+    pub fn try_submit_with_notify(
+        &self,
+        request: ExtractionRequest,
+        notify: Box<dyn FnOnce() + Send>,
+    ) -> Result<JobTicket, ServerError> {
+        self.try_submit_inner(request, Some(notify))
+    }
+
+    fn try_submit_inner(
+        &self,
+        request: ExtractionRequest,
+        notify: Option<Box<dyn FnOnce() + Send>>,
+    ) -> Result<JobTicket, ServerError> {
         let wrapper = self.resolve(&request)?;
         let queues = self.queues.read().expect("queues poisoned");
         if queues.is_empty() {
             return Err(ServerError::ShuttingDown);
         }
-        let (shard, job, ticket) = Self::make_job(request, wrapper, queues.len());
+        let (shard, job, ticket) = Self::make_job(request, wrapper, queues.len(), notify);
         match queues[shard].try_send(job) {
             Ok(()) => {
                 self.shared
@@ -451,11 +522,17 @@ impl ExtractionServer {
                     .fetch_add(1, Ordering::Relaxed);
                 Ok(ticket)
             }
-            Err(TrySendError::Full(_)) => {
+            Err(TrySendError::Full(mut job)) => {
+                // The caller gets an error, not a ticket: the callback
+                // must not fire for a submission that never happened.
+                job.notify.defuse();
                 self.shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
                 Err(ServerError::Backpressure)
             }
-            Err(TrySendError::Disconnected(_)) => Err(ServerError::ShuttingDown),
+            Err(TrySendError::Disconnected(mut job)) => {
+                job.notify.defuse();
+                Err(ServerError::ShuttingDown)
+            }
         }
     }
 
@@ -1037,5 +1114,137 @@ mod tests {
         let snap = server.metrics();
         assert_eq!(snap.errors, 1);
         server.shutdown();
+    }
+
+    #[test]
+    fn completion_notify_fires_once_and_ticket_is_redeemable() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::mpsc;
+
+        let server = server_with(Arc::new(StaticWeb::new()));
+        let fired = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = mpsc::channel();
+        let counter = fired.clone();
+        let mut ticket = server
+            .try_submit_with_notify(
+                inline_req(&["notified"]),
+                Box::new(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    tx.send(()).unwrap();
+                }),
+            )
+            .unwrap();
+        rx.recv_timeout(Duration::from_secs(10))
+            .expect("notify fired");
+        // The contract: once notify ran, try_take never returns None.
+        let outcome = ticket.try_take().expect("resolved after notify");
+        assert!(outcome.unwrap().xml().contains("notified"));
+        assert_eq!(fired.load(Ordering::SeqCst), 1, "exactly one firing");
+        server.shutdown();
+    }
+
+    #[test]
+    fn notify_fires_for_errored_jobs_and_is_defused_on_failed_submission() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::mpsc;
+
+        // A worker-side error (panic containment) still notifies — the
+        // frontend's parked connection must always be woken.
+        struct PanickyWeb;
+        impl WebSource for PanickyWeb {
+            fn fetch(&self, _url: &str) -> Option<String> {
+                panic!("fetch exploded");
+            }
+        }
+        let server = server_with(Arc::new(PanickyWeb));
+        let (tx, rx) = mpsc::channel();
+        let mut ticket = server
+            .try_submit_with_notify(
+                ExtractionRequest {
+                    wrapper: "shop".into(),
+                    version: None,
+                    source: RequestSource::Web {
+                        url: "http://shop/".into(),
+                    },
+                },
+                Box::new(move || tx.send(()).unwrap()),
+            )
+            .unwrap();
+        rx.recv_timeout(Duration::from_secs(10))
+            .expect("notify fired for errored job");
+        assert!(matches!(
+            ticket.try_take(),
+            Some(Err(ServerError::Internal(_)))
+        ));
+        server.shutdown();
+
+        // A submission that fails outright hands back an error, not a
+        // ticket — so its callback must never run.
+        struct BlockingWeb(Mutex<bool>, std::sync::Condvar);
+        impl WebSource for BlockingWeb {
+            fn fetch(&self, _url: &str) -> Option<String> {
+                let mut open = self.0.lock().unwrap();
+                while !*open {
+                    open = self.1.wait(open).unwrap();
+                }
+                None
+            }
+        }
+        let gate = Arc::new(BlockingWeb(Mutex::new(false), std::sync::Condvar::new()));
+        let registry = Arc::new(WrapperRegistry::new());
+        registry
+            .register_source("shop", WRAPPER, XmlDesign::new().root("offers"))
+            .unwrap();
+        let server = ExtractionServer::start(
+            ServerConfig {
+                shards: 1,
+                workers_per_shard: 1,
+                queue_capacity: 1,
+                cache_capacity: 4,
+            },
+            registry,
+            gate.clone(),
+        );
+        let web_req = || ExtractionRequest {
+            wrapper: "shop".into(),
+            version: None,
+            source: RequestSource::Web {
+                url: "http://shop/".into(),
+            },
+        };
+        // Wedge the worker and fill the one-slot queue...
+        let occupant = server.submit(web_req()).unwrap();
+        let queued = loop {
+            match server.try_submit(web_req()) {
+                Ok(t) => break t,
+                Err(ServerError::Backpressure) => std::thread::sleep(Duration::from_millis(1)),
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        };
+        // ...so this submission is rejected; the callback must stay
+        // silent forever.
+        let fired = Arc::new(AtomicUsize::new(0));
+        let counter = fired.clone();
+        assert_eq!(
+            server
+                .try_submit_with_notify(
+                    web_req(),
+                    Box::new(move || {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    })
+                )
+                .unwrap_err(),
+            ServerError::Backpressure
+        );
+        *gate.0.lock().unwrap() = true;
+        gate.1.notify_all();
+        let _ = occupant.wait();
+        let _ = queued.wait();
+        server.shutdown();
+        assert_eq!(
+            fired.load(Ordering::SeqCst),
+            0,
+            "defused callback never fired, even through drop and shutdown"
+        );
     }
 }

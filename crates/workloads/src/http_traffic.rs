@@ -104,6 +104,48 @@ pub fn long_tail_requests(seed: u64, users: usize, per_user: usize) -> Vec<HttpT
         .collect()
 }
 
+/// Group pre-rendered `POST /extract` bodies into `POST /extract/batch`
+/// payloads of at most `batch_size` items each (each body becomes one
+/// array element, in order).
+pub fn batch_bodies(bodies: &[String], batch_size: usize) -> Vec<String> {
+    let batch_size = batch_size.max(1);
+    bodies
+        .chunks(batch_size)
+        .map(|chunk| format!("[{}]", chunk.join(",")))
+        .collect()
+}
+
+/// A minimal single-item document — the tiny-document regime where HTTP
+/// framing dominates extraction cost and batching pays.
+pub fn tiny_page(item: &str) -> String {
+    format!("<html><body><ul><li>{item}</li></ul></body></html>")
+}
+
+/// `count` tiny inline-document `POST /extract` bodies for `wrapper`
+/// at `url`, cycling through a pool of `pool` distinct documents (so a
+/// result cache sees a realistic repeat mix). Deterministic.
+pub fn tiny_extract_bodies(wrapper: &str, url: &str, count: usize, pool: usize) -> Vec<String> {
+    let pool = pool.max(1);
+    (0..count)
+        .map(|i| {
+            let doc = tiny_page(&format!("item-{}", i % pool));
+            extract_body(wrapper, url, &doc)
+        })
+        .collect()
+}
+
+/// The mostly-idle portal scenario: `users` keep-alive clients, each
+/// issuing only `per_user` requests over a long session — the
+/// connection count the multiplexed gateway must hold open dwarfs the
+/// request rate. Returns the per-user request bodies; the *idleness*
+/// is the load generator's business (it keeps every connection open
+/// between requests).
+pub fn idle_portal_requests(seed: u64, users: usize, per_user: usize) -> Vec<HttpTrafficRequest> {
+    // Reuse the mixed-traffic generator: the documents and wrapper mix
+    // are the portal's; only the pacing differs.
+    requests(seed, users, per_user)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,6 +177,36 @@ mod tests {
         assert!(body.contains(r#""root":"auctions""#));
         assert!(body.contains(r#""auxiliary":["tableseq"]"#));
         assert!(body.contains("document("));
+    }
+
+    #[test]
+    fn batch_bodies_group_in_order_and_parse_as_arrays() {
+        let bodies = tiny_extract_bodies("shop", "http://shop/", 7, 3);
+        assert_eq!(bodies.len(), 7);
+        // The pool cycles: items 0 and 3 share a document.
+        assert_eq!(bodies[0], bodies[3]);
+        assert_ne!(bodies[0], bodies[1]);
+        let batches = batch_bodies(&bodies, 3);
+        assert_eq!(batches.len(), 3, "7 items in batches of 3 → 3+3+1");
+        assert!(batches[0].starts_with('['));
+        assert!(batches[0].ends_with(']'));
+        assert_eq!(
+            batches[0],
+            format!("[{},{},{}]", bodies[0], bodies[1], bodies[2])
+        );
+        assert_eq!(batches[2], format!("[{}]", bodies[6]));
+        // Degenerate batch size is clamped, not a panic.
+        assert_eq!(batch_bodies(&bodies, 0).len(), 7);
+    }
+
+    #[test]
+    fn tiny_pages_embed_the_item_and_stay_tiny() {
+        let page = tiny_page("x42");
+        assert!(page.contains("<li>x42</li>"));
+        assert!(page.len() < 128, "tiny means framing-dominated");
+        let idle = idle_portal_requests(3, 5, 2);
+        assert_eq!(idle.len(), 10);
+        assert_eq!(idle, requests(3, 5, 2), "same mix, idle pacing");
     }
 
     #[test]

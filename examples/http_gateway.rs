@@ -14,6 +14,8 @@
 //! curl http://127.0.0.1:7878/wrappers
 //! curl -X POST http://127.0.0.1:7878/extract \
 //!      -d '{"wrapper":"news","url":"http://press/finance"}'
+//! curl -X POST http://127.0.0.1:7878/extract/batch \
+//!      -d '[{"wrapper":"news","url":"http://press/finance"},{"wrapper":"flights","url":"http://fly/status"}]'
 //! curl http://127.0.0.1:7878/metrics
 //! curl -H 'Accept: application/json' http://127.0.0.1:7878/metrics
 //! curl -X POST http://127.0.0.1:7878/admin/shutdown
@@ -108,6 +110,27 @@ fn selftest(addr: std::net::SocketAddr) {
             parsed.get("xml").and_then(|v| v.as_str()).unwrap().len()
         );
     }
+    // One batched request carrying a hit and a deliberate miss: the
+    // per-item envelope preserves the partial failure.
+    let batch = format!(
+        "[{},{}]",
+        body,
+        http_traffic::extract_body_web("ghost", "http://nowhere/")
+    );
+    let response = client
+        .post_json("/extract/batch", &batch)
+        .expect("extract batch");
+    assert_eq!(response.status, 200, "{}", response.text());
+    let parsed = response.json().expect("batch json");
+    let statuses: Vec<u64> = parsed
+        .get("items")
+        .and_then(|v| v.as_array().map(<[lixto::http::Json]>::to_vec))
+        .expect("items")
+        .iter()
+        .filter_map(|item| item.get("status").and_then(|s| s.as_u64()))
+        .collect();
+    assert_eq!(statuses, [200, 404]);
+    println!("batch: per-item statuses {statuses:?}");
     let put = client
         .put_json("/wrappers/news", &http_traffic::register_body(&news))
         .expect("deploy");

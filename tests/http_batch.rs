@@ -1,0 +1,282 @@
+//! `POST /extract/batch` coverage: a mixed batch (hits, misses, unknown
+//! wrapper, unknown version, malformed item, oversized item) must
+//! answer per item exactly what the equivalent sequence of individual
+//! `POST /extract` calls answers — same statuses, same JSON bodies,
+//! byte for byte (timing scrubbed) — plus the batch-shape rejections:
+//! empty batch, non-array body, item-count limit, batch body limit.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use lixto::core::XmlDesign;
+use lixto::http::{GatewayConfig, HttpClient, HttpGateway, Json, Limits};
+use lixto::server::{ExtractionServer, ServerConfig, WrapperRegistry};
+
+const WRAPPER: &str = r#"offer(S, X) :- document("http://shop/", S), subelem(S, (?.li, []), X)."#;
+
+/// A deterministic stack: one shard, one worker — batch items and
+/// individual calls alike execute strictly in submission order, so the
+/// result cache evolves identically in both runs.
+fn deterministic_stack(config: &GatewayConfig) -> (HttpGateway, Arc<ExtractionServer>) {
+    let registry = Arc::new(WrapperRegistry::new());
+    registry
+        .register_source("shop", WRAPPER, XmlDesign::new().root("offers"))
+        .unwrap();
+    let server = Arc::new(ExtractionServer::start(
+        ServerConfig {
+            shards: 1,
+            workers_per_shard: 1,
+            queue_capacity: 128,
+            cache_capacity: 64,
+        },
+        registry,
+        Arc::new(lixto::elog::StaticWeb::new()),
+    ));
+    let gateway = HttpGateway::bind("127.0.0.1:0", config.clone(), server.clone()).unwrap();
+    (gateway, server)
+}
+
+fn tight_config() -> GatewayConfig {
+    GatewayConfig {
+        limits: Limits {
+            max_header_bytes: 16 * 1024,
+            // Tight single-request limit so one batch item can be
+            // "oversized" while the batch body itself stays admissible.
+            max_body_bytes: 512,
+        },
+        idle_timeout: Duration::from_secs(30),
+        ..GatewayConfig::default()
+    }
+}
+
+/// Scrub the volatile field (`latency_us`) from an extraction response
+/// body, recursively (batch bodies nest them under `items[].body`).
+fn scrub(json: &Json) -> Json {
+    match json {
+        Json::Obj(fields) => Json::Obj(
+            fields
+                .iter()
+                .map(|(k, v)| {
+                    if k == "latency_us" {
+                        (k.clone(), Json::Num(0.0))
+                    } else {
+                        (k.clone(), scrub(v))
+                    }
+                })
+                .collect(),
+        ),
+        Json::Arr(items) => Json::Arr(items.iter().map(scrub).collect()),
+        other => other.clone(),
+    }
+}
+
+fn mixed_items() -> Vec<Json> {
+    let parse = |s: &str| Json::parse(s).unwrap();
+    vec![
+        // A miss, then the same document again — a cache hit.
+        parse(r#"{"wrapper":"shop","url":"http://shop/","html":"<ul><li>mixed</li></ul>"}"#),
+        parse(r#"{"wrapper":"shop","url":"http://shop/","html":"<ul><li>mixed</li></ul>"}"#),
+        // Unknown wrapper and unknown version.
+        parse(r#"{"wrapper":"ghost","url":"u"}"#),
+        parse(r#"{"wrapper":"shop","version":99,"url":"u","html":"<p/>"}"#),
+        // Malformed item (wrong field type).
+        parse(r#"{"wrapper":7,"url":"u"}"#),
+        // Oversized item: bigger than max_body_bytes when sent alone.
+        {
+            let html = "x".repeat(600);
+            parse(&format!(
+                r#"{{"wrapper":"shop","url":"http://shop/","html":"{html}"}}"#
+            ))
+        },
+        // A second distinct document — another miss.
+        parse(r#"{"wrapper":"shop","url":"http://shop/","html":"<ul><li>tail</li></ul>"}"#),
+    ]
+}
+
+#[test]
+fn mixed_batch_matches_individual_calls_byte_for_byte() {
+    let items = mixed_items();
+    let expected_statuses = [200u64, 200, 404, 404, 400, 413, 200];
+
+    // Run 1: the whole batch through one fresh stack.
+    let batch_results: Vec<(u64, Json)> = {
+        let (gateway, server) = deterministic_stack(&tight_config());
+        let mut client = HttpClient::connect(gateway.addr()).unwrap();
+        let body = Json::Arr(items.clone()).dump();
+        let response = client.post_json("/extract/batch", &body).unwrap();
+        assert_eq!(response.status, 200, "{}", response.text());
+        let parsed = response.json().unwrap();
+        assert_eq!(
+            parsed.get("count").and_then(Json::as_u64),
+            Some(items.len() as u64)
+        );
+        let results = parsed
+            .get("items")
+            .and_then(Json::as_array)
+            .expect("items array")
+            .iter()
+            .map(|item| {
+                (
+                    item.get("status").and_then(Json::as_u64).expect("status"),
+                    item.get("body").cloned().expect("body"),
+                )
+            })
+            .collect();
+        drop(client);
+        gateway.shutdown();
+        server.initiate_shutdown();
+        results
+    };
+
+    // Run 2: the same items as N individual POST /extract calls on an
+    // identically configured fresh stack (so cache state evolves the
+    // same way: miss, hit, …).
+    let individual_results: Vec<(u64, Json)> = {
+        let (gateway, server) = deterministic_stack(&tight_config());
+        let mut client = HttpClient::connect(gateway.addr()).unwrap();
+        let results = items
+            .iter()
+            .map(|item| {
+                let response = client.post_json("/extract", &item.dump()).unwrap();
+                (
+                    u64::from(response.status),
+                    response.json().expect("json body"),
+                )
+            })
+            .collect();
+        drop(client);
+        gateway.shutdown();
+        server.initiate_shutdown();
+        results
+    };
+
+    assert_eq!(batch_results.len(), individual_results.len());
+    for (i, ((batch_status, batch_body), (single_status, single_body))) in
+        batch_results.iter().zip(&individual_results).enumerate()
+    {
+        assert_eq!(
+            *batch_status,
+            expected_statuses[i],
+            "item {i}: unexpected batch status ({})",
+            batch_body.dump()
+        );
+        assert_eq!(
+            batch_status, single_status,
+            "item {i}: batch and individual status diverge"
+        );
+        assert_eq!(
+            scrub(batch_body).dump(),
+            scrub(single_body).dump(),
+            "item {i}: batch and individual bodies diverge"
+        );
+    }
+
+    // The hit/miss pattern actually happened (cache_hit is inside the
+    // compared bodies, but make the intent explicit).
+    let hit = |body: &Json| body.get("cache_hit").and_then(Json::as_bool);
+    assert_eq!(hit(&batch_results[0].1), Some(false), "first sight: miss");
+    assert_eq!(hit(&batch_results[1].1), Some(true), "repeat: hit");
+    assert_eq!(hit(&batch_results[6].1), Some(false), "new document: miss");
+}
+
+#[test]
+fn batch_shape_rejections() {
+    let config = GatewayConfig {
+        max_batch_items: 4,
+        max_batch_body_bytes: 2048,
+        ..tight_config()
+    };
+    let (gateway, server) = deterministic_stack(&config);
+    let mut client = HttpClient::connect(gateway.addr()).unwrap();
+
+    // Empty batch.
+    let r = client.post_json("/extract/batch", "[]").unwrap();
+    assert_eq!(r.status, 400, "{}", r.text());
+    assert!(r.text().contains("empty_batch"));
+
+    // Not an array.
+    let r = client
+        .post_json("/extract/batch", r#"{"wrapper":"shop","url":"u"}"#)
+        .unwrap();
+    assert_eq!(r.status, 400);
+    assert!(r.text().contains("bad_request"));
+
+    // Bad JSON.
+    let r = client.post_json("/extract/batch", "[{oops").unwrap();
+    assert_eq!(r.status, 400);
+
+    // Item-count limit: 5 items against max_batch_items = 4.
+    let too_many: Vec<Json> = (0..5)
+        .map(|_| Json::parse(r#"{"wrapper":"ghost","url":"u"}"#).unwrap())
+        .collect();
+    let r = client
+        .post_json("/extract/batch", &Json::Arr(too_many).dump())
+        .unwrap();
+    assert_eq!(r.status, 413, "{}", r.text());
+    assert!(r.text().contains("batch_too_large"));
+
+    // Whole-batch body limit: a batch body over max_batch_body_bytes is
+    // refused at the framing layer (and drained — the connection
+    // survives).
+    let huge = format!(
+        r#"[{{"wrapper":"shop","url":"http://shop/","html":"{}"}}]"#,
+        "y".repeat(3000)
+    );
+    let r = client.post_json("/extract/batch", &huge).unwrap();
+    assert_eq!(r.status, 413, "{}", r.text());
+    assert!(r.text().contains("body_too_large"));
+
+    // After all the rejections, the same keep-alive connection still
+    // serves a valid batch.
+    let ok = client
+        .post_json(
+            "/extract/batch",
+            r#"[{"wrapper":"shop","url":"http://shop/","html":"<ul><li>fine</li></ul>"}]"#,
+        )
+        .unwrap();
+    assert_eq!(ok.status, 200, "{}", ok.text());
+    let parsed = ok.json().unwrap();
+    assert_eq!(
+        parsed
+            .get("items")
+            .and_then(Json::as_array)
+            .and_then(|a| a[0].get("status"))
+            .and_then(Json::as_u64),
+        Some(200)
+    );
+
+    drop(client);
+    let stats = gateway.shutdown();
+    assert!(stats.responses_4xx >= 5);
+    server.initiate_shutdown();
+}
+
+#[test]
+fn single_item_batch_envelope_wraps_the_exact_extract_body() {
+    // Sanity on the envelope shape itself: {"count", "items": [{
+    // "status", "body"}]} where body is the /extract response document.
+    let (gateway, server) = deterministic_stack(&tight_config());
+    let mut client = HttpClient::connect(gateway.addr()).unwrap();
+    let item = r#"{"wrapper":"shop","url":"http://shop/","html":"<ul><li>solo</li></ul>"}"#;
+    let response = client
+        .post_json("/extract/batch", &format!("[{item}]"))
+        .unwrap();
+    assert_eq!(response.status, 200, "{}", response.text());
+    let parsed = response.json().unwrap();
+    assert_eq!(parsed.get("count").and_then(Json::as_u64), Some(1));
+    let body = parsed
+        .get("items")
+        .and_then(Json::as_array)
+        .and_then(|a| a[0].get("body"))
+        .expect("item body");
+    assert!(body
+        .get("xml")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("solo"));
+    assert_eq!(body.get("wrapper").and_then(Json::as_str), Some("shop"));
+    assert_eq!(body.get("cache_hit").and_then(Json::as_bool), Some(false));
+    drop(client);
+    gateway.shutdown();
+    server.initiate_shutdown();
+}

@@ -1,0 +1,523 @@
+//! Stall and shutdown regression tests for the multiplexed gateway: a
+//! slow-loris client must be evicted with `408` without pinning its
+//! event loop (healthy connections sharing the loop keep completing),
+//! and shutdown with hundreds of connections parked on extraction
+//! tickets must drain without deadlock.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use lixto::core::XmlDesign;
+use lixto::elog::WebSource;
+use lixto::http::{GatewayConfig, HttpClient, HttpGateway};
+use lixto::server::{ExtractionServer, ServerConfig, WrapperRegistry};
+use lixto::workloads::http_traffic;
+
+const WRAPPER: &str = r#"offer(S, X) :- document("http://shop/", S), subelem(S, (?.li, []), X)."#;
+
+fn shop_registry() -> Arc<WrapperRegistry> {
+    let registry = Arc::new(WrapperRegistry::new());
+    registry
+        .register_source("shop", WRAPPER, XmlDesign::new().root("offers"))
+        .unwrap();
+    registry
+}
+
+/// A web source whose fetches block until the test opens the gate —
+/// parking every dispatched connection deterministically.
+struct GatedWeb {
+    open: Mutex<bool>,
+    cv: Condvar,
+    fetching: Mutex<usize>,
+    fetching_cv: Condvar,
+}
+
+impl GatedWeb {
+    fn new() -> GatedWeb {
+        GatedWeb {
+            open: Mutex::new(false),
+            cv: Condvar::new(),
+            fetching: Mutex::new(0),
+            fetching_cv: Condvar::new(),
+        }
+    }
+
+    fn release(&self) {
+        *self.open.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+
+    fn wait_fetching(&self) {
+        let mut fetching = self.fetching.lock().unwrap();
+        while *fetching == 0 {
+            fetching = self.fetching_cv.wait(fetching).unwrap();
+        }
+    }
+}
+
+impl WebSource for GatedWeb {
+    fn fetch(&self, url: &str) -> Option<String> {
+        {
+            let mut fetching = self.fetching.lock().unwrap();
+            *fetching += 1;
+            self.fetching_cv.notify_all();
+        }
+        let mut open = self.open.lock().unwrap();
+        while !*open {
+            open = self.cv.wait(open).unwrap();
+        }
+        (url == "http://shop/").then(|| "<ul><li>slow</li></ul>".to_string())
+    }
+}
+
+/// Read everything until the server closes, tolerating read timeouts.
+fn read_to_close(socket: &mut TcpStream) -> Vec<u8> {
+    let mut received = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        match socket.read(&mut buf) {
+            Ok(0) => return received,
+            Ok(n) => received.extend_from_slice(&buf[..n]),
+            Err(_) => return received,
+        }
+    }
+}
+
+#[test]
+fn slow_loris_is_evicted_with_408_and_never_pins_the_loop() {
+    let server = Arc::new(ExtractionServer::start(
+        ServerConfig::default(),
+        shop_registry(),
+        Arc::new(lixto::elog::StaticWeb::new()),
+    ));
+    // ONE event loop: the trickling client and the healthy client share
+    // it, so any pinning would stall the healthy side measurably.
+    let gateway = HttpGateway::bind(
+        "127.0.0.1:0",
+        GatewayConfig {
+            event_loops: 1,
+            read_timeout: Duration::from_millis(300),
+            idle_timeout: Duration::from_secs(10),
+            ..GatewayConfig::default()
+        },
+        server.clone(),
+    )
+    .unwrap();
+    let addr = gateway.addr();
+
+    // The loris: declares a body, then trickles one byte per
+    // read-timeout-quantum. The fixed arrival deadline means trickling
+    // cannot extend its life.
+    let loris = std::thread::spawn(move || {
+        let mut socket = TcpStream::connect(addr).unwrap();
+        socket
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        socket
+            .write_all(b"POST /extract HTTP/1.1\r\nhost: loris\r\ncontent-length: 64\r\n\r\n")
+            .unwrap();
+        let started = Instant::now();
+        // Keep trickling well past the read timeout; the server must
+        // cut us off regardless (writes then start failing — fine).
+        for _ in 0..40 {
+            if socket.write_all(b"x").is_err() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        let response = read_to_close(&mut socket);
+        (
+            started.elapsed(),
+            String::from_utf8_lossy(&response).into_owned(),
+        )
+    });
+
+    // Meanwhile, a healthy client on the same single loop completes a
+    // steady stream of requests with low latency.
+    let body = r#"{"wrapper":"shop","url":"http://shop/","html":"<ul><li>ok</li></ul>"}"#;
+    let mut healthy = HttpClient::connect(addr).unwrap();
+    let mut slowest = Duration::ZERO;
+    for _ in 0..30 {
+        let t = Instant::now();
+        let response = healthy.post_json("/extract", body).unwrap();
+        assert_eq!(response.status, 200, "{}", response.text());
+        slowest = slowest.max(t.elapsed());
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        slowest < Duration::from_secs(2),
+        "healthy requests stalled behind the loris: slowest {slowest:?}"
+    );
+
+    let (lifetime, response) = loris.join().unwrap();
+    assert!(
+        response.contains("HTTP/1.1 408"),
+        "loris must be told why: {response}"
+    );
+    assert!(
+        response.contains("request_timeout"),
+        "structured error body: {response}"
+    );
+    assert!(
+        lifetime < Duration::from_secs(5),
+        "loris lingered {lifetime:?} — eviction must not wait out the trickle"
+    );
+
+    drop(healthy);
+    let stats = gateway.shutdown();
+    assert!(stats.responses_4xx >= 1, "the 408 is counted");
+    server.initiate_shutdown();
+}
+
+#[test]
+fn idle_connections_are_evicted_quietly_after_idle_timeout() {
+    let server = Arc::new(ExtractionServer::start(
+        ServerConfig::default(),
+        shop_registry(),
+        Arc::new(lixto::elog::StaticWeb::new()),
+    ));
+    let gateway = HttpGateway::bind(
+        "127.0.0.1:0",
+        GatewayConfig {
+            event_loops: 1,
+            idle_timeout: Duration::from_millis(150),
+            ..GatewayConfig::default()
+        },
+        server.clone(),
+    )
+    .unwrap();
+    let mut socket = TcpStream::connect(gateway.addr()).unwrap();
+    socket
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // A served request, then silence: the server closes (clean EOF, no
+    // 4xx — idling between requests is not an offense)...
+    socket
+        .write_all(b"GET /healthz HTTP/1.1\r\nhost: idle\r\ncontent-length: 0\r\n\r\n")
+        .unwrap();
+    let t = Instant::now();
+    let stream = read_to_close(&mut socket);
+    let text = String::from_utf8_lossy(&stream);
+    assert!(text.contains("HTTP/1.1 200"), "{text}");
+    assert!(!text.contains("408"), "idle eviction is quiet: {text}");
+    let elapsed = t.elapsed();
+    assert!(
+        elapsed >= Duration::from_millis(100) && elapsed < Duration::from_secs(5),
+        "closed after {elapsed:?}, expected ~150ms idle timeout"
+    );
+    let stats = gateway.shutdown();
+    assert_eq!(stats.responses_4xx, 0);
+    server.initiate_shutdown();
+}
+
+#[test]
+fn expect_continue_is_honored_even_behind_stray_leading_crlfs() {
+    let server = Arc::new(ExtractionServer::start(
+        ServerConfig::default(),
+        shop_registry(),
+        Arc::new(lixto::elog::StaticWeb::new()),
+    ));
+    let gateway = HttpGateway::bind(
+        "127.0.0.1:0",
+        GatewayConfig {
+            event_loops: 1,
+            idle_timeout: Duration::from_secs(30),
+            read_timeout: Duration::from_secs(30),
+            ..GatewayConfig::default()
+        },
+        server.clone(),
+    )
+    .unwrap();
+    let body = r#"{"wrapper":"shop","url":"http://shop/","html":"<ul><li>go</li></ul>"}"#;
+    // Two stray CRLFs (tolerated keep-alive detritus) before a POST
+    // whose client waits for the interim `100 Continue` before sending
+    // its body — the interim must still arrive.
+    let mut socket = TcpStream::connect(gateway.addr()).unwrap();
+    socket
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    socket
+        .write_all(
+            format!(
+                "\r\n\r\nPOST /extract HTTP/1.1\r\nhost: c\r\nexpect: 100-continue\r\ncontent-length: {}\r\n\r\n",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    let mut interim = [0u8; 64];
+    let n = socket.read(&mut interim).expect("interim 100 Continue");
+    assert!(
+        String::from_utf8_lossy(&interim[..n]).starts_with("HTTP/1.1 100 Continue"),
+        "got: {}",
+        String::from_utf8_lossy(&interim[..n])
+    );
+    // The strict client now ships the body and gets the real response.
+    socket.write_all(body.as_bytes()).unwrap();
+    let mut response = Vec::new();
+    let mut chunk = [0u8; 4096];
+    while !String::from_utf8_lossy(&response).contains("\"xml\"") {
+        let n = socket.read(&mut chunk).expect("final response");
+        assert!(n > 0, "server closed before answering");
+        response.extend_from_slice(&chunk[..n]);
+    }
+    let text = String::from_utf8_lossy(&response);
+    assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+    drop(socket);
+    gateway.shutdown();
+    server.initiate_shutdown();
+}
+
+#[test]
+fn half_closed_client_still_gets_all_pipelined_responses() {
+    let server = Arc::new(ExtractionServer::start(
+        ServerConfig::default(),
+        shop_registry(),
+        Arc::new(lixto::elog::StaticWeb::new()),
+    ));
+    let gateway = HttpGateway::bind(
+        "127.0.0.1:0",
+        GatewayConfig {
+            event_loops: 1,
+            idle_timeout: Duration::from_secs(30),
+            ..GatewayConfig::default()
+        },
+        server.clone(),
+    )
+    .unwrap();
+    // The `printf requests | nc` pattern: ship a pipelined burst, shut
+    // the write side immediately, then read. Every buffered request
+    // must still be answered; the connection closes only when the
+    // parser would need bytes that can no longer come.
+    let mut socket = TcpStream::connect(gateway.addr()).unwrap();
+    socket
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let one = b"GET /healthz HTTP/1.1\r\nhost: hc\r\ncontent-length: 0\r\n\r\n";
+    let burst: Vec<u8> = one.repeat(3);
+    socket.write_all(&burst).unwrap();
+    socket.shutdown(std::net::Shutdown::Write).unwrap();
+    let t = Instant::now();
+    let stream = read_to_close(&mut socket);
+    let text = String::from_utf8_lossy(&stream);
+    assert_eq!(
+        text.matches("HTTP/1.1 200").count(),
+        3,
+        "all pipelined requests answered after half-close: {text}"
+    );
+    assert!(
+        t.elapsed() < Duration::from_secs(5),
+        "close follows the last response promptly, not an idle timeout"
+    );
+    let stats = gateway.shutdown();
+    assert_eq!(stats.requests, 3);
+    server.initiate_shutdown();
+}
+
+#[test]
+fn stalling_mid_drain_of_an_answered_413_closes_without_a_second_response() {
+    let server = Arc::new(ExtractionServer::start(
+        ServerConfig::default(),
+        shop_registry(),
+        Arc::new(lixto::elog::StaticWeb::new()),
+    ));
+    let gateway = HttpGateway::bind(
+        "127.0.0.1:0",
+        GatewayConfig {
+            event_loops: 1,
+            limits: lixto::http::Limits {
+                max_header_bytes: 2048,
+                max_body_bytes: 64,
+            },
+            read_timeout: Duration::from_millis(200),
+            idle_timeout: Duration::from_secs(10),
+            ..GatewayConfig::default()
+        },
+        server.clone(),
+    )
+    .unwrap();
+    let mut socket = TcpStream::connect(gateway.addr()).unwrap();
+    socket
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // An oversized-but-drainable body: the 413 is answered early (the
+    // client may be waiting on 100-continue), then the client ships
+    // only part of the declared body and stalls.
+    socket
+        .write_all(b"POST /extract HTTP/1.1\r\nhost: stall\r\ncontent-length: 500\r\n\r\n")
+        .unwrap();
+    socket.write_all(&[b'x'; 100]).unwrap();
+    let stream = read_to_close(&mut socket);
+    let text = String::from_utf8_lossy(&stream);
+    assert!(text.contains("HTTP/1.1 413"), "{text}");
+    assert!(
+        !text.contains("408"),
+        "the answered request must not get a second response: {text}"
+    );
+    assert_eq!(
+        text.matches("HTTP/1.1 ").count(),
+        1,
+        "exactly one response: {text}"
+    );
+    let stats = gateway.shutdown();
+    assert_eq!(stats.requests, 1, "one request, answered once");
+    server.initiate_shutdown();
+}
+
+#[test]
+fn shutdown_under_hundreds_of_parked_connections_drains_without_deadlock() {
+    const PARKED: usize = 200;
+
+    let web = Arc::new(GatedWeb::new());
+    let server = Arc::new(ExtractionServer::start(
+        ServerConfig {
+            shards: 1,
+            workers_per_shard: 1,
+            queue_capacity: PARKED + 8,
+            cache_capacity: 16,
+        },
+        shop_registry(),
+        web.clone(),
+    ));
+    let gateway = HttpGateway::bind(
+        "127.0.0.1:0",
+        GatewayConfig {
+            event_loops: 2,
+            idle_timeout: Duration::from_secs(30),
+            ..GatewayConfig::default()
+        },
+        server.clone(),
+    )
+    .unwrap();
+    let addr = gateway.addr();
+    let body = http_traffic::extract_body_web("shop", "http://shop/");
+
+    // Park PARKED connections: every one submits a Web extraction whose
+    // fetch blocks on the gate, so each sits in the Dispatched state —
+    // two event loops holding 200 in-flight requests between them.
+    let mut parked = Vec::new();
+    for _ in 0..PARKED {
+        let body = body.clone();
+        parked.push(std::thread::spawn(move || {
+            let mut client = HttpClient::connect(addr).unwrap();
+            client.post_json("/extract", &body).unwrap()
+        }));
+    }
+    web.wait_fetching();
+    // Wait until the pool holds everything: 1 executing + the rest
+    // queued.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if server.metrics().submitted >= PARKED as u64 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "parking never completed");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Gateway shutdown begins *while* all of them are parked; the gate
+    // opens shortly after, as a live source eventually would. Shutdown
+    // must drain — every parked connection gets its real response with
+    // `Connection: close` — rather than deadlock.
+    let release = {
+        let web = web.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(100));
+            web.release();
+        })
+    };
+    let stats = gateway.shutdown();
+    release.join().unwrap();
+
+    let mut served = 0usize;
+    for handle in parked {
+        let response = handle.join().expect("parked client panicked");
+        assert_eq!(
+            response.status,
+            200,
+            "parked connections drain with their real result: {}",
+            response.text()
+        );
+        assert_eq!(
+            response.header("connection"),
+            Some("close"),
+            "drained responses must close"
+        );
+        served += 1;
+    }
+    assert_eq!(served, PARKED);
+    assert_eq!(stats.connections, PARKED as u64);
+    assert_eq!(stats.responses_5xx, 0);
+    let report = server.initiate_shutdown();
+    assert_eq!(report.workers_joined, 1);
+}
+
+#[test]
+fn pool_shutdown_first_cancels_parked_connections_with_5xx_not_a_hang() {
+    const PARKED: usize = 48;
+
+    let web = Arc::new(GatedWeb::new());
+    let server = Arc::new(ExtractionServer::start(
+        ServerConfig {
+            shards: 1,
+            workers_per_shard: 1,
+            queue_capacity: PARKED + 8,
+            cache_capacity: 16,
+        },
+        shop_registry(),
+        web.clone(),
+    ));
+    let gateway = HttpGateway::bind(
+        "127.0.0.1:0",
+        GatewayConfig {
+            event_loops: 2,
+            idle_timeout: Duration::from_secs(30),
+            ..GatewayConfig::default()
+        },
+        server.clone(),
+    )
+    .unwrap();
+    let addr = gateway.addr();
+    let body = http_traffic::extract_body_web("shop", "http://shop/");
+
+    let mut parked = Vec::new();
+    for _ in 0..PARKED {
+        let body = body.clone();
+        parked.push(std::thread::spawn(move || {
+            let mut client = HttpClient::connect(addr).unwrap();
+            client.post_json("/extract", &body).unwrap()
+        }));
+    }
+    web.wait_fetching();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while server.metrics().submitted < PARKED as u64 {
+        assert!(Instant::now() < deadline, "parking never completed");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // The *pool* shuts down first (opposite order from the test above):
+    // the gated fetch is released from a helper so the drain can make
+    // progress; queued-but-unprocessed jobs resolve as drained results
+    // or cancellations, and every parked HTTP connection must be
+    // answered — 200 for drained work, 5xx for canceled — never hang.
+    let release = {
+        let web = web.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            web.release();
+        })
+    };
+    server.initiate_shutdown();
+    release.join().unwrap();
+    for handle in parked {
+        let response = handle.join().expect("parked client panicked");
+        assert!(
+            response.status == 200 || response.status >= 500,
+            "got {}",
+            response.status
+        );
+    }
+    gateway.shutdown();
+}
