@@ -17,7 +17,7 @@
 //! acceptance at the root gates the selection globally. The label-class
 //! `Other` ("none of the automaton's known labels") needs stratified
 //! negation, so the emitted program is evaluated with the general
-//! [`seminaive`](lixto_datalog::seminaive) engine.
+//! [`seminaive`] engine.
 
 use lixto_datalog::ast::{Atom, Literal, Program, Rule, Term};
 use lixto_datalog::{seminaive, structure::tree_db, EvalError};

@@ -37,6 +37,7 @@ fn bench(c: &mut Criterion) {
                 workers_per_shard: 1,
                 queue_capacity: 64,
                 cache_capacity: 64,
+                store: None,
             },
             workload_registry(),
             Arc::new(StaticWeb::new()),

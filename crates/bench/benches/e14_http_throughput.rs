@@ -27,6 +27,7 @@ fn bench(c: &mut Criterion) {
                 workers_per_shard: 2,
                 queue_capacity: 128,
                 cache_capacity: 64,
+                store: None,
             },
             workload_registry(),
             Arc::new(StaticWeb::new()),

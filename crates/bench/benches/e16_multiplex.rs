@@ -26,6 +26,7 @@ fn tiny_stack() -> (HttpGateway, Arc<ExtractionServer>) {
             workers_per_shard: 1,
             queue_capacity: 256,
             cache_capacity: 64,
+            store: None,
         },
         registry,
         Arc::new(StaticWeb::new()),
@@ -108,6 +109,7 @@ fn bench_mixed_workload(c: &mut Criterion) {
                 workers_per_shard: 2,
                 queue_capacity: 128,
                 cache_capacity: 64,
+                store: None,
             },
             lixto_bench::workload_registry(),
             Arc::new(StaticWeb::new()),

@@ -1,0 +1,95 @@
+//! E17: persistence — replaying restart-heavy traffic against a server
+//! whose result store was recovered from disk (warm restart) vs one
+//! rebuilding its cache by executing plans (cold rewarm). Each
+//! iteration restarts the server, so the measured quantity is the full
+//! recover-and-serve (or rewarm-and-serve) cost.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lixto_bench::workload_registry;
+use lixto_elog::StaticWeb;
+use lixto_server::{ExtractionRequest, ExtractionServer, RequestSource, ServerConfig, StoreConfig};
+use lixto_workloads::traffic;
+
+fn bench(c: &mut Criterion) {
+    const USERS: usize = 8;
+    const PER_USER: usize = 8;
+    const POOL: u64 = 3;
+    let requests: Vec<ExtractionRequest> = traffic::restart_requests(99, USERS, PER_USER, POOL)
+        .into_iter()
+        .map(|r| ExtractionRequest {
+            wrapper: r.wrapper.to_string(),
+            version: None,
+            source: RequestSource::Inline {
+                url: r.url,
+                html: r.html,
+            },
+        })
+        .collect();
+
+    let root = std::env::temp_dir().join(format!("lixto-bench-e17-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let start = |dir: &std::path::Path| {
+        ExtractionServer::start(
+            ServerConfig {
+                shards: 4,
+                workers_per_shard: 1,
+                queue_capacity: 64,
+                cache_capacity: 64,
+                store: Some(StoreConfig::new(dir)),
+            },
+            workload_registry(),
+            Arc::new(StaticWeb::new()),
+        )
+    };
+    let replay = |server: &ExtractionServer| {
+        let tickets: Vec<_> = requests
+            .iter()
+            .map(|r| server.submit(r.clone()).expect("submit"))
+            .collect();
+        tickets
+            .into_iter()
+            .map(|t| t.wait().expect("job completes").cache_hit as usize)
+            .sum::<usize>()
+    };
+
+    // Seed the warm directory once, outside the measurement.
+    let warm_dir = root.join("warm");
+    let seed = start(&warm_dir);
+    replay(&seed);
+    seed.shutdown();
+
+    let mut g = c.benchmark_group("e17_persistence");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.throughput(Throughput::Elements(requests.len() as u64));
+    g.bench_with_input(BenchmarkId::from_parameter("cold_rewarm"), &(), |b, ()| {
+        b.iter(|| {
+            // A fresh empty store directory every iteration: every
+            // distinct document pays one plan execution.
+            let dir = root.join("cold");
+            let _ = std::fs::remove_dir_all(&dir);
+            let server = start(&dir);
+            let hits = replay(&server);
+            server.shutdown();
+            hits
+        })
+    });
+    g.bench_with_input(BenchmarkId::from_parameter("warm_restart"), &(), |b, ()| {
+        b.iter(|| {
+            // Reopen the seeded store: recovery + disk promotion serve
+            // the whole stream without executing a single plan.
+            let server = start(&warm_dir);
+            let hits = replay(&server);
+            server.shutdown();
+            hits
+        })
+    });
+    g.finish();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

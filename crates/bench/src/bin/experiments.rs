@@ -65,6 +65,9 @@ fn main() {
     if want("e16_multiplex") {
         e16_multiplex();
     }
+    if want("e17_persistence") {
+        e17_persistence();
+    }
 }
 
 /// A deep/wide synthetic document of ~n nodes (nested lists of tables).
@@ -749,6 +752,7 @@ fn e13_server_throughput() {
                 workers_per_shard: 1,
                 queue_capacity: 64,
                 cache_capacity: 64,
+                store: None,
             },
             lixto_bench::workload_registry(),
             Arc::new(lixto_elog::StaticWeb::new()),
@@ -829,6 +833,7 @@ fn e14_http_throughput() {
                 workers_per_shard: 2,
                 queue_capacity: 128,
                 cache_capacity: 64,
+                store: None,
             },
             lixto_bench::workload_registry(),
             Arc::new(lixto_elog::StaticWeb::new()),
@@ -1078,6 +1083,7 @@ fn e15_plan_compile() {
             workers_per_shard: 2,
             queue_capacity: 128,
             cache_capacity: 64,
+            store: None,
         },
         lixto_bench::workload_registry(),
         Arc::new(lixto_elog::StaticWeb::new()),
@@ -1163,6 +1169,7 @@ fn e16_multiplex() {
         workers_per_shard: 2,
         queue_capacity: 128,
         cache_capacity: 64,
+        store: None,
     };
     let server = Arc::new(ExtractionServer::start(
         pool_config.clone(),
@@ -1338,6 +1345,7 @@ fn e16_multiplex() {
                 workers_per_shard: 1,
                 queue_capacity: 256,
                 cache_capacity: 64,
+                store: None,
             },
             registry,
             Arc::new(lixto_elog::StaticWeb::new()),
@@ -1471,4 +1479,151 @@ fn e16_multiplex() {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),
     }
+}
+
+/// E17 — persistence: warm-restart time-to-first-hit vs cold rewarm.
+///
+/// A gateway restart with a durable result store should answer its first
+/// request from the recovered disk tier instead of re-executing the
+/// wrapper plan. Both lives replay the same restart-heavy traffic (tiny
+/// per-wrapper document pools, near-total repetition); the cold run gets
+/// a fresh empty store directory, the warm run reopens the one the
+/// seeding phase filled.
+fn e17_persistence() {
+    use lixto_server::{
+        ExtractionRequest, ExtractionServer, RequestSource, ServerConfig, StoreConfig,
+    };
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    const USERS: usize = 16;
+    const PER_USER: usize = 25;
+    const POOL: u64 = 3;
+    let requests: Vec<ExtractionRequest> =
+        lixto_workloads::traffic::restart_requests(2026, USERS, PER_USER, POOL)
+            .into_iter()
+            .map(|r| ExtractionRequest {
+                wrapper: r.wrapper.to_string(),
+                version: None,
+                source: RequestSource::Inline {
+                    url: r.url,
+                    html: r.html,
+                },
+            })
+            .collect();
+
+    let root = std::env::temp_dir().join(format!("lixto-e17-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let start_server = |dir: &std::path::Path| {
+        ExtractionServer::start(
+            ServerConfig {
+                shards: 4,
+                workers_per_shard: 1,
+                queue_capacity: 64,
+                cache_capacity: 64,
+                store: Some(StoreConfig::new(dir)),
+            },
+            lixto_bench::workload_registry(),
+            Arc::new(lixto_elog::StaticWeb::new()),
+        )
+    };
+    // Replay the stream; returns (time-to-first-response µs, wall ms).
+    let replay = |server: &ExtractionServer| {
+        let t = Instant::now();
+        let first = server
+            .submit(requests[0].clone())
+            .expect("submit")
+            .wait()
+            .expect("first job");
+        let ttfr_us = t.elapsed().as_secs_f64() * 1e6;
+        let first_hit = first.cache_hit;
+        let tickets: Vec<_> = requests[1..]
+            .iter()
+            .map(|r| server.submit(r.clone()).expect("submit"))
+            .collect();
+        for ticket in tickets {
+            ticket.wait().expect("job completes");
+        }
+        (ttfr_us, first_hit, t.elapsed().as_secs_f64() * 1e3)
+    };
+
+    // Seed: one full pass fills the store, then the process "dies".
+    let warm_dir = root.join("warm");
+    let seed = start_server(&warm_dir);
+    let (_, _, seed_wall_ms) = replay(&seed);
+    let seeded = seed.metrics();
+    seed.shutdown();
+
+    // Cold rewarm: an empty store — every distinct document re-executes
+    // its plan once before the repeats can hit.
+    let cold = start_server(&root.join("cold"));
+    let (cold_ttfr_us, cold_first_hit, cold_wall_ms) = replay(&cold);
+    let cold_snap = cold.metrics();
+    cold.shutdown();
+
+    // Warm restart: recover the seeded store and replay.
+    let warm = start_server(&warm_dir);
+    let (warm_ttfr_us, warm_first_hit, warm_wall_ms) = replay(&warm);
+    let warm_snap = warm.metrics();
+    warm.shutdown();
+
+    let rows = vec![
+        vec![
+            "cold rewarm".to_string(),
+            requests.len().to_string(),
+            format!("{cold_ttfr_us:.0}"),
+            cold_first_hit.to_string(),
+            format!("{cold_wall_ms:.1}"),
+            cold_snap.store.recovered.to_string(),
+            cold_snap.store.disk_hits.to_string(),
+            format!("{:.0}%", cold_snap.cache.hit_rate() * 100.0),
+        ],
+        vec![
+            "warm restart".to_string(),
+            requests.len().to_string(),
+            format!("{warm_ttfr_us:.0}"),
+            warm_first_hit.to_string(),
+            format!("{warm_wall_ms:.1}"),
+            warm_snap.store.recovered.to_string(),
+            warm_snap.store.disk_hits.to_string(),
+            format!("{:.0}%", warm_snap.cache.hit_rate() * 100.0),
+        ],
+    ];
+    print_table(
+        "E17 — persistence: warm restart (recovered store) vs cold rewarm, restart-heavy traffic",
+        &[
+            "life",
+            "requests",
+            "first µs",
+            "first hit",
+            "wall ms",
+            "recovered",
+            "disk hits",
+            "cache hit",
+        ],
+        &rows,
+    );
+    let ttfr_speedup = cold_ttfr_us / warm_ttfr_us.max(1e-9);
+    println!("time-to-first-hit: cold {cold_ttfr_us:.0}µs vs warm {warm_ttfr_us:.0}µs ({ttfr_speedup:.1}x)");
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e17_persistence\",\n  \"users\": {USERS},\n  \"requests_per_user\": {PER_USER},\n  \"variant_pool\": {POOL},\n  \"seed\": {{\"wall_ms\": {seed_wall_ms:.3}, \"persisted\": {}, \"distinct_documents\": {}}},\n  \"cold\": {{\"time_to_first_response_us\": {cold_ttfr_us:.1}, \"first_was_hit\": {cold_first_hit}, \"wall_ms\": {cold_wall_ms:.3}, \"recovered\": {}, \"disk_hits\": {}, \"cache_hits\": {}, \"cache_misses\": {}}},\n  \"warm\": {{\"time_to_first_response_us\": {warm_ttfr_us:.1}, \"first_was_hit\": {warm_first_hit}, \"wall_ms\": {warm_wall_ms:.3}, \"recovered\": {}, \"disk_hits\": {}, \"cache_hits\": {}, \"cache_misses\": {}}},\n  \"warm_vs_cold\": {{\"time_to_first_hit_speedup\": {ttfr_speedup:.2}, \"wall_speedup\": {:.3}}}\n}}\n",
+        seeded.store.persisted,
+        seeded.cache.misses,
+        cold_snap.store.recovered,
+        cold_snap.store.disk_hits,
+        cold_snap.cache.hits,
+        cold_snap.cache.misses,
+        warm_snap.store.recovered,
+        warm_snap.store.disk_hits,
+        warm_snap.cache.hits,
+        warm_snap.cache.misses,
+        cold_wall_ms / warm_wall_ms.max(1e-9),
+    );
+    let path = "BENCH_e17.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    let _ = std::fs::remove_dir_all(&root);
 }

@@ -7,7 +7,7 @@
 //! story:
 //!
 //! * **General structures** ([`seminaive`]): stratified semi-naive
-//!   evaluation over an explicit [`Database`](structure::Database) of
+//!   evaluation over an explicit [`Database`] of
 //!   relations. Combined complexity is NP-complete for monadic programs
 //!   over arbitrary structures (Proposition 2.3) — the engine is exact but
 //!   its joins can blow up, which experiment E3 demonstrates on purpose.

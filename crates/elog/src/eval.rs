@@ -58,8 +58,13 @@ type Env = HashMap<String, Value>;
 ///
 /// `Clone` and `PartialEq` let callers (the `lixto_server` result cache in
 /// particular) store results and check that a cached result is identical
-/// to a fresh run.
-#[derive(Debug, Clone, PartialEq)]
+/// to a fresh run. Equality deliberately ignores [`rule_trace`]: the trace
+/// is derivation *metadata* recorded only by the plan executor (the
+/// interpreted walker leaves it empty), not part of the extraction
+/// semantics the `plan_equivalence` suite compares.
+///
+/// [`rule_trace`]: ExtractionResult::rule_trace
+#[derive(Debug, Clone)]
 pub struct ExtractionResult {
     /// The pattern instance base.
     pub base: InstanceBase,
@@ -74,6 +79,21 @@ pub struct ExtractionResult {
     ///
     /// [`patterns`]: ExtractionResult::patterns
     pub(crate) pattern_names: Vec<String>,
+    /// Provenance: for each instance in [`base`](ExtractionResult::base)
+    /// (parallel by index), the index of the plan rule that produced it.
+    /// Filled by the plan executor; empty when the interpreted walker
+    /// produced the result. Persisted by the `lixto_server` result store
+    /// so cached instances can explain which rule derived them.
+    pub rule_trace: Vec<u32>,
+}
+
+impl PartialEq for ExtractionResult {
+    fn eq(&self, other: &ExtractionResult) -> bool {
+        self.base == other.base
+            && self.docs == other.docs
+            && self.doc_urls == other.doc_urls
+            && self.pattern_names == other.pattern_names
+    }
 }
 
 impl ExtractionResult {
@@ -85,6 +105,36 @@ impl ExtractionResult {
             docs: Vec::new(),
             doc_urls: Vec::new(),
             pattern_names: Vec::new(),
+            rule_trace: Vec::new(),
+        }
+    }
+
+    /// The plan-rule index that produced instance `i`, when known. `None`
+    /// for interpreter-produced results (which record no trace) and for
+    /// out-of-range indices.
+    pub fn producing_rule(&self, i: usize) -> Option<u32> {
+        self.rule_trace.get(i).copied()
+    }
+
+    /// Reassemble a result from externally persisted parts — the
+    /// `lixto_server` result store rehydrates recovered entries through
+    /// this (instances re-materialized as [`Target::Text`], documents
+    /// dropped). The pattern-name order is recomputed from the base.
+    ///
+    /// [`Target::Text`]: crate::instances::Target::Text
+    pub fn from_parts(
+        base: InstanceBase,
+        docs: Vec<Document>,
+        doc_urls: Vec<String>,
+        rule_trace: Vec<u32>,
+    ) -> ExtractionResult {
+        let pattern_names = pattern_names_of(&base);
+        ExtractionResult {
+            base,
+            docs,
+            doc_urls,
+            pattern_names,
+            rule_trace,
         }
     }
 
@@ -238,6 +288,7 @@ impl<'w> Extractor<'w> {
             docs: st.docs,
             doc_urls: st.doc_urls,
             pattern_names,
+            rule_trace: Vec::new(),
         }
     }
 

@@ -101,6 +101,9 @@ struct PlanState {
     /// Pattern names in first-extraction order.
     name_order: Vec<String>,
     seen: Vec<bool>,
+    /// Producing rule index per instance, parallel to `base.instances` —
+    /// the derivation trace the result store persists as provenance.
+    rule_trace: Vec<u32>,
 }
 
 impl PlanState {
@@ -127,6 +130,7 @@ impl PlanState {
         pattern: PatternId,
         parent: Option<usize>,
         target: Target,
+        rule: u32,
     ) -> bool {
         let key = (pattern, parent, target);
         if self.dedup.contains(&key) {
@@ -152,6 +156,7 @@ impl PlanState {
             target,
         });
         self.by_pattern[pattern as usize].push(index);
+        self.rule_trace.push(rule);
         self.gens[pattern as usize] += 1;
         if !self.seen[pattern as usize] {
             self.seen[pattern as usize] = true;
@@ -195,6 +200,7 @@ pub(crate) fn execute(
         refs,
         name_order: Vec::new(),
         seen: vec![false; n],
+        rule_trace: Vec::new(),
     };
     let mut marks: Vec<Option<RuleMark>> = (0..plan.rules().len()).map(|_| None).collect();
     loop {
@@ -210,7 +216,7 @@ pub(crate) fn execute(
                 },
                 ref_gens: rule.refs.iter().map(|&r| st.gens[r as usize]).collect(),
             });
-            changed |= apply_rule(plan, rule, &mut st, web, options);
+            changed |= apply_rule(plan, rule, ri as u32, &mut st, web, options);
             if st.base.len() >= options.max_instances {
                 break;
             }
@@ -224,6 +230,7 @@ pub(crate) fn execute(
         docs: st.docs,
         doc_urls: st.doc_urls,
         pattern_names: st.name_order,
+        rule_trace: st.rule_trace,
     }
 }
 
@@ -249,6 +256,7 @@ fn can_skip(rule: &PlanRule, mark: &Option<RuleMark>, st: &PlanState) -> bool {
 fn apply_rule(
     plan: &WrapperPlan,
     rule: &PlanRule,
+    rule_index: u32,
     st: &mut PlanState,
     web: &dyn WebSource,
     options: &ExtractorOptions,
@@ -318,7 +326,7 @@ fn apply_rule(
                 .collect();
         }
         for target in accepted {
-            changed |= st.add(plan, rule.pattern, parent_idx, target);
+            changed |= st.add(plan, rule.pattern, parent_idx, target, rule_index);
         }
     }
     changed

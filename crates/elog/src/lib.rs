@@ -14,7 +14,7 @@
 //! atoms. Pattern predicates are *binary* — "the binary pattern relations
 //! define a multigraph that is the basis of the transformation of the
 //! wrapped data into XML" — and that multigraph is exactly the
-//! [`InstanceBase`](instances::InstanceBase) the Extractor produces.
+//! [`InstanceBase`] the Extractor produces.
 //!
 //! Implemented language features (each mapped to the paper's description):
 //!

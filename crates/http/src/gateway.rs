@@ -56,9 +56,18 @@
 //! | `POST /extract/batch`   | JSON array of `/extract` bodies → `{"count", "items": [{"status", "body"}]}`, partial failure preserved |
 //! | `PUT /wrappers/{name}`  | `{"program", "root"?, "auxiliary"?}` → registered version |
 //! | `GET /wrappers`         | the deployed catalog |
-//! | `GET /metrics`          | Prometheus text, or JSON with `Accept: application/json` |
+//! | `GET /provenance/{key}` | derivation of a stored result: wrapper version, plan fingerprint, source page hash, producing rule per instance |
+//! | `GET /metrics`          | Prometheus text (cache, store and gateway counters), or JSON with `Accept: application/json` |
 //! | `GET /healthz`          | liveness probe |
 //! | `POST /admin/shutdown`  | request graceful shutdown |
+//!
+//! Every `/extract` response carries a `provenance_key` — the stable
+//! store key of the result (wrapper percent-encoded, then plan
+//! fingerprint and content address as hex, `@`-separated). Feed it back
+//! to `GET /provenance/{key}` — including after a gateway restart, when
+//! the durable result store (see `lixto_server::store`) recovered the
+//! entry from disk — to learn which wrapper version and rule produced
+//! each extracted instance, from which page.
 //!
 //! `POST /extract/batch` amortizes HTTP framing over tiny documents:
 //! one request carries many extraction items, each answered with the
@@ -81,8 +90,9 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use lixto_server::{
-    DeployError, ExtractionRequest, ExtractionResponse, ExtractionServer, JobTicket,
-    MetricsSnapshot, RequestSource, ServerError, WrapperSpec, XmlDesign,
+    parse_provenance_key, provenance_key, DeployError, ExtractionRequest, ExtractionResponse,
+    ExtractionServer, JobTicket, MetricsSnapshot, RequestSource, ServerError, WrapperSpec,
+    XmlDesign,
 };
 
 use crate::http::{parse_request_with_body_limit, Limits, Request, RequestError, Response};
@@ -1479,6 +1489,13 @@ fn route(request: &Request, shared: &SharedGateway) -> Response {
                 shared,
             )
         }
+        ("GET", path)
+            if path
+                .strip_prefix("/provenance/")
+                .is_some_and(|k| !k.is_empty()) =>
+        {
+            get_provenance(path.strip_prefix("/provenance/").expect("checked"), shared)
+        }
         ("GET", "/metrics") => get_metrics(request, shared),
         ("GET", "/healthz") => Response::json(200, &obj([("status", "ok".into())])),
         ("POST", "/admin/shutdown") => {
@@ -1495,7 +1512,7 @@ fn route(request: &Request, shared: &SharedGateway) -> Response {
             "/extract" | "/extract/batch" | "/wrappers" | "/metrics" | "/healthz"
             | "/admin/shutdown",
         ) => Response::error(405, "method_not_allowed", "wrong method for this path"),
-        (_, path) if path.starts_with("/wrappers/") => {
+        (_, path) if path.starts_with("/wrappers/") || path.starts_with("/provenance/") => {
             Response::error(405, "method_not_allowed", "wrong method for this path")
         }
         _ => Response::error(404, "not_found", "no such endpoint"),
@@ -1527,9 +1544,77 @@ fn extraction_json(response: &ExtractionResponse) -> Json {
         ("version", response.version.into()),
         ("cache_hit", response.cache_hit.into()),
         ("latency_us", (response.latency.as_micros() as u64).into()),
+        ("provenance_key", provenance_key(&response.key).into()),
         ("xml", response.xml().into()),
         ("patterns", patterns.into()),
     ])
+}
+
+/// `GET /provenance/{key}`: the derivation record persisted beside a
+/// cached extraction — wrapper version, plan fingerprint, source page
+/// hash, and the producing rule per instance. 404 when the key is not
+/// in either store tier (never expired, never cached, or evicted).
+fn get_provenance(key: &str, shared: &SharedGateway) -> Response {
+    let Some(cache_key) = parse_provenance_key(key) else {
+        return bad_request(
+            "malformed provenance key; expected {wrapper}@{plan:016x}@{content:016x}",
+        );
+    };
+    let Some(entry) = shared.server.provenance(&cache_key) else {
+        return Response::error(404, "not_found", "no cached result under this key");
+    };
+    let p = &entry.provenance;
+    let instances: Vec<Json> = p
+        .instances
+        .iter()
+        .map(|inst| {
+            obj([
+                ("pattern", inst.pattern.as_str().into()),
+                (
+                    "parent",
+                    inst.parent
+                        .map(|i| Json::from(i as u64))
+                        .unwrap_or(Json::Null),
+                ),
+                (
+                    "rule",
+                    inst.rule
+                        .map(|r| Json::from(u64::from(r)))
+                        .unwrap_or(Json::Null),
+                ),
+                ("text", inst.text.as_str().into()),
+            ])
+        })
+        .collect();
+    let crawl: Vec<Json> = entry
+        .crawl
+        .iter()
+        .map(|record| {
+            obj([
+                ("url", record.url.as_str().into()),
+                (
+                    "hash",
+                    record
+                        .content
+                        .map(|h| Json::from(format!("{h:016x}")))
+                        .unwrap_or(Json::Null),
+                ),
+            ])
+        })
+        .collect();
+    Response::json(
+        200,
+        &obj([
+            ("key", key.into()),
+            ("wrapper", p.wrapper.as_str().into()),
+            ("version", p.version.into()),
+            ("plan", format!("{:016x}", p.plan).into()),
+            ("source_url", p.source_url.as_str().into()),
+            ("source_hash", format!("{:016x}", p.source_hash).into()),
+            ("instances", instances.into()),
+            ("crawl", crawl.into()),
+        ]),
+    )
 }
 
 fn get_wrappers(shared: &SharedGateway) -> Response {
@@ -1669,6 +1754,21 @@ pub fn metrics_json(snapshot: &MetricsSnapshot, stats: &GatewayStats) -> Json {
             ]),
         ),
         (
+            "store",
+            obj([
+                ("persisted", snapshot.store.persisted.into()),
+                ("recovered", snapshot.store.recovered.into()),
+                ("disk_hits", snapshot.store.disk_hits.into()),
+                ("disk_len", snapshot.store.disk_len.into()),
+                ("disk_bytes", snapshot.store.disk_bytes.into()),
+                ("corrupt_records", snapshot.store.corrupt_records.into()),
+                ("compactions", snapshot.store.compactions.into()),
+                ("expired", snapshot.store.expired.into()),
+                ("disk_evictions", snapshot.store.disk_evictions.into()),
+                ("write_errors", snapshot.store.write_errors.into()),
+            ]),
+        ),
+        (
             "gateway",
             obj([
                 ("connections", stats.connections.into()),
@@ -1777,6 +1877,66 @@ pub fn render_prometheus(snapshot: &MetricsSnapshot, stats: &GatewayStats) -> St
             "gauge",
             "Cache entries currently held",
             snapshot.cache.len.to_string(),
+        ),
+        (
+            "lixto_store_persisted_total",
+            "counter",
+            "Results appended to the durable store's write-ahead log",
+            snapshot.store.persisted.to_string(),
+        ),
+        (
+            "lixto_store_recovered_total",
+            "counter",
+            "Results recovered from disk at the last store open",
+            snapshot.store.recovered.to_string(),
+        ),
+        (
+            "lixto_store_disk_hits_total",
+            "counter",
+            "Lookups served from the disk tier (hot-tier misses)",
+            snapshot.store.disk_hits.to_string(),
+        ),
+        (
+            "lixto_store_entries",
+            "gauge",
+            "Entries currently live in the disk tier",
+            snapshot.store.disk_len.to_string(),
+        ),
+        (
+            "lixto_store_bytes",
+            "gauge",
+            "Encoded bytes of live entries in the disk tier",
+            snapshot.store.disk_bytes.to_string(),
+        ),
+        (
+            "lixto_store_corrupt_records_total",
+            "counter",
+            "Undecodable records skipped during recovery",
+            snapshot.store.corrupt_records.to_string(),
+        ),
+        (
+            "lixto_store_compactions_total",
+            "counter",
+            "Snapshot rewrites (TTL sweep + budget eviction + WAL truncation)",
+            snapshot.store.compactions.to_string(),
+        ),
+        (
+            "lixto_store_expired_total",
+            "counter",
+            "Entries dropped because their TTL elapsed",
+            snapshot.store.expired.to_string(),
+        ),
+        (
+            "lixto_store_evictions_total",
+            "counter",
+            "Entries evicted from disk to meet the size budget",
+            snapshot.store.disk_evictions.to_string(),
+        ),
+        (
+            "lixto_store_write_errors_total",
+            "counter",
+            "Failed WAL appends (result still served from memory)",
+            snapshot.store.write_errors.to_string(),
         ),
         (
             "lixto_http_connections_total",

@@ -18,8 +18,11 @@
 //!   multiplexer (a few event-loop threads, each owning many
 //!   non-blocking keep-alive connections as per-connection state
 //!   machines) with graceful drain shutdown, exposing `POST /extract`
-//!   and `POST /extract/batch`, `PUT`/`GET /wrappers`, `GET /metrics`
-//!   (Prometheus text or JSON) and `POST /admin/shutdown` over an
+//!   and `POST /extract/batch`, `PUT`/`GET /wrappers`,
+//!   `GET /provenance/{key}` (the persisted derivation record of a
+//!   cached extraction), `GET /metrics` (Prometheus text or JSON,
+//!   including the durable result-store counters) and
+//!   `POST /admin/shutdown` over an
 //!   [`ExtractionServer`](lixto_server::ExtractionServer);
 //! * [`client`] — a blocking keep-alive [`HttpClient`] for tests,
 //!   benches and command-line use.

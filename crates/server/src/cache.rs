@@ -90,8 +90,9 @@ pub struct CrawlRecord {
 }
 
 /// A cached extraction: the result, its serialized XML rendering (cached
-/// too, so hits skip re-serialization), and the crawl manifest used to
-/// revalidate the entry before serving it again.
+/// too, so hits skip re-serialization), the crawl manifest used to
+/// revalidate the entry before serving it again, and the provenance
+/// record the tiered store persists beside it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CachedExtraction {
     /// The extraction result.
@@ -107,6 +108,10 @@ pub struct CachedExtraction {
     /// revalidates against the same capability — comparing a live hash
     /// with an offline fetch failure would spuriously invalidate.
     pub crawl_live: bool,
+    /// Derivation record: which wrapper version and rules produced each
+    /// instance, from which page (see
+    /// [`Provenance`](crate::store::Provenance)).
+    pub provenance: crate::store::Provenance,
 }
 
 struct Entry {
@@ -316,6 +321,7 @@ mod tests {
             xml: xml.to_string(),
             crawl: Vec::new(),
             crawl_live: false,
+            provenance: crate::store::Provenance::default(),
         })
     }
 

@@ -25,9 +25,25 @@
 //!   eviction, hit/miss/eviction/invalidation counters, and
 //!   [`ChangeDetector`](lixto_transform::ChangeDetector)-driven
 //!   invalidation when a live source changes;
+//! * [`store`] — the durable [`TieredStore`]: the sharded LRU as hot
+//!   tier over an append-only, log-structured disk tier with snapshot +
+//!   WAL recovery, TTL and size-budget compaction, and a persisted
+//!   [`Provenance`] record per entry (wrapper version, plan
+//!   fingerprint, producing rule index, source page hash), so a
+//!   restarted gateway serves previously-cached extractions — and can
+//!   explain them — without recompute;
 //! * [`metrics`] — a lock-free fixed-bucket latency histogram and the
 //!   [`MetricsSnapshot`] API (throughput, p50/p99, queue depths, cache
-//!   stats).
+//!   and store stats).
+//!
+//! # Durability directory convention
+//!
+//! Both durable substrates live under one data directory (see
+//! [`durability_layout`]): `<root>/wrappers` is the registry spool,
+//! `<root>/store` the result store. Both use the same line-oriented,
+//! backslash-escaped UTF-8 file format family, and both recover by
+//! skipping (and counting or warning about) corrupt records rather than
+//! refusing to start.
 
 #![forbid(unsafe_code)]
 
@@ -35,6 +51,7 @@ pub mod cache;
 pub mod metrics;
 pub mod registry;
 pub mod server;
+pub mod store;
 
 pub use lixto_core::XmlDesign;
 
@@ -48,4 +65,8 @@ pub use registry::{DeployError, RegisteredWrapper, WrapperRegistry, WrapperSpec}
 pub use server::{
     ExtractionRequest, ExtractionResponse, ExtractionServer, JobTicket, RequestSource,
     ServerConfig, ServerError, ShutdownReport,
+};
+pub use store::{
+    durability_layout, parse_provenance_key, provenance_key, DurabilityLayout, InstanceProvenance,
+    Provenance, StoreConfig, StoreStats, TieredStore,
 };

@@ -10,6 +10,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use crate::cache::CacheStats;
+use crate::store::StoreStats;
 
 /// Number of histogram buckets; 2^30 µs ≈ 18 minutes caps the top one.
 const BUCKETS: usize = 31;
@@ -43,7 +44,7 @@ impl LatencyHistogram {
     }
 
     /// The upper bound (µs) of the bucket containing quantile `q` in
-    /// [0,1]; `None` with no observations. Resolution is the bucket
+    /// \[0,1\]; `None` with no observations. Resolution is the bucket
     /// width, i.e. a factor of two.
     pub fn quantile_us(&self, q: f64) -> Option<u64> {
         let counts: Vec<u64> = self
@@ -124,8 +125,11 @@ pub struct MetricsSnapshot {
     pub queue_depths: Vec<usize>,
     /// Worker thread count.
     pub workers: usize,
-    /// Result-cache counters.
+    /// Hot-tier (result cache) counters.
     pub cache: CacheStats,
+    /// Disk-tier (durable store) counters; all zero when the server runs
+    /// memory-only.
+    pub store: StoreStats,
 }
 
 impl MetricsSnapshot {
@@ -135,6 +139,7 @@ impl MetricsSnapshot {
         queue_depths: Vec<usize>,
         workers: usize,
         cache: CacheStats,
+        store: StoreStats,
     ) -> MetricsSnapshot {
         let completed = metrics.completed.load(Ordering::Relaxed);
         let elapsed = metrics.started_at.elapsed().as_secs_f64().max(1e-9);
@@ -149,6 +154,7 @@ impl MetricsSnapshot {
             queue_depths,
             workers,
             cache,
+            store,
         }
     }
 }
@@ -187,7 +193,13 @@ mod tests {
         m.completed.store(8, Ordering::Relaxed);
         m.errors.store(2, Ordering::Relaxed);
         m.latency.record(Duration::from_micros(50));
-        let snap = MetricsSnapshot::collect(&m, vec![1, 2], 4, CacheStats::default());
+        let snap = MetricsSnapshot::collect(
+            &m,
+            vec![1, 2],
+            4,
+            CacheStats::default(),
+            StoreStats::default(),
+        );
         assert_eq!((snap.submitted, snap.completed, snap.errors), (10, 8, 2));
         assert_eq!(snap.queue_depths, vec![1, 2]);
         assert_eq!(snap.workers, 4);

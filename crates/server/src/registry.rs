@@ -215,6 +215,48 @@ impl WrapperRegistry {
     /// subsequent [`register`](WrapperRegistry::register) writes one.
     /// Reloaded wrappers get built-in concepts; custom concept
     /// registries are not persisted.
+    ///
+    /// # Spool format
+    ///
+    /// One file per registered version, named
+    /// `{sanitized-name}@{version}.wrapper`, where the sanitized name
+    /// keeps `[A-Za-z0-9_-]` and percent-encodes every other byte (the
+    /// `name=` header inside the file carries the authoritative name).
+    /// Each file is line-oriented UTF-8:
+    ///
+    /// ```text
+    /// lixto-wrapper v1          magic first line
+    /// name=<escaped>
+    /// root=<escaped>
+    /// auxiliary=<escaped>       zero or more
+    /// label=<escaped>\t<escaped>  zero or more pattern→label overrides
+    /// max_documents=<n>
+    /// max_instances=<n>
+    /// program:
+    /// <raw Elog source, possibly many lines>
+    /// end-program
+    /// version=<n>
+    /// end
+    /// ```
+    ///
+    /// Header values use the durability directory's shared escaping
+    /// convention — `\\`, `\n`, `\r`, `\t` backslash-escaped, everything
+    /// else verbatim — so names, labels and roots may
+    /// contain any Unicode including tabs and newlines. The result
+    /// store under the same data root uses the identical convention
+    /// (see [`durability_layout`](crate::durability_layout)).
+    ///
+    /// # Recovery
+    ///
+    /// A manifest that no longer *parses* (truncated by a crash
+    /// mid-write, hand-edited, wrong magic) is **skipped with a stderr
+    /// warning** — one bad file must not keep a server with dozens of
+    /// healthy wrappers from starting. A manifest that parses but whose
+    /// Elog source no longer *compiles* is still a hard
+    /// [`InvalidData`](io::ErrorKind::InvalidData) error: that means
+    /// the engine and the spool disagree about the language, which an
+    /// operator must resolve rather than silently dropping a deployed
+    /// wrapper.
     pub fn with_spool(dir: impl Into<PathBuf>) -> io::Result<WrapperRegistry> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
@@ -230,13 +272,13 @@ impl WrapperRegistry {
             if path.extension().and_then(|e| e.to_str()) != Some("wrapper") {
                 continue;
             }
-            let manifest = parse_manifest(&fs::read_to_string(&path)?).map_err(|e| {
-                io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("corrupt wrapper manifest {}: {e}", path.display()),
-                )
-            })?;
-            manifests.push((path, manifest));
+            match parse_manifest(&fs::read_to_string(&path)?) {
+                Ok(manifest) => manifests.push((path, manifest)),
+                Err(e) => eprintln!(
+                    "lixto: skipping corrupt wrapper manifest {}: {e}",
+                    path.display()
+                ),
+            }
         }
         manifests.sort_by(|(_, a), (_, b)| (&a.name, a.version).cmp(&(&b.name, b.version)));
         for (path, m) in manifests {
@@ -383,7 +425,11 @@ struct SpoolManifest {
     source: String,
 }
 
-fn escape(s: &str) -> String {
+/// Escape a string for a single line-oriented manifest/store field:
+/// `\\`, `\n`, `\r` and `\t` are backslash-escaped, everything else is
+/// verbatim UTF-8. Shared by the registry spool and the result store —
+/// the one escaping convention of the durability directory.
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -397,7 +443,8 @@ fn escape(s: &str) -> String {
     out
 }
 
-fn unescape(s: &str) -> Result<String, String> {
+/// Inverse of [`escape`]; errors on a dangling or unknown escape.
+pub(crate) fn unescape(s: &str) -> Result<String, String> {
     let mut out = String::with_capacity(s.len());
     let mut chars = s.chars();
     while let Some(c) = chars.next() {
@@ -735,6 +782,31 @@ mod tests {
         let reloaded = WrapperRegistry::with_spool(&dir).unwrap();
         let w = reloaded.latest("weird name/v=1").expect("reloaded");
         assert_eq!(w.spec.design.root_label, "line\nbreak\ttab\\slash");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_manifests_are_skipped_not_fatal() {
+        let dir = temp_spool("corrupt");
+        {
+            let reg = WrapperRegistry::with_spool(&dir).unwrap();
+            reg.register_source("good", WRAPPER, XmlDesign::new().root("ok"))
+                .unwrap();
+        }
+        // Three flavors of corruption a crash or stray editor can leave:
+        // wrong magic, truncation mid-header, truncation mid-program.
+        fs::write(dir.join("bad-magic@1.wrapper"), "not a manifest\n").unwrap();
+        fs::write(dir.join("truncated@1.wrapper"), "lixto-wrapper v1\nname=t").unwrap();
+        fs::write(
+            dir.join("unterminated@1.wrapper"),
+            "lixto-wrapper v1\nname=u\nprogram:\nitem(S, X) :- docum",
+        )
+        .unwrap();
+        let reg = WrapperRegistry::with_spool(&dir).expect("corruption must not be fatal");
+        assert_eq!(reg.catalog(), vec![("good".to_string(), 1)]);
+        assert_eq!(reg.latest("good").unwrap().spec.design.root_label, "ok");
+        // The corrupt files are left in place for the operator to inspect.
+        assert!(dir.join("bad-magic@1.wrapper").exists());
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -5,7 +5,8 @@
 //! identity, so identical work lands on the same queue), each shard owns
 //! a bounded job queue drained by one or more worker threads, and every
 //! completed extraction is stored in the shared content-addressed
-//! [`ResultCache`]. Bounded queues give backpressure two ways: `submit`
+//! [`ResultCache`](crate::ResultCache). Bounded queues give
+//! backpressure two ways: `submit`
 //! blocks the producer when its shard is full, `try_submit` returns
 //! [`ServerError::Backpressure`] instead.
 //!
@@ -31,11 +32,10 @@ use lixto_elog::eval::ExtractionResult;
 use lixto_elog::{Extractor, WebSource};
 use lixto_transform::ChangeDetector;
 
-use crate::cache::{
-    content_address, fxhash64, CacheKey, CachedExtraction, CrawlRecord, ResultCache,
-};
+use crate::cache::{content_address, fxhash64, CacheKey, CachedExtraction, CrawlRecord};
 use crate::metrics::{MetricsSnapshot, ServerMetrics};
 use crate::registry::{RegisteredWrapper, WrapperRegistry};
+use crate::store::{InstanceProvenance, Provenance, StoreConfig, TieredStore};
 
 /// Where the document to wrap comes from.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -81,6 +81,10 @@ pub struct ExtractionResponse {
     pub wrapper: String,
     /// Version that executed.
     pub version: u32,
+    /// The store key the result lives under — render it with
+    /// [`provenance_key`](crate::store::provenance_key) to query
+    /// `GET /provenance/{key}` later.
+    pub key: CacheKey,
     /// The extraction result (shared with the cache).
     pub result: Arc<CachedExtraction>,
     /// Whether the result came from the cache.
@@ -143,16 +147,33 @@ impl std::fmt::Display for ServerError {
 }
 
 /// Sizing knobs for [`ExtractionServer::start`].
+///
+/// Every field has a working default ([`ServerConfig::default`]); zero
+/// values are clamped up to 1 at start.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServerConfig {
-    /// Number of shard queues.
+    /// Number of shard queues. Requests hash to a shard by wrapper name
+    /// plus source identity, so repeated work for the same (wrapper,
+    /// document) lands on the same queue. Default 4.
     pub shards: usize,
-    /// Worker threads per shard (sharing the shard's queue).
+    /// Worker threads per shard (sharing the shard's queue). Total
+    /// worker count is `shards * workers_per_shard`. Default 1.
     pub workers_per_shard: usize,
-    /// Bounded capacity of each shard queue.
+    /// Bounded capacity of each shard queue — the backpressure limit:
+    /// `submit` blocks and `try_submit` rejects past it. Default 64.
     pub queue_capacity: usize,
-    /// Result-cache capacity in entries.
+    /// Hot-tier (in-memory result cache) capacity in entries. Default
+    /// 256.
     pub cache_capacity: usize,
+    /// Durable result store configuration. `None` (the default) runs
+    /// memory-only — exactly the pre-persistence behavior. `Some`
+    /// backs the hot tier with the append-only disk tier at
+    /// [`StoreConfig::dir`], so a restarted server serves
+    /// previously-cached extractions without re-executing any plan. If
+    /// the directory cannot be opened the server logs the error to
+    /// stderr and falls back to memory-only rather than refusing to
+    /// start.
+    pub store: Option<StoreConfig>,
 }
 
 impl Default for ServerConfig {
@@ -162,6 +183,7 @@ impl Default for ServerConfig {
             workers_per_shard: 1,
             queue_capacity: 64,
             cache_capacity: 256,
+            store: None,
         }
     }
 }
@@ -269,7 +291,7 @@ const MAX_TRACKED_SOURCES: usize = 4096;
 
 struct Shared {
     registry: Arc<WrapperRegistry>,
-    cache: ResultCache,
+    store: TieredStore,
     metrics: ServerMetrics,
     web: Arc<dyn WebSource + Send + Sync>,
     sources: Mutex<HashMap<(String, String), SourceTracker>>,
@@ -278,7 +300,8 @@ struct Shared {
 /// The wrapper-execution service.
 ///
 /// The pool is safe to share behind an `Arc` (the HTTP gateway does):
-/// submission takes `&self`, and [`initiate_shutdown`] drains and joins
+/// submission takes `&self`, and
+/// [`initiate_shutdown`](ExtractionServer::initiate_shutdown) drains and joins
 /// the pool through a shared reference. The by-value
 /// [`shutdown`](ExtractionServer::shutdown) remains for exclusive owners.
 pub struct ExtractionServer {
@@ -357,10 +380,22 @@ impl ExtractionServer {
             workers_per_shard: config.workers_per_shard.max(1),
             queue_capacity: config.queue_capacity.max(1),
             cache_capacity: config.cache_capacity.max(1),
+            store: config.store,
+        };
+        let store = match &config.store {
+            Some(store_config) => TieredStore::open(config.cache_capacity, store_config)
+                .unwrap_or_else(|e| {
+                    eprintln!(
+                        "lixto-server: result store at {} unavailable ({e}); running memory-only",
+                        store_config.dir.display()
+                    );
+                    TieredStore::memory(config.cache_capacity)
+                }),
+            None => TieredStore::memory(config.cache_capacity),
         };
         let shared = Arc::new(Shared {
             registry,
-            cache: ResultCache::new(config.cache_capacity),
+            store,
             metrics: ServerMetrics::new(),
             web,
             sources: Mutex::new(HashMap::new()),
@@ -555,8 +590,22 @@ impl ExtractionServer {
             &self.shared.metrics,
             queue_depths,
             self.workers.lock().expect("workers poisoned").len(),
-            self.shared.cache.stats(),
+            self.shared.store.cache_stats(),
+            self.shared.store.store_stats(),
         )
+    }
+
+    /// The stored entry — result, XML and provenance — for `key`, from
+    /// either tier of the result store, without counting a hit or miss.
+    /// This backs the gateway's `GET /provenance/{key}` endpoint.
+    pub fn provenance(&self, key: &CacheKey) -> Option<Arc<CachedExtraction>> {
+        self.shared.store.lookup(key)
+    }
+
+    /// Rewrite the store's disk snapshot and truncate its WAL now; a
+    /// no-op for a memory-only server.
+    pub fn compact_store(&self) {
+        self.shared.store.compact();
     }
 
     /// Graceful shutdown through a shared handle (e.g. an
@@ -663,7 +712,7 @@ fn process(job: &Job, shared: &Shared) -> Result<ExtractionResponse, ServerError
         if tracker.detector.changed(&format!("{:016x}", key.content)) {
             if let Some(old) = tracker.last_key.take() {
                 if old != key {
-                    shared.cache.invalidate(&old);
+                    shared.store.invalidate(&old);
                 }
             }
         }
@@ -678,23 +727,24 @@ fn process(job: &Job, shared: &Shared) -> Result<ExtractionResponse, ServerError
     // other fetch capability (live vs. self-contained) cannot be judged
     // here: recompute, but leave the entry alone — it is still valid
     // for requests of its own kind.
-    if let Some(cached) = shared.cache.peek(&key) {
+    if let Some(cached) = shared.store.peek(&key) {
         if cached.crawl.is_empty() || cached.crawl_live == from_web {
             if crawl_current(&cached.crawl, crawl_web) {
-                shared.cache.record_hit();
+                shared.store.record_hit();
                 return Ok(ExtractionResponse {
                     wrapper: job.wrapper.name.clone(),
                     version: job.wrapper.version,
+                    key,
                     result: cached,
                     cache_hit: true,
                     latency: job.submitted_at.elapsed(),
                 });
             }
-            shared.cache.invalidate(&key);
+            shared.store.invalidate(&key);
         }
-        shared.cache.record_miss();
+        shared.store.record_miss();
     } else {
-        shared.cache.record_miss();
+        shared.store.record_miss();
     }
     let page = PinnedPage {
         url,
@@ -713,16 +763,40 @@ fn process(job: &Job, shared: &Shared) -> Result<ExtractionResponse, ServerError
         .with_options(spec.options.clone())
         .run();
     let xml = lixto_xml::to_string(&to_xml(&result, &spec.design));
+    // Record the derivation beside the result: which rule produced each
+    // instance (index-parallel to the base), from which page.
+    let instances = result
+        .base
+        .instances
+        .iter()
+        .enumerate()
+        .map(|(i, inst)| InstanceProvenance {
+            pattern: inst.pattern.clone(),
+            parent: inst.parent,
+            rule: result.producing_rule(i),
+            text: result.base.text_of(i, &result.docs),
+        })
+        .collect();
+    let provenance = Provenance {
+        wrapper: job.wrapper.name.clone(),
+        version: job.wrapper.version,
+        plan: job.wrapper.plan_id,
+        source_url: url.to_string(),
+        source_hash: fxhash64(html.as_bytes()),
+        instances,
+    };
     let value = Arc::new(CachedExtraction {
         result,
         xml,
         crawl: recorder.fetched.into_inner(),
         crawl_live: from_web,
+        provenance,
     });
-    shared.cache.insert(key, value.clone());
+    shared.store.insert(key.clone(), value.clone());
     Ok(ExtractionResponse {
         wrapper: job.wrapper.name.clone(),
         version: job.wrapper.version,
+        key,
         result: value,
         cache_hit: false,
         latency: job.submitted_at.elapsed(),
@@ -1201,6 +1275,7 @@ mod tests {
                 workers_per_shard: 1,
                 queue_capacity: 1,
                 cache_capacity: 4,
+                store: None,
             },
             registry,
             gate.clone(),

@@ -12,7 +12,7 @@ use crate::interner::Symbol;
 pub enum NodeKind {
     /// An element (HTML/XML tag). Carries attributes, may have children.
     Element,
-    /// A text leaf. Carries its character data in [`NodeData::text`].
+    /// A text leaf. Carries its character data in `NodeData::text`.
     Text,
 }
 

@@ -104,6 +104,24 @@ pub fn long_tail_requests(seed: u64, users: usize, per_user: usize) -> Vec<HttpT
         .collect()
 }
 
+/// The restart-heavy stream of
+/// [`traffic::restart_requests`](crate::traffic::restart_requests),
+/// rendered as `POST /extract` bodies — near-total document repetition
+/// from a pool of `pool` variants per wrapper, the traffic shape that
+/// makes warm-restart recovery (serve from the recovered store) visibly
+/// cheaper than cold rewarm (re-execute every plan once per pair).
+pub fn restart_requests(
+    seed: u64,
+    users: usize,
+    per_user: usize,
+    pool: u64,
+) -> Vec<HttpTrafficRequest> {
+    crate::traffic::restart_requests(seed, users, per_user, pool)
+        .iter()
+        .map(HttpTrafficRequest::from)
+        .collect()
+}
+
 /// Group pre-rendered `POST /extract` bodies into `POST /extract/batch`
 /// payloads of at most `batch_size` items each (each body becomes one
 /// array element, in order).

@@ -152,6 +152,43 @@ pub fn long_tail_requests(seed: u64, users: usize, per_user: usize) -> Vec<Traff
     out
 }
 
+/// Restart-heavy traffic: the repetition-maximizing stream for the
+/// persistence experiments (E17). Every wrapper cycles through a pool
+/// of just `pool` document variants (default the first
+/// [`VARIANTS_PER_WRAPPER`]), so a warmed result store answers almost
+/// the whole stream from cache — and, after a process restart, a
+/// *recovered* store should answer it equally well. Compare the
+/// time-to-first-hit of a gateway replaying this stream after a restart
+/// (disk recovery) against one rebuilding the cache by re-executing
+/// plans (cold rewarm).
+pub fn restart_requests(
+    seed: u64,
+    users: usize,
+    per_user: usize,
+    pool: u64,
+) -> Vec<TrafficRequest> {
+    let pool = pool.max(1);
+    let profiles = profiles();
+    let mut out = Vec::with_capacity(users * per_user);
+    for round in 0..per_user {
+        for user in 0..users {
+            let k = (user * per_user + round) as u64;
+            let w = (hash01(seed, k) * profiles.len() as f64) as usize % profiles.len();
+            let profile = &profiles[w];
+            out.push(TrafficRequest {
+                user,
+                wrapper: profile.name,
+                url: profile.entry_url.to_string(),
+                // Tiny per-wrapper pool: the k-th request reuses variant
+                // k mod pool, so the stream revisits the same (wrapper,
+                // document) pairs over and over.
+                html: page_for(profile.name, seed, k % pool),
+            });
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,6 +253,25 @@ mod tests {
                 html: r.html.clone(),
             };
             assert!(!Extractor::new(program, &web).run().base.is_empty());
+        }
+    }
+
+    #[test]
+    fn restart_traffic_reuses_a_tiny_document_pool() {
+        let reqs = restart_requests(3, 8, 16, 2);
+        assert_eq!(reqs.len(), 128);
+        assert_eq!(reqs, restart_requests(3, 8, 16, 2), "deterministic");
+        let distinct: std::collections::HashSet<(&str, &str)> =
+            reqs.iter().map(|r| (r.wrapper, r.html.as_str())).collect();
+        // 5 wrappers × pool of 2 = at most 10 distinct pairs in 128
+        // requests: the stream is nearly all repeats.
+        assert!(
+            distinct.len() <= 10,
+            "restart traffic must draw from the tiny pool, got {} distinct pairs",
+            distinct.len()
+        );
+        for p in profiles() {
+            assert!(reqs.iter().any(|r| r.wrapper == p.name));
         }
     }
 

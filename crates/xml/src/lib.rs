@@ -9,7 +9,7 @@
 //! specific task, and produces an XML document as result."
 //!
 //! This crate is that hand-over format: an owned, mutable XML document
-//! model ([`Element`], [`XmlNode`]), a parser ([`parse`]), a serializer
+//! model ([`Element`], [`XmlNode`]), a parser ([`parse()`]), a serializer
 //! with proper escaping ([`serialize`]), and small selection helpers
 //! ([`select`]) that integrator/transformer stages use to pick apart
 //! incoming documents. It is namespace-free — the paper's pipelines (NITF

@@ -21,7 +21,12 @@
 //! curl -X POST http://127.0.0.1:7878/admin/shutdown
 //! ```
 //!
-//! `LIXTO_HTTP_ADDR` overrides the bind address. With `--selftest` the
+//! `LIXTO_HTTP_ADDR` overrides the bind address. `LIXTO_DATA_DIR` makes
+//! the gateway durable: wrappers spool to `$LIXTO_DATA_DIR/wrappers` and
+//! extraction results persist to `$LIXTO_DATA_DIR/store`, so restarting
+//! the example with the same directory serves previously-extracted pages
+//! as warm cache hits (`"cache_hit":true` on the first request) and can
+//! explain them via `GET /provenance/{key}`. With `--selftest` the
 //! example drives one client session against itself and exits — the
 //! zero-terminal smoke test.
 
@@ -29,19 +34,37 @@ use std::sync::Arc;
 
 use lixto::elog::StaticWeb;
 use lixto::http::{GatewayConfig, HttpClient, HttpGateway};
-use lixto::server::{ExtractionServer, ServerConfig};
+use lixto::server::{durability_layout, ExtractionServer, ServerConfig, StoreConfig};
 use lixto::workloads::{http_traffic, traffic};
 use lixto_bench::workload_registry;
 
 fn main() {
     // 1. A registry with every workload wrapper, and a synthetic web
     //    holding each wrapper's entry page so `{"wrapper", "url"}`
-    //    requests (no inline html) work out of the box.
-    let registry = workload_registry();
+    //    requests (no inline html) work out of the box. With
+    //    LIXTO_DATA_DIR set, both the registry and the result store are
+    //    durable under one data directory.
+    let data_dir = std::env::var_os("LIXTO_DATA_DIR").map(durability_layout);
+    let registry = match &data_dir {
+        Some(layout) => {
+            println!("durable data directory: {}", layout.root.display());
+            let spooled = lixto::server::WrapperRegistry::with_spool(&layout.wrappers)
+                .expect("open wrapper spool");
+            for p in traffic::profiles() {
+                if spooled.latest(p.name).is_none() {
+                    spooled
+                        .register_source(p.name, p.program, lixto_bench::workload_design(&p))
+                        .expect("workload wrapper compiles");
+                }
+            }
+            Arc::new(spooled)
+        }
+        None => workload_registry(),
+    };
     let mut web = StaticWeb::new();
     for p in traffic::profiles() {
         web.put(p.entry_url, traffic::page_for(p.name, 2026, 0));
-        println!("registered {:>8} v1  (entry {})", p.name, p.entry_url);
+        println!("registered {:>8} (entry {})", p.name, p.entry_url);
     }
 
     // 2. The pool and the gateway in front of it.
@@ -51,6 +74,7 @@ fn main() {
             workers_per_shard: 2,
             queue_capacity: 64,
             cache_capacity: 256,
+            store: data_dir.as_ref().map(|l| StoreConfig::new(&l.store)),
         },
         registry,
         Arc::new(web),

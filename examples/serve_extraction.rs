@@ -31,6 +31,7 @@ fn main() {
             workers_per_shard: 2,
             queue_capacity: 32,
             cache_capacity: 128,
+            store: None,
         },
         registry,
         Arc::new(StaticWeb::new()),

@@ -28,6 +28,7 @@ fn deterministic_stack(config: &GatewayConfig) -> (HttpGateway, Arc<ExtractionSe
             workers_per_shard: 1,
             queue_capacity: 128,
             cache_capacity: 64,
+            store: None,
         },
         registry,
         Arc::new(lixto::elog::StaticWeb::new()),

@@ -40,6 +40,7 @@ fn sixteen_keep_alive_clients_get_byte_identical_xml() {
             workers_per_shard: 2,
             queue_capacity: 64,
             cache_capacity: 64,
+            store: None,
         },
         workload_registry(),
         Arc::new(StaticWeb::new()),
@@ -209,6 +210,7 @@ fn full_queue_returns_429_backpressure() {
             workers_per_shard: 1,
             queue_capacity: 1,
             cache_capacity: 16,
+            store: None,
         },
         registry,
         web.clone(),
@@ -562,6 +564,160 @@ fn spooled_deploys_survive_a_server_restart() {
 }
 
 #[test]
+fn restart_serves_warm_hits_from_the_recovered_store_with_provenance() {
+    use lixto::server::{durability_layout, StoreConfig};
+
+    let root = std::env::temp_dir().join(format!(
+        "lixto-http-store-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&root);
+    let layout = durability_layout(&root);
+    let page = traffic::page_for("books_a", 5, 1);
+    let body = http_traffic::extract_body("books_a", "http://shop0/books", &page);
+    let deploy = {
+        let profile = traffic::profiles().remove(0);
+        http_traffic::register_body(&profile)
+    };
+    let durable_config = || ServerConfig {
+        store: Some(StoreConfig::new(&layout.store)),
+        ..ServerConfig::default()
+    };
+    let bind = |server: &Arc<ExtractionServer>| {
+        HttpGateway::bind(
+            "127.0.0.1:0",
+            GatewayConfig {
+                handler_threads: 1,
+                idle_timeout: Duration::from_millis(500),
+                ..GatewayConfig::default()
+            },
+            server.clone(),
+        )
+        .unwrap()
+    };
+
+    // First life: deploy, extract once (a miss that persists the result),
+    // and remember the XML plus the provenance key it was stored under.
+    let (first_xml, provenance_key) = {
+        let registry = Arc::new(WrapperRegistry::with_spool(&layout.wrappers).unwrap());
+        let server = Arc::new(ExtractionServer::start(
+            durable_config(),
+            registry,
+            Arc::new(StaticWeb::new()),
+        ));
+        let gateway = bind(&server);
+        let mut client = HttpClient::connect(gateway.addr()).unwrap();
+        let put = client.put_json("/wrappers/books_a", &deploy).unwrap();
+        assert_eq!(put.status, 201, "{}", put.text());
+        let extract = client.post_json("/extract", &body).unwrap();
+        assert_eq!(extract.status, 200, "{}", extract.text());
+        let parsed = extract.json().unwrap();
+        assert_eq!(parsed.get("cache_hit").and_then(Json::as_bool), Some(false));
+        let xml = parsed
+            .get("xml")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_string();
+        let key = parsed
+            .get("provenance_key")
+            .and_then(Json::as_str)
+            .expect("every /extract response carries a provenance_key")
+            .to_string();
+        drop(client);
+        gateway.shutdown();
+        server.initiate_shutdown();
+        (xml, key)
+    };
+
+    // Second life: same data directory, fresh processes all the way down.
+    let registry = Arc::new(WrapperRegistry::with_spool(&layout.wrappers).unwrap());
+    let server = Arc::new(ExtractionServer::start(
+        durable_config(),
+        registry,
+        Arc::new(StaticWeb::new()),
+    ));
+    let gateway = bind(&server);
+    let mut client = HttpClient::connect(gateway.addr()).unwrap();
+
+    // The warm request is a cache *hit* served from the recovered store:
+    // byte-identical XML, no plan re-execution.
+    let extract = client.post_json("/extract", &body).unwrap();
+    assert_eq!(extract.status, 200, "{}", extract.text());
+    let parsed = extract.json().unwrap();
+    assert_eq!(
+        parsed.get("cache_hit").and_then(Json::as_bool),
+        Some(true),
+        "a restarted gateway must serve the recovered result: {}",
+        extract.text()
+    );
+    assert_eq!(
+        parsed.get("xml").and_then(Json::as_str),
+        Some(first_xml.as_str()),
+        "recovered XML must be byte-identical"
+    );
+    assert_eq!(
+        parsed.get("provenance_key").and_then(Json::as_str),
+        Some(provenance_key.as_str()),
+        "content addressing must be stable across restarts"
+    );
+    let snapshot = server.metrics();
+    assert!(snapshot.store.recovered >= 1, "{:?}", snapshot.store);
+    assert!(snapshot.store.disk_hits >= 1, "{:?}", snapshot.store);
+    assert_eq!(snapshot.cache.hits, 1, "served as a hit, not recomputed");
+
+    // The provenance endpoint explains the recovered entry: wrapper
+    // version, producing rule indices, and the source page hash.
+    let provenance = client
+        .get(&format!("/provenance/{provenance_key}"))
+        .unwrap();
+    assert_eq!(provenance.status, 200, "{}", provenance.text());
+    let p = provenance.json().unwrap();
+    assert_eq!(p.get("wrapper").and_then(Json::as_str), Some("books_a"));
+    assert_eq!(p.get("version").and_then(Json::as_u64), Some(1));
+    assert_eq!(
+        p.get("source_url").and_then(Json::as_str),
+        Some("http://shop0/books")
+    );
+    let expected_hash = format!("{:016x}", lixto::server::fxhash64(page.as_bytes()));
+    assert_eq!(
+        p.get("source_hash").and_then(Json::as_str),
+        Some(expected_hash.as_str())
+    );
+    let instances = p.get("instances").and_then(Json::as_array).unwrap();
+    assert!(!instances.is_empty(), "provenance lists the instances");
+    assert!(
+        instances
+            .iter()
+            .all(|i| i.get("rule").and_then(Json::as_u64).is_some()),
+        "every instance records its producing rule: {}",
+        provenance.text()
+    );
+
+    // Unknown and malformed keys are clean client errors.
+    let missing = client.get("/provenance/ghost@0000000000000000@0000000000000000");
+    assert_eq!(missing.unwrap().status, 404);
+    assert_eq!(client.get("/provenance/not-a-key").unwrap().status, 400);
+
+    // `/metrics` exposes the store counters over the wire.
+    let wire = client
+        .get_accept("/metrics", "application/json")
+        .unwrap()
+        .json()
+        .unwrap();
+    let store = wire.get("store").expect("store block in /metrics");
+    assert!(store.get("recovered").and_then(Json::as_u64).unwrap() >= 1);
+    assert!(store.get("disk_hits").and_then(Json::as_u64).unwrap() >= 1);
+    let prom = client.get("/metrics").unwrap();
+    assert!(prom.text().contains("lixto_store_recovered_total"));
+
+    drop(client);
+    gateway.shutdown();
+    server.initiate_shutdown();
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
 fn pool_shutdown_while_handlers_hold_tickets_does_not_deadlock() {
     let registry = Arc::new(WrapperRegistry::new());
     registry
@@ -578,6 +734,7 @@ fn pool_shutdown_while_handlers_hold_tickets_does_not_deadlock() {
             workers_per_shard: 1,
             queue_capacity: 4,
             cache_capacity: 16,
+            store: None,
         },
         registry,
         web.clone(),

@@ -377,6 +377,7 @@ fn shutdown_under_hundreds_of_parked_connections_drains_without_deadlock() {
             workers_per_shard: 1,
             queue_capacity: PARKED + 8,
             cache_capacity: 16,
+            store: None,
         },
         shop_registry(),
         web.clone(),
@@ -465,6 +466,7 @@ fn pool_shutdown_first_cancels_parked_connections_with_5xx_not_a_hang() {
             workers_per_shard: 1,
             queue_capacity: PARKED + 8,
             cache_capacity: 16,
+            store: None,
         },
         shop_registry(),
         web.clone(),

@@ -39,6 +39,7 @@ fn concurrent_clients_agree_with_single_threaded_engine() {
             workers_per_shard: 2,
             queue_capacity: 16,
             cache_capacity: 64,
+            store: None,
         },
         registry,
         Arc::new(StaticWeb::new()),
@@ -160,6 +161,7 @@ fn shutdown_rejects_new_work_but_drains_queued_jobs() {
             workers_per_shard: 1,
             queue_capacity: 8,
             cache_capacity: 16,
+            store: None,
         },
         registry,
         Arc::new(StaticWeb::new()),
