@@ -15,6 +15,7 @@ fn bench(c: &mut Criterion) {
     let requests: Vec<ExtractionRequest> = traffic::requests(99, USERS, PER_USER)
         .into_iter()
         .map(|r| ExtractionRequest {
+            trace: None,
             wrapper: r.wrapper.to_string(),
             version: None,
             source: RequestSource::Inline {

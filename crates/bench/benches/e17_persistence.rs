@@ -19,6 +19,7 @@ fn bench(c: &mut Criterion) {
     let requests: Vec<ExtractionRequest> = traffic::restart_requests(99, USERS, PER_USER, POOL)
         .into_iter()
         .map(|r| ExtractionRequest {
+            trace: None,
             wrapper: r.wrapper.to_string(),
             version: None,
             source: RequestSource::Inline {

@@ -68,6 +68,9 @@ fn main() {
     if want("e17_persistence") {
         e17_persistence();
     }
+    if want("e18_observability") {
+        e18_observability();
+    }
 }
 
 /// A deep/wide synthetic document of ~n nodes (nested lists of tables).
@@ -735,6 +738,7 @@ fn e13_server_throughput() {
         lixto_workloads::traffic::requests(2026, USERS, PER_USER)
             .into_iter()
             .map(|r| ExtractionRequest {
+                trace: None,
                 wrapper: r.wrapper.to_string(),
                 version: None,
                 source: RequestSource::Inline {
@@ -1069,6 +1073,7 @@ fn e15_plan_compile() {
     let requests: Vec<ExtractionRequest> = stream
         .iter()
         .map(|r| ExtractionRequest {
+            trace: None,
             wrapper: r.wrapper.to_string(),
             version: None,
             source: RequestSource::Inline {
@@ -1503,6 +1508,7 @@ fn e17_persistence() {
         lixto_workloads::traffic::restart_requests(2026, USERS, PER_USER, POOL)
             .into_iter()
             .map(|r| ExtractionRequest {
+                trace: None,
                 wrapper: r.wrapper.to_string(),
                 version: None,
                 source: RequestSource::Inline {
@@ -1626,4 +1632,207 @@ fn e17_persistence() {
         Err(e) => eprintln!("could not write {path}: {e}"),
     }
     let _ = std::fs::remove_dir_all(&root);
+}
+
+/// E18: the observability tax and its books. Two questions:
+///
+/// 1. What does request tracing cost on the E14 busy path? The same
+///    mixed HTTP traffic is served by two otherwise identical gateways,
+///    one with `tracing: true` (spans, ids, per-stage clocks) and one
+///    with `tracing: false`; alternating measured passes give a
+///    median-vs-median overhead that must stay under 5%.
+/// 2. Do the per-rule clocks add up? For the eBay and news wrappers,
+///    the sum of `lixto_rule_nanoseconds_total` over a wrapper's rules
+///    must land within 20% of the plan-execution stage wall time.
+///    Document fetch/parse happens *inside* rule application (a
+///    `document(...)` atom evaluates during its rule's body), so rule
+///    clocks cover it; the only exec-stage time outside any rule clock
+///    is fixpoint bookkeeping between applications.
+fn e18_observability() {
+    use lixto_http::{GatewayConfig, HttpClient, HttpGateway};
+    use lixto_obs::Stage;
+    use lixto_server::{ExtractionRequest, ExtractionServer, RequestSource, ServerConfig};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    const USERS: usize = 32;
+    const PER_USER: usize = 50;
+    const CLIENTS: usize = 8;
+    const PASSES: usize = 3;
+    let requests = lixto_workloads::http_traffic::requests(2026, USERS, PER_USER);
+
+    // One measured pass of the E14 busy path against a fresh stack.
+    let run = |tracing: bool| -> f64 {
+        let server = Arc::new(ExtractionServer::start(
+            ServerConfig {
+                shards: 4,
+                workers_per_shard: 2,
+                queue_capacity: 128,
+                cache_capacity: 64,
+                store: None,
+            },
+            lixto_bench::workload_registry(),
+            Arc::new(lixto_elog::StaticWeb::new()),
+        ));
+        let gateway = HttpGateway::bind(
+            "127.0.0.1:0",
+            GatewayConfig {
+                handler_threads: CLIENTS,
+                tracing,
+                ..GatewayConfig::default()
+            },
+            server.clone(),
+        )
+        .expect("bind gateway");
+        let addr = gateway.addr();
+        // Warm pass fills the result cache; the measured pass serves the
+        // steady state, like E14.
+        let mut measured = 0.0f64;
+        for pass in 0..2 {
+            let t = Instant::now();
+            std::thread::scope(|scope| {
+                for chunk in requests.chunks(requests.len().div_ceil(CLIENTS)) {
+                    scope.spawn(move || {
+                        let mut client = HttpClient::connect(addr).expect("connect");
+                        for r in chunk {
+                            let response = client.post_json("/extract", &r.body).expect("extract");
+                            assert_eq!(response.status, 200, "{}", response.text());
+                        }
+                    });
+                }
+            });
+            if pass == 1 {
+                measured = requests.len() as f64 / t.elapsed().as_secs_f64();
+            }
+        }
+        if tracing {
+            // The traced gateway must actually have traced: spans
+            // retained, rule counters live.
+            let mut probe = HttpClient::connect(addr).expect("connect");
+            let slow = probe.get("/debug/slow").expect("debug/slow");
+            assert_eq!(slow.status, 200);
+            assert!(
+                slow.text().contains("\"id\""),
+                "traced run retained no spans"
+            );
+            drop(probe);
+        }
+        gateway.shutdown();
+        server.initiate_shutdown();
+        measured
+    };
+
+    // Alternate off/on passes so drift hits both modes equally.
+    let mut rps_off = Vec::with_capacity(PASSES);
+    let mut rps_on = Vec::with_capacity(PASSES);
+    for _ in 0..PASSES {
+        rps_off.push(run(false));
+        rps_on.push(run(true));
+    }
+    let median = |samples: &mut Vec<f64>| -> f64 {
+        samples.sort_by(f64::total_cmp);
+        samples[samples.len() / 2]
+    };
+    let off = median(&mut rps_off);
+    let on = median(&mut rps_on);
+    let overhead_pct = 100.0 * (off - on) / off;
+
+    // Part 2: rule clocks vs the exec stage, measured in-process so the
+    // per-request stage times are exact (no HTTP jitter in the ledger).
+    let registry = lixto_bench::workload_registry();
+    let server = ExtractionServer::start(
+        ServerConfig {
+            shards: 1,
+            workers_per_shard: 1,
+            queue_capacity: 64,
+            cache_capacity: 16,
+            store: None,
+        },
+        registry.clone(),
+        Arc::new(lixto_elog::StaticWeb::new()),
+    );
+    let ledger_requests = lixto_workloads::traffic::long_tail_requests(7, 8, 40);
+    let mut exec_ns: std::collections::HashMap<&str, u64> = std::collections::HashMap::new();
+    for r in &ledger_requests {
+        let response = server
+            .execute(ExtractionRequest {
+                trace: None,
+                wrapper: r.wrapper.to_string(),
+                version: None,
+                source: RequestSource::Inline {
+                    url: r.url.clone(),
+                    html: r.html.clone(),
+                },
+            })
+            .expect("ledger extraction");
+        *exec_ns.entry(r.wrapper).or_default() += response.stages.ns(Stage::PlanExec);
+    }
+    server.initiate_shutdown();
+
+    let mut rows = Vec::new();
+    let mut wrapper_rows = Vec::new();
+    let mut books_ok = true;
+    for name in ["ebay", "news"] {
+        let wrapper = registry.latest(name).expect("workload wrapper");
+        let rules = wrapper.telemetry.snapshot();
+        let rule_ns: u64 = rules.iter().map(|r| r.total_ns).sum();
+        let invocations: u64 = rules.iter().map(|r| r.invocations).sum();
+        assert!(rule_ns > 0, "{name}: rule clocks never ran");
+        assert!(invocations > 0, "{name}: rule counters never ran");
+        let body_ns = exec_ns[name];
+        let ratio = rule_ns as f64 / body_ns as f64;
+        let within = (ratio - 1.0).abs() <= 0.20;
+        books_ok &= within;
+        rows.push(vec![
+            name.to_string(),
+            rules.len().to_string(),
+            invocations.to_string(),
+            format!("{:.2}", rule_ns as f64 / 1e6),
+            format!("{:.2}", body_ns as f64 / 1e6),
+            format!("{ratio:.3}"),
+            within.to_string(),
+        ]);
+        wrapper_rows.push(format!(
+            r#"    {{"wrapper": "{name}", "rules": {}, "invocations": {invocations}, "rule_ns": {rule_ns}, "exec_stage_ns": {body_ns}, "ratio": {ratio:.4}, "within_20pct": {within}}}"#,
+            rules.len(),
+        ));
+    }
+
+    print_table(
+        "E18 — observability: per-rule clocks vs the exec stage (long-tail, in-process)",
+        &[
+            "wrapper",
+            "rules",
+            "invocs",
+            "rule ms",
+            "exec ms",
+            "ratio",
+            "within 20%",
+        ],
+        &rows,
+    );
+    print_table(
+        "E18 — observability: tracing overhead on the E14 busy path",
+        &["mode", "req/s (median of 3)"],
+        &[
+            vec!["tracing off".into(), format!("{off:.0}")],
+            vec!["tracing on".into(), format!("{on:.0}")],
+            vec!["overhead".into(), format!("{overhead_pct:.2}%")],
+        ],
+    );
+    assert!(
+        overhead_pct <= 5.0,
+        "tracing overhead {overhead_pct:.2}% exceeds the 5% budget"
+    );
+    assert!(books_ok, "per-rule clocks diverged from the exec stage");
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e18_observability\",\n  \"busy_path\": {{\"users\": {USERS}, \"requests_per_user\": {PER_USER}, \"clients\": {CLIENTS}, \"passes\": {PASSES}, \"rps_tracing_off\": {off:.1}, \"rps_tracing_on\": {on:.1}, \"overhead_pct\": {overhead_pct:.3}}},\n  \"rule_ledger\": [\n{}\n  ]\n}}\n",
+        wrapper_rows.join(",\n")
+    );
+    let path = "BENCH_e18.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
 }

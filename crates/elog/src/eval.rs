@@ -190,6 +190,7 @@ pub struct Extractor<'w> {
     concepts: ConceptRegistry,
     web: &'w dyn WebSource,
     options: ExtractorOptions,
+    probe: Option<&'w crate::exec::ExecProbe>,
 }
 
 impl<'w> Extractor<'w> {
@@ -200,6 +201,7 @@ impl<'w> Extractor<'w> {
             concepts: ConceptRegistry::builtin(),
             web,
             options: ExtractorOptions::default(),
+            probe: None,
         }
     }
 
@@ -213,6 +215,7 @@ impl<'w> Extractor<'w> {
             concepts: ConceptRegistry::builtin(),
             web,
             options: ExtractorOptions::default(),
+            probe: None,
         }
     }
 
@@ -225,6 +228,16 @@ impl<'w> Extractor<'w> {
     /// Replace the safety limits.
     pub fn with_options(mut self, options: ExtractorOptions) -> Self {
         self.options = options;
+        self
+    }
+
+    /// Attach an execution probe: the compiled-plan path records
+    /// per-rule invocation counts, match counts and wall time into it,
+    /// plus cumulative fetch/parse time. Without a probe the executor
+    /// takes no clock readings. The interpreted reference path ignores
+    /// the probe entirely.
+    pub fn with_probe(mut self, probe: &'w crate::exec::ExecProbe) -> Self {
+        self.probe = Some(probe);
         self
     }
 
@@ -245,9 +258,9 @@ impl<'w> Extractor<'w> {
     /// matches — `run` itself never fails.
     pub fn run(&self) -> ExtractionResult {
         match &self.engine {
-            Engine::Plan(plan) => crate::exec::execute(plan, self.web, &self.options),
+            Engine::Plan(plan) => crate::exec::execute(plan, self.web, &self.options, self.probe),
             Engine::Ast(program) => match WrapperPlan::compile(program, &self.concepts) {
-                Ok(plan) => crate::exec::execute(&plan, self.web, &self.options),
+                Ok(plan) => crate::exec::execute(&plan, self.web, &self.options, self.probe),
                 Err(_) => self.interpret(program),
             },
         }
@@ -877,6 +890,49 @@ mod tests {
         };
         let result = Extractor::new(program, &web).run();
         assert_eq!(result.texts_of("desc"), vec!["D1"]);
+    }
+
+    #[test]
+    fn probe_counts_rule_invocations_and_matches() {
+        let web = page(
+            "<body><table><tr><td>item</td></tr></table>\
+             <table><tr><td><a href='u'>D1</a></td><td>$ 10</td></tr></table><hr></body>",
+        );
+        let program = ElogProgram {
+            rules: vec![
+                rule("page", doc_parent(), Extraction::Specialize, vec![]),
+                rule(
+                    "cell",
+                    ParentSpec::Pattern("page".into()),
+                    Extraction::Subelem(ElementPath::anywhere("td")),
+                    vec![],
+                ),
+            ],
+        };
+        let stats = std::sync::Arc::new(lixto_obs::RuleStats::new(vec![
+            "page".to_string(),
+            "cell".to_string(),
+        ]));
+        let probe = crate::ExecProbe::new(Some(stats.clone()));
+        let plan = std::sync::Arc::new(
+            WrapperPlan::compile(&program, &ConceptRegistry::builtin()).unwrap(),
+        );
+        let traced = Extractor::from_plan(plan.clone(), &web)
+            .with_probe(&probe)
+            .run();
+        // The probe must not change results.
+        let plain = Extractor::from_plan(plan, &web).run();
+        assert_eq!(traced.base.instances, plain.base.instances);
+
+        let snap = stats.snapshot();
+        // Total matches across rules equals the instance count, and the
+        // probe saw the entry fetch + parse.
+        let matched: u64 = snap.iter().map(|r| r.matches).sum();
+        assert_eq!(matched, traced.base.len() as u64);
+        assert!(snap.iter().all(|r| r.invocations >= 1));
+        assert_eq!(snap[1].matches, 3); // three <td> cells
+        assert!(probe.fetch_ns() > 0);
+        assert!(probe.parse_ns() > 0);
     }
 
     #[test]

@@ -14,9 +14,13 @@
 //! instance order included, which the `plan_equivalence` integration
 //! test asserts across the workload corpus.
 
+use std::cell::Cell;
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Arc;
+use std::time::Instant;
 
+use lixto_obs::RuleStats;
 use lixto_tree::{Document, NodeId, NodeKind};
 
 use crate::concepts::compare_values;
@@ -66,6 +70,45 @@ impl Hasher for FxHasher {
 
 type FxSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
 
+/// Optional execution telemetry. When attached (via
+/// [`Extractor::with_probe`](crate::Extractor::with_probe)) the executor
+/// times each rule invocation into the shared [`RuleStats`] and
+/// accumulates document fetch / HTML parse wall time; when absent the
+/// hot loop takes no clock readings at all.
+pub struct ExecProbe {
+    rules: Option<Arc<RuleStats>>,
+    fetch_ns: Cell<u64>,
+    parse_ns: Cell<u64>,
+}
+
+impl ExecProbe {
+    /// A probe recording per-rule counters into `rules` (pass `None` to
+    /// time only fetch/parse).
+    pub fn new(rules: Option<Arc<RuleStats>>) -> ExecProbe {
+        ExecProbe {
+            rules,
+            fetch_ns: Cell::new(0),
+            parse_ns: Cell::new(0),
+        }
+    }
+
+    /// Wall time spent fetching documents (entry + crawl) during runs
+    /// observed by this probe, in nanoseconds.
+    pub fn fetch_ns(&self) -> u64 {
+        self.fetch_ns.get()
+    }
+
+    /// Wall time spent parsing fetched HTML, in nanoseconds.
+    pub fn parse_ns(&self) -> u64 {
+        self.parse_ns.get()
+    }
+
+    fn add(cell: &Cell<u64>, since: Instant) {
+        let ns = since.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        cell.set(cell.get().saturating_add(ns));
+    }
+}
+
 /// A rule-local environment: one value per slot.
 type Frame = Vec<Option<Value>>;
 
@@ -83,7 +126,8 @@ struct RefIndex {
     texts: FxSet<String>,
 }
 
-struct PlanState {
+struct PlanState<'p> {
+    probe: Option<&'p ExecProbe>,
     base: InstanceBase,
     docs: Vec<Document>,
     doc_urls: Vec<String>,
@@ -106,7 +150,7 @@ struct PlanState {
     rule_trace: Vec<u32>,
 }
 
-impl PlanState {
+impl PlanState<'_> {
     fn fetch(&mut self, web: &dyn WebSource, url: &str, cap: usize) -> Option<DocId> {
         if let Some(&id) = self.url_ids.get(url) {
             return Some(id);
@@ -114,8 +158,17 @@ impl PlanState {
         if self.docs.len() >= cap {
             return None;
         }
-        let html = web.fetch(url)?;
+        let fetch_started = self.probe.map(|_| Instant::now());
+        let html = web.fetch(url);
+        if let (Some(probe), Some(started)) = (self.probe, fetch_started) {
+            ExecProbe::add(&probe.fetch_ns, started);
+        }
+        let html = html?;
+        let parse_started = self.probe.map(|_| Instant::now());
         let doc = lixto_html::parse(&html);
+        if let (Some(probe), Some(started)) = (self.probe, parse_started) {
+            ExecProbe::add(&probe.parse_ns, started);
+        }
         let id = DocId(self.docs.len() as u32);
         self.docs.push(doc);
         self.doc_urls.push(url.to_string());
@@ -181,6 +234,7 @@ pub(crate) fn execute(
     plan: &WrapperPlan,
     web: &dyn WebSource,
     options: &ExtractorOptions,
+    probe: Option<&ExecProbe>,
 ) -> ExtractionResult {
     let n = plan.patterns().len();
     let mut refs: HashMap<PatternId, RefIndex> = HashMap::new();
@@ -189,7 +243,9 @@ pub(crate) fn execute(
             refs.entry(r).or_default();
         }
     }
+    let rule_stats = probe.and_then(|p| p.rules.as_deref());
     let mut st = PlanState {
+        probe,
         base: InstanceBase::default(),
         docs: Vec::new(),
         doc_urls: Vec::new(),
@@ -216,7 +272,13 @@ pub(crate) fn execute(
                 },
                 ref_gens: rule.refs.iter().map(|&r| st.gens[r as usize]).collect(),
             });
-            changed |= apply_rule(plan, rule, ri as u32, &mut st, web, options);
+            let rule_started = rule_stats.map(|_| Instant::now());
+            let added = apply_rule(plan, rule, ri as u32, &mut st, web, options);
+            if let (Some(stats), Some(started)) = (rule_stats, rule_started) {
+                let ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                stats.record(ri, added as u64, ns);
+            }
+            changed |= added > 0;
             if st.base.len() >= options.max_instances {
                 break;
             }
@@ -253,14 +315,17 @@ fn can_skip(rule: &PlanRule, mark: &Option<RuleMark>, st: &PlanState) -> bool {
             .all(|(&r, &g)| st.gens[r as usize] == g)
 }
 
+/// Apply one rule across every parent instance; returns the number of
+/// new instances added (the executor's `changed` signal and the probe's
+/// per-invocation match count).
 fn apply_rule(
     plan: &WrapperPlan,
     rule: &PlanRule,
     rule_index: u32,
-    st: &mut PlanState,
+    st: &mut PlanState<'_>,
     web: &dyn WebSource,
     options: &ExtractorOptions,
-) -> bool {
+) -> usize {
     let parents: Vec<(Option<usize>, Target)> = match &rule.parent {
         PlanParent::Pattern(pid) => st.by_pattern[*pid as usize]
             .iter()
@@ -281,7 +346,7 @@ fn apply_rule(
         },
     };
 
-    let mut changed = false;
+    let mut added = 0;
     for (parent_idx, s_target) in parents {
         let candidates = extract(rule, &s_target, st, web, options);
         // Context-condition witnesses are per (condition, parent):
@@ -326,10 +391,12 @@ fn apply_rule(
                 .collect();
         }
         for target in accepted {
-            changed |= st.add(plan, rule.pattern, parent_idx, target, rule_index);
+            if st.add(plan, rule.pattern, parent_idx, target, rule_index) {
+                added += 1;
+            }
         }
     }
-    changed
+    added
 }
 
 /// Apply the extraction atom, yielding (target, initial frame) pairs.

@@ -70,6 +70,7 @@ pub use ast::{
 };
 pub use concepts::ConceptRegistry;
 pub use eval::{ExtractionResult, Extractor, ExtractorOptions};
+pub use exec::ExecProbe;
 pub use instances::{Instance, InstanceBase, Target};
 pub use parser::{parse_program, ParseError, EBAY_PROGRAM};
 pub use plan::{CompileError, WrapperPlan};

@@ -343,6 +343,10 @@ mod tests {
                     429 => "Too Many Requests",
                     _ => "Service Unavailable",
                 };
+                // Count before writing: the client may observe the
+                // response (and assert on the count) the instant the
+                // bytes land, so the increment must already be visible.
+                count.fetch_add(1, Ordering::SeqCst);
                 let _ = stream.write_all(
                     format!(
                         "HTTP/1.1 {status} {reason}\r\n{retry_after}content-length: {}\r\nconnection: close\r\n\r\n{body}",
@@ -350,7 +354,6 @@ mod tests {
                     )
                     .as_bytes(),
                 );
-                count.fetch_add(1, Ordering::SeqCst);
             }
         });
         (addr, served)

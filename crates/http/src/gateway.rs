@@ -57,9 +57,26 @@
 //! | `PUT /wrappers/{name}`  | `{"program", "root"?, "auxiliary"?}` → registered version |
 //! | `GET /wrappers`         | the deployed catalog |
 //! | `GET /provenance/{key}` | derivation of a stored result: wrapper version, plan fingerprint, source page hash, producing rule per instance |
-//! | `GET /metrics`          | Prometheus text (cache, store and gateway counters), or JSON with `Accept: application/json` |
+//! | `GET /metrics`          | Prometheus text (cache, store, gateway, per-stage and per-rule series), or JSON with `Accept: application/json` |
+//! | `GET /debug/wrappers/{name}` | per-rule execution telemetry of the wrapper's latest version |
+//! | `GET /debug/slow`       | the slowest and most recent request spans |
+//! | `GET /debug/requests/{id}` | one request's span by its `X-Request-Id` |
 //! | `GET /healthz`          | liveness probe |
 //! | `POST /admin/shutdown`  | request graceful shutdown |
+//!
+//! ## Request tracing
+//!
+//! With [`GatewayConfig::tracing`] on (the default), every `/extract`
+//! and `/extract/batch` request gets a trace id — the client's
+//! `X-Request-Id` header when it passes validation (1–64 visible ASCII
+//! characters), a minted one otherwise — echoed back in the response's
+//! `x-request-id` header (batch item envelopes additionally carry a
+//! per-item `request_id` suffixed `#i`). The id rides into the worker
+//! pool on [`ExtractionRequest::trace`], so worker log events name the
+//! request, and a span record (status, per-stage wall times, wake
+//! latency) is retained for `GET /debug/requests/{id}` and
+//! `GET /debug/slow`. Disabled, responses are byte-identical to the
+//! untraced gateway.
 //!
 //! Every `/extract` response carries a `provenance_key` — the stable
 //! store key of the result (wrapper percent-encoded, then plan
@@ -89,10 +106,13 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use lixto_obs::{
+    unix_millis, warn_event, RuleStat, SpanBuffer, SpanRecord, Stage, StageTimes, TraceId,
+};
 use lixto_server::{
     parse_provenance_key, provenance_key, DeployError, ExtractionRequest, ExtractionResponse,
-    ExtractionServer, JobTicket, MetricsSnapshot, RequestSource, ServerError, WrapperSpec,
-    XmlDesign,
+    ExtractionServer, JobTicket, LatencyHistogram, MetricsSnapshot, RequestSource, ServerError,
+    WrapperSpec, XmlDesign,
 };
 
 use crate::http::{parse_request_with_body_limit, Limits, Request, RequestError, Response};
@@ -149,6 +169,19 @@ pub struct GatewayConfig {
     /// [`Limits::max_body_bytes`] would be too tight; individual items
     /// are still checked against the single-request limit).
     pub max_batch_body_bytes: usize,
+    /// Request tracing (default on): mint or accept an `X-Request-Id`
+    /// per extraction request, echo it in the response header (and as a
+    /// per-item `request_id` in batch envelopes), and retain a span
+    /// record served by `GET /debug/requests/{id}` and
+    /// `GET /debug/slow`. Disabled, extraction responses are
+    /// byte-identical to the untraced gateway and the span buffer stays
+    /// empty.
+    pub tracing: bool,
+    /// How many of the most recent spans to retain for the debug
+    /// endpoints.
+    pub recent_spans: usize,
+    /// How many of the slowest spans to retain for `GET /debug/slow`.
+    pub slow_spans: usize,
 }
 
 impl Default for GatewayConfig {
@@ -166,6 +199,9 @@ impl Default for GatewayConfig {
             accept_backoff_max: Duration::from_millis(200),
             max_batch_items: 64,
             max_batch_body_bytes: 8 * 1024 * 1024,
+            tracing: true,
+            recent_spans: 256,
+            slow_spans: 32,
         }
     }
 }
@@ -243,11 +279,14 @@ pub struct GatewayStats {
 }
 
 /// A completion token: which connection slot (and which incarnation of
-/// it) a resolved extraction ticket belongs to.
+/// it) a resolved extraction ticket belongs to, and when the worker
+/// fired it — the loop measures its own wake-to-dispatch latency from
+/// `finished_at`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Completion {
     slot: usize,
     generation: u64,
+    finished_at: Instant,
 }
 
 /// Cross-thread mailbox of one event loop: the acceptor pushes adopted
@@ -269,6 +308,11 @@ struct LoopShared {
     /// assignment, decremented by the loop on close) — the
     /// least-loaded-loop placement key and the per-loop cap gauge.
     load: AtomicUsize,
+    /// Connections currently parked on extraction tickets, published by
+    /// the loop each poll round — an event-loop health gauge (a loop
+    /// whose parked count tracks its load is saturated on the pool, not
+    /// on sockets).
+    parked: AtomicUsize,
 }
 
 impl LoopShared {
@@ -289,6 +333,41 @@ struct SharedGateway {
     requests: AtomicU64,
     responses_4xx: AtomicU64,
     responses_5xx: AtomicU64,
+    /// Completed request spans (recent ring + slowest list), served by
+    /// `GET /debug/slow` and `GET /debug/requests/{id}`. Empty while
+    /// [`GatewayConfig::tracing`] is off.
+    spans: SpanBuffer,
+    /// Completion-notify → event-loop dispatch latency (the `wake`
+    /// stage), recorded for every completion token regardless of the
+    /// tracing flag.
+    wake: LatencyHistogram,
+}
+
+/// One event loop's gauges, copied into [`GatewayObservations`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LoopGauges {
+    /// Connections currently assigned to the loop.
+    pub connections: usize,
+    /// Of those, connections parked on extraction tickets.
+    pub parked: usize,
+}
+
+/// Gateway-side observability gauges fed to the metrics renderers
+/// alongside the pool's [`MetricsSnapshot`]: event-loop health, wake
+/// latency, and per-rule execution telemetry.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GatewayObservations {
+    /// Per-event-loop connection gauges, in loop order.
+    pub event_loops: Vec<LoopGauges>,
+    /// Wake-latency observations recorded.
+    pub wake_count: u64,
+    /// Median wake latency in µs (0 if never observed).
+    pub wake_p50_us: u64,
+    /// 99th-percentile wake latency in µs (0 if never observed).
+    pub wake_p99_us: u64,
+    /// Per-rule counters of every registered wrapper's latest version,
+    /// `(wrapper name, rule snapshots)` sorted by name.
+    pub rules: Vec<(String, Vec<RuleStat>)>,
 }
 
 impl SharedGateway {
@@ -298,6 +377,33 @@ impl SharedGateway {
             requests: self.requests.load(Ordering::Relaxed),
             responses_4xx: self.responses_4xx.load(Ordering::Relaxed),
             responses_5xx: self.responses_5xx.load(Ordering::Relaxed),
+        }
+    }
+
+    fn observations(&self) -> GatewayObservations {
+        let event_loops = self
+            .loops
+            .iter()
+            .map(|l| LoopGauges {
+                connections: l.load.load(Ordering::Relaxed),
+                parked: l.parked.load(Ordering::Relaxed),
+            })
+            .collect();
+        let registry = self.server.registry();
+        let rules = registry
+            .catalog()
+            .into_iter()
+            .filter_map(|(name, _)| {
+                let wrapper = registry.latest(&name)?;
+                Some((name, wrapper.telemetry.snapshot()))
+            })
+            .collect();
+        GatewayObservations {
+            event_loops,
+            wake_count: self.wake.count(),
+            wake_p50_us: self.wake.quantile_us(0.50).unwrap_or(0),
+            wake_p99_us: self.wake.quantile_us(0.99).unwrap_or(0),
+            rules,
         }
     }
 
@@ -346,9 +452,11 @@ impl HttpGateway {
                     pipe: SelfPipe::new()?,
                     inbox: Mutex::new(Inbox::default()),
                     load: AtomicUsize::new(0),
+                    parked: AtomicUsize::new(0),
                 }))
             })
             .collect::<std::io::Result<_>>()?;
+        let spans = SpanBuffer::new(config.recent_spans, config.slow_spans);
         let shared = Arc::new(SharedGateway {
             server,
             config,
@@ -360,6 +468,8 @@ impl HttpGateway {
             requests: AtomicU64::new(0),
             responses_4xx: AtomicU64::new(0),
             responses_5xx: AtomicU64::new(0),
+            spans,
+            wake: LatencyHistogram::new(),
         });
         let loops = (0..loop_count)
             .map(|i| {
@@ -485,7 +595,7 @@ fn acceptor_loop(listener: TcpListener, shared: Arc<SharedGateway>) {
                 }
                 assign_connection(stream, &shared);
             }
-            Err(_) => {
+            Err(e) => {
                 // Transient (ECONNABORTED mid-handshake, momentary
                 // EMFILE): intake must survive, but a persistent error
                 // must not spin a core — sleep the bounded, doubling,
@@ -493,7 +603,13 @@ fn acceptor_loop(listener: TcpListener, shared: Arc<SharedGateway>) {
                 if shared.stopping() {
                     break;
                 }
-                std::thread::sleep(backoff.on_error());
+                let sleep = backoff.on_error();
+                warn_event!(
+                    "accept_backoff",
+                    "error" => e.to_string(),
+                    "sleep_ms" => sleep.as_millis().min(u128::from(u64::MAX)) as u64,
+                );
+                std::thread::sleep(sleep);
             }
         }
     }
@@ -566,6 +682,17 @@ enum DispatchItem {
     Pending(JobTicket),
 }
 
+/// Trace context of one dispatched extraction request (absent when
+/// [`GatewayConfig::tracing`] is off).
+struct RequestTrace {
+    /// Minted or client-supplied (`X-Request-Id`) id; batch items get a
+    /// `#i` suffix.
+    id: TraceId,
+    /// When the gateway started dispatching the parsed request — the
+    /// span's end-to-end clock.
+    started: Instant,
+}
+
 /// A connection parked on extraction work.
 struct Dispatch {
     /// Tickets whose completion callback has not fired yet.
@@ -581,6 +708,12 @@ struct Dispatch {
     /// here because synchronous rejections also park briefly as
     /// `Ready` items.
     retry_after: bool,
+    /// Trace id + start instant when tracing is on.
+    trace: Option<RequestTrace>,
+    /// Worst completion wake latency observed for this request (ns);
+    /// `None` until a completion token arrives (synchronously resolved
+    /// requests never wake).
+    wake_ns: Option<u64>,
 }
 
 enum ConnState {
@@ -754,8 +887,12 @@ impl EventLoop {
             slot_of.clear();
             pollfds.push(PollFd::new(self.ls.pipe.read_fd(), POLLIN));
             let mut deadline: Option<Instant> = None;
+            let mut parked = 0usize;
             for (slot, conn) in self.conns.iter().enumerate() {
                 let Some(conn) = conn else { continue };
+                if matches!(conn.state, ConnState::Dispatched(_)) {
+                    parked += 1;
+                }
                 let events = conn.interest();
                 if events != 0 {
                     pollfds.push(PollFd::new(conn.stream.as_raw_fd(), events));
@@ -765,6 +902,7 @@ impl EventLoop {
                     deadline = Some(deadline.map_or(d, |cur: Instant| cur.min(d)));
                 }
             }
+            self.ls.parked.store(parked, Ordering::Relaxed);
             let timeout = deadline.map(|d| d.saturating_duration_since(Instant::now()));
             if poll(&mut pollfds, timeout).is_err() {
                 // poll(2) only fails for EINVAL-class reasons here; back
@@ -879,7 +1017,15 @@ impl EventLoop {
     }
 
     fn handle_completion(&mut self, completion: Completion) {
-        let Completion { slot, generation } = completion;
+        let Completion {
+            slot,
+            generation,
+            finished_at,
+        } = completion;
+        // Wake latency: worker's notify → this dispatch. Recorded for
+        // every token (stale ones measured a real wake too).
+        let wake = finished_at.elapsed();
+        self.shared.wake.record(wake);
         if slot >= self.conns.len() {
             return;
         }
@@ -893,6 +1039,8 @@ impl EventLoop {
             let ConnState::Dispatched(dispatch) = &mut conn.state else {
                 return Action::Keep; // defensive: token raced a state change
             };
+            let wake_ns = wake.as_nanos().min(u128::from(u64::MAX)) as u64;
+            dispatch.wake_ns = Some(dispatch.wake_ns.map_or(wake_ns, |w| w.max(wake_ns)));
             dispatch.outstanding = dispatch.outstanding.saturating_sub(1);
             if dispatch.outstanding > 0 {
                 return Action::Keep;
@@ -1229,6 +1377,7 @@ fn extraction_request_from_json(parsed: &Json) -> Result<ExtractionRequest, (u16
         },
     };
     Ok(ExtractionRequest {
+        trace: None,
         wrapper: wrapper.to_string(),
         version,
         source,
@@ -1240,21 +1389,45 @@ fn extraction_request_from_json(parsed: &Json) -> Result<ExtractionRequest, (u16
 /// job is destroyed), so it does nothing but that.
 fn completion_notify(ctx: &ConnCtx, generation: u64) -> Box<dyn FnOnce() + Send> {
     let ls = ctx.ls.clone();
-    let completion = Completion {
-        slot: ctx.slot,
-        generation,
-    };
+    let slot = ctx.slot;
     Box::new(move || {
+        let completion = Completion {
+            slot,
+            generation,
+            finished_at: Instant::now(),
+        };
         ls.wake_with(|inbox| inbox.completions.push(completion));
     })
 }
 
+/// The request's trace context: the client's `X-Request-Id` when it
+/// passes validation, a minted id otherwise; `None` with tracing off.
+fn request_trace(ctx: &ConnCtx, request: &Request) -> Option<RequestTrace> {
+    if !ctx.shared.config.tracing {
+        return None;
+    }
+    let id = request
+        .header("x-request-id")
+        .and_then(TraceId::from_client)
+        .unwrap_or_else(TraceId::mint);
+    Some(RequestTrace {
+        id,
+        started: Instant::now(),
+    })
+}
+
 fn dispatch_extract(conn: &mut Conn, ctx: &ConnCtx, request: &Request, keep_alive: bool) {
+    let trace = request_trace(ctx, request);
     let item = match request.body_utf8() {
         None => DispatchItem::Ready(400, error_body("bad_request", "body is not UTF-8")),
         Some(body) => match Json::parse(body) {
             Err(e) => DispatchItem::Ready(400, error_body("bad_request", &e.to_string())),
-            Ok(parsed) => submit_item(&parsed, ctx, conn.generation),
+            Ok(parsed) => submit_item(
+                &parsed,
+                ctx,
+                conn.generation,
+                trace.as_ref().map(|t| t.id.to_string()),
+            ),
         },
     };
     let outstanding = usize::from(matches!(item, DispatchItem::Pending(_)));
@@ -1264,6 +1437,8 @@ fn dispatch_extract(conn: &mut Conn, ctx: &ConnCtx, request: &Request, keep_aliv
         batch: false,
         keep_alive,
         retry_after: true,
+        trace,
+        wake_ns: None,
     });
     if outstanding == 0 {
         assemble_response(conn, ctx);
@@ -1306,11 +1481,12 @@ fn dispatch_batch(conn: &mut Conn, ctx: &ConnCtx, request: &Request, keep_alive:
             ),
         );
     }
+    let trace = request_trace(ctx, request);
     let single_limit = ctx.shared.config.limits.max_body_bytes;
     let mut dispatch_items = Vec::with_capacity(items.len());
     let mut outstanding = 0usize;
     let mut scratch = String::new(); // one reusable buffer for all size checks
-    for item in items {
+    for (index, item) in items.iter().enumerate() {
         // An item bigger than a single request may carry is answered
         // exactly as the framing layer would have answered the
         // equivalent individual POST (its serialized form *is* that
@@ -1330,7 +1506,8 @@ fn dispatch_batch(conn: &mut Conn, ctx: &ConnCtx, request: &Request, keep_alive:
             ));
             continue;
         }
-        let item = submit_item(item, ctx, conn.generation);
+        let item_trace = trace.as_ref().map(|t| format!("{}#{index}", t.id));
+        let item = submit_item(item, ctx, conn.generation, item_trace);
         outstanding += usize::from(matches!(item, DispatchItem::Pending(_)));
         dispatch_items.push(item);
     }
@@ -1340,6 +1517,8 @@ fn dispatch_batch(conn: &mut Conn, ctx: &ConnCtx, request: &Request, keep_alive:
         batch: true,
         keep_alive,
         retry_after: false,
+        trace,
+        wake_ns: None,
     });
     if outstanding == 0 {
         assemble_response(conn, ctx);
@@ -1348,10 +1527,18 @@ fn dispatch_batch(conn: &mut Conn, ctx: &ConnCtx, request: &Request, keep_alive:
 
 /// Parse and submit one extraction item; synchronous failures (bad
 /// shape, unknown wrapper, backpressure, shutdown) resolve immediately.
-fn submit_item(parsed: &Json, ctx: &ConnCtx, generation: u64) -> DispatchItem {
+/// `trace` rides into the pool on [`ExtractionRequest::trace`] so
+/// worker-side log events name the request.
+fn submit_item(
+    parsed: &Json,
+    ctx: &ConnCtx,
+    generation: u64,
+    trace: Option<String>,
+) -> DispatchItem {
     match extraction_request_from_json(parsed) {
         Err((status, body)) => DispatchItem::Ready(status, body),
         Ok(request) => {
+            let request = ExtractionRequest { trace, ..request };
             match ctx
                 .shared
                 .server
@@ -1367,22 +1554,75 @@ fn submit_item(parsed: &Json, ctx: &ConnCtx, generation: u64) -> DispatchItem {
     }
 }
 
-/// Redeem one dispatched item into its status + response body.
-fn resolve_item(item: DispatchItem) -> (u16, Json) {
+/// What a resolved item contributes to its span record besides the
+/// status code. Errors and synchronous rejections leave the defaults
+/// (no wrapper, no stages).
+#[derive(Default)]
+struct ItemOutcome {
+    wrapper: String,
+    version: u32,
+    cache_hit: bool,
+    stages: StageTimes,
+}
+
+/// Redeem one dispatched item into its status + response body, plus the
+/// telemetry its span record needs.
+fn resolve_item(item: DispatchItem) -> (u16, Json, ItemOutcome) {
     match item {
-        DispatchItem::Ready(status, body) => (status, body),
+        DispatchItem::Ready(status, body) => (status, body, ItemOutcome::default()),
         DispatchItem::Pending(mut ticket) => match ticket.try_take() {
-            Some(Ok(response)) => (200, extraction_json(&response)),
-            Some(Err(error)) => server_error_parts(&error),
+            Some(Ok(response)) => {
+                let body = extraction_json(&response);
+                let outcome = ItemOutcome {
+                    wrapper: response.wrapper,
+                    version: response.version,
+                    cache_hit: response.cache_hit,
+                    stages: response.stages,
+                };
+                (200, body, outcome)
+            }
+            Some(Err(error)) => {
+                let (status, body) = server_error_parts(&error);
+                (status, body, ItemOutcome::default())
+            }
             // Unreachable per the notify contract; fail soft if it ever
             // is.
-            None => server_error_parts(&ServerError::Canceled),
+            None => {
+                let (status, body) = server_error_parts(&ServerError::Canceled);
+                (status, body, ItemOutcome::default())
+            }
         },
     }
 }
 
-/// All tickets of the parked request resolved: build the response and
-/// switch the connection to writing.
+/// Finish one item's span record and admit it to the span buffer.
+fn record_span(
+    ctx: &ConnCtx,
+    id: String,
+    status: u16,
+    outcome: ItemOutcome,
+    trace: &RequestTrace,
+    wake_ns: Option<u64>,
+) {
+    let mut stages = outcome.stages;
+    if let Some(ns) = wake_ns {
+        stages.add_ns(Stage::Wake, ns);
+    }
+    ctx.shared.spans.record(Arc::new(SpanRecord {
+        id,
+        wrapper: outcome.wrapper,
+        version: outcome.version,
+        status,
+        cache_hit: outcome.cache_hit,
+        total_ns: trace.started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+        stages,
+        unix_ms: unix_millis(),
+    }));
+}
+
+/// All tickets of the parked request resolved: build the response,
+/// record span(s) and echo the trace id when tracing is on, and switch
+/// the connection to writing.
 fn assemble_response(conn: &mut Conn, ctx: &ConnCtx) {
     let state = std::mem::replace(&mut conn.state, ConnState::Reading);
     let ConnState::Dispatched(dispatch) = state else {
@@ -1391,14 +1631,31 @@ fn assemble_response(conn: &mut Conn, ctx: &ConnCtx) {
     };
     let keep_alive = dispatch.keep_alive && !ctx.shared.stopping();
     let retry_after = dispatch.retry_after;
+    let trace = dispatch.trace;
+    let wake_ns = dispatch.wake_ns;
     let response = if dispatch.batch {
         let count = dispatch.items.len();
         let items: Vec<Json> = dispatch
             .items
             .into_iter()
-            .map(|item| {
-                let (status, body) = resolve_item(item);
-                obj([("status", u64::from(status).into()), ("body", body)])
+            .enumerate()
+            .map(|(index, item)| {
+                let (status, body, outcome) = resolve_item(item);
+                match &trace {
+                    // Batch items share the batch's wall clock and worst
+                    // wake: tickets resolve independently but the
+                    // response leaves as one.
+                    Some(trace) => {
+                        let id = format!("{}#{index}", trace.id);
+                        record_span(ctx, id.clone(), status, outcome, trace, wake_ns);
+                        obj([
+                            ("status", u64::from(status).into()),
+                            ("body", body),
+                            ("request_id", id.into()),
+                        ])
+                    }
+                    None => obj([("status", u64::from(status).into()), ("body", body)]),
+                }
             })
             .collect();
         Response::json(
@@ -1411,13 +1668,20 @@ fn assemble_response(conn: &mut Conn, ctx: &ConnCtx) {
             .into_iter()
             .next()
             .expect("single dispatch holds one item");
-        let (status, body) = resolve_item(item);
+        let (status, body, outcome) = resolve_item(item);
+        if let Some(trace) = &trace {
+            record_span(ctx, trace.id.to_string(), status, outcome, trace, wake_ns);
+        }
         let response = Response::json(status, &body);
         if status == 429 && retry_after {
             response.with_header("retry-after", "1")
         } else {
             response
         }
+    };
+    let response = match &trace {
+        Some(trace) => response.with_header("x-request-id", trace.id.as_str()),
+        None => response,
     };
     count_response(ctx.shared, response.status);
     conn.queue_response(&response, keep_alive);
@@ -1497,6 +1761,27 @@ fn route(request: &Request, shared: &SharedGateway) -> Response {
             get_provenance(path.strip_prefix("/provenance/").expect("checked"), shared)
         }
         ("GET", "/metrics") => get_metrics(request, shared),
+        ("GET", "/debug/slow") => get_debug_slow(shared),
+        ("GET", path)
+            if path
+                .strip_prefix("/debug/wrappers/")
+                .is_some_and(|n| !n.is_empty()) =>
+        {
+            get_debug_wrapper(
+                path.strip_prefix("/debug/wrappers/").expect("checked"),
+                shared,
+            )
+        }
+        ("GET", path)
+            if path
+                .strip_prefix("/debug/requests/")
+                .is_some_and(|id| !id.is_empty()) =>
+        {
+            get_debug_request(
+                path.strip_prefix("/debug/requests/").expect("checked"),
+                shared,
+            )
+        }
         ("GET", "/healthz") => Response::json(200, &obj([("status", "ok".into())])),
         ("POST", "/admin/shutdown") => {
             shared.begin_stop();
@@ -1510,9 +1795,14 @@ fn route(request: &Request, shared: &SharedGateway) -> Response {
         (
             _,
             "/extract" | "/extract/batch" | "/wrappers" | "/metrics" | "/healthz"
-            | "/admin/shutdown",
+            | "/admin/shutdown" | "/debug/slow",
         ) => Response::error(405, "method_not_allowed", "wrong method for this path"),
-        (_, path) if path.starts_with("/wrappers/") || path.starts_with("/provenance/") => {
+        (_, path)
+            if path.starts_with("/wrappers/")
+                || path.starts_with("/provenance/")
+                || path.starts_with("/debug/wrappers/")
+                || path.starts_with("/debug/requests/") =>
+        {
             Response::error(405, "method_not_allowed", "wrong method for this path")
         }
         _ => Response::error(404, "not_found", "no such endpoint"),
@@ -1710,26 +2000,163 @@ fn deploy_error_response(error: &DeployError) -> Response {
     )
 }
 
+/// One span record as JSON (shared by `/debug/slow` and
+/// `/debug/requests/{id}`). Stage times are microseconds; untouched
+/// stages are omitted.
+fn span_json(span: &SpanRecord) -> Json {
+    let stages: Vec<Json> = span
+        .stages
+        .iter()
+        .map(|(stage, ns)| obj([("stage", stage.name().into()), ("us", (ns / 1_000).into())]))
+        .collect();
+    obj([
+        ("id", span.id.as_str().into()),
+        ("wrapper", span.wrapper.as_str().into()),
+        ("version", span.version.into()),
+        ("status", u64::from(span.status).into()),
+        ("cache_hit", span.cache_hit.into()),
+        ("total_us", (span.total_ns / 1_000).into()),
+        ("unix_ms", span.unix_ms.into()),
+        ("stages", stages.into()),
+    ])
+}
+
+/// `GET /debug/slow`: the retained slowest and most recent request
+/// spans. Both lists are empty while tracing is disabled.
+fn get_debug_slow(shared: &SharedGateway) -> Response {
+    let slowest: Vec<Json> = shared
+        .spans
+        .slowest()
+        .iter()
+        .map(|s| span_json(s))
+        .collect();
+    let recent: Vec<Json> = shared.spans.recent().iter().map(|s| span_json(s)).collect();
+    Response::json(
+        200,
+        &obj([("slowest", slowest.into()), ("recent", recent.into())]),
+    )
+}
+
+/// `GET /debug/requests/{id}`: one request's span while it is still
+/// retained (spans age out of both the recent ring and the slowest
+/// list). 404 when unknown, aged out, or tracing is disabled.
+fn get_debug_request(id: &str, shared: &SharedGateway) -> Response {
+    match shared.spans.find(id) {
+        Some(span) => Response::json(200, &span_json(&span)),
+        None => Response::error(
+            404,
+            "unknown_request",
+            "no retained span under this id (it may have aged out)",
+        ),
+    }
+}
+
+/// `GET /debug/wrappers/{name}`: per-rule execution telemetry of the
+/// wrapper's latest version — invocations, matches produced, and
+/// cumulative evaluation time per compiled rule.
+fn get_debug_wrapper(name: &str, shared: &SharedGateway) -> Response {
+    let Some(wrapper) = shared.server.registry().latest(name) else {
+        return Response::error(
+            404,
+            "unknown_wrapper",
+            "no wrapper registered under this name",
+        );
+    };
+    let rules: Vec<Json> = wrapper
+        .telemetry
+        .snapshot()
+        .into_iter()
+        .map(|r| {
+            obj([
+                ("rule", r.rule.into()),
+                ("label", r.label.into()),
+                ("invocations", r.invocations.into()),
+                ("matches", r.matches.into()),
+                ("total_ns", r.total_ns.into()),
+            ])
+        })
+        .collect();
+    Response::json(
+        200,
+        &obj([
+            ("name", name.into()),
+            ("version", wrapper.version.into()),
+            ("rules", rules.into()),
+        ]),
+    )
+}
+
 fn get_metrics(request: &Request, shared: &SharedGateway) -> Response {
     let snapshot = shared.server.metrics();
     let stats = shared.stats();
+    let observations = shared.observations();
     let wants_json = request
         .header("accept")
         .is_some_and(|accept| accept.contains("application/json"));
     if wants_json {
-        Response::json(200, &metrics_json(&snapshot, &stats))
+        Response::json(200, &metrics_json(&snapshot, &stats, &observations))
     } else {
-        Response::text(200, render_prometheus(&snapshot, &stats))
+        Response::text(200, render_prometheus(&snapshot, &stats, &observations))
     }
 }
 
 /// The snapshot as JSON — field for field the same numbers
-/// [`ExtractionServer::metrics`] reports in-process.
-pub fn metrics_json(snapshot: &MetricsSnapshot, stats: &GatewayStats) -> Json {
+/// [`ExtractionServer::metrics`] reports in-process, plus the
+/// gateway-side [`GatewayObservations`] (per-stage latency summaries,
+/// event-loop gauges, wake latency, per-rule telemetry).
+pub fn metrics_json(
+    snapshot: &MetricsSnapshot,
+    stats: &GatewayStats,
+    observations: &GatewayObservations,
+) -> Json {
     let depths: Vec<Json> = snapshot
         .queue_depths
         .iter()
         .map(|&d| Json::from(d))
+        .collect();
+    let stages: Vec<Json> = snapshot
+        .stages
+        .iter()
+        .map(|s| {
+            obj([
+                ("stage", s.stage.into()),
+                ("count", s.count.into()),
+                ("p50_us", s.p50_us.into()),
+                ("p99_us", s.p99_us.into()),
+            ])
+        })
+        .collect();
+    let event_loops: Vec<Json> = observations
+        .event_loops
+        .iter()
+        .map(|l| {
+            obj([
+                ("connections", l.connections.into()),
+                ("parked", l.parked.into()),
+            ])
+        })
+        .collect();
+    let rules: Vec<Json> = observations
+        .rules
+        .iter()
+        .map(|(wrapper, rules)| {
+            let per_rule: Vec<Json> = rules
+                .iter()
+                .map(|r| {
+                    obj([
+                        ("rule", r.rule.into()),
+                        ("label", r.label.as_str().into()),
+                        ("invocations", r.invocations.into()),
+                        ("matches", r.matches.into()),
+                        ("total_ns", r.total_ns.into()),
+                    ])
+                })
+                .collect();
+            obj([
+                ("wrapper", wrapper.as_str().into()),
+                ("rules", per_rule.into()),
+            ])
+        })
         .collect();
     obj([
         ("submitted", snapshot.submitted.into()),
@@ -1739,8 +2166,10 @@ pub fn metrics_json(snapshot: &MetricsSnapshot, stats: &GatewayStats) -> Json {
         ("throughput_per_sec", snapshot.throughput_per_sec.into()),
         ("p50_us", snapshot.p50_us.into()),
         ("p99_us", snapshot.p99_us.into()),
+        ("stages", stages.into()),
         ("queue_depths", depths.into()),
         ("workers", snapshot.workers.into()),
+        ("rules", rules.into()),
         (
             "cache",
             obj([
@@ -1775,6 +2204,15 @@ pub fn metrics_json(snapshot: &MetricsSnapshot, stats: &GatewayStats) -> Json {
                 ("requests", stats.requests.into()),
                 ("responses_4xx", stats.responses_4xx.into()),
                 ("responses_5xx", stats.responses_5xx.into()),
+                ("event_loops", event_loops.into()),
+                (
+                    "wake",
+                    obj([
+                        ("count", observations.wake_count.into()),
+                        ("p50_us", observations.wake_p50_us.into()),
+                        ("p99_us", observations.wake_p99_us.into()),
+                    ]),
+                ),
             ]),
         ),
     ])
@@ -1786,9 +2224,41 @@ fn prometheus_metric(out: &mut String, name: &str, kind: &str, help: &str, value
     ));
 }
 
-/// The snapshot in the Prometheus text exposition format.
-pub fn render_prometheus(snapshot: &MetricsSnapshot, stats: &GatewayStats) -> String {
-    let mut out = String::with_capacity(2048);
+/// `# HELP` / `# TYPE` preamble for a family whose samples carry
+/// labels (emitted separately).
+fn prometheus_family(out: &mut String, name: &str, kind: &str, help: &str) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+}
+
+/// A label value escaped per the Prometheus text exposition format:
+/// backslash, double quote and newline must be escaped inside the
+/// quotes.
+fn prometheus_label_value(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A labelled metric family: name, Prometheus kind, and the accessor
+/// picking its value out of each labelled record.
+type MetricFamily<T> = (&'static str, &'static str, fn(&T) -> u64);
+
+/// The snapshot in the Prometheus text exposition format, including the
+/// per-stage latency summaries, event-loop gauges and `lixto_rule_*`
+/// per-rule series from [`GatewayObservations`].
+pub fn render_prometheus(
+    snapshot: &MetricsSnapshot,
+    stats: &GatewayStats,
+    observations: &GatewayObservations,
+) -> String {
+    let mut out = String::with_capacity(4096);
     let pool_metrics = [
         (
             "lixto_requests_submitted_total",
@@ -1846,6 +2316,101 @@ pub fn render_prometheus(snapshot: &MetricsSnapshot, stats: &GatewayStats) -> St
     out.push_str("# TYPE lixto_queue_depth gauge\n");
     for (shard, depth) in snapshot.queue_depths.iter().enumerate() {
         out.push_str(&format!("lixto_queue_depth{{shard=\"{shard}\"}} {depth}\n"));
+    }
+    let stage_families: [MetricFamily<lixto_server::StageSummary>; 3] = [
+        ("lixto_stage_observations_total", "counter", |s| s.count),
+        ("lixto_stage_latency_p50_microseconds", "gauge", |s| {
+            s.p50_us
+        }),
+        ("lixto_stage_latency_p99_microseconds", "gauge", |s| {
+            s.p99_us
+        }),
+    ];
+    let stage_help = [
+        "Requests that executed each pipeline stage",
+        "Median per-stage latency",
+        "99th-percentile per-stage latency",
+    ];
+    for ((name, kind, pick), help) in stage_families.iter().zip(stage_help) {
+        prometheus_family(&mut out, name, kind, help);
+        for summary in &snapshot.stages {
+            out.push_str(&format!(
+                "{name}{{stage=\"{}\"}} {}\n",
+                summary.stage,
+                pick(summary)
+            ));
+        }
+    }
+    prometheus_family(
+        &mut out,
+        "lixto_http_loop_connections",
+        "gauge",
+        "Connections currently assigned to each event loop",
+    );
+    for (i, l) in observations.event_loops.iter().enumerate() {
+        out.push_str(&format!(
+            "lixto_http_loop_connections{{loop=\"{i}\"}} {}\n",
+            l.connections
+        ));
+    }
+    prometheus_family(
+        &mut out,
+        "lixto_http_loop_parked",
+        "gauge",
+        "Connections parked on extraction tickets per event loop",
+    );
+    for (i, l) in observations.event_loops.iter().enumerate() {
+        out.push_str(&format!(
+            "lixto_http_loop_parked{{loop=\"{i}\"}} {}\n",
+            l.parked
+        ));
+    }
+    let wake_metrics = [
+        (
+            "lixto_http_wake_observations_total",
+            "counter",
+            "Completion tokens whose wake latency was measured",
+            observations.wake_count,
+        ),
+        (
+            "lixto_http_wake_p50_microseconds",
+            "gauge",
+            "Median completion-notify to event-loop dispatch latency",
+            observations.wake_p50_us,
+        ),
+        (
+            "lixto_http_wake_p99_microseconds",
+            "gauge",
+            "99th-percentile completion-notify to event-loop dispatch latency",
+            observations.wake_p99_us,
+        ),
+    ];
+    for (name, kind, help, value) in &wake_metrics {
+        prometheus_metric(&mut out, name, kind, help, &value.to_string());
+    }
+    let rule_families: [MetricFamily<RuleStat>; 3] = [
+        ("lixto_rule_invocations_total", "counter", |r| r.invocations),
+        ("lixto_rule_matches_total", "counter", |r| r.matches),
+        ("lixto_rule_nanoseconds_total", "counter", |r| r.total_ns),
+    ];
+    let rule_help = [
+        "Rule body evaluations per compiled wrapper rule",
+        "New pattern instances produced per rule",
+        "Cumulative rule evaluation wall time",
+    ];
+    for ((name, kind, pick), help) in rule_families.iter().zip(rule_help) {
+        prometheus_family(&mut out, name, kind, help);
+        for (wrapper, rules) in &observations.rules {
+            let wrapper = prometheus_label_value(wrapper);
+            for rule in rules {
+                out.push_str(&format!(
+                    "{name}{{wrapper=\"{wrapper}\",rule=\"{}\",pattern=\"{}\"}} {}\n",
+                    rule.rule,
+                    prometheus_label_value(&rule.label),
+                    pick(rule)
+                ));
+            }
+        }
     }
     let tail_metrics = [
         (

@@ -21,8 +21,12 @@
 //!   and `POST /extract/batch`, `PUT`/`GET /wrappers`,
 //!   `GET /provenance/{key}` (the persisted derivation record of a
 //!   cached extraction), `GET /metrics` (Prometheus text or JSON,
-//!   including the durable result-store counters) and
-//!   `POST /admin/shutdown` over an
+//!   including the durable result-store counters, per-stage latency
+//!   summaries and `lixto_rule_*` per-rule series),
+//!   `GET /debug/wrappers/{name}` / `GET /debug/slow` /
+//!   `GET /debug/requests/{id}` (request tracing: every extraction
+//!   carries an `X-Request-Id`, minted or client-supplied, with a
+//!   retained per-stage span record) and `POST /admin/shutdown` over an
 //!   [`ExtractionServer`](lixto_server::ExtractionServer);
 //! * [`client`] — a blocking keep-alive [`HttpClient`] for tests,
 //!   benches and command-line use.
@@ -39,7 +43,8 @@ pub mod poll;
 
 pub use client::{HttpClient, HttpResponse, RetryPolicy};
 pub use gateway::{
-    metrics_json, render_prometheus, AcceptBackoff, GatewayConfig, GatewayStats, HttpGateway,
+    metrics_json, render_prometheus, AcceptBackoff, GatewayConfig, GatewayObservations,
+    GatewayStats, HttpGateway, LoopGauges,
 };
 pub use http::{parse_request, Limits, Request, RequestError, Response};
 pub use json::{obj, Json, JsonError};

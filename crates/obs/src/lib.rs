@@ -1,0 +1,30 @@
+//! # lixto_obs
+//!
+//! Dependency-free observability primitives shared by every layer of the
+//! stack: trace identifiers and per-request span records ([`TraceId`],
+//! [`SpanRecord`], [`StageTimes`]), a bounded buffer of recent and
+//! slowest spans ([`SpanBuffer`]), per-rule execution telemetry
+//! ([`RuleStats`]), and a leveled JSON line logger ([`log_fields`] and
+//! the [`log_event!`](crate::log_event) family) configured by the `LIXTO_LOG` environment
+//! variable.
+//!
+//! The crate sits at the bottom of the dependency graph — it depends on
+//! nothing but `std`, so the Elog executor, the extraction server and
+//! the HTTP gateway can all record into it without cycles. Every hot
+//! path primitive is allocation-free and lock-free (atomic slot arrays,
+//! fixed stage arrays); locks appear only on cold paths such as slow-span
+//! admission and log emission.
+
+#![forbid(unsafe_code)]
+
+mod log;
+mod ring;
+mod rule;
+mod trace;
+
+pub use crate::log::{
+    captured_lines, enabled, escape_json, log_fields, set_capture, set_max_level, FieldValue, Level,
+};
+pub use crate::ring::SpanBuffer;
+pub use crate::rule::{RuleStat, RuleStats};
+pub use crate::trace::{unix_millis, SpanRecord, Stage, StageTimes, TraceId, STAGE_COUNT};

@@ -1,0 +1,325 @@
+//! Leveled JSON line logging.
+//!
+//! One event per line on stderr, shaped
+//! `{"ts":<unix_ms>,"level":"warn","event":"store_open_failed",...}`.
+//! The maximum emitted level comes from the `LIXTO_LOG` environment
+//! variable (`off`, `error`, `warn`, `info`, `debug`; default `warn`)
+//! and can be overridden programmatically with [`set_max_level`]. Event
+//! names are stable identifiers — grep targets, not prose — and are
+//! catalogued in `docs/OBSERVABILITY.md`.
+//!
+//! Tests swap the stderr sink for an in-memory buffer with
+//! [`set_capture`] / [`captured_lines`].
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The operation failed and was not retried.
+    Error,
+    /// Something was skipped or degraded, but service continues.
+    Warn,
+    /// Notable lifecycle events.
+    Info,
+    /// High-volume diagnostics.
+    Debug,
+}
+
+impl Level {
+    fn rank(self) -> u8 {
+        match self {
+            Level::Error => 1,
+            Level::Warn => 2,
+            Level::Info => 3,
+            Level::Debug => 4,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+/// 0 = off; 1..=4 = max rank; 0xFF = not yet read from the environment.
+static MAX_RANK: AtomicU8 = AtomicU8::new(0xFF);
+
+fn max_rank() -> u8 {
+    let cached = MAX_RANK.load(Ordering::Relaxed);
+    if cached != 0xFF {
+        return cached;
+    }
+    let from_env = match std::env::var("LIXTO_LOG").as_deref() {
+        Ok("off") | Ok("none") => 0,
+        Ok("error") => 1,
+        Ok("info") => 3,
+        Ok("debug") => 4,
+        // Unrecognized values and the unset default both mean `warn`.
+        _ => 2,
+    };
+    MAX_RANK.store(from_env, Ordering::Relaxed);
+    from_env
+}
+
+/// Override the maximum emitted level (`None` silences everything).
+/// Takes precedence over `LIXTO_LOG` from then on.
+pub fn set_max_level(level: Option<Level>) {
+    MAX_RANK.store(level.map_or(0, Level::rank), Ordering::Relaxed);
+}
+
+/// Whether an event at `level` would currently be emitted. Callers with
+/// expensive field construction should check this first; the
+/// [`log_event!`](crate::log_event) macros do.
+pub fn enabled(level: Level) -> bool {
+    level.rank() <= max_rank()
+}
+
+/// A typed JSON field value. Build via `From`: `"text".into()`,
+/// `7u64.into()`, `true.into()`.
+#[derive(Debug, Clone)]
+pub enum FieldValue<'a> {
+    /// A borrowed string (JSON string).
+    Str(&'a str),
+    /// An owned string (JSON string).
+    Owned(String),
+    /// JSON number.
+    U64(u64),
+    /// JSON number.
+    I64(i64),
+    /// JSON number.
+    F64(f64),
+    /// JSON boolean.
+    Bool(bool),
+}
+
+impl<'a> From<&'a str> for FieldValue<'a> {
+    fn from(v: &'a str) -> Self {
+        FieldValue::Str(v)
+    }
+}
+impl<'a> From<&'a String> for FieldValue<'a> {
+    fn from(v: &'a String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+impl From<String> for FieldValue<'_> {
+    fn from(v: String) -> Self {
+        FieldValue::Owned(v)
+    }
+}
+impl From<u64> for FieldValue<'_> {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<u32> for FieldValue<'_> {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(u64::from(v))
+    }
+}
+impl From<usize> for FieldValue<'_> {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue<'_> {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<f64> for FieldValue<'_> {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<bool> for FieldValue<'_> {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+/// Append `s` to `out` as a JSON string body (no surrounding quotes),
+/// escaping `"`, `\` and control characters.
+pub fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+type Capture = Arc<Mutex<Vec<String>>>;
+
+/// `None` → stderr; `Some(buffer)` → capture (tests).
+static SINK: OnceLock<Mutex<Option<Capture>>> = OnceLock::new();
+
+fn sink() -> &'static Mutex<Option<Capture>> {
+    SINK.get_or_init(|| Mutex::new(None))
+}
+
+/// Redirect log output into an in-memory buffer and return it. Global:
+/// affects the whole process until called again. Intended for tests.
+pub fn set_capture() -> Capture {
+    let buffer: Capture = Arc::new(Mutex::new(Vec::new()));
+    *sink().lock().unwrap() = Some(buffer.clone());
+    buffer
+}
+
+/// Drain and return the lines captured since [`set_capture`].
+pub fn captured_lines(capture: &Capture) -> Vec<String> {
+    std::mem::take(&mut capture.lock().unwrap())
+}
+
+/// Emit one structured event if `level` is enabled. Prefer the
+/// [`log_event!`](crate::log_event) / `warn_event!` macros, which skip field construction
+/// when the level is filtered out.
+pub fn log_fields(level: Level, event: &str, fields: &[(&str, FieldValue<'_>)]) {
+    if !enabled(level) {
+        return;
+    }
+    let mut line = String::with_capacity(64 + fields.len() * 24);
+    line.push_str("{\"ts\":");
+    line.push_str(&crate::trace::unix_millis().to_string());
+    line.push_str(",\"level\":\"");
+    line.push_str(level.name());
+    line.push_str("\",\"event\":\"");
+    escape_json(event, &mut line);
+    line.push('"');
+    for (key, value) in fields {
+        line.push_str(",\"");
+        escape_json(key, &mut line);
+        line.push_str("\":");
+        match value {
+            FieldValue::Str(s) => {
+                line.push('"');
+                escape_json(s, &mut line);
+                line.push('"');
+            }
+            FieldValue::Owned(s) => {
+                line.push('"');
+                escape_json(s, &mut line);
+                line.push('"');
+            }
+            FieldValue::U64(n) => line.push_str(&n.to_string()),
+            FieldValue::I64(n) => line.push_str(&n.to_string()),
+            FieldValue::F64(n) if n.is_finite() => line.push_str(&n.to_string()),
+            FieldValue::F64(_) => line.push_str("null"),
+            FieldValue::Bool(b) => line.push_str(if *b { "true" } else { "false" }),
+        }
+    }
+    line.push('}');
+    let captured = sink().lock().unwrap();
+    match captured.as_ref() {
+        Some(buffer) => buffer.lock().unwrap().push(line),
+        None => eprintln!("{line}"),
+    }
+}
+
+/// Emit a structured event: `log_event!(Level::Warn, "event_name",
+/// "key" => value, ...)`. Field values go through
+/// [`FieldValue::from`]; fields are not evaluated when the level is
+/// filtered out.
+#[macro_export]
+macro_rules! log_event {
+    ($level:expr, $event:expr $(, $key:literal => $val:expr)* $(,)?) => {
+        if $crate::enabled($level) {
+            $crate::log_fields(
+                $level,
+                $event,
+                &[$(($key, $crate::FieldValue::from($val))),*],
+            );
+        }
+    };
+}
+
+/// [`log_event!`](crate::log_event) at [`Level::Error`].
+#[macro_export]
+macro_rules! error_event {
+    ($event:expr $(, $key:literal => $val:expr)* $(,)?) => {
+        $crate::log_event!($crate::Level::Error, $event $(, $key => $val)*)
+    };
+}
+
+/// [`log_event!`](crate::log_event) at [`Level::Warn`].
+#[macro_export]
+macro_rules! warn_event {
+    ($event:expr $(, $key:literal => $val:expr)* $(,)?) => {
+        $crate::log_event!($crate::Level::Warn, $event $(, $key => $val)*)
+    };
+}
+
+/// [`log_event!`](crate::log_event) at [`Level::Info`].
+#[macro_export]
+macro_rules! info_event {
+    ($event:expr $(, $key:literal => $val:expr)* $(,)?) => {
+        $crate::log_event!($crate::Level::Info, $event $(, $key => $val)*)
+    };
+}
+
+/// [`log_event!`](crate::log_event) at [`Level::Debug`].
+#[macro_export]
+macro_rules! debug_event {
+    ($event:expr $(, $key:literal => $val:expr)* $(,)?) => {
+        $crate::log_event!($crate::Level::Debug, $event $(, $key => $val)*)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One test covers the whole logger because the sink and level are
+    /// process-global (parallel tests would interleave).
+    #[test]
+    fn logger_levels_capture_and_escaping() {
+        let capture = set_capture();
+        set_max_level(Some(Level::Warn));
+        assert!(enabled(Level::Error) && enabled(Level::Warn));
+        assert!(!enabled(Level::Info));
+
+        crate::warn_event!(
+            "corrupt_line",
+            "path" => "a\"b\\c\nd",
+            "line" => 42u64,
+            "fatal" => false,
+        );
+        crate::info_event!("filtered_out");
+        crate::error_event!("boom", "latency_ms" => 1.5f64);
+
+        let lines = captured_lines(&capture);
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"event\":\"corrupt_line\""));
+        assert!(lines[0].contains("\"path\":\"a\\\"b\\\\c\\nd\""));
+        assert!(lines[0].contains("\"line\":42"));
+        assert!(lines[0].contains("\"fatal\":false"));
+        assert!(lines[0].starts_with("{\"ts\":"));
+        assert!(lines[1].contains("\"level\":\"error\""));
+        assert!(lines[1].contains("\"latency_ms\":1.5"));
+
+        set_max_level(None);
+        crate::error_event!("silenced");
+        assert!(captured_lines(&capture).is_empty());
+        set_max_level(Some(Level::Warn));
+    }
+
+    #[test]
+    fn escape_json_handles_control_chars() {
+        let mut out = String::new();
+        escape_json("a\u{1}b\tc", &mut out);
+        assert_eq!(out, "a\\u0001b\\tc");
+    }
+}

@@ -1,0 +1,156 @@
+//! Bounded buffers of completed spans: a ring of the most recent and a
+//! sorted list of the slowest.
+//!
+//! The recent ring is the hot path: one atomic cursor bump plus one
+//! uncontended per-slot mutex store (each slot has its own lock, so two
+//! writers only contend when the ring wraps onto the same slot). The
+//! slowest list is guarded by an atomic admission floor — the common
+//! fast request reads one atomic and never takes the list lock.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::trace::SpanRecord;
+
+/// Recent + slowest completed spans, bounded in memory.
+pub struct SpanBuffer {
+    recent: Vec<Mutex<Option<Arc<SpanRecord>>>>,
+    cursor: AtomicUsize,
+    slowest: Mutex<Vec<Arc<SpanRecord>>>,
+    slow_cap: usize,
+    /// Admission floor: a span slower than this may enter `slowest`.
+    /// Zero until the slowest list fills.
+    floor_ns: AtomicU64,
+}
+
+impl SpanBuffer {
+    /// A buffer keeping the `recent_cap` most recent and `slow_cap`
+    /// slowest spans (each at least 1).
+    pub fn new(recent_cap: usize, slow_cap: usize) -> SpanBuffer {
+        SpanBuffer {
+            recent: (0..recent_cap.max(1)).map(|_| Mutex::new(None)).collect(),
+            cursor: AtomicUsize::new(0),
+            slowest: Mutex::new(Vec::new()),
+            slow_cap: slow_cap.max(1),
+            floor_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Record a completed span.
+    pub fn record(&self, span: Arc<SpanRecord>) {
+        let i = self.cursor.fetch_add(1, Ordering::Relaxed) % self.recent.len();
+        *self.recent[i].lock().unwrap() = Some(span.clone());
+        if span.total_ns <= self.floor_ns.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut slow = self.slowest.lock().unwrap();
+        let at = slow
+            .binary_search_by(|s| span.total_ns.cmp(&s.total_ns))
+            .unwrap_or_else(|e| e);
+        slow.insert(at, span);
+        slow.truncate(self.slow_cap);
+        let floor = if slow.len() == self.slow_cap {
+            slow.last().map_or(0, |s| s.total_ns)
+        } else {
+            0
+        };
+        self.floor_ns.store(floor, Ordering::Relaxed);
+    }
+
+    /// Most recent spans, newest first.
+    pub fn recent(&self) -> Vec<Arc<SpanRecord>> {
+        let cursor = self.cursor.load(Ordering::Relaxed);
+        let n = self.recent.len();
+        let mut out = Vec::new();
+        for back in 1..=n {
+            let slot = (cursor + n - back) % n;
+            if let Some(span) = self.recent[slot].lock().unwrap().clone() {
+                out.push(span);
+            }
+        }
+        out
+    }
+
+    /// Slowest spans, slowest first.
+    pub fn slowest(&self) -> Vec<Arc<SpanRecord>> {
+        self.slowest.lock().unwrap().clone()
+    }
+
+    /// Look up a span by id among the retained recent and slowest
+    /// records (spans age out of both buffers).
+    pub fn find(&self, id: &str) -> Option<Arc<SpanRecord>> {
+        for slot in &self.recent {
+            if let Some(span) = slot.lock().unwrap().as_ref() {
+                if span.id == id {
+                    return Some(span.clone());
+                }
+            }
+        }
+        self.slowest
+            .lock()
+            .unwrap()
+            .iter()
+            .find(|s| s.id == id)
+            .cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::StageTimes;
+
+    fn span(id: &str, total_ns: u64) -> Arc<SpanRecord> {
+        Arc::new(SpanRecord {
+            id: id.to_string(),
+            wrapper: "w".to_string(),
+            version: 1,
+            status: 200,
+            cache_hit: false,
+            total_ns,
+            stages: StageTimes::new(),
+            unix_ms: 0,
+        })
+    }
+
+    #[test]
+    fn recent_ring_keeps_newest_first() {
+        let buf = SpanBuffer::new(3, 3);
+        for i in 0..5 {
+            buf.record(span(&format!("s{i}"), i));
+        }
+        let ids: Vec<String> = buf.recent().iter().map(|s| s.id.clone()).collect();
+        assert_eq!(ids, ["s4", "s3", "s2"]);
+    }
+
+    #[test]
+    fn slowest_keeps_top_k_sorted() {
+        let buf = SpanBuffer::new(2, 3);
+        for (id, ns) in [("a", 50), ("b", 500), ("c", 10), ("d", 300), ("e", 400)] {
+            buf.record(span(id, ns));
+        }
+        let got: Vec<(String, u64)> = buf
+            .slowest()
+            .iter()
+            .map(|s| (s.id.clone(), s.total_ns))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                ("b".to_string(), 500),
+                ("e".to_string(), 400),
+                ("d".to_string(), 300)
+            ]
+        );
+    }
+
+    #[test]
+    fn find_checks_recent_then_slowest() {
+        let buf = SpanBuffer::new(1, 2);
+        buf.record(span("slow", 900));
+        buf.record(span("newer", 1)); // evicts "slow" from recent
+        assert_eq!(buf.find("newer").unwrap().total_ns, 1);
+        assert_eq!(buf.find("slow").unwrap().total_ns, 900);
+        assert!(buf.find("missing").is_none());
+    }
+}

@@ -1,0 +1,117 @@
+//! Per-rule execution telemetry: atomic slot arrays indexed by the
+//! plan's dense rule ids.
+//!
+//! One `RuleStats` is attached to each registered wrapper version. The
+//! executor records `(rule, matches, nanos)` with three relaxed atomic
+//! adds — no allocation, no locks — so telemetry can stay on in
+//! production. Snapshots are taken by the debug endpoints and the
+//! Prometheus exporter.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-rule counters for one compiled wrapper plan.
+pub struct RuleStats {
+    labels: Vec<String>,
+    invocations: Vec<AtomicU64>,
+    matches: Vec<AtomicU64>,
+    nanos: Vec<AtomicU64>,
+}
+
+impl RuleStats {
+    /// Counters for `labels.len()` rules; `labels[i]` names rule `i`
+    /// (by convention the target pattern name).
+    pub fn new(labels: Vec<String>) -> RuleStats {
+        let n = labels.len();
+        RuleStats {
+            labels,
+            invocations: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            matches: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            nanos: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Number of rules tracked.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the plan has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Record one rule invocation that produced `matches` new instances
+    /// in `ns` nanoseconds. Out-of-range ids are ignored.
+    pub fn record(&self, rule: usize, matches: u64, ns: u64) {
+        if rule >= self.labels.len() {
+            return;
+        }
+        self.invocations[rule].fetch_add(1, Ordering::Relaxed);
+        self.matches[rule].fetch_add(matches, Ordering::Relaxed);
+        self.nanos[rule].fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every rule's counters.
+    pub fn snapshot(&self) -> Vec<RuleStat> {
+        (0..self.labels.len())
+            .map(|i| RuleStat {
+                rule: i,
+                label: self.labels[i].clone(),
+                invocations: self.invocations[i].load(Ordering::Relaxed),
+                matches: self.matches[i].load(Ordering::Relaxed),
+                total_ns: self.nanos[i].load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+}
+
+/// One rule's counters, copied out of a [`RuleStats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleStat {
+    /// Dense rule id within the plan.
+    pub rule: usize,
+    /// Rule label (target pattern name).
+    pub label: String,
+    /// Times the rule body was evaluated.
+    pub invocations: u64,
+    /// New pattern instances the rule produced.
+    pub matches: u64,
+    /// Cumulative evaluation wall time in nanoseconds.
+    pub total_ns: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate_per_rule() {
+        let stats = RuleStats::new(vec!["item".to_string(), "price".to_string()]);
+        stats.record(0, 3, 1_000);
+        stats.record(0, 2, 500);
+        stats.record(1, 0, 250);
+        stats.record(9, 7, 7); // out of range: ignored
+        let snap = stats.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(
+            snap[0],
+            RuleStat {
+                rule: 0,
+                label: "item".to_string(),
+                invocations: 2,
+                matches: 5,
+                total_ns: 1_500,
+            }
+        );
+        assert_eq!((snap[1].invocations, snap[1].matches), (1, 0));
+        assert_eq!(snap[1].total_ns, 250);
+    }
+
+    #[test]
+    fn empty_plan_is_empty() {
+        let stats = RuleStats::new(Vec::new());
+        assert!(stats.is_empty());
+        assert_eq!(stats.len(), 0);
+        assert!(stats.snapshot().is_empty());
+    }
+}

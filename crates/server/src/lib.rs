@@ -60,7 +60,9 @@ pub use cache::{
     DEFAULT_CACHE_SEGMENTS,
 };
 pub use lixto_elog::{CompileError, ParseError, WrapperPlan};
-pub use metrics::{LatencyHistogram, MetricsSnapshot, ServerMetrics};
+pub use metrics::{
+    LatencyHistogram, MetricsSnapshot, ServerMetrics, StageHistograms, StageSummary,
+};
 pub use registry::{DeployError, RegisteredWrapper, WrapperRegistry, WrapperSpec};
 pub use server::{
     ExtractionRequest, ExtractionResponse, ExtractionServer, JobTicket, RequestSource,

@@ -9,6 +9,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
+use lixto_obs::{Stage, StageTimes, STAGE_COUNT};
+
 use crate::cache::CacheStats;
 use crate::store::StoreStats;
 
@@ -68,6 +70,68 @@ impl LatencyHistogram {
     }
 }
 
+/// One latency histogram per pipeline [`Stage`], recorded only for
+/// stages a request actually executed (a cache hit contributes no
+/// `exec` observation), so each stage's quantiles describe real work.
+#[derive(Default)]
+pub struct StageHistograms {
+    histograms: [LatencyHistogram; STAGE_COUNT],
+}
+
+impl StageHistograms {
+    /// All stages empty.
+    pub fn new() -> StageHistograms {
+        StageHistograms::default()
+    }
+
+    /// Record every touched stage of one request.
+    pub fn record(&self, times: &StageTimes) {
+        for (stage, ns) in times.iter() {
+            self.histograms[stage.index()].record(Duration::from_nanos(ns));
+        }
+    }
+
+    /// Record a single stage observation (the gateway uses this for
+    /// wake latency, which never flows through a [`StageTimes`]).
+    pub fn record_one(&self, stage: Stage, latency: Duration) {
+        self.histograms[stage.index()].record(latency);
+    }
+
+    /// The histogram backing one stage.
+    pub fn get(&self, stage: Stage) -> &LatencyHistogram {
+        &self.histograms[stage.index()]
+    }
+
+    /// Copy out `(name, count, p50, p99)` per stage, in pipeline order.
+    pub fn summaries(&self) -> Vec<StageSummary> {
+        Stage::ALL
+            .iter()
+            .map(|&stage| {
+                let h = self.get(stage);
+                StageSummary {
+                    stage: stage.name(),
+                    count: h.count(),
+                    p50_us: h.quantile_us(0.50).unwrap_or(0),
+                    p99_us: h.quantile_us(0.99).unwrap_or(0),
+                }
+            })
+            .collect()
+    }
+}
+
+/// One stage's latency distribution, copied into a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageSummary {
+    /// Stable stage name ([`Stage::name`]).
+    pub stage: &'static str,
+    /// Observations recorded.
+    pub count: u64,
+    /// Median latency in µs (bucket upper bound); 0 if never observed.
+    pub p50_us: u64,
+    /// 99th-percentile latency in µs; 0 if never observed.
+    pub p99_us: u64,
+}
+
 /// Shared mutable counters the server and its workers write into.
 pub struct ServerMetrics {
     /// Requests accepted into a shard queue.
@@ -80,6 +144,9 @@ pub struct ServerMetrics {
     pub rejected: AtomicU64,
     /// End-to-end latency (enqueue → response) histogram.
     pub latency: LatencyHistogram,
+    /// Per-stage latency histograms (queue wait, fetch, parse, cache,
+    /// exec, serialize), fed by the workers per completed request.
+    pub stages: StageHistograms,
     /// When the server started (throughput denominator).
     pub started_at: Instant,
 }
@@ -93,6 +160,7 @@ impl ServerMetrics {
             errors: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
+            stages: StageHistograms::new(),
             started_at: Instant::now(),
         }
     }
@@ -105,7 +173,7 @@ impl Default for ServerMetrics {
 }
 
 /// A point-in-time, copyable view of the service's health.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct MetricsSnapshot {
     /// Requests accepted into a shard queue.
     pub submitted: u64,
@@ -121,6 +189,9 @@ pub struct MetricsSnapshot {
     pub p50_us: u64,
     /// 99th-percentile end-to-end latency in µs; 0 if idle.
     pub p99_us: u64,
+    /// Per-stage latency summaries, in pipeline order (the `wake` slot
+    /// stays empty here — the gateway owns that measurement).
+    pub stages: Vec<StageSummary>,
     /// Jobs currently queued, per shard.
     pub queue_depths: Vec<usize>,
     /// Worker thread count.
@@ -151,6 +222,7 @@ impl MetricsSnapshot {
             throughput_per_sec: completed as f64 / elapsed,
             p50_us: metrics.latency.quantile_us(0.50).unwrap_or(0),
             p99_us: metrics.latency.quantile_us(0.99).unwrap_or(0),
+            stages: metrics.stages.summaries(),
             queue_depths,
             workers,
             cache,
@@ -205,5 +277,23 @@ mod tests {
         assert_eq!(snap.workers, 4);
         assert!(snap.throughput_per_sec > 0.0);
         assert_eq!(snap.p50_us, 64);
+    }
+
+    #[test]
+    fn stage_histograms_record_only_touched_stages() {
+        let m = ServerMetrics::new();
+        let mut times = StageTimes::new();
+        times.add(Stage::QueueWait, Duration::from_micros(3));
+        times.add(Stage::PlanExec, Duration::from_micros(100));
+        m.stages.record(&times);
+        m.stages.record_one(Stage::Wake, Duration::from_micros(3));
+        let summaries = m.stages.summaries();
+        assert_eq!(summaries.len(), STAGE_COUNT);
+        let by_name = |n: &str| summaries.iter().find(|s| s.stage == n).unwrap().clone();
+        assert_eq!(by_name("queue_wait").count, 1);
+        assert_eq!(by_name("exec").p50_us, 128);
+        assert_eq!(by_name("wake").count, 1);
+        assert_eq!(by_name("fetch").count, 0);
+        assert_eq!(by_name("fetch").p50_us, 0);
     }
 }

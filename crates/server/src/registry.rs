@@ -34,6 +34,7 @@ use lixto_elog::{
     parse_program, CompileError, ConceptRegistry, ElogProgram, ExtractorOptions, ParseError,
     WrapperPlan,
 };
+use lixto_obs::{warn_event, RuleStats};
 
 use crate::cache::fxhash64;
 
@@ -193,6 +194,12 @@ pub struct RegisteredWrapper {
     pub plan_id: u64,
     /// The executable spec.
     pub spec: WrapperSpec,
+    /// Per-rule execution counters for this version, shared with every
+    /// in-flight job (the executor records into it through an
+    /// [`ExecProbe`](lixto_elog::ExecProbe)). Rule `i` is labeled with
+    /// its target pattern name; the `/debug/wrappers/{name}` endpoint
+    /// and the `lixto_rule_*` Prometheus series read snapshots of it.
+    pub telemetry: Arc<RuleStats>,
 }
 
 /// Thread-safe name → versions map shared by clients and worker shards.
@@ -249,8 +256,9 @@ impl WrapperRegistry {
     /// # Recovery
     ///
     /// A manifest that no longer *parses* (truncated by a crash
-    /// mid-write, hand-edited, wrong magic) is **skipped with a stderr
-    /// warning** — one bad file must not keep a server with dozens of
+    /// mid-write, hand-edited, wrong magic) is **skipped with a
+    /// structured `spool_manifest_corrupt` warning** — one bad file
+    /// must not keep a server with dozens of
     /// healthy wrappers from starting. A manifest that parses but whose
     /// Elog source no longer *compiles* is still a hard
     /// [`InvalidData`](io::ErrorKind::InvalidData) error: that means
@@ -274,9 +282,10 @@ impl WrapperRegistry {
             }
             match parse_manifest(&fs::read_to_string(&path)?) {
                 Ok(manifest) => manifests.push((path, manifest)),
-                Err(e) => eprintln!(
-                    "lixto: skipping corrupt wrapper manifest {}: {e}",
-                    path.display()
+                Err(e) => warn_event!(
+                    "spool_manifest_corrupt",
+                    "path" => path.display().to_string(),
+                    "error" => &e,
                 ),
             }
         }
@@ -321,6 +330,14 @@ impl WrapperRegistry {
 
     fn register_in_memory(&self, name: &str, spec: WrapperSpec) -> (u32, u64) {
         let plan_id = spec.plan_id();
+        // Telemetry slots are indexed by the plan's dense rule ids and
+        // labeled with each rule's target pattern.
+        let labels = spec
+            .plan
+            .rules()
+            .iter()
+            .map(|r| spec.plan.patterns()[r.pattern as usize].clone())
+            .collect();
         let mut inner = self.inner.write().expect("registry poisoned");
         let versions = inner.entry(name.to_string()).or_default();
         let version = versions.len() as u32 + 1;
@@ -329,6 +346,7 @@ impl WrapperRegistry {
             version,
             plan_id,
             spec,
+            telemetry: Arc::new(RuleStats::new(labels)),
         }));
         (version, plan_id)
     }
@@ -336,7 +354,7 @@ impl WrapperRegistry {
     /// Register a new version of `name`; returns the assigned version.
     /// On a durable registry the version is also spooled to disk
     /// (best-effort: a write failure keeps the in-memory registration
-    /// and logs to stderr).
+    /// and logs a `spool_write_failed` warning).
     pub fn register(&self, name: &str, spec: WrapperSpec) -> u32 {
         let manifest = self
             .spool
@@ -346,7 +364,12 @@ impl WrapperRegistry {
         if let Some((dir, body)) = manifest {
             let path = dir.join(format!("{}@{version}.wrapper", sanitize(name)));
             if let Err(e) = fs::write(&path, format!("{body}version={version}\nend\n")) {
-                eprintln!("lixto: could not spool wrapper {name:?} v{version}: {e}");
+                warn_event!(
+                    "spool_write_failed",
+                    "wrapper" => name,
+                    "version" => version,
+                    "error" => e.to_string(),
+                );
                 let _ = fs::remove_file(&path);
             }
         }

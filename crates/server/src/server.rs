@@ -29,7 +29,8 @@ use std::time::{Duration, Instant};
 use crossbeam_channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
 use lixto_core::to_xml;
 use lixto_elog::eval::ExtractionResult;
-use lixto_elog::{Extractor, WebSource};
+use lixto_elog::{ExecProbe, Extractor, WebSource};
+use lixto_obs::{debug_event, error_event, warn_event, Stage, StageTimes};
 use lixto_transform::ChangeDetector;
 
 use crate::cache::{content_address, fxhash64, CacheKey, CachedExtraction, CrawlRecord};
@@ -72,6 +73,12 @@ pub struct ExtractionRequest {
     pub version: Option<u32>,
     /// The document to wrap.
     pub source: RequestSource,
+    /// Request trace id propagated from the gateway (batch items carry
+    /// a `#i` suffix). `None` when tracing is disabled or the request
+    /// was submitted in-process without a trace. Workers thread it into
+    /// their structured log events, so a `worker_panic` line names the
+    /// exact request to look up under `GET /debug/requests/{id}`.
+    pub trace: Option<String>,
 }
 
 /// A completed extraction.
@@ -91,6 +98,12 @@ pub struct ExtractionResponse {
     pub cache_hit: bool,
     /// End-to-end latency, enqueue to completion.
     pub latency: Duration,
+    /// Per-stage wall times the worker measured for this request
+    /// (queue wait, fetch, parse, cache lookup, plan execution, XML
+    /// serialization). Stages that did not run — e.g. `exec` on a cache
+    /// hit — are untouched. The gateway folds these into its span
+    /// records and the pool records them into the per-stage histograms.
+    pub stages: StageTimes,
 }
 
 impl ExtractionResponse {
@@ -385,9 +398,11 @@ impl ExtractionServer {
         let store = match &config.store {
             Some(store_config) => TieredStore::open(config.cache_capacity, store_config)
                 .unwrap_or_else(|e| {
-                    eprintln!(
-                        "lixto-server: result store at {} unavailable ({e}); running memory-only",
-                        store_config.dir.display()
+                    warn_event!(
+                        "store_open_failed",
+                        "dir" => store_config.dir.display().to_string(),
+                        "error" => e.to_string(),
+                        "fallback" => "memory-only",
                     );
                     TieredStore::memory(config.cache_capacity)
                 }),
@@ -664,11 +679,34 @@ fn worker_loop(rx: Receiver<Job>, shared: Arc<Shared>) {
         // A panicking wrapper (or web source) must not take the worker
         // down — that would strand every job queued behind it. Contain
         // it and answer the ticket with an error instead.
-        let outcome = catch_unwind(AssertUnwindSafe(|| process(&job, &shared)))
-            .unwrap_or_else(|payload| Err(ServerError::Internal(panic_message(payload))));
+        let outcome =
+            catch_unwind(AssertUnwindSafe(|| process(&job, &shared))).unwrap_or_else(|payload| {
+                let message = panic_message(payload);
+                error_event!(
+                    "worker_panic",
+                    "request_id" => job.request.trace.as_deref().unwrap_or(""),
+                    "wrapper" => &job.request.wrapper,
+                    "url" => job.request.source.url(),
+                    "error" => &message,
+                );
+                Err(ServerError::Internal(message))
+            });
         match &outcome {
-            Ok(_) => shared.metrics.completed.fetch_add(1, Ordering::Relaxed),
-            Err(_) => shared.metrics.errors.fetch_add(1, Ordering::Relaxed),
+            Ok(response) => {
+                shared.metrics.completed.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.stages.record(&response.stages);
+                debug_event!(
+                    "job_done",
+                    "request_id" => job.request.trace.as_deref().unwrap_or(""),
+                    "wrapper" => &response.wrapper,
+                    "version" => response.version,
+                    "cache_hit" => response.cache_hit,
+                    "latency_us" => job.submitted_at.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+                );
+            }
+            Err(_) => {
+                shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            }
         };
         shared.metrics.latency.record(job.submitted_at.elapsed());
         // The client may have dropped its ticket; that is its business.
@@ -679,15 +717,19 @@ fn worker_loop(rx: Receiver<Job>, shared: Arc<Shared>) {
 fn process(job: &Job, shared: &Shared) -> Result<ExtractionResponse, ServerError> {
     let spec = &job.wrapper.spec;
     let url = job.request.source.url();
+    let mut stages = StageTimes::new();
+    stages.add(Stage::QueueWait, job.submitted_at.elapsed());
     let (html, from_web) = match &job.request.source {
         RequestSource::Inline { html, .. } => (html.clone(), false),
-        RequestSource::Web { url } => (
-            shared
-                .web
-                .fetch(url)
-                .ok_or_else(|| ServerError::FetchFailed(url.clone()))?,
-            true,
-        ),
+        RequestSource::Web { url } => {
+            let fetch_started = Instant::now();
+            let body = shared.web.fetch(url);
+            stages.add(Stage::Fetch, fetch_started.elapsed());
+            (
+                body.ok_or_else(|| ServerError::FetchFailed(url.clone()))?,
+                true,
+            )
+        }
     };
     let key = CacheKey {
         wrapper: job.wrapper.name.clone(),
@@ -727,10 +769,12 @@ fn process(job: &Job, shared: &Shared) -> Result<ExtractionResponse, ServerError
     // other fetch capability (live vs. self-contained) cannot be judged
     // here: recompute, but leave the entry alone — it is still valid
     // for requests of its own kind.
+    let cache_started = Instant::now();
     if let Some(cached) = shared.store.peek(&key) {
         if cached.crawl.is_empty() || cached.crawl_live == from_web {
             if crawl_current(&cached.crawl, crawl_web) {
                 shared.store.record_hit();
+                stages.add(Stage::CacheLookup, cache_started.elapsed());
                 return Ok(ExtractionResponse {
                     wrapper: job.wrapper.name.clone(),
                     version: job.wrapper.version,
@@ -738,6 +782,7 @@ fn process(job: &Job, shared: &Shared) -> Result<ExtractionResponse, ServerError
                     result: cached,
                     cache_hit: true,
                     latency: job.submitted_at.elapsed(),
+                    stages,
                 });
             }
             shared.store.invalidate(&key);
@@ -746,6 +791,7 @@ fn process(job: &Job, shared: &Shared) -> Result<ExtractionResponse, ServerError
     } else {
         shared.store.record_miss();
     }
+    stages.add(Stage::CacheLookup, cache_started.elapsed());
     let page = PinnedPage {
         url,
         html: &html,
@@ -758,11 +804,21 @@ fn process(job: &Job, shared: &Shared) -> Result<ExtractionResponse, ServerError
     };
     // The compile-once fast path: execute the plan shared by every job
     // of this wrapper version — no AST clone, no per-request regex
-    // compilation (concepts are baked into the plan).
+    // compilation (concepts are baked into the plan). The probe feeds
+    // this version's per-rule counters and splits out the fetch/parse
+    // time spent inside the run.
+    let probe = ExecProbe::new(Some(job.wrapper.telemetry.clone()));
+    let exec_started = Instant::now();
     let result = Extractor::from_plan(spec.plan.clone(), &recorder)
         .with_options(spec.options.clone())
+        .with_probe(&probe)
         .run();
+    stages.add(Stage::PlanExec, exec_started.elapsed());
+    stages.add_ns(Stage::Parse, probe.parse_ns());
+    stages.add_ns(Stage::Fetch, probe.fetch_ns());
+    let serialize_started = Instant::now();
     let xml = lixto_xml::to_string(&to_xml(&result, &spec.design));
+    stages.add(Stage::Serialize, serialize_started.elapsed());
     // Record the derivation beside the result: which rule produced each
     // instance (index-parallel to the base), from which page.
     let instances = result
@@ -800,6 +856,7 @@ fn process(job: &Job, shared: &Shared) -> Result<ExtractionResponse, ServerError
         result: value,
         cache_hit: false,
         latency: job.submitted_at.elapsed(),
+        stages,
     })
 }
 
@@ -833,6 +890,7 @@ mod tests {
 
     fn inline_req(items: &[&str]) -> ExtractionRequest {
         ExtractionRequest {
+            trace: None,
             wrapper: "shop".into(),
             version: None,
             source: RequestSource::Inline {
@@ -871,6 +929,7 @@ mod tests {
         let html = page(&["only-offer"]);
         let at_entry = server
             .execute(ExtractionRequest {
+                trace: None,
                 wrapper: "shop".into(),
                 version: None,
                 source: RequestSource::Inline {
@@ -885,6 +944,7 @@ mod tests {
         // extraction — not the first request's result.
         let elsewhere = server
             .execute(ExtractionRequest {
+                trace: None,
                 wrapper: "shop".into(),
                 version: None,
                 source: RequestSource::Inline {
@@ -904,6 +964,7 @@ mod tests {
         assert_eq!(
             server
                 .execute(ExtractionRequest {
+                    trace: None,
                     wrapper: "nope".into(),
                     version: None,
                     source: RequestSource::Web { url: "u".into() },
@@ -914,6 +975,7 @@ mod tests {
         assert_eq!(
             server
                 .execute(ExtractionRequest {
+                    trace: None,
                     wrapper: "shop".into(),
                     version: Some(9),
                     source: RequestSource::Web { url: "u".into() },
@@ -945,6 +1007,7 @@ mod tests {
         });
         let server = server_with(web.clone());
         let req = ExtractionRequest {
+            trace: None,
             wrapper: "shop".into(),
             version: None,
             source: RequestSource::Web {
@@ -964,6 +1027,7 @@ mod tests {
         assert_eq!(
             server
                 .execute(ExtractionRequest {
+                    trace: None,
                     wrapper: "shop".into(),
                     version: None,
                     source: RequestSource::Web {
@@ -1050,6 +1114,7 @@ mod tests {
             .unwrap();
         let server = ExtractionServer::start(ServerConfig::default(), registry, web.clone());
         let req = ExtractionRequest {
+            trace: None,
             wrapper: "crawler".into(),
             version: None,
             source: RequestSource::Web {
@@ -1096,6 +1161,7 @@ mod tests {
         web.put("http://shop/", html.clone());
         let server = server_with(Arc::new(web));
         let web_req = ExtractionRequest {
+            trace: None,
             wrapper: "shop".into(),
             version: None,
             source: RequestSource::Web {
@@ -1103,6 +1169,7 @@ mod tests {
             },
         };
         let inline = ExtractionRequest {
+            trace: None,
             wrapper: "shop".into(),
             version: None,
             source: RequestSource::Inline {
@@ -1171,6 +1238,7 @@ mod tests {
         let server = server_with(Arc::new(PanickyWeb));
         let err = server
             .execute(ExtractionRequest {
+                trace: None,
                 wrapper: "shop".into(),
                 version: None,
                 source: RequestSource::Web {
@@ -1235,6 +1303,7 @@ mod tests {
         let mut ticket = server
             .try_submit_with_notify(
                 ExtractionRequest {
+                    trace: None,
                     wrapper: "shop".into(),
                     version: None,
                     source: RequestSource::Web {
@@ -1281,6 +1350,7 @@ mod tests {
             gate.clone(),
         );
         let web_req = || ExtractionRequest {
+            trace: None,
             wrapper: "shop".into(),
             version: None,
             source: RequestSource::Web {

@@ -493,7 +493,14 @@ impl DiskTier {
                     Some(Record::Del(key)) => {
                         index.remove(&key);
                     }
-                    None => corrupt += 1,
+                    None => {
+                        corrupt += 1;
+                        lixto_obs::warn_event!(
+                            "store_corrupt_record",
+                            "file" => file,
+                            "bytes" => line.len(),
+                        );
+                    }
                 }
             }
         }

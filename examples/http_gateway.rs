@@ -18,6 +18,11 @@
 //!      -d '[{"wrapper":"news","url":"http://press/finance"},{"wrapper":"flights","url":"http://fly/status"}]'
 //! curl http://127.0.0.1:7878/metrics
 //! curl -H 'Accept: application/json' http://127.0.0.1:7878/metrics
+//! curl -i -H 'X-Request-Id: my-probe' -X POST http://127.0.0.1:7878/extract \
+//!      -d '{"wrapper":"news","url":"http://press/finance"}'
+//! curl http://127.0.0.1:7878/debug/requests/my-probe
+//! curl http://127.0.0.1:7878/debug/slow
+//! curl http://127.0.0.1:7878/debug/wrappers/news
 //! curl -X POST http://127.0.0.1:7878/admin/shutdown
 //! ```
 //!
@@ -155,6 +160,33 @@ fn selftest(addr: std::net::SocketAddr) {
         .collect();
     assert_eq!(statuses, [200, 404]);
     println!("batch: per-item statuses {statuses:?}");
+    // Request tracing: a client-supplied id is echoed back, and the
+    // retained span (with its per-stage wall times) is queryable — as
+    // are the per-rule counters the extractions above just fed.
+    let traced = client
+        .request(
+            "POST",
+            "/extract",
+            &[("x-request-id", "selftest-probe")],
+            Some(body.as_bytes()),
+        )
+        .expect("traced extract");
+    assert_eq!(traced.status, 200, "{}", traced.text());
+    assert_eq!(traced.header("x-request-id"), Some("selftest-probe"));
+    let span = client
+        .get("/debug/requests/selftest-probe")
+        .expect("span lookup");
+    assert_eq!(span.status, 200, "{}", span.text());
+    println!("span: {}", span.text());
+    let slow = client.get("/debug/slow").expect("debug/slow");
+    assert_eq!(slow.status, 200);
+    assert!(slow.text().contains("\"id\""), "span rings are populated");
+    let telemetry = client
+        .get("/debug/wrappers/news")
+        .expect("debug/wrappers/news");
+    assert_eq!(telemetry.status, 200, "{}", telemetry.text());
+    assert!(telemetry.text().contains("\"invocations\""));
+    println!("rule telemetry: {}", telemetry.text());
     let put = client
         .put_json("/wrappers/news", &http_traffic::register_body(&news))
         .expect("deploy");

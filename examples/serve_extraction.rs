@@ -45,6 +45,7 @@ fn main() {
         .map(|r| {
             server
                 .submit(ExtractionRequest {
+                    trace: None,
                     wrapper: r.wrapper.to_string(),
                     version: None,
                     source: RequestSource::Inline {
@@ -76,6 +77,7 @@ fn main() {
         .unwrap();
     let upgraded = server
         .execute(ExtractionRequest {
+            trace: None,
             wrapper: "news".into(),
             version: None,
             source: RequestSource::Inline {

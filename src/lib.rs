@@ -13,6 +13,7 @@ pub use lixto_datalog as datalog;
 pub use lixto_elog as elog;
 pub use lixto_html as html;
 pub use lixto_http as http;
+pub use lixto_obs as obs;
 pub use lixto_regexlite as regexlite;
 pub use lixto_server as server;
 pub use lixto_transform as transform;

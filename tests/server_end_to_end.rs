@@ -79,6 +79,7 @@ fn concurrent_clients_agree_with_single_threaded_engine() {
                 for r in mine {
                     let response = server
                         .execute(ExtractionRequest {
+                            trace: None,
                             wrapper: r.wrapper.to_string(),
                             version: None,
                             source: RequestSource::Inline {
@@ -120,6 +121,7 @@ fn concurrent_clients_agree_with_single_threaded_engine() {
     let sample = &requests[0];
     let repeat = server
         .execute(ExtractionRequest {
+            trace: None,
             wrapper: sample.wrapper.to_string(),
             version: None,
             source: RequestSource::Inline {
@@ -172,6 +174,7 @@ fn shutdown_rejects_new_work_but_drains_queued_jobs() {
         .map(|r| {
             server
                 .submit(ExtractionRequest {
+                    trace: None,
                     wrapper: r.wrapper.to_string(),
                     version: None,
                     source: RequestSource::Inline {
@@ -199,6 +202,7 @@ fn unknown_wrapper_is_rejected_before_queueing() {
     );
     let err = server
         .execute(ExtractionRequest {
+            trace: None,
             wrapper: "ghost".into(),
             version: None,
             source: RequestSource::Web { url: "u".into() },
