@@ -1,0 +1,75 @@
+//! E19: the cost of watching — gateway throughput on the E14 mixed
+//! traffic with the continuous monitor (metrics-history sampler + SLO
+//! watchdog) switched on vs off. The two configurations serve
+//! identical request streams from identical pools; the delta is the
+//! monitoring tax, budgeted at 2%.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lixto_bench::workload_registry;
+use lixto_elog::StaticWeb;
+use lixto_http::{GatewayConfig, HttpClient, HttpGateway};
+use lixto_server::{ExtractionServer, ServerConfig};
+use lixto_workloads::http_traffic;
+
+fn bench(c: &mut Criterion) {
+    const USERS: usize = 16;
+    const PER_USER: usize = 8;
+    const CLIENTS: usize = 4;
+    let requests = http_traffic::requests(99, USERS, PER_USER);
+    let mut g = c.benchmark_group("e19_watchdog");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(500));
+    g.throughput(Throughput::Elements(requests.len() as u64));
+    for monitor in [false, true] {
+        let server = Arc::new(ExtractionServer::start(
+            ServerConfig {
+                shards: 4,
+                workers_per_shard: 2,
+                queue_capacity: 128,
+                cache_capacity: 64,
+                store: None,
+            },
+            workload_registry(),
+            Arc::new(StaticWeb::new()),
+        ));
+        let gateway = HttpGateway::bind(
+            "127.0.0.1:0",
+            GatewayConfig {
+                handler_threads: CLIENTS,
+                monitor,
+                monitor_interval: Duration::from_millis(100),
+                ..GatewayConfig::default()
+            },
+            server.clone(),
+        )
+        .expect("bind gateway");
+        let addr = gateway.addr();
+        let label = if monitor { "monitor_on" } else { "monitor_off" };
+        g.bench_with_input(BenchmarkId::from_parameter(label), &monitor, |b, _| {
+            b.iter(|| {
+                std::thread::scope(|scope| {
+                    for chunk in requests.chunks(requests.len().div_ceil(CLIENTS)) {
+                        scope.spawn(move || {
+                            let mut client = HttpClient::connect(addr).expect("connect");
+                            for r in chunk {
+                                let response =
+                                    client.post_json("/extract", &r.body).expect("extract");
+                                assert_eq!(response.status, 200);
+                            }
+                        });
+                    }
+                })
+            })
+        });
+        gateway.shutdown();
+        server.initiate_shutdown();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

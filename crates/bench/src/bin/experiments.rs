@@ -71,6 +71,9 @@ fn main() {
     if want("e18_observability") {
         e18_observability();
     }
+    if want("e19_watchdog") {
+        e19_watchdog();
+    }
 }
 
 /// A deep/wide synthetic document of ~n nodes (nested lists of tables).
@@ -1831,6 +1834,275 @@ fn e18_observability() {
         wrapper_rows.join(",\n")
     );
     let path = "BENCH_e18.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn e19_watchdog() {
+    use lixto_core::XmlDesign;
+    use lixto_elog::WebSource;
+    use lixto_http::{GatewayConfig, HttpClient, HttpGateway, Json};
+    use lixto_server::{ExtractionServer, ServerConfig, WrapperRegistry};
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    const USERS: usize = 32;
+    const PER_USER: usize = 50;
+    const PAIRS: usize = 6;
+    const MEASURED_REPS: usize = 6;
+    let requests = lixto_workloads::http_traffic::requests(2026, USERS, PER_USER);
+
+    // Part 1: the monitor's throughput tax on the E14/E18 traffic mix.
+    // Machine throughput drifts by several percent between runs — far
+    // more than the 2% budget — so the two modes must share everything
+    // that drifts: ONE extraction pool serves TWO gateways (monitor off
+    // and on), measured blocks interleave in order-balanced
+    // off/on/on/off pairs, and the headline ratio compares the two
+    // modes' MEDIAN block time over all blocks, which a few
+    // scheduler-stalled blocks cannot swing. The
+    // client is a single serial connection: on small hosts a fleet of
+    // client threads measures the scheduler, not the gateway.
+    let server = Arc::new(ExtractionServer::start(
+        ServerConfig {
+            shards: 1,
+            workers_per_shard: 1,
+            queue_capacity: 64,
+            cache_capacity: 64,
+            store: None,
+        },
+        lixto_bench::workload_registry(),
+        Arc::new(lixto_elog::StaticWeb::new()),
+    ));
+    let bind = |monitor: bool| {
+        HttpGateway::bind(
+            "127.0.0.1:0",
+            GatewayConfig {
+                event_loops: 1,
+                monitor,
+                // Fast enough that the measured sweeps pay for real
+                // sampler ticks, not an idle thread.
+                monitor_interval: Duration::from_millis(100),
+                ..GatewayConfig::default()
+            },
+            server.clone(),
+        )
+        .expect("bind gateway")
+    };
+    let gateway_off = bind(false);
+    let gateway_on = bind(true);
+    let sweep = |client: &mut HttpClient| {
+        for r in &requests {
+            let response = client.post_json("/extract", &r.body).expect("extract");
+            assert_eq!(response.status, 200, "{}", response.text());
+        }
+    };
+    let mut client_off = HttpClient::connect(gateway_off.addr()).expect("connect");
+    let mut client_on = HttpClient::connect(gateway_on.addr()).expect("connect");
+    // Warm pass per gateway fills the shared result cache; measured
+    // blocks replay the stream enough times (hundreds of ms each) that
+    // a 2% budget is resolvable above timer noise.
+    sweep(&mut client_off);
+    sweep(&mut client_on);
+    let timed = |client: &mut HttpClient| -> f64 {
+        let t = Instant::now();
+        for _ in 0..MEASURED_REPS {
+            sweep(client);
+        }
+        t.elapsed().as_secs_f64()
+    };
+    let mut secs_off = Vec::with_capacity(2 * PAIRS);
+    let mut secs_on = Vec::with_capacity(2 * PAIRS);
+    for _ in 0..PAIRS {
+        // Order-balanced within the pair (off, on, on, off): any linear
+        // drift across the four blocks hits both modes equally.
+        secs_off.push(timed(&mut client_off));
+        secs_on.push(timed(&mut client_on));
+        secs_on.push(timed(&mut client_on));
+        secs_off.push(timed(&mut client_off));
+    }
+    // Median block time per mode: on a shared host a single
+    // scheduler-stalled block would skew a sum, but not the median.
+    let median_secs = |samples: &mut Vec<f64>| -> f64 {
+        samples.sort_by(f64::total_cmp);
+        samples[samples.len() / 2]
+    };
+    let block_requests = (MEASURED_REPS * requests.len()) as f64;
+    let off = block_requests / median_secs(&mut secs_off);
+    let on = block_requests / median_secs(&mut secs_on);
+    let overhead_pct = 100.0 * (off - on) / off;
+    drop(client_off);
+    drop(client_on);
+
+    // The monitored gateway must actually have monitored.
+    {
+        let mut probe = HttpClient::connect(gateway_on.addr()).expect("connect");
+        let health = probe.get("/debug/health").expect("debug/health");
+        assert_eq!(health.status, 200);
+        let samples = health
+            .json()
+            .expect("health json")
+            .get("sampler")
+            .and_then(|s| s.get("samples"))
+            .and_then(Json::as_u64)
+            .expect("sampler.samples");
+        assert!(samples >= 1, "monitored run never sampled");
+    }
+    gateway_off.shutdown();
+    gateway_on.shutdown();
+    server.initiate_shutdown();
+
+    // Part 2: detection latency. A web source whose fetches block until
+    // released jams the one worker and fills the one shard queue; the
+    // watchdog's queue_saturation rule must flip /debug/health away
+    // from "ok" within two sampling intervals — and resolve it again
+    // once the gate opens.
+    struct GatedWeb {
+        open: Mutex<bool>,
+        cv: Condvar,
+    }
+    impl WebSource for GatedWeb {
+        fn fetch(&self, url: &str) -> Option<String> {
+            let mut open = self.open.lock().unwrap();
+            while !*open {
+                open = self.cv.wait(open).unwrap();
+            }
+            url.starts_with("http://shop/")
+                .then(|| "<ul><li>beans</li></ul>".to_string())
+        }
+    }
+    let web = Arc::new(GatedWeb {
+        open: Mutex::new(true),
+        cv: Condvar::new(),
+    });
+    let registry = Arc::new(WrapperRegistry::new());
+    registry
+        .register_source(
+            "shop",
+            r#"offer(S, X) :- document("http://shop/", S), subelem(S, (?.li, []), X)."#,
+            XmlDesign::new().root("offers"),
+        )
+        .expect("shop wrapper compiles");
+    let server = Arc::new(ExtractionServer::start(
+        ServerConfig {
+            shards: 1,
+            workers_per_shard: 1,
+            queue_capacity: 4,
+            cache_capacity: 16,
+            store: None,
+        },
+        registry,
+        web.clone(),
+    ));
+    const INTERVAL_MS: u64 = 150;
+    let gateway = HttpGateway::bind(
+        "127.0.0.1:0",
+        GatewayConfig {
+            event_loops: 2,
+            monitor_interval: Duration::from_millis(INTERVAL_MS),
+            monitor_eval_ticks: 4,
+            ..GatewayConfig::default()
+        },
+        server.clone(),
+    )
+    .expect("bind gateway");
+    let addr = gateway.addr();
+    let mut prober = HttpClient::connect(addr).expect("connect");
+    let verdict = |client: &mut HttpClient| -> String {
+        let health = client.get("/debug/health").expect("debug/health");
+        assert_eq!(health.status, 200);
+        health
+            .json()
+            .expect("health json")
+            .get("verdict")
+            .and_then(Json::as_str)
+            .expect("verdict")
+            .to_string()
+    };
+    let wait_for = |client: &mut HttpClient, want: &str| -> Duration {
+        let started = Instant::now();
+        loop {
+            if verdict(client) == want {
+                return started.elapsed();
+            }
+            assert!(
+                started.elapsed() < Duration::from_secs(20),
+                "verdict never became {want:?}"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    };
+    assert_eq!(verdict(&mut prober), "ok");
+
+    // Shut the gate and jam the pool: the first extraction pins the
+    // worker, the rest fill the queue.
+    *web.open.lock().unwrap() = false;
+    let batch: Vec<String> = (0..5)
+        .map(|i| format!(r#"{{"wrapper":"shop","url":"http://shop/{i}"}}"#))
+        .collect();
+    let batch = format!("[{}]", batch.join(","));
+    let jammed = std::thread::spawn(move || {
+        let mut client = HttpClient::connect(addr).expect("connect");
+        client.post_json("/extract/batch", &batch).expect("batch")
+    });
+    let detection = wait_for(&mut prober, "degraded");
+    let detection_ms = detection.as_secs_f64() * 1e3;
+    let detection_intervals = detection_ms / INTERVAL_MS as f64;
+
+    // Open the gate: the queue drains and the alert must resolve.
+    {
+        let mut open = web.open.lock().unwrap();
+        *open = true;
+        web.cv.notify_all();
+    }
+    let batch_response = jammed.join().expect("jam thread");
+    assert_eq!(batch_response.status, 200);
+    let resolution = wait_for(&mut prober, "ok");
+    let resolution_ms = resolution.as_secs_f64() * 1e3;
+    drop(prober);
+    gateway.shutdown();
+    server.initiate_shutdown();
+
+    print_table(
+        "E19 — watchdog: monitor overhead on the E14 busy path",
+        &["mode", "req/s (median block, 6 balanced pairs)"],
+        &[
+            vec!["monitor off".into(), format!("{off:.0}")],
+            vec!["monitor on".into(), format!("{on:.0}")],
+            vec!["overhead".into(), format!("{overhead_pct:.2}%")],
+        ],
+    );
+    print_table(
+        "E19 — watchdog: overload detection via /debug/health (150 ms sampling)",
+        &["phase", "latency ms", "sampling intervals"],
+        &[
+            vec![
+                "detect (queue saturated)".into(),
+                format!("{detection_ms:.0}"),
+                format!("{detection_intervals:.2}"),
+            ],
+            vec![
+                "resolve (queue drained)".into(),
+                format!("{resolution_ms:.0}"),
+                format!("{:.2}", resolution_ms / INTERVAL_MS as f64),
+            ],
+        ],
+    );
+    assert!(
+        overhead_pct <= 2.0,
+        "monitor overhead {overhead_pct:.2}% exceeds the 2% budget"
+    );
+    assert!(
+        detection_intervals <= 2.0,
+        "detection took {detection_intervals:.2} sampling intervals (> 2)"
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e19_watchdog\",\n  \"busy_path\": {{\"users\": {USERS}, \"requests_per_user\": {PER_USER}, \"pairs\": {PAIRS}, \"measured_reps\": {MEASURED_REPS}, \"rps_monitor_off\": {off:.1}, \"rps_monitor_on\": {on:.1}, \"overhead_pct\": {overhead_pct:.3}}},\n  \"detection\": {{\"interval_ms\": {INTERVAL_MS}, \"detection_ms\": {detection_ms:.1}, \"detection_intervals\": {detection_intervals:.3}, \"within_two_intervals\": {}, \"resolution_ms\": {resolution_ms:.1}}}\n}}\n",
+        detection_intervals <= 2.0
+    );
+    let path = "BENCH_e19.json";
     match std::fs::write(path, &json) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),

@@ -57,7 +57,10 @@
 //! | `PUT /wrappers/{name}`  | `{"program", "root"?, "auxiliary"?}` → registered version |
 //! | `GET /wrappers`         | the deployed catalog |
 //! | `GET /provenance/{key}` | derivation of a stored result: wrapper version, plan fingerprint, source page hash, producing rule per instance |
-//! | `GET /metrics`          | Prometheus text (cache, store, gateway, per-stage and per-rule series), or JSON with `Accept: application/json` |
+//! | `GET /metrics`          | Prometheus text (cache, store, gateway, per-stage, per-rule and `lixto_alert_*` series), or JSON with `Accept: application/json` |
+//! | `GET /metrics/history`  | windowed rates/quantiles over the sampler's history ring (`?window=SECS&step=SECS`) |
+//! | `GET /debug/health`     | SLO watchdog verdict (ok/degraded/critical), per-rule firing state, evidence window |
+//! | `GET /debug/live`       | chunked ndjson stream of sampler ticks and alert transitions (`?events=N` bounds it) |
 //! | `GET /debug/wrappers/{name}` | per-rule execution telemetry of the wrapper's latest version |
 //! | `GET /debug/slow`       | the slowest and most recent request spans |
 //! | `GET /debug/requests/{id}` | one request's span by its `X-Request-Id` |
@@ -117,6 +120,7 @@ use lixto_server::{
 
 use crate::http::{parse_request_with_body_limit, Limits, Request, RequestError, Response};
 use crate::json::{obj, Json};
+use crate::monitor::{AlertsSnapshot, Monitor, TickSample};
 use crate::poll::{poll, PollFd, SelfPipe, POLLIN, POLLOUT};
 
 /// Sizing and protocol knobs for [`HttpGateway::bind`].
@@ -182,6 +186,29 @@ pub struct GatewayConfig {
     pub recent_spans: usize,
     /// How many of the slowest spans to retain for `GET /debug/slow`.
     pub slow_spans: usize,
+    /// How long a span may stay on the `GET /debug/slow` slowest list
+    /// before newer traffic ages it out (so the list reflects the
+    /// recent past, not all-time records).
+    pub slow_span_window: Duration,
+    /// Continuous monitoring (default on): a sampler thread records a
+    /// metrics snapshot every [`monitor_interval`] into a bounded
+    /// history ring (served by `GET /metrics/history`), evaluates the
+    /// SLO watchdog over it (`GET /debug/health`, `lixto_alert_*`
+    /// metric series, `alert_fired`/`alert_resolved` log events) and
+    /// feeds `GET /debug/live` subscribers. Disabled, none of those
+    /// threads or endpoints exist and every response — `/metrics`
+    /// included — is byte-identical to the unmonitored gateway.
+    ///
+    /// [`monitor_interval`]: GatewayConfig::monitor_interval
+    pub monitor: bool,
+    /// Sampling period of the monitor thread.
+    pub monitor_interval: Duration,
+    /// How many samples the history ring retains (600 × the default
+    /// 1 s interval ≈ 10 minutes).
+    pub monitor_retention: usize,
+    /// How many trailing samples the watchdog judges each tick (its
+    /// evidence window is `monitor_interval × monitor_eval_ticks`).
+    pub monitor_eval_ticks: u32,
 }
 
 impl Default for GatewayConfig {
@@ -202,6 +229,11 @@ impl Default for GatewayConfig {
             tracing: true,
             recent_spans: 256,
             slow_spans: 32,
+            slow_span_window: Duration::from_secs(300),
+            monitor: true,
+            monitor_interval: Duration::from_secs(1),
+            monitor_retention: 600,
+            monitor_eval_ticks: 5,
         }
     }
 }
@@ -296,6 +328,10 @@ struct Completion {
 struct Inbox {
     accepted: Vec<TcpStream>,
     completions: Vec<Completion>,
+    /// Monitor events (ticks, alert transitions) to fan out to this
+    /// loop's `GET /debug/live` subscribers; pre-serialized once by the
+    /// sampler and shared across loops.
+    live: Vec<Arc<String>>,
     stop: bool,
 }
 
@@ -341,6 +377,11 @@ struct SharedGateway {
     /// stage), recorded for every completion token regardless of the
     /// tracing flag.
     wake: LatencyHistogram,
+    /// The continuous-monitoring subsystem (history ring, SLO
+    /// watchdog, live-stream subscriber count); `None` with
+    /// [`GatewayConfig::monitor`] off, which also disables every
+    /// monitoring endpoint and the sampler thread.
+    monitor: Option<Arc<Monitor>>,
 }
 
 /// One event loop's gauges, copied into [`GatewayObservations`].
@@ -427,6 +468,7 @@ pub struct HttpGateway {
     addr: SocketAddr,
     shared: Arc<SharedGateway>,
     acceptor: Option<std::thread::JoinHandle<()>>,
+    sampler: Option<std::thread::JoinHandle<()>>,
     loops: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -456,7 +498,20 @@ impl HttpGateway {
                 }))
             })
             .collect::<std::io::Result<_>>()?;
-        let spans = SpanBuffer::new(config.recent_spans, config.slow_spans);
+        let slow_window_ms = config
+            .slow_span_window
+            .as_millis()
+            .max(1)
+            .min(u128::from(u64::MAX)) as u64;
+        let spans = SpanBuffer::new(config.recent_spans, config.slow_spans)
+            .with_slow_window_ms(slow_window_ms);
+        let monitor = config.monitor.then(|| {
+            Arc::new(Monitor::new(
+                config.monitor_interval,
+                config.monitor_retention,
+                config.monitor_eval_ticks,
+            ))
+        });
         let shared = Arc::new(SharedGateway {
             server,
             config,
@@ -470,6 +525,7 @@ impl HttpGateway {
             responses_5xx: AtomicU64::new(0),
             spans,
             wake: LatencyHistogram::new(),
+            monitor,
         });
         let loops = (0..loop_count)
             .map(|i| {
@@ -488,10 +544,18 @@ impl HttpGateway {
                 .spawn(move || acceptor_loop(listener, shared))
                 .expect("spawn acceptor")
         };
+        let sampler = shared.monitor.as_ref().map(|_| {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("lixto-http-monitor".to_string())
+                .spawn(move || sampler_loop(shared))
+                .expect("spawn monitor sampler")
+        });
         Ok(HttpGateway {
             addr: local_addr,
             shared,
             acceptor: Some(acceptor),
+            sampler,
             loops,
         })
     }
@@ -533,6 +597,14 @@ impl HttpGateway {
     /// either way).
     pub fn shutdown(mut self) -> GatewayStats {
         self.shared.begin_stop();
+        // Stop the sampler first: it must not broadcast into event
+        // loops that are draining their last subscribers.
+        if let Some(monitor) = &self.shared.monitor {
+            monitor.stop();
+        }
+        if let Some(sampler) = self.sampler.take() {
+            let _ = sampler.join();
+        }
         // Wake the acceptor out of its blocking accept(). A wildcard
         // bind address (0.0.0.0 / ::) is not connectable everywhere, so
         // aim the wake-up at loopback on the bound port.
@@ -612,6 +684,52 @@ fn acceptor_loop(listener: TcpListener, shared: Arc<SharedGateway>) {
                 std::thread::sleep(sleep);
             }
         }
+    }
+}
+
+/// The monitor sampler thread: one [`Monitor::tick`] per interval until
+/// shutdown. Broadcasting to `GET /debug/live` subscribers reuses the
+/// completion plumbing — events land in every loop's inbox followed by
+/// a self-pipe wake — and is skipped entirely while nobody listens.
+fn sampler_loop(shared: Arc<SharedGateway>) {
+    let monitor = shared
+        .monitor
+        .clone()
+        .expect("sampler spawned without monitor");
+    while monitor.sleep_until_next_tick() {
+        let events = monitor.tick(&monitor_tick_sample(&shared));
+        if monitor.live_subscribers.load(Ordering::Relaxed) == 0 {
+            continue;
+        }
+        let events: Vec<Arc<String>> = events.into_iter().map(Arc::new).collect();
+        for event_loop in &shared.loops {
+            let events = events.clone();
+            event_loop.wake_with(|inbox| inbox.live.extend(events));
+        }
+    }
+}
+
+/// Gather one sampler tick's raw inputs: the pool's counters plus the
+/// gateway's own request/connection/wake gauges. Everything read here
+/// is an atomic or a lock-free histogram — the tick never contends
+/// with the serving path.
+fn monitor_tick_sample(shared: &SharedGateway) -> TickSample {
+    let stats = shared.stats();
+    let mut connections = 0u64;
+    let mut parked = 0u64;
+    for event_loop in &shared.loops {
+        connections += event_loop.load.load(Ordering::Relaxed) as u64;
+        parked += event_loop.parked.load(Ordering::Relaxed) as u64;
+    }
+    TickSample {
+        pool: shared.server.sample(),
+        requests: stats.requests,
+        responses_4xx: stats.responses_4xx,
+        responses_5xx: stats.responses_5xx,
+        connections,
+        parked,
+        wake_count: shared.wake.count(),
+        wake_p99_us: shared.wake.quantile_us(0.99).unwrap_or(0),
     }
 }
 
@@ -724,6 +842,15 @@ enum ConnState {
     Dispatched(Dispatch),
     /// A response is being flushed; parsing resumes once it is out.
     Writing,
+    /// A `GET /debug/live` subscriber: the headers went out chunked,
+    /// and the connection now receives monitor events as they happen.
+    /// The stream ends — with a terminal chunk — after `remaining`
+    /// more events (`None` streams until shutdown or disconnect).
+    Streaming {
+        remaining: Option<u64>,
+        /// The terminal chunk is queued: close once it flushes.
+        done: bool,
+    },
 }
 
 struct Conn {
@@ -785,6 +912,11 @@ impl Conn {
         if matches!(self.state, ConnState::Reading) {
             events |= POLLIN;
         }
+        if matches!(self.state, ConnState::Streaming { .. }) {
+            // A subscriber sends nothing more, but its EOF is the only
+            // disconnect signal an idle stream gets.
+            events |= POLLIN;
+        }
         if self.written < self.out.len() {
             events |= POLLOUT;
         }
@@ -806,7 +938,10 @@ impl Conn {
                     Some(self.read_started.unwrap_or(self.idle_since) + config.read_timeout)
                 }
             }
-            ConnState::Dispatched(_) | ConnState::Writing => None,
+            // A parked connection waits on the pool alone; an idle
+            // subscriber waits on the sampler alone (a stalled one is
+            // covered by the pending-write branch above).
+            ConnState::Dispatched(_) | ConnState::Writing | ConnState::Streaming { .. } => None,
         }
     }
 
@@ -924,11 +1059,12 @@ impl EventLoop {
     }
 
     fn drain_inbox(&mut self) {
-        let (accepted, completions, stop) = {
+        let (accepted, completions, live, stop) = {
             let mut inbox = self.ls.inbox.lock().expect("loop inbox poisoned");
             (
                 std::mem::take(&mut inbox.accepted),
                 std::mem::take(&mut inbox.completions),
+                std::mem::take(&mut inbox.live),
                 inbox.stop,
             )
         };
@@ -940,6 +1076,45 @@ impl EventLoop {
         }
         for completion in completions {
             self.handle_completion(completion);
+        }
+        if !live.is_empty() {
+            self.deliver_live(&live);
+        }
+    }
+
+    /// Fan monitor events out to every `GET /debug/live` subscriber this
+    /// loop owns: frame each event as one chunk, count down bounded
+    /// subscriptions, and finish streams that used up their budget.
+    fn deliver_live(&mut self, events: &[Arc<String>]) {
+        for slot in 0..self.conns.len() {
+            let streaming = self.conns[slot]
+                .as_ref()
+                .is_some_and(|c| matches!(c.state, ConnState::Streaming { done: false, .. }));
+            if !streaming {
+                continue;
+            }
+            self.with_conn(slot, |conn, ctx| {
+                for event in events {
+                    let ConnState::Streaming {
+                        remaining,
+                        done: false,
+                    } = &mut conn.state
+                    else {
+                        break;
+                    };
+                    if conn.out.is_empty() {
+                        conn.write_started = Instant::now();
+                    }
+                    append_live_chunk(&mut conn.out, event);
+                    if let Some(budget) = remaining {
+                        *budget = budget.saturating_sub(1);
+                        if *budget == 0 {
+                            finish_live_stream(conn);
+                        }
+                    }
+                }
+                pump(conn, ctx)
+            });
         }
     }
 
@@ -976,7 +1151,12 @@ impl EventLoop {
     }
 
     fn release(&mut self, slot: usize) {
-        if self.conns[slot].take().is_some() {
+        if let Some(conn) = self.conns[slot].take() {
+            if matches!(conn.state, ConnState::Streaming { .. }) {
+                if let Some(monitor) = &self.shared.monitor {
+                    monitor.live_subscribers.fetch_sub(1, Ordering::Relaxed);
+                }
+            }
             self.free.push(slot);
             self.live -= 1;
             self.ls.load.fetch_sub(1, Ordering::Relaxed);
@@ -1008,6 +1188,8 @@ impl EventLoop {
         self.with_conn(slot, |conn, ctx| {
             if readable && matches!(conn.state, ConnState::Reading) {
                 on_readable(conn, ctx)
+            } else if readable && matches!(conn.state, ConnState::Streaming { .. }) {
+                on_streaming_readable(conn, ctx, writable)
             } else if writable {
                 pump(conn, ctx)
             } else {
@@ -1051,10 +1233,21 @@ impl EventLoop {
     }
 
     /// Under shutdown: close idle and mid-request connections (serving
-    /// a fully buffered request first, with `Connection: close`), keep
-    /// flushing and parked connections until they resolve.
+    /// a fully buffered request first, with `Connection: close`), end
+    /// live streams with their terminal chunk, keep flushing and parked
+    /// connections until they resolve.
     fn sweep_for_stop(&mut self) {
         for slot in 0..self.conns.len() {
+            let streaming = self.conns[slot]
+                .as_ref()
+                .is_some_and(|c| matches!(c.state, ConnState::Streaming { .. }));
+            if streaming {
+                self.with_conn(slot, |conn, ctx| {
+                    finish_live_stream(conn);
+                    pump(conn, ctx)
+                });
+                continue;
+            }
             let quiescent = self.conns[slot]
                 .as_ref()
                 .is_some_and(|c| matches!(c.state, ConnState::Reading) && c.out.is_empty());
@@ -1168,6 +1361,90 @@ fn on_readable(conn: &mut Conn, ctx: &ConnCtx) -> Action {
     pump(conn, ctx)
 }
 
+/// A `GET /debug/live` subscriber's socket turned readable: either the
+/// peer hung up (the stream's only disconnect signal) or it sent bytes
+/// a streaming response cannot use — drain and discard them.
+fn on_streaming_readable(conn: &mut Conn, ctx: &ConnCtx, writable: bool) -> Action {
+    let mut chunk = [0u8; 1024];
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => return Action::Close,
+            Ok(n) if n < chunk.len() => break,
+            Ok(_) => continue,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return Action::Close,
+        }
+    }
+    if writable {
+        pump(conn, ctx)
+    } else {
+        Action::Keep
+    }
+}
+
+/// Frame one monitor event as an HTTP chunk: the JSON line plus a
+/// trailing newline, so the stream reads as newline-delimited JSON once
+/// de-chunked.
+fn append_live_chunk(out: &mut Vec<u8>, event: &str) {
+    out.extend_from_slice(format!("{:x}\r\n", event.len() + 1).as_bytes());
+    out.extend_from_slice(event.as_bytes());
+    out.extend_from_slice(b"\n\r\n");
+}
+
+/// Queue the terminal chunk and mark the stream finished (idempotent).
+fn finish_live_stream(conn: &mut Conn) {
+    if let ConnState::Streaming { done, .. } = &mut conn.state {
+        if !*done {
+            if conn.out.is_empty() {
+                conn.write_started = Instant::now();
+            }
+            conn.out.extend_from_slice(b"0\r\n\r\n");
+            *done = true;
+        }
+    }
+}
+
+/// `GET /debug/live`: subscribe this connection to the monitor's tick
+/// and alert-transition events as a chunked `application/x-ndjson`
+/// stream. `?events=N` bounds the subscription to N events after the
+/// greeting (the stream then ends cleanly); unbounded streams run until
+/// the client disconnects or the gateway shuts down.
+fn start_live_stream(conn: &mut Conn, ctx: &ConnCtx, request: &Request) {
+    let monitor = ctx
+        .shared
+        .monitor
+        .as_ref()
+        .expect("live stream routed without monitor");
+    let remaining = query_param(request, "events").and_then(|v| v.parse::<u64>().ok());
+    count_response(ctx.shared, 200);
+    if conn.out.is_empty() {
+        conn.write_started = Instant::now();
+    }
+    conn.out.extend_from_slice(
+        b"HTTP/1.1 200 OK\r\nconnection: close\r\ncontent-type: application/x-ndjson\r\ntransfer-encoding: chunked\r\n\r\n",
+    );
+    append_live_chunk(&mut conn.out, &monitor.hello_event());
+    conn.close_after_write = true;
+    conn.state = ConnState::Streaming {
+        remaining,
+        done: false,
+    };
+    monitor.live_subscribers.fetch_add(1, Ordering::Relaxed);
+    if remaining == Some(0) {
+        finish_live_stream(conn);
+    }
+}
+
+/// First value of `name` in the request's query string.
+fn query_param<'a>(request: &'a Request, name: &str) -> Option<&'a str> {
+    let query = request.query.as_deref()?;
+    query.split('&').find_map(|pair| {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        (key == name).then_some(value)
+    })
+}
+
 /// Drive the connection's state machine as far as it can go without
 /// more events: flush pending output, complete written responses, and
 /// parse/serve requests one at a time (pipelined requests are served
@@ -1188,6 +1465,12 @@ fn pump(conn: &mut Conn, ctx: &ConnCtx) -> Action {
                 conn.idle_since = Instant::now();
             }
             ConnState::Dispatched(_) => return Action::Keep,
+            ConnState::Streaming { done, .. } => {
+                // Everything queued (including the terminal chunk, when
+                // `done`) is out; an unfinished stream waits for the
+                // next monitor event.
+                return if done { Action::Close } else { Action::Keep };
+            }
             ConnState::Reading => {}
         }
         if !advance_one(conn, ctx) {
@@ -1312,6 +1595,9 @@ fn serve(conn: &mut Conn, ctx: &ConnCtx, request: &Request) {
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/extract") => dispatch_extract(conn, ctx, request, keep_alive),
         ("POST", "/extract/batch") => dispatch_batch(conn, ctx, request, keep_alive),
+        ("GET", "/debug/live") if ctx.shared.monitor.is_some() => {
+            start_live_stream(conn, ctx, request)
+        }
         _ => {
             let response = route(request, ctx.shared);
             // Re-check stop *after* routing: /admin/shutdown flips it
@@ -1761,6 +2047,10 @@ fn route(request: &Request, shared: &SharedGateway) -> Response {
             get_provenance(path.strip_prefix("/provenance/").expect("checked"), shared)
         }
         ("GET", "/metrics") => get_metrics(request, shared),
+        ("GET", "/metrics/history") if shared.monitor.is_some() => {
+            get_metrics_history(request, shared)
+        }
+        ("GET", "/debug/health") if shared.monitor.is_some() => get_debug_health(shared),
         ("GET", "/debug/slow") => get_debug_slow(shared),
         ("GET", path)
             if path
@@ -1797,6 +2087,11 @@ fn route(request: &Request, shared: &SharedGateway) -> Response {
             "/extract" | "/extract/batch" | "/wrappers" | "/metrics" | "/healthz"
             | "/admin/shutdown" | "/debug/slow",
         ) => Response::error(405, "method_not_allowed", "wrong method for this path"),
+        // The monitoring paths only exist while the monitor runs; off,
+        // they fall through to 404 like any unknown path.
+        (_, "/metrics/history" | "/debug/health" | "/debug/live") if shared.monitor.is_some() => {
+            Response::error(405, "method_not_allowed", "wrong method for this path")
+        }
         (_, path)
             if path.starts_with("/wrappers/")
                 || path.starts_with("/provenance/")
@@ -2090,14 +2385,44 @@ fn get_metrics(request: &Request, shared: &SharedGateway) -> Response {
     let snapshot = shared.server.metrics();
     let stats = shared.stats();
     let observations = shared.observations();
+    let alerts = shared.monitor.as_ref().map(|m| m.alerts_snapshot());
     let wants_json = request
         .header("accept")
         .is_some_and(|accept| accept.contains("application/json"));
     if wants_json {
-        Response::json(200, &metrics_json(&snapshot, &stats, &observations))
+        Response::json(
+            200,
+            &metrics_json_full(&snapshot, &stats, &observations, alerts.as_ref()),
+        )
     } else {
-        Response::text(200, render_prometheus(&snapshot, &stats, &observations))
+        Response::text(
+            200,
+            render_prometheus_full(&snapshot, &stats, &observations, alerts.as_ref()),
+        )
     }
+}
+
+/// `GET /metrics/history?window=SECS&step=SECS`: windowed rates and
+/// quantiles over the monitor's history ring — a whole-window summary
+/// plus per-step tiles. Defaults: the last 5 minutes in 1-minute steps.
+fn get_metrics_history(request: &Request, shared: &SharedGateway) -> Response {
+    let monitor = shared.monitor.as_ref().expect("routed without monitor");
+    let parse_secs = |name: &str, default: u64| {
+        query_param(request, name)
+            .and_then(|v| v.parse::<u64>().ok())
+            .filter(|&v| v > 0)
+            .unwrap_or(default)
+    };
+    let window_ms = parse_secs("window", 300).saturating_mul(1000);
+    let step_ms = parse_secs("step", 60).saturating_mul(1000);
+    Response::json(200, &monitor.history_json(window_ms, step_ms))
+}
+
+/// `GET /debug/health`: the SLO watchdog's scored verdict, every rule's
+/// firing state, and the evidence window the rules were judged over.
+fn get_debug_health(shared: &SharedGateway) -> Response {
+    let monitor = shared.monitor.as_ref().expect("routed without monitor");
+    Response::json(200, &monitor.health_json())
 }
 
 /// The snapshot as JSON — field for field the same numbers
@@ -2534,6 +2859,106 @@ pub fn render_prometheus(
     out
 }
 
+/// [`metrics_json`] plus — when the monitor runs — an `alerts` object:
+/// the watchdog's verdict and every rule's firing state. With
+/// `alerts: None` the output is byte-identical to [`metrics_json`],
+/// which is how a monitor-disabled gateway keeps its `/metrics` surface
+/// unchanged.
+pub fn metrics_json_full(
+    snapshot: &MetricsSnapshot,
+    stats: &GatewayStats,
+    observations: &GatewayObservations,
+    alerts: Option<&AlertsSnapshot>,
+) -> Json {
+    let mut json = metrics_json(snapshot, stats, observations);
+    let Some(alerts) = alerts else { return json };
+    let rules: Vec<Json> = alerts
+        .rules
+        .iter()
+        .map(|r| {
+            obj([
+                ("rule", r.rule.into()),
+                ("metric", r.metric.into()),
+                ("severity", r.severity.name().into()),
+                ("value", r.value.into()),
+                ("since_ms", r.since_ms.into()),
+                ("fired_total", r.fired_total.into()),
+                ("resolved_total", r.resolved_total.into()),
+            ])
+        })
+        .collect();
+    if let Json::Obj(fields) = &mut json {
+        fields.push((
+            "alerts".to_string(),
+            obj([
+                ("verdict", alerts.verdict.name().into()),
+                ("rules", rules.into()),
+            ]),
+        ));
+    }
+    json
+}
+
+/// [`render_prometheus`] plus — when the monitor runs — the
+/// `lixto_alert_*` families: the numeric verdict and per-rule severity
+/// (0 ok / 1 degraded / 2 critical) and fired/resolved totals. With
+/// `alerts: None` the output is byte-identical to
+/// [`render_prometheus`].
+pub fn render_prometheus_full(
+    snapshot: &MetricsSnapshot,
+    stats: &GatewayStats,
+    observations: &GatewayObservations,
+    alerts: Option<&AlertsSnapshot>,
+) -> String {
+    let mut out = render_prometheus(snapshot, stats, observations);
+    let Some(alerts) = alerts else { return out };
+    prometheus_metric(
+        &mut out,
+        "lixto_alert_verdict",
+        "gauge",
+        "Worst current alert severity (0 ok, 1 degraded, 2 critical)",
+        &alerts.verdict.rank().to_string(),
+    );
+    prometheus_family(
+        &mut out,
+        "lixto_alert_severity",
+        "gauge",
+        "Current severity per SLO rule (0 ok, 1 degraded, 2 critical)",
+    );
+    for rule in &alerts.rules {
+        out.push_str(&format!(
+            "lixto_alert_severity{{rule=\"{}\"}} {}\n",
+            rule.rule,
+            rule.severity.rank()
+        ));
+    }
+    prometheus_family(
+        &mut out,
+        "lixto_alert_fired_total",
+        "counter",
+        "Times each SLO rule started firing or escalated",
+    );
+    for rule in &alerts.rules {
+        out.push_str(&format!(
+            "lixto_alert_fired_total{{rule=\"{}\"}} {}\n",
+            rule.rule, rule.fired_total
+        ));
+    }
+    prometheus_family(
+        &mut out,
+        "lixto_alert_resolved_total",
+        "counter",
+        "Times each SLO rule cleared back to ok",
+    );
+    for rule in &alerts.rules {
+        out.push_str(&format!(
+            "lixto_alert_resolved_total{{rule=\"{}\"}} {}\n",
+            rule.rule, rule.resolved_total
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2820,6 +3245,198 @@ mod tests {
             .contains("one"));
         // The connection survives a batch (keep-alive).
         assert_eq!(client.get("/healthz").unwrap().status, 200);
+        drop(client);
+        gateway.shutdown();
+        server.initiate_shutdown();
+    }
+
+    fn monitored_gateway(interval: Duration) -> (HttpGateway, Arc<ExtractionServer>) {
+        let registry = Arc::new(WrapperRegistry::new());
+        registry
+            .register_source("shop", WRAPPER, XmlDesign::new().root("offers"))
+            .unwrap();
+        let server = Arc::new(ExtractionServer::start(
+            ServerConfig::default(),
+            registry,
+            Arc::new(lixto_elog::StaticWeb::new()),
+        ));
+        let gateway = HttpGateway::bind(
+            "127.0.0.1:0",
+            GatewayConfig {
+                handler_threads: 2,
+                idle_timeout: Duration::from_secs(10),
+                monitor_interval: interval,
+                ..GatewayConfig::default()
+            },
+            server.clone(),
+        )
+        .unwrap();
+        (gateway, server)
+    }
+
+    #[test]
+    fn history_and_health_report_a_healthy_gateway() {
+        let (gateway, server) = monitored_gateway(Duration::from_millis(20));
+        let mut client = HttpClient::connect(gateway.addr()).unwrap();
+        // Wait out at least two sampler ticks.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let history = loop {
+            let history = client.get("/metrics/history?window=60&step=10").unwrap();
+            assert_eq!(history.status, 200, "{}", history.text());
+            let parsed = history.json().unwrap();
+            let samples = parsed.get("samples").and_then(Json::as_u64).unwrap();
+            if samples >= 2 {
+                break parsed;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "sampler never produced 2 samples"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        let summary = history.get("summary").unwrap();
+        assert!(summary.get("fields").and_then(Json::as_array).is_some());
+        // A healthy, idle gateway scores ok, with every rule listed.
+        let health = client.get("/debug/health").unwrap().json().unwrap();
+        assert_eq!(health.get("verdict").and_then(Json::as_str), Some("ok"));
+        assert_eq!(
+            health
+                .get("rules")
+                .and_then(Json::as_array)
+                .map(|r| r.len()),
+            Some(6)
+        );
+        // The metrics surface grows the alert series.
+        let text = client.get("/metrics").unwrap();
+        assert!(text.text().contains("lixto_alert_verdict 0"));
+        assert!(text
+            .text()
+            .contains("lixto_alert_severity{rule=\"queue_saturation\"} 0"));
+        let json = client.get_accept("/metrics", "application/json").unwrap();
+        assert_eq!(
+            json.json()
+                .unwrap()
+                .get("alerts")
+                .and_then(|a| a.get("verdict"))
+                .and_then(Json::as_str),
+            Some("ok")
+        );
+        // Wrong method on a monitoring path is 405, not 404.
+        assert_eq!(
+            client
+                .request("POST", "/debug/health", &[], None)
+                .unwrap()
+                .status,
+            405
+        );
+        drop(client);
+        gateway.shutdown();
+        server.initiate_shutdown();
+    }
+
+    #[test]
+    fn live_stream_delivers_bounded_events_and_terminates() {
+        use std::io::{Read, Write};
+
+        let (gateway, server) = monitored_gateway(Duration::from_millis(20));
+        // HttpClient cannot read chunked bodies; speak wire-level.
+        let mut stream = TcpStream::connect(gateway.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream
+            .write_all(b"GET /debug/live?events=2 HTTP/1.1\r\nhost: t\r\n\r\n")
+            .unwrap();
+        let mut raw = Vec::new();
+        let mut chunk = [0u8; 4096];
+        // The terminal chunk ends the body; read until the peer closes.
+        loop {
+            match stream.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => raw.extend_from_slice(&chunk[..n]),
+                Err(e) => panic!("stream read failed: {e}"),
+            }
+        }
+        let text = String::from_utf8(raw).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("transfer-encoding: chunked"), "{text}");
+        assert!(text.contains("\"type\":\"subscribed\""), "{text}");
+        assert_eq!(
+            text.matches("\"type\":\"tick\"").count(),
+            2,
+            "exactly the requested events: {text}"
+        );
+        assert!(text.ends_with("0\r\n\r\n"), "terminal chunk: {text}");
+        gateway.shutdown();
+        server.initiate_shutdown();
+    }
+
+    #[test]
+    fn live_stream_is_cut_loose_cleanly_by_shutdown() {
+        use std::io::{Read, Write};
+
+        // A long interval: shutdown must not wait for the next tick.
+        let (gateway, server) = monitored_gateway(Duration::from_secs(60));
+        let mut stream = TcpStream::connect(gateway.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream
+            .write_all(b"GET /debug/live HTTP/1.1\r\nhost: t\r\n\r\n")
+            .unwrap();
+        // Wait for the greeting so the subscription is live first.
+        let mut raw = Vec::new();
+        let mut chunk = [0u8; 4096];
+        while !String::from_utf8_lossy(&raw).contains("subscribed") {
+            let n = stream.read(&mut chunk).unwrap();
+            assert!(n > 0, "stream closed before the greeting");
+            raw.extend_from_slice(&chunk[..n]);
+        }
+        let shutdown = std::thread::spawn(move || gateway.shutdown());
+        loop {
+            match stream.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => raw.extend_from_slice(&chunk[..n]),
+                Err(e) => panic!("stream read failed: {e}"),
+            }
+        }
+        let text = String::from_utf8(raw).unwrap();
+        assert!(text.ends_with("0\r\n\r\n"), "terminal chunk: {text}");
+        shutdown.join().unwrap();
+        server.initiate_shutdown();
+    }
+
+    #[test]
+    fn disabled_monitor_hides_every_monitoring_surface() {
+        let registry = Arc::new(WrapperRegistry::new());
+        registry
+            .register_source("shop", WRAPPER, XmlDesign::new().root("offers"))
+            .unwrap();
+        let server = Arc::new(ExtractionServer::start(
+            ServerConfig::default(),
+            registry,
+            Arc::new(lixto_elog::StaticWeb::new()),
+        ));
+        let gateway = HttpGateway::bind(
+            "127.0.0.1:0",
+            GatewayConfig {
+                handler_threads: 2,
+                idle_timeout: Duration::from_secs(10),
+                monitor: false,
+                ..GatewayConfig::default()
+            },
+            server.clone(),
+        )
+        .unwrap();
+        let mut client = HttpClient::connect(gateway.addr()).unwrap();
+        for path in ["/metrics/history", "/debug/health", "/debug/live"] {
+            assert_eq!(client.get(path).unwrap().status, 404, "{path}");
+        }
+        // The /metrics surface is exactly the unmonitored rendering.
+        let text = client.get("/metrics").unwrap();
+        assert!(!text.text().contains("lixto_alert"));
+        let json = client.get_accept("/metrics", "application/json").unwrap();
+        assert!(json.json().unwrap().get("alerts").is_none());
         drop(client);
         gateway.shutdown();
         server.initiate_shutdown();

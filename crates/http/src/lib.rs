@@ -39,12 +39,15 @@ pub mod client;
 pub mod gateway;
 pub mod http;
 pub mod json;
+mod monitor;
 pub mod poll;
 
 pub use client::{HttpClient, HttpResponse, RetryPolicy};
 pub use gateway::{
-    metrics_json, render_prometheus, AcceptBackoff, GatewayConfig, GatewayObservations,
-    GatewayStats, HttpGateway, LoopGauges,
+    metrics_json, metrics_json_full, render_prometheus, render_prometheus_full, AcceptBackoff,
+    GatewayConfig, GatewayObservations, GatewayStats, HttpGateway, LoopGauges,
 };
 pub use http::{parse_request, Limits, Request, RequestError, Response};
 pub use json::{obj, Json, JsonError};
+pub use lixto_obs::{RuleSnapshot, Severity};
+pub use monitor::AlertsSnapshot;

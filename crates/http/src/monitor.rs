@@ -1,0 +1,587 @@
+//! Continuous monitoring: the gateway's sampler, metrics history, SLO
+//! watchdog and live ops stream glue.
+//!
+//! When [`GatewayConfig::monitor`](crate::GatewayConfig::monitor) is on,
+//! `HttpGateway::bind` spawns one `lixto-http-monitor` thread that calls
+//! [`Monitor::tick`] every
+//! [`monitor_interval`](crate::GatewayConfig::monitor_interval):
+//!
+//! 1. a [`TickSample`] — pool counters from
+//!    [`ExtractionServer::sample`](lixto_server::ExtractionServer::sample)
+//!    plus the gateway's own connection/request/wake gauges — is recorded
+//!    into a bounded [`TimeSeries`] (served by `GET /metrics/history`);
+//! 2. derived SLO metrics (error rate, queue saturation, cache hit rate,
+//!    latency and wake quantiles, store write failures) are computed
+//!    over the trailing evaluation window and fed to the [`Watchdog`],
+//!    whose transitions become `alert_fired` / `alert_resolved` log
+//!    events (served by `GET /debug/health` and the `lixto_alert_*`
+//!    metric series);
+//! 3. a tick event — and one event per alert transition — is broadcast
+//!    to every `GET /debug/live` subscriber through the event loops.
+//!
+//! Everything here is plain derivation over [`lixto_obs`] primitives;
+//! the socket plumbing (chunked streaming, subscriber lifecycle) lives
+//! in [`gateway`](crate::gateway).
+
+use std::sync::atomic::AtomicUsize;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use lixto_obs::{
+    info_event, unix_millis, warn_event, AlertRule, AlertTransition, Direction, FieldSpec,
+    FieldStats, RuleSnapshot, Severity, TimeSeries, Watchdog, WindowStats,
+};
+use lixto_server::PoolSample;
+
+use crate::json::{obj, Json};
+
+/// Minimum extraction attempts in the evaluation window before the
+/// error-rate rule gets a value (an idle window has no error rate).
+const MIN_ATTEMPTS_FOR_ERROR_RATE: u64 = 1;
+/// Minimum cache lookups in the window before the hit-rate rule gets a
+/// value (a handful of misses is not a collapse).
+const MIN_LOOKUPS_FOR_HIT_RATE: u64 = 10;
+
+/// One sampler tick's raw inputs, gathered by the gateway.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct TickSample {
+    /// Pool counters and gauges.
+    pub pool: PoolSample,
+    /// Gateway requests answered (any status).
+    pub requests: u64,
+    /// Gateway 4xx responses.
+    pub responses_4xx: u64,
+    /// Gateway 5xx responses.
+    pub responses_5xx: u64,
+    /// Connections currently assigned across event loops.
+    pub connections: u64,
+    /// Connections parked on extraction tickets.
+    pub parked: u64,
+    /// Wake-latency observations recorded so far.
+    pub wake_count: u64,
+    /// 99th-percentile wake latency in µs.
+    pub wake_p99_us: u64,
+}
+
+/// Schema of the sampled series, in column order. `TickSample::values`
+/// must stay in lockstep.
+fn schema() -> Vec<FieldSpec> {
+    vec![
+        FieldSpec::counter("http_requests"),
+        FieldSpec::counter("http_responses_4xx"),
+        FieldSpec::counter("http_responses_5xx"),
+        FieldSpec::counter("pool_submitted"),
+        FieldSpec::counter("pool_completed"),
+        FieldSpec::counter("pool_errors"),
+        FieldSpec::counter("pool_rejected"),
+        FieldSpec::counter("cache_hits"),
+        FieldSpec::counter("cache_misses"),
+        FieldSpec::counter("store_write_errors"),
+        FieldSpec::counter("wake_observations"),
+        FieldSpec::gauge("connections"),
+        FieldSpec::gauge("parked"),
+        FieldSpec::gauge("queue_depth"),
+        FieldSpec::gauge("latency_p99_us"),
+        FieldSpec::gauge("exec_p99_us"),
+        FieldSpec::gauge("wake_p99_us"),
+    ]
+}
+
+impl TickSample {
+    fn values(&self) -> Vec<u64> {
+        vec![
+            self.requests,
+            self.responses_4xx,
+            self.responses_5xx,
+            self.pool.submitted,
+            self.pool.completed,
+            self.pool.errors,
+            self.pool.rejected,
+            self.pool.cache_hits,
+            self.pool.cache_misses,
+            self.pool.store_write_errors,
+            self.wake_count,
+            self.connections,
+            self.parked,
+            self.pool.queue_depth,
+            self.pool.latency_p99_us,
+            self.pool.exec_p99_us,
+            self.wake_p99_us,
+        ]
+    }
+}
+
+/// The default SLO rule set. Queue saturation deliberately tops out at
+/// `degraded`: a full queue means backpressure (429s), which degrades
+/// service but is the designed overload response — `critical` is
+/// reserved for failures (error rate, store writes, pathological
+/// latency).
+fn rules() -> Vec<AlertRule> {
+    vec![
+        AlertRule {
+            name: "error_rate",
+            metric: "error_rate",
+            direction: Direction::AboveIsBad,
+            degraded: 0.05,
+            critical: 0.25,
+            clear: 0.02,
+            for_ticks: 1,
+            clear_ticks: 2,
+        },
+        AlertRule {
+            name: "exec_latency",
+            metric: "exec_p99_us",
+            direction: Direction::AboveIsBad,
+            degraded: 250_000.0,
+            critical: 1_000_000.0,
+            clear: 200_000.0,
+            for_ticks: 1,
+            clear_ticks: 2,
+        },
+        AlertRule {
+            name: "queue_saturation",
+            metric: "queue_saturation",
+            direction: Direction::AboveIsBad,
+            degraded: 0.75,
+            critical: 2.0, // unreachable: the ratio caps at 1.0 (see above)
+            clear: 0.30,
+            for_ticks: 1,
+            clear_ticks: 2,
+        },
+        AlertRule {
+            name: "cache_collapse",
+            metric: "cache_hit_rate",
+            direction: Direction::BelowIsBad,
+            degraded: 0.05,
+            critical: -1.0, // unreachable: rates cannot go negative
+            clear: 0.15,
+            for_ticks: 2,
+            clear_ticks: 2,
+        },
+        AlertRule {
+            name: "store_write_failures",
+            metric: "store_write_errors_delta",
+            direction: Direction::AboveIsBad,
+            degraded: 1.0,
+            critical: 20.0,
+            clear: 0.5,
+            for_ticks: 1,
+            clear_ticks: 2,
+        },
+        AlertRule {
+            name: "wake_latency",
+            metric: "wake_p99_us",
+            direction: Direction::AboveIsBad,
+            degraded: 50_000.0,
+            critical: 500_000.0,
+            clear: 25_000.0,
+            for_ticks: 2,
+            clear_ticks: 2,
+        },
+    ]
+}
+
+/// Alert-state surface appended to the `/metrics` renderings while the
+/// monitor runs: the scored verdict plus every rule's firing state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertsSnapshot {
+    /// The worst current severity across all rules.
+    pub verdict: Severity,
+    /// Per-rule state, in rule order.
+    pub rules: Vec<RuleSnapshot>,
+}
+
+/// The monitoring subsystem one gateway owns: the history series, the
+/// watchdog, and the sampler thread's shutdown/subscriber plumbing.
+pub(crate) struct Monitor {
+    pub series: TimeSeries,
+    pub watchdog: Watchdog,
+    interval_ms: u64,
+    eval_window_ms: u64,
+    /// Connections currently subscribed to `GET /debug/live`, across
+    /// all event loops; ticks are only broadcast while nonzero.
+    pub live_subscribers: AtomicUsize,
+    /// Sampler shutdown latch: `shutdown` raises it and notifies so the
+    /// thread exits without waiting out its interval.
+    stop: Mutex<bool>,
+    stop_cv: Condvar,
+}
+
+impl Monitor {
+    pub fn new(interval: Duration, retention: usize, eval_ticks: u32) -> Monitor {
+        let interval_ms = interval.as_millis().clamp(1, u128::from(u64::MAX)) as u64;
+        let eval_window_ms = interval_ms.saturating_mul(u64::from(eval_ticks.max(1)));
+        Monitor {
+            series: TimeSeries::new(schema(), interval_ms, retention),
+            watchdog: Watchdog::new(rules()),
+            interval_ms,
+            eval_window_ms,
+            live_subscribers: AtomicUsize::new(0),
+            stop: Mutex::new(false),
+            stop_cv: Condvar::new(),
+        }
+    }
+
+    pub fn interval(&self) -> Duration {
+        Duration::from_millis(self.interval_ms)
+    }
+
+    /// Block the sampler thread until the next tick is due or shutdown
+    /// is requested; returns `false` on shutdown.
+    pub fn sleep_until_next_tick(&self) -> bool {
+        let mut stopped = self.stop.lock().expect("monitor stop poisoned");
+        let deadline = std::time::Instant::now() + self.interval();
+        loop {
+            if *stopped {
+                return false;
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return true;
+            }
+            let (guard, _) = self
+                .stop_cv
+                .wait_timeout(stopped, deadline - now)
+                .expect("monitor stop poisoned");
+            stopped = guard;
+        }
+    }
+
+    /// Raise the shutdown latch and wake the sampler.
+    pub fn stop(&self) {
+        *self.stop.lock().expect("monitor stop poisoned") = true;
+        self.stop_cv.notify_all();
+    }
+
+    /// Record one sample, run the watchdog over the trailing window, log
+    /// transitions, and return the pre-serialized live events to
+    /// broadcast (one tick event, plus one per transition).
+    pub fn tick(&self, sample: &TickSample) -> Vec<String> {
+        let now_ms = unix_millis();
+        self.series.record(now_ms, &sample.values());
+        let window = self
+            .series
+            .window(now_ms.saturating_sub(self.eval_window_ms), now_ms);
+        let metrics = derived_metrics(&window, sample);
+        let named: Vec<(&str, f64)> = metrics.iter().map(|(n, v)| (*n, *v)).collect();
+        let transitions = self.watchdog.evaluate(now_ms, &named);
+        for transition in &transitions {
+            match transition {
+                AlertTransition::Fired {
+                    rule,
+                    severity,
+                    value,
+                } => warn_event!(
+                    "alert_fired",
+                    "rule" => *rule,
+                    "severity" => severity.name(),
+                    "value" => *value,
+                ),
+                AlertTransition::Resolved { rule, value } => info_event!(
+                    "alert_resolved",
+                    "rule" => *rule,
+                    "value" => *value,
+                ),
+            }
+        }
+        let mut events = Vec::with_capacity(1 + transitions.len());
+        events.push(self.tick_event(now_ms, sample, &window));
+        for transition in &transitions {
+            events.push(transition_event(now_ms, transition));
+        }
+        events
+    }
+
+    /// The greeting event a new `/debug/live` subscriber receives
+    /// immediately: current verdict and sampler shape.
+    pub fn hello_event(&self) -> String {
+        obj([
+            ("type", "subscribed".into()),
+            ("unix_ms", unix_millis().into()),
+            ("verdict", self.watchdog.verdict().name().into()),
+            ("interval_ms", self.interval_ms.into()),
+            ("samples", self.series.len().into()),
+        ])
+        .to_string()
+    }
+
+    fn tick_event(&self, now_ms: u64, sample: &TickSample, window: &WindowStats) -> String {
+        let request_rate = window
+            .fields
+            .iter()
+            .find(|f| f.name == "http_requests")
+            .and_then(|f| match f.stats {
+                FieldStats::Counter { rate_per_sec, .. } => Some(rate_per_sec),
+                _ => None,
+            })
+            .unwrap_or(0.0);
+        obj([
+            ("type", "tick".into()),
+            ("unix_ms", now_ms.into()),
+            ("verdict", self.watchdog.verdict().name().into()),
+            ("samples", self.series.len().into()),
+            ("request_rate_per_sec", request_rate.into()),
+            ("queue_depth", sample.pool.queue_depth.into()),
+            ("connections", sample.connections.into()),
+            ("latency_p99_us", sample.pool.latency_p99_us.into()),
+        ])
+        .to_string()
+    }
+
+    /// The current alert surface for the `/metrics` renderings.
+    pub fn alerts_snapshot(&self) -> AlertsSnapshot {
+        AlertsSnapshot {
+            verdict: self.watchdog.verdict(),
+            rules: self.watchdog.snapshot(),
+        }
+    }
+
+    /// The `GET /debug/health` body: scored verdict, per-rule state, and
+    /// the evidence window the rules were last judged over, inline.
+    pub fn health_json(&self) -> Json {
+        let now_ms = unix_millis();
+        let window = self
+            .series
+            .window(now_ms.saturating_sub(self.eval_window_ms), now_ms);
+        let rules: Vec<Json> = self
+            .watchdog
+            .snapshot()
+            .into_iter()
+            .map(|r| {
+                obj([
+                    ("rule", r.rule.into()),
+                    ("metric", r.metric.into()),
+                    ("severity", r.severity.name().into()),
+                    ("value", r.value.into()),
+                    ("degraded", r.degraded.into()),
+                    ("critical", r.critical.into()),
+                    ("clear", r.clear.into()),
+                    ("since_ms", r.since_ms.into()),
+                    ("fired_total", r.fired_total.into()),
+                    ("resolved_total", r.resolved_total.into()),
+                ])
+            })
+            .collect();
+        obj([
+            ("verdict", self.watchdog.verdict().name().into()),
+            (
+                "sampler",
+                obj([
+                    ("interval_ms", self.interval_ms.into()),
+                    ("retention", self.series.capacity().into()),
+                    ("samples", self.series.len().into()),
+                ]),
+            ),
+            ("rules", rules.into()),
+            ("evidence", window_json(&window)),
+        ])
+    }
+
+    /// The `GET /metrics/history` body: a whole-window summary plus
+    /// per-step tiles over `(now - window_ms, now]`.
+    pub fn history_json(&self, window_ms: u64, step_ms: u64) -> Json {
+        let now_ms = unix_millis();
+        let from_ms = now_ms.saturating_sub(window_ms);
+        let summary = self.series.window(from_ms, now_ms);
+        let steps: Vec<Json> = self
+            .series
+            .steps(from_ms, now_ms, step_ms)
+            .iter()
+            .map(window_json)
+            .collect();
+        obj([
+            ("interval_ms", self.interval_ms.into()),
+            ("retention", self.series.capacity().into()),
+            ("samples", self.series.len().into()),
+            ("window_ms", window_ms.into()),
+            ("step_ms", step_ms.into()),
+            ("summary", window_json(&summary)),
+            ("steps", steps.into()),
+        ])
+    }
+}
+
+/// Compute the derived SLO metrics the watchdog rules consume. Rates
+/// that would divide by (near) zero are omitted, freezing their rules —
+/// see [`Watchdog::evaluate`].
+fn derived_metrics(window: &WindowStats, sample: &TickSample) -> Vec<(&'static str, f64)> {
+    let delta = |name: &str| -> u64 {
+        window
+            .fields
+            .iter()
+            .find(|f| f.name == name)
+            .and_then(|f| match f.stats {
+                FieldStats::Counter { delta, .. } => Some(delta),
+                _ => None,
+            })
+            .unwrap_or(0)
+    };
+    let gauge_max = |name: &str| -> u64 {
+        window
+            .fields
+            .iter()
+            .find(|f| f.name == name)
+            .and_then(|f| match f.stats {
+                FieldStats::Gauge { max, .. } => Some(max),
+                _ => None,
+            })
+            .unwrap_or(0)
+    };
+    let mut metrics: Vec<(&'static str, f64)> = Vec::with_capacity(6);
+    let errors = delta("pool_errors");
+    let attempts = delta("pool_completed") + errors;
+    if attempts >= MIN_ATTEMPTS_FOR_ERROR_RATE {
+        metrics.push(("error_rate", errors as f64 / attempts as f64));
+    }
+    metrics.push(("exec_p99_us", gauge_max("exec_p99_us") as f64));
+    if sample.pool.queue_capacity > 0 {
+        metrics.push((
+            "queue_saturation",
+            gauge_max("queue_depth") as f64 / sample.pool.queue_capacity as f64,
+        ));
+    }
+    let hits = delta("cache_hits");
+    let lookups = hits + delta("cache_misses");
+    if lookups >= MIN_LOOKUPS_FOR_HIT_RATE {
+        metrics.push(("cache_hit_rate", hits as f64 / lookups as f64));
+    }
+    metrics.push((
+        "store_write_errors_delta",
+        delta("store_write_errors") as f64,
+    ));
+    metrics.push(("wake_p99_us", gauge_max("wake_p99_us") as f64));
+    metrics
+}
+
+fn transition_event(now_ms: u64, transition: &AlertTransition) -> String {
+    match transition {
+        AlertTransition::Fired {
+            rule,
+            severity,
+            value,
+        } => obj([
+            ("type", "alert".into()),
+            ("unix_ms", now_ms.into()),
+            ("rule", (*rule).into()),
+            ("state", "fired".into()),
+            ("severity", severity.name().into()),
+            ("value", (*value).into()),
+        ]),
+        AlertTransition::Resolved { rule, value } => obj([
+            ("type", "alert".into()),
+            ("unix_ms", now_ms.into()),
+            ("rule", (*rule).into()),
+            ("state", "resolved".into()),
+            ("severity", Severity::Ok.name().into()),
+            ("value", (*value).into()),
+        ]),
+    }
+    .to_string()
+}
+
+/// One [`WindowStats`] as JSON, with per-field stats keyed by kind.
+fn window_json(window: &WindowStats) -> Json {
+    let fields: Vec<Json> = window
+        .fields
+        .iter()
+        .map(|field| match &field.stats {
+            FieldStats::Counter {
+                delta,
+                rate_per_sec,
+            } => obj([
+                ("name", field.name.into()),
+                ("kind", "counter".into()),
+                ("delta", (*delta).into()),
+                ("rate_per_sec", (*rate_per_sec).into()),
+            ]),
+            FieldStats::Gauge {
+                last,
+                min,
+                max,
+                mean,
+                p50,
+                p99,
+            } => obj([
+                ("name", field.name.into()),
+                ("kind", "gauge".into()),
+                ("last", (*last).into()),
+                ("min", (*min).into()),
+                ("max", (*max).into()),
+                ("mean", (*mean).into()),
+                ("p50", (*p50).into()),
+                ("p99", (*p99).into()),
+            ]),
+        })
+        .collect();
+    obj([
+        ("from_ms", window.from_ms.into()),
+        ("to_ms", window.to_ms.into()),
+        ("samples", window.samples.into()),
+        ("fields", fields.into()),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(completed: u64, errors: u64, queue_depth: u64) -> TickSample {
+        TickSample {
+            pool: PoolSample {
+                completed,
+                errors,
+                queue_depth,
+                queue_capacity: 64,
+                ..PoolSample::default()
+            },
+            ..TickSample::default()
+        }
+    }
+
+    #[test]
+    fn schema_and_sample_values_stay_in_lockstep() {
+        assert_eq!(schema().len(), TickSample::default().values().len());
+    }
+
+    #[test]
+    fn overload_fires_queue_saturation_within_two_ticks() {
+        let monitor = Monitor::new(Duration::from_millis(10), 16, 4);
+        monitor.tick(&sample(10, 0, 0));
+        assert_eq!(monitor.watchdog.verdict(), Severity::Ok);
+        // The queue jams full: the very next tick must flip the verdict.
+        let events = monitor.tick(&sample(10, 0, 64));
+        assert_eq!(monitor.watchdog.verdict(), Severity::Degraded);
+        assert!(
+            events
+                .iter()
+                .any(|e| e.contains("\"rule\":\"queue_saturation\"")
+                    && e.contains("\"state\":\"fired\"")),
+            "events: {events:?}"
+        );
+        // Health report carries the verdict and the firing rule.
+        let health = monitor.health_json().to_string();
+        assert!(health.contains("\"verdict\":\"degraded\""), "{health}");
+    }
+
+    #[test]
+    fn error_rate_is_skipped_on_idle_windows() {
+        let monitor = Monitor::new(Duration::from_millis(10), 16, 4);
+        // No completions, no errors: the error-rate rule must not fire
+        // (or even receive a value) on an idle gateway.
+        for _ in 0..3 {
+            monitor.tick(&sample(0, 0, 0));
+        }
+        assert_eq!(monitor.watchdog.verdict(), Severity::Ok);
+    }
+
+    #[test]
+    fn history_json_reports_summary_and_steps() {
+        let monitor = Monitor::new(Duration::from_millis(10), 16, 4);
+        monitor.tick(&sample(5, 0, 1));
+        monitor.tick(&sample(9, 0, 2));
+        let history = monitor.history_json(60_000, 10_000).to_string();
+        assert!(history.contains("\"samples\":2"), "{history}");
+        assert!(history.contains("\"name\":\"pool_completed\""));
+        assert!(history.contains("\"steps\":["));
+    }
+}

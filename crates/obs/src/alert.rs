@@ -1,0 +1,407 @@
+//! SLO watchdog: threshold rules with hysteresis over sampled metrics.
+//!
+//! A [`Watchdog`] holds a fixed set of [`AlertRule`]s, each naming one
+//! derived metric (an error rate, a saturation ratio, a latency
+//! quantile…) that the owner computes per evaluation tick — typically
+//! from [`crate::timeseries`] windows — and feeds to
+//! [`evaluate`](Watchdog::evaluate). The engine is deliberately
+//! value-agnostic: it never reads metrics itself, so the same rules work
+//! against any sampler.
+//!
+//! Flap suppression is two-sided:
+//!
+//! * a rule must breach for [`for_ticks`](AlertRule::for_ticks)
+//!   *consecutive* evaluations before it fires, and
+//! * once firing it resolves only after the value crosses back past the
+//!   [`clear`](AlertRule::clear) threshold (not merely back under the
+//!   firing threshold — the band between `clear` and `degraded` is the
+//!   hysteresis band, where a firing rule stays firing) for
+//!   [`clear_ticks`](AlertRule::clear_ticks) consecutive evaluations.
+//!
+//! Severity escalates immediately (`degraded` → `critical` needs no new
+//! streak) and never de-escalates while firing: the rule holds its
+//! highest severity until it fully resolves. [`evaluate`] returns the
+//! transitions so the caller can log `alert_fired` / `alert_resolved`
+//! events and stream them to subscribers; [`snapshot`](Watchdog::snapshot)
+//! and [`verdict`](Watchdog::verdict) serve point-in-time health reads.
+
+use std::sync::Mutex;
+
+/// Health of one rule, or of the service as a whole (the worst rule).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Within its service-level objective.
+    #[default]
+    Ok,
+    /// Objective breached; service continues with reduced quality.
+    Degraded,
+    /// Severely breached; intervention likely required.
+    Critical,
+}
+
+impl Severity {
+    /// Stable lower-case identifier (`ok`, `degraded`, `critical`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Ok => "ok",
+            Severity::Degraded => "degraded",
+            Severity::Critical => "critical",
+        }
+    }
+
+    /// Numeric form for gauges: 0 ok, 1 degraded, 2 critical.
+    pub fn rank(self) -> u64 {
+        match self {
+            Severity::Ok => 0,
+            Severity::Degraded => 1,
+            Severity::Critical => 2,
+        }
+    }
+}
+
+/// Which side of a threshold is unhealthy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Values at or above the thresholds breach (error rates, latency).
+    AboveIsBad,
+    /// Values at or below the thresholds breach (hit rates, headroom).
+    BelowIsBad,
+}
+
+/// One burn-rate-style condition over a named derived metric.
+#[derive(Debug, Clone)]
+pub struct AlertRule {
+    /// Stable rule identifier (label value in `lixto_alert_*` series).
+    pub name: &'static str,
+    /// The derived metric this rule watches, matched against the names
+    /// passed to [`Watchdog::evaluate`].
+    pub metric: &'static str,
+    /// Which side of the thresholds is unhealthy.
+    pub direction: Direction,
+    /// Breaching this fires (or holds) [`Severity::Degraded`].
+    pub degraded: f64,
+    /// Breaching this fires (or escalates to) [`Severity::Critical`].
+    pub critical: f64,
+    /// Hysteresis: a firing rule resolves only once the value is strictly
+    /// on the healthy side of this (must sit between healthy and
+    /// `degraded`).
+    pub clear: f64,
+    /// Consecutive breaching evaluations required to fire.
+    pub for_ticks: u32,
+    /// Consecutive cleared evaluations required to resolve.
+    pub clear_ticks: u32,
+}
+
+impl AlertRule {
+    fn breach(&self, value: f64, threshold: f64) -> bool {
+        match self.direction {
+            Direction::AboveIsBad => value >= threshold,
+            Direction::BelowIsBad => value <= threshold,
+        }
+    }
+
+    fn cleared(&self, value: f64) -> bool {
+        match self.direction {
+            Direction::AboveIsBad => value < self.clear,
+            Direction::BelowIsBad => value > self.clear,
+        }
+    }
+
+    fn target(&self, value: f64) -> Severity {
+        if self.breach(value, self.critical) {
+            Severity::Critical
+        } else if self.breach(value, self.degraded) {
+            Severity::Degraded
+        } else {
+            Severity::Ok
+        }
+    }
+}
+
+/// A state transition produced by one [`Watchdog::evaluate`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlertTransition {
+    /// The rule started firing, or escalated to a higher severity.
+    Fired {
+        /// Rule name.
+        rule: &'static str,
+        /// Severity it now fires at.
+        severity: Severity,
+        /// The metric value that fired it.
+        value: f64,
+    },
+    /// The rule returned to [`Severity::Ok`].
+    Resolved {
+        /// Rule name.
+        rule: &'static str,
+        /// The metric value that resolved it.
+        value: f64,
+    },
+}
+
+/// Point-in-time view of one rule, for `/debug/health` and the
+/// `lixto_alert_*` metric series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleSnapshot {
+    /// Rule name.
+    pub rule: &'static str,
+    /// Watched metric name.
+    pub metric: &'static str,
+    /// Current severity.
+    pub severity: Severity,
+    /// Metric value at the last evaluation that saw it (0 before any).
+    pub value: f64,
+    /// Degraded threshold.
+    pub degraded: f64,
+    /// Critical threshold.
+    pub critical: f64,
+    /// Hysteresis clear threshold.
+    pub clear: f64,
+    /// Unix ms when the rule entered its current severity (0 until the
+    /// first transition).
+    pub since_ms: u64,
+    /// Times the rule fired or escalated since construction.
+    pub fired_total: u64,
+    /// Times the rule resolved since construction.
+    pub resolved_total: u64,
+}
+
+#[derive(Debug, Default)]
+struct RuleState {
+    severity: Severity,
+    bad_streak: u32,
+    good_streak: u32,
+    value: f64,
+    seen: bool,
+    since_ms: u64,
+    fired_total: u64,
+    resolved_total: u64,
+}
+
+/// A fixed rule set plus its per-rule firing state. See the module docs
+/// for the evaluation semantics.
+pub struct Watchdog {
+    rules: Vec<AlertRule>,
+    states: Mutex<Vec<RuleState>>,
+}
+
+impl Watchdog {
+    /// A watchdog with every rule healthy.
+    pub fn new(rules: Vec<AlertRule>) -> Watchdog {
+        let states = (0..rules.len()).map(|_| RuleState::default()).collect();
+        Watchdog {
+            rules,
+            states: Mutex::new(states),
+        }
+    }
+
+    /// The configured rules.
+    pub fn rules(&self) -> &[AlertRule] {
+        &self.rules
+    }
+
+    /// Run one evaluation tick. `values` supplies `(metric, value)`
+    /// pairs; a rule whose metric is absent is skipped entirely — its
+    /// severity and streaks freeze until the metric reappears (used for
+    /// rates that are meaningless over an idle window). Returns the
+    /// transitions, in rule order.
+    pub fn evaluate(&self, now_ms: u64, values: &[(&str, f64)]) -> Vec<AlertTransition> {
+        let mut transitions = Vec::new();
+        let mut states = self.states.lock().unwrap();
+        for (rule, state) in self.rules.iter().zip(states.iter_mut()) {
+            let Some(&(_, value)) = values.iter().find(|(name, _)| *name == rule.metric) else {
+                continue;
+            };
+            state.value = value;
+            state.seen = true;
+            let target = rule.target(value);
+            if target > Severity::Ok {
+                state.good_streak = 0;
+                state.bad_streak = state.bad_streak.saturating_add(1);
+                let fires =
+                    state.severity == Severity::Ok && state.bad_streak >= rule.for_ticks.max(1);
+                let escalates = state.severity > Severity::Ok && target > state.severity;
+                if fires || escalates {
+                    state.severity = target;
+                    state.since_ms = now_ms;
+                    state.fired_total += 1;
+                    transitions.push(AlertTransition::Fired {
+                        rule: rule.name,
+                        severity: target,
+                        value,
+                    });
+                }
+            } else {
+                state.bad_streak = 0;
+                if state.severity > Severity::Ok {
+                    if rule.cleared(value) {
+                        state.good_streak = state.good_streak.saturating_add(1);
+                        if state.good_streak >= rule.clear_ticks.max(1) {
+                            state.severity = Severity::Ok;
+                            state.since_ms = now_ms;
+                            state.good_streak = 0;
+                            state.resolved_total += 1;
+                            transitions.push(AlertTransition::Resolved {
+                                rule: rule.name,
+                                value,
+                            });
+                        }
+                    } else {
+                        // Hysteresis band: healthy side of the firing
+                        // threshold but not past `clear` — hold firing,
+                        // restart the clear streak.
+                        state.good_streak = 0;
+                    }
+                }
+            }
+        }
+        transitions
+    }
+
+    /// Per-rule state, in rule order.
+    pub fn snapshot(&self) -> Vec<RuleSnapshot> {
+        let states = self.states.lock().unwrap();
+        self.rules
+            .iter()
+            .zip(states.iter())
+            .map(|(rule, state)| RuleSnapshot {
+                rule: rule.name,
+                metric: rule.metric,
+                severity: state.severity,
+                value: if state.seen { state.value } else { 0.0 },
+                degraded: rule.degraded,
+                critical: rule.critical,
+                clear: rule.clear,
+                since_ms: state.since_ms,
+                fired_total: state.fired_total,
+                resolved_total: state.resolved_total,
+            })
+            .collect()
+    }
+
+    /// The worst current severity across all rules.
+    pub fn verdict(&self) -> Severity {
+        let states = self.states.lock().unwrap();
+        states
+            .iter()
+            .map(|s| s.severity)
+            .max()
+            .unwrap_or(Severity::Ok)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rule(for_ticks: u32, clear_ticks: u32) -> AlertRule {
+        AlertRule {
+            name: "err",
+            metric: "error_rate",
+            direction: Direction::AboveIsBad,
+            degraded: 0.05,
+            critical: 0.25,
+            clear: 0.02,
+            for_ticks,
+            clear_ticks,
+        }
+    }
+
+    fn eval(w: &Watchdog, t: u64, v: f64) -> Vec<AlertTransition> {
+        w.evaluate(t, &[("error_rate", v)])
+    }
+
+    #[test]
+    fn fires_only_after_consecutive_breaches() {
+        let w = Watchdog::new(vec![rule(2, 1)]);
+        assert!(eval(&w, 1, 0.10).is_empty()); // streak 1 of 2
+        assert!(eval(&w, 2, 0.01).is_empty()); // streak broken
+        assert!(eval(&w, 3, 0.10).is_empty());
+        let t = eval(&w, 4, 0.10);
+        assert_eq!(
+            t,
+            vec![AlertTransition::Fired {
+                rule: "err",
+                severity: Severity::Degraded,
+                value: 0.10,
+            }]
+        );
+        assert_eq!(w.verdict(), Severity::Degraded);
+        assert_eq!(w.snapshot()[0].since_ms, 4);
+    }
+
+    #[test]
+    fn escalates_immediately_and_holds_highest() {
+        let w = Watchdog::new(vec![rule(1, 1)]);
+        eval(&w, 1, 0.10);
+        let t = eval(&w, 2, 0.90);
+        assert_eq!(
+            t,
+            vec![AlertTransition::Fired {
+                rule: "err",
+                severity: Severity::Critical,
+                value: 0.90,
+            }]
+        );
+        // Back to merely-degraded values: stays critical (no de-escalation).
+        assert!(eval(&w, 3, 0.10).is_empty());
+        assert_eq!(w.verdict(), Severity::Critical);
+        assert_eq!(w.snapshot()[0].fired_total, 2);
+    }
+
+    #[test]
+    fn hysteresis_band_holds_firing() {
+        let w = Watchdog::new(vec![rule(1, 2)]);
+        eval(&w, 1, 0.10);
+        // 0.03 is under `degraded` but not under `clear` — stays firing.
+        assert!(eval(&w, 2, 0.03).is_empty());
+        // One cleared tick is not enough (clear_ticks = 2)…
+        assert!(eval(&w, 3, 0.01).is_empty());
+        // …and dipping back into the band restarts the clear streak.
+        assert!(eval(&w, 4, 0.03).is_empty());
+        assert!(eval(&w, 5, 0.01).is_empty());
+        let t = eval(&w, 6, 0.01);
+        assert_eq!(
+            t,
+            vec![AlertTransition::Resolved {
+                rule: "err",
+                value: 0.01,
+            }]
+        );
+        assert_eq!(w.verdict(), Severity::Ok);
+        let snap = &w.snapshot()[0];
+        assert_eq!((snap.fired_total, snap.resolved_total), (1, 1));
+        assert_eq!(snap.since_ms, 6);
+    }
+
+    #[test]
+    fn below_is_bad_direction() {
+        let w = Watchdog::new(vec![AlertRule {
+            name: "cache",
+            metric: "hit_rate",
+            direction: Direction::BelowIsBad,
+            degraded: 0.10,
+            critical: -1.0, // unreachable
+            clear: 0.25,
+            for_ticks: 1,
+            clear_ticks: 1,
+        }]);
+        let t = w.evaluate(1, &[("hit_rate", 0.05)]);
+        assert!(matches!(t[0], AlertTransition::Fired { .. }));
+        // 0.2 is above `degraded` but not above `clear`: holds firing.
+        assert!(w.evaluate(2, &[("hit_rate", 0.20)]).is_empty());
+        let t = w.evaluate(3, &[("hit_rate", 0.40)]);
+        assert!(matches!(t[0], AlertTransition::Resolved { .. }));
+    }
+
+    #[test]
+    fn missing_metric_freezes_state() {
+        let w = Watchdog::new(vec![rule(1, 1)]);
+        eval(&w, 1, 0.10);
+        assert_eq!(w.verdict(), Severity::Degraded);
+        // Metric absent: no resolve, no streak movement.
+        assert!(w.evaluate(2, &[]).is_empty());
+        assert_eq!(w.verdict(), Severity::Degraded);
+        assert_eq!(w.snapshot()[0].value, 0.10);
+    }
+}

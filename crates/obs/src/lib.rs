@@ -4,9 +4,11 @@
 //! stack: trace identifiers and per-request span records ([`TraceId`],
 //! [`SpanRecord`], [`StageTimes`]), a bounded buffer of recent and
 //! slowest spans ([`SpanBuffer`]), per-rule execution telemetry
-//! ([`RuleStats`]), and a leveled JSON line logger ([`log_fields`] and
+//! ([`RuleStats`]), a leveled JSON line logger ([`log_fields`] and
 //! the [`log_event!`](crate::log_event) family) configured by the `LIXTO_LOG` environment
-//! variable.
+//! variable, a fixed-interval metrics history ring ([`TimeSeries`]) and
+//! an SLO watchdog rule engine ([`Watchdog`]) for continuous
+//! monitoring.
 //!
 //! The crate sits at the bottom of the dependency graph — it depends on
 //! nothing but `std`, so the Elog executor, the extraction server and
@@ -17,14 +19,21 @@
 
 #![forbid(unsafe_code)]
 
+mod alert;
 mod log;
 mod ring;
 mod rule;
+mod timeseries;
 mod trace;
 
+pub use crate::alert::{AlertRule, AlertTransition, Direction, RuleSnapshot, Severity, Watchdog};
 pub use crate::log::{
-    captured_lines, enabled, escape_json, log_fields, set_capture, set_max_level, FieldValue, Level,
+    captured_lines, enabled, escape_json, log_fields, set_capture, set_log_file, set_max_level,
+    set_stderr, FieldValue, Level,
 };
 pub use crate::ring::SpanBuffer;
 pub use crate::rule::{RuleStat, RuleStats};
+pub use crate::timeseries::{
+    FieldKind, FieldSpec, FieldStats, FieldWindow, Sample, TimeSeries, WindowStats,
+};
 pub use crate::trace::{unix_millis, SpanRecord, Stage, StageTimes, TraceId, STAGE_COUNT};

@@ -10,7 +10,18 @@
 //!
 //! Tests swap the stderr sink for an in-memory buffer with
 //! [`set_capture`] / [`captured_lines`].
+//!
+//! For durable logs, `LIXTO_LOG_FILE=<path>` (or [`set_log_file`])
+//! appends the stream to a file with size-based rotation: when the next
+//! line would push the file past `LIXTO_LOG_FILE_MAX_BYTES` (default
+//! 8 MiB), the file is atomically renamed to `<path>.1` — replacing any
+//! previous generation — and a fresh file is started, so at most two
+//! generations exist on disk. If the file cannot be opened or written,
+//! logging falls back to stderr with a warning line rather than losing
+//! events.
 
+use std::io::Write;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -164,24 +175,175 @@ pub fn escape_json(s: &str, out: &mut String) {
 
 type Capture = Arc<Mutex<Vec<String>>>;
 
-/// `None` → stderr; `Some(buffer)` → capture (tests).
-static SINK: OnceLock<Mutex<Option<Capture>>> = OnceLock::new();
+/// Default rotation threshold when `LIXTO_LOG_FILE_MAX_BYTES` is unset.
+const DEFAULT_LOG_FILE_MAX_BYTES: u64 = 8 * 1024 * 1024;
+/// Floor on the rotation threshold — rotating per line is never useful.
+const MIN_LOG_FILE_MAX_BYTES: u64 = 1024;
 
-fn sink() -> &'static Mutex<Option<Capture>> {
-    SINK.get_or_init(|| Mutex::new(None))
+/// An open log file plus the bookkeeping rotation needs.
+struct FileSink {
+    path: PathBuf,
+    max_bytes: u64,
+    file: std::fs::File,
+    written: u64,
+}
+
+impl FileSink {
+    fn open(path: PathBuf, max_bytes: u64) -> std::io::Result<FileSink> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        let written = file.metadata().map(|m| m.len()).unwrap_or(0);
+        Ok(FileSink {
+            path,
+            max_bytes: max_bytes.max(MIN_LOG_FILE_MAX_BYTES),
+            file,
+            written,
+        })
+    }
+
+    /// Append one line, rotating first if it would overflow `max_bytes`.
+    /// Rotation renames the live file to `<path>.1` (atomic replace of
+    /// the previous generation) and starts a fresh file.
+    fn write_line(&mut self, line: &str) -> std::io::Result<()> {
+        let needed = line.len() as u64 + 1;
+        if self.written > 0 && self.written + needed > self.max_bytes {
+            self.file.flush()?;
+            let mut rotated = self.path.clone().into_os_string();
+            rotated.push(".1");
+            std::fs::rename(&self.path, PathBuf::from(rotated))?;
+            self.file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&self.path)?;
+            self.written = 0;
+        }
+        self.file.write_all(line.as_bytes())?;
+        self.file.write_all(b"\n")?;
+        self.written += needed;
+        Ok(())
+    }
+}
+
+enum SinkMode {
+    Stderr,
+    Capture(Capture),
+    File(FileSink),
+}
+
+struct SinkState {
+    mode: SinkMode,
+    /// Whether `LIXTO_LOG_FILE` has been consulted; set by any explicit
+    /// sink selection so tests are immune to the ambient environment.
+    env_checked: bool,
+}
+
+static SINK: OnceLock<Mutex<SinkState>> = OnceLock::new();
+
+fn sink() -> &'static Mutex<SinkState> {
+    SINK.get_or_init(|| {
+        Mutex::new(SinkState {
+            mode: SinkMode::Stderr,
+            env_checked: false,
+        })
+    })
+}
+
+/// Emit a logger-internal warning directly to stderr. Used for sink
+/// failures, which cannot go through the normal pipeline (the sink lock
+/// is held, and the sink itself is what failed).
+fn sink_warning(event: &str, path: &std::path::Path, error: &std::io::Error) {
+    let mut line = String::new();
+    line.push_str("{\"ts\":");
+    line.push_str(&crate::trace::unix_millis().to_string());
+    line.push_str(",\"level\":\"warn\",\"event\":\"");
+    line.push_str(event);
+    line.push_str("\",\"path\":\"");
+    escape_json(&path.display().to_string(), &mut line);
+    line.push_str("\",\"error\":\"");
+    escape_json(&error.to_string(), &mut line);
+    line.push_str("\"}");
+    eprintln!("{line}");
+}
+
+impl SinkState {
+    /// Resolve `LIXTO_LOG_FILE` on first use (unless a sink was already
+    /// chosen programmatically).
+    fn init_from_env(&mut self) {
+        if self.env_checked {
+            return;
+        }
+        self.env_checked = true;
+        let Ok(path) = std::env::var("LIXTO_LOG_FILE") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        let max_bytes = std::env::var("LIXTO_LOG_FILE_MAX_BYTES")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(DEFAULT_LOG_FILE_MAX_BYTES);
+        let path = PathBuf::from(path);
+        match FileSink::open(path.clone(), max_bytes) {
+            Ok(file) => self.mode = SinkMode::File(file),
+            Err(error) => sink_warning("log_file_open_failed", &path, &error),
+        }
+    }
+
+    fn emit(&mut self, line: String) {
+        self.init_from_env();
+        match &mut self.mode {
+            SinkMode::Capture(buffer) => buffer.lock().unwrap().push(line),
+            SinkMode::File(file) => {
+                if let Err(error) = file.write_line(&line) {
+                    // Degrade to stderr permanently rather than erroring
+                    // (or silently dropping) every subsequent event.
+                    sink_warning("log_file_write_failed", &file.path, &error);
+                    eprintln!("{line}");
+                    self.mode = SinkMode::Stderr;
+                }
+            }
+            SinkMode::Stderr => eprintln!("{line}"),
+        }
+    }
 }
 
 /// Redirect log output into an in-memory buffer and return it. Global:
 /// affects the whole process until called again. Intended for tests.
 pub fn set_capture() -> Capture {
     let buffer: Capture = Arc::new(Mutex::new(Vec::new()));
-    *sink().lock().unwrap() = Some(buffer.clone());
+    let mut state = sink().lock().unwrap();
+    state.mode = SinkMode::Capture(buffer.clone());
+    state.env_checked = true;
     buffer
 }
 
 /// Drain and return the lines captured since [`set_capture`].
 pub fn captured_lines(capture: &Capture) -> Vec<String> {
     std::mem::take(&mut capture.lock().unwrap())
+}
+
+/// Write the log stream to `path` with size-based rotation at
+/// `max_bytes` (see the module docs), replacing any current sink. The
+/// programmatic equivalent of `LIXTO_LOG_FILE`; global, like
+/// [`set_capture`]. Fails without changing the sink if the file cannot
+/// be opened.
+pub fn set_log_file(path: impl Into<PathBuf>, max_bytes: u64) -> std::io::Result<()> {
+    let file = FileSink::open(path.into(), max_bytes)?;
+    let mut state = sink().lock().unwrap();
+    state.mode = SinkMode::File(file);
+    state.env_checked = true;
+    Ok(())
+}
+
+/// Restore the default stderr sink (and stop consulting
+/// `LIXTO_LOG_FILE`). Intended for tests that used [`set_log_file`].
+pub fn set_stderr() {
+    let mut state = sink().lock().unwrap();
+    state.mode = SinkMode::Stderr;
+    state.env_checked = true;
 }
 
 /// Emit one structured event if `level` is enabled. Prefer the
@@ -222,11 +384,7 @@ pub fn log_fields(level: Level, event: &str, fields: &[(&str, FieldValue<'_>)]) 
         }
     }
     line.push('}');
-    let captured = sink().lock().unwrap();
-    match captured.as_ref() {
-        Some(buffer) => buffer.lock().unwrap().push(line),
-        None => eprintln!("{line}"),
-    }
+    sink().lock().unwrap().emit(line);
 }
 
 /// Emit a structured event: `log_event!(Level::Warn, "event_name",
@@ -314,6 +472,34 @@ mod tests {
         crate::error_event!("silenced");
         assert!(captured_lines(&capture).is_empty());
         set_max_level(Some(Level::Warn));
+
+        // File sink: lines land in the file and rotation moves the
+        // full generation aside as `<path>.1`.
+        let dir = std::env::temp_dir().join(format!("lixto_log_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.log");
+        let rotated = dir.join("events.log.1");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&rotated);
+        // MIN_LOG_FILE_MAX_BYTES floors the threshold, so emit lines
+        // padded past 1 KiB to force a rotation on the second write.
+        set_log_file(&path, 1).unwrap();
+        let pad = "x".repeat(1100);
+        crate::warn_event!("file_one", "pad" => pad.as_str());
+        crate::warn_event!("file_two", "pad" => pad.as_str());
+        set_stderr();
+        let live = std::fs::read_to_string(&path).unwrap();
+        let old = std::fs::read_to_string(&rotated).unwrap();
+        assert!(old.contains("\"event\":\"file_one\""), "rotated: {old}");
+        assert!(live.contains("\"event\":\"file_two\""), "live: {live}");
+        assert!(!live.contains("file_one"));
+        // Reopening appends rather than truncating.
+        set_log_file(&path, DEFAULT_LOG_FILE_MAX_BYTES).unwrap();
+        crate::warn_event!("file_three");
+        set_stderr();
+        let live = std::fs::read_to_string(&path).unwrap();
+        assert!(live.contains("file_two") && live.contains("file_three"));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -6,11 +6,22 @@
 //! writers only contend when the ring wraps onto the same slot). The
 //! slowest list is guarded by an atomic admission floor — the common
 //! fast request reads one atomic and never takes the list lock.
+//!
+//! The slowest list is *time-windowed*: entries older than
+//! [`with_slow_window_ms`](SpanBuffer::with_slow_window_ms) (relative to
+//! the spans' own `unix_ms` timestamps) are aged out as new spans
+//! arrive, and a floor that has not been recomputed for half the window
+//! stops short-circuiting admission. Without this, one pathological
+//! burst would ratchet the floor so high the list froze as an all-time
+//! top-k and `/debug/slow` went permanently stale.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::trace::SpanRecord;
+
+/// Default slowest-list retention: 5 minutes.
+const DEFAULT_SLOW_WINDOW_MS: u64 = 300_000;
 
 /// Recent + slowest completed spans, bounded in memory.
 pub struct SpanBuffer {
@@ -18,43 +29,70 @@ pub struct SpanBuffer {
     cursor: AtomicUsize,
     slowest: Mutex<Vec<Arc<SpanRecord>>>,
     slow_cap: usize,
+    slow_window_ms: u64,
     /// Admission floor: a span slower than this may enter `slowest`.
     /// Zero until the slowest list fills.
     floor_ns: AtomicU64,
+    /// `unix_ms` of the span that last recomputed the floor; once the
+    /// floor is older than half the window it is treated as stale and
+    /// admission takes the slow path so expired entries age out.
+    floor_at_ms: AtomicU64,
 }
 
 impl SpanBuffer {
     /// A buffer keeping the `recent_cap` most recent and `slow_cap`
-    /// slowest spans (each at least 1).
+    /// slowest spans (each at least 1), with the default 5-minute
+    /// slowest-list window.
     pub fn new(recent_cap: usize, slow_cap: usize) -> SpanBuffer {
         SpanBuffer {
             recent: (0..recent_cap.max(1)).map(|_| Mutex::new(None)).collect(),
             cursor: AtomicUsize::new(0),
             slowest: Mutex::new(Vec::new()),
             slow_cap: slow_cap.max(1),
+            slow_window_ms: DEFAULT_SLOW_WINDOW_MS,
             floor_ns: AtomicU64::new(0),
+            floor_at_ms: AtomicU64::new(0),
         }
+    }
+
+    /// Set how long a span may stay in the slowest list, measured
+    /// against newer spans' `unix_ms` timestamps (at least 1 ms).
+    pub fn with_slow_window_ms(mut self, window_ms: u64) -> SpanBuffer {
+        self.slow_window_ms = window_ms.max(1);
+        self
     }
 
     /// Record a completed span.
     pub fn record(&self, span: Arc<SpanRecord>) {
         let i = self.cursor.fetch_add(1, Ordering::Relaxed) % self.recent.len();
         *self.recent[i].lock().unwrap() = Some(span.clone());
-        if span.total_ns <= self.floor_ns.load(Ordering::Relaxed) {
+        let now_ms = span.unix_ms;
+        let floor_fresh = now_ms
+            < self
+                .floor_at_ms
+                .load(Ordering::Relaxed)
+                .saturating_add(self.slow_window_ms / 2);
+        if span.total_ns <= self.floor_ns.load(Ordering::Relaxed) && floor_fresh {
             return;
         }
         let mut slow = self.slowest.lock().unwrap();
+        // Age out entries the window has passed by before judging the
+        // newcomer against what remains.
+        slow.retain(|s| s.unix_ms.saturating_add(self.slow_window_ms) > now_ms);
         let at = slow
             .binary_search_by(|s| span.total_ns.cmp(&s.total_ns))
             .unwrap_or_else(|e| e);
-        slow.insert(at, span);
-        slow.truncate(self.slow_cap);
+        if at < self.slow_cap {
+            slow.insert(at, span);
+            slow.truncate(self.slow_cap);
+        }
         let floor = if slow.len() == self.slow_cap {
             slow.last().map_or(0, |s| s.total_ns)
         } else {
             0
         };
         self.floor_ns.store(floor, Ordering::Relaxed);
+        self.floor_at_ms.store(now_ms, Ordering::Relaxed);
     }
 
     /// Most recent spans, newest first.
@@ -101,6 +139,10 @@ mod tests {
     use crate::trace::StageTimes;
 
     fn span(id: &str, total_ns: u64) -> Arc<SpanRecord> {
+        span_at(id, total_ns, 0)
+    }
+
+    fn span_at(id: &str, total_ns: u64, unix_ms: u64) -> Arc<SpanRecord> {
         Arc::new(SpanRecord {
             id: id.to_string(),
             wrapper: "w".to_string(),
@@ -109,7 +151,7 @@ mod tests {
             cache_hit: false,
             total_ns,
             stages: StageTimes::new(),
-            unix_ms: 0,
+            unix_ms,
         })
     }
 
@@ -142,6 +184,50 @@ mod tests {
                 ("d".to_string(), 300)
             ]
         );
+    }
+
+    /// Regression: a pathological burst used to ratchet the admission
+    /// floor permanently, freezing the slowest list as an all-time
+    /// top-k. With the time window, later ordinary traffic ages the
+    /// burst out and repopulates the list with *recent* slowest spans.
+    #[test]
+    fn slowest_ages_out_after_burst() {
+        let buf = SpanBuffer::new(4, 2).with_slow_window_ms(1_000);
+        // A burst of very slow spans at t=0 fills the list and sets a
+        // high floor.
+        buf.record(span_at("burst1", 9_000_000, 0));
+        buf.record(span_at("burst2", 8_000_000, 0));
+        assert_eq!(buf.slowest().len(), 2);
+        // Shortly after, ordinary traffic below the floor is rejected
+        // on the fast path (floor still fresh).
+        buf.record(span_at("fast", 1_000, 100));
+        let ids: Vec<&str> = vec!["burst1", "burst2"];
+        assert_eq!(
+            buf.slowest()
+                .iter()
+                .map(|s| s.id.as_str())
+                .collect::<Vec<_>>(),
+            ids
+        );
+        // Past the window, the stale floor stops short-circuiting and
+        // the burst entries age out: the list now reflects recent
+        // traffic even though every new span is far below the old floor.
+        buf.record(span_at("later1", 2_000, 2_000));
+        buf.record(span_at("later2", 3_000, 2_100));
+        let got: Vec<String> = buf.slowest().iter().map(|s| s.id.clone()).collect();
+        assert_eq!(got, ["later2", "later1"]);
+    }
+
+    /// The default window is long enough that timestamp-less test spans
+    /// (unix_ms = 0) never age out mid-test.
+    #[test]
+    fn aging_is_inert_without_timestamps() {
+        let buf = SpanBuffer::new(2, 2);
+        buf.record(span("a", 500));
+        buf.record(span("b", 900));
+        buf.record(span("c", 100));
+        assert_eq!(buf.slowest().len(), 2);
+        assert_eq!(buf.slowest()[0].id, "b");
     }
 
     #[test]

@@ -1,0 +1,455 @@
+//! Fixed-interval metrics history: a bounded ring of samples with
+//! windowed rate and quantile queries.
+//!
+//! A [`TimeSeries`] is declared once with a schema — an ordered list of
+//! [`FieldSpec`]s, each a monotone [`Counter`](FieldKind::Counter) or an
+//! instantaneous [`Gauge`](FieldKind::Gauge) — and then fed one
+//! [`record`](TimeSeries::record) call per sampling tick by a background
+//! sampler. Retention is bounded: once `capacity` samples are held, the
+//! oldest is dropped per new tick, so memory is `O(capacity × fields)`
+//! regardless of uptime.
+//!
+//! Window queries are deliberately simple and exactly reproducible:
+//!
+//! * **Counters** report the *increase* over the window, computed
+//!   pairwise between consecutive samples with Prometheus-style reset
+//!   handling — when a sample is smaller than its predecessor the
+//!   counter is assumed to have restarted from zero, so the new value
+//!   *is* the delta. The sample at-or-before the window start is the
+//!   baseline; the earliest retained sample contributes nothing when it
+//!   has no predecessor (its absolute value is cumulative since process
+//!   start, not since the window opened). This makes deltas additive:
+//!   tiling a window into steps and summing the step deltas yields the
+//!   window delta exactly.
+//! * **Gauges** report last/min/max/mean and nearest-rank p50/p99 over
+//!   the samples inside the window.
+//!
+//! The module depends on nothing but `std` and takes one short lock per
+//! record or query; it is shared infrastructure for the gateway's
+//! `/metrics/history` endpoint and the SLO watchdog ([`crate::alert`]).
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// How a field's samples are interpreted by window queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldKind {
+    /// Monotone non-decreasing except across process restarts; windows
+    /// report reset-aware deltas and rates.
+    Counter,
+    /// Instantaneous value; windows report last/min/max/mean/quantiles.
+    Gauge,
+}
+
+/// One column of the series: a stable name plus its [`FieldKind`].
+#[derive(Debug, Clone, Copy)]
+pub struct FieldSpec {
+    /// Stable identifier, used as the JSON key by consumers.
+    pub name: &'static str,
+    /// Counter or gauge semantics.
+    pub kind: FieldKind,
+}
+
+impl FieldSpec {
+    /// A counter field.
+    pub fn counter(name: &'static str) -> FieldSpec {
+        FieldSpec {
+            name,
+            kind: FieldKind::Counter,
+        }
+    }
+
+    /// A gauge field.
+    pub fn gauge(name: &'static str) -> FieldSpec {
+        FieldSpec {
+            name,
+            kind: FieldKind::Gauge,
+        }
+    }
+}
+
+/// One sampling tick: a timestamp plus one value per declared field, in
+/// schema order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sample {
+    /// Wall-clock milliseconds since the Unix epoch at sampling time.
+    pub unix_ms: u64,
+    /// Field values in [`TimeSeries::fields`] order.
+    pub values: Vec<u64>,
+}
+
+/// Windowed statistics for one field; which variant applies is fixed by
+/// the field's [`FieldKind`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldStats {
+    /// Counter increase over the window.
+    Counter {
+        /// Reset-aware increase across the window.
+        delta: u64,
+        /// `delta` scaled to per-second over the window span.
+        rate_per_sec: f64,
+    },
+    /// Gauge distribution over the window's samples.
+    Gauge {
+        /// Value of the newest in-window sample (0 if none).
+        last: u64,
+        /// Minimum in-window value (0 if none).
+        min: u64,
+        /// Maximum in-window value (0 if none).
+        max: u64,
+        /// Arithmetic mean of in-window values (0 if none).
+        mean: f64,
+        /// Nearest-rank median.
+        p50: u64,
+        /// Nearest-rank 99th percentile.
+        p99: u64,
+    },
+}
+
+/// A named field's [`FieldStats`] within one window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldWindow {
+    /// The field's schema name.
+    pub name: &'static str,
+    /// The computed statistics.
+    pub stats: FieldStats,
+}
+
+/// The result of a window query: per-field stats over `(from_ms, to_ms]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowStats {
+    /// Window start (exclusive), unix milliseconds.
+    pub from_ms: u64,
+    /// Window end (inclusive), unix milliseconds.
+    pub to_ms: u64,
+    /// Samples that fell inside the window.
+    pub samples: usize,
+    /// One entry per schema field, in schema order.
+    pub fields: Vec<FieldWindow>,
+}
+
+/// Nearest-rank quantile over an ascending-sorted slice: the smallest
+/// value whose rank covers fraction `q` of the population (`q` clamped
+/// to `[0, 1]`; 0 for an empty slice).
+fn nearest_rank(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// Pairwise counter delta with reset detection: a drop means the counter
+/// restarted, so the new value is the whole increase.
+fn counter_delta(prev: u64, next: u64) -> u64 {
+    if next >= prev {
+        next - prev
+    } else {
+        next
+    }
+}
+
+/// A bounded, fixed-schema ring of metric samples. See the module docs
+/// for query semantics.
+pub struct TimeSeries {
+    fields: Vec<FieldSpec>,
+    interval_ms: u64,
+    capacity: usize,
+    ring: Mutex<VecDeque<Sample>>,
+}
+
+impl TimeSeries {
+    /// An empty series holding at most `capacity` samples (at least 2,
+    /// so a window can always straddle one delta). `interval_ms` is
+    /// advisory — it records the sampler's configured cadence for
+    /// consumers; `record` accepts whatever timestamps it is given.
+    pub fn new(fields: Vec<FieldSpec>, interval_ms: u64, capacity: usize) -> TimeSeries {
+        let capacity = capacity.max(2);
+        TimeSeries {
+            fields,
+            interval_ms: interval_ms.max(1),
+            capacity,
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+        }
+    }
+
+    /// The declared schema, in column order.
+    pub fn fields(&self) -> &[FieldSpec] {
+        &self.fields
+    }
+
+    /// The sampler cadence this series was declared with.
+    pub fn interval_ms(&self) -> u64 {
+        self.interval_ms
+    }
+
+    /// Maximum retained samples.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Retained sample count.
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap().len()
+    }
+
+    /// Whether no samples have been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append one tick. `values` must match the schema length; the
+    /// oldest sample is dropped once `capacity` is reached. Out-of-order
+    /// timestamps are tolerated (the ring is strictly append-ordered).
+    pub fn record(&self, unix_ms: u64, values: &[u64]) {
+        assert_eq!(
+            values.len(),
+            self.fields.len(),
+            "sample width must match the declared schema"
+        );
+        let mut ring = self.ring.lock().unwrap();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(Sample {
+            unix_ms,
+            values: values.to_vec(),
+        });
+    }
+
+    /// The newest sample, if any.
+    pub fn latest(&self) -> Option<Sample> {
+        self.ring.lock().unwrap().back().cloned()
+    }
+
+    /// A copy of every retained sample, oldest first.
+    pub fn samples(&self) -> Vec<Sample> {
+        self.ring.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Per-field stats over the window `(from_ms, to_ms]`.
+    pub fn window(&self, from_ms: u64, to_ms: u64) -> WindowStats {
+        let ring = self.ring.lock().unwrap();
+        self.window_locked(&ring, from_ms, to_ms)
+    }
+
+    /// Tile `(from_ms, to_ms]` into consecutive `step_ms` windows
+    /// (oldest first; the final step is truncated to `to_ms`) and
+    /// compute each. Counter deltas across the steps sum to the whole
+    /// window's delta.
+    pub fn steps(&self, from_ms: u64, to_ms: u64, step_ms: u64) -> Vec<WindowStats> {
+        let step_ms = step_ms.max(1);
+        let ring = self.ring.lock().unwrap();
+        let mut out = Vec::new();
+        let mut start = from_ms;
+        while start < to_ms {
+            let end = (start + step_ms).min(to_ms);
+            out.push(self.window_locked(&ring, start, end));
+            start = end;
+        }
+        out
+    }
+
+    fn window_locked(&self, ring: &VecDeque<Sample>, from_ms: u64, to_ms: u64) -> WindowStats {
+        // Baseline for counters: the newest sample at-or-before the
+        // window start. Samples are append-ordered, which tracks
+        // timestamp order for a monotone sampler clock.
+        let mut baseline: Option<&Sample> = None;
+        let mut inside: Vec<&Sample> = Vec::new();
+        for sample in ring {
+            if sample.unix_ms <= from_ms {
+                baseline = Some(sample);
+            } else if sample.unix_ms <= to_ms {
+                inside.push(sample);
+            }
+        }
+        let span_secs = (to_ms.saturating_sub(from_ms)) as f64 / 1000.0;
+        let fields = self
+            .fields
+            .iter()
+            .enumerate()
+            .map(|(col, spec)| {
+                let stats = match spec.kind {
+                    FieldKind::Counter => {
+                        let mut delta = 0u64;
+                        let mut prev = baseline.map(|s| s.values[col]);
+                        for sample in &inside {
+                            let next = sample.values[col];
+                            if let Some(prev) = prev {
+                                delta += counter_delta(prev, next);
+                            }
+                            prev = Some(next);
+                        }
+                        let rate_per_sec = if span_secs > 0.0 {
+                            delta as f64 / span_secs
+                        } else {
+                            0.0
+                        };
+                        FieldStats::Counter {
+                            delta,
+                            rate_per_sec,
+                        }
+                    }
+                    FieldKind::Gauge => {
+                        let mut values: Vec<u64> = inside.iter().map(|s| s.values[col]).collect();
+                        let last = values.last().copied().unwrap_or(0);
+                        values.sort_unstable();
+                        let (min, max) = match (values.first(), values.last()) {
+                            (Some(&min), Some(&max)) => (min, max),
+                            _ => (0, 0),
+                        };
+                        let mean = if values.is_empty() {
+                            0.0
+                        } else {
+                            values.iter().map(|&v| v as f64).sum::<f64>() / values.len() as f64
+                        };
+                        FieldStats::Gauge {
+                            last,
+                            min,
+                            max,
+                            mean,
+                            p50: nearest_rank(&values, 0.50),
+                            p99: nearest_rank(&values, 0.99),
+                        }
+                    }
+                };
+                FieldWindow {
+                    name: spec.name,
+                    stats,
+                }
+            })
+            .collect();
+        WindowStats {
+            from_ms,
+            to_ms,
+            samples: inside.len(),
+            fields,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> TimeSeries {
+        TimeSeries::new(
+            vec![FieldSpec::counter("reqs"), FieldSpec::gauge("depth")],
+            1000,
+            8,
+        )
+    }
+
+    #[test]
+    fn counter_window_is_reset_aware() {
+        let ts = series();
+        ts.record(1000, &[10, 1]);
+        ts.record(2000, &[25, 2]);
+        ts.record(3000, &[5, 3]); // restart: 25 → 5 counts as +5
+        ts.record(4000, &[9, 4]);
+        let w = ts.window(1000, 4000);
+        assert_eq!(w.samples, 3);
+        match &w.fields[0].stats {
+            FieldStats::Counter {
+                delta,
+                rate_per_sec,
+            } => {
+                assert_eq!(*delta, 15 + 5 + 4);
+                assert!((rate_per_sec - 24.0 / 3.0).abs() < 1e-9);
+            }
+            other => panic!("expected counter stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn earliest_retained_sample_contributes_no_delta() {
+        let ts = series();
+        ts.record(1000, &[1_000_000, 0]); // cumulative-since-start value
+        ts.record(2000, &[1_000_003, 0]);
+        let w = ts.window(0, 2000);
+        match &w.fields[0].stats {
+            FieldStats::Counter { delta, .. } => assert_eq!(*delta, 3),
+            other => panic!("expected counter stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn step_deltas_sum_to_window_delta() {
+        let ts = series();
+        for i in 0..8u64 {
+            ts.record(i * 1000, &[i * i, i]);
+        }
+        let whole = ts.window(0, 7000);
+        let steps = ts.steps(0, 7000, 3000);
+        assert_eq!(steps.len(), 3);
+        let whole_delta = match &whole.fields[0].stats {
+            FieldStats::Counter { delta, .. } => *delta,
+            _ => unreachable!(),
+        };
+        let sum: u64 = steps
+            .iter()
+            .map(|s| match &s.fields[0].stats {
+                FieldStats::Counter { delta, .. } => *delta,
+                _ => unreachable!(),
+            })
+            .sum();
+        assert_eq!(sum, whole_delta);
+    }
+
+    #[test]
+    fn gauge_window_reports_distribution() {
+        let ts = series();
+        for (t, v) in [(1000, 4), (2000, 1), (3000, 9), (4000, 2)] {
+            ts.record(t, &[0, v]);
+        }
+        let w = ts.window(0, 4000);
+        match &w.fields[1].stats {
+            FieldStats::Gauge {
+                last,
+                min,
+                max,
+                mean,
+                p50,
+                p99,
+            } => {
+                assert_eq!((*last, *min, *max), (2, 1, 9));
+                assert!((mean - 4.0).abs() < 1e-9);
+                assert_eq!(*p50, 2);
+                assert_eq!(*p99, 9);
+            }
+            other => panic!("expected gauge stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retention_drops_oldest() {
+        let ts = TimeSeries::new(vec![FieldSpec::gauge("g")], 1000, 3);
+        for i in 0..5u64 {
+            ts.record(i, &[i]);
+        }
+        assert_eq!(ts.len(), 3);
+        let kept: Vec<u64> = ts.samples().iter().map(|s| s.unix_ms).collect();
+        assert_eq!(kept, [2, 3, 4]);
+        assert_eq!(ts.latest().unwrap().values, [4]);
+    }
+
+    #[test]
+    fn empty_window_is_zeroed() {
+        let ts = series();
+        let w = ts.window(0, 1000);
+        assert_eq!(w.samples, 0);
+        match &w.fields[1].stats {
+            FieldStats::Gauge { last, max, p99, .. } => {
+                assert_eq!((*last, *max, *p99), (0, 0, 0));
+            }
+            other => panic!("expected gauge stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sample width")]
+    fn record_rejects_wrong_width() {
+        series().record(0, &[1]);
+    }
+}

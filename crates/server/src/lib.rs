@@ -65,7 +65,7 @@ pub use metrics::{
 };
 pub use registry::{DeployError, RegisteredWrapper, WrapperRegistry, WrapperSpec};
 pub use server::{
-    ExtractionRequest, ExtractionResponse, ExtractionServer, JobTicket, RequestSource,
+    ExtractionRequest, ExtractionResponse, ExtractionServer, JobTicket, PoolSample, RequestSource,
     ServerConfig, ServerError, ShutdownReport,
 };
 pub use store::{

@@ -286,6 +286,36 @@ pub struct ShutdownReport {
     pub jobs_completed: u64,
 }
 
+/// A cheap, copyable sample of the pool's live counters for periodic
+/// monitoring — see [`ExtractionServer::sample`]. Counters are
+/// cumulative since server start; `queue_depth` and the quantiles are
+/// instantaneous.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolSample {
+    /// Requests accepted into a shard queue.
+    pub submitted: u64,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests completed with an error.
+    pub errors: u64,
+    /// Requests rejected by backpressure.
+    pub rejected: u64,
+    /// Jobs currently queued, summed over shards.
+    pub queue_depth: u64,
+    /// Total queue slots (shards × per-shard capacity).
+    pub queue_capacity: u64,
+    /// 99th-percentile end-to-end latency in µs (cumulative histogram).
+    pub latency_p99_us: u64,
+    /// 99th-percentile plan-execution latency in µs (cumulative).
+    pub exec_p99_us: u64,
+    /// Result-cache hits.
+    pub cache_hits: u64,
+    /// Result-cache misses.
+    pub cache_misses: u64,
+    /// Durable-store writes that failed.
+    pub store_write_errors: u64,
+}
+
 /// Per-(wrapper, url) change detection for `Web`-sourced requests: when
 /// the fetched body differs from the last one seen, the previous cache
 /// entry is proactively invalidated. The detector is fed the hex content
@@ -608,6 +638,39 @@ impl ExtractionServer {
             self.shared.store.cache_stats(),
             self.shared.store.store_stats(),
         )
+    }
+
+    /// A cheap point-in-time sample of the pool's counters for periodic
+    /// monitoring: raw totals, queue occupancy and two latency
+    /// quantiles, with none of the per-stage summary allocation
+    /// [`metrics`](ExtractionServer::metrics) performs. This is the
+    /// sampler hook the gateway's metrics-history thread calls once per
+    /// tick.
+    pub fn sample(&self) -> PoolSample {
+        let queue_depth = {
+            let queues = self.queues.read().expect("queues poisoned");
+            queues.iter().map(|q| q.len() as u64).sum()
+        };
+        let metrics = &self.shared.metrics;
+        let cache = self.shared.store.cache_stats();
+        let store = self.shared.store.store_stats();
+        PoolSample {
+            submitted: metrics.submitted.load(Ordering::Relaxed),
+            completed: metrics.completed.load(Ordering::Relaxed),
+            errors: metrics.errors.load(Ordering::Relaxed),
+            rejected: metrics.rejected.load(Ordering::Relaxed),
+            queue_depth,
+            queue_capacity: (self.config.shards * self.config.queue_capacity) as u64,
+            latency_p99_us: metrics.latency.quantile_us(0.99).unwrap_or(0),
+            exec_p99_us: metrics
+                .stages
+                .get(Stage::PlanExec)
+                .quantile_us(0.99)
+                .unwrap_or(0),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            store_write_errors: store.write_errors,
+        }
     }
 
     /// The stored entry — result, XML and provenance — for `key`, from

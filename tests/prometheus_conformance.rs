@@ -9,8 +9,11 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use lixto::core::XmlDesign;
-use lixto::http::{metrics_json, render_prometheus, GatewayObservations, Json, LoopGauges};
-use lixto::obs::RuleStat;
+use lixto::http::{
+    metrics_json, metrics_json_full, render_prometheus, render_prometheus_full, AlertsSnapshot,
+    GatewayObservations, Json, LoopGauges,
+};
+use lixto::obs::{RuleSnapshot, RuleStat, Severity};
 use lixto::server::{
     ExtractionRequest, ExtractionServer, RequestSource, ServerConfig, WrapperRegistry,
 };
@@ -344,6 +347,35 @@ fn expected_samples(json: &Json) -> HashMap<String, f64> {
     put("lixto_http_wake_p50_microseconds", &[], u(wake, "p50_us"));
     put("lixto_http_wake_p99_microseconds", &[], u(wake, "p99_us"));
 
+    // The alert surface only exists while the monitor runs; its absence
+    // from the JSON must mean its absence from the text, which the
+    // bidirectional check enforces by leaving these samples out.
+    if let Some(alerts) = json.get("alerts") {
+        let rank = |severity: &str| match severity {
+            "ok" => 0.0,
+            "degraded" => 1.0,
+            "critical" => 2.0,
+            other => panic!("unknown severity {other:?}"),
+        };
+        let verdict = alerts.get("verdict").and_then(Json::as_str).unwrap();
+        put("lixto_alert_verdict", &[], rank(verdict));
+        for rule in alerts.get("rules").and_then(Json::as_array).unwrap() {
+            let name = rule.get("rule").and_then(Json::as_str).unwrap();
+            let severity = rule.get("severity").and_then(Json::as_str).unwrap();
+            put("lixto_alert_severity", &[("rule", name)], rank(severity));
+            put(
+                "lixto_alert_fired_total",
+                &[("rule", name)],
+                u(rule, "fired_total"),
+            );
+            put(
+                "lixto_alert_resolved_total",
+                &[("rule", name)],
+                u(rule, "resolved_total"),
+            );
+        }
+    }
+
     out
 }
 
@@ -480,6 +512,69 @@ fn prometheus_text_round_trips_against_the_json_snapshot() {
     }));
 
     server.initiate_shutdown();
+}
+
+#[test]
+fn alert_series_round_trip_and_vanish_when_the_monitor_is_off() {
+    let snapshot = lixto::server::MetricsSnapshot::default();
+    let stats = lixto::http::GatewayStats::default();
+    let observations = GatewayObservations::default();
+
+    // Monitor off: the `_full` renderers with no alert snapshot are
+    // byte-identical to the plain ones — the documented disabled
+    // surface.
+    assert_eq!(
+        metrics_json_full(&snapshot, &stats, &observations, None).to_string(),
+        metrics_json(&snapshot, &stats, &observations).to_string()
+    );
+    assert_eq!(
+        render_prometheus_full(&snapshot, &stats, &observations, None),
+        render_prometheus(&snapshot, &stats, &observations)
+    );
+
+    // Monitor on: the alert families obey the exposition grammar and
+    // agree with the JSON rendering, sample for sample.
+    let rule = |name: &'static str, severity: Severity, fired: u64, resolved: u64| RuleSnapshot {
+        rule: name,
+        metric: name,
+        severity,
+        value: 0.5,
+        degraded: 0.75,
+        critical: 2.0,
+        clear: 0.3,
+        since_ms: 1_234,
+        fired_total: fired,
+        resolved_total: resolved,
+    };
+    let alerts = AlertsSnapshot {
+        verdict: Severity::Critical,
+        rules: vec![
+            rule("error_rate", Severity::Critical, 3, 2),
+            rule("queue_saturation", Severity::Degraded, 1, 0),
+            rule("wake_latency", Severity::Ok, 0, 0),
+        ],
+    };
+    let json = metrics_json_full(&snapshot, &stats, &observations, Some(&alerts));
+    let text = render_prometheus_full(&snapshot, &stats, &observations, Some(&alerts));
+    let samples = parse_exposition(&text);
+    let mut expected = expected_samples(&json);
+    for sample in &samples {
+        let key = sample_key(sample);
+        let want = expected
+            .remove(&key)
+            .unwrap_or_else(|| panic!("text sample {key} absent from the JSON rendering"));
+        assert!(
+            (sample.value - want).abs() < 1e-9,
+            "{key}: text says {} but JSON says {want}",
+            sample.value
+        );
+    }
+    assert!(
+        expected.is_empty(),
+        "JSON values missing from the text rendering: {:?}",
+        expected.keys().collect::<Vec<_>>()
+    );
+    assert!(text.contains("lixto_alert_verdict 2"));
 }
 
 #[test]

@@ -1,0 +1,208 @@
+//! Property tests for the metrics-history ring: whatever the sampler
+//! records, every windowed answer must agree with a direct recomputation
+//! from the raw samples — across step boundaries, counter resets and
+//! retention wraparound.
+
+use proptest::prelude::*;
+
+use lixto::obs::{FieldSpec, FieldStats, TimeSeries, WindowStats};
+
+/// A recorded history: timestamps strictly increasing by one interval,
+/// one counter column (with resets) and one gauge column.
+#[derive(Debug, Clone)]
+struct History {
+    interval_ms: u64,
+    capacity: usize,
+    /// `(counter, gauge)` per tick.
+    ticks: Vec<(u64, u64)>,
+}
+
+fn arb_history() -> impl Strategy<Value = History> {
+    let interval = proptest::sample::select(vec![250u64, 1000, 5000]);
+    let capacity = 2usize..12;
+    // Counter increments, with an occasional reset-to-small marker
+    // (the third component hits 0 roughly one draw in ten).
+    let tick = (0u64..50, 0u64..1_000_000, 0u64..10);
+    let ticks = proptest::collection::vec(tick, 1..40);
+    (interval, capacity, ticks).prop_map(|(interval_ms, capacity, raw)| {
+        let mut counter = 0u64;
+        let mut ticks = Vec::with_capacity(raw.len());
+        for (increment, gauge, reset_draw) in raw {
+            if reset_draw == 0 {
+                // The process restarted: the counter starts over below
+                // its previous value.
+                counter = increment / 10;
+            } else {
+                counter += increment;
+            }
+            ticks.push((counter, gauge));
+        }
+        History {
+            interval_ms,
+            capacity,
+            ticks,
+        }
+    })
+}
+
+fn record(history: &History) -> (TimeSeries, Vec<(u64, u64, u64)>) {
+    let series = TimeSeries::new(
+        vec![FieldSpec::counter("c"), FieldSpec::gauge("g")],
+        history.interval_ms,
+        history.capacity,
+    );
+    let mut retained = Vec::new();
+    for (i, &(counter, gauge)) in history.ticks.iter().enumerate() {
+        // Offset so the first timestamp is nonzero.
+        let at = (i as u64 + 1) * history.interval_ms;
+        series.record(at, &[counter, gauge]);
+        retained.push((at, counter, gauge));
+    }
+    // Mirror the ring's bounded retention.
+    let overflow = retained.len().saturating_sub(series.capacity());
+    retained.drain(..overflow);
+    (series, retained)
+}
+
+/// Reference implementation of the reset-aware counter delta over
+/// `(from, to]`: pairwise deltas between adjacent retained samples,
+/// including the baseline edge from the newest sample at or before
+/// `from`.
+fn reference_counter_delta(retained: &[(u64, u64, u64)], from: u64, to: u64) -> u64 {
+    let mut delta = 0u64;
+    let mut prev: Option<u64> = retained
+        .iter()
+        .rev()
+        .find(|&&(at, _, _)| at <= from)
+        .map(|&(_, c, _)| c);
+    for &(at, counter, _) in retained {
+        if at <= from || at > to {
+            continue;
+        }
+        if let Some(prev) = prev {
+            delta += if counter >= prev {
+                counter - prev
+            } else {
+                counter
+            };
+        }
+        prev = Some(counter);
+    }
+    delta
+}
+
+/// Reference nearest-rank quantile over the gauge values in `(from, to]`.
+fn reference_gauge_quantile(
+    retained: &[(u64, u64, u64)],
+    from: u64,
+    to: u64,
+    q: f64,
+) -> Option<u64> {
+    let mut values: Vec<u64> = retained
+        .iter()
+        .filter(|&&(at, _, _)| at > from && at <= to)
+        .map(|&(_, _, g)| g)
+        .collect();
+    if values.is_empty() {
+        return None;
+    }
+    values.sort_unstable();
+    let rank = ((q * values.len() as f64).ceil() as usize).max(1);
+    Some(values[rank - 1])
+}
+
+fn counter_delta(window: &WindowStats) -> u64 {
+    match window.fields.iter().find(|f| f.name == "c").unwrap().stats {
+        FieldStats::Counter { delta, .. } => delta,
+        _ => panic!("c is a counter"),
+    }
+}
+
+fn gauge_quantiles(window: &WindowStats) -> Option<(u64, u64)> {
+    match window.fields.iter().find(|f| f.name == "g").unwrap().stats {
+        FieldStats::Gauge { p50, p99, .. } => Some((p50, p99)),
+        _ => panic!("g is a gauge"),
+    }
+}
+
+proptest! {
+    /// Any window's counter delta and gauge quantiles equal a direct
+    /// recomputation from the retained raw samples — under retention
+    /// wraparound and counter resets alike.
+    #[test]
+    fn window_stats_agree_with_raw_recomputation(
+        history in arb_history(),
+        from_ticks in 0u64..45,
+        span_ticks in 0u64..45,
+    ) {
+        let (series, retained) = record(&history);
+        let from = from_ticks * history.interval_ms;
+        let to = from + span_ticks * history.interval_ms;
+        let window = series.window(from, to);
+        prop_assert_eq!(
+            counter_delta(&window),
+            reference_counter_delta(&retained, from, to),
+            "window ({from}, {to}] of {retained:?}"
+        );
+        let want_p50 = reference_gauge_quantile(&retained, from, to, 0.50);
+        let want_p99 = reference_gauge_quantile(&retained, from, to, 0.99);
+        match (gauge_quantiles(&window), want_p50) {
+            (quantiles, None) => {
+                // An empty window reports zeroed gauge stats.
+                prop_assert_eq!(window.samples, 0);
+                prop_assert_eq!(quantiles, Some((0, 0)));
+            }
+            (Some((p50, p99)), Some(want)) => {
+                prop_assert_eq!(p50, want);
+                prop_assert_eq!(p99, want_p99.unwrap());
+            }
+            (None, Some(_)) => prop_assert!(false, "gauge stats missing"),
+        }
+    }
+
+    /// Step tiles partition their window: summing per-step counter
+    /// deltas across any step size reproduces the whole-window delta,
+    /// interval-aligned or not.
+    #[test]
+    fn step_deltas_are_additive_across_boundaries(
+        history in arb_history(),
+        step_ms in 1u64..12_000,
+    ) {
+        let (series, retained) = record(&history);
+        let to = (history.ticks.len() as u64 + 1) * history.interval_ms;
+        let whole = series.window(0, to);
+        let steps = series.steps(0, to, step_ms);
+        let step_sum: u64 = steps.iter().map(counter_delta).sum();
+        prop_assert_eq!(
+            step_sum,
+            counter_delta(&whole),
+            "steps of {step_ms}ms over {retained:?}"
+        );
+        // The tiles cover (0, to] without gaps or overlap.
+        for pair in steps.windows(2) {
+            prop_assert_eq!(pair[0].to_ms, pair[1].from_ms);
+        }
+        if let (Some(first), Some(last)) = (steps.first(), steps.last()) {
+            prop_assert_eq!(first.from_ms, 0);
+            prop_assert!(last.to_ms >= to);
+        }
+    }
+
+    /// Retention keeps exactly the newest `capacity` samples: windows
+    /// reaching further back see nothing older.
+    #[test]
+    fn retention_drops_the_oldest_samples(history in arb_history()) {
+        let (series, retained) = record(&history);
+        prop_assert_eq!(series.len(), retained.len());
+        prop_assert!(series.len() <= series.capacity());
+        let newest = (history.ticks.len() as u64) * history.interval_ms;
+        let all = series.window(0, newest);
+        // The earliest retained sample has no predecessor, so it opens
+        // the window without contributing a delta.
+        prop_assert_eq!(all.samples as usize, retained.len());
+        prop_assert_eq!(
+            counter_delta(&all),
+            reference_counter_delta(&retained, 0, newest)
+        );
+    }
+}
