@@ -730,6 +730,7 @@ fn monitor_tick_sample(shared: &SharedGateway) -> TickSample {
         parked,
         wake_count: shared.wake.count(),
         wake_p99_us: shared.wake.quantile_us(0.99).unwrap_or(0),
+        wake_buckets: shared.wake.buckets(),
     }
 }
 
@@ -2405,6 +2406,9 @@ fn get_metrics(request: &Request, shared: &SharedGateway) -> Response {
 /// `GET /metrics/history?window=SECS&step=SECS`: windowed rates and
 /// quantiles over the monitor's history ring — a whole-window summary
 /// plus per-step tiles. Defaults: the last 5 minutes in 1-minute steps.
+/// The parameters are untrusted; [`Monitor::history_json`] clamps the
+/// window to the retained span and bounds the tile count, so a hostile
+/// `window`/`step` pair cannot pin the event loop.
 fn get_metrics_history(request: &Request, shared: &SharedGateway) -> Response {
     let monitor = shared.monitor.as_ref().expect("routed without monitor");
     let parse_secs = |name: &str, default: u64| {

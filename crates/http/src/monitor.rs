@@ -23,6 +23,7 @@
 //! the socket plumbing (chunked streaming, subscriber lifecycle) lives
 //! in [`gateway`](crate::gateway).
 
+use std::collections::VecDeque;
 use std::sync::atomic::AtomicUsize;
 use std::sync::{Condvar, Mutex};
 use std::time::Duration;
@@ -31,7 +32,7 @@ use lixto_obs::{
     info_event, unix_millis, warn_event, AlertRule, AlertTransition, Direction, FieldSpec,
     FieldStats, RuleSnapshot, Severity, TimeSeries, Watchdog, WindowStats,
 };
-use lixto_server::PoolSample;
+use lixto_server::{bucket_quantile_us, PoolSample, LATENCY_BUCKETS};
 
 use crate::json::{obj, Json};
 
@@ -61,6 +62,10 @@ pub(crate) struct TickSample {
     pub wake_count: u64,
     /// 99th-percentile wake latency in µs.
     pub wake_p99_us: u64,
+    /// Raw wake-latency histogram bucket counters (cumulative); the
+    /// watchdog diffs consecutive ticks' buckets for windowed wake
+    /// quantiles (see [`Monitor::windowed_latency`]).
+    pub wake_buckets: [u64; LATENCY_BUCKETS],
 }
 
 /// Schema of the sampled series, in column order. `TickSample::values`
@@ -198,6 +203,14 @@ pub(crate) struct Monitor {
     pub watchdog: Watchdog,
     interval_ms: u64,
     eval_window_ms: u64,
+    eval_ticks: usize,
+    /// Cumulative latency-histogram bucket snapshots, one per tick,
+    /// newest last, at most `eval_ticks + 1` retained. Diffing the
+    /// newest against the oldest yields the evaluation window's *own*
+    /// latency distribution — unlike the since-start p99 gauges, these
+    /// decay completely once an incident leaves the window, so the
+    /// latency rules' hysteresis actually resolves.
+    latency_window: Mutex<VecDeque<LatencySnap>>,
     /// Connections currently subscribed to `GET /debug/live`, across
     /// all event loops; ticks are only broadcast while nonzero.
     pub live_subscribers: AtomicUsize,
@@ -207,15 +220,44 @@ pub(crate) struct Monitor {
     stop_cv: Condvar,
 }
 
+/// One tick's cumulative latency bucket counters (exec stage + wake).
+#[derive(Clone, Copy)]
+struct LatencySnap {
+    exec: [u64; LATENCY_BUCKETS],
+    wake: [u64; LATENCY_BUCKETS],
+}
+
+/// Reset-aware bucket diff, mirroring the series' counter semantics: a
+/// decrease in any bucket means the histogram restarted, so the new
+/// counts are the whole delta.
+fn delta_counts(
+    oldest: &[u64; LATENCY_BUCKETS],
+    newest: &[u64; LATENCY_BUCKETS],
+) -> [u64; LATENCY_BUCKETS] {
+    let reset = newest.iter().zip(oldest).any(|(n, o)| n < o);
+    let mut out = [0u64; LATENCY_BUCKETS];
+    for (i, slot) in out.iter_mut().enumerate() {
+        *slot = if reset {
+            newest[i]
+        } else {
+            newest[i] - oldest[i]
+        };
+    }
+    out
+}
+
 impl Monitor {
     pub fn new(interval: Duration, retention: usize, eval_ticks: u32) -> Monitor {
         let interval_ms = interval.as_millis().clamp(1, u128::from(u64::MAX)) as u64;
-        let eval_window_ms = interval_ms.saturating_mul(u64::from(eval_ticks.max(1)));
+        let eval_ticks = eval_ticks.max(1) as usize;
+        let eval_window_ms = interval_ms.saturating_mul(eval_ticks as u64);
         Monitor {
             series: TimeSeries::new(schema(), interval_ms, retention),
             watchdog: Watchdog::new(rules()),
             interval_ms,
             eval_window_ms,
+            eval_ticks,
+            latency_window: Mutex::new(VecDeque::new()),
             live_subscribers: AtomicUsize::new(0),
             stop: Mutex::new(false),
             stop_cv: Condvar::new(),
@@ -262,7 +304,8 @@ impl Monitor {
         let window = self
             .series
             .window(now_ms.saturating_sub(self.eval_window_ms), now_ms);
-        let metrics = derived_metrics(&window, sample);
+        let (exec_p99_us, wake_p99_us) = self.windowed_latency(sample);
+        let metrics = derived_metrics(&window, sample, exec_p99_us, wake_p99_us);
         let named: Vec<(&str, f64)> = metrics.iter().map(|(n, v)| (*n, *v)).collect();
         let transitions = self.watchdog.evaluate(now_ms, &named);
         for transition in &transitions {
@@ -290,6 +333,32 @@ impl Monitor {
             events.push(transition_event(now_ms, transition));
         }
         events
+    }
+
+    /// Windowed latency p99s for the watchdog: append this tick's
+    /// bucket snapshot, trim to the evaluation window, and diff the
+    /// newest against the oldest retained snapshot. `None` when the
+    /// window saw no observations, which freezes the rule (like the
+    /// denominator-guarded rates) instead of feeding it a fake zero.
+    /// Called once per tick, by the sampler thread only.
+    fn windowed_latency(&self, sample: &TickSample) -> (Option<u64>, Option<u64>) {
+        let mut ring = self
+            .latency_window
+            .lock()
+            .expect("latency window poisoned");
+        ring.push_back(LatencySnap {
+            exec: sample.pool.exec_buckets,
+            wake: sample.wake_buckets,
+        });
+        while ring.len() > self.eval_ticks + 1 {
+            ring.pop_front();
+        }
+        let oldest = ring.front().expect("just pushed");
+        let newest = ring.back().expect("just pushed");
+        (
+            bucket_quantile_us(&delta_counts(&oldest.exec, &newest.exec), 0.99),
+            bucket_quantile_us(&delta_counts(&oldest.wake, &newest.wake), 0.99),
+        )
     }
 
     /// The greeting event a new `/debug/live` subscriber receives
@@ -379,8 +448,21 @@ impl Monitor {
 
     /// The `GET /metrics/history` body: a whole-window summary plus
     /// per-step tiles over `(now - window_ms, now]`.
+    ///
+    /// The request is clamped to what the ring can answer — callers
+    /// (the gateway) pass query parameters through unvalidated, and an
+    /// unbounded window/step pair would otherwise tile billions of
+    /// windows on the serving thread. `window_ms` is capped at the
+    /// retained span (`interval × retention`); `step_ms` is raised so
+    /// at most `retention` tiles are produced (a finer step than one
+    /// tile per retained sample only yields empty tiles). The clamped
+    /// values are echoed in the body.
     pub fn history_json(&self, window_ms: u64, step_ms: u64) -> Json {
         let now_ms = unix_millis();
+        let retention = self.series.capacity() as u64;
+        let retained_ms = self.interval_ms.saturating_mul(retention);
+        let window_ms = window_ms.clamp(self.interval_ms, retained_ms);
+        let step_ms = step_ms.max(window_ms.div_ceil(retention)).max(1);
         let from_ms = now_ms.saturating_sub(window_ms);
         let summary = self.series.window(from_ms, now_ms);
         let steps: Vec<Json> = self
@@ -403,8 +485,18 @@ impl Monitor {
 
 /// Compute the derived SLO metrics the watchdog rules consume. Rates
 /// that would divide by (near) zero are omitted, freezing their rules —
-/// see [`Watchdog::evaluate`].
-fn derived_metrics(window: &WindowStats, sample: &TickSample) -> Vec<(&'static str, f64)> {
+/// see [`Watchdog::evaluate`]. The latency p99s are *windowed* values
+/// from [`Monitor::windowed_latency`] (bucket diffs over the evaluation
+/// window), not the series' since-start gauges: a cumulative p99 decays
+/// only asymptotically after an incident, so rules fed from it could
+/// stay fired long after recovery (or mask a fresh regression behind a
+/// long healthy history).
+fn derived_metrics(
+    window: &WindowStats,
+    sample: &TickSample,
+    exec_p99_us: Option<u64>,
+    wake_p99_us: Option<u64>,
+) -> Vec<(&'static str, f64)> {
     let delta = |name: &str| -> u64 {
         window
             .fields
@@ -433,7 +525,9 @@ fn derived_metrics(window: &WindowStats, sample: &TickSample) -> Vec<(&'static s
     if attempts >= MIN_ATTEMPTS_FOR_ERROR_RATE {
         metrics.push(("error_rate", errors as f64 / attempts as f64));
     }
-    metrics.push(("exec_p99_us", gauge_max("exec_p99_us") as f64));
+    if let Some(p99) = exec_p99_us {
+        metrics.push(("exec_p99_us", p99 as f64));
+    }
     if sample.pool.queue_capacity > 0 {
         metrics.push((
             "queue_saturation",
@@ -449,7 +543,9 @@ fn derived_metrics(window: &WindowStats, sample: &TickSample) -> Vec<(&'static s
         "store_write_errors_delta",
         delta("store_write_errors") as f64,
     ));
-    metrics.push(("wake_p99_us", gauge_max("wake_p99_us") as f64));
+    if let Some(p99) = wake_p99_us {
+        metrics.push(("wake_p99_us", p99 as f64));
+    }
     metrics
 }
 
@@ -572,6 +668,84 @@ mod tests {
             monitor.tick(&sample(0, 0, 0));
         }
         assert_eq!(monitor.watchdog.verdict(), Severity::Ok);
+    }
+
+    #[test]
+    fn exec_latency_alert_clears_once_the_incident_leaves_the_window() {
+        let monitor = Monitor::new(Duration::from_millis(10), 16, 2);
+        let mut buckets = [0u64; LATENCY_BUCKETS];
+        let mut s = sample(10, 0, 0);
+        monitor.tick(&s); // baseline snapshot
+        // A burst of ~500 ms executions: bucket 19 = [262144, 524288) µs.
+        buckets[19] = 50;
+        s.pool.exec_buckets = buckets;
+        monitor.tick(&s);
+        assert_eq!(monitor.watchdog.verdict(), Severity::Degraded);
+        // The burst stops; only ~200 µs executions afterwards. The
+        // *cumulative* p99 stays pinned at the burst bucket forever
+        // (50 slow of 550 total is still past the 99th rank), so rules
+        // fed from it would never cross the 200 ms clear threshold —
+        // the windowed bucket diff must resolve the alert instead.
+        for _ in 0..5 {
+            buckets[8] += 100;
+            s.pool.exec_buckets = buckets;
+            monitor.tick(&s);
+        }
+        assert_eq!(monitor.watchdog.verdict(), Severity::Ok);
+    }
+
+    #[test]
+    fn wake_latency_uses_windowed_bucket_diffs() {
+        let monitor = Monitor::new(Duration::from_millis(10), 16, 2);
+        let mut buckets = [0u64; LATENCY_BUCKETS];
+        let mut s = sample(10, 0, 0);
+        monitor.tick(&s);
+        // ~60 ms wakes (bucket 16) for two ticks: fires after
+        // `for_ticks = 2`.
+        for add in [20, 20] {
+            buckets[16] += add;
+            s.wake_buckets = buckets;
+            monitor.tick(&s);
+        }
+        assert_eq!(monitor.watchdog.verdict(), Severity::Degraded);
+        // Healthy ~1 ms wakes afterwards: clears once the slow window
+        // ages out.
+        for _ in 0..5 {
+            buckets[10] += 100;
+            s.wake_buckets = buckets;
+            monitor.tick(&s);
+        }
+        assert_eq!(monitor.watchdog.verdict(), Severity::Ok);
+    }
+
+    #[test]
+    fn idle_latency_windows_freeze_instead_of_feeding_zero() {
+        // No observations at all: the latency rules must receive no
+        // value (frozen), not a fake 0 that would count as "cleared".
+        let window = WindowStats {
+            from_ms: 0,
+            to_ms: 1000,
+            samples: 0,
+            fields: Vec::new(),
+        };
+        let metrics = derived_metrics(&window, &sample(0, 0, 0), None, None);
+        assert!(!metrics.iter().any(|(n, _)| *n == "exec_p99_us"));
+        assert!(!metrics.iter().any(|(n, _)| *n == "wake_p99_us"));
+    }
+
+    #[test]
+    fn history_json_clamps_hostile_window_and_step() {
+        let monitor = Monitor::new(Duration::from_millis(10), 16, 4);
+        monitor.tick(&sample(1, 0, 0));
+        // The DoS shape: a u64::MAX window with a 1 ms step would tile
+        // ~1.8e16 windows unclamped. Clamped, the window caps at the
+        // retained span (10 ms × 16) and the step is raised so at most
+        // `retention` tiles come back.
+        let history = monitor.history_json(u64::MAX, 1);
+        assert_eq!(history.get("window_ms").and_then(Json::as_u64), Some(160));
+        assert_eq!(history.get("step_ms").and_then(Json::as_u64), Some(10));
+        let steps = history.get("steps").and_then(Json::as_array).unwrap().len();
+        assert_eq!(steps, 16);
     }
 
     #[test]

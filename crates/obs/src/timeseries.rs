@@ -230,34 +230,42 @@ impl TimeSeries {
 
     /// Per-field stats over the window `(from_ms, to_ms]`.
     pub fn window(&self, from_ms: u64, to_ms: u64) -> WindowStats {
-        let ring = self.ring.lock().unwrap();
-        self.window_locked(&ring, from_ms, to_ms)
+        let samples = self.samples();
+        self.window_of(&samples, from_ms, to_ms)
     }
 
     /// Tile `(from_ms, to_ms]` into consecutive `step_ms` windows
     /// (oldest first; the final step is truncated to `to_ms`) and
     /// compute each. Counter deltas across the steps sum to the whole
     /// window's delta.
+    ///
+    /// The retained samples are copied out under one short lock (they
+    /// are bounded by `capacity`) and the tiling runs lock-free, so a
+    /// large query never blocks the sampler's `record` or concurrent
+    /// window queries. The step count is the caller's responsibility:
+    /// tiling is `O(steps × capacity × fields)`, so bound
+    /// `(to_ms - from_ms) / step_ms` before serving untrusted input
+    /// (the gateway clamps it to the ring's retention).
     pub fn steps(&self, from_ms: u64, to_ms: u64, step_ms: u64) -> Vec<WindowStats> {
         let step_ms = step_ms.max(1);
-        let ring = self.ring.lock().unwrap();
+        let samples = self.samples();
         let mut out = Vec::new();
         let mut start = from_ms;
         while start < to_ms {
-            let end = (start + step_ms).min(to_ms);
-            out.push(self.window_locked(&ring, start, end));
+            let end = start.saturating_add(step_ms).min(to_ms);
+            out.push(self.window_of(&samples, start, end));
             start = end;
         }
         out
     }
 
-    fn window_locked(&self, ring: &VecDeque<Sample>, from_ms: u64, to_ms: u64) -> WindowStats {
+    fn window_of(&self, samples: &[Sample], from_ms: u64, to_ms: u64) -> WindowStats {
         // Baseline for counters: the newest sample at-or-before the
         // window start. Samples are append-ordered, which tracks
         // timestamp order for a monotone sampler clock.
         let mut baseline: Option<&Sample> = None;
         let mut inside: Vec<&Sample> = Vec::new();
-        for sample in ring {
+        for sample in samples {
             if sample.unix_ms <= from_ms {
                 baseline = Some(sample);
             } else if sample.unix_ms <= to_ms {
@@ -451,5 +459,16 @@ mod tests {
     #[should_panic(expected = "sample width")]
     fn record_rejects_wrong_width() {
         series().record(0, &[1]);
+    }
+
+    #[test]
+    fn steps_tolerate_extreme_bounds() {
+        let ts = series();
+        ts.record(1000, &[1, 1]);
+        // A step wider than the window must not overflow the cursor:
+        // one truncated tile covers the whole range.
+        let steps = ts.steps(0, u64::MAX, u64::MAX);
+        assert_eq!(steps.len(), 1);
+        assert_eq!((steps[0].from_ms, steps[0].to_ms), (0, u64::MAX));
     }
 }

@@ -61,7 +61,8 @@ pub use cache::{
 };
 pub use lixto_elog::{CompileError, ParseError, WrapperPlan};
 pub use metrics::{
-    LatencyHistogram, MetricsSnapshot, ServerMetrics, StageHistograms, StageSummary,
+    bucket_quantile_us, LatencyHistogram, MetricsSnapshot, ServerMetrics, StageHistograms,
+    StageSummary, LATENCY_BUCKETS,
 };
 pub use registry::{DeployError, RegisteredWrapper, WrapperRegistry, WrapperSpec};
 pub use server::{

@@ -15,7 +15,10 @@ use crate::cache::CacheStats;
 use crate::store::StoreStats;
 
 /// Number of histogram buckets; 2^30 µs ≈ 18 minutes caps the top one.
-const BUCKETS: usize = 31;
+/// Public so consumers can carry raw bucket snapshots (see
+/// [`LatencyHistogram::buckets`]) in fixed-size arrays.
+pub const LATENCY_BUCKETS: usize = 31;
+const BUCKETS: usize = LATENCY_BUCKETS;
 
 /// Lock-free fixed-bucket latency histogram.
 #[derive(Default)]
@@ -45,29 +48,46 @@ impl LatencyHistogram {
         self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
     }
 
+    /// A snapshot of the raw bucket counters, in bucket order. Counters
+    /// are cumulative since construction; diffing two snapshots yields
+    /// the distribution of the observations recorded between them
+    /// (see [`bucket_quantile_us`]).
+    pub fn buckets(&self) -> [u64; LATENCY_BUCKETS] {
+        let mut out = [0u64; LATENCY_BUCKETS];
+        for (slot, bucket) in out.iter_mut().zip(&self.buckets) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        out
+    }
+
     /// The upper bound (µs) of the bucket containing quantile `q` in
     /// \[0,1\]; `None` with no observations. Resolution is the bucket
     /// width, i.e. a factor of two.
     pub fn quantile_us(&self, q: f64) -> Option<u64> {
-        let counts: Vec<u64> = self
-            .buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return None;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
-        let mut cumulative = 0u64;
-        for (i, c) in counts.iter().enumerate() {
-            cumulative += c;
-            if cumulative >= rank {
-                return Some(if i == 0 { 1 } else { 1u64 << i });
-            }
-        }
-        Some(1u64 << (BUCKETS - 1))
+        bucket_quantile_us(&self.buckets(), q)
     }
+}
+
+/// The quantile walk over a bucket-count slice laid out like
+/// [`LatencyHistogram`] (power-of-two µs buckets): the upper bound (µs)
+/// of the bucket containing quantile `q` in \[0,1\]; `None` with no
+/// observations. Shared by live histograms and *windowed* queries that
+/// diff two [`LatencyHistogram::buckets`] snapshots — the counts need
+/// not be a whole histogram's, only bucket-aligned.
+pub fn bucket_quantile_us(counts: &[u64], q: f64) -> Option<u64> {
+    let total: u64 = counts.iter().sum();
+    if total == 0 || counts.is_empty() {
+        return None;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+    let mut cumulative = 0u64;
+    for (i, c) in counts.iter().enumerate() {
+        cumulative += c;
+        if cumulative >= rank {
+            return Some(if i == 0 { 1 } else { 1u64 << i });
+        }
+    }
+    Some(1u64 << (counts.len() - 1))
 }
 
 /// One latency histogram per pipeline [`Stage`], recorded only for
@@ -249,6 +269,25 @@ mod tests {
         assert_eq!(h.quantile_us(0.5), Some(128));
         assert_eq!(h.quantile_us(0.99), Some(128));
         assert_eq!(h.quantile_us(1.0), Some(32768));
+    }
+
+    #[test]
+    fn bucket_diff_quantiles_cover_only_the_window() {
+        let h = LatencyHistogram::new();
+        for _ in 0..100 {
+            h.record(Duration::from_millis(500)); // a slow burst
+        }
+        let before = h.buckets();
+        for _ in 0..100 {
+            h.record(Duration::from_micros(100)); // recovery traffic
+        }
+        let after = h.buckets();
+        // The cumulative p99 stays pinned at the burst's bucket...
+        assert_eq!(h.quantile_us(0.99), Some(524_288));
+        // ...while the snapshot diff sees only the fast window.
+        let delta: Vec<u64> = after.iter().zip(before).map(|(a, b)| a - b).collect();
+        assert_eq!(bucket_quantile_us(&delta, 0.99), Some(128));
+        assert_eq!(bucket_quantile_us(&[0; LATENCY_BUCKETS], 0.99), None);
     }
 
     #[test]

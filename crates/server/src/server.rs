@@ -34,7 +34,7 @@ use lixto_obs::{debug_event, error_event, warn_event, Stage, StageTimes};
 use lixto_transform::ChangeDetector;
 
 use crate::cache::{content_address, fxhash64, CacheKey, CachedExtraction, CrawlRecord};
-use crate::metrics::{MetricsSnapshot, ServerMetrics};
+use crate::metrics::{MetricsSnapshot, ServerMetrics, LATENCY_BUCKETS};
 use crate::registry::{RegisteredWrapper, WrapperRegistry};
 use crate::store::{InstanceProvenance, Provenance, StoreConfig, TieredStore};
 
@@ -308,6 +308,12 @@ pub struct PoolSample {
     pub latency_p99_us: u64,
     /// 99th-percentile plan-execution latency in µs (cumulative).
     pub exec_p99_us: u64,
+    /// Raw `exec`-stage histogram bucket counters (cumulative).
+    /// Diffing two samples' buckets gives the latency distribution of
+    /// just the executions between them — the gateway's watchdog uses
+    /// this for *windowed* p99s with working hysteresis, which the
+    /// since-start `exec_p99_us` cannot provide.
+    pub exec_buckets: [u64; LATENCY_BUCKETS],
     /// Result-cache hits.
     pub cache_hits: u64,
     /// Result-cache misses.
@@ -667,6 +673,7 @@ impl ExtractionServer {
                 .get(Stage::PlanExec)
                 .quantile_us(0.99)
                 .unwrap_or(0),
+            exec_buckets: metrics.stages.get(Stage::PlanExec).buckets(),
             cache_hits: cache.hits,
             cache_misses: cache.misses,
             store_write_errors: store.write_errors,

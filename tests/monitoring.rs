@@ -294,6 +294,47 @@ fn history_windows_track_request_counters() {
 }
 
 #[test]
+fn hostile_history_params_are_clamped_to_retained_data() {
+    let web = Arc::new(GatedWeb::new());
+    let (gateway, server) = monitored_stack(web);
+    let mut client = HttpClient::connect(gateway.addr()).unwrap();
+
+    // A u64::MAX window with a 1-second step once tiled ~1.7 billion
+    // windows on the event loop. The gateway must clamp the window to
+    // the ring's retained span and bound the tile count by retention,
+    // answering promptly.
+    let started = Instant::now();
+    let response = client
+        .get("/metrics/history?window=18446744073709551615&step=1")
+        .unwrap();
+    assert_eq!(response.status, 200);
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "history took {:?}",
+        started.elapsed()
+    );
+    let history = response.json().unwrap();
+    let retention = history
+        .get("retention")
+        .and_then(Json::as_u64)
+        .unwrap();
+    let steps = history
+        .get("steps")
+        .and_then(Json::as_array)
+        .unwrap()
+        .len() as u64;
+    assert!(steps <= retention, "{steps} tiles > retention {retention}");
+    // The echoed window never exceeds what the ring can answer.
+    let window_ms = history.get("window_ms").and_then(Json::as_u64).unwrap();
+    let interval_ms = history.get("interval_ms").and_then(Json::as_u64).unwrap();
+    assert!(window_ms <= interval_ms * retention, "window_ms {window_ms}");
+
+    drop(client);
+    gateway.shutdown();
+    server.initiate_shutdown();
+}
+
+#[test]
 fn live_stream_carries_alert_transition_events() {
     let web = Arc::new(GatedWeb::new());
     let (gateway, server) = monitored_stack(web.clone());
