@@ -49,6 +49,8 @@ pub mod mso;
 pub mod nta;
 pub mod ops;
 pub mod to_datalog;
+pub mod topdown;
 
 pub use dta::Dta;
 pub use nta::{Nta, SymbolClass};
+pub use topdown::PathAutomaton;

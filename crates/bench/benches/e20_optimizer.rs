@@ -1,0 +1,67 @@
+//! E20: the plan optimizer — unoptimized plan execution vs optimized
+//! execution (single-pass rule schedule, fused path automata,
+//! shared-sub-matcher hoisting, reordered conditions) on the cache-miss
+//! path, per workload wrapper, plus the cost of the optimize phase
+//! itself (paid once per deploy).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lixto_elog::{parse_program, Extractor, OptimizedPlan, SinglePage, WrapperPlan};
+use lixto_workloads::traffic;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e20_optimizer");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for profile in traffic::profiles() {
+        let program = parse_program(profile.program).expect("workload program parses");
+        let plan = Arc::new(
+            WrapperPlan::compile(&program, &lixto_elog::ConceptRegistry::builtin())
+                .expect("workload program compiles"),
+        );
+        let optimized = Arc::new(OptimizedPlan::new(plan.clone()));
+        let web = SinglePage {
+            url: profile.entry_url.to_string(),
+            html: traffic::page_for(profile.name, 2026, 0),
+        };
+        // The optimizer must never change results, bench included.
+        assert_eq!(
+            Extractor::from_plan(plan.clone(), &web).run(),
+            Extractor::from_optimized(optimized.clone(), &web).run(),
+            "{}: optimized execution must be result-identical",
+            profile.name
+        );
+        g.throughput(Throughput::Elements(1));
+        g.bench_with_input(
+            BenchmarkId::new("unoptimized", profile.name),
+            &profile.name,
+            |b, _| {
+                let ex = Extractor::from_plan(plan.clone(), &web);
+                b.iter(|| std::hint::black_box(ex.run().base.len()))
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("optimized", profile.name),
+            &profile.name,
+            |b, _| {
+                let ex = Extractor::from_optimized(optimized.clone(), &web);
+                b.iter(|| std::hint::black_box(ex.run().base.len()))
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("optimize_only", profile.name),
+            &profile.name,
+            |b, _| {
+                b.iter(|| {
+                    std::hint::black_box(OptimizedPlan::new(plan.clone()).report().fused_paths)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

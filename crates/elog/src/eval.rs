@@ -13,7 +13,7 @@
 //! witness, so later conditions (`price(_, Y)`) quantify existentially
 //! over all of them — the semantics the `<bids>` rule of Figure 5 needs.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use lixto_tree::{Document, NodeId};
@@ -21,6 +21,7 @@ use lixto_tree::{Document, NodeId};
 use crate::ast::{Condition, ElementPath, ElogProgram, ElogRule, Extraction, ParentSpec, UrlExpr};
 use crate::concepts::{compare_values, ConceptRegistry};
 use crate::instances::{DocId, Instance, InstanceBase, Target};
+use crate::optimize::OptimizedPlan;
 use crate::path::{check_attr, eval_path, tag_matches, PathMatch};
 use crate::plan::{CompileError, WrapperPlan};
 use crate::web::WebSource;
@@ -161,18 +162,20 @@ impl ExtractionResult {
 fn pattern_names_of(base: &InstanceBase) -> Vec<String> {
     let mut seen: Vec<String> = Vec::new();
     for inst in &base.instances {
-        if !seen.iter().any(|p| p == &inst.pattern) {
-            seen.push(inst.pattern.clone());
+        if !seen.iter().any(|p| p.as_str() == &*inst.pattern) {
+            seen.push(inst.pattern.to_string());
         }
     }
     seen
 }
 
-/// How the extractor evaluates: walking the raw AST, or executing a
-/// precompiled plan.
+/// How the extractor evaluates: walking the raw AST, executing a
+/// precompiled plan as-is, or executing an optimized plan (scheduled,
+/// path-fused, sub-matcher-hoisted — see [`crate::optimize`]).
 enum Engine {
     Ast(ElogProgram),
     Plan(Arc<WrapperPlan>),
+    Optimized(Arc<OptimizedPlan>),
 }
 
 /// The Elog evaluator.
@@ -219,6 +222,21 @@ impl<'w> Extractor<'w> {
         }
     }
 
+    /// The optimized fast path: execute a plan that has been through the
+    /// [`crate::optimize`] phase. Services optimize a wrapper once at
+    /// deploy time and pay only the (scheduled, fused, hoisted)
+    /// execution per request; results are byte-identical to
+    /// [`from_plan`](Extractor::from_plan) on the underlying plan.
+    pub fn from_optimized(opt: Arc<OptimizedPlan>, web: &'w dyn WebSource) -> Extractor<'w> {
+        Extractor {
+            engine: Engine::Optimized(opt),
+            concepts: ConceptRegistry::builtin(),
+            web,
+            options: ExtractorOptions::default(),
+            probe: None,
+        }
+    }
+
     /// Replace the concept registry.
     pub fn with_concepts(mut self, concepts: ConceptRegistry) -> Self {
         self.concepts = concepts;
@@ -246,21 +264,42 @@ impl<'w> Extractor<'w> {
     pub fn compile(&self) -> Result<Arc<WrapperPlan>, CompileError> {
         match &self.engine {
             Engine::Plan(plan) => Ok(plan.clone()),
+            Engine::Optimized(opt) => Ok(opt.plan().clone()),
             Engine::Ast(program) => WrapperPlan::compile(program, &self.concepts).map(Arc::new),
+        }
+    }
+
+    /// Compile and optimize this extractor's program (or optimize the
+    /// already-compiled plan; an already-optimized plan is returned
+    /// as-is). The result can be cached and re-run via
+    /// [`from_optimized`](Extractor::from_optimized).
+    pub fn optimize(&self) -> Result<Arc<OptimizedPlan>, CompileError> {
+        match &self.engine {
+            Engine::Optimized(opt) => Ok(opt.clone()),
+            _ => Ok(Arc::new(crate::optimize::optimize(self.compile()?))),
         }
     }
 
     /// Run to fixpoint.
     ///
-    /// Compiles and executes the plan; a program the compiler rejects
-    /// (see [`CompileError`]) falls back to the interpreted reference
-    /// evaluator, whose semantics tolerate such programs as empty
-    /// matches — `run` itself never fails.
+    /// Compiles, optimizes and executes the plan; a program the compiler
+    /// rejects (see [`CompileError`]) falls back to the interpreted
+    /// reference evaluator, whose semantics tolerate such programs as
+    /// empty matches — `run` itself never fails. An extractor built with
+    /// [`from_plan`](Extractor::from_plan) runs the plan unoptimized:
+    /// that is the baseline path equivalence tests and benchmarks
+    /// compare against.
     pub fn run(&self) -> ExtractionResult {
         match &self.engine {
             Engine::Plan(plan) => crate::exec::execute(plan, self.web, &self.options, self.probe),
+            Engine::Optimized(opt) => {
+                crate::exec::execute_optimized(opt, self.web, &self.options, self.probe)
+            }
             Engine::Ast(program) => match WrapperPlan::compile(program, &self.concepts) {
-                Ok(plan) => crate::exec::execute(&plan, self.web, &self.options, self.probe),
+                Ok(plan) => {
+                    let opt = crate::optimize::optimize(Arc::new(plan));
+                    crate::exec::execute_optimized(&opt, self.web, &self.options, self.probe)
+                }
                 Err(_) => self.interpret(program),
             },
         }
@@ -273,6 +312,7 @@ impl<'w> Extractor<'w> {
         match &self.engine {
             Engine::Ast(program) => self.interpret(program),
             Engine::Plan(plan) => self.interpret(plan.program()),
+            Engine::Optimized(opt) => self.interpret(opt.plan().program()),
         }
     }
 
@@ -282,6 +322,7 @@ impl<'w> Extractor<'w> {
             docs: Vec::new(),
             doc_urls: Vec::new(),
             url_ids: HashMap::new(),
+            failed: HashSet::new(),
         };
         loop {
             let mut changed = false;
@@ -390,7 +431,7 @@ impl<'w> Extractor<'w> {
             }
             for target in accepted {
                 let (_, new) = st.base.add(Instance {
-                    pattern: rule.pattern.clone(),
+                    pattern: rule.pattern.as_str().into(),
                     parent: parent_idx,
                     target,
                 });
@@ -454,11 +495,16 @@ impl<'w> Extractor<'w> {
                 out
             }
             Extraction::Subtext(pattern) => {
-                let text = target_text(s, &st.docs);
                 let (regex_src, vars) = crate::path::compile_regvar(pattern);
                 let Ok(re) = lixto_regexlite::Regex::new(&regex_src) else {
                     return vec![];
                 };
+                // Only-empty patterns yield nothing (empty whole-matches
+                // are discarded below) — skip the per-char-position scan.
+                if re.matches_only_empty() {
+                    return vec![];
+                }
+                let text = target_text(s, &st.docs);
                 let mut out = Vec::new();
                 for caps in re.captures_iter(&text) {
                     let Some(whole) = caps.get(0) else { continue };
@@ -733,7 +779,7 @@ impl<'w> Extractor<'w> {
                     return vec![];
                 };
                 let is_instance = st.base.instances.iter().any(|inst| {
-                    inst.pattern == *pattern
+                    &*inst.pattern == pattern.as_str()
                         && match (&inst.target, value) {
                             (Target::Node { doc, node }, Value::Node(vd, vn)) => {
                                 doc == vd && node == vn
@@ -758,6 +804,11 @@ struct State {
     docs: Vec<Document>,
     doc_urls: Vec<String>,
     url_ids: HashMap<String, DocId>,
+    /// URLs that failed to fetch (after the single immediate retry),
+    /// pinned for the rest of the run — the same semantics as the plan
+    /// executor, so results do not depend on how many fixpoint passes
+    /// re-visit a fetching rule.
+    failed: HashSet<String>,
 }
 
 impl State {
@@ -765,10 +816,16 @@ impl State {
         if let Some(&id) = self.url_ids.get(url) {
             return Some(id);
         }
+        if self.failed.contains(url) {
+            return None;
+        }
         if self.docs.len() >= cap {
             return None;
         }
-        let html = web.fetch(url)?;
+        let Some(html) = web.fetch(url).or_else(|| web.fetch(url)) else {
+            self.failed.insert(url.to_string());
+            return None;
+        };
         let doc = lixto_html::parse(&html);
         let id = DocId(self.docs.len() as u32);
         self.docs.push(doc);

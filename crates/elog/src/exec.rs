@@ -14,20 +14,22 @@
 //! instance order included, which the `plan_equivalence` integration
 //! test asserts across the workload corpus.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
+use std::rc::Rc;
 use std::sync::Arc;
 use std::time::Instant;
 
 use lixto_obs::RuleStats;
-use lixto_tree::{Document, NodeId, NodeKind};
+use lixto_tree::{Document, NodeId, NodeKind, Symbol};
 
 use crate::concepts::compare_values;
 use crate::eval::{
     forest_of, node_span, target_span, target_text, ExtractionResult, ExtractorOptions, Value,
 };
 use crate::instances::{DocId, Instance, InstanceBase, Target};
+use crate::optimize::{FusedPath, FusedShape, FusedTag, OptRule, OptimizedPlan, PathUse, Schedule};
 use crate::plan::{
     PatternId, PlanAttr, PlanAttrMatch, PlanCondition, PlanExtraction, PlanParent, PlanPath,
     PlanRule, PlanTag, PlanUrl, PlanVarRef, SlotId, WrapperPlan,
@@ -79,6 +81,7 @@ pub struct ExecProbe {
     rules: Option<Arc<RuleStats>>,
     fetch_ns: Cell<u64>,
     parse_ns: Cell<u64>,
+    passes: Cell<u64>,
 }
 
 impl ExecProbe {
@@ -89,6 +92,7 @@ impl ExecProbe {
             rules,
             fetch_ns: Cell::new(0),
             parse_ns: Cell::new(0),
+            passes: Cell::new(0),
         }
     }
 
@@ -101,6 +105,13 @@ impl ExecProbe {
     /// Wall time spent parsing fetched HTML, in nanoseconds.
     pub fn parse_ns(&self) -> u64 {
         self.parse_ns.get()
+    }
+
+    /// Fixpoint passes the last observed run took (1 for a single-pass
+    /// schedule; the generic fixpoint needs at least one extra pass to
+    /// observe quiescence).
+    pub fn passes(&self) -> u64 {
+        self.passes.get()
     }
 
     fn add(cell: &Cell<u64>, since: Instant) {
@@ -126,8 +137,148 @@ struct RefIndex {
     texts: FxSet<String>,
 }
 
+/// Reusable buffers for the step-by-step path evaluator: the per-step
+/// candidate frontier ping-pongs between two vectors instead of
+/// allocating one per step.
+#[derive(Default)]
+struct PathScratch {
+    frontier: Vec<NodeId>,
+    next: Vec<NodeId>,
+}
+
+/// A fused path's step-tag symbols resolved against one document.
+#[derive(Clone)]
+enum FusedSyms {
+    /// Not resolved against this document yet.
+    Todo,
+    /// Some `Name` step's tag is absent from the document's interner, so
+    /// the path cannot match any node of this document.
+    Dead,
+    /// One entry per step; only `Name` steps carry a symbol.
+    Live(Rc<[Option<Symbol>]>),
+}
+
+/// Per-run caches of the optimized executor: scratch for the fused
+/// automaton walks, and the shared sub-matcher memo. Interior mutability
+/// because path evaluation happens under shared borrows of the state.
+struct OptCtx<'o> {
+    opt: &'o OptimizedPlan,
+    /// DFS stack scratch for [`lixto_automata::PathAutomaton::run`].
+    stack: RefCell<Vec<(NodeId, u64)>>,
+    /// Step-match node scratch for non-hoisted fused evaluations.
+    nodes: RefCell<Vec<NodeId>>,
+    /// Accepted-node scratch for the conditionless subelem fast path.
+    accepted: RefCell<Vec<NodeId>>,
+    /// Root-forest scratch for the fast path (a parent's child list),
+    /// replacing the per-parent `forest_of` allocation.
+    roots: RefCell<Vec<NodeId>>,
+    /// Tag symbols per (document, fused path), resolved once per document
+    /// — a fused path is typically evaluated once per parent instance,
+    /// and re-hashing its tag names every evaluation is measurable on
+    /// small per-parent forests. Outer index: `DocId`; inner: fused id.
+    doc_syms: RefCell<Vec<Vec<FusedSyms>>>,
+    /// Hoist memo: (group id, parent instance index) → step-match nodes.
+    /// Valid for the whole run — documents are immutable once fetched and
+    /// a parent instance's target never changes.
+    memo: RefCell<HoistMemo>,
+}
+
+/// The shared-sub-matcher memo, arena-backed: match sets are appended to
+/// one growing node vector and addressed by span, so memoizing a
+/// sub-matcher costs no per-parent allocation (the dominant cost of an
+/// `Rc<Vec>`-per-entry layout on small per-parent forests). Spans are
+/// held in per-group vectors indexed directly by parent instance index —
+/// parent indices are dense, so this is an array load where a hash map
+/// would pay more per lookup than the memoized walk saves.
+struct HoistMemo {
+    arena: Vec<NodeId>,
+    /// `spans[group][parent_idx]` — `SPAN_EMPTY` marks "not memoized".
+    spans: Vec<Vec<(u32, u32)>>,
+}
+
+/// Sentinel for an absent [`HoistMemo`] span.
+const SPAN_NONE: (u32, u32) = (u32::MAX, u32::MAX);
+
+impl HoistMemo {
+    fn new(groups: usize) -> HoistMemo {
+        HoistMemo {
+            arena: Vec::new(),
+            spans: vec![Vec::new(); groups],
+        }
+    }
+
+    /// The memoized span for `key`, as an arena range.
+    fn get(&self, key: (u32, usize)) -> Option<(usize, usize)> {
+        match self.spans[key.0 as usize].get(key.1) {
+            Some(&(s, l)) if (s, l) != SPAN_NONE => Some((s as usize, s as usize + l as usize)),
+            _ => None,
+        }
+    }
+
+    /// Record that `key`'s matches occupy `start..` of the arena.
+    fn seal(&mut self, key: (u32, usize), start: usize) -> (usize, usize) {
+        let len = self.arena.len() - start;
+        let spans = &mut self.spans[key.0 as usize];
+        if spans.len() <= key.1 {
+            spans.resize(key.1 + 1, SPAN_NONE);
+        }
+        spans[key.1] = (start as u32, len as u32);
+        (start, start + len)
+    }
+}
+
+impl OptCtx<'_> {
+    /// The resolved tag symbols for fused path `fid` in `doc`, computing
+    /// and caching them on first use. `None` means the path provably
+    /// matches nothing in this document.
+    fn syms_for(
+        &self,
+        did: DocId,
+        fid: u32,
+        fused: &FusedPath,
+        doc: &Document,
+    ) -> Option<Rc<[Option<Symbol>]>> {
+        let mut tabs = self.doc_syms.borrow_mut();
+        while tabs.len() <= did.0 as usize {
+            tabs.push(vec![FusedSyms::Todo; self.opt.fused.len()]);
+        }
+        let slot = &mut tabs[did.0 as usize][fid as usize];
+        if matches!(slot, FusedSyms::Todo) {
+            let mut syms = Vec::with_capacity(fused.tests.len());
+            let mut dead = false;
+            for test in &fused.tests {
+                syms.push(match test {
+                    FusedTag::Name(name) => match doc.interner().get(name) {
+                        Some(sym) => Some(sym),
+                        None => {
+                            dead = true;
+                            break;
+                        }
+                    },
+                    FusedTag::Any | FusedTag::Regex(_) => None,
+                });
+            }
+            *slot = if dead {
+                FusedSyms::Dead
+            } else {
+                FusedSyms::Live(syms.into())
+            };
+        }
+        match slot {
+            FusedSyms::Live(rc) => Some(rc.clone()),
+            _ => None,
+        }
+    }
+}
+
 struct PlanState<'p> {
     probe: Option<&'p ExecProbe>,
+    opt: Option<OptCtx<'p>>,
+    /// URLs that failed to fetch (after the single immediate retry) —
+    /// pinned for the rest of the run so results cannot depend on how
+    /// many passes re-visit the fetching rule.
+    failed: FxSet<String>,
+    scratch: RefCell<PathScratch>,
     base: InstanceBase,
     docs: Vec<Document>,
     doc_urls: Vec<String>,
@@ -141,9 +292,12 @@ struct PlanState<'p> {
     /// semi-naive rule-skipping.
     gens: Vec<u64>,
     /// Target indexes for patterns referenced by `PatternRef`.
-    refs: HashMap<PatternId, RefIndex>,
+    refs: Vec<Option<RefIndex>>,
     /// Pattern names in first-extraction order.
     name_order: Vec<String>,
+    /// One shared `Arc` per pattern name — instances clone the Arc, not
+    /// the string.
+    pattern_names: Vec<Arc<str>>,
     seen: Vec<bool>,
     /// Producing rule index per instance, parallel to `base.instances` —
     /// the derivation trace the result store persists as provenance.
@@ -155,15 +309,25 @@ impl PlanState<'_> {
         if let Some(&id) = self.url_ids.get(url) {
             return Some(id);
         }
+        if self.failed.contains(url) {
+            return None;
+        }
         if self.docs.len() >= cap {
             return None;
         }
         let fetch_started = self.probe.map(|_| Instant::now());
-        let html = web.fetch(url);
+        // Retry a failed fetch once, immediately; a second failure pins
+        // the URL for the rest of the run. This makes results independent
+        // of how many passes re-visit the fetching rule, which both the
+        // single-pass schedule and the interpreted evaluator rely on.
+        let html = web.fetch(url).or_else(|| web.fetch(url));
         if let (Some(probe), Some(started)) = (self.probe, fetch_started) {
             ExecProbe::add(&probe.fetch_ns, started);
         }
-        let html = html?;
+        let Some(html) = html else {
+            self.failed.insert(url.to_string());
+            return None;
+        };
         let parse_started = self.probe.map(|_| Instant::now());
         let doc = lixto_html::parse(&html);
         if let (Some(probe), Some(started)) = (self.probe, parse_started) {
@@ -185,14 +349,43 @@ impl PlanState<'_> {
         target: Target,
         rule: u32,
     ) -> bool {
-        let key = (pattern, parent, target);
-        if self.dedup.contains(&key) {
+        if !self.dedup.insert((pattern, parent, target.clone())) {
             return false;
         }
-        let (pattern, parent, target) = (key.0, key.1, key.2.clone());
-        self.dedup.insert(key);
+        self.push_instance(plan, pattern, parent, target, rule);
+        true
+    }
+
+    /// Add an instance whose dedup key is statically proven fresh — a
+    /// sole-producer rule under a single-pass schedule emitting distinct
+    /// nodes (see [`OptRule::sole_producer`]). Skips the dedup set; debug
+    /// builds still maintain it and assert the proof.
+    fn add_unique(
+        &mut self,
+        plan: &WrapperPlan,
+        pattern: PatternId,
+        parent: Option<usize>,
+        target: Target,
+        rule: u32,
+    ) {
+        #[cfg(debug_assertions)]
+        {
+            let fresh = self.dedup.insert((pattern, parent, target.clone()));
+            debug_assert!(fresh, "sole-producer uniqueness proof violated");
+        }
+        self.push_instance(plan, pattern, parent, target, rule);
+    }
+
+    fn push_instance(
+        &mut self,
+        plan: &WrapperPlan,
+        pattern: PatternId,
+        parent: Option<usize>,
+        target: Target,
+        rule: u32,
+    ) {
         let index = self.base.instances.len();
-        if let Some(ref_index) = self.refs.get_mut(&pattern) {
+        if let Some(ref_index) = self.refs[pattern as usize].as_mut() {
             match &target {
                 Target::Node { doc, node } => {
                     ref_index.nodes.insert((*doc, *node));
@@ -204,7 +397,7 @@ impl PlanState<'_> {
             }
         }
         self.base.instances.push(Instance {
-            pattern: plan.patterns()[pattern as usize].clone(),
+            pattern: self.pattern_names[pattern as usize].clone(),
             parent,
             target,
         });
@@ -216,8 +409,108 @@ impl PlanState<'_> {
             self.name_order
                 .push(plan.patterns()[pattern as usize].clone());
         }
-        true
     }
+
+    /// Evaluate an element-path against a forest. With an optimized plan
+    /// and a fused form for this path, runs the precompiled
+    /// [`PathAutomaton`] in a single downward traversal (consulting the
+    /// shared-sub-matcher memo when the path belongs to a hoist group and
+    /// a parent instance is known); otherwise falls back to the generic
+    /// step-by-step evaluator.
+    fn eval_path(
+        &self,
+        did: DocId,
+        roots: &[NodeId],
+        path: &PlanPath,
+        pu: Option<PathUse>,
+        parent_idx: Option<usize>,
+    ) -> Vec<PlanMatch> {
+        let doc = &self.docs[did.0 as usize];
+        if let (Some(ctx), Some(pu)) = (self.opt.as_ref(), pu) {
+            let fused = &ctx.opt.fused[pu.fused as usize];
+            let Some(syms) = ctx.syms_for(did, pu.fused, fused, doc) else {
+                return Vec::new();
+            };
+            if let (Some(gid), Some(pi)) = (pu.group, parent_idx) {
+                let key = (gid, pi);
+                if let Some((s, e)) = ctx.memo.borrow().get(key) {
+                    let memo = ctx.memo.borrow();
+                    return attr_matches(doc, &memo.arena[s..e], &fused.attrs);
+                }
+                let mut memo = ctx.memo.borrow_mut();
+                let start = memo.arena.len();
+                run_fused(ctx, fused, &syms, doc, roots, &mut memo.arena);
+                let (s, e) = memo.seal(key, start);
+                return attr_matches(doc, &memo.arena[s..e], &fused.attrs);
+            }
+            let mut nodes = ctx.nodes.borrow_mut();
+            nodes.clear();
+            run_fused(ctx, fused, &syms, doc, roots, &mut nodes);
+            return attr_matches(doc, &nodes, &fused.attrs);
+        }
+        eval_plan_path(doc, roots, path, &mut self.scratch.borrow_mut())
+    }
+}
+
+/// Run a fused path matcher over a forest, collecting step-matching
+/// nodes in document order. `syms` is the path's per-document symbol
+/// table from [`OptCtx::syms_for`]. Single-step shapes scan the
+/// document's preorder arena directly; only general skeletons pay for
+/// the automaton's DFS.
+fn run_fused(
+    ctx: &OptCtx,
+    fused: &FusedPath,
+    syms: &[Option<Symbol>],
+    doc: &Document,
+    roots: &[NodeId],
+    out: &mut Vec<NodeId>,
+) {
+    let test = |i: u32, n: NodeId| match &fused.tests[i as usize] {
+        FusedTag::Any => doc.kind(n) == NodeKind::Element,
+        FusedTag::Name(_) => Some(doc.label(n)) == syms[i as usize],
+        FusedTag::Regex(re) => re.is_full_match(doc.label_str(n)),
+    };
+    match fused.shape {
+        FusedShape::ChildOne => {
+            for &r in roots {
+                if test(0, r) {
+                    out.push(r);
+                }
+            }
+        }
+        FusedShape::DescendOne => {
+            for &r in roots {
+                for n in doc.descendants_or_self(r) {
+                    if test(0, n) {
+                        out.push(n);
+                    }
+                }
+            }
+        }
+        FusedShape::Auto => {
+            let mut stack = ctx.stack.borrow_mut();
+            fused
+                .auto
+                .run(doc, roots, test, |n| out.push(n), &mut stack);
+        }
+    }
+}
+
+/// Apply a path's attribute conditions to step-matching nodes, exactly as
+/// the tail of `eval_plan_path` does.
+fn attr_matches(doc: &Document, nodes: &[NodeId], attrs: &[PlanAttr]) -> Vec<PlanMatch> {
+    let mut out = Vec::new();
+    'node: for &n in nodes {
+        let mut bindings = Vec::new();
+        for cond in attrs {
+            match check_attr(doc, n, cond) {
+                Some(more) => bindings.extend(more),
+                None => continue 'node,
+            }
+        }
+        out.push(PlanMatch { node: n, bindings });
+    }
+    out
 }
 
 /// Input generations a rule saw when it last ran; the rule is skipped
@@ -229,23 +522,60 @@ struct RuleMark {
 }
 
 /// Run `plan` to fixpoint over `web` — the compiled counterpart of the
-/// interpreted `Extractor::run_interpreted`.
+/// interpreted `Extractor::run_interpreted`. This is the *unoptimized*
+/// plan executor: the baseline the optimizer's equivalence tests and
+/// benchmarks compare against.
 pub(crate) fn execute(
     plan: &WrapperPlan,
     web: &dyn WebSource,
     options: &ExtractorOptions,
     probe: Option<&ExecProbe>,
 ) -> ExtractionResult {
+    run(plan, None, web, options, probe)
+}
+
+/// Run an optimized plan: the same evaluation core, with the schedule,
+/// fused path automata, hoist memo and condition orderings of the
+/// [`OptimizedPlan`] applied. Every transformation is
+/// observation-equivalent, so the result is byte-identical to
+/// [`execute`] on the underlying plan.
+pub(crate) fn execute_optimized(
+    opt: &OptimizedPlan,
+    web: &dyn WebSource,
+    options: &ExtractorOptions,
+    probe: Option<&ExecProbe>,
+) -> ExtractionResult {
+    run(opt.plan(), Some(opt), web, options, probe)
+}
+
+fn run(
+    plan: &WrapperPlan,
+    opt: Option<&OptimizedPlan>,
+    web: &dyn WebSource,
+    options: &ExtractorOptions,
+    probe: Option<&ExecProbe>,
+) -> ExtractionResult {
     let n = plan.patterns().len();
-    let mut refs: HashMap<PatternId, RefIndex> = HashMap::new();
+    let mut refs: Vec<Option<RefIndex>> = (0..plan.patterns().len()).map(|_| None).collect();
     for rule in plan.rules() {
         for &r in &rule.refs {
-            refs.entry(r).or_default();
+            refs[r as usize].get_or_insert_with(RefIndex::default);
         }
     }
     let rule_stats = probe.and_then(|p| p.rules.as_deref());
     let mut st = PlanState {
         probe,
+        opt: opt.map(|o| OptCtx {
+            opt: o,
+            stack: RefCell::new(Vec::new()),
+            nodes: RefCell::new(Vec::new()),
+            accepted: RefCell::new(Vec::new()),
+            roots: RefCell::new(Vec::new()),
+            doc_syms: RefCell::new(Vec::new()),
+            memo: RefCell::new(HoistMemo::new(o.report().hoist_groups)),
+        }),
+        failed: FxSet::default(),
+        scratch: RefCell::new(PathScratch::default()),
         base: InstanceBase::default(),
         docs: Vec::new(),
         doc_urls: Vec::new(),
@@ -255,25 +585,36 @@ pub(crate) fn execute(
         gens: vec![0; n],
         refs,
         name_order: Vec::new(),
+        pattern_names: plan.patterns().iter().map(|p| p.as_str().into()).collect(),
         seen: vec![false; n],
         rule_trace: Vec::new(),
     };
+    // A single-pass schedule is a proof that one pass in source order
+    // reaches the fixpoint (every dependency edge points strictly
+    // forward and fetch failures are pinned), so the generic loop and
+    // its per-rule marks bookkeeping are skipped entirely.
+    let single_pass = opt.is_some_and(|o| o.schedule() == Schedule::SinglePass);
     let mut marks: Vec<Option<RuleMark>> = (0..plan.rules().len()).map(|_| None).collect();
+    let mut passes: u64 = 0;
     loop {
+        passes += 1;
         let mut changed = false;
         for (ri, rule) in plan.rules().iter().enumerate() {
-            if can_skip(rule, &marks[ri], &st) {
-                continue;
+            if !single_pass {
+                if can_skip(rule, &marks[ri], &st) {
+                    continue;
+                }
+                marks[ri] = Some(RuleMark {
+                    parent_gen: match &rule.parent {
+                        PlanParent::Pattern(p) => st.gens[*p as usize],
+                        PlanParent::Document(_) => 0,
+                    },
+                    ref_gens: rule.refs.iter().map(|&r| st.gens[r as usize]).collect(),
+                });
             }
-            marks[ri] = Some(RuleMark {
-                parent_gen: match &rule.parent {
-                    PlanParent::Pattern(p) => st.gens[*p as usize],
-                    PlanParent::Document(_) => 0,
-                },
-                ref_gens: rule.refs.iter().map(|&r| st.gens[r as usize]).collect(),
-            });
+            let ori = opt.map(|o| &o.rules[ri]);
             let rule_started = rule_stats.map(|_| Instant::now());
-            let added = apply_rule(plan, rule, ri as u32, &mut st, web, options);
+            let added = apply_rule(plan, rule, ri as u32, &mut st, web, options, ori);
             if let (Some(stats), Some(started)) = (rule_stats, rule_started) {
                 let ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
                 stats.record(ri, added as u64, ns);
@@ -283,9 +624,12 @@ pub(crate) fn execute(
                 break;
             }
         }
-        if !changed || st.base.len() >= options.max_instances {
+        if single_pass || !changed || st.base.len() >= options.max_instances {
             break;
         }
+    }
+    if let Some(probe) = probe {
+        probe.passes.set(passes);
     }
     ExtractionResult {
         base: st.base,
@@ -298,7 +642,9 @@ pub(crate) fn execute(
 
 /// A rule can be skipped when it has run before and nothing it reads has
 /// grown since. Entry rules and crawl rules always re-run: they fetch,
-/// and the interpreted evaluator retries failed fetches every pass.
+/// and a URL may come into range only on a later pass (e.g. once a slot
+/// binds it); failed fetches themselves are retried once then pinned by
+/// [`PlanState::fetch`], so re-running cannot change their outcome.
 fn can_skip(rule: &PlanRule, mark: &Option<RuleMark>, st: &PlanState) -> bool {
     let Some(mark) = mark else { return false };
     let PlanParent::Pattern(parent) = &rule.parent else {
@@ -325,6 +671,7 @@ fn apply_rule(
     st: &mut PlanState<'_>,
     web: &dyn WebSource,
     options: &ExtractorOptions,
+    ori: Option<&OptRule>,
 ) -> usize {
     let parents: Vec<(Option<usize>, Target)> = match &rule.parent {
         PlanParent::Pattern(pid) => st.by_pattern[*pid as usize]
@@ -346,23 +693,48 @@ fn apply_rule(
         },
     };
 
+    // Fast path: a fused subelem rule with no conditions. Every
+    // candidate is trivially accepted (empty Φ holds; subsq maximality
+    // does not apply), so the fused matches feed `add` directly — no
+    // candidate frames, no witness vectors, no acceptance buffer. The
+    // `range` window is the same index filter the generic path applies.
+    // `Range` markers are no-ops in `conditions_hold` (the window is
+    // applied after acceptance, below and in the fast path alike), so
+    // they don't disqualify a rule from direct application.
+    let trivial_conditions = rule
+        .conditions
+        .iter()
+        .all(|c| matches!(c, PlanCondition::Range));
+    if trivial_conditions && matches!(rule.extraction, PlanExtraction::Subelem(_)) {
+        if let Some(pu) = ext_pu(ori) {
+            let sole = ori.is_some_and(|r| r.sole_producer);
+            return apply_simple_subelem(plan, rule, rule_index, st, parents, pu, sole);
+        }
+    }
+
     let mut added = 0;
     for (parent_idx, s_target) in parents {
-        let candidates = extract(rule, &s_target, st, web, options);
+        let candidates = extract(rule, &s_target, st, web, options, ori, parent_idx);
         // Context-condition witnesses are per (condition, parent):
         // hoisted exactly as the interpreted evaluator hoists them.
         let witnesses: Vec<Option<Vec<PlanMatch>>> = rule
             .conditions
             .iter()
-            .map(|c| match c {
-                PlanCondition::Context { path, .. } => forest_of(&s_target, &st.docs)
-                    .map(|(did, roots)| eval_plan_path(&st.docs[did.0 as usize], &roots, path)),
+            .enumerate()
+            .map(|(ci, c)| match c {
+                PlanCondition::Context { path, .. } => {
+                    forest_of(&s_target, &st.docs).map(|(did, roots)| {
+                        st.eval_path(did, &roots, path, cond_pu(ori, ci), parent_idx)
+                    })
+                }
                 _ => None,
             })
             .collect();
         let mut accepted: Vec<Target> = Vec::new();
         for (target, frame) in candidates {
-            if conditions_hold(rule, &s_target, &target, frame, st, &witnesses) {
+            if conditions_hold(
+                rule, &s_target, &target, frame, st, &witnesses, ori, parent_idx,
+            ) {
                 accepted.push(target);
             }
         }
@@ -399,6 +771,134 @@ fn apply_rule(
     added
 }
 
+/// Apply a conditionless subelem rule through its fused path: per
+/// parent, the step-matching nodes (shared via the hoist memo when the
+/// path belongs to a group) are attr-filtered and added in document
+/// order. Observation-equivalent to the generic `apply_rule` body — it
+/// produces the same targets in the same order — but allocation-free per
+/// parent.
+#[allow(clippy::too_many_arguments)]
+fn apply_simple_subelem(
+    plan: &WrapperPlan,
+    rule: &PlanRule,
+    rule_index: u32,
+    st: &mut PlanState<'_>,
+    parents: Vec<(Option<usize>, Target)>,
+    pu: PathUse,
+    sole: bool,
+) -> usize {
+    let (from, to) = rule.range.unwrap_or((1, usize::MAX));
+    // Dedup keys are provably fresh when the sole producer of a pattern
+    // runs exactly once (single pass) over distinct parents, emitting
+    // distinct nodes per parent.
+    let unique = sole
+        && st
+            .opt
+            .as_ref()
+            .is_some_and(|c| c.opt.schedule() == Schedule::SinglePass);
+    let mut added = 0;
+    for (parent_idx, s_target) in parents {
+        let ctx = st.opt.as_ref().expect("fast path runs under an OptCtx");
+        // The target's forest, without `forest_of`'s per-parent Vec:
+        // a node target's roots are its children, collected into a
+        // reused buffer.
+        let mut roots = ctx.roots.take();
+        roots.clear();
+        let did = match &s_target {
+            Target::Node { doc, node } => {
+                roots.extend(st.docs[doc.0 as usize].children(*node));
+                *doc
+            }
+            Target::NodeSeq { doc, nodes } => {
+                roots.extend_from_slice(nodes);
+                *doc
+            }
+            Target::Text(_) => continue,
+        };
+        let fused = &ctx.opt.fused[pu.fused as usize];
+        let doc = &st.docs[did.0 as usize];
+        let mut accepted = ctx.accepted.take();
+        accepted.clear();
+        if let Some(syms) = ctx.syms_for(did, pu.fused, fused, doc) {
+            // Step-matching nodes: via the arena memo for hoist groups,
+            // a reused scratch vector otherwise.
+            let memo_key = match (pu.group, parent_idx) {
+                (Some(gid), Some(pi)) => Some((gid, pi)),
+                _ => None,
+            };
+            let mut scratch = Vec::new();
+            let (memo, span) = match memo_key {
+                Some(key) => {
+                    let span = ctx.memo.borrow().get(key);
+                    match span {
+                        Some(span) => (ctx.memo.borrow(), span),
+                        None => {
+                            let mut memo = ctx.memo.borrow_mut();
+                            let start = memo.arena.len();
+                            run_fused(ctx, fused, &syms, doc, &roots, &mut memo.arena);
+                            let span = memo.seal(key, start);
+                            drop(memo);
+                            (ctx.memo.borrow(), span)
+                        }
+                    }
+                }
+                None => {
+                    scratch = ctx.nodes.take();
+                    scratch.clear();
+                    run_fused(ctx, fused, &syms, doc, &roots, &mut scratch);
+                    (ctx.memo.borrow(), (0, 0))
+                }
+            };
+            let step_matches: &[NodeId] = if memo_key.is_some() {
+                &memo.arena[span.0..span.1]
+            } else {
+                &scratch
+            };
+            'node: for &n in step_matches {
+                for cond in &fused.attrs {
+                    if check_attr(doc, n, cond).is_none() {
+                        continue 'node;
+                    }
+                }
+                accepted.push(n);
+            }
+            drop(memo);
+            if memo_key.is_none() {
+                ctx.nodes.replace(scratch);
+            }
+        }
+        ctx.roots.replace(roots);
+        for (i, &node) in accepted.iter().enumerate() {
+            if i + 1 < from || i >= to {
+                continue;
+            }
+            let target = Target::Node { doc: did, node };
+            if unique {
+                st.add_unique(plan, rule.pattern, parent_idx, target, rule_index);
+                added += 1;
+            } else if st.add(plan, rule.pattern, parent_idx, target, rule_index) {
+                added += 1;
+            }
+        }
+        st.opt
+            .as_ref()
+            .expect("fast path runs under an OptCtx")
+            .accepted
+            .replace(accepted);
+    }
+    added
+}
+
+/// The optimized form of a rule's extraction path, when one exists.
+fn ext_pu(ori: Option<&OptRule>) -> Option<PathUse> {
+    ori.and_then(|r| r.extraction_path)
+}
+
+/// The optimized form of a rule's `ci`-th condition path, when one exists.
+fn cond_pu(ori: Option<&OptRule>, ci: usize) -> Option<PathUse> {
+    ori.and_then(|r| r.cond_paths[ci])
+}
+
 /// Apply the extraction atom, yielding (target, initial frame) pairs.
 fn extract(
     rule: &PlanRule,
@@ -406,6 +906,8 @@ fn extract(
     st: &mut PlanState,
     web: &dyn WebSource,
     options: &ExtractorOptions,
+    ori: Option<&OptRule>,
+    parent_idx: Option<usize>,
 ) -> Vec<(Target, Frame)> {
     let frame = || vec![None; rule.slots];
     match &rule.extraction {
@@ -414,8 +916,7 @@ fn extract(
             let Some((did, roots)) = forest_of(s, &st.docs) else {
                 return vec![];
             };
-            let doc = &st.docs[did.0 as usize];
-            eval_plan_path(doc, &roots, path)
+            st.eval_path(did, &roots, path, ext_pu(ori), parent_idx)
                 .into_iter()
                 .map(|m| {
                     let mut env = frame();
@@ -440,9 +941,10 @@ fn extract(
             let Some((did, roots)) = forest_of(s, &st.docs) else {
                 return vec![];
             };
+            let contexts = st.eval_path(did, &roots, context, ext_pu(ori), parent_idx);
             let doc = &st.docs[did.0 as usize];
             let mut out = Vec::new();
-            for ctx in eval_plan_path(doc, &roots, context) {
+            for ctx in contexts {
                 let kids: Vec<NodeId> = doc.children(ctx.node).collect();
                 for i in 0..kids.len() {
                     if !member_matches(doc, kids[i], start) {
@@ -464,6 +966,12 @@ fn extract(
             out
         }
         PlanExtraction::Subtext(rv) => {
+            // A pattern that can only match empty strings yields nothing
+            // (empty whole-matches are discarded below) — skip the scan,
+            // which otherwise costs a VM run per char position.
+            if rv.regex.matches_only_empty() {
+                return Vec::new();
+            }
             let text = target_text(s, &st.docs);
             let mut out = Vec::new();
             for caps in rv.regex.captures_iter(&text) {
@@ -541,6 +1049,10 @@ fn extract(
 }
 
 /// Evaluate Φ(S, X) with environment-set semantics over slot frames.
+/// With an optimized rule, conditions run in its reordered sequence
+/// (cheapest pure filters first within binder-free segments) — the
+/// permutation is applied on the fly, never materialized.
+#[allow(clippy::too_many_arguments)]
 fn conditions_hold(
     rule: &PlanRule,
     s: &Target,
@@ -548,9 +1060,14 @@ fn conditions_hold(
     initial: Frame,
     st: &PlanState,
     witnesses: &[Option<Vec<PlanMatch>>],
+    ori: Option<&OptRule>,
+    parent_idx: Option<usize>,
 ) -> bool {
+    let order = ori.and_then(|r| r.cond_order.as_deref());
     let mut envs = vec![initial];
-    for (ci, cond) in rule.conditions.iter().enumerate() {
+    for k in 0..rule.conditions.len() {
+        let ci = order.map_or(k, |o| o[k]);
+        let cond = &rule.conditions[ci];
         match cond {
             PlanCondition::Range => continue,
             PlanCondition::AttrBind { attr, var } => {
@@ -577,6 +1094,8 @@ fn conditions_hold(
                 env,
                 st,
                 witnesses[ci].as_deref(),
+                cond_pu(ori, ci),
+                parent_idx,
             ));
         }
         if next.is_empty() {
@@ -605,6 +1124,7 @@ fn resolve_value(var: &PlanVarRef, env: &Frame, x: &Target, st: &PlanState) -> O
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn eval_condition(
     cond: &PlanCondition,
     s: &Target,
@@ -612,6 +1132,8 @@ fn eval_condition(
     env: Frame,
     st: &PlanState,
     hoisted: Option<&[PlanMatch]>,
+    pu: Option<PathUse>,
+    parent_idx: Option<usize>,
 ) -> Vec<Frame> {
     match cond {
         PlanCondition::Context {
@@ -633,7 +1155,7 @@ fn eval_condition(
             let all: &[PlanMatch] = match hoisted {
                 Some(w) => w,
                 None => {
-                    owned = eval_plan_path(doc, &roots, path);
+                    owned = st.eval_path(did, &roots, path, pu, parent_idx);
                     &owned
                 }
             };
@@ -682,8 +1204,9 @@ fn eval_condition(
             let Some((did, roots)) = forest_of(x, &st.docs) else {
                 return vec![];
             };
-            let doc = &st.docs[did.0 as usize];
-            let found = !eval_plan_path(doc, &roots, path).is_empty();
+            // `contains` walks the candidate X, not the parent S, so the
+            // hoist memo (keyed by parent instance) never applies here.
+            let found = !st.eval_path(did, &roots, path, pu, None).is_empty();
             if found != *negated {
                 vec![env]
             } else {
@@ -694,8 +1217,7 @@ fn eval_condition(
             let Some((did, roots)) = forest_of(s, &st.docs) else {
                 return vec![];
             };
-            let doc = &st.docs[did.0 as usize];
-            let matches = eval_plan_path(doc, &roots, path);
+            let matches = st.eval_path(did, &roots, path, pu, parent_idx);
             match (matches.first(), x) {
                 (Some(first), Target::Node { node, .. }) if first.node == *node => {
                     vec![env]
@@ -738,7 +1260,9 @@ fn eval_condition(
             let Some(value) = env[*var as usize].as_ref() else {
                 return vec![];
             };
-            let index = st.refs.get(pattern).expect("ref index prebuilt");
+            let index = st.refs[*pattern as usize]
+                .as_ref()
+                .expect("ref index prebuilt");
             let is_instance = match value {
                 Value::Node(did, node) => index.nodes.contains(&(*did, *node)),
                 Value::Str(sv) => index.texts.contains(sv),
@@ -775,16 +1299,20 @@ fn tag_matches(doc: &Document, n: NodeId, test: &PlanTag) -> bool {
 
 /// Check one attribute condition; `Some(bindings)` on success.
 fn check_attr(doc: &Document, n: NodeId, cond: &PlanAttr) -> Option<Vec<(SlotId, String)>> {
-    let value: String = if cond.attr == "elementtext" {
-        doc.text_content(n)
+    // Borrow attribute values straight from the document; only
+    // `elementtext` needs an owned concatenation.
+    let text_storage;
+    let value: &str = if cond.attr == "elementtext" {
+        text_storage = doc.text_content(n);
+        &text_storage
     } else {
-        doc.attr(n, &cond.attr)?.to_string()
+        doc.attr(n, &cond.attr)?
     };
     match &cond.matcher {
         PlanAttrMatch::Exact(pattern) => (value.trim() == pattern).then(Vec::new),
         PlanAttrMatch::Substr(pattern) => value.contains(pattern).then(Vec::new),
         PlanAttrMatch::Regvar(rv) => {
-            let caps = rv.regex.captures(&value)?;
+            let caps = rv.regex.captures(value)?;
             let mut bindings = Vec::new();
             for (name, slot) in &rv.captures {
                 let m = caps.name(name)?;
@@ -799,32 +1327,30 @@ fn check_attr(doc: &Document, n: NodeId, cond: &PlanAttr) -> Option<Vec<(SlotId,
 
 /// Evaluate a compiled path against a forest context — the precompiled
 /// mirror of `path::eval_path`, with slot bindings instead of name maps.
-fn eval_plan_path(doc: &Document, roots: &[NodeId], path: &PlanPath) -> Vec<PlanMatch> {
-    let mut current: Vec<NodeId> = roots.to_vec();
+/// The per-step candidate frontiers ping-pong between the two scratch
+/// vectors, so a whole run allocates no per-step buffers after warm-up.
+fn eval_plan_path(
+    doc: &Document,
+    roots: &[NodeId],
+    path: &PlanPath,
+    scratch: &mut PathScratch,
+) -> Vec<PlanMatch> {
+    let PathScratch { frontier, next } = scratch;
+    frontier.clear();
+    frontier.extend_from_slice(roots);
     for (i, step) in path.steps.iter().enumerate() {
-        let mut next = Vec::new();
-        for &c in &current {
-            step_candidates(doc, c, step, i == 0, &mut next);
+        next.clear();
+        for &c in frontier.iter() {
+            step_candidates(doc, c, step, i == 0, next);
         }
-        current = next;
-        if current.is_empty() {
+        std::mem::swap(frontier, next);
+        if frontier.is_empty() {
             return Vec::new();
         }
     }
-    current.sort_by_key(|&n| doc.order().pre(n));
-    current.dedup();
-    let mut out = Vec::new();
-    'node: for n in current {
-        let mut bindings = Vec::new();
-        for cond in &path.attrs {
-            match check_attr(doc, n, cond) {
-                Some(more) => bindings.extend(more),
-                None => continue 'node,
-            }
-        }
-        out.push(PlanMatch { node: n, bindings });
-    }
-    out
+    frontier.sort_by_key(|&n| doc.order().pre(n));
+    frontier.dedup();
+    attr_matches(doc, frontier, &path.attrs)
 }
 
 fn step_candidates(

@@ -6,6 +6,7 @@
 //! ordered trees and strings." (Section 3.1)
 
 use lixto_tree::{Document, NodeId};
+use std::sync::Arc;
 
 /// Identifier of a fetched document within one extraction run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -35,8 +36,11 @@ pub enum Target {
 /// One pattern instance.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Instance {
-    /// The pattern this instance belongs to.
-    pub pattern: String,
+    /// The pattern this instance belongs to. Shared, not owned: every
+    /// instance of a pattern points at the same allocation, so adding an
+    /// instance costs a refcount bump instead of a string clone on the
+    /// extraction hot path.
+    pub pattern: Arc<str>,
     /// Index of the parent instance in the base (None for page-entry
     /// instances).
     pub parent: Option<usize>,
@@ -67,7 +71,7 @@ impl InstanceBase {
     /// Indices of all instances of `pattern`.
     pub fn of_pattern(&self, pattern: &str) -> Vec<usize> {
         (0..self.instances.len())
-            .filter(|&i| self.instances[i].pattern == pattern)
+            .filter(|&i| &*self.instances[i].pattern == pattern)
             .collect()
     }
 
@@ -109,7 +113,7 @@ mod tests {
 
     fn node_inst(pattern: &str, parent: Option<usize>, node: u32) -> Instance {
         Instance {
-            pattern: pattern.to_string(),
+            pattern: pattern.into(),
             parent,
             target: Target::Node {
                 doc: DocId(0),

@@ -58,6 +58,7 @@ pub mod concepts;
 pub mod eval;
 mod exec;
 pub mod instances;
+pub mod optimize;
 pub mod parser;
 pub mod path;
 pub mod plan;
@@ -72,6 +73,7 @@ pub use concepts::ConceptRegistry;
 pub use eval::{ExtractionResult, Extractor, ExtractorOptions};
 pub use exec::ExecProbe;
 pub use instances::{Instance, InstanceBase, Target};
+pub use optimize::{OptimizeReport, OptimizedPlan, Schedule};
 pub use parser::{parse_program, ParseError, EBAY_PROGRAM};
 pub use plan::{CompileError, WrapperPlan};
 pub use web::{SinglePage, StaticWeb, WebSource};

@@ -24,10 +24,20 @@
 //!   a structured [`CompileError`] — a deploy-time 400 instead of a
 //!   per-request silent empty result.
 //!
-//! Execution of a plan (see `exec`) is result-identical to the
-//! interpreted reference evaluator — byte for byte, including instance
-//! order — which the `plan_equivalence` integration test asserts across
-//! the whole workload corpus.
+//! A compiled plan can additionally be run through the optimizer phase
+//! ([`crate::optimize`]) that sits between `compile` and `exec`: rule
+//! scheduling over the pattern-dependency DAG (acyclic wrappers run in a
+//! single pass), fusion of each element-path into a precompiled
+//! bit-parallel tree automaton walk, and hoisting of identical
+//! sub-matchers shared across rules. The optimizer consumes exactly the
+//! structures defined here ([`PlanRule`], [`PlanPath`], [`PlanStep`],
+//! [`PlanCondition`]) and never rewrites them — it attaches a parallel
+//! table of fused/scheduled forms the executor consults.
+//!
+//! Execution of a plan (see `exec`) — optimized or not — is
+//! result-identical to the interpreted reference evaluator — byte for
+//! byte, including instance order — which the `plan_equivalence`
+//! integration test asserts across the whole workload corpus.
 
 use std::collections::HashSet;
 use std::fmt;

@@ -2349,7 +2349,9 @@ fn get_debug_request(id: &str, shared: &SharedGateway) -> Response {
 
 /// `GET /debug/wrappers/{name}`: per-rule execution telemetry of the
 /// wrapper's latest version — invocations, matches produced, and
-/// cumulative evaluation time per compiled rule.
+/// cumulative evaluation time per compiled rule — plus the optimizer's
+/// report for the deployed plan (schedule, stratification, path fusion
+/// and hoisting statistics).
 fn get_debug_wrapper(name: &str, shared: &SharedGateway) -> Response {
     let Some(wrapper) = shared.server.registry().latest(name) else {
         return Response::error(
@@ -2372,11 +2374,27 @@ fn get_debug_wrapper(name: &str, shared: &SharedGateway) -> Response {
             ])
         })
         .collect();
+    let report = wrapper.spec.optimized.report();
+    let optimizer = obj([
+        ("schedule", report.schedule.as_str().into()),
+        ("rules", (report.rules as u64).into()),
+        ("strata", (report.strata as u64).into()),
+        ("fused_paths", (report.fused_paths as u64).into()),
+        ("fallback_paths", (report.fallback_paths as u64).into()),
+        ("hoist_groups", (report.hoist_groups as u64).into()),
+        ("hoisted_sites", (report.hoisted_sites as u64).into()),
+        ("reordered_rules", (report.reordered_rules as u64).into()),
+        (
+            "acyclic_condition_rules",
+            (report.acyclic_condition_rules as u64).into(),
+        ),
+    ]);
     Response::json(
         200,
         &obj([
             ("name", name.into()),
             ("version", wrapper.version.into()),
+            ("optimizer", optimizer),
             ("rules", rules.into()),
         ]),
     )

@@ -342,10 +342,7 @@ impl Monitor {
     /// denominator-guarded rates) instead of feeding it a fake zero.
     /// Called once per tick, by the sampler thread only.
     fn windowed_latency(&self, sample: &TickSample) -> (Option<u64>, Option<u64>) {
-        let mut ring = self
-            .latency_window
-            .lock()
-            .expect("latency window poisoned");
+        let mut ring = self.latency_window.lock().expect("latency window poisoned");
         ring.push_back(LatencySnap {
             exec: sample.pool.exec_buckets,
             wake: sample.wake_buckets,
@@ -676,7 +673,7 @@ mod tests {
         let mut buckets = [0u64; LATENCY_BUCKETS];
         let mut s = sample(10, 0, 0);
         monitor.tick(&s); // baseline snapshot
-        // A burst of ~500 ms executions: bucket 19 = [262144, 524288) µs.
+                          // A burst of ~500 ms executions: bucket 19 = [262144, 524288) µs.
         buckets[19] = 50;
         s.pool.exec_buckets = buckets;
         monitor.tick(&s);

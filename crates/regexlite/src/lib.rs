@@ -146,6 +146,20 @@ impl Regex {
         self.program.n_groups
     }
 
+    /// Can this pattern only ever match the empty string?
+    ///
+    /// True when the compiled program contains no character test: every
+    /// match then consumes zero input. Callers that discard empty matches
+    /// (e.g. text tokenizers) can skip scanning entirely — iterating empty
+    /// matches costs a VM run per char position for nothing.
+    pub fn matches_only_empty(&self) -> bool {
+        !self
+            .program
+            .insts
+            .iter()
+            .any(|i| matches!(i, nfa::Inst::Char(_)))
+    }
+
     /// Does the pattern match anywhere in `haystack`?
     pub fn is_match(&self, haystack: &str) -> bool {
         pike::run(&self.program, haystack, false).is_some()
@@ -439,6 +453,14 @@ mod tests {
         let re = Regex::new("(a*)*b").unwrap();
         let hay = "a".repeat(10_000);
         assert!(!re.is_match(&hay));
+    }
+
+    #[test]
+    fn matches_only_empty_detects_charless_programs() {
+        assert!(Regex::new("").unwrap().matches_only_empty());
+        assert!(Regex::new("()*").unwrap().matches_only_empty());
+        assert!(!Regex::new("a?").unwrap().matches_only_empty());
+        assert!(!Regex::new(r"\d+").unwrap().matches_only_empty());
     }
 
     #[test]

@@ -47,13 +47,17 @@ pub fn run(prog: &Program, haystack: &str, anchored: bool) -> Option<Slots> {
     let mut matched: Option<Slots> = None;
 
     // Iterate over char boundaries; `pos` is the byte offset, `ch` the char
-    // at that offset (None at end of input).
-    let mut positions: Vec<(usize, Option<char>)> =
-        haystack.char_indices().map(|(i, c)| (i, Some(c))).collect();
-    positions.push((haystack.len(), None));
+    // at that offset (None at end of input). Lazy on purpose: a run that
+    // matches (or dies) early must not pay for the rest of the haystack —
+    // `captures_iter` re-enters here once per match position, so an eager
+    // collect would make short-match scans quadratic in the text length.
+    let positions = haystack
+        .char_indices()
+        .map(|(i, c)| (i, Some(c)))
+        .chain(std::iter::once((haystack.len(), None)));
 
     clist.clear();
-    for (step, &(pos, ch)) in positions.iter().enumerate() {
+    for (step, (pos, ch)) in positions.enumerate() {
         // Seed a new thread for unanchored search — but only while no match
         // has been found (leftmost semantics: once a match starts, later
         // starts are lower priority and cannot win).
@@ -97,7 +101,6 @@ pub fn run(prog: &Program, haystack: &str, anchored: bool) -> Option<Slots> {
         if clist.threads.is_empty() && (matched.is_some() || anchored) {
             break;
         }
-        let _ = ch;
     }
     matched
 }

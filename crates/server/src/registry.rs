@@ -31,8 +31,8 @@ use std::sync::{Arc, RwLock};
 use lixto_core::XmlDesign;
 use lixto_elog::concepts::Concept;
 use lixto_elog::{
-    parse_program, CompileError, ConceptRegistry, ElogProgram, ExtractorOptions, ParseError,
-    WrapperPlan,
+    parse_program, CompileError, ConceptRegistry, ElogProgram, ExtractorOptions, OptimizedPlan,
+    ParseError, WrapperPlan,
 };
 use lixto_obs::{warn_event, RuleStats};
 
@@ -68,6 +68,12 @@ pub struct WrapperSpec {
     pub source: String,
     /// The compiled execution plan, shared with every in-flight job.
     pub plan: Arc<WrapperPlan>,
+    /// The optimized form of `plan` (rule schedule, fused path automata,
+    /// hoist groups — see [`lixto_elog::optimize`]), built once at
+    /// deploy time; the worker pool executes this. Always derived from
+    /// `plan`, so it carries no independent semantic identity and does
+    /// not contribute to [`plan_id`](WrapperSpec::plan_id).
+    pub optimized: Arc<OptimizedPlan>,
     /// Mapping from the instance base to the output XML document.
     pub design: XmlDesign,
     /// Concept predicates the plan was compiled against. Private on
@@ -87,9 +93,11 @@ impl WrapperSpec {
         let source = program.to_string();
         let concepts = ConceptRegistry::builtin();
         let plan = WrapperPlan::compile(&program, &concepts).map_err(DeployError::Compile)?;
+        let plan = Arc::new(plan);
         Ok(WrapperSpec {
             source,
-            plan: Arc::new(plan),
+            optimized: Arc::new(OptimizedPlan::new(plan.clone())),
+            plan,
             design,
             concepts,
             options: ExtractorOptions::default(),
@@ -101,9 +109,11 @@ impl WrapperSpec {
         let program = parse_program(source).map_err(DeployError::Parse)?;
         let concepts = ConceptRegistry::builtin();
         let plan = WrapperPlan::compile(&program, &concepts).map_err(DeployError::Compile)?;
+        let plan = Arc::new(plan);
         Ok(WrapperSpec {
             source: source.to_string(),
-            plan: Arc::new(plan),
+            optimized: Arc::new(OptimizedPlan::new(plan.clone())),
+            plan,
             design,
             concepts,
             options: ExtractorOptions::default(),
@@ -117,6 +127,7 @@ impl WrapperSpec {
         let plan =
             WrapperPlan::compile(self.plan.program(), &concepts).map_err(DeployError::Compile)?;
         self.plan = Arc::new(plan);
+        self.optimized = Arc::new(OptimizedPlan::new(self.plan.clone()));
         self.concepts = concepts;
         Ok(self)
     }

@@ -872,14 +872,15 @@ fn process(job: &Job, shared: &Shared) -> Result<ExtractionResponse, ServerError
         entry: url,
         fetched: RefCell::new(Vec::new()),
     };
-    // The compile-once fast path: execute the plan shared by every job
-    // of this wrapper version — no AST clone, no per-request regex
-    // compilation (concepts are baked into the plan). The probe feeds
-    // this version's per-rule counters and splits out the fetch/parse
-    // time spent inside the run.
+    // The compile-once fast path: execute the optimized plan shared by
+    // every job of this wrapper version — no AST clone, no per-request
+    // regex compilation (concepts are baked into the plan), rule
+    // schedule / fused path automata / hoist memo applied. The probe
+    // feeds this version's per-rule counters and splits out the
+    // fetch/parse time spent inside the run.
     let probe = ExecProbe::new(Some(job.wrapper.telemetry.clone()));
     let exec_started = Instant::now();
-    let result = Extractor::from_plan(spec.plan.clone(), &recorder)
+    let result = Extractor::from_optimized(spec.optimized.clone(), &recorder)
         .with_options(spec.options.clone())
         .with_probe(&probe)
         .run();
@@ -897,7 +898,7 @@ fn process(job: &Job, shared: &Shared) -> Result<ExtractionResponse, ServerError
         .iter()
         .enumerate()
         .map(|(i, inst)| InstanceProvenance {
-            pattern: inst.pattern.clone(),
+            pattern: inst.pattern.to_string(),
             parent: inst.parent,
             rule: result.producing_rule(i),
             text: result.base.text_of(i, &result.docs),

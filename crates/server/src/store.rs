@@ -426,7 +426,7 @@ fn decode_put(mut fields: std::str::Split<'_, char>) -> Option<Record> {
         instances: instances
             .iter()
             .map(|inst| Instance {
-                pattern: inst.pattern.clone(),
+                pattern: inst.pattern.as_str().into(),
                 parent: inst.parent,
                 target: Target::Text(inst.text.clone()),
             })
@@ -796,7 +796,7 @@ mod tests {
             instances: instances
                 .iter()
                 .map(|p| Instance {
-                    pattern: p.pattern.clone(),
+                    pattern: p.pattern.as_str().into(),
                     parent: p.parent,
                     target: Target::Text(p.text.clone()),
                 })

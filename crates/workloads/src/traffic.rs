@@ -88,12 +88,20 @@ pub fn page_for(wrapper: &str, seed: u64, variant: u64) -> String {
         .wrapping_mul(31)
         .wrapping_add(variant.wrapping_mul(0x9E37));
     let n = 6 + (variant as usize % 3) * 3;
+    page_sized(wrapper, vseed, n, variant)
+}
+
+/// A wrapper's page with exactly `rows` records — the knob benchmarks
+/// use to measure extraction on realistically sized documents (the
+/// rotating [`page_for`] variants stay small to keep serving tests
+/// fast).
+pub fn page_sized(wrapper: &str, vseed: u64, rows: usize, variant: u64) -> String {
     match wrapper {
-        "books_a" => books::shop_page(&books::catalog(vseed, 0, n)),
-        "books_b" => books::shop_page(&books::catalog(vseed, 1, n)),
-        "ebay" => ebay::listing_page(&ebay::auctions(vseed, n)),
-        "news" => news::press_page(&news::items(vseed, n)),
-        "flights" => flights::status_page(&flights::flights(vseed, n, variant)),
+        "books_a" => books::shop_page(&books::catalog(vseed, 0, rows)),
+        "books_b" => books::shop_page(&books::catalog(vseed, 1, rows)),
+        "ebay" => ebay::listing_page(&ebay::auctions(vseed, rows)),
+        "news" => news::press_page(&news::items(vseed, rows)),
+        "flights" => flights::status_page(&flights::flights(vseed, rows, variant)),
         other => panic!("unknown traffic wrapper {other:?}"),
     }
 }

@@ -314,20 +314,16 @@ fn hostile_history_params_are_clamped_to_retained_data() {
         started.elapsed()
     );
     let history = response.json().unwrap();
-    let retention = history
-        .get("retention")
-        .and_then(Json::as_u64)
-        .unwrap();
-    let steps = history
-        .get("steps")
-        .and_then(Json::as_array)
-        .unwrap()
-        .len() as u64;
+    let retention = history.get("retention").and_then(Json::as_u64).unwrap();
+    let steps = history.get("steps").and_then(Json::as_array).unwrap().len() as u64;
     assert!(steps <= retention, "{steps} tiles > retention {retention}");
     // The echoed window never exceeds what the ring can answer.
     let window_ms = history.get("window_ms").and_then(Json::as_u64).unwrap();
     let interval_ms = history.get("interval_ms").and_then(Json::as_u64).unwrap();
-    assert!(window_ms <= interval_ms * retention, "window_ms {window_ms}");
+    assert!(
+        window_ms <= interval_ms * retention,
+        "window_ms {window_ms}"
+    );
 
     drop(client);
     gateway.shutdown();

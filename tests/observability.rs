@@ -279,6 +279,78 @@ fn per_rule_telemetry_counts_real_executions() {
 }
 
 #[test]
+fn debug_wrapper_reports_optimizer_stats_for_news() {
+    // Deploy the news workload wrapper and assert the debug endpoint
+    // surfaces the optimizer's report: the wrapper's pattern-dependency
+    // graph is acyclic and top-down, so it runs on the single-pass
+    // schedule, every element path is fused, and the two `.span` cells
+    // of the story rules share one hoist group.
+    let registry = Arc::new(WrapperRegistry::new());
+    registry
+        .register_source(
+            "news",
+            lixto_workloads::news::NEWS_WRAPPER,
+            XmlDesign::new().root("press"),
+        )
+        .unwrap();
+    let server = Arc::new(ExtractionServer::start(
+        ServerConfig {
+            shards: 1,
+            workers_per_shard: 1,
+            queue_capacity: 64,
+            cache_capacity: 16,
+            store: None,
+        },
+        registry,
+        Arc::new(lixto_workloads::news::site(4, 6).0),
+    ));
+    let gateway = HttpGateway::bind("127.0.0.1:0", traced_config(), server.clone()).unwrap();
+    let mut client = HttpClient::connect(gateway.addr()).unwrap();
+
+    let response = client.get("/debug/wrappers/news").unwrap();
+    assert_eq!(response.status, 200, "{}", response.text());
+    let body = response.json().unwrap();
+    let optimizer = body.get("optimizer").expect("optimizer stats present");
+    assert_eq!(
+        optimizer.get("schedule").and_then(Json::as_str),
+        Some("single_pass"),
+        "the news wrapper's dependency graph is acyclic and top-down"
+    );
+    assert_eq!(optimizer.get("rules").and_then(Json::as_u64), Some(4));
+    assert_eq!(optimizer.get("fused_paths").and_then(Json::as_u64), Some(4));
+    assert_eq!(
+        optimizer.get("fallback_paths").and_then(Json::as_u64),
+        Some(0)
+    );
+    assert!(
+        optimizer
+            .get("hoist_groups")
+            .and_then(Json::as_u64)
+            .unwrap()
+            >= 1,
+        "ticker and quote share a .span sub-matcher"
+    );
+    assert!(optimizer.get("strata").and_then(Json::as_u64).unwrap() >= 2);
+
+    // The optimized executor serves real requests through the gateway.
+    let extract = r#"{"wrapper":"news","url":"http://press/finance"}"#;
+    let response = client.post_json("/extract", extract).unwrap();
+    assert_eq!(response.status, 200, "{}", response.text());
+    let xml = response
+        .json()
+        .unwrap()
+        .get("xml")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+    assert!(xml.contains("story"), "news extraction produced stories");
+
+    drop(client);
+    gateway.shutdown();
+    server.initiate_shutdown();
+}
+
+#[test]
 fn disabling_tracing_leaves_responses_untouched() {
     let (gateway, server) = stack(GatewayConfig {
         tracing: false,

@@ -1,21 +1,26 @@
-//! Compiled-plan execution must be *result-identical* to the interpreted
-//! reference evaluator — instance for instance, byte for byte through the
-//! XML rendering — across the whole workload corpus (books / eBay / news
-//! / flights), on perturbed layouts, and on multi-page crawls. This is
-//! the safety net under the compile-once architecture: the plan executor
-//! may be arbitrarily cleverer than the AST walker, but never different.
+//! Compiled-plan execution — unoptimized *and* optimized — must be
+//! *result-identical* to the interpreted reference evaluator: instance
+//! for instance, byte for byte through the XML rendering, across the
+//! whole workload corpus (books / eBay / news / flights), on perturbed
+//! layouts, and on multi-page crawls. This is the safety net under the
+//! compile-once architecture: the plan executor and the optimizer may be
+//! arbitrarily cleverer than the AST walker, but never different.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use lixto::elog::{parse_program, ConceptRegistry, Extractor, StaticWeb, WebSource, WrapperPlan};
+use lixto::elog::{
+    parse_program, ConceptRegistry, Extractor, OptimizedPlan, StaticWeb, WebSource, WrapperPlan,
+};
 use lixto::workloads::perturb;
 use lixto::workloads::traffic::{self, VARIANTS_PER_WRAPPER};
 use lixto_bench::workload_design;
 
-/// Run both engines over one (program, web) pair and demand identity of
-/// the full result, the pattern table, and the designed XML rendering.
+/// Run all three engines — interpreted AST walker, unoptimized plan
+/// executor, optimized plan executor — over one (program, web) pair and
+/// demand identity of the full result, the pattern table, and the
+/// designed XML rendering.
 fn assert_engines_agree(
     program_src: &str,
     web: &dyn WebSource,
@@ -26,22 +31,38 @@ fn assert_engines_agree(
     let plan = std::sync::Arc::new(
         WrapperPlan::compile(&program, &ConceptRegistry::builtin()).expect("program compiles"),
     );
+    let optimized_plan = std::sync::Arc::new(OptimizedPlan::new(plan.clone()));
     let interpreted = Extractor::new(program, web).run_interpreted();
     let compiled = Extractor::from_plan(plan, web).run();
+    let optimized = Extractor::from_optimized(optimized_plan, web).run();
     assert_eq!(
         interpreted, compiled,
-        "{context}: extraction results diverged"
+        "{context}: interpreted vs plan results diverged"
+    );
+    assert_eq!(
+        compiled, optimized,
+        "{context}: plan vs optimized results diverged"
     );
     assert_eq!(
         interpreted.patterns(),
         compiled.patterns(),
         "{context}: pattern tables diverged"
     );
+    assert_eq!(
+        compiled.patterns(),
+        optimized.patterns(),
+        "{context}: optimized pattern table diverged"
+    );
     let interpreted_xml = lixto::xml::to_string(&lixto::core::to_xml(&interpreted, design));
     let compiled_xml = lixto::xml::to_string(&lixto::core::to_xml(&compiled, design));
+    let optimized_xml = lixto::xml::to_string(&lixto::core::to_xml(&optimized, design));
     assert_eq!(
         interpreted_xml, compiled_xml,
         "{context}: XML renderings diverged"
+    );
+    assert_eq!(
+        compiled_xml, optimized_xml,
+        "{context}: optimized XML rendering diverged"
     );
 }
 
@@ -126,6 +147,170 @@ fn ebay_figure5_program_is_engine_identical() {
         .root("auctions")
         .auxiliary("tableseq");
     assert_engines_agree(lixto::elog::EBAY_PROGRAM, &web, &design, "ebay");
+}
+
+/// A web source whose pages fail on their first `fetch` and succeed on
+/// the retry — plus one page that always fails. Exercises the unified
+/// retry-once-then-pin fetch semantics: all three engines must agree on
+/// flaky sources regardless of how many fixpoint passes they take.
+struct FlakyWeb {
+    pages: StaticWeb,
+    attempts: std::cell::RefCell<std::collections::HashMap<String, u32>>,
+    always_dead: String,
+}
+
+impl WebSource for FlakyWeb {
+    fn fetch(&self, url: &str) -> Option<String> {
+        let mut attempts = self.attempts.borrow_mut();
+        let n = attempts.entry(url.to_string()).or_insert(0);
+        *n += 1;
+        if url == self.always_dead || *n < 2 {
+            return None;
+        }
+        self.pages.fetch(url)
+    }
+}
+
+#[test]
+fn flaky_sources_are_engine_identical() {
+    let mut pages = StaticWeb::new();
+    pages.put(
+        "http://start/",
+        "<body><a href='http://p2/'>next</a><a href='http://dead/'>dead</a><p>first</p></body>",
+    );
+    pages.put("http://p2/", "<body><p>second</p><td>$ 9</td></body>");
+    let program = r#"
+        page(S, X) :- document("http://start/", S), subelem(S, (?.body, []), X).
+        link(S, X) :- page(_, S), subelem(S, (?.a, []), X).
+        page(S, X) :- link(_, S), attrbind(S, href, U), document(U, X).
+        para(S, X) :- page(_, S), subelem(S, (?.p, []), X).
+        price(S, X) :- page(_, S), subelem(S, (?.td, [(elementtext, "\var[Y](\$|EUR)", regvar)]), X), isCurrency(Y).
+    "#;
+    let design = lixto::core::XmlDesign::new()
+        .root("crawl")
+        .auxiliary("link");
+    // Each engine gets a fresh source so retry counters start at zero.
+    let fresh = || FlakyWeb {
+        pages: pages.clone(),
+        attempts: std::cell::RefCell::new(std::collections::HashMap::new()),
+        always_dead: "http://dead/".to_string(),
+    };
+    let parsed = parse_program(program).expect("program parses");
+    let plan = std::sync::Arc::new(
+        WrapperPlan::compile(&parsed, &ConceptRegistry::builtin()).expect("program compiles"),
+    );
+    let optimized_plan = std::sync::Arc::new(OptimizedPlan::new(plan.clone()));
+    let interpreted_web = fresh();
+    let interpreted = Extractor::new(parsed, &interpreted_web).run_interpreted();
+    let compiled_web = fresh();
+    let compiled = Extractor::from_plan(plan, &compiled_web).run();
+    let optimized_web = fresh();
+    let optimized = Extractor::from_optimized(optimized_plan, &optimized_web).run();
+    assert_eq!(interpreted, compiled, "flaky: interpreted vs plan");
+    assert_eq!(compiled, optimized, "flaky: plan vs optimized");
+    // The flaky pages were actually extracted, not silently skipped.
+    assert!(
+        interpreted.patterns().iter().any(|p| p == "price"),
+        "retried pages should contribute instances"
+    );
+    let interpreted_xml = lixto::xml::to_string(&lixto::core::to_xml(&interpreted, &design));
+    let optimized_xml = lixto::xml::to_string(&lixto::core::to_xml(&optimized, &design));
+    assert_eq!(interpreted_xml, optimized_xml, "flaky: XML diverged");
+}
+
+/// Deep single-branch nesting: every step of a descendant path stays
+/// live down a long spine, stressing the fused automaton's mask
+/// propagation and the step evaluator's frontier reuse.
+#[test]
+fn deeply_nested_documents_are_engine_identical() {
+    let mut html = String::from("<body>");
+    for d in 0..40 {
+        html.push_str(&format!("<div id='d{d}'><span>lvl {d}</span>"));
+    }
+    html.push_str("<table><tr><td>$ 7</td></tr></table>");
+    for _ in 0..40 {
+        html.push_str("</div>");
+    }
+    html.push_str("</body>");
+    let program = r#"
+        item(S, X) :- document("http://deep/", S), subelem(S, (?.td, []), X).
+        label(S, X) :- item(_, S), subelem(S, (.*, []), X).
+        deepspan(S, X) :- document("http://deep/", S), subelem(S, (?.div.div.div.span, []), X).
+    "#;
+    let web = lixto::elog::SinglePage {
+        url: "http://deep/".to_string(),
+        html,
+    };
+    let design = lixto::core::XmlDesign::new().root("deep");
+    assert_engines_agree(program, &web, &design, "deep nesting");
+}
+
+/// Wide sibling fan-out: thousands of flat siblings, where per-step
+/// allocation and per-candidate dispatch dominate the unfused evaluator.
+#[test]
+fn wide_sibling_documents_are_engine_identical() {
+    let mut html = String::from("<body><ul>");
+    for i in 0..1500 {
+        let cls = if i % 3 == 0 { "odd" } else { "even" };
+        html.push_str(&format!("<li class='{cls}'>row {i}: $ {}</li>", i % 97));
+    }
+    html.push_str("</ul></body>");
+    let program = r#"
+        row(S, X) :- document("http://wide/", S), subelem(S, (?.li, []), X).
+        odd(S, X) :- document("http://wide/", S), subelem(S, (?.li, [(class, "odd", exact)]), X).
+        price(S, X) :- row(_, S), subtext(S, "\$ \var[Y]([0-9]+)", X), isNumber(Y).
+    "#;
+    let web = lixto::elog::SinglePage {
+        url: "http://wide/".to_string(),
+        html,
+    };
+    let design = lixto::core::XmlDesign::new().root("wide");
+    assert_engines_agree(program, &web, &design, "wide siblings");
+}
+
+/// Table-heavy layout with shared path prefixes across rules — the
+/// hoisting sweet spot — run both pristine and through the perturbation
+/// kit to cover messier real-world shapes.
+#[test]
+fn table_heavy_documents_are_engine_identical() {
+    let mut html = String::from("<body>");
+    for t in 0..12 {
+        html.push_str("<table><tbody>");
+        for r in 0..18 {
+            html.push_str(&format!(
+                "<tr><td>name {t}-{r}</td><td>$ {}</td><td><a href='http://x/{t}/{r}'>go</a></td></tr>",
+                (t * 31 + r * 7) % 500
+            ));
+        }
+        html.push_str("</tbody></table>");
+    }
+    html.push_str("</body>");
+    let program = r#"
+        rowx(S, X) :- document("http://tables/", S), subelem(S, (?.tr, []), X).
+        namecell(S, X) :- rowx(_, S), subelem(S, (.td, []), X), firstsubtree(S, X, (.td, [])).
+        pricecell(S, X) :- rowx(_, S), subelem(S, (.td, [(elementtext, "\var[Y](\$ [0-9]+)", regvar)]), X), isCurrency(Y).
+        linkcell(S, X) :- rowx(_, S), subelem(S, (.td.a, []), X).
+    "#;
+    let design = lixto::core::XmlDesign::new().root("tables");
+    let web = lixto::elog::SinglePage {
+        url: "http://tables/".to_string(),
+        html: html.clone(),
+    };
+    assert_engines_agree(program, &web, &design, "table heavy");
+    for seed in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xE20);
+        let mutated = perturb::apply_random(&html, 3, &mut rng);
+        let web = lixto::elog::SinglePage {
+            url: "http://tables/".to_string(),
+            html: mutated,
+        };
+        assert_engines_agree(
+            program,
+            &web,
+            &design,
+            &format!("table heavy perturbed {seed}"),
+        );
+    }
 }
 
 proptest! {

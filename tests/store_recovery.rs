@@ -49,7 +49,7 @@ fn entry(wrapper: &str, xml: &str, texts: &[&str]) -> Arc<CachedExtraction> {
         instances: instances
             .iter()
             .map(|p| Instance {
-                pattern: p.pattern.clone(),
+                pattern: p.pattern.as_str().into(),
                 parent: p.parent,
                 target: Target::Text(p.text.clone()),
             })
