@@ -1,0 +1,71 @@
+//! E21: continuous extraction — the per-tick cost of the watch layer's
+//! hot pieces. A watch tick re-extracts a page and diffs the new
+//! instance snapshot against the last delivered one, so this bench
+//! measures (a) `diff_snapshots` at growing snapshot sizes, for both an
+//! unchanged page (the suppressed steady state every tick pays) and a
+//! 10%-churned one, and (b) a full single-watch recompute+diff over the
+//! workload watch page.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lixto_elog::{parse_program, Extractor, SinglePage};
+use lixto_transform::{diff_snapshots, ExtractionSnapshot};
+use lixto_workloads::traffic::{watch_page, watch_profiles};
+
+fn snapshot(instances: usize, churn_from: usize) -> ExtractionSnapshot {
+    ExtractionSnapshot::from_pairs((0..instances).map(|i| {
+        let text = if i >= churn_from {
+            format!("item-{i}-changed")
+        } else {
+            format!("item-{i}")
+        };
+        (format!("p{}", i % 4), text)
+    }))
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e21_watch");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+
+    for &n in &[10usize, 100, 1000] {
+        let before = snapshot(n, n);
+        let unchanged = snapshot(n, n);
+        let churned = snapshot(n, n - n / 10);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("diff_unchanged", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(diff_snapshots(&before, &unchanged).len()))
+        });
+        g.bench_with_input(BenchmarkId::new("diff_churned", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(diff_snapshots(&before, &churned).len()))
+        });
+    }
+
+    // One full watch tick, minus the pool: extract the watch page and
+    // diff it against the baseline snapshot.
+    let profile = &watch_profiles(1)[0];
+    let program = parse_program(&profile.program).expect("watch wrapper parses");
+    let run = |revision: u64| {
+        let web = SinglePage {
+            url: profile.url.clone(),
+            html: watch_page(0, 2026, revision, revision),
+        };
+        let result = Extractor::new(program.clone(), &web).run();
+        ExtractionSnapshot::from_pairs(
+            result
+                .patterns()
+                .iter()
+                .flat_map(|p| result.texts_of(p).into_iter().map(move |t| (p.clone(), t))),
+        )
+    };
+    let baseline = run(0);
+    g.throughput(Throughput::Elements(1));
+    g.bench_function(
+        BenchmarkId::from_parameter("tick_recompute_and_diff"),
+        |b| b.iter(|| std::hint::black_box(diff_snapshots(&baseline, &run(1)).len())),
+    );
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

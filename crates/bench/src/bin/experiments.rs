@@ -77,6 +77,9 @@ fn main() {
     if want("e20_optimizer") {
         e20_optimizer();
     }
+    if want("e21_watch") {
+        e21_watch();
+    }
 }
 
 /// A deep/wide synthetic document of ~n nodes (nested lists of tables).
@@ -2283,6 +2286,314 @@ fn e20_optimizer() {
         wrapper_json.join(",\n")
     );
     let path = "BENCH_e20.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn e21_watch() {
+    use lixto_core::XmlDesign;
+    use lixto_elog::SharedWeb;
+    use lixto_http::{GatewayConfig, HttpClient, HttpGateway, Json};
+    use lixto_server::{
+        ExtractionServer, ServerConfig, WatchEvent, WatchRegistry, WatchScheduler, WatchSpec,
+        WrapperRegistry,
+    };
+    use lixto_workloads::http_traffic::extract_body;
+    use lixto_workloads::traffic::{perturbed_requests, watch_page, watch_profiles};
+    use std::sync::{mpsc, Arc};
+    use std::time::{Duration, Instant};
+
+    const WATCHES: usize = 120;
+    const USERS: usize = 16;
+    const PER_USER: usize = 25;
+    const MEASURED_REPS: usize = 3;
+    const PAIRS: usize = 4;
+    const SEED: u64 = 2026;
+    const WATCH_INTERVAL_MS: u64 = 100;
+
+    let fleet = watch_profiles(WATCHES);
+
+    // Part 1: the interactive-path throughput tax of a live watch fleet.
+    // One pool, one gateway, one serial client (as in E19: a client
+    // thread fleet measures the scheduler, not the gateway). Measured
+    // blocks alternate watches-off / watches-on in order-balanced
+    // off/on/on/off pairs so machine drift hits both modes equally, and
+    // each block replays a distinct perturbed-traffic epoch (documents
+    // mutate between blocks, as live sources do). During every "on"
+    // phase all 120 watches tick against the shared pool AND absorb one
+    // full diff wave (every watched page content-mutates mid-phase).
+    let registry = lixto_bench::workload_registry();
+    for p in &fleet {
+        registry
+            .register_source(&p.name, &p.program, XmlDesign::new().root("offers"))
+            .expect("watch wrapper compiles");
+    }
+    let web = Arc::new(SharedWeb::new());
+    for (i, p) in fleet.iter().enumerate() {
+        web.put(&p.url, watch_page(i, SEED, 0, 0));
+    }
+    let server = Arc::new(ExtractionServer::start(
+        ServerConfig {
+            shards: 2,
+            // Two workers per shard: the fleet's ticks (cache hits plus
+            // one miss wave per phase) absorb into spare worker
+            // capacity instead of queueing behind the serial
+            // interactive client — the deployment shape the
+            // never-starve-interactive-traffic submission is for.
+            workers_per_shard: 2,
+            queue_capacity: 128,
+            cache_capacity: 1024,
+            store: None,
+        },
+        registry,
+        web.clone(),
+    ));
+    let gateway = HttpGateway::bind(
+        "127.0.0.1:0",
+        GatewayConfig {
+            event_loops: 1,
+            watch_tick: Duration::from_millis(25),
+            ..GatewayConfig::default()
+        },
+        server.clone(),
+    )
+    .expect("bind gateway");
+    let mut client = HttpClient::connect(gateway.addr()).expect("connect");
+
+    let blocks = 4 * PAIRS;
+    let bodies: Vec<Vec<String>> = (0..blocks as u64)
+        .map(|epoch| {
+            perturbed_requests(SEED, USERS, PER_USER, epoch)
+                .iter()
+                .map(|r| extract_body(r.wrapper, &r.url, &r.html))
+                .collect()
+        })
+        .collect();
+    let sweep = |client: &mut HttpClient, bodies: &[String]| {
+        for body in bodies {
+            let response = client.post_json("/extract", body).expect("extract");
+            assert_eq!(response.status, 200, "{}", response.text());
+        }
+    };
+    let timed = |client: &mut HttpClient, bodies: &[String]| -> f64 {
+        let t = Instant::now();
+        for _ in 0..MEASURED_REPS {
+            sweep(client, bodies);
+        }
+        t.elapsed().as_secs_f64()
+    };
+    let put_fleet = |client: &mut HttpClient| {
+        for (i, p) in fleet.iter().enumerate() {
+            let body = format!(
+                r#"{{"wrapper":"{}","url":"{}","interval_ms":{WATCH_INTERVAL_MS}}}"#,
+                p.name, p.url
+            );
+            let response = client
+                .put_json(&format!("/watches/w{i}"), &body)
+                .expect("put watch");
+            assert!(
+                response.status == 201 || response.status == 200,
+                "{}",
+                response.text()
+            );
+        }
+    };
+    let delete_fleet = |client: &mut HttpClient| {
+        for i in 0..fleet.len() {
+            let response = client
+                .request("DELETE", &format!("/watches/w{i}"), &[], None)
+                .expect("delete watch");
+            assert_eq!(response.status, 200, "{}", response.text());
+        }
+    };
+
+    // Warm pass: compile every plan, prime the first epoch's documents.
+    sweep(&mut client, &bodies[0]);
+    let mut secs_off = Vec::with_capacity(2 * PAIRS);
+    let mut secs_on = Vec::with_capacity(2 * PAIRS);
+    let mut block = 0usize;
+    for pair in 0..PAIRS {
+        secs_off.push(timed(&mut client, &bodies[block]));
+        block += 1;
+        put_fleet(&mut client);
+        // The diff wave: every watched page changes content while the
+        // fleet is live and interactive traffic is being measured.
+        for (i, p) in fleet.iter().enumerate() {
+            let revision = (pair + 1) as u64;
+            web.put(&p.url, watch_page(i, SEED, revision, revision));
+        }
+        secs_on.push(timed(&mut client, &bodies[block]));
+        block += 1;
+        secs_on.push(timed(&mut client, &bodies[block]));
+        block += 1;
+        if pair == PAIRS - 1 {
+            // The fleet must actually have been active while measured.
+            let metrics = client
+                .get_accept("/metrics", "application/json")
+                .expect("metrics")
+                .json()
+                .expect("metrics json");
+            let watches = metrics.get("watches").expect("watches section");
+            assert_eq!(
+                watches.get("registered").and_then(Json::as_u64),
+                Some(WATCHES as u64),
+                "fleet not registered during measurement"
+            );
+            let ticked: u64 = watches
+                .get("watches")
+                .and_then(Json::as_array)
+                .expect("watch list")
+                .iter()
+                .map(|w| w.get("ticks").and_then(Json::as_u64).unwrap_or(0))
+                .sum();
+            assert!(ticked >= WATCHES as u64, "fleet never ticked");
+        }
+        delete_fleet(&mut client);
+        secs_off.push(timed(&mut client, &bodies[block]));
+        block += 1;
+    }
+    let median_secs = |samples: &mut Vec<f64>| -> f64 {
+        samples.sort_by(f64::total_cmp);
+        samples[samples.len() / 2]
+    };
+    let block_requests = (MEASURED_REPS * USERS * PER_USER) as f64;
+    let rps_off = block_requests / median_secs(&mut secs_off);
+    let rps_on = block_requests / median_secs(&mut secs_on);
+    let ratio = rps_on / rps_off;
+    drop(client);
+    gateway.shutdown();
+    server.initiate_shutdown();
+
+    // Part 2: freshness — content-mutation-to-delivery latency across
+    // the fleet, measured at the scheduler sink (no HTTP in the timed
+    // path). Each round first replays a perturb-only epoch (bytes move,
+    // records do not): the instance-level differ must stay silent.
+    // Then every page's content revision advances and all 120 diffs
+    // must arrive.
+    let registry = Arc::new(WrapperRegistry::new());
+    for p in &fleet {
+        registry
+            .register_source(&p.name, &p.program, XmlDesign::new().root("offers"))
+            .expect("watch wrapper compiles");
+    }
+    let web = Arc::new(SharedWeb::new());
+    for (i, p) in fleet.iter().enumerate() {
+        web.put(&p.url, watch_page(i, SEED, 0, 0));
+    }
+    let server = Arc::new(ExtractionServer::start(
+        ServerConfig {
+            shards: 2,
+            workers_per_shard: 2,
+            queue_capacity: 256,
+            cache_capacity: 1024,
+            store: None,
+        },
+        registry,
+        web.clone(),
+    ));
+    let watches = Arc::new(WatchRegistry::new());
+    for (i, p) in fleet.iter().enumerate() {
+        watches.put(
+            &format!("w{i}"),
+            WatchSpec {
+                wrapper: p.name.clone(),
+                url: p.url.clone(),
+                interval: Duration::from_millis(WATCH_INTERVAL_MS),
+                webhook: None,
+            },
+        );
+    }
+    let (tx, rx) = mpsc::channel::<WatchEvent>();
+    let scheduler = WatchScheduler::start(
+        server.clone(),
+        watches.clone(),
+        Duration::from_millis(10),
+        Box::new(move |event| {
+            let _ = tx.send(event);
+        }),
+    );
+    // Baseline: every watch has seen its page once.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !watches.sample().watches.iter().all(|w| w.ticks >= 1) {
+        assert!(Instant::now() < deadline, "fleet never baselined");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    const ROUNDS: u64 = 4;
+    let mut latencies_ms: Vec<f64> = Vec::with_capacity(WATCHES * ROUNDS as usize);
+    let mut perturb_only_events = 0usize;
+    for round in 1..=ROUNDS {
+        // Perturb-only epoch: same revision, new bytes on every page.
+        for (i, p) in fleet.iter().enumerate() {
+            web.put(&p.url, watch_page(i, SEED, round - 1, 100 + round));
+        }
+        std::thread::sleep(Duration::from_millis(4 * WATCH_INTERVAL_MS));
+        while rx.try_recv().is_ok() {
+            perturb_only_events += 1;
+        }
+        // Content mutation: the whole fleet must deliver, promptly.
+        let mutated_at = Instant::now();
+        for (i, p) in fleet.iter().enumerate() {
+            web.put(&p.url, watch_page(i, SEED, round, 200 + round));
+        }
+        for _ in 0..WATCHES {
+            let event = rx
+                .recv_timeout(Duration::from_secs(30))
+                .expect("diff wave delivery");
+            assert!(!event.diff.is_empty(), "a content mutation implies a diff");
+            latencies_ms.push(mutated_at.elapsed().as_secs_f64() * 1e3);
+        }
+    }
+    scheduler.stop();
+    server.initiate_shutdown();
+    latencies_ms.sort_by(f64::total_cmp);
+    let quantile = |q: f64| -> f64 {
+        let idx = ((latencies_ms.len() - 1) as f64 * q).round() as usize;
+        latencies_ms[idx]
+    };
+    let (p50_ms, p99_ms) = (quantile(0.50), quantile(0.99));
+
+    print_table(
+        "E21 — continuous extraction: interactive throughput with a 120-watch fleet",
+        &["mode", "req/s (median block, 4 balanced pairs)"],
+        &[
+            vec!["watches off".into(), format!("{rps_off:.0}")],
+            vec!["120 watches on".into(), format!("{rps_on:.0}")],
+            vec!["on/off ratio".into(), format!("{ratio:.3}")],
+        ],
+    );
+    print_table(
+        &format!(
+            "E21 — continuous extraction: freshness over {} mutation waves ({} diffs)",
+            ROUNDS,
+            latencies_ms.len()
+        ),
+        &["quantile", "mutation → delivery ms"],
+        &[
+            vec!["p50".into(), format!("{p50_ms:.0}")],
+            vec!["p99".into(), format!("{p99_ms:.0}")],
+            vec![
+                "perturb-only deliveries".into(),
+                format!("{perturb_only_events}"),
+            ],
+        ],
+    );
+    assert!(
+        ratio >= 0.95,
+        "interactive throughput with the fleet active is {ratio:.3}x baseline (< 0.95)"
+    );
+    assert_eq!(
+        perturb_only_events, 0,
+        "irrelevant-markup epochs must deliver nothing"
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e21_watch\",\n  \"interactive\": {{\"users\": {USERS}, \"requests_per_user\": {PER_USER}, \"pairs\": {PAIRS}, \"measured_reps\": {MEASURED_REPS}, \"watches\": {WATCHES}, \"watch_interval_ms\": {WATCH_INTERVAL_MS}, \"rps_watches_off\": {rps_off:.1}, \"rps_watches_on\": {rps_on:.1}, \"throughput_ratio\": {ratio:.4}, \"meets_095_floor\": {}}},\n  \"freshness\": {{\"watches\": {WATCHES}, \"rounds\": {ROUNDS}, \"scheduler_tick_ms\": 10, \"p50_ms\": {p50_ms:.1}, \"p99_ms\": {p99_ms:.1}, \"perturb_only_deliveries\": {perturb_only_events}}}\n}}\n",
+        ratio >= 0.95
+    );
+    let path = "BENCH_e21.json";
     match std::fs::write(path, &json) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),

@@ -76,4 +76,4 @@ pub use instances::{Instance, InstanceBase, Target};
 pub use optimize::{OptimizeReport, OptimizedPlan, Schedule};
 pub use parser::{parse_program, ParseError, EBAY_PROGRAM};
 pub use plan::{CompileError, WrapperPlan};
-pub use web::{SinglePage, StaticWeb, WebSource};
+pub use web::{SharedWeb, SinglePage, StaticWeb, WebSource};

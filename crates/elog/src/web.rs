@@ -6,6 +6,7 @@
 //! substitution.
 
 use std::collections::HashMap;
+use std::sync::RwLock;
 
 /// Something that can fetch HTML by URL.
 pub trait WebSource {
@@ -47,6 +48,56 @@ impl WebSource for StaticWeb {
     }
 }
 
+/// A mutable in-memory site map behind a lock: pages can change *while*
+/// a server (which holds the source behind an immutable `Arc`) keeps
+/// fetching — the substrate for continuous-extraction scenarios where
+/// "wrappers run continuously against changing web sources".
+#[derive(Debug, Default)]
+pub struct SharedWeb {
+    pages: RwLock<HashMap<String, String>>,
+}
+
+impl SharedWeb {
+    /// Empty web.
+    pub fn new() -> SharedWeb {
+        SharedWeb::default()
+    }
+
+    /// Add (or replace) a page — through a shared reference, so a test
+    /// or workload driver can mutate the site mid-run.
+    pub fn put(&self, url: &str, html: impl Into<String>) {
+        self.pages
+            .write()
+            .expect("shared web poisoned")
+            .insert(url.to_string(), html.into());
+    }
+
+    /// Remove a page (subsequent fetches 404).
+    pub fn remove(&self, url: &str) {
+        self.pages.write().expect("shared web poisoned").remove(url);
+    }
+
+    /// Number of pages.
+    pub fn len(&self) -> usize {
+        self.pages.read().expect("shared web poisoned").len()
+    }
+
+    /// True if no pages are registered.
+    pub fn is_empty(&self) -> bool {
+        self.pages.read().expect("shared web poisoned").is_empty()
+    }
+}
+
+impl WebSource for SharedWeb {
+    fn fetch(&self, url: &str) -> Option<String> {
+        self.pages
+            .read()
+            .expect("shared web poisoned")
+            .get(url)
+            .cloned()
+    }
+}
+
 /// A single-page web (convenience for wrapping one document).
 pub struct SinglePage {
     /// The URL the page answers to.
@@ -73,6 +124,18 @@ mod tests {
         assert_eq!(w.fetch("http://a/").unwrap(), "<p>a</p>");
         assert!(w.fetch("http://c/").is_none());
         assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn shared_web_mutates_through_shared_reference() {
+        let w = SharedWeb::new();
+        w.put("http://a/", "<p>v1</p>");
+        assert_eq!(w.fetch("http://a/").unwrap(), "<p>v1</p>");
+        w.put("http://a/", "<p>v2</p>");
+        assert_eq!(w.fetch("http://a/").unwrap(), "<p>v2</p>");
+        w.remove("http://a/");
+        assert!(w.fetch("http://a/").is_none());
+        assert!(w.is_empty());
     }
 
     #[test]

@@ -61,6 +61,11 @@
 //! | `GET /metrics/history`  | windowed rates/quantiles over the sampler's history ring (`?window=SECS&step=SECS`) |
 //! | `GET /debug/health`     | SLO watchdog verdict (ok/degraded/critical), per-rule firing state, evidence window |
 //! | `GET /debug/live`       | chunked ndjson stream of sampler ticks and alert transitions (`?events=N` bounds it) |
+//! | `PUT /watches/{id}`     | `{"wrapper", "url", "interval_ms"?, "webhook"?}` → register (201) or replace (200) a continuous-extraction subscription |
+//! | `GET /watches`          | every registered watch with its tick/event/error counters |
+//! | `GET /watches/{id}`     | one watch's spec and counters |
+//! | `DELETE /watches/{id}`  | unregister a watch |
+//! | `GET /watches/{id}/events` | chunked ndjson stream of the watch's instance-level diff events (`?events=N` bounds it) |
 //! | `GET /debug/wrappers/{name}` | per-rule execution telemetry of the wrapper's latest version |
 //! | `GET /debug/slow`       | the slowest and most recent request spans |
 //! | `GET /debug/requests/{id}` | one request's span by its `X-Request-Id` |
@@ -102,9 +107,11 @@
 //! ]'
 //! ```
 
+use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::fd::AsRawFd;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -113,11 +120,13 @@ use lixto_obs::{
     unix_millis, warn_event, RuleStat, SpanBuffer, SpanRecord, Stage, StageTimes, TraceId,
 };
 use lixto_server::{
-    parse_provenance_key, provenance_key, DeployError, ExtractionRequest, ExtractionResponse,
-    ExtractionServer, JobTicket, LatencyHistogram, MetricsSnapshot, RequestSource, ServerError,
-    WrapperSpec, XmlDesign,
+    parse_provenance_key, provenance_key, ChangedEntry, DeployError, DiffEntry, ExtractionRequest,
+    ExtractionResponse, ExtractionServer, JobTicket, LatencyHistogram, MetricsSnapshot,
+    RequestSource, ServerError, WatchEvent, WatchRegistry, WatchSample, WatchScheduler, WatchSpec,
+    WatchStatus, WrapperSpec, XmlDesign,
 };
 
+use crate::client::{HttpClient, RetryPolicy};
 use crate::http::{parse_request_with_body_limit, Limits, Request, RequestError, Response};
 use crate::json::{obj, Json};
 use crate::monitor::{AlertsSnapshot, Monitor, TickSample};
@@ -209,6 +218,22 @@ pub struct GatewayConfig {
     /// How many trailing samples the watchdog judges each tick (its
     /// evidence window is `monitor_interval × monitor_eval_ticks`).
     pub monitor_eval_ticks: u32,
+    /// Continuous extraction (default on): a
+    /// [`WatchRegistry`] of (wrapper, url, interval) subscriptions
+    /// managed via `PUT/GET/DELETE /watches/{id}`, re-run through the
+    /// pool by a scheduler thread, with instance-level diff events
+    /// delivered to `GET /watches/{id}/events` long-poll subscribers
+    /// and configured webhook URLs, and `lixto_watch_*` series on
+    /// `/metrics`. Disabled, none of those endpoints or threads exist
+    /// and every response is byte-identical to the watchless gateway.
+    pub watches: bool,
+    /// How often the watch scheduler wakes to check for due
+    /// subscriptions (completion notifies wake it sooner).
+    pub watch_tick: Duration,
+    /// Durability directory for watch subscriptions (see
+    /// [`lixto_server::durability_layout`]'s `watches` path). `None`
+    /// keeps them in memory; set, registered watches survive restarts.
+    pub watch_spool: Option<PathBuf>,
 }
 
 impl Default for GatewayConfig {
@@ -234,6 +259,9 @@ impl Default for GatewayConfig {
             monitor_interval: Duration::from_secs(1),
             monitor_retention: 600,
             monitor_eval_ticks: 5,
+            watches: true,
+            watch_tick: Duration::from_millis(250),
+            watch_spool: None,
         }
     }
 }
@@ -332,6 +360,10 @@ struct Inbox {
     /// loop's `GET /debug/live` subscribers; pre-serialized once by the
     /// sampler and shared across loops.
     live: Vec<Arc<String>>,
+    /// Watch diff events `(watch id, serialized event)` to fan out to
+    /// this loop's `GET /watches/{id}/events` subscribers; serialized
+    /// once by the scheduler sink and shared across loops.
+    watch_events: Vec<(Arc<String>, Arc<String>)>,
     stop: bool,
 }
 
@@ -382,6 +414,10 @@ struct SharedGateway {
     /// [`GatewayConfig::monitor`] off, which also disables every
     /// monitoring endpoint and the sampler thread.
     monitor: Option<Arc<Monitor>>,
+    /// The continuous-extraction subscriptions; `None` with
+    /// [`GatewayConfig::watches`] off, which also disables every
+    /// `/watches` endpoint and the scheduler thread.
+    watches: Option<Arc<WatchRegistry>>,
 }
 
 /// One event loop's gauges, copied into [`GatewayObservations`].
@@ -469,6 +505,7 @@ pub struct HttpGateway {
     shared: Arc<SharedGateway>,
     acceptor: Option<std::thread::JoinHandle<()>>,
     sampler: Option<std::thread::JoinHandle<()>>,
+    watch_scheduler: Option<WatchScheduler>,
     loops: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -512,6 +549,25 @@ impl HttpGateway {
                 config.monitor_eval_ticks,
             ))
         });
+        let watches = if config.watches {
+            let registry = match &config.watch_spool {
+                Some(dir) => WatchRegistry::with_spool(dir).unwrap_or_else(|e| {
+                    // A broken spool directory must not keep the
+                    // gateway from serving: fall back to an in-memory
+                    // registry (subscriptions won't survive restarts).
+                    warn_event!(
+                        "watch_spool_unavailable",
+                        "dir" => dir.display().to_string(),
+                        "error" => e.to_string(),
+                    );
+                    WatchRegistry::new()
+                }),
+                None => WatchRegistry::new(),
+            };
+            Some(Arc::new(registry))
+        } else {
+            None
+        };
         let shared = Arc::new(SharedGateway {
             server,
             config,
@@ -526,6 +582,7 @@ impl HttpGateway {
             spans,
             wake: LatencyHistogram::new(),
             monitor,
+            watches,
         });
         let loops = (0..loop_count)
             .map(|i| {
@@ -551,11 +608,22 @@ impl HttpGateway {
                 .spawn(move || sampler_loop(shared))
                 .expect("spawn monitor sampler")
         });
+        let watch_scheduler = shared.watches.as_ref().map(|registry| {
+            let sink_shared = shared.clone();
+            let webhook_clients: Mutex<HashMap<String, HttpClient>> = Mutex::new(HashMap::new());
+            WatchScheduler::start(
+                sink_shared.server.clone(),
+                registry.clone(),
+                sink_shared.config.watch_tick,
+                Box::new(move |event| deliver_watch_event(&sink_shared, &webhook_clients, event)),
+            )
+        });
         Ok(HttpGateway {
             addr: local_addr,
             shared,
             acceptor: Some(acceptor),
             sampler,
+            watch_scheduler,
             loops,
         })
     }
@@ -604,6 +672,11 @@ impl HttpGateway {
         }
         if let Some(sampler) = self.sampler.take() {
             let _ = sampler.join();
+        }
+        // Same for the watch scheduler: no new watch ticks or diff
+        // deliveries once the loops start finishing their streams.
+        if let Some(scheduler) = self.watch_scheduler.take() {
+            scheduler.stop();
         }
         // Wake the acceptor out of its blocking accept(). A wildcard
         // bind address (0.0.0.0 / ::) is not connectable everywhere, so
@@ -734,6 +807,123 @@ fn monitor_tick_sample(shared: &SharedGateway) -> TickSample {
     }
 }
 
+/// The watch scheduler's delivery sink: serialize the diff event once,
+/// fan it out to every loop's `GET /watches/{id}/events` subscribers
+/// (skipped entirely while nobody long-polls), and POST it to the
+/// watch's webhook through a cached keep-alive client with the default
+/// retry policy. Runs on the scheduler thread, never on an event loop.
+fn deliver_watch_event(
+    shared: &SharedGateway,
+    webhook_clients: &Mutex<HashMap<String, HttpClient>>,
+    event: WatchEvent,
+) {
+    let registry = match &shared.watches {
+        Some(registry) => registry,
+        None => return,
+    };
+    let json = watch_event_json(&event).dump();
+    if registry.subscribers() > 0 {
+        let id = Arc::new(event.watch.clone());
+        let line = Arc::new(json.clone());
+        for event_loop in &shared.loops {
+            let id = id.clone();
+            let line = line.clone();
+            event_loop.wake_with(|inbox| inbox.watch_events.push((id, line)));
+        }
+    }
+    if let Some(webhook) = &event.webhook {
+        let ok = post_webhook(webhook_clients, webhook, &json);
+        registry.record_webhook(ok);
+        if !ok {
+            warn_event!(
+                "watch_webhook_failed",
+                "watch" => event.watch.clone(),
+                "webhook" => webhook.clone(),
+            );
+        }
+    }
+}
+
+/// Serialize one [`WatchEvent`] to the wire shape shared by the
+/// long-poll stream and webhook POST bodies.
+fn watch_event_json(event: &WatchEvent) -> Json {
+    fn entries(list: &[DiffEntry]) -> Json {
+        Json::Arr(
+            list.iter()
+                .map(|e| {
+                    obj([
+                        ("pattern", e.pattern.as_str().into()),
+                        ("text", e.text.as_str().into()),
+                    ])
+                })
+                .collect(),
+        )
+    }
+    fn changed(list: &[ChangedEntry]) -> Json {
+        Json::Arr(
+            list.iter()
+                .map(|e| {
+                    obj([
+                        ("pattern", e.pattern.as_str().into()),
+                        ("before", e.before.as_str().into()),
+                        ("after", e.after.as_str().into()),
+                    ])
+                })
+                .collect(),
+        )
+    }
+    obj([
+        ("type", "watch_event".into()),
+        ("watch", event.watch.as_str().into()),
+        ("seq", event.seq.into()),
+        ("wrapper", event.wrapper.as_str().into()),
+        ("url", event.url.as_str().into()),
+        ("added", entries(&event.diff.added)),
+        ("removed", entries(&event.diff.removed)),
+        ("changed", changed(&event.diff.changed)),
+    ])
+}
+
+/// POST `body` to a webhook URL (`http://host:port/path`), reusing a
+/// cached keep-alive client per URL. The client is taken out of the
+/// cache during I/O so a slow sink never holds the map lock; a client
+/// whose POST failed is dropped rather than returned (its connection
+/// state is suspect — the next delivery reconnects).
+fn post_webhook(clients: &Mutex<HashMap<String, HttpClient>>, url: &str, body: &str) -> bool {
+    let (authority, path) = match url.strip_prefix("http://") {
+        Some(rest) if !rest.is_empty() => match rest.split_once('/') {
+            Some((authority, path)) => (authority.to_string(), format!("/{path}")),
+            None => (rest.to_string(), "/".to_string()),
+        },
+        _ => {
+            warn_event!("watch_webhook_bad_url", "webhook" => url.to_string());
+            return false;
+        }
+    };
+    let cached = clients
+        .lock()
+        .expect("webhook client cache poisoned")
+        .remove(url);
+    let mut client = match cached {
+        Some(client) => client,
+        None => match HttpClient::connect(&authority) {
+            Ok(client) => client,
+            Err(_) => return false,
+        },
+    };
+    let ok = client
+        .post_json_with_retry(&path, body, RetryPolicy::default())
+        .map(|response| (200..300).contains(&response.status))
+        .unwrap_or(false);
+    if ok {
+        clients
+            .lock()
+            .expect("webhook client cache poisoned")
+            .insert(url.to_string(), client);
+    }
+    ok
+}
+
 /// Hand `stream` to the least-loaded event loop, or refuse it with a
 /// `503` when every loop is at its connection cap. Only assigned
 /// connections count toward [`GatewayStats::connections`] — refusals
@@ -843,14 +1033,18 @@ enum ConnState {
     Dispatched(Dispatch),
     /// A response is being flushed; parsing resumes once it is out.
     Writing,
-    /// A `GET /debug/live` subscriber: the headers went out chunked,
-    /// and the connection now receives monitor events as they happen.
-    /// The stream ends — with a terminal chunk — after `remaining`
-    /// more events (`None` streams until shutdown or disconnect).
+    /// A `GET /debug/live` or `GET /watches/{id}/events` subscriber:
+    /// the headers went out chunked, and the connection now receives
+    /// events as they happen. The stream ends — with a terminal chunk —
+    /// after `remaining` more events (`None` streams until shutdown or
+    /// disconnect).
     Streaming {
         remaining: Option<u64>,
         /// The terminal chunk is queued: close once it flushes.
         done: bool,
+        /// `None` for monitor live streams; `Some(id)` for a watch
+        /// event stream, which receives only that watch's diffs.
+        watch: Option<Arc<String>>,
     },
 }
 
@@ -1060,12 +1254,13 @@ impl EventLoop {
     }
 
     fn drain_inbox(&mut self) {
-        let (accepted, completions, live, stop) = {
+        let (accepted, completions, live, watch_events, stop) = {
             let mut inbox = self.ls.inbox.lock().expect("loop inbox poisoned");
             (
                 std::mem::take(&mut inbox.accepted),
                 std::mem::take(&mut inbox.completions),
                 std::mem::take(&mut inbox.live),
+                std::mem::take(&mut inbox.watch_events),
                 inbox.stop,
             )
         };
@@ -1081,6 +1276,9 @@ impl EventLoop {
         if !live.is_empty() {
             self.deliver_live(&live);
         }
+        if !watch_events.is_empty() {
+            self.deliver_watch_events(&watch_events);
+        }
     }
 
     /// Fan monitor events out to every `GET /debug/live` subscriber this
@@ -1088,9 +1286,16 @@ impl EventLoop {
     /// subscriptions, and finish streams that used up their budget.
     fn deliver_live(&mut self, events: &[Arc<String>]) {
         for slot in 0..self.conns.len() {
-            let streaming = self.conns[slot]
-                .as_ref()
-                .is_some_and(|c| matches!(c.state, ConnState::Streaming { done: false, .. }));
+            let streaming = self.conns[slot].as_ref().is_some_and(|c| {
+                matches!(
+                    c.state,
+                    ConnState::Streaming {
+                        done: false,
+                        watch: None,
+                        ..
+                    }
+                )
+            });
             if !streaming {
                 continue;
             }
@@ -1099,10 +1304,59 @@ impl EventLoop {
                     let ConnState::Streaming {
                         remaining,
                         done: false,
+                        watch: None,
                     } = &mut conn.state
                     else {
                         break;
                     };
+                    if conn.out.is_empty() {
+                        conn.write_started = Instant::now();
+                    }
+                    append_live_chunk(&mut conn.out, event);
+                    if let Some(budget) = remaining {
+                        *budget = budget.saturating_sub(1);
+                        if *budget == 0 {
+                            finish_live_stream(conn);
+                        }
+                    }
+                }
+                pump(conn, ctx)
+            });
+        }
+    }
+
+    /// Fan watch diff events out to this loop's `GET /watches/{id}/events`
+    /// subscribers: each event reaches only the streams parked on its
+    /// watch id, framed as one chunk, with the same budget countdown as
+    /// the monitor live stream.
+    fn deliver_watch_events(&mut self, events: &[(Arc<String>, Arc<String>)]) {
+        for slot in 0..self.conns.len() {
+            let watching = self.conns[slot].as_ref().is_some_and(|c| {
+                matches!(
+                    c.state,
+                    ConnState::Streaming {
+                        done: false,
+                        watch: Some(_),
+                        ..
+                    }
+                )
+            });
+            if !watching {
+                continue;
+            }
+            self.with_conn(slot, |conn, ctx| {
+                for (id, event) in events {
+                    let ConnState::Streaming {
+                        remaining,
+                        done: false,
+                        watch: Some(watch),
+                    } = &mut conn.state
+                    else {
+                        break;
+                    };
+                    if watch.as_str() != id.as_str() {
+                        continue;
+                    }
                     if conn.out.is_empty() {
                         conn.write_started = Instant::now();
                     }
@@ -1153,10 +1407,18 @@ impl EventLoop {
 
     fn release(&mut self, slot: usize) {
         if let Some(conn) = self.conns[slot].take() {
-            if matches!(conn.state, ConnState::Streaming { .. }) {
-                if let Some(monitor) = &self.shared.monitor {
-                    monitor.live_subscribers.fetch_sub(1, Ordering::Relaxed);
+            match &conn.state {
+                ConnState::Streaming { watch: Some(_), .. } => {
+                    if let Some(watches) = &self.shared.watches {
+                        watches.subscriber_finished();
+                    }
                 }
+                ConnState::Streaming { watch: None, .. } => {
+                    if let Some(monitor) = &self.shared.monitor {
+                        monitor.live_subscribers.fetch_sub(1, Ordering::Relaxed);
+                    }
+                }
+                _ => {}
             }
             self.free.push(slot);
             self.live -= 1;
@@ -1430,8 +1692,64 @@ fn start_live_stream(conn: &mut Conn, ctx: &ConnCtx, request: &Request) {
     conn.state = ConnState::Streaming {
         remaining,
         done: false,
+        watch: None,
     };
     monitor.live_subscribers.fetch_add(1, Ordering::Relaxed);
+    if remaining == Some(0) {
+        finish_live_stream(conn);
+    }
+}
+
+/// The watch id of a `/watches/{id}/events` path, if that is one.
+fn watch_stream_id(path: &str) -> Option<&str> {
+    path.strip_prefix("/watches/")
+        .and_then(|rest| rest.strip_suffix("/events"))
+        .filter(|id| !id.is_empty() && !id.contains('/'))
+}
+
+/// `GET /watches/{id}/events`: subscribe this connection to one watch's
+/// instance-level diff events as a chunked `application/x-ndjson`
+/// stream. The greeting chunk echoes the watch id and current sequence
+/// number; `?events=N` bounds the subscription to N diff events after
+/// the greeting. An unknown watch id answers a normal `404`.
+fn start_watch_stream(conn: &mut Conn, ctx: &ConnCtx, request: &Request, id: &str) {
+    let registry = ctx
+        .shared
+        .watches
+        .as_ref()
+        .expect("watch stream routed without watches");
+    let status = match registry.get(id) {
+        Some(status) => status,
+        None => {
+            let response = Response::error(404, "unknown_watch", "no such watch");
+            count_response(ctx.shared, response.status);
+            conn.queue_response(&response, !ctx.shared.stopping());
+            return;
+        }
+    };
+    let remaining = query_param(request, "events").and_then(|v| v.parse::<u64>().ok());
+    count_response(ctx.shared, 200);
+    if conn.out.is_empty() {
+        conn.write_started = Instant::now();
+    }
+    conn.out.extend_from_slice(
+        b"HTTP/1.1 200 OK\r\nconnection: close\r\ncontent-type: application/x-ndjson\r\ntransfer-encoding: chunked\r\n\r\n",
+    );
+    let hello = obj([
+        ("type", "watch_hello".into()),
+        ("watch", id.into()),
+        ("wrapper", status.wrapper.as_str().into()),
+        ("url", status.url.as_str().into()),
+        ("seq", status.seq.into()),
+    ]);
+    append_live_chunk(&mut conn.out, &hello.dump());
+    conn.close_after_write = true;
+    conn.state = ConnState::Streaming {
+        remaining,
+        done: false,
+        watch: Some(Arc::new(id.to_string())),
+    };
+    registry.subscriber_started();
     if remaining == Some(0) {
         finish_live_stream(conn);
     }
@@ -1598,6 +1916,10 @@ fn serve(conn: &mut Conn, ctx: &ConnCtx, request: &Request) {
         ("POST", "/extract/batch") => dispatch_batch(conn, ctx, request, keep_alive),
         ("GET", "/debug/live") if ctx.shared.monitor.is_some() => {
             start_live_stream(conn, ctx, request)
+        }
+        ("GET", path) if ctx.shared.watches.is_some() && watch_stream_id(path).is_some() => {
+            let id = watch_stream_id(path).expect("guard checked").to_string();
+            start_watch_stream(conn, ctx, request, &id)
         }
         _ => {
             let response = route(request, ctx.shared);
@@ -2073,6 +2395,35 @@ fn route(request: &Request, shared: &SharedGateway) -> Response {
                 shared,
             )
         }
+        ("GET", "/watches") if shared.watches.is_some() => get_watches(shared),
+        ("PUT", path)
+            if shared.watches.is_some()
+                && path
+                    .strip_prefix("/watches/")
+                    .is_some_and(|id| !id.is_empty() && !id.contains('/')) =>
+        {
+            put_watch(
+                path.strip_prefix("/watches/").expect("checked"),
+                request,
+                shared,
+            )
+        }
+        ("GET", path)
+            if shared.watches.is_some()
+                && path
+                    .strip_prefix("/watches/")
+                    .is_some_and(|id| !id.is_empty() && !id.contains('/')) =>
+        {
+            get_watch(path.strip_prefix("/watches/").expect("checked"), shared)
+        }
+        ("DELETE", path)
+            if shared.watches.is_some()
+                && path
+                    .strip_prefix("/watches/")
+                    .is_some_and(|id| !id.is_empty() && !id.contains('/')) =>
+        {
+            delete_watch(path.strip_prefix("/watches/").expect("checked"), shared)
+        }
         ("GET", "/healthz") => Response::json(200, &obj([("status", "ok".into())])),
         ("POST", "/admin/shutdown") => {
             shared.begin_stop();
@@ -2091,6 +2442,13 @@ fn route(request: &Request, shared: &SharedGateway) -> Response {
         // The monitoring paths only exist while the monitor runs; off,
         // they fall through to 404 like any unknown path.
         (_, "/metrics/history" | "/debug/health" | "/debug/live") if shared.monitor.is_some() => {
+            Response::error(405, "method_not_allowed", "wrong method for this path")
+        }
+        // Same for the subscription paths and the watch layer.
+        (_, path)
+            if shared.watches.is_some()
+                && (path == "/watches" || path.starts_with("/watches/")) =>
+        {
             Response::error(405, "method_not_allowed", "wrong method for this path")
         }
         (_, path)
@@ -2261,6 +2619,114 @@ fn put_wrapper(name: &str, request: &Request, shared: &SharedGateway) -> Respons
     }
 }
 
+/// One watch's counters as JSON (shared by `GET /watches` and
+/// `GET /watches/{id}`).
+fn watch_status_json(status: &WatchStatus) -> Json {
+    obj([
+        ("id", status.id.as_str().into()),
+        ("wrapper", status.wrapper.as_str().into()),
+        ("url", status.url.as_str().into()),
+        ("interval_ms", status.interval_ms.into()),
+        (
+            "webhook",
+            status
+                .webhook
+                .as_deref()
+                .map(Json::from)
+                .unwrap_or(Json::Null),
+        ),
+        ("ticks", status.ticks.into()),
+        ("seq", status.seq.into()),
+        ("suppressed", status.suppressed.into()),
+        ("errors", status.errors.into()),
+    ])
+}
+
+/// `GET /watches`: every registered subscription, id-sorted.
+fn get_watches(shared: &SharedGateway) -> Response {
+    let registry = shared.watches.as_ref().expect("routed without watches");
+    let watches: Vec<Json> = registry.list().iter().map(watch_status_json).collect();
+    Response::json(200, &obj([("watches", watches.into())]))
+}
+
+/// `PUT /watches/{id}`: register (201) or replace (200) a subscription.
+/// The wrapper must already be deployed — a watch on a ghost wrapper
+/// would tick straight into errors forever.
+fn put_watch(id: &str, request: &Request, shared: &SharedGateway) -> Response {
+    let registry = shared.watches.as_ref().expect("routed without watches");
+    if !id
+        .bytes()
+        .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+    {
+        return bad_request("watch ids are [A-Za-z0-9_-]+");
+    }
+    let Some(body) = request.body_utf8() else {
+        return bad_request("body is not UTF-8");
+    };
+    let parsed = match Json::parse(body) {
+        Ok(v) => v,
+        Err(e) => return bad_request(&e.to_string()),
+    };
+    let Some(wrapper) = parsed.get("wrapper").and_then(Json::as_str) else {
+        return bad_request("missing string field \"wrapper\"");
+    };
+    let Some(url) = parsed.get("url").and_then(Json::as_str) else {
+        return bad_request("missing string field \"url\"");
+    };
+    let interval_ms = match parsed.get("interval_ms") {
+        None | Some(Json::Null) => 1_000,
+        Some(v) => match v.as_u64() {
+            Some(n) if n > 0 => n,
+            _ => return bad_request("\"interval_ms\" must be a positive integer"),
+        },
+    };
+    let webhook = match parsed.get("webhook") {
+        None | Some(Json::Null) => None,
+        Some(v) => match v.as_str() {
+            Some(url) => Some(url.to_string()),
+            None => return bad_request("\"webhook\" must be a string"),
+        },
+    };
+    if shared.server.registry().latest(wrapper).is_none() {
+        return Response::error(
+            404,
+            "unknown_wrapper",
+            "no wrapper by that name is deployed",
+        );
+    }
+    let created = registry.put(
+        id,
+        WatchSpec {
+            wrapper: wrapper.to_string(),
+            url: url.to_string(),
+            interval: Duration::from_millis(interval_ms),
+            webhook,
+        },
+    );
+    let status = registry.get(id).expect("just registered");
+    Response::json(if created { 201 } else { 200 }, &watch_status_json(&status))
+}
+
+/// `GET /watches/{id}`: one subscription's spec and counters.
+fn get_watch(id: &str, shared: &SharedGateway) -> Response {
+    let registry = shared.watches.as_ref().expect("routed without watches");
+    match registry.get(id) {
+        Some(status) => Response::json(200, &watch_status_json(&status)),
+        None => Response::error(404, "unknown_watch", "no such watch"),
+    }
+}
+
+/// `DELETE /watches/{id}`: unregister; in-flight results for the id are
+/// dropped by the scheduler when they resolve.
+fn delete_watch(id: &str, shared: &SharedGateway) -> Response {
+    let registry = shared.watches.as_ref().expect("routed without watches");
+    if registry.remove(id) {
+        Response::json(200, &obj([("deleted", id.into())]))
+    } else {
+        Response::error(404, "unknown_watch", "no such watch")
+    }
+}
+
 /// Deploy-time rejection: the wrapper was compiled once, here, and the
 /// structured parse/compile error goes back as the 400 body — the
 /// client learns which rule, pattern and identifier is at fault instead
@@ -2405,18 +2871,31 @@ fn get_metrics(request: &Request, shared: &SharedGateway) -> Response {
     let stats = shared.stats();
     let observations = shared.observations();
     let alerts = shared.monitor.as_ref().map(|m| m.alerts_snapshot());
+    let watches = shared.watches.as_ref().map(|w| w.sample());
     let wants_json = request
         .header("accept")
         .is_some_and(|accept| accept.contains("application/json"));
     if wants_json {
         Response::json(
             200,
-            &metrics_json_full(&snapshot, &stats, &observations, alerts.as_ref()),
+            &metrics_json_full(
+                &snapshot,
+                &stats,
+                &observations,
+                alerts.as_ref(),
+                watches.as_ref(),
+            ),
         )
     } else {
         Response::text(
             200,
-            render_prometheus_full(&snapshot, &stats, &observations, alerts.as_ref()),
+            render_prometheus_full(
+                &snapshot,
+                &stats,
+                &observations,
+                alerts.as_ref(),
+                watches.as_ref(),
+            ),
         )
     }
 }
@@ -2881,102 +3360,199 @@ pub fn render_prometheus(
     out
 }
 
-/// [`metrics_json`] plus — when the monitor runs — an `alerts` object:
-/// the watchdog's verdict and every rule's firing state. With
-/// `alerts: None` the output is byte-identical to [`metrics_json`],
-/// which is how a monitor-disabled gateway keeps its `/metrics` surface
-/// unchanged.
+/// [`metrics_json`] plus — when the monitor runs — an `alerts` object
+/// (the watchdog's verdict and every rule's firing state) and — when
+/// the watch layer runs — a `watches` object (registered/subscriber
+/// gauges, webhook delivery counters, per-watch tick/event/error
+/// counts). With both `None` the output is byte-identical to
+/// [`metrics_json`], which is how a gateway with those subsystems
+/// disabled keeps its `/metrics` surface unchanged.
 pub fn metrics_json_full(
     snapshot: &MetricsSnapshot,
     stats: &GatewayStats,
     observations: &GatewayObservations,
     alerts: Option<&AlertsSnapshot>,
+    watches: Option<&WatchSample>,
 ) -> Json {
     let mut json = metrics_json(snapshot, stats, observations);
-    let Some(alerts) = alerts else { return json };
-    let rules: Vec<Json> = alerts
-        .rules
-        .iter()
-        .map(|r| {
-            obj([
-                ("rule", r.rule.into()),
-                ("metric", r.metric.into()),
-                ("severity", r.severity.name().into()),
-                ("value", r.value.into()),
-                ("since_ms", r.since_ms.into()),
-                ("fired_total", r.fired_total.into()),
-                ("resolved_total", r.resolved_total.into()),
-            ])
-        })
-        .collect();
-    if let Json::Obj(fields) = &mut json {
-        fields.push((
-            "alerts".to_string(),
-            obj([
-                ("verdict", alerts.verdict.name().into()),
-                ("rules", rules.into()),
-            ]),
-        ));
+    if let Some(alerts) = alerts {
+        let rules: Vec<Json> = alerts
+            .rules
+            .iter()
+            .map(|r| {
+                obj([
+                    ("rule", r.rule.into()),
+                    ("metric", r.metric.into()),
+                    ("severity", r.severity.name().into()),
+                    ("value", r.value.into()),
+                    ("since_ms", r.since_ms.into()),
+                    ("fired_total", r.fired_total.into()),
+                    ("resolved_total", r.resolved_total.into()),
+                ])
+            })
+            .collect();
+        if let Json::Obj(fields) = &mut json {
+            fields.push((
+                "alerts".to_string(),
+                obj([
+                    ("verdict", alerts.verdict.name().into()),
+                    ("rules", rules.into()),
+                ]),
+            ));
+        }
+    }
+    if let Some(watches) = watches {
+        let per_watch: Vec<Json> = watches.watches.iter().map(watch_status_json).collect();
+        if let Json::Obj(fields) = &mut json {
+            fields.push((
+                "watches".to_string(),
+                obj([
+                    ("registered", watches.registered.into()),
+                    ("subscribers", watches.subscribers.into()),
+                    ("webhook_deliveries", watches.webhook_deliveries.into()),
+                    ("webhook_failures", watches.webhook_failures.into()),
+                    ("watches", per_watch.into()),
+                ]),
+            ));
+        }
     }
     json
 }
 
 /// [`render_prometheus`] plus — when the monitor runs — the
-/// `lixto_alert_*` families: the numeric verdict and per-rule severity
-/// (0 ok / 1 degraded / 2 critical) and fired/resolved totals. With
-/// `alerts: None` the output is byte-identical to
+/// `lixto_alert_*` families (the numeric verdict and per-rule severity
+/// and fired/resolved totals), and — when the watch layer runs — the
+/// `lixto_watch_*` families (registered/subscriber gauges, webhook
+/// delivery counters, per-watch tick/event/suppressed/error counts).
+/// With both `None` the output is byte-identical to
 /// [`render_prometheus`].
 pub fn render_prometheus_full(
     snapshot: &MetricsSnapshot,
     stats: &GatewayStats,
     observations: &GatewayObservations,
     alerts: Option<&AlertsSnapshot>,
+    watches: Option<&WatchSample>,
 ) -> String {
     let mut out = render_prometheus(snapshot, stats, observations);
-    let Some(alerts) = alerts else { return out };
-    prometheus_metric(
-        &mut out,
-        "lixto_alert_verdict",
-        "gauge",
-        "Worst current alert severity (0 ok, 1 degraded, 2 critical)",
-        &alerts.verdict.rank().to_string(),
-    );
-    prometheus_family(
-        &mut out,
-        "lixto_alert_severity",
-        "gauge",
-        "Current severity per SLO rule (0 ok, 1 degraded, 2 critical)",
-    );
-    for rule in &alerts.rules {
-        out.push_str(&format!(
-            "lixto_alert_severity{{rule=\"{}\"}} {}\n",
-            rule.rule,
-            rule.severity.rank()
-        ));
+    if let Some(alerts) = alerts {
+        prometheus_metric(
+            &mut out,
+            "lixto_alert_verdict",
+            "gauge",
+            "Worst current alert severity (0 ok, 1 degraded, 2 critical)",
+            &alerts.verdict.rank().to_string(),
+        );
+        prometheus_family(
+            &mut out,
+            "lixto_alert_severity",
+            "gauge",
+            "Current severity per SLO rule (0 ok, 1 degraded, 2 critical)",
+        );
+        for rule in &alerts.rules {
+            out.push_str(&format!(
+                "lixto_alert_severity{{rule=\"{}\"}} {}\n",
+                rule.rule,
+                rule.severity.rank()
+            ));
+        }
+        prometheus_family(
+            &mut out,
+            "lixto_alert_fired_total",
+            "counter",
+            "Times each SLO rule started firing or escalated",
+        );
+        for rule in &alerts.rules {
+            out.push_str(&format!(
+                "lixto_alert_fired_total{{rule=\"{}\"}} {}\n",
+                rule.rule, rule.fired_total
+            ));
+        }
+        prometheus_family(
+            &mut out,
+            "lixto_alert_resolved_total",
+            "counter",
+            "Times each SLO rule cleared back to ok",
+        );
+        for rule in &alerts.rules {
+            out.push_str(&format!(
+                "lixto_alert_resolved_total{{rule=\"{}\"}} {}\n",
+                rule.rule, rule.resolved_total
+            ));
+        }
     }
-    prometheus_family(
-        &mut out,
-        "lixto_alert_fired_total",
-        "counter",
-        "Times each SLO rule started firing or escalated",
-    );
-    for rule in &alerts.rules {
-        out.push_str(&format!(
-            "lixto_alert_fired_total{{rule=\"{}\"}} {}\n",
-            rule.rule, rule.fired_total
-        ));
-    }
-    prometheus_family(
-        &mut out,
-        "lixto_alert_resolved_total",
-        "counter",
-        "Times each SLO rule cleared back to ok",
-    );
-    for rule in &alerts.rules {
-        out.push_str(&format!(
-            "lixto_alert_resolved_total{{rule=\"{}\"}} {}\n",
-            rule.rule, rule.resolved_total
-        ));
+    if let Some(watches) = watches {
+        let gauges = [
+            (
+                "lixto_watch_registered",
+                "gauge",
+                "Registered continuous-extraction watches",
+                watches.registered as u64,
+            ),
+            (
+                "lixto_watch_subscribers",
+                "gauge",
+                "Long-poll subscribers parked on watch event streams",
+                watches.subscribers as u64,
+            ),
+            (
+                "lixto_watch_webhook_deliveries_total",
+                "counter",
+                "Watch diff events delivered to webhooks",
+                watches.webhook_deliveries,
+            ),
+            (
+                "lixto_watch_webhook_failures_total",
+                "counter",
+                "Watch webhook deliveries that exhausted their retries",
+                watches.webhook_failures,
+            ),
+        ];
+        for (name, kind, help, value) in gauges {
+            prometheus_metric(&mut out, name, kind, help, &value.to_string());
+        }
+        type WatchFamily = (
+            &'static str,
+            &'static str,
+            &'static str,
+            fn(&WatchStatus) -> u64,
+        );
+        let families: [WatchFamily; 4] = [
+            (
+                "lixto_watch_ticks_total",
+                "counter",
+                "Completed re-extractions per watch",
+                |w| w.ticks,
+            ),
+            (
+                "lixto_watch_events_total",
+                "counter",
+                "Instance-level diff events delivered per watch",
+                |w| w.seq,
+            ),
+            (
+                "lixto_watch_suppressed_total",
+                "counter",
+                "Unchanged ticks suppressed per watch",
+                |w| w.suppressed,
+            ),
+            (
+                "lixto_watch_errors_total",
+                "counter",
+                "Failed ticks per watch",
+                |w| w.errors,
+            ),
+        ];
+        for (name, kind, help, value_of) in families {
+            prometheus_family(&mut out, name, kind, help);
+            for watch in &watches.watches {
+                out.push_str(&format!(
+                    "{}{{watch=\"{}\"}} {}\n",
+                    name,
+                    prometheus_label_value(&watch.id),
+                    value_of(watch)
+                ));
+            }
+        }
     }
     out
 }
@@ -3459,6 +4035,418 @@ mod tests {
         assert!(!text.text().contains("lixto_alert"));
         let json = client.get_accept("/metrics", "application/json").unwrap();
         assert!(json.json().unwrap().get("alerts").is_none());
+        drop(client);
+        gateway.shutdown();
+        server.initiate_shutdown();
+    }
+
+    // -----------------------------------------------------------------
+    // Continuous extraction: the /watches subscription layer
+    // -----------------------------------------------------------------
+
+    const WATCH_WRAPPER: &str = r#"
+        offer(S, X) :- document("http://shop/", S), subelem(S, (?.li, []), X).
+        name(S, X)  :- offer(_, S), subelem(S, (.b, []), X).
+    "#;
+
+    fn watch_page(items: &[&str]) -> String {
+        let mut html = String::from("<html><body><ul>");
+        for item in items {
+            html.push_str(&format!("<li><b>{item}</b></li>"));
+        }
+        html.push_str("</ul></body></html>");
+        html
+    }
+
+    /// A gateway over a mutable web, with the watch scheduler ticking
+    /// at `tick` — the substrate for the subscription tests.
+    fn watch_gateway(
+        tick: Duration,
+    ) -> (
+        HttpGateway,
+        Arc<ExtractionServer>,
+        Arc<lixto_elog::SharedWeb>,
+    ) {
+        let registry = Arc::new(WrapperRegistry::new());
+        registry
+            .register_source("shop", WATCH_WRAPPER, XmlDesign::new().root("offers"))
+            .unwrap();
+        let web = Arc::new(lixto_elog::SharedWeb::new());
+        web.put("http://shop/", watch_page(&["espresso", "grinder"]));
+        let server = Arc::new(ExtractionServer::start(
+            ServerConfig::default(),
+            registry,
+            web.clone(),
+        ));
+        let gateway = HttpGateway::bind(
+            "127.0.0.1:0",
+            GatewayConfig {
+                handler_threads: 2,
+                idle_timeout: Duration::from_secs(10),
+                watch_tick: tick,
+                ..GatewayConfig::default()
+            },
+            server.clone(),
+        )
+        .unwrap();
+        (gateway, server, web)
+    }
+
+    #[test]
+    fn watch_routes_register_inspect_and_delete() {
+        let (gateway, server, _web) = watch_gateway(Duration::from_millis(200));
+        let mut client = HttpClient::connect(gateway.addr()).unwrap();
+        // A watch on an undeployed wrapper is refused up front.
+        let ghost = client
+            .put_json("/watches/w1", r#"{"wrapper":"ghost","url":"http://shop/"}"#)
+            .unwrap();
+        assert_eq!(ghost.status, 404, "{}", ghost.text());
+        // Hostile ids never reach the registry (or its spool format).
+        let bad = client
+            .put_json(
+                "/watches/sp.ace",
+                r#"{"wrapper":"shop","url":"http://shop/"}"#,
+            )
+            .unwrap();
+        assert_eq!(bad.status, 400, "{}", bad.text());
+        // Register, then replace: 201 then 200, spec echoed back.
+        let body = r#"{"wrapper":"shop","url":"http://shop/","interval_ms":60000}"#;
+        let created = client.put_json("/watches/offers", body).unwrap();
+        assert_eq!(created.status, 201, "{}", created.text());
+        assert_eq!(
+            created
+                .json()
+                .unwrap()
+                .get("interval_ms")
+                .and_then(Json::as_u64),
+            Some(60_000)
+        );
+        let replaced = client.put_json("/watches/offers", body).unwrap();
+        assert_eq!(replaced.status, 200, "{}", replaced.text());
+        // Listing and single-watch inspection agree.
+        let listing = client.get("/watches").unwrap().json().unwrap();
+        assert_eq!(
+            listing
+                .get("watches")
+                .and_then(Json::as_array)
+                .map(<[Json]>::len),
+            Some(1)
+        );
+        let one = client.get("/watches/offers").unwrap().json().unwrap();
+        assert_eq!(one.get("wrapper").and_then(Json::as_str), Some("shop"));
+        // The metrics surface grows the watch families, both renderings.
+        let text = client.get("/metrics").unwrap();
+        assert!(text.text().contains("lixto_watch_registered 1"));
+        assert!(text
+            .text()
+            .contains("lixto_watch_ticks_total{watch=\"offers\"}"));
+        let json = client.get_accept("/metrics", "application/json").unwrap();
+        assert_eq!(
+            json.json()
+                .unwrap()
+                .get("watches")
+                .and_then(|w| w.get("registered"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        // A stream on an unknown id answers a plain 404, not a stream.
+        assert_eq!(client.get("/watches/ghost/events").unwrap().status, 404);
+        // Wrong method is 405, not 404, while the layer runs.
+        assert_eq!(
+            client
+                .request("POST", "/watches/offers", &[], None)
+                .unwrap()
+                .status,
+            405
+        );
+        // Delete; the id is gone from every surface.
+        assert_eq!(
+            client
+                .request("DELETE", "/watches/offers", &[], None)
+                .unwrap()
+                .status,
+            200
+        );
+        assert_eq!(client.get("/watches/offers").unwrap().status, 404);
+        assert_eq!(
+            client
+                .request("DELETE", "/watches/offers", &[], None)
+                .unwrap()
+                .status,
+            404
+        );
+        drop(client);
+        gateway.shutdown();
+        server.initiate_shutdown();
+    }
+
+    /// The acceptance scenario end to end: a registered watch over a
+    /// page that mutates once delivers exactly one instance-level diff
+    /// event to a long-poll subscriber *and* a webhook sink — and
+    /// nothing at all on the unchanged ticks before and after.
+    #[test]
+    fn watch_stream_and_webhook_deliver_exactly_one_diff_for_one_change() {
+        use std::io::{Read, Write};
+
+        let (gateway, server, web) = watch_gateway(Duration::from_millis(10));
+
+        // A scripted webhook sink: answers every POST with 200 and
+        // forwards each body. Keep-alive, like the delivery client.
+        let sink = TcpListener::bind("127.0.0.1:0").unwrap();
+        let sink_addr = sink.local_addr().unwrap();
+        let (body_tx, body_rx) = std::sync::mpsc::channel::<String>();
+        std::thread::spawn(move || {
+            while let Ok((mut stream, _)) = sink.accept() {
+                let tx = body_tx.clone();
+                std::thread::spawn(move || {
+                    let mut buf: Vec<u8> = Vec::new();
+                    let mut chunk = [0u8; 4096];
+                    loop {
+                        let header_end = loop {
+                            if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                                break pos + 4;
+                            }
+                            match stream.read(&mut chunk) {
+                                Ok(0) | Err(_) => return,
+                                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                            }
+                        };
+                        let head = String::from_utf8_lossy(&buf[..header_end]).to_string();
+                        let length: usize = head
+                            .lines()
+                            .find_map(|line| {
+                                let (name, value) = line.split_once(':')?;
+                                name.eq_ignore_ascii_case("content-length")
+                                    .then(|| value.trim().parse().ok())
+                                    .flatten()
+                            })
+                            .unwrap_or(0);
+                        while buf.len() < header_end + length {
+                            match stream.read(&mut chunk) {
+                                Ok(0) | Err(_) => return,
+                                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                            }
+                        }
+                        let body = String::from_utf8_lossy(&buf[header_end..header_end + length])
+                            .to_string();
+                        buf.drain(..header_end + length);
+                        let _ = tx.send(body);
+                        if stream
+                            .write_all(
+                                b"HTTP/1.1 200 OK\r\ncontent-type: application/json\r\ncontent-length: 2\r\n\r\n{}",
+                            )
+                            .is_err()
+                        {
+                            return;
+                        }
+                    }
+                });
+            }
+        });
+
+        let mut client = HttpClient::connect(gateway.addr()).unwrap();
+        let put = client
+            .put_json(
+                "/watches/offers",
+                &format!(
+                    r#"{{"wrapper":"shop","url":"http://shop/","interval_ms":10,"webhook":"http://{sink_addr}/hook"}}"#
+                ),
+            )
+            .unwrap();
+        assert_eq!(put.status, 201, "{}", put.text());
+
+        // Wait for the baseline tick (the first extraction only sets
+        // the reference snapshot — never an event).
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let status = client.get("/watches/offers").unwrap().json().unwrap();
+            if status.get("ticks").and_then(Json::as_u64).unwrap_or(0) >= 1 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "baseline tick never ran");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        // Subscribe, bounded to one diff event. HttpClient cannot read
+        // chunked bodies; speak wire-level.
+        let mut stream = TcpStream::connect(gateway.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream
+            .write_all(b"GET /watches/offers/events?events=1 HTTP/1.1\r\nhost: t\r\n\r\n")
+            .unwrap();
+        let mut raw = Vec::new();
+        let mut chunk = [0u8; 4096];
+        while !String::from_utf8_lossy(&raw).contains("watch_hello") {
+            let n = stream.read(&mut chunk).unwrap();
+            assert!(n > 0, "stream closed before the greeting");
+            raw.extend_from_slice(&chunk[..n]);
+        }
+
+        // Several unchanged ticks pass: nothing is delivered anywhere.
+        std::thread::sleep(Duration::from_millis(100));
+        assert!(
+            body_rx.try_recv().is_err(),
+            "webhook fired on an unchanged page"
+        );
+
+        // One mutation: grinder becomes kettle, mug appears.
+        web.put("http://shop/", watch_page(&["espresso", "kettle", "mug"]));
+
+        // The subscriber gets exactly one event, then the terminal
+        // chunk (its ?events=1 budget is used up).
+        loop {
+            match stream.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => raw.extend_from_slice(&chunk[..n]),
+                Err(e) => panic!("stream read failed: {e}"),
+            }
+        }
+        let text = String::from_utf8(raw).unwrap();
+        assert_eq!(
+            text.matches("\"type\":\"watch_event\"").count(),
+            1,
+            "exactly one diff event: {text}"
+        );
+        assert!(text.contains("\"seq\":1"), "{text}");
+        assert!(
+            text.contains(r#"{"pattern":"name","before":"grinder","after":"kettle"}"#),
+            "in-place mutation pairs as changed: {text}"
+        );
+        assert!(
+            text.contains(r#"{"pattern":"name","text":"mug"}"#),
+            "surplus instance reports as added: {text}"
+        );
+        assert!(text.ends_with("0\r\n\r\n"), "terminal chunk: {text}");
+
+        // The webhook got the same event, exactly once.
+        let webhook_body = body_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("webhook delivery");
+        assert!(webhook_body.contains("\"type\":\"watch_event\""));
+        assert!(webhook_body.contains("\"watch\":\"offers\""));
+        assert!(webhook_body.contains(r#"{"pattern":"name","text":"mug"}"#));
+        std::thread::sleep(Duration::from_millis(100));
+        assert!(
+            body_rx.try_recv().is_err(),
+            "webhook fired twice for one change"
+        );
+
+        // Counters agree: one event, suppressed ticks counted, one
+        // webhook delivery, no failures.
+        let status = client.get("/watches/offers").unwrap().json().unwrap();
+        assert_eq!(status.get("seq").and_then(Json::as_u64), Some(1));
+        assert!(status.get("suppressed").and_then(Json::as_u64).unwrap() >= 1);
+        assert_eq!(status.get("errors").and_then(Json::as_u64), Some(0));
+        let metrics = client
+            .get_accept("/metrics", "application/json")
+            .unwrap()
+            .json()
+            .unwrap();
+        let watches = metrics.get("watches").unwrap();
+        assert_eq!(
+            watches.get("webhook_deliveries").and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            watches.get("webhook_failures").and_then(Json::as_u64),
+            Some(0)
+        );
+
+        drop(client);
+        gateway.shutdown();
+        server.initiate_shutdown();
+    }
+
+    #[test]
+    fn watch_stream_is_cut_loose_cleanly_by_shutdown() {
+        use std::io::{Read, Write};
+
+        // A long interval: shutdown must not wait for the next tick.
+        let (gateway, server, _web) = watch_gateway(Duration::from_millis(10));
+        let mut client = HttpClient::connect(gateway.addr()).unwrap();
+        let put = client
+            .put_json(
+                "/watches/offers",
+                r#"{"wrapper":"shop","url":"http://shop/","interval_ms":60000}"#,
+            )
+            .unwrap();
+        assert_eq!(put.status, 201);
+        drop(client);
+        let mut stream = TcpStream::connect(gateway.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream
+            .write_all(b"GET /watches/offers/events HTTP/1.1\r\nhost: t\r\n\r\n")
+            .unwrap();
+        let mut raw = Vec::new();
+        let mut chunk = [0u8; 4096];
+        while !String::from_utf8_lossy(&raw).contains("watch_hello") {
+            let n = stream.read(&mut chunk).unwrap();
+            assert!(n > 0, "stream closed before the greeting");
+            raw.extend_from_slice(&chunk[..n]);
+        }
+        let shutdown = std::thread::spawn(move || gateway.shutdown());
+        loop {
+            match stream.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => raw.extend_from_slice(&chunk[..n]),
+                Err(e) => panic!("stream read failed: {e}"),
+            }
+        }
+        let text = String::from_utf8(raw).unwrap();
+        assert!(text.ends_with("0\r\n\r\n"), "terminal chunk: {text}");
+        shutdown.join().unwrap();
+        server.initiate_shutdown();
+    }
+
+    #[test]
+    fn disabled_watches_hide_every_watch_surface() {
+        let registry = Arc::new(WrapperRegistry::new());
+        registry
+            .register_source("shop", WRAPPER, XmlDesign::new().root("offers"))
+            .unwrap();
+        let server = Arc::new(ExtractionServer::start(
+            ServerConfig::default(),
+            registry,
+            Arc::new(lixto_elog::StaticWeb::new()),
+        ));
+        let gateway = HttpGateway::bind(
+            "127.0.0.1:0",
+            GatewayConfig {
+                handler_threads: 2,
+                idle_timeout: Duration::from_secs(10),
+                watches: false,
+                ..GatewayConfig::default()
+            },
+            server.clone(),
+        )
+        .unwrap();
+        let mut client = HttpClient::connect(gateway.addr()).unwrap();
+        for path in ["/watches", "/watches/x", "/watches/x/events"] {
+            assert_eq!(client.get(path).unwrap().status, 404, "{path}");
+        }
+        assert_eq!(
+            client
+                .put_json("/watches/x", r#"{"wrapper":"shop","url":"u"}"#)
+                .unwrap()
+                .status,
+            404
+        );
+        assert_eq!(
+            client
+                .request("DELETE", "/watches/x", &[], None)
+                .unwrap()
+                .status,
+            404
+        );
+        // The /metrics surface is exactly the watchless rendering.
+        let text = client.get("/metrics").unwrap();
+        assert!(!text.text().contains("lixto_watch"));
+        let json = client.get_accept("/metrics", "application/json").unwrap();
+        assert!(json.json().unwrap().get("watches").is_none());
         drop(client);
         gateway.shutdown();
         server.initiate_shutdown();

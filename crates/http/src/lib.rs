@@ -26,7 +26,11 @@
 //!   `GET /debug/wrappers/{name}` / `GET /debug/slow` /
 //!   `GET /debug/requests/{id}` (request tracing: every extraction
 //!   carries an `X-Request-Id`, minted or client-supplied, with a
-//!   retained per-stage span record) and `POST /admin/shutdown` over an
+//!   retained per-stage span record), the continuous-extraction
+//!   subscription layer (`PUT`/`GET`/`DELETE /watches/{id}` plus
+//!   `GET /watches/{id}/events`, a chunked ndjson stream of
+//!   instance-level diffs computed each scheduler tick) and
+//!   `POST /admin/shutdown` over an
 //!   [`ExtractionServer`](lixto_server::ExtractionServer);
 //! * [`client`] — a blocking keep-alive [`HttpClient`] for tests,
 //!   benches and command-line use.

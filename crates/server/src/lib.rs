@@ -34,13 +34,18 @@
 //!   explain them — without recompute;
 //! * [`metrics`] — a lock-free fixed-bucket latency histogram and the
 //!   [`MetricsSnapshot`] API (throughput, p50/p99, queue depths, cache
-//!   and store stats).
+//!   and store stats);
+//! * [`watch`] — continuous extraction: a [`WatchRegistry`] of
+//!   (wrapper, url, interval) subscriptions and a [`WatchScheduler`]
+//!   that re-submits them through the pool and delivers instance-level
+//!   diffs "only if the status changed between consecutive requests".
 //!
 //! # Durability directory convention
 //!
-//! Both durable substrates live under one data directory (see
+//! The durable substrates live under one data directory (see
 //! [`durability_layout`]): `<root>/wrappers` is the registry spool,
-//! `<root>/store` the result store. Both use the same line-oriented,
+//! `<root>/store` the result store, `<root>/watches` the watch
+//! subscription spool. All use the same line-oriented,
 //! backslash-escaped UTF-8 file format family, and both recover by
 //! skipping (and counting or warning about) corrupt records rather than
 //! refusing to start.
@@ -52,6 +57,7 @@ pub mod metrics;
 pub mod registry;
 pub mod server;
 pub mod store;
+pub mod watch;
 
 pub use lixto_core::XmlDesign;
 
@@ -60,6 +66,7 @@ pub use cache::{
     DEFAULT_CACHE_SEGMENTS,
 };
 pub use lixto_elog::{CompileError, ParseError, WrapperPlan};
+pub use lixto_transform::{ChangedEntry, DiffEntry, InstanceDiff};
 pub use metrics::{
     bucket_quantile_us, LatencyHistogram, MetricsSnapshot, ServerMetrics, StageHistograms,
     StageSummary, LATENCY_BUCKETS,
@@ -73,3 +80,4 @@ pub use store::{
     durability_layout, parse_provenance_key, provenance_key, DurabilityLayout, InstanceProvenance,
     Provenance, StoreConfig, StoreStats, TieredStore,
 };
+pub use watch::{WatchEvent, WatchRegistry, WatchSample, WatchScheduler, WatchSpec, WatchStatus};

@@ -324,26 +324,140 @@ pub struct PoolSample {
 
 /// Per-(wrapper, url) change detection for `Web`-sourced requests: when
 /// the fetched body differs from the last one seen, the previous cache
-/// entry is proactively invalidated. The detector is fed the hex content
-/// address rather than the body itself, so each tracker costs a few
-/// dozen bytes, not a page.
+/// entry is proactively invalidated. The detector is fed the word-sized
+/// content address rather than the body itself, so each tracker costs a
+/// few dozen bytes, not a page.
 struct SourceTracker {
     detector: ChangeDetector,
     last_key: Option<CacheKey>,
+    /// Segment-clock value of the last touch, for oldest-first eviction.
+    last_used: u64,
 }
 
-/// Cap on tracked (wrapper, url) pairs. Past this, tracking state is
-/// reset wholesale — losing only the *proactive* invalidation of stale
-/// entries (content addressing keeps results correct regardless), never
-/// growing without bound under per-query URLs.
+/// Cap on tracked (wrapper, url) pairs, split evenly across segments.
+/// Past a segment's share, its coldest tracker is evicted — losing only
+/// the *proactive* invalidation of that one stale entry (content
+/// addressing keeps results correct regardless), never growing without
+/// bound under per-query URLs.
 const MAX_TRACKED_SOURCES: usize = 4096;
+
+/// Segment count for [`SourceTrackers`]. Like the result cache's
+/// segments, this bounds lock contention: `Web`-sourced requests for
+/// different (wrapper, url) pairs take different locks.
+const SOURCE_SEGMENTS: usize = 8;
+
+/// Change trackers for `Web` sources, sharded into fxhash-picked
+/// segments so concurrent workers touching different sources never
+/// serialize on one global lock (the result cache plays the same trick).
+struct SourceTrackers {
+    segments: Vec<Mutex<TrackerSegment>>,
+    /// Per-segment tracker cap; the coldest entry is evicted past it.
+    segment_capacity: usize,
+}
+
+#[derive(Default)]
+struct TrackerSegment {
+    map: HashMap<(String, String), SourceTracker>,
+    /// Recency counter: bumped per touch, stamped into `last_used`.
+    clock: u64,
+}
+
+impl SourceTrackers {
+    fn new() -> SourceTrackers {
+        SourceTrackers::with_limits(SOURCE_SEGMENTS, MAX_TRACKED_SOURCES / SOURCE_SEGMENTS)
+    }
+
+    /// Test constructor: explicit segment count and per-segment cap.
+    fn with_limits(segments: usize, segment_capacity: usize) -> SourceTrackers {
+        SourceTrackers {
+            segments: (0..segments.max(1))
+                .map(|_| Mutex::new(TrackerSegment::default()))
+                .collect(),
+            segment_capacity: segment_capacity.max(1),
+        }
+    }
+
+    /// Which segment a (wrapper, url) pair lives in.
+    fn segment_index(&self, wrapper: &str, url: &str) -> usize {
+        let mut h = fxhash64(wrapper.as_bytes()).rotate_left(1) ^ fxhash64(url.as_bytes());
+        // Murmur finalizer: spread the hash across the high bits so the
+        // modulo below sees all of them.
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        (h as usize) % self.segments.len()
+    }
+
+    /// Record an observation of `key` for (wrapper, url). Returns the
+    /// previous cache key iff the content address changed — the stale
+    /// entry the caller should invalidate. One segment lock, one map
+    /// lookup, one key allocation (the `entry` call), no formatting.
+    fn observe(&self, wrapper: &str, url: &str, key: &CacheKey) -> Option<CacheKey> {
+        let capacity = self.segment_capacity;
+        let mut seg = self.segments[self.segment_index(wrapper, url)]
+            .lock()
+            .expect("sources poisoned");
+        seg.clock += 1;
+        let clock = seg.clock;
+        let tracker = seg
+            .map
+            .entry((wrapper.to_string(), url.to_string()))
+            .or_insert_with(|| SourceTracker {
+                detector: ChangeDetector::default(),
+                last_key: None,
+                last_used: 0,
+            });
+        tracker.last_used = clock;
+        let mut stale = None;
+        if tracker.detector.changed_u64(key.content) {
+            if let Some(old) = tracker.last_key.take() {
+                if old != *key {
+                    stale = Some(old);
+                }
+            }
+        }
+        tracker.last_key = Some(key.clone());
+        if seg.map.len() > capacity {
+            // Oldest-first eviction, skipping the entry just touched:
+            // one cold tracker goes, the hot set survives.
+            if let Some(oldest) = seg
+                .map
+                .iter()
+                .filter(|(_, t)| t.last_used != clock)
+                .min_by_key(|(_, t)| t.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                seg.map.remove(&oldest);
+            }
+        }
+        stale
+    }
+
+    /// Hold a segment's lock for the duration of `f` — lets tests prove
+    /// a jammed segment cannot block observations landing elsewhere.
+    #[cfg(test)]
+    fn with_segment_locked<R>(&self, wrapper: &str, url: &str, f: impl FnOnce() -> R) -> R {
+        let _guard = self.segments[self.segment_index(wrapper, url)]
+            .lock()
+            .expect("sources poisoned");
+        f()
+    }
+
+    #[cfg(test)]
+    fn tracked(&self) -> usize {
+        self.segments
+            .iter()
+            .map(|s| s.lock().expect("sources poisoned").map.len())
+            .sum()
+    }
+}
 
 struct Shared {
     registry: Arc<WrapperRegistry>,
     store: TieredStore,
     metrics: ServerMetrics,
     web: Arc<dyn WebSource + Send + Sync>,
-    sources: Mutex<HashMap<(String, String), SourceTracker>>,
+    sources: SourceTrackers,
 }
 
 /// The wrapper-execution service.
@@ -449,7 +563,7 @@ impl ExtractionServer {
             store,
             metrics: ServerMetrics::new(),
             web,
-            sources: Mutex::new(HashMap::new()),
+            sources: SourceTrackers::new(),
         });
         let mut queues = Vec::with_capacity(config.shards);
         let mut workers = Vec::new();
@@ -809,26 +923,9 @@ fn process(job: &Job, shared: &Shared) -> Result<ExtractionResponse, ServerError
     if from_web {
         // Change detection over the live source: a changed body drops
         // the stale entry instead of leaving it to age out of the LRU.
-        let mut sources = shared.sources.lock().expect("sources poisoned");
-        if sources.len() >= MAX_TRACKED_SOURCES
-            && !sources.contains_key(&(job.wrapper.name.clone(), url.to_string()))
-        {
-            sources.clear();
+        if let Some(stale) = shared.sources.observe(&job.wrapper.name, url, &key) {
+            shared.store.invalidate(&stale);
         }
-        let tracker = sources
-            .entry((job.wrapper.name.clone(), url.to_string()))
-            .or_insert_with(|| SourceTracker {
-                detector: ChangeDetector::default(),
-                last_key: None,
-            });
-        if tracker.detector.changed(&format!("{:016x}", key.content)) {
-            if let Some(old) = tracker.last_key.take() {
-                if old != key {
-                    shared.store.invalidate(&old);
-                }
-            }
-        }
-        tracker.last_key = Some(key.clone());
     }
     // Crawl targets resolve against the live web for `Web` requests; an
     // `Inline` request is self-contained (the client shipped one page).
@@ -1462,5 +1559,80 @@ mod tests {
             0,
             "defused callback never fired, even through drop and shutdown"
         );
+    }
+
+    fn key_for(content: u64) -> CacheKey {
+        CacheKey {
+            wrapper: "w".into(),
+            plan: 1,
+            content,
+        }
+    }
+
+    #[test]
+    fn source_trackers_report_stale_key_only_on_change() {
+        let trackers = SourceTrackers::new();
+        // First sighting: a change, but nothing stale to invalidate.
+        assert_eq!(trackers.observe("w", "http://a/", &key_for(10)), None);
+        // Unchanged content: no change, nothing stale.
+        assert_eq!(trackers.observe("w", "http://a/", &key_for(10)), None);
+        // Changed content: the previous key comes back for invalidation.
+        assert_eq!(
+            trackers.observe("w", "http://a/", &key_for(11)),
+            Some(key_for(10))
+        );
+        assert_eq!(trackers.observe("w", "http://a/", &key_for(11)), None);
+        // An unrelated source does not disturb the first one's state.
+        assert_eq!(trackers.observe("w", "http://b/", &key_for(11)), None);
+        assert_eq!(
+            trackers.observe("w", "http://a/", &key_for(12)),
+            Some(key_for(11))
+        );
+    }
+
+    #[test]
+    fn source_trackers_evict_coldest_entry_not_everything() {
+        // One segment, room for two trackers.
+        let trackers = SourceTrackers::with_limits(1, 2);
+        assert_eq!(trackers.observe("w", "http://cold/", &key_for(1)), None);
+        assert_eq!(trackers.observe("w", "http://hot/", &key_for(2)), None);
+        // Keep "hot" fresh, then overflow: "cold" must be the casualty.
+        assert_eq!(trackers.observe("w", "http://hot/", &key_for(2)), None);
+        assert_eq!(trackers.observe("w", "http://new/", &key_for(3)), None);
+        assert_eq!(trackers.tracked(), 2);
+        // "hot" survived with its detector state intact: re-observing
+        // the same content is still not a change.
+        assert_eq!(trackers.observe("w", "http://hot/", &key_for(2)), None);
+        // "cold" was forgotten: it re-registers as a first sighting
+        // rather than reporting key 1 as stale.
+        assert_eq!(trackers.observe("w", "http://cold/", &key_for(9)), None);
+    }
+
+    #[test]
+    fn source_trackers_jammed_segment_does_not_block_other_segments() {
+        let trackers = Arc::new(SourceTrackers::with_limits(8, 64));
+        // Find a URL that hashes to a different segment than the jammed
+        // one — with 8 segments one exists within a handful of tries.
+        let jammed_url = "http://jammed/";
+        let jammed_seg = trackers.segment_index("w", jammed_url);
+        let other_url = (0..64)
+            .map(|i| format!("http://other-{i}/"))
+            .find(|u| trackers.segment_index("w", u) != jammed_seg)
+            .expect("some url lands in another segment");
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+        trackers.with_segment_locked("w", jammed_url, || {
+            let trackers = trackers.clone();
+            let other = other_url.clone();
+            let worker = std::thread::spawn(move || {
+                trackers.observe("w", &other, &key_for(5));
+                let _ = done_tx.send(());
+            });
+            // The observation on the other segment must complete while
+            // this segment's lock is held.
+            done_rx
+                .recv_timeout(Duration::from_secs(10))
+                .expect("observe on a different segment completed despite the jammed one");
+            worker.join().unwrap();
+        });
     }
 }

@@ -97,16 +97,21 @@ pub struct DurabilityLayout {
     /// Result-store directory (`<root>/store`); pass to
     /// [`StoreConfig::new`].
     pub store: PathBuf,
+    /// Watch-subscription spool directory (`<root>/watches`); pass to
+    /// [`WatchRegistry::with_spool`](crate::WatchRegistry::with_spool).
+    pub watches: PathBuf,
 }
 
 /// The shared durability directory convention: one `root` data
-/// directory with a `wrappers/` registry spool and a `store/` result
-/// store beside each other, so "persist this server" is a single path.
+/// directory with a `wrappers/` registry spool, a `store/` result store
+/// and a `watches/` subscription spool beside each other, so "persist
+/// this server" is a single path.
 pub fn durability_layout(root: impl Into<PathBuf>) -> DurabilityLayout {
     let root = root.into();
     DurabilityLayout {
         wrappers: root.join("wrappers"),
         store: root.join("store"),
+        watches: root.join("watches"),
         root,
     }
 }
@@ -981,6 +986,7 @@ mod tests {
         let layout = durability_layout("/data/lixto");
         assert_eq!(layout.wrappers, Path::new("/data/lixto/wrappers"));
         assert_eq!(layout.store, Path::new("/data/lixto/store"));
+        assert_eq!(layout.watches, Path::new("/data/lixto/watches"));
         assert_eq!(layout.root, Path::new("/data/lixto"));
     }
 }

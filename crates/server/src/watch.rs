@@ -1,0 +1,888 @@
+//! Continuous extraction: watch subscriptions with instance-level diffs.
+//!
+//! The paper's deployed system is not request/response but *continual* —
+//! §6's information pipes re-run wrappers on a schedule and deliver
+//! results "only if the status changed between consecutive requests".
+//! This module serves that model over the pool:
+//!
+//! * [`WatchRegistry`] — named (wrapper, url, interval) subscriptions,
+//!   optionally spooled to the durability dir so they survive restarts;
+//! * [`WatchScheduler`] — one thread that re-submits due watches through
+//!   [`ExtractionServer::try_submit_with_notify`] (watches share the
+//!   pool's queues and backpressure, so they can never starve
+//!   interactive traffic), diffs each result against the watch's last
+//!   delivered snapshot at the *instance* level
+//!   ([`lixto_transform::diff_snapshots`] over
+//!   pattern + text, never raw-HTML byte equality), and hands non-empty
+//!   diffs to a delivery sink — the gateway fans them out to long-poll
+//!   subscribers and webhook URLs.
+//!
+//! An unchanged tick delivers nothing (it only bumps the watch's
+//! `suppressed` counter); the first tick after registration or restart
+//! re-baselines silently. Snapshots are deliberately *not* persisted:
+//! they are recomputable from source, and a restarted server must not
+//! replay a diff the subscriber already saw.
+
+#![deny(missing_docs)]
+
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use lixto_obs::{debug_event, warn_event};
+use lixto_transform::{diff_snapshots, ExtractionSnapshot, InstanceDiff};
+
+use crate::registry::{escape, unescape};
+use crate::server::{
+    ExtractionRequest, ExtractionResponse, ExtractionServer, JobTicket, RequestSource, ServerError,
+};
+
+/// File-format magic (shared with the store and registry spools).
+const MAGIC: &str = "lixto-store";
+/// Format version.
+const VERSION: &str = "v1";
+/// Spool kind discriminator in the header line.
+const KIND: &str = "watches";
+/// Spool file name inside the watches directory.
+const SPOOL_FILE: &str = "watches.log";
+
+/// What to watch: a wrapper re-run against a URL every `interval`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchSpec {
+    /// Registered wrapper name.
+    pub wrapper: String,
+    /// `Web` source URL to re-fetch each tick.
+    pub url: String,
+    /// Re-extraction period (measured submission to submission).
+    pub interval: Duration,
+    /// Optional webhook URL diffs are POSTed to.
+    pub webhook: Option<String>,
+}
+
+/// A point-in-time view of one watch, for `GET /watches/{id}` and the
+/// per-watch metrics families.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchStatus {
+    /// Watch id.
+    pub id: String,
+    /// Wrapper name.
+    pub wrapper: String,
+    /// Watched URL.
+    pub url: String,
+    /// Re-extraction period in milliseconds.
+    pub interval_ms: u64,
+    /// Webhook URL, if any.
+    pub webhook: Option<String>,
+    /// Completed re-extractions (including suppressed and baseline ones).
+    pub ticks: u64,
+    /// Diff events delivered so far (the sequence number of the latest).
+    pub seq: u64,
+    /// Ticks whose diff was empty — detected, compared, *not* delivered.
+    pub suppressed: u64,
+    /// Ticks that failed (fetch errors, pool errors).
+    pub errors: u64,
+}
+
+/// One delivered change: the instance-level diff between a watch's last
+/// two snapshots, plus enough identity to route it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchEvent {
+    /// Watch id.
+    pub watch: String,
+    /// 1-based event sequence number within the watch.
+    pub seq: u64,
+    /// Wrapper that produced the result.
+    pub wrapper: String,
+    /// Watched URL.
+    pub url: String,
+    /// Webhook the delivery layer should POST to, if configured.
+    pub webhook: Option<String>,
+    /// What changed.
+    pub diff: InstanceDiff,
+}
+
+struct WatchEntry {
+    spec: WatchSpec,
+    ticks: u64,
+    seq: u64,
+    suppressed: u64,
+    errors: u64,
+    /// Last delivered snapshot; `None` until the baseline tick.
+    snapshot: Option<ExtractionSnapshot>,
+    /// When the next re-extraction is due.
+    next_due: Instant,
+    /// A submission for this watch is in the pool right now.
+    inflight: bool,
+}
+
+impl WatchEntry {
+    fn status(&self, id: &str) -> WatchStatus {
+        WatchStatus {
+            id: id.to_string(),
+            wrapper: self.spec.wrapper.clone(),
+            url: self.spec.url.clone(),
+            interval_ms: self.spec.interval.as_millis().min(u128::from(u64::MAX)) as u64,
+            webhook: self.spec.webhook.clone(),
+            ticks: self.ticks,
+            seq: self.seq,
+            suppressed: self.suppressed,
+            errors: self.errors,
+        }
+    }
+}
+
+/// Append-only spool under the durability dir: `put` and `del` records,
+/// compacted (tmp + rename) on open.
+struct Spool {
+    path: PathBuf,
+    file: File,
+}
+
+struct Inner {
+    watches: HashMap<String, WatchEntry>,
+    spool: Option<Spool>,
+}
+
+/// Aggregate + per-watch counters for `/metrics` (`lixto_watch_*`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WatchSample {
+    /// Registered watches (gauge).
+    pub registered: usize,
+    /// Long-poll subscribers currently parked on watch event streams.
+    pub subscribers: usize,
+    /// Webhook POSTs delivered successfully.
+    pub webhook_deliveries: u64,
+    /// Webhook POSTs that exhausted their retries.
+    pub webhook_failures: u64,
+    /// Per-watch counters.
+    pub watches: Vec<WatchStatus>,
+}
+
+/// The registered subscriptions, shared between the scheduler thread,
+/// the management routes and the metrics renderer.
+pub struct WatchRegistry {
+    inner: Mutex<Inner>,
+    /// Long-poll subscriber gauge (maintained by the delivery layer).
+    subscribers: AtomicUsize,
+    webhook_deliveries: AtomicU64,
+    webhook_failures: AtomicU64,
+}
+
+impl Default for WatchRegistry {
+    fn default() -> WatchRegistry {
+        WatchRegistry::new()
+    }
+}
+
+impl WatchRegistry {
+    /// In-memory registry (watches die with the process).
+    pub fn new() -> WatchRegistry {
+        WatchRegistry {
+            inner: Mutex::new(Inner {
+                watches: HashMap::new(),
+                spool: None,
+            }),
+            subscribers: AtomicUsize::new(0),
+            webhook_deliveries: AtomicU64::new(0),
+            webhook_failures: AtomicU64::new(0),
+        }
+    }
+
+    /// Durable registry: replay the spool under `dir` (creating it if
+    /// absent), compact it, and append every future change. Corrupt
+    /// records are skipped and counted, never fatal.
+    pub fn with_spool(dir: impl Into<PathBuf>) -> io::Result<WatchRegistry> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(SPOOL_FILE);
+        let mut watches: HashMap<String, WatchSpec> = HashMap::new();
+        let mut skipped = 0usize;
+        match fs::read_to_string(&path) {
+            Ok(text) => {
+                let mut lines = text.lines();
+                match lines.next() {
+                    None => {}
+                    Some(header)
+                        if header
+                            .split('\t')
+                            .collect::<Vec<_>>()
+                            .starts_with(&[MAGIC, VERSION, KIND]) => {}
+                    Some(_) => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("{} is not a {MAGIC} {VERSION} {KIND} spool", path.display()),
+                        ));
+                    }
+                }
+                for line in lines {
+                    if line.is_empty() {
+                        continue;
+                    }
+                    match parse_record(line) {
+                        Some(Record::Put(id, spec)) => {
+                            watches.insert(id, spec);
+                        }
+                        Some(Record::Del(id)) => {
+                            watches.remove(&id);
+                        }
+                        None => skipped += 1,
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        if skipped > 0 {
+            warn_event!(
+                "watch_spool_corrupt_records",
+                "path" => path.display().to_string(),
+                "skipped" => skipped as u64,
+            );
+        }
+        // Compact: rewrite the surviving set, tmp + rename.
+        let tmp = dir.join(format!("{SPOOL_FILE}.tmp"));
+        {
+            let mut out = File::create(&tmp)?;
+            writeln!(out, "{MAGIC}\t{VERSION}\t{KIND}")?;
+            let mut ids: Vec<&String> = watches.keys().collect();
+            ids.sort();
+            for id in ids {
+                out.write_all(put_record(id, &watches[id]).as_bytes())?;
+            }
+            out.flush()?;
+        }
+        fs::rename(&tmp, &path)?;
+        let file = OpenOptions::new().append(true).open(&path)?;
+        let now = Instant::now();
+        let entries = watches
+            .into_iter()
+            .map(|(id, spec)| (id, new_entry(spec, now)))
+            .collect();
+        Ok(WatchRegistry {
+            inner: Mutex::new(Inner {
+                watches: entries,
+                spool: Some(Spool { path, file }),
+            }),
+            subscribers: AtomicUsize::new(0),
+            webhook_deliveries: AtomicU64::new(0),
+            webhook_failures: AtomicU64::new(0),
+        })
+    }
+
+    /// Register (or replace) a watch. Returns `true` when the id is new.
+    /// Replacement resets counters and the baseline snapshot — a new
+    /// spec is a new subscription under the same name.
+    pub fn put(&self, id: &str, spec: WatchSpec) -> bool {
+        let mut inner = self.inner.lock().expect("watch registry poisoned");
+        if let Some(spool) = &mut inner.spool {
+            append_or_warn(spool, &put_record(id, &spec));
+        }
+        let created = inner
+            .watches
+            .insert(id.to_string(), new_entry(spec, Instant::now()))
+            .is_none();
+        debug_event!(
+            "watch_registered",
+            "watch" => id,
+            "created" => created,
+        );
+        created
+    }
+
+    /// Delete a watch. Returns `true` when it existed.
+    pub fn remove(&self, id: &str) -> bool {
+        let mut inner = self.inner.lock().expect("watch registry poisoned");
+        let existed = inner.watches.remove(id).is_some();
+        if existed {
+            if let Some(spool) = &mut inner.spool {
+                append_or_warn(spool, &format!("del\t{}\n", escape(id)));
+            }
+            debug_event!("watch_removed", "watch" => id);
+        }
+        existed
+    }
+
+    /// Status of one watch.
+    pub fn get(&self, id: &str) -> Option<WatchStatus> {
+        let inner = self.inner.lock().expect("watch registry poisoned");
+        inner.watches.get(id).map(|e| e.status(id))
+    }
+
+    /// True when `id` is registered.
+    pub fn contains(&self, id: &str) -> bool {
+        self.inner
+            .lock()
+            .expect("watch registry poisoned")
+            .watches
+            .contains_key(id)
+    }
+
+    /// All watches, id-sorted.
+    pub fn list(&self) -> Vec<WatchStatus> {
+        let inner = self.inner.lock().expect("watch registry poisoned");
+        let mut all: Vec<WatchStatus> = inner.watches.iter().map(|(id, e)| e.status(id)).collect();
+        all.sort_by(|a, b| a.id.cmp(&b.id));
+        all
+    }
+
+    /// Number of registered watches.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("watch registry poisoned")
+            .watches
+            .len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A long-poll subscriber attached to a watch event stream.
+    pub fn subscriber_started(&self) {
+        self.subscribers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A long-poll subscriber detached.
+    pub fn subscriber_finished(&self) {
+        self.subscribers.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Currently parked long-poll subscribers.
+    pub fn subscribers(&self) -> usize {
+        self.subscribers.load(Ordering::Relaxed)
+    }
+
+    /// Record a webhook delivery attempt's outcome.
+    pub fn record_webhook(&self, delivered: bool) {
+        if delivered {
+            self.webhook_deliveries.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.webhook_failures.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counters for `/metrics`.
+    pub fn sample(&self) -> WatchSample {
+        WatchSample {
+            registered: self.len(),
+            subscribers: self.subscribers(),
+            webhook_deliveries: self.webhook_deliveries.load(Ordering::Relaxed),
+            webhook_failures: self.webhook_failures.load(Ordering::Relaxed),
+            watches: self.list(),
+        }
+    }
+
+    /// Claim every watch due at `now`: marks it inflight, schedules its
+    /// next tick, and returns the request to submit.
+    fn take_due(&self, now: Instant) -> Vec<(String, ExtractionRequest)> {
+        let mut inner = self.inner.lock().expect("watch registry poisoned");
+        let mut due = Vec::new();
+        for (id, entry) in &mut inner.watches {
+            if entry.inflight || entry.next_due > now {
+                continue;
+            }
+            entry.inflight = true;
+            entry.next_due = now + entry.spec.interval;
+            due.push((
+                id.clone(),
+                ExtractionRequest {
+                    trace: None,
+                    wrapper: entry.spec.wrapper.clone(),
+                    version: None,
+                    source: RequestSource::Web {
+                        url: entry.spec.url.clone(),
+                    },
+                },
+            ));
+        }
+        due
+    }
+
+    /// A submission claimed by [`take_due`](WatchRegistry::take_due)
+    /// never reached the pool. Backpressure is not an error — the watch
+    /// just waits for its next tick (interactive traffic keeps its
+    /// queue slots); anything else counts against the watch.
+    fn submission_failed(&self, id: &str, error: &ServerError) {
+        let mut inner = self.inner.lock().expect("watch registry poisoned");
+        if let Some(entry) = inner.watches.get_mut(id) {
+            entry.inflight = false;
+            if !matches!(error, ServerError::Backpressure) {
+                entry.errors += 1;
+            }
+        }
+    }
+
+    /// Fold a completed re-extraction into the watch: baseline on the
+    /// first tick, otherwise diff against the stored snapshot. Returns
+    /// the event to deliver iff something changed.
+    fn resolve(
+        &self,
+        id: &str,
+        outcome: Result<ExtractionResponse, ServerError>,
+    ) -> Option<WatchEvent> {
+        let mut inner = self.inner.lock().expect("watch registry poisoned");
+        // The watch may have been deleted while its job was in flight;
+        // the result is then nobody's business.
+        let entry = inner.watches.get_mut(id)?;
+        entry.inflight = false;
+        let response = match outcome {
+            Ok(response) => response,
+            Err(_) => {
+                entry.errors += 1;
+                return None;
+            }
+        };
+        entry.ticks += 1;
+        let snapshot = ExtractionSnapshot::from_pairs(
+            response
+                .result
+                .provenance
+                .instances
+                .iter()
+                .map(|i| (i.pattern.as_str(), i.text.as_str())),
+        );
+        let Some(previous) = entry.snapshot.take() else {
+            // Baseline: remember, deliver nothing.
+            entry.snapshot = Some(snapshot);
+            return None;
+        };
+        let diff = diff_snapshots(&previous, &snapshot);
+        entry.snapshot = Some(snapshot);
+        if diff.is_empty() {
+            entry.suppressed += 1;
+            return None;
+        }
+        entry.seq += 1;
+        Some(WatchEvent {
+            watch: id.to_string(),
+            seq: entry.seq,
+            wrapper: entry.spec.wrapper.clone(),
+            url: entry.spec.url.clone(),
+            webhook: entry.spec.webhook.clone(),
+            diff,
+        })
+    }
+}
+
+fn new_entry(spec: WatchSpec, now: Instant) -> WatchEntry {
+    WatchEntry {
+        spec,
+        ticks: 0,
+        seq: 0,
+        suppressed: 0,
+        errors: 0,
+        snapshot: None,
+        next_due: now,
+        inflight: false,
+    }
+}
+
+fn put_record(id: &str, spec: &WatchSpec) -> String {
+    format!(
+        "put\t{}\t{}\t{}\t{}\t{}\n",
+        escape(id),
+        escape(&spec.wrapper),
+        escape(&spec.url),
+        spec.interval.as_millis().min(u128::from(u64::MAX)),
+        escape(spec.webhook.as_deref().unwrap_or("")),
+    )
+}
+
+enum Record {
+    Put(String, WatchSpec),
+    Del(String),
+}
+
+fn parse_record(line: &str) -> Option<Record> {
+    let fields: Vec<&str> = line.split('\t').collect();
+    match fields.as_slice() {
+        ["put", id, wrapper, url, interval_ms, webhook] => {
+            let webhook = unescape(webhook).ok()?;
+            Some(Record::Put(
+                unescape(id).ok()?,
+                WatchSpec {
+                    wrapper: unescape(wrapper).ok()?,
+                    url: unescape(url).ok()?,
+                    interval: Duration::from_millis(interval_ms.parse().ok()?),
+                    webhook: (!webhook.is_empty()).then_some(webhook),
+                },
+            ))
+        }
+        ["del", id] => Some(Record::Del(unescape(id).ok()?)),
+        _ => None,
+    }
+}
+
+fn append_or_warn(spool: &mut Spool, record: &str) {
+    if let Err(e) = spool
+        .file
+        .write_all(record.as_bytes())
+        .and_then(|()| spool.file.flush())
+    {
+        warn_event!(
+            "watch_spool_append_failed",
+            "path" => spool.path.display().to_string(),
+            "error" => e.to_string(),
+        );
+    }
+}
+
+struct SchedulerShared {
+    /// `stop` latch + "a completion landed" flag, both under one lock so
+    /// the scheduler can sleep on a single condvar.
+    state: Mutex<SchedulerState>,
+    wake: Condvar,
+}
+
+#[derive(Default)]
+struct SchedulerState {
+    stop: bool,
+    completed: bool,
+}
+
+/// The scheduler thread: re-submits due watches through the pool and
+/// feeds resolved results back into the registry, delivering non-empty
+/// diffs to the sink. Completion notifies (from
+/// [`try_submit_with_notify`](ExtractionServer::try_submit_with_notify))
+/// wake it immediately, so change-to-notification latency is bounded by
+/// the watch interval plus one extraction, not by the polling tick.
+pub struct WatchScheduler {
+    shared: Arc<SchedulerShared>,
+    thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl WatchScheduler {
+    /// Start the scheduler. `tick` bounds how long it sleeps between
+    /// due-checks when nothing completes; `sink` receives every
+    /// delivered [`WatchEvent`] (called on the scheduler thread, outside
+    /// all registry locks).
+    pub fn start(
+        server: Arc<ExtractionServer>,
+        registry: Arc<WatchRegistry>,
+        tick: Duration,
+        sink: Box<dyn Fn(WatchEvent) + Send + Sync>,
+    ) -> WatchScheduler {
+        let shared = Arc::new(SchedulerShared {
+            state: Mutex::new(SchedulerState::default()),
+            wake: Condvar::new(),
+        });
+        let tick = tick.max(Duration::from_millis(1));
+        let loop_shared = shared.clone();
+        let thread = std::thread::Builder::new()
+            .name("lixto-watch-scheduler".into())
+            .spawn(move || scheduler_loop(server, registry, tick, sink, loop_shared))
+            .expect("spawn watch scheduler");
+        WatchScheduler {
+            shared,
+            thread: Mutex::new(Some(thread)),
+        }
+    }
+
+    /// Stop and join the scheduler thread. In-flight extractions keep
+    /// running in the pool; their results are dropped. Idempotent.
+    pub fn stop(&self) {
+        {
+            let mut state = self.shared.state.lock().expect("scheduler poisoned");
+            state.stop = true;
+            self.shared.wake.notify_all();
+        }
+        if let Some(thread) = self
+            .thread
+            .lock()
+            .expect("scheduler thread slot poisoned")
+            .take()
+        {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for WatchScheduler {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn scheduler_loop(
+    server: Arc<ExtractionServer>,
+    registry: Arc<WatchRegistry>,
+    tick: Duration,
+    sink: Box<dyn Fn(WatchEvent) + Send + Sync>,
+    shared: Arc<SchedulerShared>,
+) {
+    let mut inflight: Vec<(String, JobTicket)> = Vec::new();
+    loop {
+        // Resolve whatever completed since the last pass.
+        let mut resolved = Vec::new();
+        inflight.retain_mut(|(id, ticket)| match ticket.try_take() {
+            None => true,
+            Some(outcome) => {
+                resolved.push((std::mem::take(id), outcome));
+                false
+            }
+        });
+        for (id, outcome) in resolved {
+            if let Some(event) = registry.resolve(&id, outcome) {
+                debug_event!(
+                    "watch_event",
+                    "watch" => &event.watch,
+                    "seq" => event.seq,
+                    "added" => event.diff.added.len() as u64,
+                    "removed" => event.diff.removed.len() as u64,
+                    "changed" => event.diff.changed.len() as u64,
+                );
+                sink(event);
+            }
+        }
+        // Submit everything due. A full shard queue is fine: the watch
+        // retries next tick and interactive traffic keeps its slots.
+        for (id, request) in registry.take_due(Instant::now()) {
+            let notify_shared = shared.clone();
+            match server.try_submit_with_notify(
+                request,
+                Box::new(move || {
+                    let mut state = notify_shared.state.lock().expect("scheduler poisoned");
+                    state.completed = true;
+                    notify_shared.wake.notify_all();
+                }),
+            ) {
+                Ok(ticket) => inflight.push((id, ticket)),
+                Err(e) => registry.submission_failed(&id, &e),
+            }
+        }
+        // Sleep until a completion lands, the tick elapses, or stop.
+        let mut state = shared.state.lock().expect("scheduler poisoned");
+        if !state.stop && !state.completed {
+            let (guard, _) = shared
+                .wake
+                .wait_timeout(state, tick)
+                .expect("scheduler poisoned");
+            state = guard;
+        }
+        if state.stop {
+            return;
+        }
+        state.completed = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::WrapperRegistry;
+    use crate::server::ServerConfig;
+    use lixto_core::XmlDesign;
+    use lixto_elog::SharedWeb;
+    use std::sync::mpsc;
+
+    const WRAPPER: &str = r#"
+        offer(S, X) :- document("http://shop/", S), subelem(S, (?.li, []), X).
+        name(S, X)  :- offer(_, S), subelem(S, (.b, []), X).
+    "#;
+
+    fn page(items: &[&str]) -> String {
+        let mut h = String::from("<html><body><ul>");
+        for it in items {
+            h.push_str(&format!("<li><b>{it}</b></li>"));
+        }
+        h.push_str("</ul></body></html>");
+        h
+    }
+
+    fn spec(url: &str) -> WatchSpec {
+        WatchSpec {
+            wrapper: "shop".into(),
+            url: url.into(),
+            interval: Duration::from_millis(5),
+            webhook: None,
+        }
+    }
+
+    fn pool(web: Arc<SharedWeb>) -> Arc<ExtractionServer> {
+        let registry = Arc::new(WrapperRegistry::new());
+        registry
+            .register_source("shop", WRAPPER, XmlDesign::new().root("offers"))
+            .unwrap();
+        Arc::new(ExtractionServer::start(
+            ServerConfig::default(),
+            registry,
+            web,
+        ))
+    }
+
+    #[test]
+    fn registry_put_get_list_remove() {
+        let reg = WatchRegistry::new();
+        assert!(reg.is_empty());
+        assert!(reg.put("a", spec("http://shop/")));
+        assert!(!reg.put("a", spec("http://shop/")), "replace is not create");
+        assert!(reg.put("b", spec("http://other/")));
+        assert_eq!(reg.len(), 2);
+        let listed = reg.list();
+        assert_eq!(listed[0].id, "a");
+        assert_eq!(listed[1].id, "b");
+        assert_eq!(reg.get("a").unwrap().url, "http://shop/");
+        assert!(reg.get("ghost").is_none());
+        assert!(reg.remove("a"));
+        assert!(!reg.remove("a"));
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn spool_survives_restart_and_skips_corrupt_records() {
+        let dir = std::env::temp_dir().join(format!(
+            "lixto-watch-spool-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let reg = WatchRegistry::with_spool(&dir).unwrap();
+            reg.put(
+                "news",
+                WatchSpec {
+                    wrapper: "shop".into(),
+                    url: "http://shop/a\tb".into(),
+                    interval: Duration::from_millis(250),
+                    webhook: Some("http://sink:9/hook".into()),
+                },
+            );
+            reg.put("doomed", spec("http://gone/"));
+            reg.remove("doomed");
+        }
+        // Corrupt the log with garbage; recovery must shrug it off.
+        {
+            let mut f = OpenOptions::new()
+                .append(true)
+                .open(dir.join(SPOOL_FILE))
+                .unwrap();
+            writeln!(f, "put\tonly-three-fields\toops").unwrap();
+        }
+        let reg = WatchRegistry::with_spool(&dir).unwrap();
+        assert_eq!(reg.len(), 1);
+        let got = reg.get("news").unwrap();
+        assert_eq!(got.url, "http://shop/a\tb");
+        assert_eq!(got.interval_ms, 250);
+        assert_eq!(got.webhook.as_deref(), Some("http://sink:9/hook"));
+        assert_eq!(got.ticks, 0, "counters restart with the process");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scheduler_baselines_suppresses_and_delivers_exact_diffs() {
+        let web = Arc::new(SharedWeb::new());
+        web.put("http://shop/", page(&["espresso", "grinder"]));
+        let server = pool(web.clone());
+        let registry = Arc::new(WatchRegistry::new());
+        registry.put("shop-watch", spec("http://shop/"));
+        let (tx, rx) = mpsc::channel::<WatchEvent>();
+        let scheduler = WatchScheduler::start(
+            server.clone(),
+            registry.clone(),
+            Duration::from_millis(2),
+            Box::new(move |event| {
+                let _ = tx.send(event);
+            }),
+        );
+        // Let the baseline tick plus several unchanged ticks pass.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while registry.get("shop-watch").unwrap().ticks < 3 {
+            assert!(Instant::now() < deadline, "watch never ticked");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(
+            rx.try_recv().is_err(),
+            "unchanged ticks must deliver nothing"
+        );
+        let before = registry.get("shop-watch").unwrap();
+        assert!(before.suppressed >= 1);
+        assert_eq!(before.seq, 0);
+        // Mutate the page: exactly one event, with the exact diff.
+        web.put("http://shop/", page(&["espresso", "kettle", "mug"]));
+        let event = rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("diff event after mutation");
+        assert_eq!(event.watch, "shop-watch");
+        assert_eq!(event.seq, 1);
+        // Reference recompute: the wrapper extracts one `offer` (the li
+        // subtree) and one `name` (the b text) per item.
+        assert!(event
+            .diff
+            .changed
+            .iter()
+            .any(|c| c.pattern == "name" && c.before == "grinder" && c.after == "kettle"));
+        assert!(event
+            .diff
+            .added
+            .iter()
+            .any(|a| a.pattern == "name" && a.text == "mug"));
+        assert!(event
+            .diff
+            .removed
+            .iter()
+            .all(|r| r.pattern == "offer" || r.pattern == "name"),);
+        // No second event for the same content.
+        assert!(rx.recv_timeout(Duration::from_millis(50)).is_err());
+        scheduler.stop();
+        // Idempotent stop; drop after stop is fine too.
+        scheduler.stop();
+        Arc::try_unwrap(server).ok().unwrap().shutdown();
+    }
+
+    #[test]
+    fn deleted_watch_in_flight_result_is_dropped() {
+        let web = Arc::new(SharedWeb::new());
+        web.put("http://shop/", page(&["x"]));
+        let server = pool(web);
+        let registry = Arc::new(WatchRegistry::new());
+        registry.put("w", spec("http://shop/"));
+        let due = registry.take_due(Instant::now());
+        assert_eq!(due.len(), 1);
+        registry.remove("w");
+        let outcome = server.execute(due.into_iter().next().unwrap().1);
+        assert!(registry.resolve("w", outcome).is_none());
+        Arc::try_unwrap(server).ok().unwrap().shutdown();
+    }
+
+    #[test]
+    fn errors_count_against_the_watch() {
+        let web = Arc::new(SharedWeb::new());
+        let server = pool(web); // no pages: every fetch 404s
+        let registry = Arc::new(WatchRegistry::new());
+        registry.put("w", spec("http://shop/"));
+        let due = registry.take_due(Instant::now());
+        let outcome = server.execute(due.into_iter().next().unwrap().1);
+        assert!(outcome.is_err());
+        assert!(registry.resolve("w", outcome).is_none());
+        assert_eq!(registry.get("w").unwrap().errors, 1);
+        // Backpressure is not an error; other submit failures are.
+        registry.submission_failed("w", &ServerError::Backpressure);
+        assert_eq!(registry.get("w").unwrap().errors, 1);
+        registry.submission_failed("w", &ServerError::ShuttingDown);
+        assert_eq!(registry.get("w").unwrap().errors, 2);
+        Arc::try_unwrap(server).ok().unwrap().shutdown();
+    }
+
+    #[test]
+    fn sample_aggregates_counters() {
+        let reg = WatchRegistry::new();
+        reg.put("a", spec("http://shop/"));
+        reg.subscriber_started();
+        reg.record_webhook(true);
+        reg.record_webhook(false);
+        let sample = reg.sample();
+        assert_eq!(sample.registered, 1);
+        assert_eq!(sample.subscribers, 1);
+        assert_eq!(sample.webhook_deliveries, 1);
+        assert_eq!(sample.webhook_failures, 1);
+        assert_eq!(sample.watches.len(), 1);
+        reg.subscriber_finished();
+        assert_eq!(reg.subscribers(), 0);
+    }
+}

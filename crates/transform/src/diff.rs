@@ -1,0 +1,290 @@
+//! Instance-level diffs between consecutive extractions.
+//!
+//! The paper's §6 information pipes deliver results "only if the status
+//! changed between consecutive requests" — and what changed, not just
+//! *that* something changed. [`ChangeDetector`](crate::ChangeDetector)
+//! answers the boolean; this module answers the delta: two
+//! [`ExtractionSnapshot`]s (the extracted pattern instances of one run,
+//! in document order) diff into an [`InstanceDiff`] of added, removed
+//! and changed instances keyed by pattern + text — never raw-HTML byte
+//! equality, so irrelevant markup churn that extracts identically
+//! produces an empty diff.
+//!
+//! The diff is a per-pattern multiset comparison: instances present in
+//! both snapshots (same pattern, same text) are unchanged regardless of
+//! position; leftover old instances pair up positionally with leftover
+//! new ones of the same pattern as *changed* (a record whose text
+//! mutated in place); the unpaired remainder is *added* / *removed*.
+//! The result is deterministic — patterns in first-appearance order,
+//! entries in document order — so a reference recompute matches exactly.
+
+use std::collections::HashMap;
+
+/// One extracted instance: which pattern matched, and the matched text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotInstance {
+    /// Pattern name.
+    pub pattern: String,
+    /// The instance's extracted text.
+    pub text: String,
+}
+
+/// The instance-level state of one extraction run: every pattern
+/// instance in document order. This is the unit the watch layer stores
+/// per subscription and diffs across consecutive runs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExtractionSnapshot {
+    /// All instances, in document order.
+    pub instances: Vec<SnapshotInstance>,
+}
+
+impl ExtractionSnapshot {
+    /// A snapshot from `(pattern, text)` pairs in document order.
+    pub fn from_pairs<P, T>(pairs: impl IntoIterator<Item = (P, T)>) -> ExtractionSnapshot
+    where
+        P: Into<String>,
+        T: Into<String>,
+    {
+        ExtractionSnapshot {
+            instances: pairs
+                .into_iter()
+                .map(|(pattern, text)| SnapshotInstance {
+                    pattern: pattern.into(),
+                    text: text.into(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// True when the run extracted nothing.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+}
+
+/// An instance that appeared or disappeared between two snapshots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiffEntry {
+    /// Pattern name.
+    pub pattern: String,
+    /// The instance text.
+    pub text: String,
+}
+
+/// An instance whose text mutated in place: one leftover old instance
+/// paired with one leftover new instance of the same pattern, in
+/// document order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChangedEntry {
+    /// Pattern name.
+    pub pattern: String,
+    /// Text before the change.
+    pub before: String,
+    /// Text after the change.
+    pub after: String,
+}
+
+/// The delta between two consecutive extractions of one source.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InstanceDiff {
+    /// Instances present only in the new snapshot.
+    pub added: Vec<DiffEntry>,
+    /// Instances present only in the old snapshot.
+    pub removed: Vec<DiffEntry>,
+    /// Instances whose text mutated (paired old/new leftovers).
+    pub changed: Vec<ChangedEntry>,
+}
+
+impl InstanceDiff {
+    /// True when the two snapshots extract identically — the
+    /// "unchanged tick delivers nothing" condition.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty() && self.changed.is_empty()
+    }
+
+    /// Total entries across the three sets.
+    pub fn len(&self) -> usize {
+        self.added.len() + self.removed.len() + self.changed.len()
+    }
+}
+
+/// Diff two snapshots per pattern:
+///
+/// 1. instances with the same pattern and text in both snapshots cancel
+///    out (multiset intersection — reordering alone is not a change);
+/// 2. the leftovers pair up positionally per pattern as `changed`;
+/// 3. unpaired leftovers land in `added` (new side) or `removed` (old
+///    side).
+pub fn diff_snapshots(old: &ExtractionSnapshot, new: &ExtractionSnapshot) -> InstanceDiff {
+    // Patterns in first-appearance order across both snapshots, so the
+    // output order is deterministic and stable under re-runs.
+    let mut patterns: Vec<&str> = Vec::new();
+    let mut seen: HashMap<&str, ()> = HashMap::new();
+    for inst in old.instances.iter().chain(&new.instances) {
+        if seen.insert(inst.pattern.as_str(), ()).is_none() {
+            patterns.push(inst.pattern.as_str());
+        }
+    }
+    let mut out = InstanceDiff::default();
+    for pattern in patterns {
+        let old_texts: Vec<&str> = old
+            .instances
+            .iter()
+            .filter(|i| i.pattern == pattern)
+            .map(|i| i.text.as_str())
+            .collect();
+        let new_texts: Vec<&str> = new
+            .instances
+            .iter()
+            .filter(|i| i.pattern == pattern)
+            .map(|i| i.text.as_str())
+            .collect();
+        // Multiset intersection: count the old texts, consume matches
+        // from the new side; what cannot be consumed is surplus.
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for t in &old_texts {
+            *counts.entry(t).or_insert(0) += 1;
+        }
+        let mut new_surplus: Vec<&str> = Vec::new();
+        for t in &new_texts {
+            match counts.get_mut(t) {
+                Some(c) if *c > 0 => *c -= 1,
+                _ => new_surplus.push(t),
+            }
+        }
+        // Leftover counts name the old-side surplus; walk the old list
+        // so surplus instances keep document order.
+        let mut old_surplus: Vec<&str> = Vec::new();
+        for t in &old_texts {
+            if let Some(c) = counts.get_mut(t) {
+                if *c > 0 {
+                    *c -= 1;
+                    old_surplus.push(t);
+                }
+            }
+        }
+        let paired = old_surplus.len().min(new_surplus.len());
+        for i in 0..paired {
+            out.changed.push(ChangedEntry {
+                pattern: pattern.to_string(),
+                before: old_surplus[i].to_string(),
+                after: new_surplus[i].to_string(),
+            });
+        }
+        for t in &old_surplus[paired..] {
+            out.removed.push(DiffEntry {
+                pattern: pattern.to_string(),
+                text: t.to_string(),
+            });
+        }
+        for t in &new_surplus[paired..] {
+            out.added.push(DiffEntry {
+                pattern: pattern.to_string(),
+                text: t.to_string(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(pairs: &[(&str, &str)]) -> ExtractionSnapshot {
+        ExtractionSnapshot::from_pairs(pairs.iter().map(|&(p, t)| (p, t)))
+    }
+
+    #[test]
+    fn identical_snapshots_diff_empty() {
+        let a = snap(&[("offer", "beans"), ("price", "3.50")]);
+        let d = diff_snapshots(&a, &a.clone());
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+    }
+
+    #[test]
+    fn reordering_is_not_a_change() {
+        let a = snap(&[("offer", "beans"), ("offer", "grinder")]);
+        let b = snap(&[("offer", "grinder"), ("offer", "beans")]);
+        assert!(diff_snapshots(&a, &b).is_empty());
+    }
+
+    #[test]
+    fn added_and_removed_instances() {
+        let a = snap(&[("offer", "beans")]);
+        let b = snap(&[("offer", "beans"), ("offer", "kettle"), ("price", "9")]);
+        let d = diff_snapshots(&a, &b);
+        assert_eq!(
+            d.added,
+            vec![
+                DiffEntry {
+                    pattern: "offer".into(),
+                    text: "kettle".into()
+                },
+                DiffEntry {
+                    pattern: "price".into(),
+                    text: "9".into()
+                },
+            ]
+        );
+        assert!(d.removed.is_empty());
+        assert!(d.changed.is_empty());
+        let back = diff_snapshots(&b, &a);
+        assert_eq!(back.removed.len(), 2);
+        assert!(back.added.is_empty());
+    }
+
+    #[test]
+    fn in_place_mutation_pairs_as_changed() {
+        let a = snap(&[("status", "on time"), ("gate", "B12")]);
+        let b = snap(&[("status", "delayed"), ("gate", "B12")]);
+        let d = diff_snapshots(&a, &b);
+        assert_eq!(
+            d.changed,
+            vec![ChangedEntry {
+                pattern: "status".into(),
+                before: "on time".into(),
+                after: "delayed".into(),
+            }]
+        );
+        assert!(d.added.is_empty() && d.removed.is_empty());
+    }
+
+    #[test]
+    fn duplicate_texts_diff_by_count() {
+        let a = snap(&[("offer", "beans"), ("offer", "beans")]);
+        let b = snap(&[("offer", "beans")]);
+        let d = diff_snapshots(&a, &b);
+        assert!(d.added.is_empty() && d.changed.is_empty());
+        assert_eq!(d.removed.len(), 1);
+    }
+
+    #[test]
+    fn surplus_beyond_pairing_splits_into_added() {
+        let a = snap(&[("offer", "beans")]);
+        let b = snap(&[("offer", "kettle"), ("offer", "mug")]);
+        let d = diff_snapshots(&a, &b);
+        assert_eq!(d.changed.len(), 1);
+        assert_eq!(d.changed[0].before, "beans");
+        assert_eq!(d.changed[0].after, "kettle");
+        assert_eq!(d.added.len(), 1);
+        assert_eq!(d.added[0].text, "mug");
+        assert!(d.removed.is_empty());
+    }
+
+    #[test]
+    fn empty_snapshots() {
+        let none = ExtractionSnapshot::default();
+        assert!(none.is_empty());
+        assert!(diff_snapshots(&none, &none).is_empty());
+        let some = snap(&[("offer", "beans")]);
+        assert_eq!(diff_snapshots(&none, &some).added.len(), 1);
+        assert_eq!(diff_snapshots(&some, &none).removed.len(), 1);
+    }
+}

@@ -21,16 +21,23 @@
 //! * [`trigger`] — activation strategies (every tick / every n ticks) and
 //!   change detection (the §6.2 flight service "sends the actual flight
 //!   status to the user …, but only if the status changed between
-//!   consecutive requests").
+//!   consecutive requests");
+//! * [`diff`] — instance-level deltas between consecutive extractions
+//!   (added/removed/changed pattern instances), the payload the
+//!   continuous-delivery layer ships when the detector fires.
 
 #![forbid(unsafe_code)]
 
 pub mod component;
+pub mod diff;
 pub mod pipe;
 pub mod runtime;
 pub mod trigger;
 
 pub use component::{Component, DeliveredMessage, WrapperComponent};
+pub use diff::{
+    diff_snapshots, ChangedEntry, DiffEntry, ExtractionSnapshot, InstanceDiff, SnapshotInstance,
+};
 pub use pipe::{InfoPipe, NodeId as PipeNodeId};
 pub use runtime::{run_threaded, run_threaded_controlled, run_ticks, PipeController};
 pub use trigger::{ChangeDetector, Trigger};

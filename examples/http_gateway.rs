@@ -27,21 +27,83 @@
 //! ```
 //!
 //! `LIXTO_HTTP_ADDR` overrides the bind address. `LIXTO_DATA_DIR` makes
-//! the gateway durable: wrappers spool to `$LIXTO_DATA_DIR/wrappers` and
-//! extraction results persist to `$LIXTO_DATA_DIR/store`, so restarting
-//! the example with the same directory serves previously-extracted pages
-//! as warm cache hits (`"cache_hit":true` on the first request) and can
-//! explain them via `GET /provenance/{key}`. With `--selftest` the
-//! example drives one client session against itself and exits — the
-//! zero-terminal smoke test.
+//! the gateway durable: wrappers spool to `$LIXTO_DATA_DIR/wrappers`,
+//! extraction results persist to `$LIXTO_DATA_DIR/store`, and watch
+//! subscriptions to `$LIXTO_DATA_DIR/watches`, so restarting the
+//! example with the same directory serves previously-extracted pages as
+//! warm cache hits (`"cache_hit":true` on the first request), can
+//! explain them via `GET /provenance/{key}`, and resumes registered
+//! watches. With `--selftest` the example drives one client session
+//! against itself and exits — the zero-terminal smoke test.
+//!
+//! Continuous extraction: the `board` wrapper watches the synthetic
+//! page `http://live/board`. With `LIXTO_WEB_DIR` set, any URL is first
+//! resolved against that directory (file name = URL with every
+//! non-alphanumeric byte mapped to `_`, re-read on every fetch), so an
+//! outside process can *mutate* a watched page mid-flight:
+//!
+//! ```text
+//! export LIXTO_WEB_DIR=/tmp/lixto-web
+//! printf '<html><body><ul><li><b>alpha</b></li></ul></body></html>' \
+//!        > "$LIXTO_WEB_DIR/http___live_board"
+//! curl -X PUT http://127.0.0.1:7878/watches/board \
+//!      -d '{"wrapper":"board","url":"http://live/board","interval_ms":250}'
+//! curl 'http://127.0.0.1:7878/watches/board/events?events=1' &
+//! printf '<html><body><ul><li><b>beta</b></li></ul></body></html>' \
+//!        > "$LIXTO_WEB_DIR/http___live_board"      # → one diff event
+//! ```
 
 use std::sync::Arc;
 
-use lixto::elog::StaticWeb;
+use lixto::core::XmlDesign;
+use lixto::elog::{StaticWeb, WebSource};
 use lixto::http::{GatewayConfig, HttpClient, HttpGateway};
-use lixto::server::{durability_layout, ExtractionServer, ServerConfig, StoreConfig};
+use lixto::server::{
+    durability_layout, ExtractionServer, ServerConfig, StoreConfig, WrapperRegistry,
+};
 use lixto::workloads::{http_traffic, traffic};
 use lixto_bench::workload_registry;
+
+/// The continuously-watched demo page and its wrapper.
+const BOARD_URL: &str = "http://live/board";
+const BOARD_WRAPPER: &str = r#"
+    offer(S, X) :- document("http://live/board", S), subelem(S, (?.li, []), X).
+    name(S, X)  :- offer(_, S), subelem(S, (.b, []), X).
+"#;
+const BOARD_PAGE: &str =
+    "<html><body><ul><li><b>alpha</b></li><li><b>beta</b></li></ul></body></html>";
+
+/// A synthetic web with a disk overlay: when `LIXTO_WEB_DIR` is set,
+/// fetches re-read `<dir>/<sanitized-url>` on every call (that is what
+/// lets a shell mutate a watched page), falling back to the preloaded
+/// in-memory pages.
+struct DiskOverlayWeb {
+    dir: Option<std::path::PathBuf>,
+    base: StaticWeb,
+}
+
+impl WebSource for DiskOverlayWeb {
+    fn fetch(&self, url: &str) -> Option<String> {
+        if let Some(dir) = &self.dir {
+            let name: String = url
+                .chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect();
+            if let Ok(html) = std::fs::read_to_string(dir.join(name)) {
+                return Some(html);
+            }
+        }
+        self.base.fetch(url)
+    }
+}
+
+fn register_board(registry: &WrapperRegistry) {
+    if registry.latest("board").is_none() {
+        registry
+            .register_source("board", BOARD_WRAPPER, XmlDesign::new().root("board"))
+            .expect("board wrapper compiles");
+    }
+}
 
 fn main() {
     // 1. A registry with every workload wrapper, and a synthetic web
@@ -66,10 +128,20 @@ fn main() {
         }
         None => workload_registry(),
     };
+    register_board(&registry);
     let mut web = StaticWeb::new();
     for p in traffic::profiles() {
         web.put(p.entry_url, traffic::page_for(p.name, 2026, 0));
         println!("registered {:>8} (entry {})", p.name, p.entry_url);
+    }
+    web.put(BOARD_URL, BOARD_PAGE.to_string());
+    println!("registered {:>8} (entry {}, watchable)", "board", BOARD_URL);
+    let web = DiskOverlayWeb {
+        dir: std::env::var_os("LIXTO_WEB_DIR").map(std::path::PathBuf::from),
+        base: web,
+    };
+    if let Some(dir) = &web.dir {
+        println!("live web overlay: {}", dir.display());
     }
 
     // 2. The pool and the gateway in front of it.
@@ -85,8 +157,15 @@ fn main() {
         Arc::new(web),
     ));
     let addr = std::env::var("LIXTO_HTTP_ADDR").unwrap_or_else(|_| "127.0.0.1:7878".to_string());
-    let gateway = HttpGateway::bind(addr.as_str(), GatewayConfig::default(), server.clone())
-        .expect("bind gateway");
+    let gateway = HttpGateway::bind(
+        addr.as_str(),
+        GatewayConfig {
+            watch_spool: data_dir.as_ref().map(|l| l.watches.clone()),
+            ..GatewayConfig::default()
+        },
+        server.clone(),
+    )
+    .expect("bind gateway");
     println!("\nserving on http://{}/", gateway.addr());
     let sample_body = r#"{"wrapper":"news","url":"http://press/finance"}"#;
     println!(
@@ -187,6 +266,46 @@ fn selftest(addr: std::net::SocketAddr) {
     assert_eq!(telemetry.status, 200, "{}", telemetry.text());
     assert!(telemetry.text().contains("\"invocations\""));
     println!("rule telemetry: {}", telemetry.text());
+    // Continuous extraction: register a watch on the live board, see it
+    // tick and show up in the metrics, then unregister it.
+    let watch = client
+        .put_json(
+            "/watches/selftest",
+            r#"{"wrapper":"board","url":"http://live/board","interval_ms":50}"#,
+        )
+        .expect("register watch");
+    assert_eq!(watch.status, 201, "{}", watch.text());
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let status = client.get("/watches/selftest").expect("watch status");
+        assert_eq!(status.status, 200, "{}", status.text());
+        let ticks = status
+            .json()
+            .expect("watch json")
+            .get("ticks")
+            .and_then(|t| t.as_u64())
+            .unwrap_or(0);
+        if ticks >= 1 {
+            println!("watch ticking: {}", status.text());
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "watch never ticked: {}",
+            status.text()
+        );
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    let metrics = client.get("/metrics").expect("metrics text");
+    assert!(
+        metrics.text().contains("lixto_watch_registered 1"),
+        "watch missing from metrics"
+    );
+    let gone = client
+        .request("DELETE", "/watches/selftest", &[], None)
+        .expect("delete watch");
+    assert_eq!(gone.status, 200, "{}", gone.text());
+    println!("watch unregistered: {}", gone.text());
     let put = client
         .put_json("/wrappers/news", &http_traffic::register_body(&news))
         .expect("deploy");

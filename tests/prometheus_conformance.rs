@@ -15,7 +15,8 @@ use lixto::http::{
 };
 use lixto::obs::{RuleSnapshot, RuleStat, Severity};
 use lixto::server::{
-    ExtractionRequest, ExtractionServer, RequestSource, ServerConfig, WrapperRegistry,
+    ExtractionRequest, ExtractionServer, RequestSource, ServerConfig, WatchSample, WatchStatus,
+    WrapperRegistry,
 };
 
 const WRAPPER: &str = r#"offer(S, X) :- document("http://shop/", S), subelem(S, (?.li, []), X)."#;
@@ -347,6 +348,46 @@ fn expected_samples(json: &Json) -> HashMap<String, f64> {
     put("lixto_http_wake_p50_microseconds", &[], u(wake, "p50_us"));
     put("lixto_http_wake_p99_microseconds", &[], u(wake, "p99_us"));
 
+    // The watch surface only exists while the subscription layer runs;
+    // same absence contract as the alerts below.
+    if let Some(watches) = json.get("watches") {
+        put("lixto_watch_registered", &[], u(watches, "registered"));
+        put("lixto_watch_subscribers", &[], u(watches, "subscribers"));
+        put(
+            "lixto_watch_webhook_deliveries_total",
+            &[],
+            u(watches, "webhook_deliveries"),
+        );
+        put(
+            "lixto_watch_webhook_failures_total",
+            &[],
+            u(watches, "webhook_failures"),
+        );
+        for watch in watches.get("watches").and_then(Json::as_array).unwrap() {
+            let id = watch.get("id").and_then(Json::as_str).unwrap();
+            put(
+                "lixto_watch_ticks_total",
+                &[("watch", id)],
+                u(watch, "ticks"),
+            );
+            put(
+                "lixto_watch_events_total",
+                &[("watch", id)],
+                u(watch, "seq"),
+            );
+            put(
+                "lixto_watch_suppressed_total",
+                &[("watch", id)],
+                u(watch, "suppressed"),
+            );
+            put(
+                "lixto_watch_errors_total",
+                &[("watch", id)],
+                u(watch, "errors"),
+            );
+        }
+    }
+
     // The alert surface only exists while the monitor runs; its absence
     // from the JSON must mean its absence from the text, which the
     // bidirectional check enforces by leaving these samples out.
@@ -520,15 +561,15 @@ fn alert_series_round_trip_and_vanish_when_the_monitor_is_off() {
     let stats = lixto::http::GatewayStats::default();
     let observations = GatewayObservations::default();
 
-    // Monitor off: the `_full` renderers with no alert snapshot are
-    // byte-identical to the plain ones — the documented disabled
-    // surface.
+    // Monitor and watch layer off: the `_full` renderers with neither
+    // snapshot are byte-identical to the plain ones — the documented
+    // disabled surface.
     assert_eq!(
-        metrics_json_full(&snapshot, &stats, &observations, None).to_string(),
+        metrics_json_full(&snapshot, &stats, &observations, None, None).to_string(),
         metrics_json(&snapshot, &stats, &observations).to_string()
     );
     assert_eq!(
-        render_prometheus_full(&snapshot, &stats, &observations, None),
+        render_prometheus_full(&snapshot, &stats, &observations, None, None),
         render_prometheus(&snapshot, &stats, &observations)
     );
 
@@ -554,8 +595,52 @@ fn alert_series_round_trip_and_vanish_when_the_monitor_is_off() {
             rule("wake_latency", Severity::Ok, 0, 0),
         ],
     };
-    let json = metrics_json_full(&snapshot, &stats, &observations, Some(&alerts));
-    let text = render_prometheus_full(&snapshot, &stats, &observations, Some(&alerts));
+    // Watch layer on: the per-watch families round-trip too, hostile
+    // watch ids escaped on the way out and unescaped by the parser.
+    let watches = WatchSample {
+        registered: 2,
+        subscribers: 1,
+        webhook_deliveries: 7,
+        webhook_failures: 2,
+        watches: vec![
+            WatchStatus {
+                id: "offers-hourly".into(),
+                wrapper: "shop".into(),
+                url: "http://shop/".into(),
+                interval_ms: 1_000,
+                webhook: None,
+                ticks: 12,
+                seq: 3,
+                suppressed: 8,
+                errors: 1,
+            },
+            WatchStatus {
+                id: "we\"ird\\watch".into(),
+                wrapper: "shop".into(),
+                url: "http://shop/b".into(),
+                interval_ms: 250,
+                webhook: Some("http://sink:1/hook".into()),
+                ticks: 4,
+                seq: 4,
+                suppressed: 0,
+                errors: 0,
+            },
+        ],
+    };
+    let json = metrics_json_full(
+        &snapshot,
+        &stats,
+        &observations,
+        Some(&alerts),
+        Some(&watches),
+    );
+    let text = render_prometheus_full(
+        &snapshot,
+        &stats,
+        &observations,
+        Some(&alerts),
+        Some(&watches),
+    );
     let samples = parse_exposition(&text);
     let mut expected = expected_samples(&json);
     for sample in &samples {
@@ -575,6 +660,13 @@ fn alert_series_round_trip_and_vanish_when_the_monitor_is_off() {
         expected.keys().collect::<Vec<_>>()
     );
     assert!(text.contains("lixto_alert_verdict 2"));
+    assert!(text.contains("lixto_watch_registered 2"));
+    assert!(samples.iter().any(|s| {
+        s.name == "lixto_watch_ticks_total"
+            && s.labels
+                .iter()
+                .any(|(k, v)| k == "watch" && v == "we\"ird\\watch")
+    }));
 }
 
 #[test]

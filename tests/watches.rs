@@ -1,0 +1,347 @@
+//! Continuous extraction end to end: a fleet of watches over a mutating
+//! web must deliver exactly one instance-level diff per change — the
+//! diff agreeing with a reference recompute — deliver nothing on
+//! unchanged ticks, stay fresh within a bounded latency while all
+//! watches tick concurrently, and survive a gateway restart through the
+//! durability spool.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lixto::core::XmlDesign;
+use lixto::elog::SharedWeb;
+use lixto::http::{GatewayConfig, HttpClient, HttpGateway, Json};
+use lixto::server::{
+    durability_layout, ExtractionRequest, ExtractionServer, RequestSource, ServerConfig,
+    WatchEvent, WatchRegistry, WatchScheduler, WatchSpec, WrapperRegistry,
+};
+use lixto::transform::{diff_snapshots, ExtractionSnapshot, InstanceDiff};
+
+fn shop_url(i: usize) -> String {
+    format!("http://shop{i}/")
+}
+
+fn shop_program(i: usize) -> String {
+    format!(
+        r#"
+        offer(S, X) :- document("{url}", S), subelem(S, (?.li, []), X).
+        name(S, X)  :- offer(_, S), subelem(S, (.b, []), X).
+        "#,
+        url = shop_url(i)
+    )
+}
+
+fn page(items: &[String]) -> String {
+    let mut html = String::from("<html><body><ul>");
+    for item in items {
+        html.push_str(&format!("<li><b>{item}</b></li>"));
+    }
+    html.push_str("</ul></body></html>");
+    html
+}
+
+fn items_v1(i: usize) -> Vec<String> {
+    (0..3).map(|n| format!("item-{i}-{n}")).collect()
+}
+
+/// Version 2 of shop `i`: the middle item mutates in place, a new one
+/// appears at the end — every watch must report exactly that.
+fn items_v2(i: usize) -> Vec<String> {
+    let mut items = items_v1(i);
+    items[1] = format!("item-{i}-1-changed");
+    items.push(format!("item-{i}-new"));
+    items
+}
+
+/// The server's own pattern-instance view of a pinned document — the
+/// reference the scheduler's snapshots must agree with.
+fn reference_snapshot(
+    server: &ExtractionServer,
+    wrapper: &str,
+    url: &str,
+    html: &str,
+) -> ExtractionSnapshot {
+    let response = server
+        .execute(ExtractionRequest {
+            trace: None,
+            wrapper: wrapper.to_string(),
+            version: None,
+            source: RequestSource::Inline {
+                url: url.to_string(),
+                html: html.to_string(),
+            },
+        })
+        .expect("reference extraction");
+    ExtractionSnapshot::from_pairs(
+        response
+            .result
+            .provenance
+            .instances
+            .iter()
+            .map(|instance| (instance.pattern.clone(), instance.text.clone())),
+    )
+}
+
+#[test]
+fn concurrent_watches_deliver_exact_diffs_once_and_stay_silent_otherwise() {
+    const WATCHES: usize = 6;
+
+    let web = Arc::new(SharedWeb::new());
+    for i in 0..WATCHES {
+        web.put(&shop_url(i), page(&items_v1(i)));
+    }
+    let wrappers = Arc::new(WrapperRegistry::new());
+    for i in 0..WATCHES {
+        wrappers
+            .register_source(
+                &format!("shop{i}"),
+                &shop_program(i),
+                XmlDesign::new().root("offers"),
+            )
+            .unwrap();
+    }
+    let server = Arc::new(ExtractionServer::start(
+        ServerConfig::default(),
+        wrappers,
+        web.clone(),
+    ));
+    let registry = Arc::new(WatchRegistry::new());
+    for i in 0..WATCHES {
+        registry.put(
+            &format!("w{i}"),
+            WatchSpec {
+                wrapper: format!("shop{i}"),
+                url: shop_url(i),
+                interval: Duration::from_millis(10),
+                webhook: None,
+            },
+        );
+    }
+    let (tx, rx) = mpsc::channel::<WatchEvent>();
+    let scheduler = WatchScheduler::start(
+        server.clone(),
+        registry.clone(),
+        Duration::from_millis(5),
+        Box::new(move |event| {
+            let _ = tx.send(event);
+        }),
+    );
+
+    // Every watch baselines and then survives several unchanged ticks
+    // without a single delivery.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let sample = registry.sample();
+        if sample.watches.iter().all(|w| w.ticks >= 3) {
+            break;
+        }
+        assert!(Instant::now() < deadline, "watches never ticked");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(
+        rx.try_recv().is_err(),
+        "a delivery happened although no page changed"
+    );
+    let sample = registry.sample();
+    assert!(
+        sample
+            .watches
+            .iter()
+            .all(|w| w.seq == 0 && w.suppressed >= 1),
+        "unchanged ticks must be detected and suppressed: {:?}",
+        sample
+            .watches
+            .iter()
+            .map(|w| (w.id.clone(), w.ticks, w.seq, w.suppressed))
+            .collect::<Vec<_>>()
+    );
+
+    // Mutate every page at once, then collect exactly one event per
+    // watch within a bounded window.
+    let mutated_at = Instant::now();
+    for i in 0..WATCHES {
+        web.put(&shop_url(i), page(&items_v2(i)));
+    }
+    let mut events: Vec<WatchEvent> = Vec::new();
+    let mut worst_latency = Duration::ZERO;
+    while events.len() < WATCHES {
+        let event = rx
+            .recv_timeout(Duration::from_secs(30))
+            .expect("every watch must notice its page changed");
+        worst_latency = worst_latency.max(mutated_at.elapsed());
+        events.push(event);
+    }
+    assert!(
+        worst_latency < Duration::from_secs(30),
+        "change-to-delivery latency unbounded: {worst_latency:?}"
+    );
+
+    // Each event is its watch's first and only delivery, and its diff
+    // equals an independent recompute from the pinned page versions.
+    events.sort_by(|a, b| a.watch.cmp(&b.watch));
+    for (i, event) in events.iter().enumerate() {
+        assert_eq!(event.watch, format!("w{i}"));
+        assert_eq!(event.seq, 1, "exactly one delivery for one change");
+        let wrapper = format!("shop{i}");
+        let url = shop_url(i);
+        let before = reference_snapshot(&server, &wrapper, &url, &page(&items_v1(i)));
+        let after = reference_snapshot(&server, &wrapper, &url, &page(&items_v2(i)));
+        let expected: InstanceDiff = diff_snapshots(&before, &after);
+        assert!(
+            !expected.is_empty(),
+            "the reference diff must be non-trivial"
+        );
+        assert_eq!(
+            event.diff, expected,
+            "watch w{i} diff disagrees with the reference recompute"
+        );
+        // The shape is the one the mutation implies: one in-place change
+        // and one addition per pattern (offer and name).
+        assert_eq!(event.diff.changed.len(), 2);
+        assert_eq!(event.diff.added.len(), 2);
+        assert_eq!(event.diff.removed.len(), 0);
+    }
+
+    // And silence again: the mutated pages are the new baseline.
+    std::thread::sleep(Duration::from_millis(100));
+    assert!(
+        rx.try_recv().is_err(),
+        "a second delivery happened for a single change"
+    );
+    let sample = registry.sample();
+    assert!(sample.watches.iter().all(|w| w.seq == 1 && w.errors == 0));
+
+    scheduler.stop();
+    server.initiate_shutdown();
+}
+
+#[test]
+fn watch_subscriptions_survive_a_gateway_restart() {
+    let root = std::env::temp_dir().join(format!(
+        "lixto-watch-restart-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&root);
+    let layout = durability_layout(&root);
+
+    let make_web = || {
+        let web = Arc::new(SharedWeb::new());
+        web.put(&shop_url(0), page(&items_v1(0)));
+        web
+    };
+    let make_server = |web: &Arc<SharedWeb>| {
+        let wrappers = Arc::new(WrapperRegistry::new());
+        wrappers
+            .register_source("shop0", &shop_program(0), XmlDesign::new().root("offers"))
+            .unwrap();
+        Arc::new(ExtractionServer::start(
+            ServerConfig::default(),
+            wrappers,
+            web.clone(),
+        ))
+    };
+    let bind = |server: &Arc<ExtractionServer>| {
+        HttpGateway::bind(
+            "127.0.0.1:0",
+            GatewayConfig {
+                handler_threads: 1,
+                idle_timeout: Duration::from_secs(10),
+                watch_tick: Duration::from_millis(10),
+                watch_spool: Some(layout.watches.clone()),
+                ..GatewayConfig::default()
+            },
+            server.clone(),
+        )
+        .unwrap()
+    };
+
+    // First life: register a watch (plus one that is deleted again) and
+    // let it baseline.
+    {
+        let web = make_web();
+        let server = make_server(&web);
+        let gateway = bind(&server);
+        let mut client = HttpClient::connect(gateway.addr()).unwrap();
+        let put = client
+            .put_json(
+                "/watches/offers",
+                &format!(
+                    r#"{{"wrapper":"shop0","url":"{}","interval_ms":20,"webhook":"http://sink:9/hook"}}"#,
+                    shop_url(0)
+                ),
+            )
+            .unwrap();
+        assert_eq!(put.status, 201, "{}", put.text());
+        let put = client
+            .put_json(
+                "/watches/doomed",
+                &format!(r#"{{"wrapper":"shop0","url":"{}"}}"#, shop_url(0)),
+            )
+            .unwrap();
+        assert_eq!(put.status, 201, "{}", put.text());
+        assert_eq!(
+            client
+                .request("DELETE", "/watches/doomed", &[], None)
+                .unwrap()
+                .status,
+            200
+        );
+        drop(client);
+        gateway.shutdown();
+        server.initiate_shutdown();
+    }
+
+    // Second life: the subscription is back (the deleted one is not),
+    // with its spec intact — and it resumes ticking against the fresh
+    // pool, re-baselining silently before reporting new changes.
+    {
+        let web = make_web();
+        let server = make_server(&web);
+        let gateway = bind(&server);
+        let mut client = HttpClient::connect(gateway.addr()).unwrap();
+        let listing = client.get("/watches").unwrap().json().unwrap();
+        assert_eq!(
+            listing
+                .get("watches")
+                .and_then(Json::as_array)
+                .map(<[Json]>::len),
+            Some(1),
+            "exactly the surviving watch: {listing}"
+        );
+        let status = client.get("/watches/offers").unwrap().json().unwrap();
+        assert_eq!(status.get("wrapper").and_then(Json::as_str), Some("shop0"));
+        assert_eq!(
+            status.get("interval_ms").and_then(Json::as_u64),
+            Some(20),
+            "interval survives the spool round trip"
+        );
+        assert_eq!(
+            status.get("webhook").and_then(Json::as_str),
+            Some("http://sink:9/hook"),
+            "webhook survives the spool round trip"
+        );
+        assert_eq!(client.get("/watches/doomed").unwrap().status, 404);
+        // Counters restarted from zero; the scheduler picks the watch
+        // up again without any re-registration.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let status = client.get("/watches/offers").unwrap().json().unwrap();
+            if status.get("ticks").and_then(Json::as_u64).unwrap_or(0) >= 2 {
+                assert_eq!(
+                    status.get("seq").and_then(Json::as_u64),
+                    Some(0),
+                    "a restart re-baselines silently — no replayed diffs"
+                );
+                break;
+            }
+            assert!(Instant::now() < deadline, "recovered watch never ticked");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        drop(client);
+        gateway.shutdown();
+        server.initiate_shutdown();
+    }
+    std::fs::remove_dir_all(&root).unwrap();
+}
